@@ -1,0 +1,258 @@
+// Package repro's root-level benchmarks expose the experiment suite
+// E1–E13 (DESIGN.md §4) as testing.B targets — one per reproduced
+// artifact or claim of the paper. Each benchmark runs the corresponding
+// experiment at a reduced scale per iteration and reports its headline
+// quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every table of EXPERIMENTS.md in miniature. Run
+// cmd/threev-bench for the full-size tables.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// benchScale keeps per-iteration work small enough for repeated
+// iterations on one core.
+var benchScale = experiments.Scale{Txns: 120}
+
+// BenchmarkE1_Table1Replay replays the paper's Table 1 execution
+// (deterministic, scripted) once per iteration.
+func BenchmarkE1_Table1Replay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatalf("replay failed:\n%s", res.String())
+		}
+	}
+}
+
+// BenchmarkE3_AnomalyRate measures the hospital anomaly rate for 3V and
+// the baselines (3V must be zero).
+func BenchmarkE3_AnomalyRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3AnomalyRate(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_VersionBound checks the ≤3 live versions bound under
+// aggressive advancement.
+func BenchmarkE4_VersionBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4VersionBound(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_AdvancementInterference compares user latency under
+// continuous advancement across 3V, SyncAdv and Global2PC.
+func BenchmarkE5_AdvancementInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E5AdvancementInterference(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_NonCommutingFraction sweeps the NC3V non-commuting share.
+func BenchmarkE6_NonCommutingFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6NonCommutingFraction(experiments.Scale{Txns: 80}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_QuiescenceDetection measures Phase 2 termination
+// detection cost.
+func BenchmarkE7_QuiescenceDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7QuiescenceDetection(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_CopyOverhead compares 3V copy-on-update against the
+// copy-per-update schemes of Section 7.
+func BenchmarkE8_CopyOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8CopyOverhead(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_ThroughputScaling compares throughput vs message latency
+// for 3V, NoCoord and Global2PC.
+func BenchmarkE9_ThroughputScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9ThroughputScaling(experiments.Scale{Txns: 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_Compensation sweeps abort rates through compensation.
+func BenchmarkE10_Compensation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10Compensation(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_Staleness measures read staleness vs advancement period.
+func BenchmarkE11_Staleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E11Staleness(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicro_CommutingUpdateTxn measures the end-to-end cost of one
+// two-node commuting update transaction on an otherwise idle 3V cluster
+// — the protocol's fast path (no locks, no coordination).
+func BenchmarkMicro_CommutingUpdateTxn(b *testing.B) {
+	c, err := core.NewCluster(core.Config{Nodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := model.NewRecord()
+	c.Preload(0, "x", rec.Clone())
+	c.Preload(1, "y", rec.Clone())
+	c.Start()
+	defer c.Close()
+	spec := &model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{{Key: "x", Op: model.AddOp{Field: "v", Delta: 1}}},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{{Key: "y", Op: model.AddOp{Field: "v", Delta: 1}}}},
+		},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !h.WaitTimeout(10 * time.Second) {
+			b.Fatal("txn timed out")
+		}
+	}
+}
+
+// BenchmarkMicro_ReadOnlyTxn measures one two-node read-only
+// transaction (never delayed, never locked).
+func BenchmarkMicro_ReadOnlyTxn(b *testing.B) {
+	c, err := core.NewCluster(core.Config{Nodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := model.NewRecord()
+	c.Preload(0, "x", rec.Clone())
+	c.Preload(1, "y", rec.Clone())
+	c.Start()
+	defer c.Close()
+	spec := &model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:     0,
+		Reads:    []string{"x"},
+		Children: []*model.SubtxnSpec{{Node: 1, Reads: []string{"y"}}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !h.WaitTimeout(10 * time.Second) {
+			b.Fatal("txn timed out")
+		}
+	}
+}
+
+// BenchmarkMicro_Advancement measures one full four-phase version
+// advancement cycle on an idle cluster (its cost is pure protocol
+// overhead; user transactions never wait for it).
+func BenchmarkMicro_Advancement(b *testing.B) {
+	c, err := core.NewCluster(core.Config{Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := model.NewRecord()
+	for i := 0; i < 4; i++ {
+		c.Preload(model.NodeID(i), "k", rec.Clone())
+	}
+	c.Start()
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance()
+	}
+}
+
+// BenchmarkMicro_ThroughputLoaded measures sustained mixed-workload
+// throughput with continuous advancement, reporting txn/s.
+func BenchmarkMicro_ThroughputLoaded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := core.NewCluster(core.Config{Nodes: 4,
+			NetConfig: transport.Config{Jitter: 100 * time.Microsecond, Seed: 7}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		sys := baseline.ThreeV{Cluster: c}
+		gen := workload.New(workload.Config{Nodes: 4, Groups: 64, Span: 2, ReadFraction: 0.2, Seed: 9})
+		res := harness.Run(sys, harness.RunConfig{
+			Txns:            300,
+			Concurrency:     8,
+			AdvanceInterval: 2 * time.Millisecond,
+			Gen:             gen,
+			Preload: func(n model.NodeID, k string) {
+				rec := model.NewRecord()
+				c.Preload(n, k, rec)
+			},
+		})
+		c.Close()
+		b.ReportMetric(res.Throughput(), "txn/s")
+		if res.Anomalies > 0 {
+			b.Fatalf("%d anomalies", res.Anomalies)
+		}
+	}
+}
+
+// BenchmarkE12_DualWriteOverhead measures the dual-write rate ablation.
+func BenchmarkE12_DualWriteOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E12DualWriteOverhead(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE13_RecoveryCost measures coordinator crash recovery.
+func BenchmarkE13_RecoveryCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E13RecoveryCost(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command threev-bench runs the reproduction's experiment suite E1–E13
+// (see DESIGN.md §4) and prints the result tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	threev-bench [-txns N] [-only E5,E9]
+//
+// -txns scales every experiment's transaction count; -only restricts
+// the run to a comma-separated list of experiment ids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func main() {
+	txns := flag.Int("txns", experiments.DefaultScale.Txns, "base transaction count per experiment run")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E9); empty = all")
+	flag.Parse()
+
+	sc := experiments.Scale{Txns: *txns}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	failures := 0
+	start := time.Now()
+
+	if want("E1") || want("E2") {
+		fmt.Println("== E1/E2: Table 1 + Figure 2 replay ==")
+		res, err := experiments.E1Table1()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "E1 error:", err)
+			failures++
+		} else {
+			fmt.Print(res.String())
+			if !res.OK() {
+				failures++
+			}
+		}
+		fmt.Println()
+	}
+
+	type exp struct {
+		id  string
+		run func(experiments.Scale) (*harness.Table, error)
+	}
+	for _, e := range []exp{
+		{"E3", experiments.E3AnomalyRate},
+		{"E4", experiments.E4VersionBound},
+		{"E5", experiments.E5AdvancementInterference},
+		{"E6", experiments.E6NonCommutingFraction},
+		{"E7", experiments.E7QuiescenceDetection},
+		{"E8", experiments.E8CopyOverhead},
+		{"E9", experiments.E9ThroughputScaling},
+		{"E10", experiments.E10Compensation},
+		{"E11", experiments.E11Staleness},
+		{"E12", experiments.E12DualWriteOverhead},
+		{"E13", experiments.E13RecoveryCost},
+	} {
+		if !want(e.id) {
+			continue
+		}
+		tbl, err := e.run(sc)
+		if tbl != nil {
+			fmt.Println(tbl.String())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
+			failures++
+		}
+	}
+
+	fmt.Printf("suite completed in %v; %d failures\n", time.Since(start).Round(time.Millisecond), failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+// Command threev-sim runs a live database under a configurable data
+// recording load and prints its metrics — a playground for exploring
+// node counts, network shapes, advancement cadence and transaction
+// mixes, and for head-to-head runs against the baseline schemes.
+//
+// Usage:
+//
+//	threev-sim [-system 3v|nocoord|2pc|manual|syncadv]
+//	           [-nodes 4] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
+//	           [-latency 0] [-jitter 500us] [-advance 5ms] [-conc 8]
+//	           [-seed 1]
+//
+// The exit status is nonzero if the run observed an atomic-visibility
+// anomaly (expected for -system nocoord, and for -system manual with a
+// short enough stabilization delay) or a protocol violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/baseline/globalsync"
+	"repro/internal/baseline/manualver"
+	"repro/internal/baseline/nocoord"
+	"repro/internal/baseline/syncadv"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func main() {
+	system := flag.String("system", "3v", "scheme to run: 3v, nocoord, 2pc, manual, syncadv")
+	nodes := flag.Int("nodes", 4, "database nodes")
+	txns := flag.Int("txns", 2000, "transactions to run")
+	readFrac := flag.Float64("read", 0.2, "read fraction")
+	ncFrac := flag.Float64("nc", 0, "non-commuting fraction of updates (enables NC3V when > 0)")
+	abortFrac := flag.Float64("abort", 0, "abort (compensation) fraction of updates")
+	latency := flag.Duration("latency", 0, "base one-way message latency")
+	jitter := flag.Duration("jitter", 500*time.Microsecond, "message jitter (enables reordering)")
+	advance := flag.Duration("advance", 5*time.Millisecond, "version advancement period (0 = manual only)")
+	conc := flag.Int("conc", 8, "in-flight transactions")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	netCfg := transport.Config{
+		BaseLatency: *latency,
+		Jitter:      *jitter,
+		Seed:        *seed,
+	}
+	var (
+		sys     baseline.System
+		cluster *core.Cluster // non-nil only for 3v
+		preload func(model.NodeID, string, *model.Record)
+		err     error
+	)
+	switch *system {
+	case "3v":
+		cluster, err = core.NewCluster(core.Config{
+			Nodes:     *nodes,
+			NCMode:    *ncFrac > 0,
+			LockWait:  time.Second,
+			NetConfig: netCfg,
+		})
+		if err == nil {
+			cluster.Start()
+			sys = baseline.ThreeV{Cluster: cluster}
+			preload = func(n model.NodeID, k string, rec *model.Record) { cluster.Preload(n, k, rec) }
+		}
+	case "nocoord":
+		var s *nocoord.System
+		s, err = nocoord.New(nocoord.Config{Nodes: *nodes, NetConfig: netCfg})
+		if err == nil {
+			sys = s
+			preload = func(n model.NodeID, k string, rec *model.Record) { s.Preload(n, k, rec) }
+		}
+	case "2pc":
+		var s *globalsync.System
+		s, err = globalsync.New(globalsync.Config{Nodes: *nodes, LockWait: 5 * time.Second, NetConfig: netCfg})
+		if err == nil {
+			sys = s
+			preload = func(n model.NodeID, k string, rec *model.Record) { s.Preload(n, k, rec) }
+		}
+	case "manual":
+		var s *manualver.System
+		s, err = manualver.New(manualver.Config{Nodes: *nodes, StabilizationDelay: *advance / 2, NetConfig: netCfg})
+		if err == nil {
+			sys = s
+			preload = func(n model.NodeID, k string, rec *model.Record) { s.Preload(n, k, rec) }
+		}
+	case "syncadv":
+		var s *syncadv.System
+		s, err = syncadv.New(syncadv.Config{Nodes: *nodes, NetConfig: netCfg})
+		if err == nil {
+			sys = s
+			preload = func(n model.NodeID, k string, rec *model.Record) { s.Preload(n, k, rec) }
+		}
+	default:
+		err = fmt.Errorf("unknown -system %q", *system)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	if *ncFrac > 0 && *system != "3v" {
+		fmt.Fprintln(os.Stderr, "-nc requires -system 3v (NC3V)")
+		os.Exit(1)
+	}
+
+	gen := workload.New(workload.Config{
+		Nodes:                *nodes,
+		Groups:               256,
+		Span:                 2,
+		ReadFraction:         *readFrac,
+		NonCommutingFraction: *ncFrac,
+		AbortFraction:        *abortFrac,
+		Seed:                 *seed,
+	})
+
+	fmt.Printf("%s simulation: %d nodes, %d txns, read=%.0f%% nc=%.0f%% abort=%.0f%%, latency=%v jitter=%v, advance every %v\n",
+		sys.Name(), *nodes, *txns, *readFrac*100, *ncFrac*100, *abortFrac*100, *latency, *jitter, *advance)
+
+	res := harness.Run(sys, harness.RunConfig{
+		Txns:            *txns,
+		Concurrency:     *conc,
+		AdvanceInterval: *advance,
+		FinalAdvance:    true,
+		Gen:             gen,
+		Preload: func(n model.NodeID, k string) {
+			rec := model.NewRecord()
+			rec.Fields["bal"] = 0
+			rec.Fields["count"] = 0
+			preload(n, k, rec)
+		},
+	})
+
+	tbl := &harness.Table{Title: "results", Header: []string{"metric", "value"}}
+	tbl.Add("completed", fmt.Sprint(res.Completed))
+	tbl.Add("timed out", fmt.Sprint(res.TimedOut))
+	tbl.Add("updates / reads / nc", fmt.Sprintf("%d / %d / %d", res.Updates, res.Reads, res.NCs))
+	tbl.Add("throughput (txn/s)", harness.F2(res.Throughput()))
+	tbl.Add("latency p50/p99/max (ms)", fmt.Sprintf("%s / %s / %s",
+		harness.Ms(res.LatAll.Quantile(0.5)), harness.Ms(res.LatAll.Quantile(0.99)), harness.Ms(res.LatAll.Max())))
+	tbl.Add("advancements", fmt.Sprint(res.Advances))
+	tbl.Add("read staleness mean/max (updates)", fmt.Sprintf("%s / %d", harness.F2(res.StalenessMean), res.StalenessMax))
+	tbl.Add("anomalies (atomic visibility)", fmt.Sprint(res.Anomalies))
+	fmt.Println(tbl.String())
+
+	structuralOK := true
+	if cluster != nil {
+		rep := verify.CheckStructural(cluster)
+		fmt.Println(rep.String())
+		structuralOK = rep.OK()
+
+		m := cluster.Metrics()
+		var dual, comp, impl int64
+		for _, nm := range m.PerNode {
+			dual += nm.DualWrites
+			comp += nm.Compensations
+			impl += nm.ImplicitAdvances
+		}
+		fmt.Printf("protocol events: dual-writes=%d compensations=%d implicit-advances=%d messages=%d\n",
+			dual, comp, impl, m.Transport.Messages)
+	}
+
+	if res.Anomalies > 0 || !structuralOK {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+// Command threev-trace replays the paper's Table 1 example execution
+// deterministically and prints every step with its checked counter
+// values and version states (reproducing Table 1 and Figure 2).
+//
+// Usage:
+//
+//	threev-trace
+//
+// Exit status is nonzero if any check fails.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	res, err := trace.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replay error:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.String())
+	if !res.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,138 @@
+// Hospital: the paper's Figure 1 scenario at load. Multiple departments
+// record charges for shared patients while the front desk answers
+// balance inquiries; an auditor verifies that no inquiry ever observes
+// a partial visit (the anomaly that motivates the paper), even with an
+// aggressively jittered network and continuous version advancement.
+//
+// Run with:
+//
+//	go run ./examples/hospital
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/verify"
+	"repro/threev"
+)
+
+const (
+	departments = 4   // one database node per department
+	patients    = 32  // each patient has a record in two departments
+	visits      = 300 // update transactions
+	inquiries   = 100 // read transactions
+)
+
+func patientKey(p int) string { return fmt.Sprintf("patient-%02d", p) }
+
+// homes returns the two departments holding patient p's records.
+func homes(p int) (threev.NodeID, threev.NodeID) {
+	a := threev.NodeID(p % departments)
+	return a, threev.NodeID((p + 1) % departments)
+}
+
+func main() {
+	db, err := threev.Open(threev.Config{
+		Nodes:         departments,
+		NetworkJitter: 2 * time.Millisecond, // force heavy reordering
+		Seed:          1997,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for p := 0; p < patients; p++ {
+		a, b := homes(p)
+		db.Preload(a, patientKey(p), map[string]int64{"due": 0})
+		db.Preload(b, patientKey(p), map[string]int64{"due": 0})
+	}
+
+	// Advance versions every few milliseconds — the "Desired Solution"
+	// cadence, impossible with manual monthly versioning.
+	db.StartAutoAdvance(3 * time.Millisecond)
+
+	rng := rand.New(rand.NewSource(7))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var audited []verify.GroupRead
+	anomalies := 0
+
+	// Visits: each writes one tagged tuple per department plus the
+	// balance increment — commuting, so no coordination happens.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 0; v < visits; v++ {
+			p := rng.Intn(patients)
+			a, b := homes(p)
+			charge := int64(rng.Intn(300) + 20)
+			writer := model.MakeTxnID(model.NodeID(1<<15), uint64(v+1))
+			visit := threev.At(a).
+				Insert(patientKey(p), threev.Tuple{Txn: writer, Part: 1, Total: 2, Attr: "charge", Amount: charge}).
+				Add(patientKey(p), "due", charge).
+				Child(threev.At(b).
+					Insert(patientKey(p), threev.Tuple{Txn: writer, Part: 2, Total: 2, Attr: "charge", Amount: charge}).
+					Add(patientKey(p), "due", charge)).
+				Update()
+			h, err := db.Submit(visit)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if v%4 == 0 {
+				h.Wait() // mix awaited and fire-and-forget submissions
+			}
+		}
+	}()
+
+	// Inquiries: read both of a patient's records; audit atomic
+	// visibility of every visit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < inquiries; i++ {
+			p := rng.Intn(patients)
+			a, b := homes(p)
+			q, err := db.Submit(threev.At(a).Read(patientKey(p)).
+				Child(threev.At(b).Read(patientKey(p))).Query())
+			if err != nil {
+				log.Fatal(err)
+			}
+			q.Wait()
+			gr := verify.GroupRead{Txn: q.ID, Results: q.Reads()}
+			mu.Lock()
+			audited = append(audited, gr)
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	db.StopAutoAdvance()
+	db.Advance() // publish everything
+
+	anoms := verify.AuditAtomicVisibility(audited)
+	anomalies = len(anoms)
+
+	fmt.Printf("recorded %d visits, answered %d inquiries across %d departments\n",
+		visits, inquiries, departments)
+	fmt.Printf("advancement cycles during load: %d\n", len(db.AdvanceHistory()))
+	fmt.Printf("partial-visit anomalies observed: %d (3V guarantees 0)\n", anomalies)
+	fmt.Printf("max live versions of any record: %d (paper bound: 3)\n", db.MaxLiveVersions())
+
+	if anomalies > 0 {
+		for _, a := range anoms {
+			fmt.Println("  ", a)
+		}
+		log.Fatal("anomaly detected — protocol bug")
+	}
+	if v := db.Violations(); v != nil {
+		log.Fatal("protocol violations: ", v)
+	}
+	fmt.Println("all inquiries were globally consistent.")
+}

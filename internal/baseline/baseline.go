@@ -1,0 +1,67 @@
+// Package baseline defines the driver-facing abstraction shared by the
+// 3V system and the alternative schemes the paper discusses in Sections
+// 1 and 7, plus the adapter that presents the 3V cluster through it.
+//
+// The four implemented comparison points are:
+//
+//   - globalsync: "Global Synchronization" — distributed strict
+//     two-phase locking with global two-phase commit for every
+//     transaction, reads included.
+//   - nocoord: "No Coordination" — subtransactions execute immediately
+//     against a single-version store; fast but globally inconsistent.
+//   - manualver: "Manual Versioning" — period-based versions published
+//     to readers after a fixed stabilization delay, with no correctness
+//     check that in-flight updates have drained.
+//   - syncadv: the "naive version advancement" strawman of Section 2.1
+//     — two versions with a stop-the-world switch that freezes new
+//     transactions while in-flight ones drain.
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Handle observes one submitted transaction. core.Handle satisfies it.
+type Handle interface {
+	WaitTimeout(d time.Duration) bool
+	Reads() []model.ReadResult
+}
+
+// System is a database under test: 3V or one of the baselines.
+type System interface {
+	// Name identifies the scheme in result tables.
+	Name() string
+	// Submit launches a transaction.
+	Submit(spec *model.TxnSpec) (Handle, error)
+	// Advance publishes accumulated updates to readers. For nocoord it
+	// is a no-op (updates are immediately visible); for manualver it is
+	// the period switch; for syncadv it is the stop-the-world switch.
+	Advance()
+	// Close shuts the system down.
+	Close()
+}
+
+// ThreeV adapts a core.Cluster to the System interface.
+type ThreeV struct {
+	Cluster *core.Cluster
+}
+
+// Name implements System.
+func (t ThreeV) Name() string { return "3V" }
+
+// Submit implements System.
+func (t ThreeV) Submit(spec *model.TxnSpec) (Handle, error) {
+	return t.Cluster.Submit(spec)
+}
+
+// Advance implements System.
+func (t ThreeV) Advance() { t.Cluster.Advance() }
+
+// Close implements System.
+func (t ThreeV) Close() { t.Cluster.Close() }
+
+var _ System = ThreeV{}
+var _ Handle = (*core.Handle)(nil)

@@ -1,0 +1,44 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func TestThreeVAdapter(t *testing.T) {
+	c, err := core.NewCluster(core.Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := model.NewRecord()
+	c.Preload(0, "x", rec)
+	c.Start()
+	sys := ThreeV{Cluster: c}
+	defer sys.Close()
+	if sys.Name() != "3V" {
+		t.Errorf("Name = %q", sys.Name())
+	}
+	h, err := sys.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Updates: []model.KeyOp{{Key: "x", Op: model.AddOp{Field: "v", Delta: 2}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update timed out")
+	}
+	sys.Advance()
+	q, err := sys.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{Node: 0, Reads: []string{"x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.WaitTimeout(5 * time.Second) {
+		t.Fatal("read timed out")
+	}
+	if got := q.Reads()[0].Record.Field("v"); got != 2 {
+		t.Errorf("read = %d, want 2", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Package copyalways models the versioning discipline of the
+// multiversion schemes the paper compares against in Section 7 (Chan et
+// al., Chan & Gray, Agrawal & Sengupta, Bober & Carey): every update
+// transaction creates a new version of the data object it modifies,
+// "copying an entire data object on every update, no matter how small
+// the modification".
+//
+// It is a storage-level ablation, not a full protocol: experiment E8
+// replays the same update stream against this engine and against 3V's
+// copy-on-first-update-per-epoch engine and compares copies made and
+// bytes copied. Reads always see the latest committed version, so the
+// engine also tracks how many versions must be retained to serve a
+// reader pinned n updates in the past.
+package copyalways
+
+import (
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Stats is the copy accounting.
+type Stats struct {
+	Updates     int64
+	Copies      int64
+	BytesCopied int64
+}
+
+// Store is a single-node copy-per-update engine.
+type Store struct {
+	mu      sync.Mutex
+	records map[string][]*model.Record // full version history per key
+	retain  int
+	stats   Stats
+}
+
+// New returns an empty store that retains up to retain versions per
+// item (older ones are pruned, as products did with version pools);
+// retain <= 0 means keep 2.
+func New(retain int) *Store {
+	if retain <= 0 {
+		retain = 2
+	}
+	return &Store{records: make(map[string][]*model.Record), retain: retain}
+}
+
+// Preload installs the initial version of key.
+func (s *Store) Preload(key string, rec *model.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[key] = []*model.Record{rec}
+}
+
+// Apply performs one update: it copies the latest version of the item
+// (the scheme's defining cost), applies op to the copy, and installs it
+// as the new latest version.
+func (s *Store) Apply(key string, op model.Op) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.records[key]
+	var next *model.Record
+	if len(hist) == 0 {
+		next = model.NewRecord()
+	} else {
+		latest := hist[len(hist)-1]
+		next = latest.Clone()
+		s.stats.Copies++
+		s.stats.BytesCopied += latest.SizeBytes()
+	}
+	op.Apply(next)
+	hist = append(hist, next)
+	if len(hist) > s.retain {
+		hist = hist[len(hist)-s.retain:]
+	}
+	s.records[key] = hist
+	s.stats.Updates++
+}
+
+// Latest returns a copy of the newest version of key.
+func (s *Store) Latest(key string) (*model.Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.records[key]
+	if len(hist) == 0 {
+		return nil, false
+	}
+	return hist[len(hist)-1].Clone(), true
+}
+
+// Stats returns a copy of the accounting counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

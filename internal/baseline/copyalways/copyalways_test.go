@@ -1,0 +1,76 @@
+package copyalways
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestEveryUpdateCopies(t *testing.T) {
+	s := New(2)
+	rec := model.NewRecord()
+	rec.Fields["v"] = 0
+	s.Preload("x", rec)
+	for i := 0; i < 10; i++ {
+		s.Apply("x", model.AddOp{Field: "v", Delta: 1})
+	}
+	st := s.Stats()
+	if st.Updates != 10 {
+		t.Errorf("Updates = %d, want 10", st.Updates)
+	}
+	if st.Copies != 10 {
+		t.Errorf("Copies = %d, want 10 — the scheme copies on EVERY update", st.Copies)
+	}
+	if st.BytesCopied <= 0 {
+		t.Error("BytesCopied not accounted")
+	}
+	got, ok := s.Latest("x")
+	if !ok || got.Field("v") != 10 {
+		t.Errorf("Latest = %v %v", got, ok)
+	}
+}
+
+func TestFreshItemNoCopy(t *testing.T) {
+	s := New(0) // default retain
+	s.Apply("new", model.AddOp{Field: "v", Delta: 5})
+	st := s.Stats()
+	if st.Copies != 0 {
+		t.Errorf("first write of a fresh item copied %d times", st.Copies)
+	}
+	if got, ok := s.Latest("new"); !ok || got.Field("v") != 5 {
+		t.Errorf("Latest = %v %v", got, ok)
+	}
+	if _, ok := s.Latest("missing"); ok {
+		t.Error("Latest of missing item reported ok")
+	}
+}
+
+func TestRetentionPrunes(t *testing.T) {
+	s := New(3)
+	s.Preload("x", model.NewRecord())
+	for i := 0; i < 20; i++ {
+		s.Apply("x", model.AddOp{Field: "v", Delta: 1})
+	}
+	if n := len(s.records["x"]); n != 3 {
+		t.Errorf("retained %d versions, want 3", n)
+	}
+}
+
+func TestCopyCostGrowsWithRecordSize(t *testing.T) {
+	// The paper's complaint: the copy cost is proportional to object
+	// size, "no matter how small the modification". A record with a big
+	// log costs more per increment than an empty one.
+	small, big := New(2), New(2)
+	small.Preload("x", model.NewRecord())
+	bigRec := model.NewRecord()
+	for i := 0; i < 100; i++ {
+		bigRec.Log = append(bigRec.Log, model.Tuple{Txn: model.TxnID(i), Part: 1, Total: 1})
+	}
+	big.Preload("x", bigRec)
+	small.Apply("x", model.AddOp{Field: "v", Delta: 1})
+	big.Apply("x", model.AddOp{Field: "v", Delta: 1})
+	if big.Stats().BytesCopied <= small.Stats().BytesCopied {
+		t.Errorf("big-record copy (%d B) not costlier than small (%d B)",
+			big.Stats().BytesCopied, small.Stats().BytesCopied)
+	}
+}

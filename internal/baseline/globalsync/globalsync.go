@@ -1,0 +1,408 @@
+// Package globalsync implements the "Global Synchronization" baseline
+// of Section 1: every global transaction — reads included — runs as a
+// full-fledged distributed transaction under strict two-phase locking
+// with global two-phase commitment.
+//
+// This is the scheme that guarantees global serializability the
+// classical way, and the one whose "often prohibitive" delays motivate
+// the paper: a client observes its transaction as committed only after
+// the vote and decision rounds complete, and every lock is held across
+// those rounds, so throughput collapses as message latency or node
+// count grows (experiments E5 and E9).
+//
+// Locking uses the shared lock manager with S = CommuteRead (shared,
+// compatible with itself) and X = NonCommuting (exclusive); deadlocks
+// are resolved by wait timeout, aborting the victim.
+package globalsync
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/localcc"
+	"repro/internal/locks"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the system.
+type Config struct {
+	Nodes     int
+	LockWait  time.Duration
+	NetConfig transport.Config
+}
+
+type txnID = uint64
+
+// subtxnMsg ships one subtransaction; rootNode is the 2PC coordinator.
+type subtxnMsg struct {
+	txn      txnID
+	spec     *model.SubtxnSpec
+	rootNode model.NodeID
+	root     bool
+}
+
+// voteMsg is the 2PC vote, carrying the spawned-children count so the
+// coordinator learns the tree size as votes arrive.
+type voteMsg struct {
+	txn      txnID
+	node     model.NodeID
+	ok       bool
+	children int
+	// root marks the root subtransaction's vote; the coordinator must
+	// not decide before it arrives (a child's vote can overtake it).
+	root bool
+}
+
+// decisionMsg is the 2PC outcome. participants is the total number of
+// participant nodes, so each one can tell the client handle when the
+// last participant has reported.
+type decisionMsg struct {
+	txn          txnID
+	commit       bool
+	participants int
+}
+
+// System is a running global-2PL database.
+type System struct {
+	net   *transport.Net
+	nodes []*node
+
+	seqMu   sync.Mutex
+	seq     txnID
+	handles sync.Map // txnID -> *handle
+
+	aborted int64
+	statMu  sync.Mutex
+}
+
+// undoRec is a before-image for rollback (nil prev = key created).
+type undoRec struct {
+	key  string
+	prev *model.Record
+}
+
+type exec struct {
+	reads []model.ReadResult
+	undo  []undoRec
+}
+
+type coordState struct {
+	votes, expected int
+	ok              bool
+	rootVoted       bool
+	nodes           map[model.NodeID]bool
+}
+
+// node is one site.
+type node struct {
+	id      model.NodeID
+	sys     *System
+	mu      sync.RWMutex
+	records map[string]*model.Record
+	latches *localcc.Manager
+	lm      *locks.Manager
+
+	stMu  sync.Mutex
+	part  map[txnID]*exec
+	coord map[txnID]*coordState
+}
+
+// New builds and starts the system.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("globalsync: Nodes must be positive")
+	}
+	nc := cfg.NetConfig
+	nc.Nodes = cfg.Nodes
+	s := &System{net: transport.NewNet(nc)}
+	for i := 0; i < cfg.Nodes; i++ {
+		lm := locks.New()
+		lm.WaitBound = cfg.LockWait
+		nd := &node{
+			id:      model.NodeID(i),
+			sys:     s,
+			records: make(map[string]*model.Record),
+			latches: localcc.New(),
+			lm:      lm,
+			part:    make(map[txnID]*exec),
+			coord:   make(map[txnID]*coordState),
+		}
+		s.nodes = append(s.nodes, nd)
+		s.net.Register(nd.id, nd.handle)
+	}
+	s.net.Start()
+	return s, nil
+}
+
+// Name implements baseline.System.
+func (s *System) Name() string { return "Global2PC" }
+
+// Advance implements baseline.System: a no-op — committed updates are
+// immediately visible (that is what all the locking buys).
+func (s *System) Advance() {}
+
+// Close implements baseline.System.
+func (s *System) Close() { s.net.Close() }
+
+// Aborted returns how many transactions were aborted (deadlock
+// victims).
+func (s *System) Aborted() int64 {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.aborted
+}
+
+// Preload installs an initial record.
+func (s *System) Preload(nodeID model.NodeID, key string, rec *model.Record) {
+	nd := s.nodes[nodeID]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.records[key] = rec
+}
+
+// Submit implements baseline.System.
+func (s *System) Submit(spec *model.TxnSpec) (baseline.Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.seqMu.Lock()
+	s.seq++
+	id := s.seq
+	s.seqMu.Unlock()
+	h := newHandle()
+	s.handles.Store(id, h)
+	s.net.Send(transport.Message{From: spec.Root.Node, To: spec.Root.Node, Payload: subtxnMsg{
+		txn: id, spec: spec.Root, rootNode: spec.Root.Node, root: true,
+	}})
+	return h, nil
+}
+
+func (nd *node) handle(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case subtxnMsg:
+		// Executions may block on locks; run each on its own goroutine
+		// so control traffic keeps flowing.
+		go nd.exec(p)
+	case voteMsg:
+		nd.handleVote(p)
+	case decisionMsg:
+		nd.handleDecision(p)
+	}
+}
+
+// exec runs one subtransaction: lock everything (S for reads, X for
+// writes), execute with before-images, spawn children, vote.
+func (nd *node) exec(msg subtxnMsg) {
+	spec := msg.spec
+	ltx := model.TxnID(msg.txn)
+	ok := true
+	for _, k := range spec.Reads {
+		if err := nd.lm.Acquire(ltx, k, locks.CommuteRead); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, u := range spec.Updates {
+			if err := nd.lm.Acquire(ltx, u.Key, locks.NonCommuting); err != nil {
+				ok = false
+				break
+			}
+		}
+	}
+
+	ex := &exec{}
+	if ok {
+		release := nd.latches.Acquire(touched(spec))
+		for _, k := range spec.Reads {
+			nd.mu.RLock()
+			rec := nd.records[k]
+			var cp *model.Record
+			if rec != nil {
+				cp = rec.Clone()
+			} else {
+				cp = model.NewRecord()
+			}
+			nd.mu.RUnlock()
+			ex.reads = append(ex.reads, model.ReadResult{Node: nd.id, Key: k, Record: cp})
+		}
+		for _, u := range spec.Updates {
+			nd.mu.Lock()
+			rec := nd.records[u.Key]
+			if rec == nil {
+				ex.undo = append(ex.undo, undoRec{key: u.Key, prev: nil})
+				rec = model.NewRecord()
+				nd.records[u.Key] = rec
+			} else {
+				ex.undo = append(ex.undo, undoRec{key: u.Key, prev: rec.Clone()})
+			}
+			u.Op.Apply(rec)
+			nd.mu.Unlock()
+		}
+		release()
+	}
+
+	children := 0
+	if ok {
+		for _, child := range spec.Children {
+			nd.sys.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: subtxnMsg{
+				txn: msg.txn, spec: child, rootNode: msg.rootNode,
+			}})
+			children++
+		}
+	}
+
+	nd.stMu.Lock()
+	cur := nd.part[msg.txn]
+	if cur == nil {
+		nd.part[msg.txn] = ex
+	} else {
+		cur.reads = append(cur.reads, ex.reads...)
+		cur.undo = append(cur.undo, ex.undo...)
+	}
+	nd.stMu.Unlock()
+
+	nd.sys.net.Send(transport.Message{From: nd.id, To: msg.rootNode, Payload: voteMsg{
+		txn: msg.txn, node: nd.id, ok: ok, children: children, root: msg.root,
+	}})
+}
+
+func (nd *node) handleVote(p voteMsg) {
+	nd.stMu.Lock()
+	st := nd.coord[p.txn]
+	if st == nil {
+		st = &coordState{expected: 1, ok: true, nodes: make(map[model.NodeID]bool)}
+		nd.coord[p.txn] = st
+	}
+	st.votes++
+	st.expected += p.children
+	st.ok = st.ok && p.ok
+	if p.root {
+		st.rootVoted = true
+	}
+	st.nodes[p.node] = true
+	done := st.rootVoted && st.votes == st.expected
+	var participants []model.NodeID
+	commit := false
+	if done {
+		commit = st.ok
+		for n := range st.nodes {
+			participants = append(participants, n)
+		}
+		delete(nd.coord, p.txn)
+	}
+	nd.stMu.Unlock()
+	if !done {
+		return
+	}
+	for _, n := range participants {
+		nd.sys.net.Send(transport.Message{From: nd.id, To: n, Payload: decisionMsg{
+			txn: p.txn, commit: commit, participants: len(participants),
+		}})
+	}
+}
+
+func (nd *node) handleDecision(p decisionMsg) {
+	nd.stMu.Lock()
+	ex := nd.part[p.txn]
+	delete(nd.part, p.txn)
+	nd.stMu.Unlock()
+	if ex == nil {
+		return
+	}
+	if !p.commit {
+		nd.mu.Lock()
+		for i := len(ex.undo) - 1; i >= 0; i-- {
+			u := ex.undo[i]
+			if u.prev == nil {
+				delete(nd.records, u.key)
+			} else {
+				nd.records[u.key] = u.prev
+			}
+		}
+		nd.mu.Unlock()
+	}
+	nd.lm.ReleaseAll(model.TxnID(p.txn))
+
+	hv, okh := nd.sys.handles.Load(p.txn)
+	if !okh {
+		return
+	}
+	h := hv.(*handle)
+	h.reportDecision(ex.reads, p.commit, p.participants, nd.sys)
+}
+
+func touched(spec *model.SubtxnSpec) []string {
+	keys := append([]string(nil), spec.Reads...)
+	for _, u := range spec.Updates {
+		keys = append(keys, u.Key)
+	}
+	return keys
+}
+
+// handle completes when every participant has processed the decision,
+// so Reads() is complete once WaitTimeout returns — and the measured
+// latency includes the full two-phase commitment, which is the point
+// of this baseline.
+type handle struct {
+	mu        sync.Mutex
+	reads     []model.ReadResult
+	aborted   bool
+	completed chan struct{}
+	closed    bool
+	decisions int
+}
+
+func newHandle() *handle {
+	return &handle{completed: make(chan struct{})}
+}
+
+// reportDecision accumulates per-participant outcomes, closing the
+// handle when the last participant reports.
+func (h *handle) reportDecision(reads []model.ReadResult, commit bool, participants int, sys *System) {
+	h.mu.Lock()
+	h.decisions++
+	h.reads = append(h.reads, reads...)
+	if !commit && !h.aborted {
+		h.aborted = true
+		sys.statMu.Lock()
+		sys.aborted++
+		sys.statMu.Unlock()
+	}
+	if !h.closed && h.decisions >= participants {
+		h.closed = true
+		close(h.completed)
+	}
+	h.mu.Unlock()
+}
+
+// WaitTimeout implements baseline.Handle.
+func (h *handle) WaitTimeout(d time.Duration) bool {
+	select {
+	case <-h.completed:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// Reads implements baseline.Handle.
+func (h *handle) Reads() []model.ReadResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ReadResult, len(h.reads))
+	copy(out, h.reads)
+	return out
+}
+
+// Aborted reports whether the transaction was a deadlock victim.
+func (h *handle) Aborted() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.aborted
+}
+
+var _ baseline.System = (*System)(nil)

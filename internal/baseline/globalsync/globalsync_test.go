@@ -1,0 +1,174 @@
+package globalsync
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/verify"
+)
+
+func add(key string, d int64) model.KeyOp {
+	return model.KeyOp{Key: key, Op: model.AddOp{Field: "v", Delta: d}}
+}
+
+func TestCommitAcrossNodes(t *testing.T) {
+	s, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(0, "x", model.NewRecord())
+	s.Preload(1, "y", model.NewRecord())
+	h, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{add("x", 3)},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{add("y", 4)}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("txn timed out")
+	}
+	if h.(*handle).Aborted() {
+		t.Fatal("unexpected abort")
+	}
+	q, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Reads: []string{"x"},
+		Children: []*model.SubtxnSpec{{Node: 1, Reads: []string{"y"}}},
+	}})
+	if !q.WaitTimeout(5 * time.Second) {
+		t.Fatal("read timed out")
+	}
+	got := map[string]int64{}
+	for _, r := range q.Reads() {
+		got[r.Key] = r.Record.Field("v")
+	}
+	if got["x"] != 3 || got["y"] != 4 {
+		t.Errorf("read %v, want x=3 y=4", got)
+	}
+	if s.Name() != "Global2PC" {
+		t.Error("name wrong")
+	}
+}
+
+func TestNeverShowsPartialUpdates(t *testing.T) {
+	// The whole point of global synchronization: with jitter and many
+	// concurrent two-node updates, reads must never observe a partial
+	// transaction.
+	s, err := New(Config{Nodes: 2, LockWait: 2 * time.Second,
+		NetConfig: transport.Config{Jitter: 300 * time.Microsecond, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(0, "g", model.NewRecord())
+	s.Preload(1, "g", model.NewRecord())
+	type pair struct {
+		u, q interface {
+			WaitTimeout(time.Duration) bool
+			Reads() []model.ReadResult
+		}
+	}
+	var pairs []pair
+	for i := 0; i < 40; i++ {
+		w := model.MakeTxnID(1<<15, uint64(i+1))
+		u, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node: 0,
+			Children: []*model.SubtxnSpec{
+				{Node: 0, Updates: []model.KeyOp{{Key: "g", Op: model.AppendOp{T: model.Tuple{Txn: w, Part: 1, Total: 2}}}}},
+				{Node: 1, Updates: []model.KeyOp{{Key: "g", Op: model.AppendOp{T: model.Tuple{Txn: w, Part: 2, Total: 2}}}}},
+			},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node: 1, Reads: []string{"g"},
+			Children: []*model.SubtxnSpec{{Node: 0, Reads: []string{"g"}}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs = append(pairs, pair{u, q})
+	}
+	var reads []verify.GroupRead
+	for i, p := range pairs {
+		if !p.u.WaitTimeout(10*time.Second) || !p.q.WaitTimeout(10*time.Second) {
+			t.Fatal("timed out")
+		}
+		reads = append(reads, verify.GroupRead{Txn: model.MakeTxnID(0, uint64(i)), Results: p.q.Reads()})
+	}
+	// Aborted writers (deadlock victims) leave no tuples at all, so the
+	// atomic-visibility audit is exact here.
+	if anoms := verify.AuditAtomicVisibility(reads); len(anoms) > 0 {
+		t.Errorf("Global2PC produced anomalies: %v", anoms[0])
+	}
+}
+
+func TestDeadlockVictimAborts(t *testing.T) {
+	s, err := New(Config{Nodes: 2, LockWait: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(0, "x", model.NewRecord())
+	s.Preload(1, "y", model.NewRecord())
+	// Two transactions locking x and y from opposite ends.
+	mk := func(first model.NodeID) *model.TxnSpec {
+		keys := map[model.NodeID]string{0: "x", 1: "y"}
+		return &model.TxnSpec{Root: &model.SubtxnSpec{
+			Node:    first,
+			Updates: []model.KeyOp{add(keys[first], 1)},
+			Children: []*model.SubtxnSpec{
+				{Node: 1 - first, Updates: []model.KeyOp{add(keys[1-first], 1)}},
+			},
+		}}
+	}
+	var hs []*handle
+	for i := 0; i < 20; i++ {
+		h1, _ := s.Submit(mk(0))
+		h2, _ := s.Submit(mk(1))
+		hs = append(hs, h1.(*handle), h2.(*handle))
+	}
+	committed := 0
+	for _, h := range hs {
+		if !h.WaitTimeout(10 * time.Second) {
+			t.Fatal("handle stuck (locks leaked)")
+		}
+		if !h.Aborted() {
+			committed++
+		}
+	}
+	// Values must equal the committed count on both nodes (atomicity).
+	q, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Reads: []string{"x"},
+		Children: []*model.SubtxnSpec{{Node: 1, Reads: []string{"y"}}},
+	}})
+	q.WaitTimeout(5 * time.Second)
+	got := map[string]int64{}
+	for _, r := range q.Reads() {
+		got[r.Key] = r.Record.Field("v")
+	}
+	if got["x"] != int64(committed) || got["y"] != int64(committed) {
+		t.Errorf("x=%d y=%d, want both == committed %d", got["x"], got["y"], committed)
+	}
+	if s.Aborted() != int64(len(hs)-committed) {
+		t.Errorf("Aborted() = %d, want %d", s.Aborted(), len(hs)-committed)
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	s, _ := New(Config{Nodes: 1})
+	defer s.Close()
+	if _, err := s.Submit(&model.TxnSpec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Package manualver implements the "Manual Versioning" baseline of
+// Section 1: updates accumulate in a period (a month, in the paper's
+// billing example); some time after the period closes — a fixed,
+// conservatively chosen stabilization delay — that period's data is
+// made available to readers, in the hope that all in-flight updates
+// have landed by then.
+//
+// Two deficiencies the paper calls out are reproduced measurably:
+//
+//   - Correctness is hoped for, not guaranteed: each subtransaction
+//     stamps its writes with the executing node's CURRENT update
+//     period, so a transaction racing the period switch can land partly
+//     in period k and partly in k+1 — and a period-k reader sees a
+//     partial transaction (experiment E3 sweeps the delay).
+//   - Staleness: readers always trail by up to a full period plus the
+//     stabilization delay (experiment E11).
+package manualver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/localcc"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the system.
+type Config struct {
+	Nodes int
+	// StabilizationDelay is how long after closing a period the
+	// coordinator waits before letting readers use it. The paper's
+	// operators set this "conservatively high"; setting it low exposes
+	// the correctness gap.
+	StabilizationDelay time.Duration
+	NetConfig          transport.Config
+}
+
+type subtxnMsg struct {
+	seq  uint64
+	spec *model.SubtxnSpec
+	read bool
+}
+
+// periodSwitchMsg opens a new update period.
+type periodSwitchMsg struct{ newUpd model.Version }
+
+// readSwitchMsg publishes a period to readers (and garbage-collects
+// older ones).
+type readSwitchMsg struct{ newRead model.Version }
+
+// System is a running manual-versioning database.
+type System struct {
+	net   *transport.Net
+	nodes []*node
+
+	seqMu   sync.Mutex
+	seq     uint64
+	handles sync.Map
+
+	advMu sync.Mutex
+	upd   model.Version
+	read  model.Version
+	delay time.Duration
+}
+
+type node struct {
+	id      model.NodeID
+	sys     *System
+	store   *storage.Store
+	latches *localcc.Manager
+
+	verMu sync.Mutex
+	upd   model.Version
+	read  model.Version
+}
+
+// New builds and starts the system. Period 0 is initially readable;
+// updates accumulate in period 1.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("manualver: Nodes must be positive")
+	}
+	nc := cfg.NetConfig
+	nc.Nodes = cfg.Nodes
+	s := &System{net: transport.NewNet(nc), upd: 1, read: 0, delay: cfg.StabilizationDelay}
+	for i := 0; i < cfg.Nodes; i++ {
+		nd := &node{
+			id:      model.NodeID(i),
+			sys:     s,
+			store:   storage.New(),
+			latches: localcc.New(),
+			upd:     1,
+			read:    0,
+		}
+		s.nodes = append(s.nodes, nd)
+		s.net.Register(nd.id, nd.handle)
+	}
+	s.net.Start()
+	return s, nil
+}
+
+// Name implements baseline.System.
+func (s *System) Name() string { return "ManualVer" }
+
+// Close implements baseline.System.
+func (s *System) Close() { s.net.Close() }
+
+// Preload installs an initial period-0 record.
+func (s *System) Preload(nodeID model.NodeID, key string, rec *model.Record) {
+	s.nodes[nodeID].store.Preload(key, rec)
+}
+
+// Submit implements baseline.System.
+func (s *System) Submit(spec *model.TxnSpec) (baseline.Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.seqMu.Lock()
+	s.seq++
+	id := s.seq
+	s.seqMu.Unlock()
+	h := newHandle()
+	s.handles.Store(id, h)
+	h.addExpected(1)
+	s.net.Send(transport.Message{From: spec.Root.Node, To: spec.Root.Node, Payload: subtxnMsg{
+		seq: id, spec: spec.Root, read: spec.ReadOnly(),
+	}})
+	return h, nil
+}
+
+// Advance implements baseline.System: close the current period, wait
+// the fixed stabilization delay (hoping in-flight updates drain), then
+// publish it to readers. Unlike 3V's Phase 2, nothing checks that the
+// hope was justified.
+func (s *System) Advance() {
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	s.upd++
+	for i := range s.nodes {
+		s.net.Send(transport.Message{From: model.NodeID(0), To: model.NodeID(i), Payload: periodSwitchMsg{newUpd: s.upd}})
+	}
+	time.Sleep(s.delay)
+	s.read++
+	for i := range s.nodes {
+		s.net.Send(transport.Message{From: model.NodeID(0), To: model.NodeID(i), Payload: readSwitchMsg{newRead: s.read}})
+	}
+}
+
+func (nd *node) handle(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case periodSwitchMsg:
+		nd.verMu.Lock()
+		if p.newUpd > nd.upd {
+			nd.upd = p.newUpd
+		}
+		nd.verMu.Unlock()
+	case readSwitchMsg:
+		nd.verMu.Lock()
+		if p.newRead > nd.read {
+			nd.read = p.newRead
+		}
+		keep := nd.read
+		nd.verMu.Unlock()
+		nd.store.GC(keep)
+	case subtxnMsg:
+		nd.exec(p)
+	}
+}
+
+func (nd *node) exec(msg subtxnMsg) {
+	hv, _ := nd.sys.handles.Load(msg.seq)
+	h := hv.(*handle)
+	spec := msg.spec
+
+	// Each subtransaction uses the node's CURRENT periods — there is no
+	// transaction-carried version id. This is the scheme's flaw.
+	nd.verMu.Lock()
+	upd, read := nd.upd, nd.read
+	nd.verMu.Unlock()
+
+	keys := append([]string(nil), spec.Reads...)
+	for _, u := range spec.Updates {
+		keys = append(keys, u.Key)
+	}
+	release := nd.latches.Acquire(keys)
+	var reads []model.ReadResult
+	for _, k := range spec.Reads {
+		rec, ver, ok := nd.store.ReadMax(k, read)
+		if !ok {
+			rec, ver = model.NewRecord(), 0
+		}
+		reads = append(reads, model.ReadResult{Node: nd.id, Key: k, VersionRead: ver, Record: rec})
+	}
+	for _, u := range spec.Updates {
+		nd.store.EnsureVersion(u.Key, upd)
+		nd.store.ApplyFrom(u.Key, upd, u.Op)
+	}
+	release()
+
+	for _, child := range spec.Children {
+		h.addExpected(1)
+		nd.sys.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: subtxnMsg{
+			seq: msg.seq, spec: child, read: msg.read,
+		}})
+	}
+	h.reportDone(reads)
+}
+
+// handle mirrors the nocoord handle.
+type handle struct {
+	mu        sync.Mutex
+	expected  int
+	done      int
+	reads     []model.ReadResult
+	completed chan struct{}
+	closed    bool
+}
+
+func newHandle() *handle { return &handle{completed: make(chan struct{})} }
+
+func (h *handle) addExpected(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expected += n
+}
+
+func (h *handle) reportDone(reads []model.ReadResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done++
+	h.reads = append(h.reads, reads...)
+	if !h.closed && h.expected > 0 && h.done == h.expected {
+		h.closed = true
+		close(h.completed)
+	}
+}
+
+// WaitTimeout implements baseline.Handle.
+func (h *handle) WaitTimeout(d time.Duration) bool {
+	select {
+	case <-h.completed:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// Reads implements baseline.Handle.
+func (h *handle) Reads() []model.ReadResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ReadResult, len(h.reads))
+	copy(out, h.reads)
+	return out
+}
+
+var _ baseline.System = (*System)(nil)

@@ -1,0 +1,209 @@
+// Package nocoord implements the "No Coordination" baseline of Section
+// 1: global transactions run with no synchronization between nodes —
+// every subtransaction executes against a single-version store the
+// moment it arrives, and reads see whatever happens to be there.
+//
+// The scheme is fast (it pays only local work plus message latency,
+// exactly like 3V) but sacrifices correctness: a read can observe a
+// partial multi-node update — the hospital/telephone anomaly the paper
+// opens with. Experiment E3 measures that anomaly rate; this baseline
+// is also the throughput upper bound 3V is compared against in E9.
+package nocoord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/localcc"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the system.
+type Config struct {
+	Nodes     int
+	NetConfig transport.Config
+}
+
+// subtxnMsg ships one subtransaction.
+type subtxnMsg struct {
+	seq  uint64
+	spec *model.SubtxnSpec
+}
+
+// System is a running no-coordination database.
+type System struct {
+	net   *transport.Net
+	nodes []*node
+
+	seq     uint64
+	seqMu   sync.Mutex
+	handles sync.Map // uint64 -> *handle
+}
+
+// node is one site: a single-version store with local latching only.
+type node struct {
+	id      model.NodeID
+	sys     *System
+	mu      sync.RWMutex
+	records map[string]*model.Record
+	latches *localcc.Manager
+}
+
+// New builds and starts the system.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("nocoord: Nodes must be positive")
+	}
+	nc := cfg.NetConfig
+	nc.Nodes = cfg.Nodes
+	s := &System{net: transport.NewNet(nc)}
+	for i := 0; i < cfg.Nodes; i++ {
+		nd := &node{
+			id:      model.NodeID(i),
+			sys:     s,
+			records: make(map[string]*model.Record),
+			latches: localcc.New(),
+		}
+		s.nodes = append(s.nodes, nd)
+		s.net.Register(nd.id, nd.handle)
+	}
+	s.net.Start()
+	return s, nil
+}
+
+// Name implements baseline.System.
+func (s *System) Name() string { return "NoCoord" }
+
+// Advance implements baseline.System: a no-op — updates are visible to
+// readers the instant each subtransaction commits locally.
+func (s *System) Advance() {}
+
+// Close implements baseline.System.
+func (s *System) Close() { s.net.Close() }
+
+// Preload installs an initial record.
+func (s *System) Preload(nodeID model.NodeID, key string, rec *model.Record) {
+	nd := s.nodes[nodeID]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.records[key] = rec
+}
+
+// Submit implements baseline.System.
+func (s *System) Submit(spec *model.TxnSpec) (baseline.Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.seqMu.Lock()
+	s.seq++
+	id := s.seq
+	s.seqMu.Unlock()
+	h := newHandle()
+	s.handles.Store(id, h)
+	h.addExpected(1)
+	s.net.Send(transport.Message{From: spec.Root.Node, To: spec.Root.Node, Payload: subtxnMsg{seq: id, spec: spec.Root}})
+	return h, nil
+}
+
+func (nd *node) handle(m transport.Message) {
+	msg := m.Payload.(subtxnMsg)
+	spec := msg.spec
+	hv, _ := nd.sys.handles.Load(msg.seq)
+	h := hv.(*handle)
+
+	release := nd.latches.Acquire(touched(spec))
+	var reads []model.ReadResult
+	for _, k := range spec.Reads {
+		nd.mu.RLock()
+		rec := nd.records[k]
+		var cp *model.Record
+		if rec != nil {
+			cp = rec.Clone()
+		} else {
+			cp = model.NewRecord()
+		}
+		nd.mu.RUnlock()
+		reads = append(reads, model.ReadResult{Node: nd.id, Key: k, Record: cp})
+	}
+	for _, u := range spec.Updates {
+		nd.mu.Lock()
+		rec := nd.records[u.Key]
+		if rec == nil {
+			rec = model.NewRecord()
+			nd.records[u.Key] = rec
+		}
+		u.Op.Apply(rec)
+		nd.mu.Unlock()
+	}
+	release()
+
+	for _, child := range spec.Children {
+		h.addExpected(1)
+		nd.sys.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: subtxnMsg{seq: msg.seq, spec: child}})
+	}
+	h.reportDone(reads)
+}
+
+func touched(spec *model.SubtxnSpec) []string {
+	keys := append([]string(nil), spec.Reads...)
+	for _, u := range spec.Updates {
+		keys = append(keys, u.Key)
+	}
+	return keys
+}
+
+// handle tracks completion by spawn/termination balance, like the 3V
+// client handle.
+type handle struct {
+	mu        sync.Mutex
+	expected  int
+	done      int
+	reads     []model.ReadResult
+	completed chan struct{}
+	closed    bool
+}
+
+func newHandle() *handle {
+	return &handle{completed: make(chan struct{})}
+}
+
+func (h *handle) addExpected(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expected += n
+}
+
+func (h *handle) reportDone(reads []model.ReadResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done++
+	h.reads = append(h.reads, reads...)
+	if !h.closed && h.expected > 0 && h.done == h.expected {
+		h.closed = true
+		close(h.completed)
+	}
+}
+
+// WaitTimeout implements baseline.Handle.
+func (h *handle) WaitTimeout(d time.Duration) bool {
+	select {
+	case <-h.completed:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// Reads implements baseline.Handle.
+func (h *handle) Reads() []model.ReadResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ReadResult, len(h.reads))
+	copy(out, h.reads)
+	return out
+}
+
+var _ baseline.System = (*System)(nil)

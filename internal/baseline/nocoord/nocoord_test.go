@@ -1,0 +1,100 @@
+package nocoord
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/verify"
+)
+
+func TestBasicUpdateAndRead(t *testing.T) {
+	s, err := New(Config{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(0, "x", model.NewRecord())
+	h, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{{Key: "x", Op: model.AddOp{Field: "v", Delta: 3}}},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{{Key: "y", Op: model.AddOp{Field: "v", Delta: 4}}}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update timed out")
+	}
+	s.Advance() // no-op
+	q, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Reads: []string{"x"},
+		Children: []*model.SubtxnSpec{{Node: 1, Reads: []string{"y"}}},
+	}})
+	if !q.WaitTimeout(5 * time.Second) {
+		t.Fatal("read timed out")
+	}
+	for _, r := range q.Reads() {
+		want := map[string]int64{"x": 3, "y": 4}[r.Key]
+		if r.Record.Field("v") != want {
+			t.Errorf("%s = %d, want %d", r.Key, r.Record.Field("v"), want)
+		}
+	}
+	if s.Name() != "NoCoord" {
+		t.Error("name wrong")
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	s, _ := New(Config{Nodes: 1})
+	defer s.Close()
+	if _, err := s.Submit(&model.TxnSpec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+// TestExhibitsPartialVisibility demonstrates the defining flaw: with
+// artificial delay on one leg of a two-node update, a concurrent read
+// can observe the transaction's first part without its second — the
+// anomaly 3V eliminates. The test retries until the race lands (it
+// lands almost immediately with a large jitter window).
+func TestExhibitsPartialVisibility(t *testing.T) {
+	s, err := New(Config{Nodes: 2, NetConfig: transport.Config{Jitter: 2 * time.Millisecond, Seed: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Preload(0, "g", model.NewRecord())
+	s.Preload(1, "g", model.NewRecord())
+
+	deadline := time.Now().Add(15 * time.Second)
+	for attempt := 0; time.Now().Before(deadline); attempt++ {
+		w := model.MakeTxnID(1<<15, uint64(attempt+1))
+		h, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node: 0,
+			Children: []*model.SubtxnSpec{
+				{Node: 0, Updates: []model.KeyOp{{Key: "g", Op: model.AppendOp{T: model.Tuple{Txn: w, Part: 1, Total: 2}}}}},
+				{Node: 1, Updates: []model.KeyOp{{Key: "g", Op: model.AppendOp{T: model.Tuple{Txn: w, Part: 2, Total: 2}}}}},
+			},
+		}})
+		q, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node: 0, Reads: []string{"g"},
+			Children: []*model.SubtxnSpec{{Node: 1, Reads: []string{"g"}}},
+		}})
+		q.WaitTimeout(5 * time.Second)
+		h.WaitTimeout(5 * time.Second)
+		anoms := verify.AuditAtomicVisibility([]verify.GroupRead{{
+			Txn: model.MakeTxnID(0, uint64(attempt)), Results: q.Reads(),
+		}})
+		if len(anoms) > 0 {
+			return // anomaly demonstrated
+		}
+	}
+	t.Error("no partial-visibility anomaly observed; nocoord should exhibit one readily")
+}

@@ -1,0 +1,409 @@
+// Package syncadv implements the "naive version advancement" strawman
+// of Section 2.1: a two-version scheme whose advancement requires
+// global synchronization between the advancement process and user
+// transactions.
+//
+// Advancement here is stop-the-world: the coordinator freezes admission
+// of new root transactions at every node, waits for every in-flight
+// transaction to drain (using the same counter machinery 3V uses, but
+// synchronously — transactions queue behind it), switches the read
+// version to the drained update version, garbage-collects, and
+// unfreezes. Transactions submitted during the freeze wait out the
+// whole drain — the latency spike experiment E5 measures, and exactly
+// what 3V's asynchronous protocol eliminates.
+package syncadv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/counters"
+	"repro/internal/localcc"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the system.
+type Config struct {
+	Nodes int
+	// PollInterval spaces the coordinator's drain polls; 0 means 200µs.
+	PollInterval time.Duration
+	NetConfig    transport.Config
+}
+
+type subtxnMsg struct {
+	seq  uint64
+	ver  model.Version
+	root bool
+	read bool
+	spec *model.SubtxnSpec
+	// parent is the invoking node of a non-root subtransaction (for
+	// the completion counters); hasParent distinguishes it from the
+	// zero node id.
+	parent    model.NodeID
+	hasParent bool
+}
+
+type freezeMsg struct{}
+type unfreezeMsg struct {
+	newRead, newUpd model.Version
+}
+type ackMsg struct{ node model.NodeID }
+type counterReqMsg struct {
+	ver   model.Version
+	round int
+}
+type counterReplyMsg struct {
+	round int
+	node  model.NodeID
+	r, c  []int64
+}
+
+// System is a running two-version / synchronous-advancement database.
+type System struct {
+	net     *transport.Net
+	nodes   []*node
+	coordID model.NodeID
+	n       int
+	poll    time.Duration
+
+	seqMu   sync.Mutex
+	seq     uint64
+	handles sync.Map
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	acks    int
+	replies map[int]map[model.NodeID]counterReplyMsg
+	round   int
+
+	advMu sync.Mutex
+	vu    model.Version
+	vr    model.Version
+}
+
+type node struct {
+	id      model.NodeID
+	sys     *System
+	store   *storage.Store
+	cnt     *counters.Table
+	latches *localcc.Manager
+
+	verMu  sync.Mutex
+	vu, vr model.Version
+	frozen bool
+	held   []subtxnMsg
+}
+
+// New builds and starts the system.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("syncadv: Nodes must be positive")
+	}
+	poll := cfg.PollInterval
+	if poll <= 0 {
+		poll = 200 * time.Microsecond
+	}
+	nc := cfg.NetConfig
+	nc.Nodes = cfg.Nodes + 1
+	s := &System{
+		net:     transport.NewNet(nc),
+		coordID: model.NodeID(cfg.Nodes),
+		n:       cfg.Nodes,
+		poll:    poll,
+		replies: make(map[int]map[model.NodeID]counterReplyMsg),
+		vu:      1,
+		vr:      0,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Nodes; i++ {
+		nd := &node{
+			id:      model.NodeID(i),
+			sys:     s,
+			store:   storage.New(),
+			cnt:     counters.NewTable(model.NodeID(i), cfg.Nodes),
+			latches: localcc.New(),
+			vu:      1,
+			vr:      0,
+		}
+		s.nodes = append(s.nodes, nd)
+		s.net.Register(nd.id, nd.handle)
+	}
+	s.net.Register(s.coordID, s.coordHandle)
+	s.net.Start()
+	return s, nil
+}
+
+// Name implements baseline.System.
+func (s *System) Name() string { return "SyncAdv" }
+
+// Close implements baseline.System.
+func (s *System) Close() { s.net.Close() }
+
+// Preload installs an initial version-0 record.
+func (s *System) Preload(nodeID model.NodeID, key string, rec *model.Record) {
+	s.nodes[nodeID].store.Preload(key, rec)
+}
+
+// Submit implements baseline.System.
+func (s *System) Submit(spec *model.TxnSpec) (baseline.Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.seqMu.Lock()
+	s.seq++
+	id := s.seq
+	s.seqMu.Unlock()
+	h := newHandle()
+	s.handles.Store(id, h)
+	h.addExpected(1)
+	s.net.Send(transport.Message{From: spec.Root.Node, To: spec.Root.Node, Payload: subtxnMsg{
+		seq: id, root: true, read: spec.ReadOnly(), spec: spec.Root,
+	}})
+	return h, nil
+}
+
+// Advance implements baseline.System: freeze admission everywhere, wait
+// for the current update version to drain, switch, unfreeze. New
+// transactions queue for the entire drain — the synchronization cost
+// 3V avoids.
+func (s *System) Advance() {
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
+	vuold := s.vu
+
+	// Freeze.
+	s.mu.Lock()
+	s.acks = 0
+	s.mu.Unlock()
+	for i := 0; i < s.n; i++ {
+		s.net.Send(transport.Message{From: s.coordID, To: model.NodeID(i), Payload: freezeMsg{}})
+	}
+	s.waitAcks()
+
+	// Drain: poll counters until the in-flight work of vuold (and the
+	// still-running queries of vr) completes.
+	s.pollQuiescence(vuold)
+	s.pollQuiescence(s.vr)
+
+	// Switch + unfreeze.
+	s.vr = vuold
+	s.vu = vuold + 1
+	s.mu.Lock()
+	s.acks = 0
+	s.mu.Unlock()
+	for i := 0; i < s.n; i++ {
+		s.net.Send(transport.Message{From: s.coordID, To: model.NodeID(i), Payload: unfreezeMsg{newRead: s.vr, newUpd: s.vu}})
+	}
+	s.waitAcks()
+}
+
+func (s *System) waitAcks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.acks < s.n {
+		s.cond.Wait()
+	}
+}
+
+func (s *System) pollQuiescence(v model.Version) {
+	det := &counters.Detector{}
+	for {
+		s.mu.Lock()
+		s.round++
+		round := s.round
+		s.mu.Unlock()
+		for i := 0; i < s.n; i++ {
+			s.net.Send(transport.Message{From: s.coordID, To: model.NodeID(i), Payload: counterReqMsg{ver: v, round: round}})
+		}
+		s.mu.Lock()
+		for len(s.replies[round]) < s.n {
+			s.cond.Wait()
+		}
+		snap := counters.NewSnapshot(s.n)
+		for nid, rep := range s.replies[round] {
+			snap.SetFromNode(nid, rep.r, rep.c)
+		}
+		delete(s.replies, round)
+		s.mu.Unlock()
+		if det.Offer(snap) {
+			return
+		}
+		time.Sleep(s.poll)
+	}
+}
+
+func (s *System) coordHandle(m transport.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch p := m.Payload.(type) {
+	case ackMsg:
+		s.acks++
+	case counterReplyMsg:
+		rm := s.replies[p.round]
+		if rm == nil {
+			rm = make(map[model.NodeID]counterReplyMsg)
+			s.replies[p.round] = rm
+		}
+		rm[p.node] = p
+	}
+	s.cond.Broadcast()
+}
+
+func (nd *node) handle(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case subtxnMsg:
+		if p.root {
+			nd.verMu.Lock()
+			if nd.frozen {
+				// The synchronization cost: new roots wait out the
+				// whole advancement.
+				nd.held = append(nd.held, p)
+				nd.verMu.Unlock()
+				return
+			}
+			if p.read {
+				p.ver = nd.vr
+			} else {
+				p.ver = nd.vu
+			}
+			nd.cnt.IncR(p.ver, nd.id)
+			nd.verMu.Unlock()
+		}
+		nd.exec(p)
+	case freezeMsg:
+		nd.verMu.Lock()
+		nd.frozen = true
+		nd.verMu.Unlock()
+		nd.sys.net.Send(transport.Message{From: nd.id, To: nd.sys.coordID, Payload: ackMsg{node: nd.id}})
+	case unfreezeMsg:
+		nd.verMu.Lock()
+		nd.vr, nd.vu = p.newRead, p.newUpd
+		held := nd.held
+		nd.held = nil
+		nd.frozen = false
+		nd.verMu.Unlock()
+		nd.store.GC(p.newRead)
+		nd.cnt.DropBelow(p.newRead)
+		// Admit the queued roots with the new versions.
+		for _, q := range held {
+			nd.verMu.Lock()
+			if q.read {
+				q.ver = nd.vr
+			} else {
+				q.ver = nd.vu
+			}
+			nd.cnt.IncR(q.ver, nd.id)
+			nd.verMu.Unlock()
+			nd.exec(q)
+		}
+		nd.sys.net.Send(transport.Message{From: nd.id, To: nd.sys.coordID, Payload: ackMsg{node: nd.id}})
+	case counterReqMsg:
+		nd.sys.net.Send(transport.Message{From: nd.id, To: nd.sys.coordID, Payload: counterReplyMsg{
+			round: p.round, node: nd.id, r: nd.cnt.SnapshotR(p.ver), c: nd.cnt.SnapshotC(p.ver),
+		}})
+	}
+}
+
+func (nd *node) exec(msg subtxnMsg) {
+	hv, _ := nd.sys.handles.Load(msg.seq)
+	h := hv.(*handle)
+	spec := msg.spec
+	from := nd.id
+	if !msg.root {
+		from = msg.from()
+	}
+
+	keys := append([]string(nil), spec.Reads...)
+	for _, u := range spec.Updates {
+		keys = append(keys, u.Key)
+	}
+	release := nd.latches.Acquire(keys)
+	var reads []model.ReadResult
+	for _, k := range spec.Reads {
+		rec, ver, ok := nd.store.ReadMax(k, msg.ver)
+		if !ok {
+			rec, ver = model.NewRecord(), 0
+		}
+		reads = append(reads, model.ReadResult{Node: nd.id, Key: k, VersionRead: ver, Record: rec})
+	}
+	if !msg.read {
+		for _, u := range spec.Updates {
+			nd.store.EnsureVersion(u.Key, msg.ver)
+			nd.store.ApplyFrom(u.Key, msg.ver, u.Op)
+		}
+	}
+	release()
+
+	for _, child := range spec.Children {
+		nd.cnt.IncR(msg.ver, child.Node)
+		h.addExpected(1)
+		nd.sys.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: subtxnMsg{
+			seq: msg.seq, ver: msg.ver, read: msg.read, spec: child, parent: nd.id, hasParent: true,
+		}})
+	}
+	h.reportDone(reads)
+	nd.cnt.IncC(msg.ver, from)
+}
+
+// parent plumbing: subtxnMsg carries the invoking node for completion
+// counters.
+func (m subtxnMsg) from() model.NodeID {
+	if m.hasParent {
+		return m.parent
+	}
+	return 0
+}
+
+// handle mirrors the nocoord handle.
+type handle struct {
+	mu        sync.Mutex
+	expected  int
+	done      int
+	reads     []model.ReadResult
+	completed chan struct{}
+	closed    bool
+}
+
+func newHandle() *handle { return &handle{completed: make(chan struct{})} }
+
+func (h *handle) addExpected(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expected += n
+}
+
+func (h *handle) reportDone(reads []model.ReadResult) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done++
+	h.reads = append(h.reads, reads...)
+	if !h.closed && h.expected > 0 && h.done == h.expected {
+		h.closed = true
+		close(h.completed)
+	}
+}
+
+// WaitTimeout implements baseline.Handle.
+func (h *handle) WaitTimeout(d time.Duration) bool {
+	select {
+	case <-h.completed:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// Reads implements baseline.Handle.
+func (h *handle) Reads() []model.ReadResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ReadResult, len(h.reads))
+	copy(out, h.reads)
+	return out
+}
+
+var _ baseline.System = (*System)(nil)

@@ -1,0 +1,190 @@
+package syncadv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+func add(key string, d int64) model.KeyOp {
+	return model.KeyOp{Key: key, Op: model.AddOp{Field: "v", Delta: d}}
+}
+
+func mkSys(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	s.Preload(0, "x", model.NewRecord())
+	s.Preload(1, "y", model.NewRecord())
+	return s
+}
+
+func readV(t *testing.T, s *System, node model.NodeID, key string) int64 {
+	t.Helper()
+	q, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{Node: node, Reads: []string{key}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.WaitTimeout(10 * time.Second) {
+		t.Fatal("read timed out")
+	}
+	return q.Reads()[0].Record.Field("v")
+}
+
+func TestTwoVersionSemantics(t *testing.T) {
+	s := mkSys(t, Config{})
+	h, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{add("x", 7)},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{add("y", 9)}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update timed out")
+	}
+	if got := readV(t, s, 0, "x"); got != 0 {
+		t.Errorf("pre-advancement read = %d, want 0", got)
+	}
+	s.Advance()
+	if got := readV(t, s, 0, "x"); got != 7 {
+		t.Errorf("post-advancement read = %d, want 7", got)
+	}
+	if got := readV(t, s, 1, "y"); got != 9 {
+		t.Errorf("post-advancement read y = %d, want 9", got)
+	}
+	if s.Name() != "SyncAdv" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFreezeDelaysNewTransactions(t *testing.T) {
+	// Submit a slow update (high latency legs), start an advancement
+	// (which must drain it), and submit a new transaction mid-freeze:
+	// the new transaction's latency must include the freeze window.
+	s := mkSys(t, Config{NetConfig: transport.Config{BaseLatency: 5 * time.Millisecond}})
+	var handles []interface{ WaitTimeout(time.Duration) bool }
+	for i := 0; i < 10; i++ {
+		h, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node:    0,
+			Updates: []model.KeyOp{add("x", 1)},
+			Children: []*model.SubtxnSpec{
+				{Node: 1, Updates: []model.KeyOp{add("y", 1)}},
+			},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	advStart := time.Now()
+	go func() {
+		defer wg.Done()
+		s.Advance()
+	}()
+	time.Sleep(2 * time.Millisecond) // land inside the freeze window
+	mid, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Updates: []model.KeyOp{add("x", 100)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitAt := time.Now()
+	if !mid.WaitTimeout(30 * time.Second) {
+		t.Fatal("mid-freeze txn never completed")
+	}
+	midLatency := time.Since(submitAt)
+	wg.Wait()
+	advDuration := time.Since(advStart)
+	for _, h := range handles {
+		if !h.WaitTimeout(10 * time.Second) {
+			t.Fatal("pre-freeze txn timed out")
+		}
+	}
+	// The queued transaction waited for a large part of the drain.
+	if midLatency < advDuration/4 {
+		t.Logf("note: mid-freeze latency %v vs advancement %v (freeze may have started late)", midLatency, advDuration)
+	}
+	// After a second advancement, all increments are visible: 10 + 100.
+	s.Advance()
+	if got := readV(t, s, 0, "x"); got != 110 {
+		t.Errorf("x = %d, want 110", got)
+	}
+	if got := readV(t, s, 1, "y"); got != 10 {
+		t.Errorf("y = %d, want 10", got)
+	}
+}
+
+func TestQueriesAlsoFrozen(t *testing.T) {
+	// Reads submitted during the freeze are queued too: post-unfreeze
+	// they read the NEW read version.
+	s := mkSys(t, Config{NetConfig: transport.Config{BaseLatency: 3 * time.Millisecond}})
+	h, _ := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{add("x", 5)},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{add("y", 5)}},
+		},
+	}})
+	done := make(chan struct{})
+	go func() {
+		s.Advance()
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	got := readV(t, s, 0, "x") // may land inside or after the freeze
+	<-done
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update timed out")
+	}
+	if got != 0 && got != 5 {
+		t.Errorf("read during advancement = %d, want 0 (before) or 5 (queued past switch)", got)
+	}
+}
+
+func TestRepeatedAdvancements(t *testing.T) {
+	s := mkSys(t, Config{})
+	for i := 0; i < 4; i++ {
+		h, err := s.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node: 0, Updates: []model.KeyOp{add("x", 1)},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.WaitTimeout(5 * time.Second) {
+			t.Fatal("update timed out")
+		}
+		s.Advance()
+	}
+	if got := readV(t, s, 0, "x"); got != 4 {
+		t.Errorf("x = %d, want 4", got)
+	}
+	// Two-version scheme: never more than 2 live versions per item.
+	if got := s.nodes[0].store.Stats().MaxLiveVersions; got > 2 {
+		t.Errorf("max live versions = %d, want ≤ 2", got)
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	s := mkSys(t, Config{})
+	if _, err := s.Submit(&model.TxnSpec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/locks"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Nodes is the number of database nodes (ids 0..Nodes-1). The
+	// coordinator occupies endpoint id Nodes.
+	Nodes int
+	// Workers is the per-node worker-pool width for subtransaction
+	// execution; 0 means 4.
+	Workers int
+	// NCMode enables the NC3V extension: well-behaved transactions take
+	// commute locks and non-well-behaved transactions are admitted.
+	// With NCMode false, submitting a NonCommuting transaction is an
+	// error and no locks exist at all (plain 3V).
+	NCMode bool
+	// LockWait bounds NC3V lock waits (deadlock victims time out);
+	// 0 means one second.
+	LockWait time.Duration
+	// PollInterval spaces the coordinator's counter sweeps; 0 means
+	// 200µs.
+	PollInterval time.Duration
+	// SyncExec executes subtransactions inline in the transport
+	// delivery call instead of on the worker pool. Used with the
+	// scripted transport to make replays (the Table 1 trace) fully
+	// deterministic. Must not be combined with NCMode: NC3V
+	// subtransactions block on locks and the read-version wait, which
+	// would deadlock a single-threaded scripted delivery.
+	SyncExec bool
+	// Transport, when non-nil, overrides the network (used by the
+	// scripted trace). Otherwise a live transport.Net is built from
+	// NetConfig (whose Nodes field is filled in automatically).
+	Transport transport.Network
+	// NetConfig configures the default live network.
+	NetConfig transport.Config
+}
+
+// Cluster is a running 3V system: Nodes database nodes, one
+// advancement coordinator, and a network connecting them. It is the
+// package's facade; the public threev package wraps it.
+type Cluster struct {
+	cfg     Config
+	net     transport.Network
+	ownsNet bool
+	nodes   []*Node
+
+	coordMu sync.RWMutex
+	coord   *Coordinator
+
+	seq     atomic.Uint64
+	handles sync.Map // model.TxnID -> *Handle
+
+	updatesDone atomic.Int64
+
+	closed atomic.Bool
+}
+
+// NewCluster builds (but does not start) a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: Config.Nodes must be positive, got %d", cfg.Nodes)
+	}
+	if cfg.SyncExec && cfg.NCMode {
+		return nil, fmt.Errorf("core: SyncExec cannot be combined with NCMode")
+	}
+	c := &Cluster{cfg: cfg}
+	if cfg.Transport != nil {
+		c.net = cfg.Transport
+	} else {
+		nc := cfg.NetConfig
+		nc.Nodes = cfg.Nodes + 1 // +1 for the coordinator endpoint
+		c.net = transport.NewNet(nc)
+		c.ownsNet = true
+	}
+	coordID := model.NodeID(cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		var lm *locks.Manager
+		if cfg.NCMode {
+			lm = locks.New()
+			lm.WaitBound = cfg.LockWait
+		}
+		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm)
+		nd.syncExec = cfg.SyncExec
+		c.nodes = append(c.nodes, nd)
+		c.net.Register(nd.id, nd.handleMessage)
+	}
+	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval)
+	// The registered handler indirects through currentCoordinator so a
+	// crashed coordinator can be replaced (CrashCoordinator/Recover)
+	// without touching the transport.
+	c.net.Register(coordID, func(m transport.Message) {
+		c.currentCoordinator().handleMessage(m)
+	})
+	return c, nil
+}
+
+// Start launches node worker pools and (if owned) the network.
+func (c *Cluster) Start() {
+	for _, nd := range c.nodes {
+		nd.start()
+	}
+	c.net.Start()
+}
+
+// Close shuts the cluster down. Callers should quiesce (wait for
+// outstanding handles) first; queued work is abandoned.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.ownsNet {
+		c.net.Close()
+	}
+	for _, nd := range c.nodes {
+		nd.stop()
+	}
+}
+
+// Node returns database node i (tests, trace, verifiers).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// NumNodes returns the number of database nodes.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Coordinator returns the current advancement coordinator.
+func (c *Cluster) Coordinator() *Coordinator { return c.currentCoordinator() }
+
+func (c *Cluster) currentCoordinator() *Coordinator {
+	c.coordMu.RLock()
+	defer c.coordMu.RUnlock()
+	return c.coord
+}
+
+// Network returns the underlying transport (stats, scripted delivery).
+func (c *Cluster) Network() transport.Network { return c.net }
+
+// Preload installs an initial version-0 record at a node, as in the
+// paper's initial state. Call before Start.
+func (c *Cluster) Preload(node model.NodeID, key string, rec *model.Record) {
+	c.nodes[node].store.Preload(key, rec)
+}
+
+// Submit validates and launches a transaction; the returned handle
+// observes its progress. The root subtransaction is sent to
+// spec.Root.Node and versioned there, per the tree model.
+func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.NonCommuting && !c.cfg.NCMode {
+		return nil, fmt.Errorf("core: non-commuting transaction %q requires NCMode", spec.Label)
+	}
+	if int(spec.Root.Node) >= len(c.nodes) {
+		return nil, fmt.Errorf("core: root node %d out of range", spec.Root.Node)
+	}
+	id := model.MakeTxnID(spec.Root.Node, c.seq.Add(1))
+	h := newHandle(id)
+	h.isUpdate = !spec.ReadOnly()
+	h.needsUnlock = c.cfg.NCMode && h.isUpdate && !spec.NonCommuting
+	c.handles.Store(id, h)
+	h.addExpected(1)
+	c.net.Send(transport.Message{
+		From: spec.Root.Node,
+		To:   spec.Root.Node,
+		Payload: SubtxnMsg{
+			Txn:      id,
+			Root:     true,
+			Spec:     spec.Root,
+			ReadOnly: spec.ReadOnly(),
+			NC:       spec.NonCommuting,
+			RootNode: spec.Root.Node,
+		},
+	})
+	return h, nil
+}
+
+// Advance runs one full version-advancement cycle and blocks until it
+// completes (user transactions are unaffected throughout).
+func (c *Cluster) Advance() AdvanceReport {
+	return c.currentCoordinator().RunAdvancement()
+}
+
+// AdvanceAsync launches an advancement cycle in the background.
+func (c *Cluster) AdvanceAsync() <-chan AdvanceReport {
+	ch := make(chan AdvanceReport, 1)
+	go func() { ch <- c.currentCoordinator().RunAdvancement() }()
+	return ch
+}
+
+// observer implementation: route node callbacks to handles. Lookups
+// that miss (a handle for a foreign cluster, never here in practice)
+// are ignored.
+
+func (c *Cluster) handleFor(txn model.TxnID) *Handle {
+	v, ok := c.handles.Load(txn)
+	if !ok {
+		return nil
+	}
+	return v.(*Handle)
+}
+
+func (c *Cluster) onSpawn(txn model.TxnID, n int) {
+	if h := c.handleFor(txn); h != nil {
+		h.addExpected(n)
+	}
+}
+
+func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted bool) {
+	h := c.handleFor(txn)
+	if h == nil {
+		return
+	}
+	h.reportDone(node, reads, aborted)
+	if h.Status() == StatusCommitted && h.isUpdate && h.markCounted() {
+		c.updatesDone.Add(1)
+	}
+	if h.Status() != StatusPending && h.takeUnlock() {
+		// Asynchronous clean-up phase (Section 5): release the commute
+		// locks this well-behaved transaction holds, now that its whole
+		// tree has committed.
+		coordID := model.NodeID(c.cfg.Nodes)
+		for _, n := range h.Nodes() {
+			c.net.Send(transport.Message{From: coordID, To: n, Payload: UnlockMsg{Txn: txn}})
+		}
+	}
+}
+
+func (c *Cluster) onVersion(txn model.TxnID, v model.Version) {
+	if h := c.handleFor(txn); h != nil {
+		h.reportVersion(v)
+	}
+}
+
+func (c *Cluster) onNCAbort(txn model.TxnID) {
+	if h := c.handleFor(txn); h != nil {
+		h.reportNCAbort()
+	}
+}
+
+// ClusterMetrics aggregates per-node and transport accounting.
+type ClusterMetrics struct {
+	PerNode   []NodeMetrics
+	Storage   []storage.Stats
+	Transport transport.Stats
+}
+
+// Metrics returns a snapshot of all counters.
+func (c *Cluster) Metrics() ClusterMetrics {
+	m := ClusterMetrics{Transport: c.net.Stats()}
+	for _, nd := range c.nodes {
+		m.PerNode = append(m.PerNode, nd.Metrics())
+		m.Storage = append(m.Storage, nd.store.Stats())
+	}
+	return m
+}
+
+// Violations gathers every recorded invariant violation across nodes;
+// a correct run returns nil.
+func (c *Cluster) Violations() []string {
+	var out []string
+	for _, nd := range c.nodes {
+		out = append(out, nd.Metrics().Violations...)
+	}
+	return out
+}
+
+// CommittedUpdates returns the number of update transactions that have
+// fully committed since the cluster started — the quantity behind the
+// "advance once N update transactions have accumulated" trigger policy.
+func (c *Cluster) CommittedUpdates() int64 { return c.updatesDone.Load() }
+
+// PendingItems sums, across nodes, the items carrying updates not yet
+// visible to readers (each node judged against its own read version).
+func (c *Cluster) PendingItems() int {
+	n := 0
+	for _, nd := range c.nodes {
+		vr, _ := nd.Versions()
+		n += nd.store.PendingItems(vr)
+	}
+	return n
+}
+
+// Divergence sums, across nodes, the per-item difference of the named
+// summary field between the newest version and the readable version —
+// the paper's value-divergence trigger quantity.
+func (c *Cluster) Divergence(field string) int64 {
+	var total int64
+	for _, nd := range c.nodes {
+		vr, _ := nd.Versions()
+		total += nd.store.Divergence(vr, field)
+	}
+	return total
+}
+
+// MaxLiveVersionsEver returns the largest number of simultaneously live
+// versions any item on any node ever had — the paper's "at most three
+// copies" bound, measured.
+func (c *Cluster) MaxLiveVersionsEver() int {
+	max := 0
+	for _, nd := range c.nodes {
+		if n := nd.store.Stats().MaxLiveVersions; n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+var _ observer = (*Cluster)(nil)

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// AdvanceReport describes one completed version-advancement cycle.
+type AdvanceReport struct {
+	// Interrupted is true when the coordinator crashed mid-cycle (see
+	// Cluster.CrashCoordinator); the cycle's effects, if any, are
+	// finished by the successor's Recover.
+	Interrupted bool
+	// NewVU and NewVR are the versions installed by this cycle.
+	NewVU, NewVR model.Version
+	// Phase1 .. Phase4 are wall-clock durations of the four phases of
+	// Section 4.3 (switch update version / updates phase-out / switch
+	// read version / query phase-out + GC).
+	Phase1, Phase2, Phase3, Phase4 time.Duration
+	// SweepsPhase2 and SweepsPhase4 count the asynchronous counter
+	// collections the termination detector needed.
+	SweepsPhase2, SweepsPhase4 int
+	Total                      time.Duration
+}
+
+// Coordinator drives version advancement. It occupies its own endpoint
+// on the network (id = number of database nodes) and talks to nodes
+// exclusively through messages, so its activity is asynchronous with
+// respect to every user transaction — the paper's central requirement.
+//
+// The paper assumes a distributed mutual-exclusion mechanism guarantees
+// at most one advancement runs at a time; here a process-local mutex
+// plays that role (see DESIGN.md substitutions).
+type Coordinator struct {
+	id           model.NodeID
+	n            int
+	net          transport.Network
+	pollInterval time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ackVU   map[model.Version]map[model.NodeID]bool
+	ackVR   map[model.Version]map[model.NodeID]bool
+	ackGC   map[model.Version]map[model.NodeID]bool
+	replies map[int]map[model.NodeID]CounterReplyMsg
+	probes  map[int]map[model.NodeID]VersionReplyMsg
+	round   int
+	dead    bool // set by crash(); wakes and unwinds blocked waits
+
+	advMu  sync.Mutex // the "distributed mutex": one advancement at a time
+	vu, vr model.Version
+
+	histMu  sync.Mutex
+	history []AdvanceReport
+}
+
+// newCoordinator wires a coordinator for n database nodes.
+func newCoordinator(n int, net transport.Network, pollInterval time.Duration) *Coordinator {
+	if pollInterval <= 0 {
+		pollInterval = 200 * time.Microsecond
+	}
+	c := &Coordinator{
+		id:           model.NodeID(n),
+		n:            n,
+		net:          net,
+		pollInterval: pollInterval,
+		ackVU:        make(map[model.Version]map[model.NodeID]bool),
+		ackVR:        make(map[model.Version]map[model.NodeID]bool),
+		ackGC:        make(map[model.Version]map[model.NodeID]bool),
+		replies:      make(map[int]map[model.NodeID]CounterReplyMsg),
+		probes:       make(map[int]map[model.NodeID]VersionReplyMsg),
+		vu:           1,
+		vr:           0,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// handleMessage is the coordinator's transport handler.
+func (c *Coordinator) handleMessage(m transport.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch p := m.Payload.(type) {
+	case AckAdvancementMsg:
+		ackInto(c.ackVU, p.NewVU, p.Node)
+	case AckReadVersionMsg:
+		ackInto(c.ackVR, p.NewVR, p.Node)
+	case AckGCMsg:
+		ackInto(c.ackGC, p.Keep, p.Node)
+	case CounterReplyMsg:
+		rm := c.replies[p.Round]
+		if rm == nil {
+			rm = make(map[model.NodeID]CounterReplyMsg)
+			c.replies[p.Round] = rm
+		}
+		rm[p.Node] = p
+	case VersionReplyMsg:
+		pm := c.probes[p.Round]
+		if pm == nil {
+			pm = make(map[model.NodeID]VersionReplyMsg)
+			c.probes[p.Round] = pm
+		}
+		pm[p.Node] = p
+	default:
+		return // stray message; ignore
+	}
+	c.cond.Broadcast()
+}
+
+func ackInto(m map[model.Version]map[model.NodeID]bool, v model.Version, node model.NodeID) {
+	set := m[v]
+	if set == nil {
+		set = make(map[model.NodeID]bool)
+		m[v] = set
+	}
+	set[node] = true
+}
+
+// Versions returns the coordinator's view of (vr, vu).
+func (c *Coordinator) Versions() (vr, vu model.Version) {
+	c.advMu.Lock()
+	defer c.advMu.Unlock()
+	return c.vr, c.vu
+}
+
+// History returns reports of completed advancement cycles.
+func (c *Coordinator) History() []AdvanceReport {
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	out := make([]AdvanceReport, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// RunAdvancement executes one full four-phase advancement cycle
+// (Section 4.3) and blocks until garbage collection has been
+// acknowledged everywhere. User transactions are never blocked by it:
+// every interaction with nodes is an asynchronous message.
+func (c *Coordinator) RunAdvancement() AdvanceReport {
+	c.advMu.Lock()
+	defer c.advMu.Unlock()
+
+	vuold, vunew := c.vu, c.vu+1
+	vrold, vrnew := c.vr, c.vr+1
+	rep := AdvanceReport{NewVU: vunew, NewVR: vrnew}
+	start := time.Now()
+
+	interrupted := func() AdvanceReport {
+		rep.Interrupted = true
+		rep.Total = time.Since(start)
+		return rep
+	}
+
+	// Phase 1: switch to the new update version.
+	c.broadcast(StartAdvancementMsg{NewVU: vunew})
+	if !c.waitAcks(c.ackVU, vunew) {
+		return interrupted()
+	}
+	rep.Phase1 = time.Since(start)
+
+	// Phase 2: updates phase-out — wait for inter-node consistency of
+	// vuold by asynchronous counter reads.
+	t2 := time.Now()
+	rep.SweepsPhase2 = c.pollQuiescence(vuold)
+	if rep.SweepsPhase2 < 0 {
+		return interrupted()
+	}
+	rep.Phase2 = time.Since(t2)
+
+	// Phase 3: switch to the new read version.
+	t3 := time.Now()
+	c.broadcast(ReadVersionMsg{NewVR: vrnew})
+	if !c.waitAcks(c.ackVR, vrnew) {
+		return interrupted()
+	}
+	rep.Phase3 = time.Since(t3)
+
+	// Phase 4: wait for queries on vrold to terminate, then garbage
+	// collect.
+	t4 := time.Now()
+	rep.SweepsPhase4 = c.pollQuiescence(vrold)
+	if rep.SweepsPhase4 < 0 {
+		return interrupted()
+	}
+	c.broadcast(GCMsg{Keep: vrnew})
+	if !c.waitAcks(c.ackGC, vrnew) {
+		return interrupted()
+	}
+	rep.Phase4 = time.Since(t4)
+
+	c.vu, c.vr = vunew, vrnew
+	rep.Total = time.Since(start)
+
+	c.histMu.Lock()
+	c.history = append(c.history, rep)
+	c.histMu.Unlock()
+	return rep
+}
+
+// broadcast sends the payload to every database node.
+func (c *Coordinator) broadcast(payload any) {
+	for i := 0; i < c.n; i++ {
+		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: payload})
+	}
+}
+
+// waitAcks blocks until every node has acknowledged version v in the
+// given ack registry, then clears the entry. It returns false if the
+// coordinator crashed while waiting.
+func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v model.Version) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(reg[v]) < c.n {
+		if c.dead {
+			return false
+		}
+		c.cond.Wait()
+	}
+	delete(reg, v)
+	return true
+}
+
+// pollQuiescence repeatedly sweeps the cluster's counters for version v
+// until the double-collect detector declares all version-v transactions
+// terminated. It returns the number of sweeps used.
+// pollQuiescence returns the sweep count, or -1 if the coordinator
+// crashed while polling.
+func (c *Coordinator) pollQuiescence(v model.Version) int {
+	det := &counters.Detector{}
+	for {
+		c.mu.Lock()
+		c.round++
+		round := c.round
+		c.mu.Unlock()
+
+		c.broadcast(CounterReqMsg{Version: v, Round: round})
+
+		c.mu.Lock()
+		for len(c.replies[round]) < c.n {
+			if c.dead {
+				c.mu.Unlock()
+				return -1
+			}
+			c.cond.Wait()
+		}
+		snap := counters.NewSnapshot(c.n)
+		for node, rep := range c.replies[round] {
+			snap.SetFromNode(node, rep.R, rep.C)
+		}
+		delete(c.replies, round)
+		c.mu.Unlock()
+
+		if det.Offer(snap) {
+			return det.Sweeps()
+		}
+		time.Sleep(c.pollInterval)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Status is the outcome of a transaction as observed by its handle.
+type Status int
+
+// Handle outcomes.
+const (
+	// StatusPending: subtransactions are still in flight.
+	StatusPending Status = iota
+	// StatusCommitted: every subtransaction terminated normally.
+	StatusCommitted
+	// StatusCompensated: at least one subtransaction aborted; the tree
+	// (including compensators) has fully terminated and all effects of
+	// the aborted branches were compensated away.
+	StatusCompensated
+	// StatusAborted: an NC3V transaction was globally aborted by
+	// two-phase commit; no effects remain.
+	StatusAborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusCommitted:
+		return "committed"
+	case StatusCompensated:
+		return "compensated"
+	case StatusAborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Handle is the client-side observer of one submitted transaction. It
+// is pure instrumentation: the protocol never waits on it, and it never
+// delays a subtransaction. Completion is detected by balancing
+// "subtransactions spawned" against "subtransactions terminated" —
+// the client-local analogue of the paper's request/completion counters.
+type Handle struct {
+	ID model.TxnID
+
+	mu        sync.Mutex
+	expected  int
+	done      int
+	aborts    int
+	ncAborted bool
+	version   model.Version
+	verSet    bool
+	reads     []model.ReadResult
+	nodes     map[model.NodeID]bool
+	completed chan struct{}
+	closed    bool
+	submitted time.Time
+	finished  time.Time
+	// needsUnlock marks well-behaved update transactions in NC3V mode,
+	// whose commute locks must be released by the asynchronous clean-up
+	// once the tree completes. takeUnlock consumes the flag so clean-up
+	// fires exactly once.
+	needsUnlock bool
+	// isUpdate marks update (non-read-only) transactions; counted marks
+	// that the cluster already tallied this handle's commit.
+	isUpdate bool
+	counted  bool
+}
+
+// markCounted flags the handle as tallied; it returns true at most once.
+func (h *Handle) markCounted() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counted {
+		return false
+	}
+	h.counted = true
+	return true
+}
+
+// takeUnlock consumes the clean-up obligation; it returns true at most
+// once per handle.
+func (h *Handle) takeUnlock() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.needsUnlock {
+		h.needsUnlock = false
+		return true
+	}
+	return false
+}
+
+func newHandle(id model.TxnID) *Handle {
+	return &Handle{
+		ID:        id,
+		nodes:     make(map[model.NodeID]bool),
+		completed: make(chan struct{}),
+		submitted: time.Now(),
+	}
+}
+
+// addExpected notes that n more subtransactions will terminate. Called
+// before the corresponding messages are sent, so done can never catch
+// up with expected while work remains.
+func (h *Handle) addExpected(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.expected += n
+}
+
+// reportDone records the termination of one subtransaction at node,
+// along with its read results and whether it aborted.
+func (h *Handle) reportDone(node model.NodeID, reads []model.ReadResult, aborted bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.done++
+	h.nodes[node] = true
+	h.reads = append(h.reads, reads...)
+	if aborted {
+		h.aborts++
+	}
+	h.maybeComplete()
+}
+
+// reportVersion records the version the root assigned to the tree.
+func (h *Handle) reportVersion(v model.Version) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.version = v
+	h.verSet = true
+}
+
+// reportNCAbort records that 2PC decided abort for this NC transaction.
+func (h *Handle) reportNCAbort() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ncAborted = true
+}
+
+func (h *Handle) maybeComplete() {
+	if !h.closed && h.expected > 0 && h.done == h.expected {
+		h.closed = true
+		h.finished = time.Now()
+		close(h.completed)
+	}
+}
+
+// Done returns a channel closed when the whole tree (including any
+// compensating subtransactions) has terminated everywhere.
+func (h *Handle) Done() <-chan struct{} { return h.completed }
+
+// Wait blocks until completion.
+func (h *Handle) Wait() { <-h.completed }
+
+// WaitTimeout blocks up to d; it reports whether the transaction
+// completed in time.
+func (h *Handle) WaitTimeout(d time.Duration) bool {
+	select {
+	case <-h.completed:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+// Status returns the current outcome.
+func (h *Handle) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		return StatusPending
+	}
+	if h.ncAborted {
+		return StatusAborted
+	}
+	if h.aborts > 0 {
+		return StatusCompensated
+	}
+	return StatusCommitted
+}
+
+// Version returns the version number assigned to the transaction by
+// its root subtransaction; ok is false if the root has not executed
+// yet.
+func (h *Handle) Version() (v model.Version, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.version, h.verSet
+}
+
+// Reads returns the read results reported so far. For a completed
+// read-only transaction this is the full, globally consistent result
+// set (Theorem 4.1).
+func (h *Handle) Reads() []model.ReadResult {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.ReadResult, len(h.reads))
+	copy(out, h.reads)
+	return out
+}
+
+// Nodes returns the set of nodes the tree actually executed on.
+func (h *Handle) Nodes() []model.NodeID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]model.NodeID, 0, len(h.nodes))
+	for n := range h.nodes {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Latency returns the wall-clock time from submission to completion;
+// valid only after completion (zero otherwise).
+func (h *Handle) Latency() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		return 0
+	}
+	return h.finished.Sub(h.submitted)
+}

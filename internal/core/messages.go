@@ -1,0 +1,162 @@
+// Package core implements the paper's contribution: the 3V
+// multiversioning algorithm (Sections 2 and 4), its completely
+// asynchronous version-advancement protocol with counter-based
+// termination detection (Sections 2.2 and 4.3), compensation-aware
+// bookkeeping (Section 3.2), and the NC3V extension for non-commuting
+// update transactions (Section 5).
+//
+// Topology: a cluster of N database nodes (ids 0..N-1) plus one
+// coordinator endpoint (id N) that drives version advancement. All
+// parties communicate exclusively through a transport.Network, so every
+// protocol interaction — subtransaction shipping, advancement notices,
+// counter snapshots, NC3V votes and decisions — is an asynchronous
+// message that tests can delay or reorder.
+package core
+
+import (
+	"repro/internal/model"
+)
+
+// SubtxnMsg ships one subtransaction to the node that must execute it
+// (Spec.Node == the envelope's To). Version is the transaction version
+// number V(T) assigned by the root and carried by every descendant
+// (Section 4.1); a zero-valued Version together with Root=true means
+// "assign on arrival" — the root subtransaction is versioned by the
+// receiving node reading its current vu (or vr for queries).
+type SubtxnMsg struct {
+	Txn     model.TxnID
+	Version model.Version
+	Root    bool
+	// Assigned marks a root whose version number was already assigned
+	// (and request-counted): an NC3V root parked during a version
+	// advancement is re-dispatched with Assigned=true so it is not
+	// re-versioned.
+	Assigned bool
+	Spec     *model.SubtxnSpec
+	// ReadOnly marks subtransactions of read-only transactions, which
+	// are versioned from vr rather than vu.
+	ReadOnly bool
+	// NC marks subtransactions of non-well-behaved transactions, which
+	// run under the NC3V protocol: NC locks, no dual writes, two-phase
+	// commit. RootNode is the node coordinating K's 2PC (the node that
+	// received the root).
+	NC       bool
+	RootNode model.NodeID
+	// Compensating marks compensating subtransactions. They follow
+	// exactly the ordinary protocol (Section 3.2: "we do not
+	// distinguish between compensating and ordinary subtransactions");
+	// the flag exists only for observability.
+	Compensating bool
+}
+
+// StartAdvancementMsg is the Phase 1 notice: switch the update version
+// to NewVU, allocating fresh counters (Section 4.3).
+type StartAdvancementMsg struct {
+	NewVU model.Version
+}
+
+// AckAdvancementMsg acknowledges StartAdvancementMsg.
+type AckAdvancementMsg struct {
+	NewVU model.Version
+	Node  model.NodeID
+}
+
+// ReadVersionMsg is the Phase 3 notice: queries arriving from now on
+// use NewVR.
+type ReadVersionMsg struct {
+	NewVR model.Version
+}
+
+// AckReadVersionMsg acknowledges ReadVersionMsg.
+type AckReadVersionMsg struct {
+	NewVR model.Version
+	Node  model.NodeID
+}
+
+// GCMsg is the Phase 4 notice: garbage-collect all data and counter
+// versions below Keep (the new read version).
+type GCMsg struct {
+	Keep model.Version
+}
+
+// AckGCMsg acknowledges GCMsg.
+type AckGCMsg struct {
+	Keep model.Version
+	Node model.NodeID
+}
+
+// CounterReqMsg asks a node for its counter rows for one version; the
+// coordinator sends these during Phases 2 and 4. Round tags the sweep
+// so late replies from a previous sweep are not mixed into the current
+// snapshot.
+type CounterReqMsg struct {
+	Version model.Version
+	Round   int
+}
+
+// CounterReplyMsg carries one node's R row (requests sent, indexed by
+// destination) and C row (completions here, indexed by invoking node)
+// for the requested version.
+type CounterReplyMsg struct {
+	Version model.Version
+	Round   int
+	Node    model.NodeID
+	R       []int64
+	C       []int64
+}
+
+// NCVoteMsg is the first phase of NC3V's two-phase commit: a node that
+// finished executing a subtransaction of non-commuting transaction Txn
+// reports to the transaction's coordinating node whether its local part
+// succeeded (OK) and how many child subtransactions it spawned
+// (Children), which lets the coordinator know how many more votes to
+// expect without knowing the tree shape in advance.
+type NCVoteMsg struct {
+	Txn      model.TxnID
+	Node     model.NodeID
+	OK       bool
+	Children int
+	// Root marks the root subtransaction's vote. The coordinator must
+	// not decide before it arrives: a child's vote can overtake the
+	// root's on the network, and without this guard a single child vote
+	// would look like a complete tree (votes == expected == 1) and
+	// trigger a premature partial decision.
+	Root bool
+}
+
+// NCDecisionMsg is the second phase: commit or abort. On commit a
+// participant makes its local effects permanent, increments the
+// completion counters for every subtransaction of Txn it executed
+// (atomically with commitment, per Section 5 step 6) and releases NC
+// locks; on abort it rolls back via its undo log first.
+type NCDecisionMsg struct {
+	Txn    model.TxnID
+	Commit bool
+}
+
+// VersionProbeMsg asks a node for its current (vr, vu) pair. A
+// recovering coordinator (see Coordinator.Recover) uses probes to
+// reconstruct where a crashed predecessor left off.
+type VersionProbeMsg struct {
+	Round int
+}
+
+// VersionReplyMsg answers a VersionProbeMsg. BelowVR reports whether
+// the node still holds data versions below its read version — evidence
+// of an interrupted Phase 4 (garbage collection pending).
+type VersionReplyMsg struct {
+	Round   int
+	Node    model.NodeID
+	VR      model.Version
+	VU      model.Version
+	BelowVR bool
+}
+
+// UnlockMsg is the asynchronous clean-up phase for well-behaved
+// transactions in NC3V mode: once the whole tree of Txn has committed,
+// the cluster tells every involved node to release Txn's commute locks
+// (Section 5: "a special clean-up phase ... asynchronous with respect
+// to well-behaved transactions").
+type UnlockMsg struct {
+	Txn model.TxnID
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestNCStressWithContinuousAdvancement is a regression test for two
+// deadlocks found during development: (1) NC3V roots blocking worker
+// goroutines while waiting out an advancement starved the very drain
+// that would release them (fixed by off-thread parking), and (2) a
+// child's 2PC vote overtaking the root's vote caused a premature
+// partial decision (fixed by requiring the root's vote). It runs a
+// point-of-sale mix with 20% non-commuting transactions under
+// continuous version advancement and jittered message delivery.
+func TestNCStressWithContinuousAdvancement(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 4, NCMode: true, LockWait: time.Second,
+		NetConfig: transport.Config{Jitter: 200 * time.Microsecond, Seed: 41}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(workload.PointOfSale(4, 0.2, 43))
+	for _, p := range gen.PreloadSpecs() {
+		rec := model.NewRecord()
+		c.Preload(p.Node, p.Key, rec)
+	}
+	c.Start()
+	defer c.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Advance()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	var handles []*Handle
+	for i := 0; i < 200; i++ {
+		txn := gen.Next()
+		h, err := c.Submit(txn.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		if i%8 == 7 {
+			for _, h2 := range handles {
+				if !h2.WaitTimeout(10 * time.Second) {
+					dumpState(t, c, h2)
+				}
+			}
+			handles = handles[:0]
+		}
+	}
+	for _, h := range handles {
+		if !h.WaitTimeout(10 * time.Second) {
+			dumpState(t, c, h)
+		}
+	}
+	close(stop)
+}
+
+func dumpState(t *testing.T, c *Cluster, h *Handle) {
+	t.Helper()
+	v, _ := h.Version()
+	fmt.Printf("STUCK txn %v version=%d status=%v nodes=%v\n", h.ID, v, h.Status(), h.Nodes())
+	h.mu.Lock()
+	fmt.Printf("  expected=%d done=%d\n", h.expected, h.done)
+	h.mu.Unlock()
+	for i := 0; i < c.NumNodes(); i++ {
+		nd := c.Node(i)
+		vr, vu := nd.Versions()
+		nd.ncMu.Lock()
+		fmt.Printf("  node %d vr=%d vu=%d parked=%d ncCoord=%d ncPart=%d\n", i, vr, vu, len(nd.ncParked), len(nd.ncCoord), len(nd.ncPart))
+		for txn, st := range nd.ncCoord {
+			fmt.Printf("    coord %v votes=%d expected=%d ok=%v\n", txn, st.votes, st.expected, st.ok)
+		}
+		for txn, st := range nd.ncPart {
+			fmt.Printf("    part %v execs=%d\n", txn, len(st.execs))
+		}
+		nd.ncMu.Unlock()
+	}
+	t.Fatal("stuck")
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/localcc"
+	"repro/internal/locks"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// observer receives instrumentation callbacks from nodes. The cluster
+// implements it to drive transaction handles; the protocol itself never
+// waits on an observer.
+type observer interface {
+	onSpawn(txn model.TxnID, n int)
+	onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted bool)
+	onVersion(txn model.TxnID, v model.Version)
+	onNCAbort(txn model.TxnID)
+}
+
+// nopObserver is used when no cluster-level observation is wanted.
+type nopObserver struct{}
+
+func (nopObserver) onSpawn(model.TxnID, int)                                   {}
+func (nopObserver) onDone(model.TxnID, model.NodeID, []model.ReadResult, bool) {}
+func (nopObserver) onVersion(model.TxnID, model.Version)                       {}
+func (nopObserver) onNCAbort(model.TxnID)                                      {}
+
+// NodeMetrics counts protocol events at one node. All fields are
+// cumulative.
+type NodeMetrics struct {
+	RootsAssigned    int64 // root subtransactions versioned here
+	SubtxnsExecuted  int64 // update subtransactions executed (incl. compensating)
+	QueriesExecuted  int64 // read-only subtransactions executed
+	DualWrites       int64 // update ops applied to more than one version
+	ImplicitAdvances int64 // vu advanced by an arriving subtransaction's version-id
+	Compensations    int64 // compensating subtransactions sent
+	LockAborts       int64 // subtransactions cancelled by lock timeout
+	NCExecuted       int64 // NC subtransactions executed
+	NCAborts         int64 // NC decisions that were aborts (counted at participants)
+	Violations       []string
+}
+
+// ncExec records one executed NC subtransaction awaiting the 2PC
+// decision.
+type ncExec struct {
+	source model.NodeID
+	ver    model.Version
+	reads  []model.ReadResult
+	undo   []ncUndo
+}
+
+// ncUndo is one before-image for NC rollback.
+type ncUndo struct {
+	key  string
+	ver  model.Version
+	prev *model.Record // nil means the version was created by this txn: drop it
+}
+
+// ncCoordState is the 2PC coordinator state kept at the node that
+// received an NC transaction's root.
+type ncCoordState struct {
+	votes     int
+	expected  int
+	ok        bool
+	rootVoted bool
+	nodes     map[model.NodeID]bool
+}
+
+// ncPartState is the participant state for one NC transaction at one
+// node.
+type ncPartState struct {
+	execs []ncExec
+}
+
+// workItem is a unit handed to the node's worker pool.
+type workItem struct {
+	from model.NodeID
+	sub  SubtxnMsg
+}
+
+// parkedNC is an NC3V root waiting out a version advancement.
+type parkedNC struct {
+	from model.NodeID
+	msg  SubtxnMsg
+}
+
+// workQueue is an unbounded FIFO so that the node's delivery goroutine
+// never blocks handing work to (possibly busy) workers — control
+// messages must keep flowing even when every worker is waiting on an
+// NC lock.
+type workQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []workItem
+	closed bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *workQueue) put(it workItem) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, it)
+	q.cond.Signal()
+}
+
+func (q *workQueue) get() (workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return workItem{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *workQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Node is one database site running the 3V protocol. Create nodes via
+// Cluster; direct construction is for tests and the trace replay.
+type Node struct {
+	id      model.NodeID
+	n       int // number of database nodes in the cluster
+	coordID model.NodeID
+	net     transport.Network
+	store   *storage.Store
+	cnt     *counters.Table
+	latches *localcc.Manager
+	lm      *locks.Manager // non-nil only in NC mode
+	obs     observer
+	ncMode  bool
+
+	// verMu guards vu and vr. Critical sections are a handful of
+	// machine instructions; per Section 4's model, accesses to version
+	// numbers and counters are atomic but sit outside local concurrency
+	// control, so they can never delay a subtransaction on another
+	// item's behalf. Root version assignment and its R-counter bump
+	// share one critical section with version advancement so that a
+	// root assigned version v is always visible in v's counters before
+	// the node acknowledges advancing past v.
+	verMu  sync.Mutex
+	vrCond *sync.Cond
+	vu, vr model.Version
+	// ncParked holds NC3V roots that were assigned a version during an
+	// in-flight advancement (vu == vr+2) and must wait for the read
+	// version to catch up (Section 5 step 2). They are parked here
+	// rather than blocking a worker goroutine, and re-dispatched by
+	// handleReadVersion.
+	ncParked []parkedNC
+
+	work     *workQueue
+	workers  int
+	syncExec bool
+	wg       sync.WaitGroup
+
+	ncMu    sync.Mutex
+	ncCoord map[model.TxnID]*ncCoordState
+	ncPart  map[model.TxnID]*ncPartState
+
+	metMu   sync.Mutex
+	metrics NodeMetrics
+}
+
+// newNode wires a node; the caller registers node.handleMessage on the
+// network and calls start.
+func newNode(id model.NodeID, n int, coordID model.NodeID, net transport.Network, obs observer, ncMode bool, workers int, lm *locks.Manager) *Node {
+	if workers <= 0 {
+		workers = 4
+	}
+	nd := &Node{
+		id:      id,
+		n:       n,
+		coordID: coordID,
+		net:     net,
+		store:   storage.New(),
+		cnt:     counters.NewTable(id, n),
+		latches: localcc.New(),
+		lm:      lm,
+		obs:     obs,
+		ncMode:  ncMode,
+		vu:      1, // initial state: read version 0, update version 1
+		vr:      0,
+		work:    newWorkQueue(),
+		workers: workers,
+		ncCoord: make(map[model.TxnID]*ncCoordState),
+		ncPart:  make(map[model.TxnID]*ncPartState),
+	}
+	nd.vrCond = sync.NewCond(&nd.verMu)
+	return nd
+}
+
+// start launches the worker pool (skipped in SyncExec mode).
+func (nd *Node) start() {
+	if nd.syncExec {
+		return
+	}
+	for i := 0; i < nd.workers; i++ {
+		nd.wg.Add(1)
+		go func() {
+			defer nd.wg.Done()
+			for {
+				it, ok := nd.work.get()
+				if !ok {
+					return
+				}
+				nd.executeSubtxn(it.from, it.sub)
+			}
+		}()
+	}
+}
+
+// stop drains the worker pool. In-flight subtransactions finish;
+// queued ones are abandoned (callers quiesce first).
+func (nd *Node) stop() {
+	nd.work.close()
+	// Wake any NC roots waiting for a read-version change so their
+	// workers can observe shutdown via lock timeouts; harmless
+	// otherwise.
+	nd.verMu.Lock()
+	nd.vrCond.Broadcast()
+	nd.verMu.Unlock()
+	nd.wg.Wait()
+}
+
+// Store exposes the node's storage engine (tests, trace, verifiers).
+func (nd *Node) Store() *storage.Store { return nd.store }
+
+// Counters exposes the node's counter table (tests, trace, verifiers).
+func (nd *Node) Counters() *counters.Table { return nd.cnt }
+
+// Versions returns the node's current (vr, vu) pair.
+func (nd *Node) Versions() (vr, vu model.Version) {
+	nd.verMu.Lock()
+	defer nd.verMu.Unlock()
+	return nd.vr, nd.vu
+}
+
+// Metrics returns a copy of the node's counters.
+func (nd *Node) Metrics() NodeMetrics {
+	nd.metMu.Lock()
+	defer nd.metMu.Unlock()
+	m := nd.metrics
+	m.Violations = append([]string(nil), nd.metrics.Violations...)
+	return m
+}
+
+func (nd *Node) violate(format string, args ...any) {
+	nd.metMu.Lock()
+	defer nd.metMu.Unlock()
+	nd.metrics.Violations = append(nd.metrics.Violations, fmt.Sprintf(format, args...))
+}
+
+// handleMessage is the node's transport handler. Subtransactions are
+// dispatched to the worker pool; all control traffic is handled inline
+// (it is quick and must keep flowing even when workers are blocked on
+// NC locks).
+func (nd *Node) handleMessage(m transport.Message) {
+	switch p := m.Payload.(type) {
+	case SubtxnMsg:
+		if nd.syncExec {
+			nd.executeSubtxn(m.From, p)
+		} else {
+			nd.work.put(workItem{from: m.From, sub: p})
+		}
+	case StartAdvancementMsg:
+		nd.handleStartAdvancement(p)
+	case ReadVersionMsg:
+		nd.handleReadVersion(p)
+	case GCMsg:
+		nd.handleGC(p)
+	case CounterReqMsg:
+		nd.handleCounterReq(p)
+	case VersionProbeMsg:
+		vr, vu := nd.Versions()
+		nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: VersionReplyMsg{
+			Round: p.Round, Node: nd.id, VR: vr, VU: vu,
+			BelowVR: nd.store.HasVersionsBelow(vr),
+		}})
+	case NCVoteMsg:
+		nd.handleNCVote(p)
+	case NCDecisionMsg:
+		nd.handleNCDecision(p)
+	case UnlockMsg:
+		if nd.lm != nil {
+			nd.lm.ReleaseAll(p.Txn)
+		}
+	default:
+		nd.violate("node %v: unknown payload %T", nd.id, m.Payload)
+	}
+}
+
+// maybeAdvanceVU performs the implicit advancement notification of
+// Section 2.2: an arriving subtransaction carrying a version greater
+// than the local update version is itself the notice that advancement
+// has begun.
+func (nd *Node) maybeAdvanceVU(v model.Version) {
+	nd.verMu.Lock()
+	defer nd.verMu.Unlock()
+	if v > nd.vu {
+		nd.vu = v
+		nd.cnt.EnsureVersion(v)
+		nd.metMu.Lock()
+		nd.metrics.ImplicitAdvances++
+		nd.metMu.Unlock()
+		nd.checkVersionInvariantLocked()
+	}
+}
+
+func (nd *Node) handleStartAdvancement(p StartAdvancementMsg) {
+	nd.verMu.Lock()
+	if p.NewVU > nd.vu {
+		nd.vu = p.NewVU
+		nd.cnt.EnsureVersion(p.NewVU)
+		nd.checkVersionInvariantLocked()
+	}
+	nd.verMu.Unlock()
+	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id}})
+}
+
+func (nd *Node) handleReadVersion(p ReadVersionMsg) {
+	var release []parkedNC
+	nd.verMu.Lock()
+	if p.NewVR > nd.vr {
+		nd.vr = p.NewVR
+		nd.vrCond.Broadcast()
+		nd.checkVersionInvariantLocked()
+	}
+	keep := nd.ncParked[:0]
+	for _, it := range nd.ncParked {
+		if it.msg.Version == nd.vr+1 {
+			release = append(release, it)
+		} else {
+			keep = append(keep, it)
+		}
+	}
+	nd.ncParked = keep
+	nd.verMu.Unlock()
+	// Re-dispatch NC roots whose advancement window has closed.
+	for _, it := range release {
+		nd.work.put(workItem{from: it.from, sub: it.msg})
+	}
+	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id}})
+}
+
+func (nd *Node) handleGC(p GCMsg) {
+	nd.store.GC(p.Keep)
+	nd.cnt.DropBelow(p.Keep)
+	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
+}
+
+func (nd *Node) handleCounterReq(p CounterReqMsg) {
+	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: CounterReplyMsg{
+		Version: p.Version,
+		Round:   p.Round,
+		Node:    nd.id,
+		R:       nd.cnt.SnapshotR(p.Version),
+		C:       nd.cnt.SnapshotC(p.Version),
+	}})
+}
+
+// checkVersionInvariantLocked asserts Section 4.4 property 3:
+// vr < vu ≤ vr + 2. Called with verMu held.
+func (nd *Node) checkVersionInvariantLocked() {
+	if !(nd.vr < nd.vu && nd.vu <= nd.vr+2) {
+		nd.violate("node %v: version invariant broken: vr=%d vu=%d", nd.id, nd.vr, nd.vu)
+	}
+}
+
+// executeSubtxn runs one subtransaction on a worker goroutine.
+func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
+	if msg.NC {
+		nd.executeNC(from, msg)
+		return
+	}
+	v := msg.Version
+	if msg.Root {
+		// Step 1: assign the current update (or read) version and bump
+		// the local-local request counter in one atomic step with
+		// respect to version advancement.
+		nd.verMu.Lock()
+		if msg.ReadOnly {
+			v = nd.vr
+		} else {
+			v = nd.vu
+		}
+		nd.cnt.IncR(v, nd.id)
+		nd.verMu.Unlock()
+		nd.metMu.Lock()
+		nd.metrics.RootsAssigned++
+		nd.metMu.Unlock()
+		nd.obs.onVersion(msg.Txn, v)
+	} else if !msg.ReadOnly {
+		// Step 2: implicit advancement notification.
+		nd.maybeAdvanceVU(v)
+	}
+
+	spec := msg.Spec
+	aborting := spec.Abort && !msg.ReadOnly
+
+	// In NC mode, well-behaved update subtransactions take commute
+	// locks (two-phase, released by the asynchronous clean-up). Queries
+	// take no locks (Section 8).
+	lockOK := true
+	if nd.ncMode && !msg.ReadOnly {
+		lockOK = nd.acquireCommuteLocks(msg.Txn, spec)
+		if !lockOK {
+			// Lock timeout: cancel this subtree. Nothing was applied.
+			nd.metMu.Lock()
+			nd.metrics.LockAborts++
+			nd.metMu.Unlock()
+			aborting = true
+		}
+	}
+
+	var reads []model.ReadResult
+	if lockOK {
+		keys := touchedKeys(spec)
+		release := nd.latches.Acquire(keys)
+
+		// Steps 3: reads see the maximum existing version ≤ V(T).
+		for _, k := range spec.Reads {
+			rec, ver, ok := nd.store.ReadMax(k, v)
+			if ok {
+				reads = append(reads, model.ReadResult{Node: nd.id, Key: k, VersionRead: ver, Record: rec})
+			} else {
+				reads = append(reads, model.ReadResult{Node: nd.id, Key: k, VersionRead: 0, Record: model.NewRecord()})
+			}
+		}
+
+		// Step 4: copy-on-update, then apply to all versions ≥ V(T)
+		// (the generalized dual write).
+		if !msg.ReadOnly {
+			for _, u := range spec.Updates {
+				nd.store.EnsureVersion(u.Key, v)
+				if n := nd.store.ApplyFrom(u.Key, v, u.Op); n > 1 {
+					nd.metMu.Lock()
+					nd.metrics.DualWrites += int64(n - 1)
+					nd.metMu.Unlock()
+				}
+			}
+		}
+		release()
+	}
+
+	// Step 5: spawn children; bump the request counter strictly before
+	// each send.
+	if lockOK {
+		for _, child := range spec.Children {
+			nd.cnt.IncR(v, child.Node)
+			nd.obs.onSpawn(msg.Txn, 1)
+			nd.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
+				Txn:          msg.Txn,
+				Version:      v,
+				Spec:         child,
+				ReadOnly:     msg.ReadOnly,
+				Compensating: msg.Compensating,
+			}})
+		}
+	}
+
+	if aborting {
+		nd.abortSubtree(msg.Txn, v, spec, lockOK)
+	}
+
+	// Step 6: report, then increment the completion counter and
+	// terminate. source(T) is the invoking node; for roots it is this
+	// node itself (the cluster submits roots with From == To).
+	nd.metMu.Lock()
+	if msg.ReadOnly {
+		nd.metrics.QueriesExecuted++
+	} else {
+		nd.metrics.SubtxnsExecuted++
+	}
+	nd.metMu.Unlock()
+	nd.obs.onDone(msg.Txn, nd.id, reads, aborting)
+	nd.cnt.IncC(v, from)
+}
+
+// abortSubtree implements Section 3.2 for a subtransaction that aborts
+// after doing its local work and spawning its children: roll back the
+// local updates by applying their inverses (inverses of commuting ops
+// commute, so this is correct regardless of interleaving) and send a
+// compensating subtransaction chasing each spawned child. If applied is
+// false the local updates were never performed (lock timeout) and only
+// the children need compensating — but in that case no children were
+// sent either, so there is nothing to do beyond bookkeeping.
+func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool) {
+	if !applied {
+		return
+	}
+	if len(spec.Updates) > 0 {
+		keys := make([]string, 0, len(spec.Updates))
+		for _, u := range spec.Updates {
+			keys = append(keys, u.Key)
+		}
+		release := nd.latches.Acquire(keys)
+		for _, u := range spec.Updates {
+			if inv := u.Op.Inverse(); inv != nil {
+				nd.store.ApplyFrom(u.Key, v, inv)
+			}
+		}
+		release()
+	}
+	for _, child := range spec.Children {
+		comp := child.Compensator()
+		nd.cnt.IncR(v, comp.Node)
+		nd.obs.onSpawn(txn, 1)
+		nd.metMu.Lock()
+		nd.metrics.Compensations++
+		nd.metMu.Unlock()
+		nd.net.Send(transport.Message{From: nd.id, To: comp.Node, Payload: SubtxnMsg{
+			Txn:          txn,
+			Version:      v,
+			Spec:         comp,
+			Compensating: true,
+		}})
+	}
+}
+
+// acquireCommuteLocks takes CU locks on updated keys and CR locks on
+// read keys for a well-behaved subtransaction. The fast path
+// (TryAcquire) never waits; when an NC transaction holds a conflicting
+// lock the slow path waits up to the lock manager's bound. Returns
+// false on timeout (the subtree is then cancelled). Locks are held
+// until the cluster's clean-up UnlockMsg.
+func (nd *Node) acquireCommuteLocks(txn model.TxnID, spec *model.SubtxnSpec) bool {
+	for _, u := range spec.Updates {
+		if nd.lm.TryAcquire(txn, u.Key, locks.CommuteUpdate) {
+			continue
+		}
+		if err := nd.lm.Acquire(txn, u.Key, locks.CommuteUpdate); err != nil {
+			nd.lm.ReleaseAll(txn)
+			return false
+		}
+	}
+	for _, k := range spec.Reads {
+		if nd.lm.TryAcquire(txn, k, locks.CommuteRead) {
+			continue
+		}
+		if err := nd.lm.Acquire(txn, k, locks.CommuteRead); err != nil {
+			nd.lm.ReleaseAll(txn)
+			return false
+		}
+	}
+	return true
+}
+
+// touchedKeys returns the local keys a spec reads or updates.
+func touchedKeys(spec *model.SubtxnSpec) []string {
+	keys := make([]string, 0, len(spec.Reads)+len(spec.Updates))
+	keys = append(keys, spec.Reads...)
+	for _, u := range spec.Updates {
+		keys = append(keys, u.Key)
+	}
+	return keys
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"repro/internal/locks"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// executeNC runs one subtransaction of a non-well-behaved transaction
+// under the NC3V algorithm (Section 5): non-commuting locks, no dual
+// writes, a write-conflict abort rule, and two-phase commit with the
+// completion counter incremented atomically with the commit decision.
+func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
+	v := msg.Version
+	rootNode := msg.RootNode
+	if msg.Root && !msg.Assigned {
+		rootNode = nd.id
+		// Step 1: V(K) := vu, bumping the request counter in the same
+		// critical section as assignment (see executeSubtxn).
+		nd.verMu.Lock()
+		v = nd.vu
+		nd.cnt.IncR(v, nd.id)
+		// Step 2: the transaction may proceed only when V(K) = vr + 1,
+		// i.e. no version advancement is in flight — the one wait the
+		// NC3V protocol imposes, and it affects non-well-behaved
+		// transactions only. Blocking this worker goroutine would risk
+		// starving the very version-drain that lets vr catch up, so the
+		// root is parked off-thread and re-dispatched by the
+		// read-version switch (handleReadVersion).
+		if nd.vr < v-1 {
+			parked := msg
+			parked.Assigned = true
+			parked.Version = v
+			parked.RootNode = nd.id
+			nd.ncParked = append(nd.ncParked, parkedNC{from: from, msg: parked})
+			nd.verMu.Unlock()
+			nd.metMu.Lock()
+			nd.metrics.RootsAssigned++
+			nd.metMu.Unlock()
+			nd.obs.onVersion(msg.Txn, v)
+			return
+		}
+		nd.verMu.Unlock()
+		nd.metMu.Lock()
+		nd.metrics.RootsAssigned++
+		nd.metMu.Unlock()
+		nd.obs.onVersion(msg.Txn, v)
+	} else if !msg.Root {
+		// Implicit advancement notification applies to NC
+		// subtransactions exactly as to well-behaved ones.
+		nd.maybeAdvanceVU(v)
+	}
+
+	spec := msg.Spec
+	localOK := true
+	var reads []model.ReadResult
+	var undo []ncUndo
+
+	// Acquire NC locks on everything the subtransaction touches.
+	// Timeout is the deadlock victim rule; the vote below carries the
+	// failure to the 2PC coordinator.
+	for _, k := range touchedKeys(spec) {
+		if err := nd.lm.Acquire(msg.Txn, k, locks.NonCommuting); err != nil {
+			localOK = false
+			nd.metMu.Lock()
+			nd.metrics.LockAborts++
+			nd.metMu.Unlock()
+			break
+		}
+	}
+
+	if localOK {
+		release := nd.latches.Acquire(touchedKeys(spec))
+		// Step 3: reads.
+		for _, k := range spec.Reads {
+			rec, ver, ok := nd.store.ReadMax(k, v)
+			if !ok {
+				rec, ver = model.NewRecord(), 0
+			}
+			reads = append(reads, model.ReadResult{Node: nd.id, Key: k, VersionRead: ver, Record: rec})
+		}
+		// Step 4: for every updated item, abort if it already exists in
+		// a version greater than V(K); otherwise check-and-create
+		// x(V(K)) and update exactly that version (no dual write).
+		for _, u := range spec.Updates {
+			if nd.store.ExistsAbove(u.Key, v) {
+				localOK = false
+				break
+			}
+			if rec, ok := nd.store.Peek(u.Key, v); ok {
+				undo = append(undo, ncUndo{key: u.Key, ver: v, prev: rec.Clone()})
+			} else {
+				undo = append(undo, ncUndo{key: u.Key, ver: v, prev: nil})
+				nd.store.EnsureVersion(u.Key, v)
+			}
+			nd.store.ApplyExact(u.Key, v, u.Op)
+		}
+		release()
+	}
+
+	// Step 5: spawn children (only if the local part succeeded).
+	children := 0
+	if localOK {
+		for _, child := range spec.Children {
+			nd.cnt.IncR(v, child.Node)
+			nd.obs.onSpawn(msg.Txn, 1)
+			nd.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
+				Txn:      msg.Txn,
+				Version:  v,
+				Spec:     child,
+				NC:       true,
+				RootNode: rootNode,
+			}})
+			children++
+		}
+	}
+
+	// Register the executed subtransaction as participant state; the
+	// completion counter is NOT incremented yet — Section 5 step 6
+	// increments it atomically with the commit (or abort) decision.
+	nd.ncMu.Lock()
+	st := nd.ncPart[msg.Txn]
+	if st == nil {
+		st = &ncPartState{}
+		nd.ncPart[msg.Txn] = st
+	}
+	st.execs = append(st.execs, ncExec{source: from, ver: v, reads: reads, undo: undo})
+	nd.ncMu.Unlock()
+	nd.metMu.Lock()
+	nd.metrics.NCExecuted++
+	nd.metMu.Unlock()
+
+	// Phase 1 of 2PC: vote.
+	nd.net.Send(transport.Message{From: nd.id, To: rootNode, Payload: NCVoteMsg{
+		Txn:      msg.Txn,
+		Node:     nd.id,
+		OK:       localOK,
+		Children: children,
+		Root:     msg.Root,
+	}})
+}
+
+// handleNCVote runs at the NC transaction's coordinating node (the node
+// that received the root). Votes double as tree-size discovery: each
+// vote adds the voter's spawned-children count to the expected total,
+// so the coordinator knows when the last vote is in without knowing the
+// tree shape in advance.
+func (nd *Node) handleNCVote(p NCVoteMsg) {
+	nd.ncMu.Lock()
+	st := nd.ncCoord[p.Txn]
+	if st == nil {
+		st = &ncCoordState{expected: 1, ok: true, nodes: make(map[model.NodeID]bool)}
+		nd.ncCoord[p.Txn] = st
+	}
+	st.votes++
+	st.expected += p.Children
+	st.ok = st.ok && p.OK
+	if p.Root {
+		st.rootVoted = true
+	}
+	st.nodes[p.Node] = true
+	done := st.rootVoted && st.votes == st.expected
+	var participants []model.NodeID
+	commit := false
+	if done {
+		commit = st.ok
+		for n := range st.nodes {
+			participants = append(participants, n)
+		}
+		delete(nd.ncCoord, p.Txn)
+	}
+	nd.ncMu.Unlock()
+
+	if !done {
+		return
+	}
+	// Phase 2 of 2PC: decision to every participant node.
+	if !commit {
+		nd.obs.onNCAbort(p.Txn)
+	}
+	for _, n := range participants {
+		nd.net.Send(transport.Message{From: nd.id, To: n, Payload: NCDecisionMsg{Txn: p.Txn, Commit: commit}})
+	}
+}
+
+// handleNCDecision applies the 2PC outcome at a participant: on abort,
+// restore before-images (in reverse order) and drop versions this
+// transaction created; either way, increment the completion counter
+// for every subtransaction executed here — atomically with the
+// decision, per Section 5 step 6 — release the NC locks, and report.
+func (nd *Node) handleNCDecision(p NCDecisionMsg) {
+	nd.ncMu.Lock()
+	st := nd.ncPart[p.Txn]
+	delete(nd.ncPart, p.Txn)
+	nd.ncMu.Unlock()
+	if st == nil {
+		nd.violate("node %v: NC decision for unknown txn %v", nd.id, p.Txn)
+		return
+	}
+	if !p.Commit {
+		nd.metMu.Lock()
+		nd.metrics.NCAborts++
+		nd.metMu.Unlock()
+		for i := len(st.execs) - 1; i >= 0; i-- {
+			ex := st.execs[i]
+			for j := len(ex.undo) - 1; j >= 0; j-- {
+				u := ex.undo[j]
+				if u.prev == nil {
+					nd.store.Restore(u.key, u.ver, nil, true)
+				} else {
+					nd.store.Restore(u.key, u.ver, u.prev, false)
+				}
+			}
+		}
+	}
+	for _, ex := range st.execs {
+		nd.obs.onDone(p.Txn, nd.id, ex.reads, !p.Commit)
+		nd.cnt.IncC(ex.ver, ex.source)
+	}
+	nd.lm.ReleaseAll(p.Txn)
+}

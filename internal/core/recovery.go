@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// This file extends the paper: Section 4.3 assumes "a distributed
+// mutual exclusion mechanism ... ensures that at most one instance of
+// the version advancement process can run at any time", and the paper
+// does not discuss what happens if that one instance dies mid-cycle.
+// Because every advancement step is idempotent — version switches take
+// the max, counter rows are allocated lazily, garbage collection can
+// re-run — a replacement coordinator can always finish a predecessor's
+// cycle from the nodes' observable state alone:
+//
+//   - If every node agrees on (vr, vu) with vu == vr+1, no cycle was in
+//     flight (or it fully finished): adopt the state.
+//   - Otherwise some cycle targeting vuNew = max vu was interrupted.
+//     Re-run its remaining phases: re-broadcast the start-advancement
+//     notice (idempotent), wait for quiescence of vuNew-1, re-broadcast
+//     the read-version switch to vuNew-1 (idempotent), wait for
+//     quiescence of vuNew-2's queries, and garbage-collect.
+//
+// Crash simulation: Cluster.CrashCoordinator tears down the current
+// coordinator (any in-flight RunAdvancement returns with Interrupted
+// set) and installs a fresh one, whose Recover method performs the
+// procedure above.
+
+// RecoveryReport describes a Recover run.
+type RecoveryReport struct {
+	// Resumed is true when an interrupted cycle was found and finished;
+	// false when the cluster state was already clean.
+	Resumed bool
+	// VR and VU are the versions in force after recovery.
+	VR, VU model.Version
+	// Sweeps counts counter collections performed while resuming.
+	Sweeps int
+	Took   time.Duration
+}
+
+// crash marks the coordinator dead and wakes every blocked wait so
+// RunAdvancement unwinds.
+func (c *Coordinator) crash() {
+	c.mu.Lock()
+	c.dead = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// probeVersions collects every node's (vr, vu).
+func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) {
+	c.mu.Lock()
+	c.round++
+	round := c.round
+	c.mu.Unlock()
+	for i := 0; i < c.n; i++ {
+		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round}})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.probes[round]) < c.n {
+		if c.dead {
+			return nil, fmt.Errorf("core: coordinator crashed during probe")
+		}
+		c.cond.Wait()
+	}
+	out := c.probes[round]
+	delete(c.probes, round)
+	return out, nil
+}
+
+// Recover reconstructs the cluster's advancement state and finishes any
+// interrupted cycle. It must be called on a fresh coordinator (after
+// Cluster.CrashCoordinator) before any new RunAdvancement.
+func (c *Coordinator) Recover() (RecoveryReport, error) {
+	c.advMu.Lock()
+	defer c.advMu.Unlock()
+	start := time.Now()
+
+	views, err := c.probeVersions()
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	var maxVU, maxVR model.Version
+	clean := true
+	gcPending := false
+	var firstVR, firstVU model.Version
+	first := true
+	for _, v := range views {
+		if v.VU > maxVU {
+			maxVU = v.VU
+		}
+		if v.VR > maxVR {
+			maxVR = v.VR
+		}
+		if v.BelowVR {
+			gcPending = true
+		}
+		if first {
+			firstVR, firstVU = v.VR, v.VU
+			first = false
+		} else if v.VR != firstVR || v.VU != firstVU {
+			clean = false
+		}
+	}
+	if clean && maxVU == maxVR+1 && !gcPending {
+		c.vu, c.vr = maxVU, maxVR
+		return RecoveryReport{Resumed: false, VR: c.vr, VU: c.vu, Took: time.Since(start)}, nil
+	}
+	if clean && maxVU == maxVR+1 && gcPending {
+		// Phases 1–3 finished but Phase 4 did not: drain the old read
+		// version's queries and garbage-collect.
+		rep := RecoveryReport{Resumed: true}
+		rep.Sweeps += c.pollQuiescence(maxVR - 1)
+		c.broadcast(GCMsg{Keep: maxVR})
+		c.waitAcks(c.ackGC, maxVR)
+		c.vu, c.vr = maxVU, maxVR
+		rep.VR, rep.VU = c.vr, c.vu
+		rep.Took = time.Since(start)
+		return rep, nil
+	}
+
+	// An interrupted cycle targeted vuNew = maxVU (Phase 1 at least
+	// partially ran, or an implicit notification advanced someone).
+	// Its read-version target is vuNew-1.
+	vuNew := maxVU
+	vrNew := vuNew - 1
+	rep := RecoveryReport{Resumed: true}
+
+	// Finish Phase 1 (idempotent: nodes take the max and always ack).
+	c.broadcast(StartAdvancementMsg{NewVU: vuNew})
+	c.waitAcks(c.ackVU, vuNew)
+
+	// Phase 2: quiesce the outgoing update version.
+	rep.Sweeps += c.pollQuiescence(vuNew - 1)
+
+	// Phase 3 (idempotent).
+	c.broadcast(ReadVersionMsg{NewVR: vrNew})
+	c.waitAcks(c.ackVR, vrNew)
+
+	// Phase 4: quiesce the outgoing read version's queries, then GC.
+	// vrNew is at least 1 here (the first possible interrupted cycle
+	// targets vu=2/vr=1), so vrNew-1 is well-defined.
+	rep.Sweeps += c.pollQuiescence(vrNew - 1)
+	c.broadcast(GCMsg{Keep: vrNew})
+	c.waitAcks(c.ackGC, vrNew)
+
+	c.vu, c.vr = vuNew, vrNew
+	rep.VR, rep.VU = c.vr, c.vu
+	rep.Took = time.Since(start)
+	return rep, nil
+}
+
+// CrashCoordinator simulates the advancement coordinator dying: any
+// in-flight cycle is abandoned (its RunAdvancement returns with
+// Interrupted set) and a fresh coordinator takes over the endpoint.
+// Call Recover on the returned coordinator to finish whatever the dead
+// one left behind.
+func (c *Cluster) CrashCoordinator() *Coordinator {
+	old := c.currentCoordinator()
+	old.crash()
+	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval)
+	c.coordMu.Lock()
+	c.coord = fresh
+	c.coordMu.Unlock()
+	return fresh
+}

@@ -1,0 +1,275 @@
+// Package counters implements the per-version request/completion
+// counter scheme of Section 2.2 / 4 of the paper, and the asynchronous
+// stable-property detector the version-advancement coordinator uses in
+// Phases 2 and 4.
+//
+// For every version v and every ordered pair of nodes (p, q):
+//
+//   - R[v][p][q], stored at node p, counts subtransaction requests sent
+//     from p to q against version v (including p's own roots: R[v][p][p]
+//     is bumped when a root subtransaction is assigned version v at p).
+//   - C[v][p][q], stored at node q, counts subtransactions invoked from
+//     p that completed at q against version v.
+//
+// All transactions of version v are complete exactly when
+// R[v][p][q] == C[v][p][q] for every pair — and once every node has
+// advanced past v (so no new roots join v), this is a *stable* property
+// (Section 4.4 property 5): it can only flip from false to true, never
+// back. The coordinator therefore does not need to lock all counters
+// globally; it reads them asynchronously and repeatedly. Because a
+// sender increments R strictly before the message leaves and a receiver
+// increments C only at termination, a sloppy (non-atomic) observation
+// could in principle read a C increment caused by a request whose R
+// increment it missed; the standard remedy from the stable-property
+// detection literature (Chandy/Lamport, Helary et al.) is the double
+// collect implemented by Detector: two consecutive sweeps that agree
+// with each other and balance R against C prove quiescence.
+package counters
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// Table holds one node's counters for all active versions. A Table is
+// created with the cluster size and the owning node's id; the zero
+// value is not usable.
+//
+// All methods are safe for concurrent use. Per Section 4's only
+// concurrency assumption, individual reads and writes are atomic; no
+// larger atomicity is provided or needed.
+type Table struct {
+	mu   sync.Mutex
+	self model.NodeID
+	n    int
+	r    map[model.Version][]int64 // r[v][q]: requests sent self -> q
+	c    map[model.Version][]int64 // c[v][o]: completions at self of subtxns invoked from o
+}
+
+// NewTable returns a counter table for a cluster of n nodes, owned by
+// node self. All counters start at zero for version 0 (and any version
+// is lazily materialized on first touch).
+func NewTable(self model.NodeID, n int) *Table {
+	return &Table{
+		self: self,
+		n:    n,
+		r:    make(map[model.Version][]int64),
+		c:    make(map[model.Version][]int64),
+	}
+}
+
+// EnsureVersion allocates zeroed counter rows for version v if absent —
+// the "allocate and initialize to zero all the request and completion
+// counters for the new version" step of Sections 4.1 and 4.3.
+func (t *Table) EnsureVersion(v model.Version) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+}
+
+func (t *Table) ensureLocked(v model.Version) {
+	if _, ok := t.r[v]; !ok {
+		t.r[v] = make([]int64, t.n)
+	}
+	if _, ok := t.c[v]; !ok {
+		t.c[v] = make([]int64, t.n)
+	}
+}
+
+// IncR increments R[v][self][to]: a subtransaction request against
+// version v is about to be sent from this node to node to. Callers must
+// invoke IncR strictly before handing the message to the transport —
+// the quiescence argument depends on it.
+func (t *Table) IncR(v model.Version, to model.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	t.r[v][to]++
+}
+
+// IncC increments C[v][from][self]: a subtransaction of version v
+// invoked from node from has terminated (committed or aborted) at this
+// node. Callers invoke IncC atomically with local termination.
+func (t *Table) IncC(v model.Version, from model.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	t.c[v][from]++
+}
+
+// SnapshotR returns a copy of this node's R row for version v
+// (requests sent to each destination).
+func (t *Table) SnapshotR(v model.Version) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	out := make([]int64, t.n)
+	copy(out, t.r[v])
+	return out
+}
+
+// SnapshotC returns a copy of this node's C row for version v
+// (completions here, indexed by invoking node).
+func (t *Table) SnapshotC(v model.Version) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	out := make([]int64, t.n)
+	copy(out, t.c[v])
+	return out
+}
+
+// R returns the current value of R[v][self][to] (test/trace accessor).
+func (t *Table) R(v model.Version, to model.NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	return t.r[v][to]
+}
+
+// C returns the current value of C[v][from][self] (test/trace accessor).
+func (t *Table) C(v model.Version, from model.NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ensureLocked(v)
+	return t.c[v][from]
+}
+
+// DropBelow discards counter rows for all versions strictly below v —
+// the counter garbage collection of advancement Phase 4.
+func (t *Table) DropBelow(v model.Version) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for ver := range t.r {
+		if ver < v {
+			delete(t.r, ver)
+		}
+	}
+	for ver := range t.c {
+		if ver < v {
+			delete(t.c, ver)
+		}
+	}
+}
+
+// Versions returns the versions that currently have counter rows,
+// ascending.
+func (t *Table) Versions() []model.Version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]model.Version, 0, len(t.r))
+	for v := range t.r {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot is one sweep of the whole cluster's counters for a single
+// version: R[p][q] as reported by each node p, and C[p][q] as reported
+// by each node q (stored here already transposed to [p][q] so the
+// quiescence condition is a plain element-wise comparison).
+type Snapshot struct {
+	N int
+	R [][]int64 // R[p][q]
+	C [][]int64 // C[p][q]
+}
+
+// NewSnapshot allocates an n×n snapshot.
+func NewSnapshot(n int) *Snapshot {
+	s := &Snapshot{N: n, R: make([][]int64, n), C: make([][]int64, n)}
+	for i := 0; i < n; i++ {
+		s.R[i] = make([]int64, n)
+		s.C[i] = make([]int64, n)
+	}
+	return s
+}
+
+// SetFromNode installs node p's reported rows into the snapshot: rRow
+// is p's R row (requests p→q, indexed by q) and cRow is p's C row
+// (completions at p invoked from o, indexed by o — transposed into
+// C[o][p] here).
+func (s *Snapshot) SetFromNode(p model.NodeID, rRow, cRow []int64) {
+	copy(s.R[p], rRow)
+	for o := 0; o < s.N; o++ {
+		s.C[o][p] = cRow[o]
+	}
+}
+
+// Balanced reports whether R[p][q] == C[p][q] for all pairs.
+func (s *Snapshot) Balanced() bool {
+	for p := 0; p < s.N; p++ {
+		for q := 0; q < s.N; q++ {
+			if s.R[p][q] != s.C[p][q] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two snapshots carry identical counters.
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	if o == nil || s.N != o.N {
+		return false
+	}
+	for p := 0; p < s.N; p++ {
+		for q := 0; q < s.N; q++ {
+			if s.R[p][q] != o.R[p][q] || s.C[p][q] != o.C[p][q] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the snapshot for traces and failures.
+func (s *Snapshot) String() string {
+	out := ""
+	for p := 0; p < s.N; p++ {
+		for q := 0; q < s.N; q++ {
+			if s.R[p][q] != 0 || s.C[p][q] != 0 {
+				out += fmt.Sprintf("R[%v->%v]=%d C=%d ", model.NodeID(p), model.NodeID(q), s.R[p][q], s.C[p][q])
+			}
+		}
+	}
+	if out == "" {
+		return "(all zero)"
+	}
+	return out
+}
+
+// Detector decides quiescence of one version from a stream of
+// asynchronous snapshots using the double-collect rule: declare
+// quiescence after two consecutive snapshots that are balanced and
+// identical to each other. Feed it snapshots in the order collected;
+// Quiescent latches true once satisfied (stable property).
+type Detector struct {
+	prev      *Snapshot
+	quiescent bool
+	sweeps    int
+}
+
+// Offer feeds the next collected snapshot and returns the current
+// verdict.
+func (d *Detector) Offer(s *Snapshot) bool {
+	d.sweeps++
+	if d.quiescent {
+		return true
+	}
+	if s.Balanced() && s.Equal(d.prev) {
+		d.quiescent = true
+	}
+	d.prev = s
+	return d.quiescent
+}
+
+// Quiescent returns the latched verdict.
+func (d *Detector) Quiescent() bool { return d.quiescent }
+
+// Sweeps returns how many snapshots have been offered — the detection
+// cost metric of experiment E7.
+func (d *Detector) Sweeps() int { return d.sweeps }

@@ -1,0 +1,262 @@
+package counters
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestTableIncrements(t *testing.T) {
+	tb := NewTable(0, 3)
+	tb.IncR(1, 1)
+	tb.IncR(1, 1)
+	tb.IncR(1, 0)
+	tb.IncC(1, 2)
+	if got := tb.R(1, 1); got != 2 {
+		t.Errorf("R(1,q) = %d, want 2", got)
+	}
+	if got := tb.R(1, 0); got != 1 {
+		t.Errorf("R(1,p) = %d, want 1", got)
+	}
+	if got := tb.C(1, 2); got != 1 {
+		t.Errorf("C(1,s) = %d, want 1", got)
+	}
+	if got := tb.C(1, 0); got != 0 {
+		t.Errorf("C(1,p) = %d, want 0", got)
+	}
+}
+
+func TestSnapshotRows(t *testing.T) {
+	tb := NewTable(1, 3)
+	tb.IncR(2, 0)
+	tb.IncC(2, 2)
+	r := tb.SnapshotR(2)
+	c := tb.SnapshotC(2)
+	if r[0] != 1 || r[1] != 0 || r[2] != 0 {
+		t.Errorf("SnapshotR = %v", r)
+	}
+	if c[2] != 1 || c[0] != 0 {
+		t.Errorf("SnapshotC = %v", c)
+	}
+	// Snapshots are copies.
+	r[0] = 99
+	if tb.R(2, 0) != 1 {
+		t.Error("mutating snapshot changed table")
+	}
+}
+
+func TestDropBelowAndVersions(t *testing.T) {
+	tb := NewTable(0, 2)
+	tb.EnsureVersion(0)
+	tb.EnsureVersion(1)
+	tb.EnsureVersion(2)
+	vs := tb.Versions()
+	if len(vs) != 3 || vs[0] != 0 || vs[2] != 2 {
+		t.Fatalf("Versions = %v", vs)
+	}
+	tb.DropBelow(2)
+	vs = tb.Versions()
+	if len(vs) != 1 || vs[0] != 2 {
+		t.Errorf("Versions after DropBelow = %v", vs)
+	}
+}
+
+func TestSnapshotBalanced(t *testing.T) {
+	s := NewSnapshot(2)
+	if !s.Balanced() {
+		t.Error("zero snapshot not balanced")
+	}
+	s.R[0][1] = 1
+	if s.Balanced() {
+		t.Error("unbalanced snapshot reported balanced")
+	}
+	s.C[0][1] = 1
+	if !s.Balanced() {
+		t.Error("balanced snapshot reported unbalanced")
+	}
+}
+
+func TestSnapshotSetFromNodeTransposesC(t *testing.T) {
+	// Node q=1 reports it completed 3 subtxns invoked from p=0; the
+	// snapshot must store that as C[0][1].
+	s := NewSnapshot(2)
+	s.SetFromNode(1, []int64{0, 0}, []int64{3, 0})
+	if s.C[0][1] != 3 {
+		t.Errorf("C[0][1] = %d, want 3 (transposition wrong)", s.C[0][1])
+	}
+	s.SetFromNode(0, []int64{0, 3}, []int64{0, 0})
+	if s.R[0][1] != 3 {
+		t.Errorf("R[0][1] = %d, want 3", s.R[0][1])
+	}
+	if !s.Balanced() {
+		t.Error("matched R/C not balanced after SetFromNode")
+	}
+}
+
+func TestSnapshotEqualAndString(t *testing.T) {
+	a, b := NewSnapshot(2), NewSnapshot(2)
+	if !a.Equal(b) {
+		t.Error("zero snapshots unequal")
+	}
+	if a.Equal(nil) {
+		t.Error("Equal(nil) = true")
+	}
+	if a.Equal(NewSnapshot(3)) {
+		t.Error("snapshots of different size equal")
+	}
+	b.R[1][0] = 5
+	if a.Equal(b) {
+		t.Error("different snapshots equal")
+	}
+	if a.String() != "(all zero)" {
+		t.Errorf("zero String = %q", a.String())
+	}
+	if b.String() == "(all zero)" {
+		t.Error("nonzero snapshot rendered as all zero")
+	}
+}
+
+func TestDetectorNeedsDoubleCollect(t *testing.T) {
+	d := &Detector{}
+	s1 := NewSnapshot(2) // balanced (all zero)
+	if d.Offer(s1) {
+		t.Fatal("detector fired after a single balanced snapshot")
+	}
+	s2 := NewSnapshot(2)
+	if !d.Offer(s2) {
+		t.Fatal("detector did not fire after two identical balanced snapshots")
+	}
+	if !d.Quiescent() {
+		t.Error("Quiescent() = false after firing")
+	}
+	if d.Sweeps() != 2 {
+		t.Errorf("Sweeps = %d, want 2", d.Sweeps())
+	}
+	// Latches: later garbage does not un-fire it.
+	bad := NewSnapshot(2)
+	bad.R[0][0] = 7
+	if !d.Offer(bad) {
+		t.Error("latched detector un-fired")
+	}
+}
+
+func TestDetectorRejectsChangingCounters(t *testing.T) {
+	d := &Detector{}
+	s1 := NewSnapshot(2)
+	s1.R[0][1], s1.C[0][1] = 1, 1 // balanced
+	d.Offer(s1)
+	s2 := NewSnapshot(2)
+	s2.R[0][1], s2.C[0][1] = 2, 2 // balanced but different → activity between sweeps
+	if d.Offer(s2) {
+		t.Fatal("detector fired on two balanced but different snapshots")
+	}
+	s3 := NewSnapshot(2)
+	s3.R[0][1], s3.C[0][1] = 2, 2
+	if !d.Offer(s3) {
+		t.Fatal("detector did not fire on repeated identical balanced snapshot")
+	}
+}
+
+// TestPropertyDetectorNeverFiresEarly simulates a random execution
+// obeying the protocol's structure: before "closure" (the moment every
+// node has advanced its update version) new roots may join version 1;
+// after closure, new version-1 requests originate only from still
+// in-flight version-1 subtransactions (a parent spawning children
+// before it terminates). Under that structure "all version-1 work
+// done" is a stable property, and the detector — fed sweeps taken at
+// arbitrary interleavings — must never fire while work is outstanding,
+// and must fire once everything drains.
+func TestPropertyDetectorNeverFiresEarly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 3
+		tables := make([]*Table, n)
+		for i := range tables {
+			tables[i] = NewTable(model.NodeID(i), n)
+		}
+		type msg struct{ from, to model.NodeID }
+		var inflight []msg
+		send := func(from, to model.NodeID) {
+			tables[from].IncR(1, to) // R is bumped strictly before the send
+			inflight = append(inflight, msg{from, to})
+		}
+		d := &Detector{}
+		collect := func() *Snapshot {
+			s := NewSnapshot(n)
+			for p := 0; p < n; p++ {
+				s.SetFromNode(model.NodeID(p), tables[p].SnapshotR(1), tables[p].SnapshotC(1))
+			}
+			return s
+		}
+		const closure = 80 // after this step no new roots join version 1
+		for step := 0; step < 240; step++ {
+			switch rng.Intn(5) {
+			case 0, 1: // a new root arrives (only before closure)
+				if step < closure {
+					p := model.NodeID(rng.Intn(n))
+					send(p, p) // root bumps R[v][p][p]
+				}
+			case 2, 3: // an in-flight subtransaction executes: it may
+				// spawn children (bumping R before each send), then
+				// terminates (bumping C).
+				if len(inflight) > 0 {
+					i := rng.Intn(len(inflight))
+					m := inflight[i]
+					inflight = append(inflight[:i], inflight[i+1:]...)
+					for k := rng.Intn(3); k > 0 && step < 200; k-- {
+						send(m.to, model.NodeID(rng.Intn(n)))
+					}
+					tables[m.to].IncC(1, m.from)
+				}
+			case 4: // coordinator sweep
+				if step < closure {
+					continue // coordinator only polls after closure
+				}
+				if d.Offer(collect()) && len(inflight) > 0 {
+					return false // fired early: unsound
+				}
+			}
+		}
+		// Drain whatever is left (no further spawning) and confirm the
+		// detector eventually fires.
+		for _, m := range inflight {
+			tables[m.to].IncC(1, m.from)
+		}
+		inflight = nil
+		d.Offer(collect())
+		return d.Offer(collect())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentTableAccess(t *testing.T) {
+	tb := NewTable(0, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tb.IncR(model.Version(i%3), model.NodeID(i%4))
+				tb.IncC(model.Version(i%3), model.NodeID(g))
+				tb.SnapshotR(model.Version(i % 3))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// 4 goroutines × 1000 increments spread over 3 versions and 4 destinations.
+	total := int64(0)
+	for _, v := range tb.Versions() {
+		for _, x := range tb.SnapshotR(v) {
+			total += x
+		}
+	}
+	if total != 4000 {
+		t.Errorf("total R increments = %d, want 4000", total)
+	}
+}

@@ -1,0 +1,613 @@
+// Package experiments implements the reproduction's experiment suite
+// E1–E13 (see DESIGN.md §4): every artifact of the paper (Table 1,
+// Figure 2) plus every measurable claim (no-delay advancement, ≤3
+// versions, anomaly elimination, scalability vs. global two-phase
+// commit, compensation-safe counters, staleness control). Each
+// experiment returns a rendered table; cmd/threev-bench prints them and
+// bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/baseline/copyalways"
+	"repro/internal/baseline/globalsync"
+	"repro/internal/baseline/manualver"
+	"repro/internal/baseline/nocoord"
+	"repro/internal/baseline/syncadv"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Scale tunes experiment sizes: 1 is the quick suite (seconds), larger
+// values multiply transaction counts.
+type Scale struct {
+	Txns int // base transaction count per run
+}
+
+// DefaultScale is used by cmd/threev-bench.
+var DefaultScale = Scale{Txns: 400}
+
+// preloadFields is the record every generator-touched item starts with.
+func preloadRec() *model.Record {
+	rec := model.NewRecord()
+	rec.Fields["bal"] = 0
+	rec.Fields["count"] = 0
+	return rec
+}
+
+// newThreeV builds a started 3V cluster as a baseline.System.
+func newThreeV(nodes int, ncMode bool, net transport.Config) (baseline.ThreeV, *core.Cluster, error) {
+	c, err := core.NewCluster(core.Config{
+		Nodes:     nodes,
+		NCMode:    ncMode,
+		LockWait:  time.Second,
+		NetConfig: net,
+	})
+	if err != nil {
+		return baseline.ThreeV{}, nil, err
+	}
+	c.Start()
+	return baseline.ThreeV{Cluster: c}, c, nil
+}
+
+// E1Table1 replays the paper's Table 1 / Figure 2 execution and
+// returns the step report (experiments E1+E2).
+func E1Table1() (*trace.Result, error) {
+	return trace.Replay()
+}
+
+// E3AnomalyRate measures the fraction of group reads that observe a
+// partial multi-node update — the hospital anomaly — for 3V, the
+// no-coordination baseline, and manual versioning at two stabilization
+// delays. Expected shape: 3V = 0; NoCoord > 0; ManualVer > 0 with zero
+// delay, shrinking as the delay grows.
+func E3AnomalyRate(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E3: anomaly rate (hospital workload, 3 nodes, jittered network)",
+		Header: []string{"system", "reads", "anomalies", "rate", "throughput(txn/s)"},
+	}
+	net := transport.Config{Jitter: 500 * time.Microsecond, Seed: 7}
+	run := func(sys baseline.System, preload func(model.NodeID, string), advance time.Duration) harness.RunResult {
+		gen := workload.New(workload.Hospital(3, 11))
+		return harness.Run(sys, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: advance,
+			Gen:             gen,
+			Preload:         preload,
+		})
+	}
+
+	tv, c, err := newThreeV(3, false, net)
+	if err != nil {
+		return nil, err
+	}
+	res := run(tv, func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) }, 2*time.Millisecond)
+	tv.Close()
+	tbl.Add(res.System, fmt.Sprint(res.AuditedReads), fmt.Sprint(res.Anomalies),
+		harness.F2(res.AnomalyRate()), harness.F2(res.Throughput()))
+	if res.Anomalies != 0 {
+		return tbl, fmt.Errorf("E3: 3V produced %d anomalies", res.Anomalies)
+	}
+
+	nc, err := nocoord.New(nocoord.Config{Nodes: 3, NetConfig: net})
+	if err != nil {
+		return nil, err
+	}
+	res = run(nc, func(n model.NodeID, k string) { nc.Preload(n, k, preloadRec()) }, 0)
+	nc.Close()
+	tbl.Add(res.System, fmt.Sprint(res.AuditedReads), fmt.Sprint(res.Anomalies),
+		harness.F2(res.AnomalyRate()), harness.F2(res.Throughput()))
+
+	for _, delay := range []time.Duration{0, 5 * time.Millisecond} {
+		mv, err := manualver.New(manualver.Config{Nodes: 3, StabilizationDelay: delay, NetConfig: net})
+		if err != nil {
+			return nil, err
+		}
+		res = run(mv, func(n model.NodeID, k string) { mv.Preload(n, k, preloadRec()) }, 2*time.Millisecond)
+		mv.Close()
+		tbl.Add(fmt.Sprintf("%s(delay=%v)", res.System, delay), fmt.Sprint(res.AuditedReads),
+			fmt.Sprint(res.Anomalies), harness.F2(res.AnomalyRate()), harness.F2(res.Throughput()))
+	}
+	return tbl, nil
+}
+
+// E4VersionBound runs the call-recording workload with aggressive
+// continuous advancement and reports the version-bound invariants: the
+// largest number of live versions ever observed (paper bound: 3) and
+// any structural violations.
+func E4VersionBound(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E4: version bound under aggressive advancement (call recording, 4 nodes)",
+		Header: []string{"advance-interval", "txns", "advances", "max-live-versions", "violations"},
+	}
+	for _, interval := range []time.Duration{500 * time.Microsecond, 2 * time.Millisecond} {
+		tv, c, err := newThreeV(4, false, transport.Config{Jitter: 300 * time.Microsecond, Seed: 3})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.CallRecording(4, 17))
+		res := harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: interval,
+			FinalAdvance:    true,
+			Gen:             gen,
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		maxLive := c.MaxLiveVersionsEver()
+		vio := len(c.Violations())
+		tv.Close()
+		tbl.Add(fmt.Sprint(interval), fmt.Sprint(res.Completed), fmt.Sprint(res.Advances),
+			fmt.Sprint(maxLive), fmt.Sprint(vio))
+		if maxLive > 3 || vio > 0 {
+			return tbl, fmt.Errorf("E4: bound violated: maxLive=%d violations=%d", maxLive, vio)
+		}
+	}
+	return tbl, nil
+}
+
+// E5AdvancementInterference measures user-transaction latency while
+// version advancement runs continuously: 3V (asynchronous advancement)
+// vs 3V with advancement off (control) vs the synchronous-advancement
+// strawman vs global 2PC. Expected shape: 3V's p99 is unaffected by
+// advancement; SyncAdv's max latency balloons (transactions queue
+// behind the freeze); Global2PC is slower across the board.
+func E5AdvancementInterference(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E5: user latency with continuous advancement (4 nodes, 500µs base latency)",
+		Header: []string{"system", "advances", "p50(ms)", "p99(ms)", "max(ms)", "throughput(txn/s)"},
+	}
+	net := transport.Config{BaseLatency: 500 * time.Microsecond, Jitter: 200 * time.Microsecond, Seed: 23}
+	mkGen := func() *workload.Generator {
+		return workload.New(workload.Config{Nodes: 4, Groups: 64, Span: 2, ReadFraction: 0.2, Seed: 29})
+	}
+	add := func(res harness.RunResult, label string) {
+		tbl.Add(label, fmt.Sprint(res.Advances), harness.Ms(res.LatAll.Quantile(0.5)),
+			harness.Ms(res.LatAll.Quantile(0.99)), harness.Ms(res.LatAll.Max()),
+			harness.F2(res.Throughput()))
+	}
+
+	// 3V without advancement (control).
+	tv, c, err := newThreeV(4, false, net)
+	if err != nil {
+		return nil, err
+	}
+	res := harness.Run(tv, harness.RunConfig{Txns: sc.Txns, Concurrency: 8, Gen: mkGen(),
+		Preload: func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) }})
+	tv.Close()
+	add(res, "3V (no advancement)")
+	control99 := res.LatAll.Quantile(0.99)
+
+	// 3V with continuous advancement.
+	tv, c, err = newThreeV(4, false, net)
+	if err != nil {
+		return nil, err
+	}
+	res = harness.Run(tv, harness.RunConfig{Txns: sc.Txns, Concurrency: 8, Gen: mkGen(),
+		AdvanceInterval: time.Millisecond,
+		Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) }})
+	tv.Close()
+	add(res, "3V (continuous advancement)")
+	threeV99 := res.LatAll.Quantile(0.99)
+
+	// SyncAdv with the same advancement cadence.
+	sa, err := syncadv.New(syncadv.Config{Nodes: 4, NetConfig: net})
+	if err != nil {
+		return nil, err
+	}
+	res = harness.Run(sa, harness.RunConfig{Txns: sc.Txns, Concurrency: 8, Gen: mkGen(),
+		AdvanceInterval: time.Millisecond,
+		Preload:         func(n model.NodeID, k string) { sa.Preload(n, k, preloadRec()) }})
+	sa.Close()
+	add(res, "SyncAdv (continuous advancement)")
+
+	// Global 2PC (no advancement concept).
+	gs, err := globalsync.New(globalsync.Config{Nodes: 4, LockWait: 2 * time.Second, NetConfig: net})
+	if err != nil {
+		return nil, err
+	}
+	res = harness.Run(gs, harness.RunConfig{Txns: sc.Txns, Concurrency: 8, Gen: mkGen(),
+		Preload: func(n model.NodeID, k string) { gs.Preload(n, k, preloadRec()) }})
+	gs.Close()
+	add(res, "Global2PC")
+
+	// Sanity of the headline claim: advancement must not blow up 3V's
+	// tail latency (allow generous headroom for scheduler noise).
+	if control99 > 0 && threeV99 > control99*20 {
+		return tbl, fmt.Errorf("E5: advancement inflated 3V p99 from %v to %v", control99, threeV99)
+	}
+	return tbl, nil
+}
+
+// E6NonCommutingFraction sweeps the share of non-commuting transactions
+// through NC3V. Expected shape: graceful throughput degradation, and
+// the 0%% point behaving like plain 3V with zero anomalies throughout.
+func E6NonCommutingFraction(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E6: NC3V with a non-commuting fraction (point-of-sale, 4 nodes)",
+		Header: []string{"nc-fraction", "completed", "timeouts", "p99(ms)", "throughput(txn/s)", "anomalies"},
+	}
+	for _, frac := range []float64{0, 0.05, 0.2, 0.5} {
+		tv, c, err := newThreeV(4, true, transport.Config{Jitter: 200 * time.Microsecond, Seed: 41})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.PointOfSale(4, frac, 43))
+		res := harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: 5 * time.Millisecond,
+			Gen:             gen,
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		vio := len(c.Violations())
+		tv.Close()
+		tbl.Add(fmt.Sprintf("%.0f%%", frac*100), fmt.Sprint(res.Completed), fmt.Sprint(res.TimedOut),
+			harness.Ms(res.LatAll.Quantile(0.99)), harness.F2(res.Throughput()), fmt.Sprint(res.Anomalies))
+		if res.Anomalies > 0 || vio > 0 {
+			return tbl, fmt.Errorf("E6: frac %.2f: anomalies=%d violations=%d", frac, res.Anomalies, vio)
+		}
+	}
+	return tbl, nil
+}
+
+// E7QuiescenceDetection measures Phase 2 of version advancement — the
+// asynchronous termination detector — as in-flight load and message
+// latency grow: how long the updates phase-out takes and how many
+// counter sweeps it needs. Soundness (never declaring early) is checked
+// by the protocol invariants: an early declaration would corrupt the
+// read version and show up as an anomaly or violation.
+func E7QuiescenceDetection(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E7: quiescence detection cost (Phase 2) vs latency and fan-out",
+		Header: []string{"base-latency", "fan-out", "phase2(ms)", "sweeps", "phase4(ms)", "total(ms)"},
+	}
+	for _, lat := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond} {
+		for _, span := range []int{2, 4} {
+			tv, c, err := newThreeV(4, false, transport.Config{BaseLatency: lat, Jitter: lat / 2, Seed: 51})
+			if err != nil {
+				return nil, err
+			}
+			gen := workload.New(workload.Config{Nodes: 4, Groups: 64, Span: span, Seed: 53})
+			done := make(chan harness.RunResult, 1)
+			go func() {
+				done <- harness.Run(tv, harness.RunConfig{
+					Txns:        sc.Txns / 2,
+					Concurrency: 8,
+					Gen:         gen,
+					Preload:     func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+				})
+			}()
+			// Let load build, then advance mid-flight.
+			time.Sleep(5 * time.Millisecond)
+			rep := c.Advance()
+			<-done
+			tv.Close()
+			tbl.Add(fmt.Sprint(lat), fmt.Sprint(span), harness.Ms(rep.Phase2),
+				fmt.Sprint(rep.SweepsPhase2), harness.Ms(rep.Phase4), harness.Ms(rep.Total))
+		}
+	}
+	return tbl, nil
+}
+
+// E8CopyOverhead compares 3V's copy-on-first-update-per-epoch against
+// the related-work discipline of copying the whole object on every
+// update (Section 7). Expected shape: with u updates per item per
+// epoch, 3V makes ~1/u as many copies; the gap widens as records grow.
+func E8CopyOverhead(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E8: copies per committed update — 3V vs copy-per-update (single node stream)",
+		Header: []string{"updates/item/epoch", "updates", "3V-copies", "3V-bytes", "CA-copies", "CA-bytes", "copy-ratio"},
+	}
+	for _, perEpoch := range []int{1, 4, 16} {
+		const items = 32
+		updates := items * perEpoch * 4 // four epochs
+		st := storage.New()
+		ca := copyalways.New(2)
+		for i := 0; i < items; i++ {
+			key := fmt.Sprintf("k%02d", i)
+			st.Preload(key, preloadRec())
+			ca.Preload(key, preloadRec())
+		}
+		rng := rand.New(rand.NewSource(61))
+		epoch := model.Version(1)
+		for u := 0; u < updates; u++ {
+			key := fmt.Sprintf("k%02d", rng.Intn(items))
+			op := model.AddOp{Field: "bal", Delta: 1}
+			// 3V: copy-on-update into the current epoch version.
+			st.EnsureVersion(key, epoch)
+			st.ApplyFrom(key, epoch, op)
+			ca.Apply(key, op)
+			if (u+1)%(items*perEpoch) == 0 {
+				st.GC(epoch) // publish the epoch, drop superseded copies
+				epoch++
+			}
+		}
+		s3, sca := st.Stats(), ca.Stats()
+		ratio := float64(sca.Copies) / float64(maxI64(s3.Copies, 1))
+		tbl.Add(fmt.Sprint(perEpoch), fmt.Sprint(updates), fmt.Sprint(s3.Copies),
+			fmt.Sprint(s3.BytesCopied), fmt.Sprint(sca.Copies), fmt.Sprint(sca.BytesCopied),
+			harness.F2(ratio))
+		if perEpoch > 1 && sca.Copies <= s3.Copies {
+			return tbl, fmt.Errorf("E8: copy-always (%d) not costlier than 3V (%d) at %d updates/item/epoch",
+				sca.Copies, s3.Copies, perEpoch)
+		}
+	}
+	return tbl, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E9ThroughputScaling compares transaction throughput of 3V, NoCoord
+// (upper bound) and Global2PC as per-message latency grows. Expected
+// shape: 3V tracks NoCoord (its messages are one-way and off the
+// commit path); Global2PC degrades with latency because every commit
+// waits for the vote and decision rounds.
+func E9ThroughputScaling(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E9: throughput vs message latency (4 nodes, recording workload)",
+		Header: []string{"latency", "3V(txn/s)", "NoCoord(txn/s)", "Global2PC(txn/s)", "3V/2PC"},
+	}
+	for _, lat := range []time.Duration{0, time.Millisecond, 3 * time.Millisecond} {
+		net := transport.Config{BaseLatency: lat, Seed: 71}
+		mkGen := func() *workload.Generator {
+			return workload.New(workload.Config{Nodes: 4, Groups: 128, Span: 2, ReadFraction: 0.1, Seed: 73})
+		}
+		txns := sc.Txns
+		if lat >= 3*time.Millisecond {
+			txns = sc.Txns / 2 // keep the slow points affordable
+		}
+
+		tv, c, err := newThreeV(4, false, net)
+		if err != nil {
+			return nil, err
+		}
+		r3 := harness.Run(tv, harness.RunConfig{Txns: txns, Concurrency: 16, Gen: mkGen(),
+			AdvanceInterval: 10 * time.Millisecond,
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) }})
+		tv.Close()
+
+		ncS, err := nocoord.New(nocoord.Config{Nodes: 4, NetConfig: net})
+		if err != nil {
+			return nil, err
+		}
+		rn := harness.Run(ncS, harness.RunConfig{Txns: txns, Concurrency: 16, Gen: mkGen(),
+			Preload: func(n model.NodeID, k string) { ncS.Preload(n, k, preloadRec()) }})
+		ncS.Close()
+
+		gs, err := globalsync.New(globalsync.Config{Nodes: 4, LockWait: 5 * time.Second, NetConfig: net})
+		if err != nil {
+			return nil, err
+		}
+		rg := harness.Run(gs, harness.RunConfig{Txns: txns, Concurrency: 16, Gen: mkGen(),
+			Preload: func(n model.NodeID, k string) { gs.Preload(n, k, preloadRec()) }})
+		gs.Close()
+
+		speedup := r3.Throughput() / maxF(rg.Throughput(), 0.001)
+		tbl.Add(fmt.Sprint(lat), harness.F2(r3.Throughput()), harness.F2(rn.Throughput()),
+			harness.F2(rg.Throughput()), harness.F2(speedup))
+	}
+	return tbl, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E10Compensation sweeps the abort rate: compensating subtransactions
+// must keep the counters balanced (advancement completes), reads must
+// never observe any part of a compensated transaction, and the version
+// bound must hold.
+func E10Compensation(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E10: compensation under aborts (hospital workload, 3 nodes)",
+		Header: []string{"abort-rate", "completed", "compensations", "anomalies", "advances", "violations"},
+	}
+	for _, abort := range []float64{0, 0.1, 0.3} {
+		tv, c, err := newThreeV(3, false, transport.Config{Jitter: 300 * time.Microsecond, Seed: 83})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{Nodes: 3, Groups: 64, Span: 2,
+			ReadFraction: 0.3, AbortFraction: abort, Seed: 89})
+		res := harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: 2 * time.Millisecond,
+			FinalAdvance:    true,
+			Gen:             gen,
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		comp := int64(0)
+		for _, nm := range c.Metrics().PerNode {
+			comp += nm.Compensations
+		}
+		vio := len(c.Violations())
+		tv.Close()
+		tbl.Add(fmt.Sprintf("%.0f%%", abort*100), fmt.Sprint(res.Completed), fmt.Sprint(comp),
+			fmt.Sprint(res.Anomalies), fmt.Sprint(res.Advances), fmt.Sprint(vio))
+		if res.Anomalies > 0 || vio > 0 {
+			return tbl, fmt.Errorf("E10: abort %.2f: anomalies=%d violations=%d", abort, res.Anomalies, vio)
+		}
+		if abort > 0 && comp == 0 {
+			return tbl, fmt.Errorf("E10: abort %.2f ran but no compensations recorded", abort)
+		}
+	}
+	return tbl, nil
+}
+
+// E11Staleness measures how far reads trail committed updates (in
+// missed updates per group) as the advancement period varies, for 3V's
+// automated advancement vs manual versioning. Expected shape: 3V's
+// staleness shrinks as advancement quickens; manual versioning adds its
+// stabilization delay on top of the period.
+func E11Staleness(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E11: read staleness vs advancement period (call recording, 3 nodes)",
+		Header: []string{"system", "period", "mean-staleness(updates)", "max-staleness", "anomalies"},
+	}
+	net := transport.Config{Jitter: 200 * time.Microsecond, Seed: 97}
+	gencfg := workload.Config{Nodes: 3, Groups: 8, Span: 2, ReadFraction: 0.3, Seed: 101}
+	for _, period := range []time.Duration{time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		tv, c, err := newThreeV(3, false, net)
+		if err != nil {
+			return nil, err
+		}
+		res := harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: period,
+			Gen:             workload.New(gencfg),
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		tv.Close()
+		tbl.Add("3V", fmt.Sprint(period), harness.F2(res.StalenessMean),
+			fmt.Sprint(res.StalenessMax), fmt.Sprint(res.Anomalies))
+	}
+	for _, period := range []time.Duration{5 * time.Millisecond} {
+		mv, err := manualver.New(manualver.Config{Nodes: 3, StabilizationDelay: 10 * time.Millisecond, NetConfig: net})
+		if err != nil {
+			return nil, err
+		}
+		res := harness.Run(mv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: period,
+			Gen:             workload.New(gencfg),
+			Preload:         func(n model.NodeID, k string) { mv.Preload(n, k, preloadRec()) },
+		})
+		mv.Close()
+		tbl.Add("ManualVer(+10ms delay)", fmt.Sprint(period), harness.F2(res.StalenessMean),
+			fmt.Sprint(res.StalenessMax), fmt.Sprint(res.Anomalies))
+	}
+	return tbl, nil
+}
+
+// E12DualWriteOverhead quantifies the paper's Section 2.3 remark: "the
+// overhead of performing two updates instead of one applies only when
+// there is data contention" — i.e. dual writes happen only to items
+// touched on both sides of an in-flight advancement, so their rate
+// grows with advancement frequency and contention, and is zero when no
+// advancement runs.
+func E12DualWriteOverhead(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E12: dual-write rate vs advancement frequency (ablation of §2.3)",
+		Header: []string{"advance-interval", "groups", "updates-applied", "dual-writes", "dual-rate"},
+	}
+	for _, cfg := range []struct {
+		interval time.Duration
+		groups   int
+	}{
+		{0, 8},                      // no advancement: dual writes impossible
+		{10 * time.Millisecond, 8},  // slow cadence, high contention
+		{2 * time.Millisecond, 8},   // aggressive cadence, high contention
+		{2 * time.Millisecond, 256}, // aggressive cadence, low contention
+	} {
+		// Heavy jitter makes in-flight version-v subtransactions
+		// straddle advancement windows — the precondition for a dual
+		// write.
+		tv, c, err := newThreeV(3, false, transport.Config{
+			BaseLatency: 500 * time.Microsecond, Jitter: 3 * time.Millisecond, Seed: 111})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{Nodes: 3, Groups: cfg.groups, Span: 2, Seed: 113})
+		harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns,
+			Concurrency:     8,
+			AdvanceInterval: cfg.interval,
+			Gen:             gen,
+			Preload:         func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		var applied, dual int64
+		for _, nm := range c.Metrics().PerNode {
+			applied += nm.SubtxnsExecuted
+			dual += nm.DualWrites
+		}
+		tv.Close()
+		rate := float64(dual) / float64(maxI64(applied, 1))
+		tbl.Add(fmt.Sprint(cfg.interval), fmt.Sprint(cfg.groups), fmt.Sprint(applied),
+			fmt.Sprint(dual), harness.F2(rate))
+		if cfg.interval == 0 && dual != 0 {
+			return tbl, fmt.Errorf("E12: %d dual writes with advancement disabled", dual)
+		}
+	}
+	return tbl, nil
+}
+
+// E13RecoveryCost measures the coordinator crash/recovery extension:
+// how long a successor takes to adopt a clean state vs finish an
+// interrupted cycle, and that user transactions keep flowing either
+// way.
+func E13RecoveryCost(sc Scale) (*harness.Table, error) {
+	tbl := &harness.Table{
+		Title:  "E13: coordinator recovery (extension; see internal/core/recovery.go)",
+		Header: []string{"scenario", "resumed", "recovery(ms)", "sweeps", "post-recovery-anomalies"},
+	}
+	for _, crashMid := range []bool{false, true} {
+		tv, c, err := newThreeV(3, false, transport.Config{Jitter: 300 * time.Microsecond, Seed: 121})
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.New(workload.Config{Nodes: 3, Groups: 32, Span: 2, ReadFraction: 0.3, Seed: 123})
+		res1 := harness.Run(tv, harness.RunConfig{
+			Txns:        sc.Txns / 2,
+			Concurrency: 8,
+			Gen:         gen,
+			Preload:     func(n model.NodeID, k string) { c.Preload(n, k, preloadRec()) },
+		})
+		_ = res1
+		if crashMid {
+			advDone := c.AdvanceAsync()
+			time.Sleep(200 * time.Microsecond)
+			c.CrashCoordinator()
+			<-advDone
+		} else {
+			c.Advance()
+			c.CrashCoordinator()
+		}
+		fresh := c.Coordinator()
+		rep, err := fresh.Recover()
+		if err != nil {
+			tv.Close()
+			return tbl, fmt.Errorf("E13: recovery failed: %v", err)
+		}
+		// Post-recovery load must stay anomaly-free.
+		res2 := harness.Run(tv, harness.RunConfig{
+			Txns:            sc.Txns / 2,
+			Concurrency:     8,
+			AdvanceInterval: 2 * time.Millisecond,
+			Gen:             gen,
+		})
+		vio := len(c.Violations())
+		tv.Close()
+		scenario := "clean crash"
+		if crashMid {
+			scenario = "mid-cycle crash"
+		}
+		tbl.Add(scenario, fmt.Sprint(rep.Resumed), harness.Ms(rep.Took),
+			fmt.Sprint(rep.Sweeps), fmt.Sprint(res2.Anomalies))
+		if res2.Anomalies > 0 || vio > 0 {
+			return tbl, fmt.Errorf("E13: %s: anomalies=%d violations=%d", scenario, res2.Anomalies, vio)
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite runs at reduced scale in tests; each experiment
+// carries its own expected-shape assertions and returns an error when a
+// paper claim fails to reproduce.
+
+var testScale = Scale{Txns: 150}
+
+func TestE1Table1(t *testing.T) {
+	res, err := E1Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("Table 1 replay failed:\n%s", res.String())
+	}
+}
+
+func TestE3AnomalyRate(t *testing.T) {
+	tbl, err := E3AnomalyRate(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "3V") || !strings.Contains(out, "NoCoord") {
+		t.Errorf("table missing systems:\n%s", out)
+	}
+}
+
+func TestE4VersionBound(t *testing.T) {
+	tbl, err := E4VersionBound(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE5AdvancementInterference(t *testing.T) {
+	tbl, err := E5AdvancementInterference(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	if !strings.Contains(tbl.String(), "SyncAdv") {
+		t.Error("missing SyncAdv row")
+	}
+}
+
+func TestE6NonCommutingFraction(t *testing.T) {
+	tbl, err := E6NonCommutingFraction(Scale{Txns: 80})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE7QuiescenceDetection(t *testing.T) {
+	tbl, err := E7QuiescenceDetection(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	if len(strings.Split(strings.TrimSpace(tbl.String()), "\n")) < 7 {
+		t.Errorf("expected 6 sweep rows:\n%s", tbl)
+	}
+}
+
+func TestE8CopyOverhead(t *testing.T) {
+	tbl, err := E8CopyOverhead(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE9ThroughputScaling(t *testing.T) {
+	tbl, err := E9ThroughputScaling(Scale{Txns: 100})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE10Compensation(t *testing.T) {
+	tbl, err := E10Compensation(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE11Staleness(t *testing.T) {
+	tbl, err := E11Staleness(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+}
+
+func TestE12DualWriteOverhead(t *testing.T) {
+	tbl, err := E12DualWriteOverhead(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	if !strings.Contains(tbl.String(), "dual-rate") {
+		t.Errorf("table malformed:\n%s", tbl)
+	}
+}
+
+func TestE13RecoveryCost(t *testing.T) {
+	tbl, err := E13RecoveryCost(testScale)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tbl)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "clean crash") || !strings.Contains(out, "mid-cycle crash") {
+		t.Errorf("table missing scenarios:\n%s", out)
+	}
+}

@@ -1,0 +1,342 @@
+// Package harness drives workloads against the 3V system and the
+// baselines, measures latency/throughput/staleness/anomaly-rate, and
+// renders the result tables of EXPERIMENTS.md. It is shared by
+// cmd/threev-bench and the root-level testing.B benchmarks.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/model"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// Histo is a simple latency distribution (all samples retained).
+type Histo struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histo) Add(d time.Duration) {
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histo) N() int { return len(h.samples) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1); zero if empty.
+func (h *Histo) Quantile(q float64) time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	i := int(q * float64(len(h.samples)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.samples) {
+		i = len(h.samples) - 1
+	}
+	return h.samples[i]
+}
+
+// Max returns the largest sample.
+func (h *Histo) Max() time.Duration { return h.Quantile(1) }
+
+// Mean returns the average sample.
+func (h *Histo) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// RunConfig parameterizes one measured run.
+type RunConfig struct {
+	// Txns is the number of transactions to issue (closed loop).
+	Txns int
+	// Concurrency is the number of in-flight transactions; 0 means 8.
+	Concurrency int
+	// Timeout bounds each transaction wait; 0 means 30s.
+	Timeout time.Duration
+	// AdvanceInterval runs System.Advance on this period in the
+	// background (0 = only the final advance).
+	AdvanceInterval time.Duration
+	// FinalAdvance runs Advance twice after the load drains so every
+	// update is published before the verification reads.
+	FinalAdvance bool
+	// Gen supplies the transaction stream (required).
+	Gen *workload.Generator
+	// Preload, when set, is called for every (node, key) the generator
+	// will touch, before the run starts.
+	Preload func(node model.NodeID, key string)
+}
+
+// RunResult is the measurement of one run.
+type RunResult struct {
+	System   string
+	Duration time.Duration
+	// Counts by outcome and kind.
+	Issued, Completed, TimedOut int
+	Updates, Reads, NCs         int
+	// Latency distributions.
+	LatAll, LatUpdate, LatRead Histo
+	// Anomalies found by the atomic-visibility audit over all group
+	// reads, and the audited read count.
+	Anomalies    int
+	AuditedReads int
+	// Staleness: for each read, how many committed updates of its group
+	// it was missing at completion (in updates-behind).
+	StalenessMean float64
+	StalenessMax  int64
+	// Advances is how many Advance calls ran during the load window.
+	Advances int
+}
+
+// Throughput returns completed transactions per second.
+func (r RunResult) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Duration.Seconds()
+}
+
+// AnomalyRate returns anomalies per audited read.
+func (r RunResult) AnomalyRate() float64 {
+	if r.AuditedReads == 0 {
+		return 0
+	}
+	return float64(r.Anomalies) / float64(r.AuditedReads)
+}
+
+// Run drives cfg.Txns transactions from the generator through sys with
+// the configured concurrency, measuring as it goes.
+func Run(sys baseline.System, cfg RunConfig) RunResult {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	// Pre-generate the stream (the generator is not concurrency-safe
+	// and pre-generation keeps runs reproducible across systems).
+	txns := make([]workload.Txn, cfg.Txns)
+	for i := range txns {
+		txns[i] = cfg.Gen.Next()
+	}
+	if cfg.Preload != nil {
+		for _, p := range cfg.Gen.PreloadSpecs() {
+			cfg.Preload(p.Node, p.Key)
+		}
+	}
+
+	res := RunResult{System: sys.Name()}
+	var mu sync.Mutex // guards res histograms and counters
+
+	// committedSeq[group] tracks the highest update sequence whose
+	// transaction has completed — ground truth for staleness.
+	committedSeq := make([]atomic.Int64, maxGroup(txns)+1)
+	var groupReads []verify.GroupRead
+	var staleSum, staleN, staleMax int64
+
+	// Background advancement.
+	var advances atomic.Int64
+	stopAdv := make(chan struct{})
+	var advWG sync.WaitGroup
+	if cfg.AdvanceInterval > 0 {
+		advWG.Add(1)
+		go func() {
+			defer advWG.Done()
+			t := time.NewTicker(cfg.AdvanceInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopAdv:
+					return
+				case <-t.C:
+					sys.Advance()
+					advances.Add(1)
+				}
+			}
+		}()
+	}
+
+	work := make(chan workload.Txn)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := range work {
+				t0 := time.Now()
+				h, err := sys.Submit(txn.Spec)
+				if err != nil {
+					continue
+				}
+				ok := h.WaitTimeout(cfg.Timeout)
+				lat := time.Since(t0)
+				mu.Lock()
+				res.Issued++
+				if !ok {
+					res.TimedOut++
+					mu.Unlock()
+					continue
+				}
+				res.Completed++
+				res.LatAll.Add(lat)
+				switch txn.Kind {
+				case workload.KindUpdate:
+					res.Updates++
+					res.LatUpdate.Add(lat)
+				case workload.KindRead:
+					res.Reads++
+					res.LatRead.Add(lat)
+				case workload.KindNonCommuting:
+					res.NCs++
+					res.LatUpdate.Add(lat)
+				}
+				mu.Unlock()
+
+				switch txn.Kind {
+				case workload.KindUpdate:
+					if !txn.Aborting {
+						bumpMax(&committedSeq[txn.Group], txn.Seq)
+					}
+				case workload.KindRead:
+					reads := h.Reads()
+					observed := minCount(reads)
+					truth := committedSeq[txn.Group].Load()
+					lag := truth - observed
+					if lag < 0 {
+						lag = 0
+					}
+					mu.Lock()
+					staleSum += lag
+					staleN++
+					if lag > staleMax {
+						staleMax = lag
+					}
+					groupReads = append(groupReads, verify.GroupRead{
+						Txn:     model.MakeTxnID(model.NodeID(1<<14), uint64(len(groupReads))),
+						Results: reads,
+					})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, txn := range txns {
+		work <- txn
+	}
+	close(work)
+	wg.Wait()
+	res.Duration = time.Since(start)
+	close(stopAdv)
+	advWG.Wait()
+	res.Advances = int(advances.Load())
+
+	if cfg.FinalAdvance {
+		sys.Advance()
+		sys.Advance()
+	}
+
+	anoms := verify.AuditAtomicVisibility(groupReads)
+	res.Anomalies = len(anoms)
+	res.AuditedReads = len(groupReads)
+	if staleN > 0 {
+		res.StalenessMean = float64(staleSum) / float64(staleN)
+	}
+	res.StalenessMax = staleMax
+	return res
+}
+
+func maxGroup(txns []workload.Txn) int {
+	max := 0
+	for _, t := range txns {
+		if t.Group > max {
+			max = t.Group
+		}
+	}
+	return max
+}
+
+func bumpMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// minCount returns the smallest "count" summary across the read's
+// results — the number of group updates fully visible to the reader.
+func minCount(reads []model.ReadResult) int64 {
+	min := int64(-1)
+	for _, r := range reads {
+		if r.Record == nil {
+			continue
+		}
+		c := r.Record.Field("count")
+		if min < 0 || c < min {
+			min = c
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// Table renders aligned experiment tables.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String implements fmt.Stringer with tab-aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Ms formats a duration in fractional milliseconds.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Microseconds())/1000)
+}
+
+// F2 formats a float with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }

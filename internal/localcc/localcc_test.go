@@ -1,0 +1,94 @@
+package localcc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireReleasesCleanly(t *testing.T) {
+	m := New()
+	rel := m.Acquire([]string{"b", "a", "a"})
+	rel()
+	rel() // double release must be a no-op (sync.Once)
+	rel2 := m.Acquire([]string{"a"})
+	rel2()
+	if m.Acquisitions() != 2 {
+		t.Errorf("Acquisitions = %d, want 2", m.Acquisitions())
+	}
+}
+
+func TestEmptyAcquire(t *testing.T) {
+	m := New()
+	rel := m.Acquire(nil)
+	rel()
+}
+
+func TestMutualExclusionPerKey(t *testing.T) {
+	m := New()
+	var counter int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rel := m.Acquire([]string{"k"})
+				counter++ // safe only if latching works
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 1600 {
+		t.Errorf("counter = %d, want 1600 (latching failed)", counter)
+	}
+}
+
+func TestDisjointKeysDoNotBlock(t *testing.T) {
+	m := New()
+	relA := m.Acquire([]string{"a"})
+	done := make(chan struct{})
+	go func() {
+		relB := m.Acquire([]string{"b"})
+		relB()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquisition of disjoint key blocked")
+	}
+	relA()
+}
+
+func TestSortedOrderPreventsDeadlock(t *testing.T) {
+	// Two goroutines repeatedly latch {a,b} and {b,a}; without sorted
+	// acquisition this interleaving deadlocks almost immediately.
+	m := New()
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		keys := []string{"a", "b"}
+		if g == 1 {
+			keys = []string{"b", "a"}
+		}
+		go func(keys []string) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				rel := m.Acquire(keys)
+				rel()
+			}
+		}(keys)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: sorted acquisition order violated")
+	}
+}

@@ -1,0 +1,294 @@
+// Package locks implements the lock manager required by the NC3V
+// extension (Section 5 of the paper), which admits update transactions
+// that do not commute.
+//
+// Three lock modes exist:
+//
+//   - CommuteRead (CR): taken by well-behaved transactions on items
+//     they read.
+//   - CommuteUpdate (CU): taken by well-behaved transactions on items
+//     they update.
+//   - NonCommuting (NC): taken by non-well-behaved transactions on
+//     every item they access; exclusive against everything, including
+//     other NC locks.
+//
+// Commuting locks are compatible with each other ("Commuting locks are
+// compatible with each other but not with their non-commuting
+// counterparts"), so in the absence of non-well-behaved transactions a
+// commute lock is granted without any waiting and the system performs
+// exactly as plain 3V. Well-behaved transactions follow two-phase
+// locking with an asynchronous clean-up phase: locks are released only
+// after the whole transaction tree has committed, by a clean-up message
+// that is asynchronous with respect to the user transaction.
+// Non-well-behaved transactions follow classical strict 2PL with global
+// two-phase commit.
+//
+// Deadlock resolution is by timeout: an Acquire that cannot be granted
+// within the configured wait bound fails, and the caller aborts the
+// requesting transaction (for NC transactions, via 2PC abort).
+package locks
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes; see the package comment.
+const (
+	CommuteRead Mode = iota
+	CommuteUpdate
+	NonCommuting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case CommuteRead:
+		return "CR"
+	case CommuteUpdate:
+		return "CU"
+	case NonCommuting:
+		return "NC"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Compatible reports whether a lock of mode a held by one transaction
+// is compatible with a request of mode b from another transaction.
+func Compatible(a, b Mode) bool {
+	return a != NonCommuting && b != NonCommuting
+}
+
+// ErrTimeout is returned when a lock cannot be granted within the wait
+// bound; the caller treats it as a deadlock victim notice and aborts.
+var ErrTimeout = errors.New("locks: wait timeout (deadlock victim)")
+
+// holder records one transaction's grant on one item.
+type holder struct {
+	txn  model.TxnID
+	mode Mode
+}
+
+// entry is the lock state of one item.
+type entry struct {
+	holders []holder
+	// waiters count is implicit: goroutines blocked on cond.
+}
+
+// Manager is one node's lock table. All methods are safe for concurrent
+// use.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	table map[string]*entry
+	held  map[model.TxnID][]string // txn -> keys it holds (for ReleaseAll)
+
+	// WaitBound limits how long an Acquire may block; zero means a
+	// default of one second.
+	WaitBound time.Duration
+
+	stats Stats
+}
+
+// Stats counts lock activity.
+type Stats struct {
+	Grants       int64
+	ImmediateOK  int64 // granted without waiting
+	Waits        int64 // granted after waiting
+	Timeouts     int64
+	MaxQueueSeen int
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	m := &Manager{
+		table: make(map[string]*entry),
+		held:  make(map[model.TxnID][]string),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Acquire requests a lock of the given mode on key for txn, blocking up
+// to the wait bound. Re-acquisition by the same transaction upgrades in
+// place when the new mode is stronger (CR→CU, anything→NC follows the
+// same compatibility rules against OTHER holders only). Returns
+// ErrTimeout if the request cannot be granted in time.
+func (m *Manager) Acquire(txn model.TxnID, key string, mode Mode) error {
+	deadline := time.Now().Add(m.waitBound())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		e := m.table[key]
+		if e == nil {
+			e = &entry{}
+			m.table[key] = e
+		}
+		if idx, compatible := m.check(e, txn, mode); compatible {
+			if idx >= 0 {
+				// Upgrade in place if stronger; otherwise keep.
+				if mode > e.holders[idx].mode {
+					e.holders[idx].mode = mode
+				}
+			} else {
+				e.holders = append(e.holders, holder{txn: txn, mode: mode})
+				m.held[txn] = append(m.held[txn], key)
+			}
+			m.stats.Grants++
+			return nil
+		}
+		m.stats.Waits++
+		if !m.waitUntil(deadline) {
+			m.stats.Timeouts++
+			return fmt.Errorf("%w: %v mode %v on %q", ErrTimeout, txn, mode, key)
+		}
+	}
+}
+
+// check reports whether txn may take mode on e. idx is the position of
+// txn's existing grant in e.holders, or -1.
+func (m *Manager) check(e *entry, txn model.TxnID, mode Mode) (idx int, compatible bool) {
+	idx = -1
+	for i, h := range e.holders {
+		if h.txn == txn {
+			idx = i
+			continue
+		}
+		if !Compatible(h.mode, mode) {
+			return idx, false
+		}
+	}
+	return idx, true
+}
+
+// waitUntil blocks on the manager's condition variable until signaled
+// or the deadline passes; it returns false on deadline. The caller
+// holds m.mu. A ticker goroutine wakes all waiters periodically so
+// deadlines are observed without per-waiter timers.
+func (m *Manager) waitUntil(deadline time.Time) bool {
+	if !time.Now().Before(deadline) {
+		return false
+	}
+	// Wake ourselves at the deadline in case nobody releases.
+	t := time.AfterFunc(time.Until(deadline), func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	m.cond.Wait()
+	t.Stop()
+	return time.Now().Before(deadline)
+}
+
+// TryAcquire is Acquire without waiting: it either grants immediately
+// or returns false leaving no trace. Commute locks taken by
+// well-behaved transactions use this first — when no NC transaction is
+// active it always succeeds, preserving the paper's "no wait to obtain
+// a commute lock" property — and fall back to Acquire when it fails.
+func (m *Manager) TryAcquire(txn model.TxnID, key string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[key]
+	if e == nil {
+		e = &entry{}
+		m.table[key] = e
+	}
+	idx, compatible := m.check(e, txn, mode)
+	if !compatible {
+		return false
+	}
+	if idx >= 0 {
+		if mode > e.holders[idx].mode {
+			e.holders[idx].mode = mode
+		}
+	} else {
+		e.holders = append(e.holders, holder{txn: txn, mode: mode})
+		m.held[txn] = append(m.held[txn], key)
+	}
+	m.stats.Grants++
+	m.stats.ImmediateOK++
+	return true
+}
+
+// ReleaseAll drops every lock txn holds on this node and wakes waiters.
+// It is the clean-up phase for well-behaved transactions and the
+// post-commit/post-abort release for NC transactions. Releasing a
+// transaction that holds nothing is a no-op.
+func (m *Manager) ReleaseAll(txn model.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.held[txn]
+	if len(keys) == 0 {
+		return
+	}
+	delete(m.held, txn)
+	for _, k := range keys {
+		e := m.table[k]
+		if e == nil {
+			continue
+		}
+		for i := 0; i < len(e.holders); i++ {
+			if e.holders[i].txn == txn {
+				e.holders = append(e.holders[:i], e.holders[i+1:]...)
+				i--
+			}
+		}
+		if len(e.holders) == 0 {
+			delete(m.table, k)
+		}
+	}
+	m.cond.Broadcast()
+}
+
+// Holds reports whether txn currently holds any lock on key, and in
+// which mode.
+func (m *Manager) Holds(txn model.TxnID, key string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.table[key]
+	if e == nil {
+		return 0, false
+	}
+	for _, h := range e.holders {
+		if h.txn == txn {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
+// ActiveNC reports whether any non-commuting lock is currently held on
+// this node (diagnostic used by tests to confirm the fast path).
+func (m *Manager) ActiveNC() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.table {
+		for _, h := range e.holders {
+			if h.mode == NonCommuting {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) waitBound() time.Duration {
+	if m.WaitBound > 0 {
+		return m.WaitBound
+	}
+	return time.Second
+}

@@ -1,0 +1,247 @@
+package locks
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{CommuteRead, CommuteRead, true},
+		{CommuteRead, CommuteUpdate, true},
+		{CommuteUpdate, CommuteRead, true},
+		{CommuteUpdate, CommuteUpdate, true},
+		{NonCommuting, CommuteRead, false},
+		{NonCommuting, CommuteUpdate, false},
+		{CommuteRead, NonCommuting, false},
+		{CommuteUpdate, NonCommuting, false},
+		{NonCommuting, NonCommuting, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CommuteRead.String() != "CR" || CommuteUpdate.String() != "CU" || NonCommuting.String() != "NC" {
+		t.Error("mode String values wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Errorf("unknown mode String = %q", Mode(9).String())
+	}
+}
+
+func TestCommuteLocksNeverConflict(t *testing.T) {
+	m := New()
+	t1, t2, t3 := model.TxnID(1), model.TxnID(2), model.TxnID(3)
+	if !m.TryAcquire(t1, "x", CommuteUpdate) {
+		t.Fatal("first CU failed")
+	}
+	if !m.TryAcquire(t2, "x", CommuteUpdate) {
+		t.Fatal("concurrent CU failed: commute locks must be compatible")
+	}
+	if !m.TryAcquire(t3, "x", CommuteRead) {
+		t.Fatal("CR alongside CUs failed")
+	}
+	st := m.Stats()
+	if st.ImmediateOK != 3 {
+		t.Errorf("ImmediateOK = %d, want 3 (the no-wait fast path)", st.ImmediateOK)
+	}
+}
+
+func TestNCExcludesEverything(t *testing.T) {
+	m := New()
+	m.WaitBound = 50 * time.Millisecond
+	nc, wb := model.TxnID(1), model.TxnID(2)
+	if err := m.Acquire(nc, "x", NonCommuting); err != nil {
+		t.Fatal(err)
+	}
+	if m.TryAcquire(wb, "x", CommuteUpdate) {
+		t.Fatal("CU granted while NC held")
+	}
+	if err := m.Acquire(wb, "x", CommuteRead); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("CR against NC: err = %v, want ErrTimeout", err)
+	}
+	if !m.ActiveNC() {
+		t.Error("ActiveNC = false while NC held")
+	}
+	m.ReleaseAll(nc)
+	if m.ActiveNC() {
+		t.Error("ActiveNC = true after release")
+	}
+	if err := m.Acquire(wb, "x", CommuteUpdate); err != nil {
+		t.Errorf("CU after NC release: %v", err)
+	}
+}
+
+func TestWaiterWakesOnRelease(t *testing.T) {
+	m := New()
+	m.WaitBound = 5 * time.Second
+	nc, wb := model.TxnID(1), model.TxnID(2)
+	if err := m.Acquire(nc, "x", NonCommuting); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() { granted <- m.Acquire(wb, "x", CommuteUpdate) }()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	m.ReleaseAll(nc)
+	select {
+	case err := <-granted:
+		if err != nil {
+			t.Fatalf("waiter got error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not woken by release")
+	}
+	if mode, ok := m.Holds(wb, "x"); !ok || mode != CommuteUpdate {
+		t.Errorf("Holds = %v %v, want CU true", mode, ok)
+	}
+}
+
+func TestReacquireAndUpgrade(t *testing.T) {
+	m := New()
+	txn := model.TxnID(7)
+	if err := m.Acquire(txn, "x", CommuteRead); err != nil {
+		t.Fatal(err)
+	}
+	// Same txn upgrading CR -> CU must succeed immediately.
+	if err := m.Acquire(txn, "x", CommuteUpdate); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Holds(txn, "x"); mode != CommuteUpdate {
+		t.Errorf("after upgrade mode = %v, want CU", mode)
+	}
+	// Downgrade attempt keeps the stronger mode.
+	if err := m.Acquire(txn, "x", CommuteRead); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Holds(txn, "x"); mode != CommuteUpdate {
+		t.Errorf("after weaker re-acquire mode = %v, want CU", mode)
+	}
+}
+
+func TestUpgradeToNCWaitsForOthers(t *testing.T) {
+	m := New()
+	m.WaitBound = 50 * time.Millisecond
+	a, b := model.TxnID(1), model.TxnID(2)
+	if err := m.Acquire(a, "x", CommuteUpdate); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(b, "x", CommuteUpdate); err != nil {
+		t.Fatal(err)
+	}
+	// a upgrading to NC must time out while b holds CU.
+	if err := m.Acquire(a, "x", NonCommuting); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("upgrade to NC with other holder: err = %v, want timeout", err)
+	}
+	m.ReleaseAll(b)
+	if err := m.Acquire(a, "x", NonCommuting); err != nil {
+		t.Fatalf("upgrade to NC after release: %v", err)
+	}
+}
+
+func TestReleaseAllIsCompleteAndIdempotent(t *testing.T) {
+	m := New()
+	txn := model.TxnID(3)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := m.Acquire(txn, k, CommuteUpdate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ReleaseAll(txn)
+	m.ReleaseAll(txn) // idempotent
+	for _, k := range []string{"a", "b", "c"} {
+		if _, ok := m.Holds(txn, k); ok {
+			t.Errorf("still holds %q after ReleaseAll", k)
+		}
+	}
+	// Table entries are garbage collected.
+	other := model.TxnID(4)
+	if err := m.Acquire(other, "a", NonCommuting); err != nil {
+		t.Errorf("NC after full release: %v", err)
+	}
+}
+
+func TestTimeoutStats(t *testing.T) {
+	m := New()
+	m.WaitBound = 10 * time.Millisecond
+	m.Acquire(model.TxnID(1), "x", NonCommuting)
+	m.Acquire(model.TxnID(2), "x", NonCommuting) // times out
+	st := m.Stats()
+	if st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.Waits == 0 {
+		t.Errorf("Waits = 0, want > 0")
+	}
+}
+
+// TestPropertyNoWaitWithoutNC: any random sequence of commute-lock
+// acquisitions (CR/CU, many transactions, many keys) is granted
+// immediately — the paper's guarantee that well-behaved transactions
+// never wait when no non-commuting transaction is active.
+func TestPropertyNoWaitWithoutNC(t *testing.T) {
+	f := func(ops []struct {
+		Txn uint8
+		Key uint8
+		Upd bool
+	}) bool {
+		m := New()
+		for _, op := range ops {
+			mode := CommuteRead
+			if op.Upd {
+				mode = CommuteUpdate
+			}
+			if !m.TryAcquire(model.TxnID(op.Txn), string(rune('a'+op.Key%8)), mode) {
+				return false
+			}
+		}
+		st := m.Stats()
+		return st.Waits == 0 && st.Timeouts == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	m := New()
+	m.WaitBound = 2 * time.Second
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn := model.TxnID(100 + g)
+			for i := 0; i < 200; i++ {
+				key := string(rune('a' + (g+i)%4))
+				mode := CommuteUpdate
+				if g == 0 && i%50 == 0 {
+					mode = NonCommuting
+				}
+				if err := m.Acquire(txn, key, mode); err != nil {
+					continue // timeout under churn is acceptable
+				}
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After everything releases, the table must be empty enough that a
+	// fresh NC lock on every key succeeds immediately.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if !m.TryAcquire(model.TxnID(999), k, NonCommuting) {
+			t.Errorf("lock on %q leaked after churn", k)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzCommutingOpsOrderIndependent is the native-fuzzing companion to
+// the testing/quick property: any random batch of commuting ops applied
+// in two different orders must yield equal records. Run the seeds with
+// `go test`; explore with `go test -fuzz=FuzzCommutingOps`.
+func FuzzCommutingOpsOrderIndependent(f *testing.F) {
+	f.Add(int64(1), uint8(4))
+	f.Add(int64(42), uint8(9))
+	f.Add(int64(-7), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomCommutingOps(rng, int(n%24)+2)
+		base := applyAll(ops)
+		perm := rng.Perm(len(ops))
+		shuffled := make([]Op, len(ops))
+		for i, p := range perm {
+			shuffled[i] = ops[p]
+		}
+		if !base.Equal(applyAll(shuffled)) {
+			t.Fatalf("order dependence: %v", ops)
+		}
+	})
+}
+
+// FuzzNormalizeLog checks that log normalization is idempotent, never
+// yields tombstones, and preserves non-compensated tuples, for
+// arbitrary interleavings of appends and removals.
+func FuzzNormalizeLog(f *testing.F) {
+	f.Add(int64(3), uint8(6))
+	f.Add(int64(99), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRecord()
+		type key struct {
+			txn  TxnID
+			part int
+		}
+		balance := make(map[key]int) // appends minus removals per tuple identity
+		for i := 0; i < int(n%20)+1; i++ {
+			tu := Tuple{
+				Txn:   TxnID(rng.Intn(4)),
+				Part:  rng.Intn(2) + 1,
+				Total: 2,
+				Attr:  "x",
+			}
+			k := key{tu.Txn, tu.Part}
+			if rng.Intn(2) == 0 {
+				AppendOp{T: tu}.Apply(r)
+				balance[k]++
+			} else {
+				RemoveOp{T: tu}.Apply(r)
+				balance[k]--
+			}
+		}
+		norm := NormalizeLog(r.Log)
+		for _, tu := range norm {
+			if tu.Total < 0 {
+				t.Fatalf("tombstone survived normalization: %+v", tu)
+			}
+		}
+		// Idempotence.
+		again := NormalizeLog(norm)
+		if tupleMultiset(again) != tupleMultiset(norm) {
+			t.Fatal("NormalizeLog not idempotent")
+		}
+		// Every tuple identity with positive balance appears that many
+		// times; negative balances (remove overtook append and no append
+		// followed) leave tombstones that normalization cancels against
+		// nothing — they are filtered, so identities with balance <= 0
+		// must be absent.
+		counts := make(map[key]int)
+		for _, tu := range norm {
+			counts[key{tu.Txn, tu.Part}]++
+		}
+		for k, want := range balance {
+			got := counts[k]
+			if want > 0 && got != want {
+				t.Fatalf("identity %+v: %d tuples after normalization, want %d", k, got, want)
+			}
+			if want <= 0 && got != 0 {
+				t.Fatalf("identity %+v: %d tuples survived with balance %d", k, got, want)
+			}
+		}
+	})
+}

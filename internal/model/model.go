@@ -1,0 +1,170 @@
+// Package model defines the transaction model of the 3V reproduction:
+// data items, the commuting operation algebra, versioned records, and
+// transaction trees (a root subtransaction plus partially ordered
+// descendant subtransactions), following Section 3 of Jagadish, Mumick
+// and Rabinovich, "Scalable Versioning in Distributed Databases with
+// Commuting Updates" (ICDE 1997).
+//
+// The model is shared by the 3V core, all baselines, the workload
+// generators and the verification auditors, so it deliberately contains
+// no protocol logic.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a database node (site) in the distributed system.
+// Nodes are numbered 0..N-1 within a cluster.
+type NodeID int
+
+// String implements fmt.Stringer using the paper's site naming where
+// possible (p, q, s for the first three sites), falling back to n<i>.
+func (n NodeID) String() string {
+	names := [...]string{"p", "q", "s"}
+	if int(n) >= 0 && int(n) < len(names) {
+		return names[n]
+	}
+	return fmt.Sprintf("n%d", int(n))
+}
+
+// Version is a data/transaction version number. The paper assumes
+// version numbers increase monotonically with time (Section 4); real
+// implementations may recycle three distinct numbers, but monotonic
+// uint64 versions never wrap in practice and keep the exposition (and
+// the invariant checks) simple.
+type Version uint64
+
+// TxnID uniquely identifies a global transaction. IDs are minted by the
+// node that received the root subtransaction: the high bits carry the
+// node id and the low bits a node-local sequence number, so no global
+// coordination is needed to allocate them.
+type TxnID uint64
+
+// MakeTxnID builds a TxnID from the originating node and its local
+// sequence number.
+func MakeTxnID(origin NodeID, seq uint64) TxnID {
+	return TxnID(uint64(origin)<<48 | (seq & (1<<48 - 1)))
+}
+
+// Origin returns the node that minted this transaction id.
+func (t TxnID) Origin() NodeID { return NodeID(uint64(t) >> 48) }
+
+// Seq returns the node-local sequence number of this transaction id.
+func (t TxnID) Seq() uint64 { return uint64(t) & (1<<48 - 1) }
+
+// String implements fmt.Stringer.
+func (t TxnID) String() string {
+	return fmt.Sprintf("t%s.%d", t.Origin(), t.Seq())
+}
+
+// Tuple is one entry of a record's append-only log (the "chronicle" of a
+// data recording system, Section 6 of the paper: recorded observations
+// are inserted and summaries are updated). Tuples carry enough identity
+// for the verification auditors to check atomic visibility: Txn is the
+// writing transaction, Part/Total say "this is part Part of a
+// transaction that writes Total parts in total", and TxnVersion is the
+// version the writing transaction executed in.
+type Tuple struct {
+	Txn        TxnID
+	Part       int
+	Total      int
+	Attr       string
+	Amount     int64
+	TxnVersion Version
+}
+
+// Record is the unit of versioned storage: a set of named summary
+// fields (account balances, items sold, ...) plus the append-only tuple
+// log of recorded observations. Updates in data recording systems
+// insert tuples and adjust summaries; both operations commute.
+type Record struct {
+	Fields map[string]int64
+	Log    []Tuple
+}
+
+// NewRecord returns an empty record ready for use.
+func NewRecord() *Record {
+	return &Record{Fields: make(map[string]int64)}
+}
+
+// Clone returns a deep copy of the record. Storage uses Clone for
+// copy-on-update when a new version of an item is materialized.
+func (r *Record) Clone() *Record {
+	c := &Record{
+		Fields: make(map[string]int64, len(r.Fields)),
+		Log:    make([]Tuple, len(r.Log)),
+	}
+	for k, v := range r.Fields {
+		c.Fields[k] = v
+	}
+	copy(c.Log, r.Log)
+	return c
+}
+
+// SizeBytes approximates the in-memory footprint of the record; the
+// storage engine uses it to account for bytes copied on version
+// materialization (experiment E8).
+func (r *Record) SizeBytes() int64 {
+	n := int64(0)
+	for k := range r.Fields {
+		n += int64(len(k)) + 8
+	}
+	n += int64(len(r.Log)) * 48
+	return n
+}
+
+// Field returns the named summary field (zero if absent).
+func (r *Record) Field(name string) int64 { return r.Fields[name] }
+
+// Equal reports whether two records have identical fields and logs,
+// treating the log as a multiset (commuting updates may append tuples
+// in any order; two records are "the same state" if they carry the same
+// tuples regardless of arrival order). Logs are normalized first so a
+// compensation tombstone plus its late-arriving append compare equal to
+// their absence.
+// A field stored as zero equals an absent field (an Add cancelled by
+// its inverse leaves a zero entry that means "never touched").
+func (r *Record) Equal(o *Record) bool {
+	for k, v := range r.Fields {
+		if o.Fields[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.Fields {
+		if r.Fields[k] != v {
+			return false
+		}
+	}
+	return tupleMultiset(NormalizeLog(r.Log)) == tupleMultiset(NormalizeLog(o.Log))
+}
+
+func tupleMultiset(log []Tuple) string {
+	keys := make([]string, len(log))
+	for i, t := range log {
+		keys[i] = fmt.Sprintf("%d/%d/%d/%s/%d/%d", t.Txn, t.Part, t.Total, t.Attr, t.Amount, t.TxnVersion)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// String implements fmt.Stringer, rendering fields in sorted order.
+func (r *Record) String() string {
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, r.Fields[k])
+	}
+	fmt.Fprintf(&b, " |log|=%d}", len(r.Log))
+	return b.String()
+}

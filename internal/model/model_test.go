@@ -1,0 +1,359 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDString(t *testing.T) {
+	cases := map[NodeID]string{0: "p", 1: "q", 2: "s", 3: "n3", 7: "n7"}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Errorf("NodeID(%d).String() = %q, want %q", int(id), got, want)
+		}
+	}
+}
+
+func TestTxnIDRoundTrip(t *testing.T) {
+	for _, origin := range []NodeID{0, 1, 2, 15, 255} {
+		for _, seq := range []uint64{0, 1, 42, 1 << 47} {
+			id := MakeTxnID(origin, seq)
+			if id.Origin() != origin {
+				t.Errorf("MakeTxnID(%v,%d).Origin() = %v", origin, seq, id.Origin())
+			}
+			if id.Seq() != seq {
+				t.Errorf("MakeTxnID(%v,%d).Seq() = %d", origin, seq, id.Seq())
+			}
+		}
+	}
+}
+
+func TestTxnIDUniqueAcrossNodes(t *testing.T) {
+	seen := make(map[TxnID]bool)
+	for origin := NodeID(0); origin < 8; origin++ {
+		for seq := uint64(0); seq < 100; seq++ {
+			id := MakeTxnID(origin, seq)
+			if seen[id] {
+				t.Fatalf("duplicate TxnID %v for origin=%v seq=%d", id, origin, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	r := NewRecord()
+	AddOp{Field: "bal", Delta: 10}.Apply(r)
+	AppendOp{T: Tuple{Txn: 1, Part: 1, Total: 2, Attr: "x", Amount: 5}}.Apply(r)
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatalf("clone not equal: %v vs %v", r, c)
+	}
+	AddOp{Field: "bal", Delta: 99}.Apply(c)
+	AppendOp{T: Tuple{Txn: 2, Part: 1, Total: 1}}.Apply(c)
+	if r.Field("bal") != 10 {
+		t.Errorf("mutating clone changed original field: %d", r.Field("bal"))
+	}
+	if len(r.Log) != 1 {
+		t.Errorf("mutating clone changed original log: %d entries", len(r.Log))
+	}
+}
+
+func TestRecordEqualIgnoresLogOrder(t *testing.T) {
+	a, b := NewRecord(), NewRecord()
+	t1 := Tuple{Txn: 1, Part: 1, Total: 2, Attr: "x", Amount: 3}
+	t2 := Tuple{Txn: 2, Part: 2, Total: 2, Attr: "y", Amount: 4}
+	AppendOp{T: t1}.Apply(a)
+	AppendOp{T: t2}.Apply(a)
+	AppendOp{T: t2}.Apply(b)
+	AppendOp{T: t1}.Apply(b)
+	if !a.Equal(b) {
+		t.Errorf("records with same tuple multiset in different order should be equal")
+	}
+}
+
+func TestRemoveOpTombstoneAnnihilation(t *testing.T) {
+	// Compensator overtakes the original append: remove first, then
+	// append. After normalization the log must be empty.
+	r := NewRecord()
+	tu := Tuple{Txn: 7, Part: 1, Total: 3, Attr: "a", Amount: 1}
+	RemoveOp{T: tu}.Apply(r)
+	AppendOp{T: tu}.Apply(r)
+	if got := NormalizeLog(r.Log); len(got) != 0 {
+		t.Errorf("normalized log after remove-then-append = %v, want empty", got)
+	}
+	empty := NewRecord()
+	if !r.Equal(empty) {
+		t.Errorf("record with annihilated pair should equal empty record")
+	}
+}
+
+func TestRemoveOpRemovesPresent(t *testing.T) {
+	r := NewRecord()
+	tu := Tuple{Txn: 7, Part: 1, Total: 3}
+	AppendOp{T: tu}.Apply(r)
+	RemoveOp{T: tu}.Apply(r)
+	if len(r.Log) != 0 {
+		t.Errorf("log after append-then-remove = %v, want empty", r.Log)
+	}
+}
+
+// randomCommutingOps builds a slice of random commuting ops.
+func randomCommutingOps(rng *rand.Rand, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		switch rng.Intn(3) {
+		case 0:
+			ops[i] = AddOp{Field: string(rune('a' + rng.Intn(4))), Delta: int64(rng.Intn(21) - 10)}
+		case 1:
+			ops[i] = AppendOp{T: Tuple{
+				Txn: TxnID(rng.Intn(50)), Part: rng.Intn(3) + 1, Total: 3,
+				Attr: "f", Amount: int64(rng.Intn(100)),
+			}}
+		default:
+			ops[i] = AddOp{Field: "bal", Delta: int64(rng.Intn(5))}
+		}
+	}
+	return ops
+}
+
+func applyAll(ops []Op) *Record {
+	r := NewRecord()
+	for _, op := range ops {
+		op.Apply(r)
+	}
+	return r
+}
+
+// TestPropertyCommutingOpsOrderIndependent is the heart of the paper's
+// premise: applying any permutation of a set of commuting ops yields
+// the same record state (property-based, testing/quick).
+func TestPropertyCommutingOpsOrderIndependent(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomCommutingOps(rng, int(n%16)+2)
+		base := applyAll(ops)
+		perm := rng.Perm(len(ops))
+		shuffled := make([]Op, len(ops))
+		for i, p := range perm {
+			shuffled[i] = ops[p]
+		}
+		return base.Equal(applyAll(shuffled))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInverseCancels: op then inverse restores the record, even
+// with unrelated commuting ops interleaved (the compensation guarantee
+// of Section 3.2).
+func TestPropertyInverseCancels(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		noise := randomCommutingOps(rng, int(n%8)+1)
+		target := randomCommutingOps(rng, 1)[0]
+		// base: just the noise.
+		base := applyAll(noise)
+		// with: noise[0..k) + target + noise[k..] + inverse.
+		k := rng.Intn(len(noise) + 1)
+		var seq []Op
+		seq = append(seq, noise[:k]...)
+		seq = append(seq, target)
+		seq = append(seq, noise[k:]...)
+		seq = append(seq, target.Inverse())
+		return base.Equal(applyAll(seq))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySetOpDoesNotCommuteWithAdd(t *testing.T) {
+	// Sanity: the one non-commuting op really is order-dependent, so
+	// tests exercising NC3V exercise a real conflict.
+	a, b := NewRecord(), NewRecord()
+	set := SetOp{Field: "bal", Value: 100}
+	add := AddOp{Field: "bal", Delta: 1}
+	set.Apply(a)
+	add.Apply(a)
+	add.Apply(b)
+	set.Apply(b)
+	if a.Field("bal") == b.Field("bal") {
+		t.Fatalf("set/add should not commute, both orders gave %d", a.Field("bal"))
+	}
+	if set.Commuting() {
+		t.Error("SetOp.Commuting() = true, want false")
+	}
+	if (ScaleOp{Field: "x", Num: 2, Den: 1}).Commuting() {
+		t.Error("ScaleOp.Commuting() = true, want false")
+	}
+}
+
+func TestScaleOp(t *testing.T) {
+	r := NewRecord()
+	r.Fields["bal"] = 100
+	ScaleOp{Field: "bal", Num: 110, Den: 100}.Apply(r)
+	if got := r.Field("bal"); got != 110 {
+		t.Errorf("scale 110/100 of 100 = %d, want 110", got)
+	}
+	ScaleOp{Field: "bal", Num: 1, Den: 0}.Apply(r) // division guard: no-op
+	if got := r.Field("bal"); got != 110 {
+		t.Errorf("scale with zero denominator changed value to %d", got)
+	}
+}
+
+func exampleTree() *TxnSpec {
+	// Mirrors transaction T1 of Figure 1: a front-end root (node 0)
+	// fanning out writes to radiology (node 1) and pediatric (node 2).
+	return &TxnSpec{
+		Label: "T1",
+		Root: &SubtxnSpec{
+			Node: 0,
+			Children: []*SubtxnSpec{
+				{Node: 1, Updates: []KeyOp{{Key: "x1", Op: AddOp{Field: "due", Delta: 30}}}},
+				{Node: 2, Updates: []KeyOp{{Key: "x2", Op: AddOp{Field: "due", Delta: 70}}}},
+			},
+		},
+	}
+}
+
+func TestTxnSpecClassification(t *testing.T) {
+	up := exampleTree()
+	if up.ReadOnly() {
+		t.Error("update tree classified read-only")
+	}
+	if !up.WellBehaved() {
+		t.Error("commuting update tree classified non-well-behaved")
+	}
+	rd := &TxnSpec{Label: "T2", Root: &SubtxnSpec{
+		Node: 0,
+		Children: []*SubtxnSpec{
+			{Node: 1, Reads: []string{"x1"}},
+			{Node: 2, Reads: []string{"x2"}},
+		},
+	}}
+	if !rd.ReadOnly() {
+		t.Error("read tree classified as update")
+	}
+	nc := &TxnSpec{Label: "K", NonCommuting: true, Root: &SubtxnSpec{
+		Node: 1, Updates: []KeyOp{{Key: "x1", Op: SetOp{Field: "due", Value: 0}}},
+	}}
+	if nc.WellBehaved() {
+		t.Error("SetOp tree classified well-behaved")
+	}
+	if err := nc.Validate(); err != nil {
+		t.Errorf("valid NC spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []*TxnSpec{
+		{Label: "nilroot"},
+		{Label: "nilop", Root: &SubtxnSpec{Node: 0, Updates: []KeyOp{{Key: "k"}}}},
+		{Label: "emptykey", Root: &SubtxnSpec{Node: 0, Updates: []KeyOp{{Key: "", Op: AddOp{Field: "f", Delta: 1}}}}},
+		{Label: "emptyread", Root: &SubtxnSpec{Node: 0, Reads: []string{""}}},
+		{Label: "negnode", Root: &SubtxnSpec{Node: -1}},
+		{Label: "unmarked-nc", Root: &SubtxnSpec{Node: 0, Updates: []KeyOp{{Key: "k", Op: SetOp{Field: "f", Value: 1}}}}},
+		{Label: "nc-readonly", NonCommuting: true, Root: &SubtxnSpec{Node: 0, Reads: []string{"k"}}},
+		{Label: "badchild", Root: &SubtxnSpec{Node: 0, Children: []*SubtxnSpec{{Node: 0, Updates: []KeyOp{{Key: "k"}}}}}},
+	}
+	for _, spec := range cases {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate(%s) accepted invalid spec", spec.Label)
+		}
+	}
+	if err := exampleTree().Validate(); err != nil {
+		t.Errorf("Validate rejected valid spec: %v", err)
+	}
+}
+
+func TestCompensatorInvertsTree(t *testing.T) {
+	spec := exampleTree()
+	comp := spec.Root.Compensator()
+	// Apply original then compensator op-by-op per node; final state of
+	// each touched record must be the empty state.
+	records := map[string]*Record{"x1": NewRecord(), "x2": NewRecord()}
+	var apply func(s *SubtxnSpec)
+	apply = func(s *SubtxnSpec) {
+		for _, u := range s.Updates {
+			u.Op.Apply(records[u.Key])
+		}
+		for _, c := range s.Children {
+			apply(c)
+		}
+	}
+	apply(spec.Root)
+	apply(comp)
+	for k, r := range records {
+		if !r.Equal(NewRecord()) {
+			t.Errorf("record %s after compensation = %v, want empty", k, r)
+		}
+	}
+}
+
+func TestCompensatorPanicsOnNonInvertible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compensator of SetOp did not panic")
+		}
+	}()
+	(&SubtxnSpec{Node: 0, Updates: []KeyOp{{Key: "k", Op: SetOp{Field: "f", Value: 1}}}}).Compensator()
+}
+
+func TestNodesAndCount(t *testing.T) {
+	spec := exampleTree()
+	nodes := spec.Nodes()
+	want := []NodeID{0, 1, 2}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", nodes, want)
+		}
+	}
+	if got := spec.CountSubtxns(); got != 3 {
+		t.Errorf("CountSubtxns() = %d, want 3", got)
+	}
+	// Revisiting a node counts once in Nodes but twice in CountSubtxns.
+	revisit := &TxnSpec{Root: &SubtxnSpec{Node: 1, Children: []*SubtxnSpec{
+		{Node: 0, Children: []*SubtxnSpec{{Node: 1}}},
+	}}}
+	if got := len(revisit.Nodes()); got != 2 {
+		t.Errorf("revisit Nodes() has %d entries, want 2", got)
+	}
+	if got := revisit.CountSubtxns(); got != 3 {
+		t.Errorf("revisit CountSubtxns() = %d, want 3", got)
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	spec := exampleTree()
+	s := spec.String()
+	for _, want := range []string{"T1", "@p", "@q", "@s", "add(due,+30)"} {
+		if !contains(s, want) {
+			t.Errorf("TxnSpec.String() = %q, missing %q", s, want)
+		}
+	}
+	r := NewRecord()
+	r.Fields["b"] = 2
+	r.Fields["a"] = 1
+	if got := r.String(); got != "{a=1 b=2 |log|=0}" {
+		t.Errorf("Record.String() = %q", got)
+	}
+	id := MakeTxnID(1, 9)
+	if got := id.String(); got != "tq.9" {
+		t.Errorf("TxnID.String() = %q, want tq.9", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package model
+
+import "fmt"
+
+// Op is a single update operation applied to one record. The 3V
+// algorithm ships operations (not after-states) between versions: when
+// a subtransaction must execute against both an old and a new copy of a
+// data item (the "dual write" of Section 2.3), the same Op is applied
+// to every version greater than or equal to the transaction's version.
+//
+// Commuting returns whether the operation commutes with every other
+// commuting operation on the same record. Transactions whose update
+// subtransactions consist solely of commuting ops form a well-behaved
+// set (Definition 3.1); SetOp does not commute and may only be issued
+// by non-well-behaved transactions handled by the NC3V extension
+// (Section 5).
+//
+// Inverse returns a compensating operation such that applying op then
+// op.Inverse() (in any order relative to other commuting ops) leaves
+// the record as if op had never been applied. Compensation (Section
+// 3.2) relies on inverses of commuting ops also being commuting ops, so
+// a compensating subtransaction is an ordinary member of the
+// transaction tree and arrival order does not matter. Ops without a
+// well-defined inverse (SetOp) return nil; such ops are rolled back via
+// the NC3V undo log instead.
+type Op interface {
+	Apply(*Record)
+	Commuting() bool
+	Inverse() Op
+	fmt.Stringer
+}
+
+// AddOp adds Delta to the named summary field. It commutes with every
+// AddOp and AppendOp; its inverse subtracts the same delta.
+type AddOp struct {
+	Field string
+	Delta int64
+}
+
+// Apply implements Op.
+func (o AddOp) Apply(r *Record) { r.Fields[o.Field] += o.Delta }
+
+// Commuting implements Op.
+func (o AddOp) Commuting() bool { return true }
+
+// Inverse implements Op.
+func (o AddOp) Inverse() Op { return AddOp{Field: o.Field, Delta: -o.Delta} }
+
+// String implements fmt.Stringer.
+func (o AddOp) String() string { return fmt.Sprintf("add(%s,%+d)", o.Field, o.Delta) }
+
+// AppendOp inserts a tuple into the record's log — the "record a new
+// observation" half of a data recording update (Section 6). Appends
+// commute because the log is interpreted as a multiset; its inverse
+// removes the same tuple.
+type AppendOp struct {
+	T Tuple
+}
+
+// Apply implements Op.
+func (o AppendOp) Apply(r *Record) { r.Log = append(r.Log, o.T) }
+
+// Commuting implements Op.
+func (o AppendOp) Commuting() bool { return true }
+
+// Inverse implements Op.
+func (o AppendOp) Inverse() Op { return RemoveOp{T: o.T} }
+
+// String implements fmt.Stringer.
+func (o AppendOp) String() string {
+	return fmt.Sprintf("append(%s part %d/%d %s=%d)", o.T.Txn, o.T.Part, o.T.Total, o.T.Attr, o.T.Amount)
+}
+
+// RemoveOp removes one occurrence of an identical tuple from the log.
+// It exists solely as the inverse of AppendOp for compensation; if the
+// tuple is not present (the compensator overtook the original on the
+// network) the removal is remembered as a "pending removal" encoded by
+// appending a negated marker — but because the 3V transport delivers
+// each subtransaction exactly once and compensators are sent only for
+// children that were actually spawned, the simpler semantics below
+// (remove if present, otherwise append a tombstone that annihilates the
+// late append) keeps compensation order-insensitive.
+type RemoveOp struct {
+	T Tuple
+}
+
+// Apply implements Op. Removal scans the log for an identical tuple; if
+// found it is deleted, otherwise a tombstone (the tuple with negated
+// Total) is appended, which a later identical AppendOp will annihilate.
+func (o RemoveOp) Apply(r *Record) {
+	for i, t := range r.Log {
+		if t == o.T {
+			r.Log = append(r.Log[:i], r.Log[i+1:]...)
+			return
+		}
+	}
+	tomb := o.T
+	tomb.Total = -tomb.Total
+	r.Log = append(r.Log, tomb)
+}
+
+// Commuting implements Op.
+func (o RemoveOp) Commuting() bool { return true }
+
+// Inverse implements Op.
+func (o RemoveOp) Inverse() Op { return AppendOp{T: o.T} }
+
+// String implements fmt.Stringer.
+func (o RemoveOp) String() string {
+	return fmt.Sprintf("remove(%s part %d/%d)", o.T.Txn, o.T.Part, o.T.Total)
+}
+
+// annihilate is invoked by AppendOp.Apply indirectly: appends check for
+// a matching tombstone first. To keep Apply implementations independent
+// we instead normalize at read time; NormalizeLog removes
+// tombstone/tuple pairs. Auditors call it before checking visibility.
+func NormalizeLog(log []Tuple) []Tuple {
+	out := make([]Tuple, 0, len(log))
+	tombs := make(map[Tuple]int)
+	for _, t := range log {
+		if t.Total < 0 {
+			pos := t
+			pos.Total = -pos.Total
+			tombs[pos]++
+			continue
+		}
+		out = append(out, t)
+	}
+	if len(tombs) == 0 {
+		return out
+	}
+	final := out[:0]
+	for _, t := range out {
+		if tombs[t] > 0 {
+			tombs[t]--
+			continue
+		}
+		final = append(final, t)
+	}
+	return final
+}
+
+// SetOp overwrites the named summary field with an absolute value. It
+// does not commute (two Sets of different values yield order-dependent
+// states, and Set does not commute with Add), so it may only appear in
+// non-well-behaved transactions executed under the NC3V protocol with
+// two-phase locking and two-phase commit. Its inverse is nil: NC3V
+// rolls back via a before-image undo log rather than compensation.
+type SetOp struct {
+	Field string
+	Value int64
+}
+
+// Apply implements Op.
+func (o SetOp) Apply(r *Record) { r.Fields[o.Field] = o.Value }
+
+// Commuting implements Op.
+func (o SetOp) Commuting() bool { return false }
+
+// Inverse implements Op. SetOp has no state-independent inverse.
+func (o SetOp) Inverse() Op { return nil }
+
+// String implements fmt.Stringer.
+func (o SetOp) String() string { return fmt.Sprintf("set(%s,%d)", o.Field, o.Value) }
+
+// ScaleOp multiplies the named summary field by a rational factor
+// Num/Den (integer arithmetic, rounding toward zero). Like SetOp it
+// does not commute with AddOp and is reserved for NC3V transactions
+// (e.g. applying a percentage surcharge or discount to a balance).
+type ScaleOp struct {
+	Field string
+	Num   int64
+	Den   int64
+}
+
+// Apply implements Op.
+func (o ScaleOp) Apply(r *Record) {
+	if o.Den != 0 {
+		r.Fields[o.Field] = r.Fields[o.Field] * o.Num / o.Den
+	}
+}
+
+// Commuting implements Op.
+func (o ScaleOp) Commuting() bool { return false }
+
+// Inverse implements Op. Integer scaling loses information; NC3V rolls
+// back via before-images.
+func (o ScaleOp) Inverse() Op { return nil }
+
+// String implements fmt.Stringer.
+func (o ScaleOp) String() string { return fmt.Sprintf("scale(%s,%d/%d)", o.Field, o.Num, o.Den) }

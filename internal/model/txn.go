@@ -1,0 +1,237 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KeyOp binds an update operation to the local key it targets.
+type KeyOp struct {
+	Key string
+	Op  Op
+}
+
+// SubtxnSpec describes the work one subtransaction performs at one node
+// in the tree model of transactions (Mohan et al., R*; Section 2.1 of
+// the paper): read some local items, update some local items, then send
+// child subtransactions to other nodes (possibly revisiting nodes
+// already visited) and commit locally. A transaction is a root
+// SubtxnSpec; its descendants are partially ordered below it.
+type SubtxnSpec struct {
+	// Node is the site this subtransaction executes on.
+	Node NodeID
+	// Reads lists local keys whose current (per the transaction's
+	// version) record is read. Read results are reported to the
+	// transaction's observer.
+	Reads []string
+	// Updates lists local update operations. Empty for subtransactions
+	// of read-only transactions.
+	Updates []KeyOp
+	// Children are subtransactions sent to other nodes after the local
+	// work completes. The paper's model sends them before the local
+	// commit; request counters are incremented before each send.
+	Children []*SubtxnSpec
+	// Abort, if true, makes this subtransaction abort after performing
+	// its local work and sending its children: it rolls back its local
+	// effects and sends compensating subtransactions for every child it
+	// spawned (Section 3.2). Used for fault-injection in tests and
+	// experiment E10.
+	Abort bool
+}
+
+// TxnSpec is a complete global transaction: a root subtransaction plus
+// metadata used by the drivers and auditors.
+type TxnSpec struct {
+	Root *SubtxnSpec
+	// NonCommuting marks a non-well-behaved transaction that must be
+	// executed under the NC3V protocol (two-phase locking plus global
+	// two-phase commit, Section 5). Transactions containing any
+	// non-commuting Op must set this.
+	NonCommuting bool
+	// Label is an optional human-readable tag ("i", "j", "x", "y" in the
+	// paper's Table 1) used by traces and tests.
+	Label string
+}
+
+// ReadOnly reports whether the whole tree performs no updates, i.e. the
+// transaction belongs to the read set R rather than the update set U.
+func (t *TxnSpec) ReadOnly() bool { return t.Root.readOnly() }
+
+func (s *SubtxnSpec) readOnly() bool {
+	if len(s.Updates) > 0 {
+		return false
+	}
+	for _, c := range s.Children {
+		if !c.readOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// WellBehaved reports whether every update operation in the tree
+// commutes, i.e. the transaction may run under plain 3V without locks.
+func (t *TxnSpec) WellBehaved() bool { return t.Root.wellBehaved() }
+
+func (s *SubtxnSpec) wellBehaved() bool {
+	for _, u := range s.Updates {
+		if !u.Op.Commuting() {
+			return false
+		}
+	}
+	for _, c := range s.Children {
+		if !c.wellBehaved() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural sanity of the spec: non-nil root, no nil
+// children or ops, and that a transaction containing non-commuting ops
+// is marked NonCommuting. It returns the first problem found.
+func (t *TxnSpec) Validate() error {
+	if t.Root == nil {
+		return fmt.Errorf("model: transaction %q has nil root", t.Label)
+	}
+	if err := t.Root.validate(); err != nil {
+		return fmt.Errorf("model: transaction %q: %w", t.Label, err)
+	}
+	if !t.NonCommuting && !t.WellBehaved() {
+		return fmt.Errorf("model: transaction %q contains non-commuting ops but is not marked NonCommuting", t.Label)
+	}
+	if t.NonCommuting && t.ReadOnly() {
+		return fmt.Errorf("model: read-only transaction %q must not be marked NonCommuting", t.Label)
+	}
+	return nil
+}
+
+func (s *SubtxnSpec) validate() error {
+	if s == nil {
+		return fmt.Errorf("nil subtransaction")
+	}
+	if s.Node < 0 {
+		return fmt.Errorf("subtransaction on negative node %d", s.Node)
+	}
+	for i, u := range s.Updates {
+		if u.Op == nil {
+			return fmt.Errorf("nil op at update %d on node %v", i, s.Node)
+		}
+		if u.Key == "" {
+			return fmt.Errorf("empty key at update %d on node %v", i, s.Node)
+		}
+	}
+	for _, r := range s.Reads {
+		if r == "" {
+			return fmt.Errorf("empty read key on node %v", s.Node)
+		}
+	}
+	for _, c := range s.Children {
+		if err := c.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compensator returns a subtransaction spec that undoes this
+// subtransaction's updates and, recursively, its descendants'. Per
+// Section 3.2 compensating subtransactions are ordinary members of the
+// transaction tree (same version id, same counter discipline); because
+// the inverses of commuting ops also commute, the database state is
+// restored regardless of the order compensators interleave with other
+// transactions. Reads are dropped (compensating a read is a no-op).
+// Compensator panics if any update lacks an inverse — callers must not
+// compensate non-commuting transactions (NC3V aborts via 2PC instead).
+func (s *SubtxnSpec) Compensator() *SubtxnSpec {
+	c := &SubtxnSpec{Node: s.Node}
+	for _, u := range s.Updates {
+		inv := u.Op.Inverse()
+		if inv == nil {
+			panic(fmt.Sprintf("model: op %v on %q has no inverse; cannot compensate", u.Op, u.Key))
+		}
+		c.Updates = append(c.Updates, KeyOp{Key: u.Key, Op: inv})
+	}
+	for _, child := range s.Children {
+		c.Children = append(c.Children, child.Compensator())
+	}
+	return c
+}
+
+// Nodes returns the set of nodes the tree touches, in ascending order.
+func (t *TxnSpec) Nodes() []NodeID {
+	seen := make(map[NodeID]bool)
+	t.Root.collectNodes(seen)
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func (s *SubtxnSpec) collectNodes(seen map[NodeID]bool) {
+	seen[s.Node] = true
+	for _, c := range s.Children {
+		c.collectNodes(seen)
+	}
+}
+
+// CountSubtxns returns the number of subtransactions in the tree
+// (including the root).
+func (t *TxnSpec) CountSubtxns() int { return t.Root.count() }
+
+func (s *SubtxnSpec) count() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.count()
+	}
+	return n
+}
+
+// String renders the tree compactly for traces and test failures.
+func (t *TxnSpec) String() string {
+	var b strings.Builder
+	if t.Label != "" {
+		b.WriteString(t.Label)
+	} else {
+		b.WriteString("txn")
+	}
+	if t.NonCommuting {
+		b.WriteString("!nc")
+	}
+	t.Root.render(&b)
+	return b.String()
+}
+
+func (s *SubtxnSpec) render(b *strings.Builder) {
+	fmt.Fprintf(b, "[@%v", s.Node)
+	for _, r := range s.Reads {
+		fmt.Fprintf(b, " r(%s)", r)
+	}
+	for _, u := range s.Updates {
+		fmt.Fprintf(b, " w(%s:%v)", u.Key, u.Op)
+	}
+	if s.Abort {
+		b.WriteString(" ABORT")
+	}
+	for _, c := range s.Children {
+		c.render(b)
+	}
+	b.WriteByte(']')
+}
+
+// ReadResult is one read observation reported back to the transaction's
+// observer: the key, the node it lives on, the version actually read
+// (the maximum existing version not exceeding the transaction version),
+// and a deep copy of the record.
+type ReadResult struct {
+	Node        NodeID
+	Key         string
+	VersionRead Version
+	Record      *Record
+}

@@ -1,0 +1,512 @@
+// Package storage implements the per-node multiversion storage engine
+// the 3V algorithm runs on (Section 4 of the paper). Each data item
+// keeps a short chain of versions — at most three are ever live under
+// 3V — and supports the two primitives the paper assumes can be
+// answered efficiently:
+//
+//  1. "Does data item x exist in version v?"
+//  2. "Locate data item x with version v."
+//
+// plus the derived primitives the protocol needs:
+//
+//   - ReadMax: read the maximum existing version of x not exceeding v
+//     (used by both update and query subtransactions, Sections 4.1/4.2);
+//   - EnsureVersion: atomically check-and-create version v of x by
+//     copying the maximum existing version below it (copy-on-update,
+//     Section 2.2);
+//   - ApplyFrom: apply an operation to every existing version ≥ v (the
+//     generalized dual write of Sections 2.3/4.1 step 4);
+//   - GC: the garbage-collection step of advancement Phase 4, which
+//     deletes versions superseded by the new read version and renumbers
+//     the latest survivor when the new read version was never
+//     materialized for an item.
+//
+// The engine also keeps the space accounting (copies made, bytes
+// copied, live-version high-water mark) used by experiments E4 and E8.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// versioned is one version of one item.
+type versioned struct {
+	ver model.Version
+	rec *model.Record
+}
+
+// chain is the ordered (ascending by version) list of live versions of
+// a single item. Under 3V its length never exceeds three; the engine
+// does not enforce that bound (it is the protocol's invariant, asserted
+// by the verifier) but it does record the high-water mark.
+type chain struct {
+	versions []versioned
+}
+
+// Store is one node's versioned storage. All exported methods are safe
+// for concurrent use; the protocol layers per-item local concurrency
+// control on top (package localcc), so intra-item atomicity beyond the
+// single-call level is the caller's concern — except EnsureVersion,
+// whose check-and-create is atomic as the paper requires.
+type Store struct {
+	mu    sync.RWMutex
+	items map[string]*chain
+
+	stats Stats
+}
+
+// Stats is the space/copy accounting of a store. Counters only grow.
+type Stats struct {
+	// Copies is the number of record materializations performed by
+	// EnsureVersion (each is one whole-record copy).
+	Copies int64
+	// BytesCopied approximates the bytes duplicated by those copies.
+	BytesCopied int64
+	// Creations counts versions created from nothing (item did not
+	// previously exist in any version ≤ the target).
+	Creations int64
+	// MaxLiveVersions is the largest number of simultaneously live
+	// versions ever observed for any single item.
+	MaxLiveVersions int
+	// GCRuns counts garbage-collection sweeps; GCDropped counts
+	// versions deleted by them; GCRenumbered counts survivors whose
+	// version number was advanced in place.
+	GCRuns       int64
+	GCDropped    int64
+	GCRenumbered int64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{items: make(map[string]*chain)}
+}
+
+// Preload installs an initial version-0 record for key, as in the
+// paper's initial state where "all records exist in a single version
+// 0". It overwrites any existing chain for the key and performs no
+// accounting; use it only during cluster setup.
+func (s *Store) Preload(key string, rec *model.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[key] = &chain{versions: []versioned{{ver: 0, rec: rec}}}
+}
+
+// Exists reports whether version v of item key exists (paper primitive 1).
+func (s *Store) Exists(key string, v model.Version) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch := s.items[key]
+	if ch == nil {
+		return false
+	}
+	_, ok := ch.find(v)
+	return ok
+}
+
+// ExistsAbove reports whether the item exists in any version strictly
+// greater than v. The NC3V algorithm aborts a non-commuting transaction
+// that would update such an item (Section 5 step 4).
+func (s *Store) ExistsAbove(key string, v model.Version) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch := s.items[key]
+	if ch == nil {
+		return false
+	}
+	n := len(ch.versions)
+	return n > 0 && ch.versions[n-1].ver > v
+}
+
+// ReadMax returns a deep copy of the maximum existing version of key
+// that does not exceed v, along with the version found. ok is false if
+// the item does not exist in any version ≤ v.
+func (s *Store) ReadMax(key string, v model.Version) (rec *model.Record, found model.Version, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch := s.items[key]
+	if ch == nil {
+		return nil, 0, false
+	}
+	i := ch.floorIndex(v)
+	if i < 0 {
+		return nil, 0, false
+	}
+	return ch.versions[i].rec.Clone(), ch.versions[i].ver, true
+}
+
+// Peek returns the live record of exactly version v without copying.
+// The caller must hold the item's local latch and must not retain the
+// pointer past the latched section. ok is false if that exact version
+// does not exist.
+func (s *Store) Peek(key string, v model.Version) (rec *model.Record, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch := s.items[key]
+	if ch == nil {
+		return nil, false
+	}
+	return ch.find(v)
+}
+
+// EnsureVersion atomically checks whether version v of key exists and,
+// if not, creates it by deep-copying the maximum existing version below
+// v; if the item does not exist at all, a fresh empty record is created
+// at version v. It returns created=true when a new version was
+// materialized. This is the atomic check-and-create of Section 4.1
+// step 4 (and Section 5 step 4 for NC3V).
+func (s *Store) EnsureVersion(key string, v model.Version) (created bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.items[key]
+	if ch == nil {
+		ch = &chain{}
+		s.items[key] = ch
+	}
+	if _, ok := ch.find(v); ok {
+		return false
+	}
+	var rec *model.Record
+	if i := ch.floorIndex(v); i >= 0 {
+		rec = ch.versions[i].rec.Clone()
+		s.stats.Copies++
+		s.stats.BytesCopied += rec.SizeBytes()
+	} else {
+		rec = model.NewRecord()
+		s.stats.Creations++
+	}
+	ch.insert(versioned{ver: v, rec: rec})
+	if n := len(ch.versions); n > s.stats.MaxLiveVersions {
+		s.stats.MaxLiveVersions = n
+	}
+	return true
+}
+
+// ApplyFrom applies op to every existing version of key that is greater
+// than or equal to v — step 4 of the subtransaction algorithm: "Once
+// x(V(T)) exists, update all versions of x greater or equal to version
+// V(T)". Callers must have called EnsureVersion(key, v) first (the
+// protocol always does); ApplyFrom returns the number of versions the
+// op was applied to, which is 0 only on protocol misuse.
+func (s *Store) ApplyFrom(key string, v model.Version, op model.Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.items[key]
+	if ch == nil {
+		return 0
+	}
+	n := 0
+	for _, ver := range ch.versions {
+		if ver.ver >= v {
+			op.Apply(ver.rec)
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyExact applies op to exactly version v of key (used by NC3V,
+// which never dual-writes: non-commuting transactions update only their
+// own version). It reports whether the version existed.
+func (s *Store) ApplyExact(key string, v model.Version, op model.Op) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.items[key]
+	if ch == nil {
+		return false
+	}
+	rec, ok := ch.find(v)
+	if !ok {
+		return false
+	}
+	op.Apply(rec)
+	return true
+}
+
+// Restore overwrites version v of key with the given record
+// (before-image rollback for NC3V aborts). It reports whether the
+// version existed. If drop is true the version is instead removed
+// entirely (the aborting transaction had created it).
+func (s *Store) Restore(key string, v model.Version, rec *model.Record, drop bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.items[key]
+	if ch == nil {
+		return false
+	}
+	for i := range ch.versions {
+		if ch.versions[i].ver == v {
+			if drop {
+				ch.versions = append(ch.versions[:i], ch.versions[i+1:]...)
+				if len(ch.versions) == 0 {
+					delete(s.items, key)
+				}
+			} else {
+				ch.versions[i].rec = rec.Clone()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// GC performs the per-node garbage collection of advancement Phase 4
+// with new read version vrNew: for every item, if version vrNew exists
+// all earlier versions are deleted; otherwise the latest earlier
+// version is renumbered to vrNew. Versions above vrNew (the current
+// update version's data) are untouched.
+func (s *Store) GC(vrNew model.Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.GCRuns++
+	for _, ch := range s.items {
+		if _, ok := ch.find(vrNew); ok {
+			kept := ch.versions[:0]
+			for _, v := range ch.versions {
+				if v.ver >= vrNew {
+					kept = append(kept, v)
+				} else {
+					s.stats.GCDropped++
+				}
+			}
+			ch.versions = kept
+			continue
+		}
+		// vrNew does not exist: renumber the latest earlier version to
+		// vrNew so future "max existing ≤ v" lookups stay correct, and
+		// drop anything older than it.
+		i := ch.floorIndex(vrNew)
+		if i < 0 {
+			continue // item only exists in versions above vrNew
+		}
+		ch.versions[i].ver = vrNew
+		s.stats.GCRenumbered++
+		if i > 0 {
+			s.stats.GCDropped += int64(i)
+			ch.versions = append(ch.versions[:0], ch.versions[i:]...)
+		}
+	}
+}
+
+// ExportedVersion is one serializable version of one item.
+type ExportedVersion struct {
+	Ver model.Version
+	Rec *model.Record
+}
+
+// ExportedItem is one item's full version chain in serializable form.
+type ExportedItem struct {
+	Key      string
+	Versions []ExportedVersion
+}
+
+// Export returns a deep copy of the whole store in serializable form
+// (items sorted by key, versions ascending) for snapshot persistence.
+func (s *Store) Export() []ExportedItem {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ExportedItem, 0, len(keys))
+	for _, k := range keys {
+		ch := s.items[k]
+		item := ExportedItem{Key: k, Versions: make([]ExportedVersion, 0, len(ch.versions))}
+		for _, v := range ch.versions {
+			item.Versions = append(item.Versions, ExportedVersion{Ver: v.ver, Rec: v.rec.Clone()})
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// Import replaces the store's contents with the exported items (deep
+// copied). Accounting stats are reset; the live-version high-water mark
+// restarts from the imported chains.
+func (s *Store) Import(items []ExportedItem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string]*chain, len(items))
+	s.stats = Stats{}
+	for _, item := range items {
+		ch := &chain{versions: make([]versioned, 0, len(item.Versions))}
+		for _, v := range item.Versions {
+			ch.versions = append(ch.versions, versioned{ver: v.Ver, rec: v.Rec.Clone()})
+		}
+		sort.Slice(ch.versions, func(i, j int) bool { return ch.versions[i].ver < ch.versions[j].ver })
+		s.items[item.Key] = ch
+		if n := len(ch.versions); n > s.stats.MaxLiveVersions {
+			s.stats.MaxLiveVersions = n
+		}
+	}
+}
+
+// PendingItems reports how many items have a live version strictly
+// greater than vr — i.e. carry updates not yet visible to readers. The
+// advancement trigger policies (paper §1, "Desired Solution": advance
+// "once a certain number of update transactions have accumulated, or
+// when the difference in value of data items in different versions
+// exceeds some threshold") use it to decide when to advance.
+func (s *Store) PendingItems(vr model.Version) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ch := range s.items {
+		if len(ch.versions) > 0 && ch.versions[len(ch.versions)-1].ver > vr {
+			n++
+		}
+	}
+	return n
+}
+
+// Divergence sums, over all items, the absolute difference of the
+// named summary field between the newest live version and the version
+// a reader at vr would see — the paper's "difference in value of data
+// items in different versions" trigger quantity.
+func (s *Store) Divergence(vr model.Version, field string) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, ch := range s.items {
+		if len(ch.versions) == 0 {
+			continue
+		}
+		newest := ch.versions[len(ch.versions)-1]
+		if newest.ver <= vr {
+			continue
+		}
+		var readable int64
+		if i := ch.floorIndex(vr); i >= 0 {
+			readable = ch.versions[i].rec.Field(field)
+		}
+		d := newest.rec.Field(field) - readable
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total
+}
+
+// HasVersionsBelow reports whether any item still holds a live version
+// strictly below v — i.e. garbage collection up to v has not run. A
+// recovering coordinator uses it to detect an interrupted Phase 4.
+func (s *Store) HasVersionsBelow(v model.Version) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, ch := range s.items {
+		if len(ch.versions) > 0 && ch.versions[0].ver < v {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveVersions returns the versions currently live for key, ascending.
+func (s *Store) LiveVersions(key string) []model.Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ch := s.items[key]
+	if ch == nil {
+		return nil
+	}
+	out := make([]model.Version, len(ch.versions))
+	for i, v := range ch.versions {
+		out[i] = v.ver
+	}
+	return out
+}
+
+// Keys returns all item keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxLiveVersions returns the largest number of simultaneously live
+// versions any item currently has (not the historical high-water mark;
+// see Stats for that).
+func (s *Store) MaxLiveVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	max := 0
+	for _, ch := range s.items {
+		if n := len(ch.versions); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Stats returns a copy of the accounting counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Dump renders the whole store for traces and debugging: every item
+// with its live versions.
+func (s *Store) Dump() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ":"
+		for _, v := range s.items[k].versions {
+			out += fmt.Sprintf(" v%d=%v", v.ver, v.rec)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// find returns the record at exactly version v.
+func (c *chain) find(v model.Version) (*model.Record, bool) {
+	for _, e := range c.versions {
+		if e.ver == v {
+			return e.rec, true
+		}
+	}
+	return nil, false
+}
+
+// floorIndex returns the index of the maximum version ≤ v, or -1.
+func (c *chain) floorIndex(v model.Version) int {
+	best := -1
+	for i, e := range c.versions {
+		if e.ver <= v {
+			best = i
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// insert adds e keeping ascending version order.
+func (c *chain) insert(e versioned) {
+	i := len(c.versions)
+	for i > 0 && c.versions[i-1].ver > e.ver {
+		i--
+	}
+	c.versions = append(c.versions, versioned{})
+	copy(c.versions[i+1:], c.versions[i:])
+	c.versions[i] = e
+}

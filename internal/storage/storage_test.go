@@ -1,0 +1,513 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func rec(fields map[string]int64) *model.Record {
+	r := model.NewRecord()
+	for k, v := range fields {
+		r.Fields[k] = v
+	}
+	return r
+}
+
+func TestPreloadAndReadMax(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 10}))
+	got, ver, ok := s.ReadMax("A", 5)
+	if !ok || ver != 0 || got.Field("bal") != 10 {
+		t.Fatalf("ReadMax(A,5) = %v v%d ok=%v, want bal=10 v0 true", got, ver, ok)
+	}
+	if _, _, ok := s.ReadMax("missing", 5); ok {
+		t.Error("ReadMax of missing item reported ok")
+	}
+}
+
+func TestReadMaxIsACopy(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	got, _, _ := s.ReadMax("A", 0)
+	got.Fields["bal"] = 999
+	again, _, _ := s.ReadMax("A", 0)
+	if again.Field("bal") != 1 {
+		t.Error("mutating ReadMax result leaked into the store")
+	}
+}
+
+func TestExists(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(nil))
+	if !s.Exists("A", 0) {
+		t.Error("Exists(A,0) = false after preload")
+	}
+	if s.Exists("A", 1) {
+		t.Error("Exists(A,1) = true before any write")
+	}
+	if s.Exists("B", 0) {
+		t.Error("Exists(B,0) = true for unknown item")
+	}
+}
+
+func TestEnsureVersionCopiesFloor(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 7}))
+	if created := s.EnsureVersion("A", 1); !created {
+		t.Fatal("EnsureVersion(A,1) did not create")
+	}
+	if created := s.EnsureVersion("A", 1); created {
+		t.Fatal("second EnsureVersion(A,1) created again")
+	}
+	got, ver, _ := s.ReadMax("A", 1)
+	if ver != 1 || got.Field("bal") != 7 {
+		t.Errorf("version 1 = %v v%d, want copy of v0 (bal=7)", got, ver)
+	}
+	st := s.Stats()
+	if st.Copies != 1 {
+		t.Errorf("Copies = %d, want 1", st.Copies)
+	}
+	if st.BytesCopied <= 0 {
+		t.Errorf("BytesCopied = %d, want > 0", st.BytesCopied)
+	}
+}
+
+func TestEnsureVersionFreshItem(t *testing.T) {
+	s := New()
+	if created := s.EnsureVersion("new", 2); !created {
+		t.Fatal("EnsureVersion of fresh item did not create")
+	}
+	got, ver, ok := s.ReadMax("new", 2)
+	if !ok || ver != 2 || len(got.Fields) != 0 {
+		t.Errorf("fresh item = %v v%d ok=%v, want empty v2", got, ver, ok)
+	}
+	if st := s.Stats(); st.Creations != 1 || st.Copies != 0 {
+		t.Errorf("stats = %+v, want Creations=1 Copies=0", st)
+	}
+}
+
+func TestApplyFromDualWrite(t *testing.T) {
+	// The generalized dual write: item exists at versions 1 and 2; a
+	// version-1 op must hit both, a version-2 op only version 2.
+	s := New()
+	s.Preload("D", rec(map[string]int64{"bal": 0}))
+	s.EnsureVersion("D", 1)
+	s.EnsureVersion("D", 2)
+	if n := s.ApplyFrom("D", 1, model.AddOp{Field: "bal", Delta: 5}); n != 2 {
+		t.Fatalf("ApplyFrom v1 touched %d versions, want 2", n)
+	}
+	if n := s.ApplyFrom("D", 2, model.AddOp{Field: "bal", Delta: 100}); n != 1 {
+		t.Fatalf("ApplyFrom v2 touched %d versions, want 1", n)
+	}
+	check := func(v model.Version, want int64) {
+		got, ver, _ := s.ReadMax("D", v)
+		if ver != v || got.Field("bal") != want {
+			t.Errorf("version %d bal = %d (found v%d), want %d", v, got.Field("bal"), ver, want)
+		}
+	}
+	check(0, 0)
+	check(1, 5)
+	check(2, 105)
+}
+
+func TestApplyFromMissingItem(t *testing.T) {
+	s := New()
+	if n := s.ApplyFrom("ghost", 1, model.AddOp{Field: "x", Delta: 1}); n != 0 {
+		t.Errorf("ApplyFrom on missing item touched %d versions", n)
+	}
+}
+
+func TestApplyExact(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	s.EnsureVersion("A", 2)
+	if !s.ApplyExact("A", 2, model.SetOp{Field: "bal", Value: 42}) {
+		t.Fatal("ApplyExact on existing version failed")
+	}
+	if s.ApplyExact("A", 3, model.SetOp{Field: "bal", Value: 0}) {
+		t.Error("ApplyExact on missing version succeeded")
+	}
+	if s.ApplyExact("nope", 0, model.SetOp{Field: "bal", Value: 0}) {
+		t.Error("ApplyExact on missing item succeeded")
+	}
+	v2, _, _ := s.ReadMax("A", 2)
+	v0, _, _ := s.ReadMax("A", 0)
+	if v2.Field("bal") != 42 || v0.Field("bal") != 1 {
+		t.Errorf("ApplyExact leaked across versions: v0=%d v2=%d", v0.Field("bal"), v2.Field("bal"))
+	}
+}
+
+func TestRestore(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	s.EnsureVersion("A", 2)
+	s.ApplyExact("A", 2, model.SetOp{Field: "bal", Value: 42})
+	// Rollback via before-image.
+	if !s.Restore("A", 2, rec(map[string]int64{"bal": 1}), false) {
+		t.Fatal("Restore failed")
+	}
+	got, _, _ := s.ReadMax("A", 2)
+	if got.Field("bal") != 1 {
+		t.Errorf("after restore bal = %d, want 1", got.Field("bal"))
+	}
+	// Drop a created version entirely.
+	if !s.Restore("A", 2, nil, true) {
+		t.Fatal("Restore(drop) failed")
+	}
+	if s.Exists("A", 2) {
+		t.Error("version 2 still exists after drop")
+	}
+	if s.Restore("A", 9, nil, true) {
+		t.Error("Restore of missing version succeeded")
+	}
+	// Dropping the only version of an item removes the item.
+	s.EnsureVersion("solo", 1)
+	s.Restore("solo", 1, nil, true)
+	if _, _, ok := s.ReadMax("solo", 99); ok {
+		t.Error("item with all versions dropped still readable")
+	}
+}
+
+func TestExistsAbove(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(nil))
+	s.EnsureVersion("A", 3)
+	if !s.ExistsAbove("A", 2) {
+		t.Error("ExistsAbove(A,2) = false with v3 live")
+	}
+	if s.ExistsAbove("A", 3) {
+		t.Error("ExistsAbove(A,3) = true with nothing above v3")
+	}
+	if s.ExistsAbove("nope", 0) {
+		t.Error("ExistsAbove on missing item = true")
+	}
+}
+
+func TestGCDropsSuperseded(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	s.EnsureVersion("A", 1)
+	s.ApplyFrom("A", 1, model.AddOp{Field: "bal", Delta: 10})
+	s.EnsureVersion("A", 2)
+	s.GC(1) // new read version 1: v0 must die, v1 and v2 survive
+	vs := s.LiveVersions("A")
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 2 {
+		t.Fatalf("LiveVersions after GC = %v, want [1 2]", vs)
+	}
+	got, ver, _ := s.ReadMax("A", 1)
+	if ver != 1 || got.Field("bal") != 11 {
+		t.Errorf("read v1 after GC = %v v%d, want bal=11", got, ver)
+	}
+	if st := s.Stats(); st.GCDropped != 1 || st.GCRuns != 1 {
+		t.Errorf("stats = %+v, want GCDropped=1 GCRuns=1", st)
+	}
+}
+
+func TestGCRenumbersUntouchedItem(t *testing.T) {
+	// Item B was never written in version 1; GC to read version 1 must
+	// renumber its v0 record to v1 ("changes the version number of the
+	// latest earlier version to vrnew", Section 4.3 Phase 4).
+	s := New()
+	s.Preload("B", rec(map[string]int64{"bal": 3}))
+	s.GC(1)
+	vs := s.LiveVersions("B")
+	if len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("LiveVersions after renumbering GC = %v, want [1]", vs)
+	}
+	got, ver, ok := s.ReadMax("B", 1)
+	if !ok || ver != 1 || got.Field("bal") != 3 {
+		t.Errorf("read after renumber = %v v%d ok=%v", got, ver, ok)
+	}
+	if st := s.Stats(); st.GCRenumbered != 1 {
+		t.Errorf("GCRenumbered = %d, want 1", st.GCRenumbered)
+	}
+	// Item that only exists above vrNew is untouched.
+	s.EnsureVersion("C", 5)
+	s.GC(2)
+	if vs := s.LiveVersions("C"); len(vs) != 1 || vs[0] != 5 {
+		t.Errorf("GC touched item above vrNew: %v", vs)
+	}
+}
+
+func TestGCRenumberDropsOlder(t *testing.T) {
+	// Item with versions 0 and 1, GC to 2: v1 renumbered to 2, v0 dropped.
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	s.EnsureVersion("A", 1)
+	s.ApplyFrom("A", 1, model.AddOp{Field: "bal", Delta: 1})
+	s.GC(2)
+	vs := s.LiveVersions("A")
+	if len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("LiveVersions = %v, want [2]", vs)
+	}
+	got, _, _ := s.ReadMax("A", 2)
+	if got.Field("bal") != 2 {
+		t.Errorf("renumbered record bal = %d, want 2", got.Field("bal"))
+	}
+}
+
+func TestMaxLiveVersionsAndKeys(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(nil))
+	s.Preload("B", rec(nil))
+	s.EnsureVersion("A", 1)
+	s.EnsureVersion("A", 2)
+	if got := s.MaxLiveVersions(); got != 3 {
+		t.Errorf("MaxLiveVersions = %d, want 3", got)
+	}
+	if st := s.Stats(); st.MaxLiveVersions != 3 {
+		t.Errorf("Stats.MaxLiveVersions = %d, want 3", st.MaxLiveVersions)
+	}
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "A" || keys[1] != "B" {
+		t.Errorf("Keys = %v, want [A B]", keys)
+	}
+	s.GC(2)
+	if got := s.MaxLiveVersions(); got != 1 {
+		t.Errorf("MaxLiveVersions after GC = %d, want 1", got)
+	}
+}
+
+func TestPendingItemsAndDivergence(t *testing.T) {
+	s := New()
+	s.Preload("a", rec(map[string]int64{"bal": 10}))
+	s.Preload("b", rec(map[string]int64{"bal": 5}))
+	s.Preload("c", rec(map[string]int64{"bal": 0}))
+	if got := s.PendingItems(0); got != 0 {
+		t.Errorf("PendingItems with no updates = %d", got)
+	}
+	if got := s.Divergence(0, "bal"); got != 0 {
+		t.Errorf("Divergence with no updates = %d", got)
+	}
+	s.EnsureVersion("a", 1)
+	s.ApplyFrom("a", 1, model.AddOp{Field: "bal", Delta: 7})
+	s.EnsureVersion("b", 1)
+	s.ApplyFrom("b", 1, model.AddOp{Field: "bal", Delta: -3})
+	if got := s.PendingItems(0); got != 2 {
+		t.Errorf("PendingItems = %d, want 2", got)
+	}
+	if got := s.Divergence(0, "bal"); got != 10 { // |7| + |-3|
+		t.Errorf("Divergence = %d, want 10", got)
+	}
+	// After "advancement" to vr=1 nothing is pending.
+	if got := s.PendingItems(1); got != 0 {
+		t.Errorf("PendingItems(1) = %d, want 0", got)
+	}
+	if got := s.Divergence(1, "bal"); got != 0 {
+		t.Errorf("Divergence(1) = %d, want 0", got)
+	}
+	// A brand-new item (no readable floor) counts its whole value.
+	s.EnsureVersion("new", 2)
+	s.ApplyFrom("new", 2, model.AddOp{Field: "bal", Delta: 4})
+	if got := s.Divergence(1, "bal"); got != 4 {
+		t.Errorf("Divergence with fresh item = %d, want 4", got)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"x": 1}))
+	if r, ok := s.Peek("A", 0); !ok || r.Field("x") != 1 {
+		t.Errorf("Peek(A,0) = %v %v", r, ok)
+	}
+	if _, ok := s.Peek("A", 1); ok {
+		t.Error("Peek(A,1) found nonexistent version")
+	}
+	if _, ok := s.Peek("Z", 0); ok {
+		t.Error("Peek(Z,0) found nonexistent item")
+	}
+}
+
+func TestDump(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 2}))
+	out := s.Dump()
+	if out == "" || !containsStr(out, "A:") || !containsStr(out, "v0") {
+		t.Errorf("Dump = %q", out)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyChainInvariants drives a random op sequence against one
+// item and checks after every step that (a) live versions are strictly
+// ascending, (b) ReadMax returns the floor version, (c) a higher
+// version's record reflects every op applied at-or-below it since its
+// creation — the dual-write consistency property the protocol depends
+// on (a later version never "misses" an op applied via ApplyFrom at a
+// lower version while both were live).
+func TestPropertyChainInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		s.Preload("K", rec(map[string]int64{"bal": 0}))
+		// shadow: for each live version, the expected field value.
+		shadow := map[model.Version]int64{0: 0}
+		live := []model.Version{0}
+		maxVer := model.Version(0)
+		for step := 0; step < 60; step++ {
+			switch rng.Intn(4) {
+			case 0: // create next version
+				if len(live) < 3 {
+					maxVer++
+					s.EnsureVersion("K", maxVer)
+					// copy from floor
+					var floor model.Version
+					for _, v := range live {
+						if v <= maxVer && v >= floor {
+							floor = v
+						}
+					}
+					shadow[maxVer] = shadow[floor]
+					live = append(live, maxVer)
+				}
+			case 1, 2: // apply from a random live version
+				v := live[rng.Intn(len(live))]
+				d := int64(rng.Intn(9) - 4)
+				s.ApplyFrom("K", v, model.AddOp{Field: "bal", Delta: d})
+				for _, lv := range live {
+					if lv >= v {
+						shadow[lv] += d
+					}
+				}
+			case 3: // GC to a random live version
+				v := live[rng.Intn(len(live))]
+				s.GC(v)
+				kept := live[:0]
+				for _, lv := range live {
+					if lv >= v {
+						kept = append(kept, lv)
+					} else {
+						delete(shadow, lv)
+					}
+				}
+				live = kept
+			}
+			// Verify all live versions.
+			got := s.LiveVersions("K")
+			if len(got) != len(live) {
+				return false
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					return false
+				}
+			}
+			for _, v := range live {
+				r, ver, ok := s.ReadMax("K", v)
+				if !ok || ver != v || r.Field("bal") != shadow[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccessIsSafe(t *testing.T) {
+	// Smoke test under the race detector: concurrent ensures, applies,
+	// reads and GCs must not corrupt the store.
+	s := New()
+	for i := 0; i < 8; i++ {
+		s.Preload(fmt.Sprintf("k%d", i), rec(map[string]int64{"bal": 0}))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(8))
+				switch rng.Intn(4) {
+				case 0:
+					s.EnsureVersion(k, model.Version(rng.Intn(3)))
+				case 1:
+					s.ApplyFrom(k, model.Version(rng.Intn(3)), model.AddOp{Field: "bal", Delta: 1})
+				case 2:
+					s.ReadMax(k, model.Version(rng.Intn(3)))
+				case 3:
+					s.Exists(k, model.Version(rng.Intn(3)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.MaxLiveVersions() > 3 {
+		t.Errorf("MaxLiveVersions = %d after concurrent churn", s.MaxLiveVersions())
+	}
+}
+
+func TestHasVersionsBelow(t *testing.T) {
+	s := New()
+	s.Preload("A", rec(map[string]int64{"bal": 1}))
+	if s.HasVersionsBelow(0) {
+		t.Error("HasVersionsBelow(0) with only v0 = true")
+	}
+	if !s.HasVersionsBelow(1) {
+		t.Error("HasVersionsBelow(1) with v0 live = false")
+	}
+	s.GC(1)
+	if s.HasVersionsBelow(1) {
+		t.Error("HasVersionsBelow(1) after GC = true")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := New()
+	s.Preload("a", rec(map[string]int64{"bal": 1}))
+	s.EnsureVersion("a", 1)
+	s.ApplyFrom("a", 1, model.AddOp{Field: "bal", Delta: 10})
+	s.Preload("b", rec(map[string]int64{"bal": 5}))
+	AppendTupleForTest(s)
+
+	exported := s.Export()
+	if len(exported) != 2 || exported[0].Key != "a" || exported[1].Key != "b" {
+		t.Fatalf("export = %+v", exported)
+	}
+	// Exported records are deep copies.
+	exported[0].Versions[0].Rec.Fields["bal"] = 999
+	if got, _, _ := s.ReadMax("a", 0); got.Field("bal") != 1 {
+		t.Error("export aliases live records")
+	}
+
+	dst := New()
+	dst.Import(s.Export())
+	for _, key := range []string{"a", "b"} {
+		for _, v := range s.LiveVersions(key) {
+			want, _ := s.Peek(key, v)
+			got, ok := dst.Peek(key, v)
+			if !ok || !got.Equal(want) {
+				t.Errorf("%s@v%d differs after import: %v vs %v", key, v, got, want)
+			}
+		}
+	}
+	if dst.Stats().MaxLiveVersions != 2 {
+		t.Errorf("imported high-water mark = %d, want 2", dst.Stats().MaxLiveVersions)
+	}
+	// Import replaces prior contents entirely.
+	dst.Import(nil)
+	if len(dst.Keys()) != 0 {
+		t.Errorf("Import(nil) left keys: %v", dst.Keys())
+	}
+}
+
+// AppendTupleForTest puts a tuple in b's log so export covers logs too.
+func AppendTupleForTest(s *Store) {
+	s.ApplyFrom("b", 0, model.AppendOp{T: model.Tuple{Txn: 9, Part: 1, Total: 1, Attr: "x", Amount: 2}})
+}

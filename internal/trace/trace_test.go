@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplayTable1 is experiment E1/E2: the paper's example execution
+// must replay exactly, with every annotated counter value and every
+// Figure 2 version state holding.
+func TestReplayTable1(t *testing.T) {
+	res, err := Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("replay failed %d checks:\n%s", res.Failed, res.String())
+	}
+	if res.Passed < 50 {
+		t.Errorf("only %d checks ran; the replay should assert every Table 1 annotation", res.Passed)
+	}
+	out := res.String()
+	for _, want := range []string{
+		"dual write",            // step 13-16 narrative
+		"implicit",              // step 19-22 narrative
+		"Figure 2",              // the version-state snapshot
+		"read version advances", // phase 3/4
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay report missing %q", want)
+		}
+	}
+}
+
+// TestReplayDeterministic runs the replay twice and requires identical
+// reports — the scripted schedule must be fully reproducible.
+func TestReplayDeterministic(t *testing.T) {
+	a, err := Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two replays produced different reports")
+	}
+}

@@ -1,0 +1,473 @@
+// Package transport provides the asynchronous message substrate the
+// distributed protocol runs on. The paper's system is a set of database
+// nodes exchanging subtransactions and version-advancement notices over
+// an asynchronous network with no global clock; we reproduce that with
+// one in-process mailbox per node and goroutine-based delivery.
+//
+// Two implementations are provided:
+//
+//   - Net: a live network with configurable per-message latency and
+//     jitter. Jitter makes messages between the same pair of nodes
+//     overtake each other, which is exactly the race the 3V protocol
+//     must tolerate (a version-advancement notice arriving after a
+//     version-2 subtransaction, a version-1 descendant arriving at an
+//     already-advanced node, ...).
+//
+//   - Script: a deterministic network that holds every message until a
+//     test or trace explicitly releases it, used to replay Table 1 of
+//     the paper step by step.
+//
+// Substitution note (see DESIGN.md): the paper ran on real machines; an
+// in-process transport preserves the protocol-relevant behaviour —
+// asynchrony, reordering, delay — while adding the determinism a
+// reproduction needs.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Message is one envelope on the wire. Payload is a protocol-defined
+// struct; the transport never inspects it beyond its type name (for
+// accounting).
+type Message struct {
+	From, To model.NodeID
+	Payload  any
+}
+
+// Handler consumes messages delivered to one node. A node's handler is
+// invoked by a single delivery goroutine at a time (per node), so the
+// handler itself serializes that node's message processing — matching
+// the "server processes arriving subtransactions" model. Handlers may
+// call Send freely (including to the handling node itself).
+type Handler func(Message)
+
+// Network is the interface the protocol layers program against.
+type Network interface {
+	// Register installs the handler for node id. Must be called for
+	// every node before Start.
+	Register(id model.NodeID, h Handler)
+	// Send enqueues the message for asynchronous delivery. It never
+	// blocks on the receiver: the paper's protocol requires that no
+	// user transaction waits for remote activity, so sends are
+	// fire-and-forget.
+	Send(m Message)
+	// Start begins delivery. Close stops it and waits for delivery
+	// goroutines to drain.
+	Start()
+	Close()
+	// Stats returns cumulative message accounting.
+	Stats() Stats
+}
+
+// Stats is cumulative transport accounting.
+type Stats struct {
+	Messages int64
+	ByType   map[string]int64
+}
+
+// statsCollector accumulates message counts under a lock.
+type statsCollector struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCollector) count(m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.s.ByType == nil {
+		c.s.ByType = make(map[string]int64)
+	}
+	c.s.Messages++
+	c.s.ByType[fmt.Sprintf("%T", m.Payload)]++
+}
+
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{Messages: c.s.Messages, ByType: make(map[string]int64, len(c.s.ByType))}
+	for k, v := range c.s.ByType {
+		out.ByType[k] = v
+	}
+	return out
+}
+
+// mailbox is an unbounded FIFO queue with blocking receive. Sends never
+// block (required by the protocol's no-waiting property); the consumer
+// drains at its own pace.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Signal()
+}
+
+// get blocks until a message is available or the mailbox closes.
+func (mb *mailbox) get() (Message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for len(mb.queue) == 0 && !mb.closed {
+		mb.cond.Wait()
+	}
+	if len(mb.queue) == 0 {
+		return Message{}, false
+	}
+	m := mb.queue[0]
+	mb.queue = mb.queue[1:]
+	return m, true
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.closed = true
+	mb.cond.Broadcast()
+}
+
+// Config parameterizes a live Net.
+type Config struct {
+	// Nodes is the cluster size (node ids 0..Nodes-1).
+	Nodes int
+	// BaseLatency is the fixed one-way delay applied to every message.
+	BaseLatency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to each
+	// message; with Jitter > 0 messages between the same pair of nodes
+	// can be reordered.
+	Jitter time.Duration
+	// Seed seeds the jitter source; 0 means a fixed default (runs are
+	// reproducible unless the caller randomizes the seed).
+	Seed int64
+}
+
+// Net is the live network. Each node has one mailbox and one delivery
+// goroutine invoking its handler; latency/jitter are imposed by timer
+// goroutines between Send and mailbox insertion.
+type Net struct {
+	cfg      Config
+	handlers []Handler
+	boxes    []*mailbox
+	stats    statsCollector
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	started bool
+	closed  bool
+	wg      sync.WaitGroup // delivery goroutines
+	timers  sync.WaitGroup // in-flight delayed sends
+}
+
+// NewNet builds a live network from cfg.
+func NewNet(cfg Config) *Net {
+	if cfg.Nodes <= 0 {
+		panic("transport: Config.Nodes must be positive")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	n := &Net{
+		cfg:      cfg,
+		handlers: make([]Handler, cfg.Nodes),
+		boxes:    make([]*mailbox, cfg.Nodes),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for i := range n.boxes {
+		n.boxes[i] = newMailbox()
+	}
+	return n
+}
+
+// Register implements Network.
+func (n *Net) Register(id model.NodeID, h Handler) {
+	n.handlers[id] = h
+}
+
+// Start implements Network.
+func (n *Net) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for i := range n.boxes {
+		if n.handlers[i] == nil {
+			panic(fmt.Sprintf("transport: node %d has no handler", i))
+		}
+		n.wg.Add(1)
+		go n.deliverLoop(i)
+	}
+}
+
+func (n *Net) deliverLoop(i int) {
+	defer n.wg.Done()
+	h := n.handlers[i]
+	for {
+		m, ok := n.boxes[i].get()
+		if !ok {
+			return
+		}
+		h(m)
+	}
+}
+
+// Send implements Network. The sender never blocks: zero-delay messages
+// go straight into the receiver's unbounded mailbox; delayed messages
+// are held by a timer goroutine first.
+func (n *Net) Send(m Message) {
+	if int(m.To) < 0 || int(m.To) >= len(n.boxes) {
+		panic(fmt.Sprintf("transport: send to unknown node %d", m.To))
+	}
+	n.stats.count(m)
+	d := n.cfg.BaseLatency
+	if n.cfg.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		n.mu.Unlock()
+	}
+	if d <= 0 {
+		n.boxes[m.To].put(m)
+		return
+	}
+	// Register the delayed send under the lock so it cannot race
+	// Close's timers.Wait (a WaitGroup Add that could start from zero
+	// must happen-before the Wait); once closed, delayed messages are
+	// dropped like queued ones.
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.timers.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.timers.Done()
+		time.Sleep(d)
+		n.boxes[m.To].put(m)
+	}()
+}
+
+// Close implements Network: waits for in-flight delayed sends, then
+// stops delivery goroutines. Messages still queued are dropped; callers
+// quiesce the protocol before closing.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.timers.Wait()
+	for _, b := range n.boxes {
+		b.close()
+	}
+	n.wg.Wait()
+}
+
+// Stats implements Network.
+func (n *Net) Stats() Stats { return n.stats.snapshot() }
+
+// Script is the deterministic network: Send parks every message in a
+// pending list; the driver delivers them one at a time with Deliver*,
+// running the receiving node's handler synchronously in the driver's
+// goroutine. This gives a test total control over interleaving — the
+// tool that makes the Table 1 replay exact.
+type Script struct {
+	mu       sync.Mutex
+	handlers []Handler
+	pending  []Message
+	nextID   int
+	ids      []int // parallel to pending: stable ids for selection
+	stats    statsCollector
+}
+
+// NewScript builds a scripted network for n nodes.
+func NewScript(n int) *Script {
+	return &Script{handlers: make([]Handler, n)}
+}
+
+// Register implements Network.
+func (s *Script) Register(id model.NodeID, h Handler) {
+	s.handlers[id] = h
+}
+
+// Start implements Network (no-op: delivery is manual).
+func (s *Script) Start() {}
+
+// Close implements Network (no-op).
+func (s *Script) Close() {}
+
+// Stats implements Network.
+func (s *Script) Stats() Stats { return s.stats.snapshot() }
+
+// Send implements Network: the message is parked until released.
+func (s *Script) Send(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.count(m)
+	s.pending = append(s.pending, m)
+	s.ids = append(s.ids, s.nextID)
+	s.nextID++
+}
+
+// Pending returns descriptions of parked messages in send order
+// ("from->to #id type"), for test diagnostics.
+func (s *Script) Pending() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.pending))
+	for i, m := range s.pending {
+		out[i] = fmt.Sprintf("%v->%v #%d %T", m.From, m.To, s.ids[i], m.Payload)
+	}
+	return out
+}
+
+// PendingCount returns the number of parked messages.
+func (s *Script) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// DeliverWhere removes the first parked message satisfying pred and
+// runs the receiver's handler synchronously. It returns false if no
+// parked message matches.
+func (s *Script) DeliverWhere(pred func(Message) bool) bool {
+	s.mu.Lock()
+	var m Message
+	found := -1
+	for i, cand := range s.pending {
+		if pred(cand) {
+			m = cand
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.pending = append(s.pending[:found], s.pending[found+1:]...)
+	s.ids = append(s.ids[:found], s.ids[found+1:]...)
+	h := s.handlers[m.To]
+	s.mu.Unlock()
+	h(m)
+	return true
+}
+
+// DeliverNextTo delivers the oldest parked message addressed to node
+// to. It returns false if none is parked.
+func (s *Script) DeliverNextTo(to model.NodeID) bool {
+	return s.DeliverWhere(func(m Message) bool { return m.To == to })
+}
+
+// DeliverAll delivers parked messages (including ones generated during
+// delivery) until none remain, in FIFO order, and returns how many were
+// delivered. It is the "let the dust settle" operation used between
+// scripted steps.
+func (s *Script) DeliverAll() int {
+	n := 0
+	for s.DeliverWhere(func(Message) bool { return true }) {
+		n++
+	}
+	return n
+}
+
+// DeliverAllTo drains every parked message addressed to one node
+// (FIFO), without touching others. Returns the count delivered.
+func (s *Script) DeliverAllTo(to model.NodeID) int {
+	n := 0
+	for s.DeliverNextTo(to) {
+		n++
+	}
+	return n
+}
+
+// DeliverIndex delivers the i-th (0-based) parked message, running the
+// receiver's handler synchronously. It returns false if i is out of
+// range. Combined with a seeded random index choice this lets fuzz
+// tests explore arbitrary delivery orders.
+func (s *Script) DeliverIndex(i int) bool {
+	s.mu.Lock()
+	if i < 0 || i >= len(s.pending) {
+		s.mu.Unlock()
+		return false
+	}
+	m := s.pending[i]
+	s.pending = append(s.pending[:i], s.pending[i+1:]...)
+	s.ids = append(s.ids[:i], s.ids[i+1:]...)
+	h := s.handlers[m.To]
+	s.mu.Unlock()
+	h(m)
+	return true
+}
+
+// CountWhere returns how many parked messages satisfy pred.
+func (s *Script) CountWhere(pred func(Message) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.pending {
+		if pred(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// HoldCount returns, per destination node, how many messages are
+// parked; useful for assertions that something is in flight.
+func (s *Script) HoldCount() map[model.NodeID]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[model.NodeID]int)
+	for _, m := range s.pending {
+		out[m.To]++
+	}
+	return out
+}
+
+// TypeNames returns the sorted distinct payload type names currently
+// parked (diagnostics).
+func (s *Script) TypeNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := make(map[string]bool)
+	for _, m := range s.pending {
+		set[fmt.Sprintf("%T", m.Payload)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	_ Network = (*Net)(nil)
+	_ Network = (*Script)(nil)
+)

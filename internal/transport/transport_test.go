@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+type ping struct{ n int }
+type pong struct{ n int }
+
+func TestNetDeliversInOrderWithoutJitter(t *testing.T) {
+	n := NewNet(Config{Nodes: 2})
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	n.Register(0, func(m Message) {})
+	n.Register(1, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload.(ping).n)
+		if len(got) == 100 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n.Start()
+	defer n.Close()
+	for i := 0; i < 100; i++ {
+		n.Send(Message{From: 0, To: 1, Payload: ping{i}})
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for delivery")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message %d delivered as %d: zero-latency delivery must be FIFO", i, v)
+		}
+	}
+}
+
+func TestNetSendNeverBlocks(t *testing.T) {
+	// Receiver is slow; 10k sends must still return promptly because
+	// mailboxes are unbounded (the protocol's no-waiting requirement).
+	n := NewNet(Config{Nodes: 2})
+	release := make(chan struct{})
+	var seen atomic.Int64
+	n.Register(0, func(Message) {})
+	n.Register(1, func(m Message) {
+		<-release
+		seen.Add(1)
+	})
+	n.Start()
+	start := time.Now()
+	for i := 0; i < 10000; i++ {
+		n.Send(Message{From: 0, To: 1, Payload: ping{i}})
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("10k sends took %v; Send must not block on receiver", el)
+	}
+	close(release)
+	deadline := time.Now().Add(10 * time.Second)
+	for seen.Load() < 10000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if seen.Load() != 10000 {
+		t.Fatalf("delivered %d of 10000", seen.Load())
+	}
+	n.Close()
+}
+
+func TestNetJitterReorders(t *testing.T) {
+	// With jitter, some pair of messages must arrive out of send order.
+	n := NewNet(Config{Nodes: 2, BaseLatency: 100 * time.Microsecond, Jitter: 2 * time.Millisecond, Seed: 7})
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	n.Register(0, func(Message) {})
+	n.Register(1, func(m Message) {
+		mu.Lock()
+		got = append(got, m.Payload.(ping).n)
+		if len(got) == 50 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	n.Start()
+	defer n.Close()
+	for i := 0; i < 50; i++ {
+		n.Send(Message{From: 0, To: 1, Payload: ping{i}})
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	reordered := false
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("jittered delivery never reordered 50 messages (statistically near-impossible)")
+	}
+}
+
+func TestNetHandlerMaySend(t *testing.T) {
+	n := NewNet(Config{Nodes: 2})
+	done := make(chan int, 1)
+	n.Register(0, func(m Message) {
+		done <- m.Payload.(pong).n
+	})
+	n.Register(1, func(m Message) {
+		n.Send(Message{From: 1, To: 0, Payload: pong{m.Payload.(ping).n + 1}})
+	})
+	n.Start()
+	defer n.Close()
+	n.Send(Message{From: 0, To: 1, Payload: ping{41}})
+	select {
+	case v := <-done:
+		if v != 42 {
+			t.Errorf("round trip = %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("round trip timed out")
+	}
+}
+
+func TestNetStats(t *testing.T) {
+	n := NewNet(Config{Nodes: 2})
+	n.Register(0, func(Message) {})
+	n.Register(1, func(Message) {})
+	n.Start()
+	defer n.Close()
+	n.Send(Message{From: 0, To: 1, Payload: ping{1}})
+	n.Send(Message{From: 0, To: 1, Payload: ping{2}})
+	n.Send(Message{From: 1, To: 0, Payload: pong{1}})
+	st := n.Stats()
+	if st.Messages != 3 {
+		t.Errorf("Messages = %d, want 3", st.Messages)
+	}
+	if st.ByType["transport.ping"] != 2 || st.ByType["transport.pong"] != 1 {
+		t.Errorf("ByType = %v", st.ByType)
+	}
+}
+
+func TestNetCloseIdempotentAndDropsQueued(t *testing.T) {
+	n := NewNet(Config{Nodes: 1})
+	n.Register(0, func(Message) {})
+	n.Start()
+	n.Close()
+	n.Close() // second close must not panic
+	n.Send(Message{From: 0, To: 0, Payload: ping{}})
+}
+
+func TestScriptHoldsUntilDelivered(t *testing.T) {
+	s := NewScript(2)
+	var got []int
+	s.Register(0, func(Message) {})
+	s.Register(1, func(m Message) { got = append(got, m.Payload.(ping).n) })
+	s.Start()
+	s.Send(Message{From: 0, To: 1, Payload: ping{1}})
+	s.Send(Message{From: 0, To: 1, Payload: ping{2}})
+	if len(got) != 0 {
+		t.Fatal("script delivered without being asked")
+	}
+	if s.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d, want 2", s.PendingCount())
+	}
+	if !s.DeliverNextTo(1) {
+		t.Fatal("DeliverNextTo failed")
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after one delivery got = %v", got)
+	}
+	if n := s.DeliverAll(); n != 1 {
+		t.Fatalf("DeliverAll delivered %d, want 1", n)
+	}
+	if len(got) != 2 || got[1] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	if s.DeliverNextTo(1) {
+		t.Error("delivery from empty script succeeded")
+	}
+}
+
+func TestScriptDeliverWhereSelects(t *testing.T) {
+	s := NewScript(3)
+	var got []string
+	for i := 0; i < 3; i++ {
+		id := model.NodeID(i)
+		s.Register(id, func(m Message) {
+			got = append(got, m.To.String())
+		})
+	}
+	s.Send(Message{From: 0, To: 1, Payload: ping{1}})
+	s.Send(Message{From: 0, To: 2, Payload: ping{2}})
+	s.Send(Message{From: 0, To: 1, Payload: pong{3}})
+	// Deliver the pong first even though it was sent last.
+	ok := s.DeliverWhere(func(m Message) bool {
+		_, isPong := m.Payload.(pong)
+		return isPong
+	})
+	if !ok || len(got) != 1 || got[0] != "q" {
+		t.Fatalf("selective delivery failed: ok=%v got=%v", ok, got)
+	}
+	hc := s.HoldCount()
+	if hc[1] != 1 || hc[2] != 1 {
+		t.Errorf("HoldCount = %v", hc)
+	}
+	types := s.TypeNames()
+	if len(types) != 1 || types[0] != "transport.ping" {
+		t.Errorf("TypeNames = %v", types)
+	}
+	if n := s.DeliverAllTo(2); n != 1 {
+		t.Errorf("DeliverAllTo(2) = %d", n)
+	}
+	pend := s.Pending()
+	if len(pend) != 1 {
+		t.Errorf("Pending = %v", pend)
+	}
+}
+
+func TestScriptCascadedDelivery(t *testing.T) {
+	// A handler that sends during delivery: DeliverAll must keep going
+	// until the cascade settles.
+	s := NewScript(2)
+	hops := 0
+	s.Register(0, func(m Message) {
+		hops++
+		if hops < 5 {
+			s.Send(Message{From: 0, To: 1, Payload: ping{hops}})
+		}
+	})
+	s.Register(1, func(m Message) {
+		s.Send(Message{From: 1, To: 0, Payload: pong{}})
+	})
+	s.Send(Message{From: 1, To: 0, Payload: pong{}})
+	n := s.DeliverAll()
+	if hops != 5 {
+		t.Errorf("cascade hops = %d, want 5", hops)
+	}
+	if n != 9 { // 5 pongs to node 0 + 4 pings to node 1
+		t.Errorf("DeliverAll = %d, want 9", n)
+	}
+}
+
+func TestScriptDeliverIndex(t *testing.T) {
+	s := NewScript(2)
+	var got []int
+	s.Register(0, func(Message) {})
+	s.Register(1, func(m Message) { got = append(got, m.Payload.(ping).n) })
+	for i := 0; i < 3; i++ {
+		s.Send(Message{From: 0, To: 1, Payload: ping{i}})
+	}
+	if s.DeliverIndex(5) || s.DeliverIndex(-1) {
+		t.Error("out-of-range DeliverIndex succeeded")
+	}
+	if !s.DeliverIndex(1) { // deliver the middle message first
+		t.Fatal("DeliverIndex(1) failed")
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got = %v, want [1]", got)
+	}
+	s.DeliverIndex(0)
+	s.DeliverIndex(0)
+	if len(got) != 3 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("got = %v, want [1 0 2]", got)
+	}
+}
+
+func TestNetSendAfterCloseDropsDelayed(t *testing.T) {
+	n := NewNet(Config{Nodes: 1, BaseLatency: time.Millisecond})
+	n.Register(0, func(Message) {})
+	n.Start()
+	n.Close()
+	// Must neither panic nor race Close's waiter.
+	n.Send(Message{From: 0, To: 0, Payload: ping{1}})
+}

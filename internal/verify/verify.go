@@ -1,0 +1,198 @@
+// Package verify implements the correctness auditors of the
+// reproduction: the atomic-visibility check that formalizes the paper's
+// motivating anomaly (a customer seeing only part of the charges of a
+// single visit, Section 1), the serializability check of Theorem 4.1,
+// and the structural invariant checks of Section 4.4.
+//
+// The auditors work on tuple logs: every update transaction that should
+// be atomic writes one Tuple per data item it touches, with Part set to
+// 1..Total and Total set to the number of items. A read transaction
+// that covers the same item set then either observes all Total parts of
+// a transaction or none of them — anything in between is exactly the
+// anomaly the 3V algorithm eliminates and the No-Coordination baseline
+// exhibits.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GroupRead is one audited read observation: a read-only transaction
+// that covered a whole item group, the version it was assigned (zero
+// for unversioned baselines), and its per-item results.
+type GroupRead struct {
+	Txn         model.TxnID
+	ReadVersion model.Version
+	Results     []model.ReadResult
+}
+
+// Anomaly is one detected consistency violation.
+type Anomaly struct {
+	Read   model.TxnID
+	Writer model.TxnID
+	Kind   string
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (a Anomaly) String() string {
+	return fmt.Sprintf("%s: read %v vs writer %v: %s", a.Kind, a.Read, a.Writer, a.Detail)
+}
+
+// UpdateMeta describes one committed update transaction for the
+// serializability audit.
+type UpdateMeta struct {
+	// Version the transaction executed in (its V(T)).
+	Version model.Version
+	// Parts is the number of tuples the transaction wrote (its Total).
+	Parts int
+	// Compensated marks transactions that were aborted and compensated:
+	// no part of them may ever be visible.
+	Compensated bool
+}
+
+// partCount tallies how many distinct parts of one writer a read saw.
+type partCount struct {
+	seen  map[int]bool
+	total int
+	ver   model.Version
+}
+
+// collect gathers, per writer transaction, the parts visible across all
+// of a read's results (normalizing compensation tombstones first).
+func collect(g GroupRead) map[model.TxnID]*partCount {
+	byWriter := make(map[model.TxnID]*partCount)
+	for _, r := range g.Results {
+		if r.Record == nil {
+			continue
+		}
+		for _, t := range model.NormalizeLog(r.Record.Log) {
+			pc := byWriter[t.Txn]
+			if pc == nil {
+				pc = &partCount{seen: make(map[int]bool)}
+				byWriter[t.Txn] = pc
+			}
+			pc.seen[t.Part] = true
+			if t.Total > pc.total {
+				pc.total = t.Total
+			}
+			if t.TxnVersion > pc.ver {
+				pc.ver = t.TxnVersion
+			}
+		}
+	}
+	return byWriter
+}
+
+// AuditAtomicVisibility checks each read in isolation: every writer
+// whose tuples appear must appear with ALL its parts. This audit needs
+// no knowledge of the workload beyond the Part/Total convention, so it
+// applies to baselines without versioning too.
+func AuditAtomicVisibility(reads []GroupRead) []Anomaly {
+	var out []Anomaly
+	for _, g := range reads {
+		for writer, pc := range collect(g) {
+			if len(pc.seen) < pc.total {
+				out = append(out, Anomaly{
+					Read:   g.Txn,
+					Writer: writer,
+					Kind:   "partial-visibility",
+					Detail: fmt.Sprintf("saw %d of %d parts", len(pc.seen), pc.total),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AuditSerializability checks Theorem 4.1 against ground truth: a read
+// assigned version v must observe exactly the update transactions with
+// version ≤ v — all parts of each such transaction (unless it was
+// compensated, in which case none), and no part of any transaction with
+// a greater version. updates maps every committed update transaction to
+// its metadata; reads must cover the full item group the updates wrote.
+func AuditSerializability(reads []GroupRead, updates map[model.TxnID]UpdateMeta) []Anomaly {
+	var out []Anomaly
+	for _, g := range reads {
+		seen := collect(g)
+		for writer, meta := range updates {
+			pc := seen[writer]
+			visible := 0
+			if pc != nil {
+				visible = len(pc.seen)
+			}
+			switch {
+			case meta.Compensated:
+				if visible != 0 {
+					out = append(out, Anomaly{
+						Read: g.Txn, Writer: writer, Kind: "compensated-visible",
+						Detail: fmt.Sprintf("saw %d parts of a compensated transaction", visible),
+					})
+				}
+			case meta.Version <= g.ReadVersion:
+				if visible != meta.Parts {
+					out = append(out, Anomaly{
+						Read: g.Txn, Writer: writer, Kind: "missing-committed",
+						Detail: fmt.Sprintf("version %d ≤ read version %d but saw %d of %d parts", meta.Version, g.ReadVersion, visible, meta.Parts),
+					})
+				}
+			default: // meta.Version > g.ReadVersion
+				if visible != 0 {
+					out = append(out, Anomaly{
+						Read: g.Txn, Writer: writer, Kind: "future-visible",
+						Detail: fmt.Sprintf("version %d > read version %d but saw %d parts", meta.Version, g.ReadVersion, visible),
+					})
+				}
+			}
+		}
+		// Writers that appear in the read but not in ground truth are
+		// foreign tuples — flag them.
+		for writer := range seen {
+			if _, ok := updates[writer]; !ok {
+				out = append(out, Anomaly{
+					Read: g.Txn, Writer: writer, Kind: "unknown-writer",
+					Detail: "tuples from a transaction absent from ground truth",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// StructuralReport summarizes the Section 4.4 structural checks of a
+// finished run.
+type StructuralReport struct {
+	MaxLiveVersions int
+	Violations      []string
+}
+
+// OK reports whether the structural invariants held: at most three live
+// versions anywhere, ever, and no node-recorded violations.
+func (r StructuralReport) OK() bool {
+	return r.MaxLiveVersions <= 3 && len(r.Violations) == 0
+}
+
+// String implements fmt.Stringer.
+func (r StructuralReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("structural OK (max live versions %d)", r.MaxLiveVersions)
+	}
+	return fmt.Sprintf("structural FAIL: max live versions %d, violations %v", r.MaxLiveVersions, r.Violations)
+}
+
+// structuralSource is the slice of cluster behaviour the checker needs;
+// core.Cluster satisfies it.
+type structuralSource interface {
+	MaxLiveVersionsEver() int
+	Violations() []string
+}
+
+// CheckStructural gathers the structural report from a cluster.
+func CheckStructural(c structuralSource) StructuralReport {
+	return StructuralReport{
+		MaxLiveVersions: c.MaxLiveVersionsEver(),
+		Violations:      c.Violations(),
+	}
+}

@@ -1,0 +1,168 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// mkRead builds a GroupRead whose two items carry the given tuples.
+func mkRead(readVer model.Version, itemA, itemB []model.Tuple) GroupRead {
+	ra := model.NewRecord()
+	ra.Log = itemA
+	rb := model.NewRecord()
+	rb.Log = itemB
+	return GroupRead{
+		Txn:         model.MakeTxnID(2, 99),
+		ReadVersion: readVer,
+		Results: []model.ReadResult{
+			{Node: 0, Key: "A", Record: ra},
+			{Node: 1, Key: "D", Record: rb},
+		},
+	}
+}
+
+func tup(txn model.TxnID, part, total int, ver model.Version) model.Tuple {
+	return model.Tuple{Txn: txn, Part: part, Total: total, Attr: "chg", Amount: 1, TxnVersion: ver}
+}
+
+func TestAtomicVisibilityCleanRead(t *testing.T) {
+	w := model.MakeTxnID(0, 1)
+	g := mkRead(1,
+		[]model.Tuple{tup(w, 1, 2, 1)},
+		[]model.Tuple{tup(w, 2, 2, 1)},
+	)
+	if got := AuditAtomicVisibility([]GroupRead{g}); len(got) != 0 {
+		t.Errorf("clean read flagged: %v", got)
+	}
+}
+
+func TestAtomicVisibilityPartialRead(t *testing.T) {
+	w := model.MakeTxnID(0, 1)
+	g := mkRead(1,
+		[]model.Tuple{tup(w, 1, 2, 1)},
+		nil, // second part missing: the hospital anomaly
+	)
+	got := AuditAtomicVisibility([]GroupRead{g})
+	if len(got) != 1 || got[0].Kind != "partial-visibility" {
+		t.Fatalf("anomalies = %v, want one partial-visibility", got)
+	}
+	if !strings.Contains(got[0].String(), "1 of 2") {
+		t.Errorf("detail = %q", got[0].String())
+	}
+}
+
+func TestAtomicVisibilityNormalizesTombstones(t *testing.T) {
+	// A compensated append (tombstone + append pair) must not count as
+	// a visible part.
+	w := model.MakeTxnID(0, 1)
+	tb := tup(w, 1, 2, 1)
+	tb.Total = -tb.Total // tombstone
+	g := mkRead(1,
+		[]model.Tuple{tup(w, 1, 2, 1), tb},
+		nil,
+	)
+	if got := AuditAtomicVisibility([]GroupRead{g}); len(got) != 0 {
+		t.Errorf("annihilated pair flagged: %v", got)
+	}
+}
+
+func TestAtomicVisibilityNilRecord(t *testing.T) {
+	g := GroupRead{Results: []model.ReadResult{{Key: "A", Record: nil}}}
+	if got := AuditAtomicVisibility([]GroupRead{g}); got != nil {
+		t.Errorf("nil record flagged: %v", got)
+	}
+}
+
+func TestSerializabilityHappyPath(t *testing.T) {
+	w1 := model.MakeTxnID(0, 1) // version 1, visible to read@1
+	w2 := model.MakeTxnID(0, 2) // version 2, not yet visible
+	updates := map[model.TxnID]UpdateMeta{
+		w1: {Version: 1, Parts: 2},
+		w2: {Version: 2, Parts: 2},
+	}
+	g := mkRead(1,
+		[]model.Tuple{tup(w1, 1, 2, 1)},
+		[]model.Tuple{tup(w1, 2, 2, 1)},
+	)
+	if got := AuditSerializability([]GroupRead{g}, updates); len(got) != 0 {
+		t.Errorf("correct read flagged: %v", got)
+	}
+}
+
+func TestSerializabilityCatchesMissingCommitted(t *testing.T) {
+	w1 := model.MakeTxnID(0, 1)
+	updates := map[model.TxnID]UpdateMeta{w1: {Version: 1, Parts: 2}}
+	g := mkRead(1, nil, nil) // read@1 sees nothing of a version-1 txn
+	got := AuditSerializability([]GroupRead{g}, updates)
+	if len(got) != 1 || got[0].Kind != "missing-committed" {
+		t.Fatalf("anomalies = %v", got)
+	}
+}
+
+func TestSerializabilityCatchesFutureVisible(t *testing.T) {
+	w2 := model.MakeTxnID(0, 2)
+	updates := map[model.TxnID]UpdateMeta{w2: {Version: 2, Parts: 2}}
+	g := mkRead(1,
+		[]model.Tuple{tup(w2, 1, 2, 2)},
+		[]model.Tuple{tup(w2, 2, 2, 2)},
+	)
+	got := AuditSerializability([]GroupRead{g}, updates)
+	if len(got) != 1 || got[0].Kind != "future-visible" {
+		t.Fatalf("anomalies = %v", got)
+	}
+}
+
+func TestSerializabilityCatchesCompensatedVisible(t *testing.T) {
+	w := model.MakeTxnID(0, 3)
+	updates := map[model.TxnID]UpdateMeta{w: {Version: 1, Parts: 2, Compensated: true}}
+	g := mkRead(1, []model.Tuple{tup(w, 1, 2, 1)}, nil)
+	got := AuditSerializability([]GroupRead{g}, updates)
+	if len(got) != 1 || got[0].Kind != "compensated-visible" {
+		t.Fatalf("anomalies = %v", got)
+	}
+	// Fully compensated (invisible) is fine.
+	g2 := mkRead(1, nil, nil)
+	if got := AuditSerializability([]GroupRead{g2}, updates); len(got) != 0 {
+		t.Errorf("invisible compensated txn flagged: %v", got)
+	}
+}
+
+func TestSerializabilityCatchesUnknownWriter(t *testing.T) {
+	ghost := model.MakeTxnID(1, 77)
+	g := mkRead(1, []model.Tuple{tup(ghost, 1, 1, 1)}, nil)
+	got := AuditSerializability([]GroupRead{g}, map[model.TxnID]UpdateMeta{})
+	if len(got) != 1 || got[0].Kind != "unknown-writer" {
+		t.Fatalf("anomalies = %v", got)
+	}
+}
+
+type fakeCluster struct {
+	max  int
+	vios []string
+}
+
+func (f fakeCluster) MaxLiveVersionsEver() int { return f.max }
+func (f fakeCluster) Violations() []string     { return f.vios }
+
+func TestStructuralReport(t *testing.T) {
+	ok := CheckStructural(fakeCluster{max: 3})
+	if !ok.OK() {
+		t.Errorf("report not OK: %v", ok)
+	}
+	if !strings.Contains(ok.String(), "OK") {
+		t.Errorf("String = %q", ok.String())
+	}
+	bad := CheckStructural(fakeCluster{max: 4})
+	if bad.OK() {
+		t.Error("4 live versions passed")
+	}
+	bad2 := CheckStructural(fakeCluster{max: 2, vios: []string{"x"}})
+	if bad2.OK() {
+		t.Error("violations passed")
+	}
+	if !strings.Contains(bad2.String(), "FAIL") {
+		t.Errorf("String = %q", bad2.String())
+	}
+}

@@ -1,0 +1,129 @@
+package threev
+
+import (
+	"sync"
+	"time"
+)
+
+// Trigger decides whether a version advancement should run now. The
+// policy loop evaluates it periodically; returning true fires one
+// advancement cycle. Triggers may keep state in their closure (e.g.
+// the update count at the last advancement).
+//
+// The paper's "Desired Solution" (§1) lists the policies users should
+// be able to choose: "advance versions every hour, or once a certain
+// number of update transactions have accumulated, or when the
+// difference in value of data items in different versions exceeds some
+// threshold, or after a particular update transaction commits." The
+// first is StartAutoAdvance; the others are the built-in triggers
+// below, and "after a particular transaction" is simply calling
+// Advance after its handle completes.
+type Trigger func(db *DB) bool
+
+// EveryNUpdates fires whenever n more update transactions have
+// committed since the last firing.
+func EveryNUpdates(n int64) Trigger {
+	var last int64
+	return func(db *DB) bool {
+		cur := db.cluster.CommittedUpdates()
+		if cur-last >= n {
+			last = cur
+			return true
+		}
+		return false
+	}
+}
+
+// PendingItemsAbove fires when more than n items cluster-wide carry
+// updates not yet visible to readers.
+func PendingItemsAbove(n int) Trigger {
+	return func(db *DB) bool {
+		return db.cluster.PendingItems() > n
+	}
+}
+
+// DivergenceAbove fires when the summed per-item difference of the
+// named summary field between the update and read versions exceeds
+// threshold — "when the difference in value of data items in different
+// versions exceeds some threshold".
+func DivergenceAbove(field string, threshold int64) Trigger {
+	return func(db *DB) bool {
+		return db.cluster.Divergence(field) > threshold
+	}
+}
+
+// AnyOf combines triggers: fires when any constituent fires. All
+// constituents are evaluated on every check so stateful triggers keep
+// their counters current.
+func AnyOf(triggers ...Trigger) Trigger {
+	return func(db *DB) bool {
+		fire := false
+		for _, t := range triggers {
+			if t(db) {
+				fire = true
+			}
+		}
+		return fire
+	}
+}
+
+// policyLoop is the running policy goroutine's handle.
+type policyLoop struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartPolicy evaluates trigger every checkEvery and runs one
+// advancement cycle each time it fires. Stop it with StopPolicy or
+// Close. Starting a second policy while one runs is a no-op (the paper
+// assumes at most one advancement driver; the coordinator additionally
+// serializes cycles).
+func (db *DB) StartPolicy(checkEvery time.Duration, trigger Trigger) {
+	db.autoMu.Lock()
+	defer db.autoMu.Unlock()
+	if db.policy != nil {
+		return
+	}
+	pl := &policyLoop{stop: make(chan struct{})}
+	db.policy = pl
+	pl.wg.Add(1)
+	go func() {
+		defer pl.wg.Done()
+		t := time.NewTicker(checkEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-pl.stop:
+				return
+			case <-t.C:
+				if trigger(db) {
+					db.cluster.Advance()
+				}
+			}
+		}
+	}()
+}
+
+// StopPolicy halts the policy loop, waiting for an in-flight cycle.
+func (db *DB) StopPolicy() {
+	db.autoMu.Lock()
+	pl := db.policy
+	db.policy = nil
+	db.autoMu.Unlock()
+	if pl != nil {
+		close(pl.stop)
+		pl.wg.Wait()
+	}
+}
+
+// CommittedUpdates returns the number of update transactions that have
+// fully committed.
+func (db *DB) CommittedUpdates() int64 { return db.cluster.CommittedUpdates() }
+
+// PendingItems returns the number of items cluster-wide carrying
+// updates not yet visible to readers.
+func (db *DB) PendingItems() int { return db.cluster.PendingItems() }
+
+// Divergence returns the summed per-item difference of the named field
+// between the update and read versions.
+func (db *DB) Divergence(field string) int64 { return db.cluster.Divergence(field) }

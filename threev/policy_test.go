@@ -1,0 +1,154 @@
+package threev
+
+import (
+	"testing"
+	"time"
+)
+
+// submitAndWait runs one single-node increment and waits for it.
+func submitAndWait(t *testing.T, db *DB, key string) {
+	t.Helper()
+	h, err := db.Submit(At(0).Add(key, "bal", 1).Update())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update timed out")
+	}
+}
+
+func TestCommittedUpdatesCounter(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"bal": 0})
+	for i := 0; i < 5; i++ {
+		submitAndWait(t, db, "k")
+	}
+	if got := db.CommittedUpdates(); got != 5 {
+		t.Errorf("CommittedUpdates = %d, want 5", got)
+	}
+	// Reads do not count.
+	q, _ := db.Submit(At(0).Read("k").Query())
+	q.Wait()
+	if got := db.CommittedUpdates(); got != 5 {
+		t.Errorf("CommittedUpdates after read = %d, want 5", got)
+	}
+}
+
+func TestPendingAndDivergenceQuantities(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "a", map[string]int64{"bal": 0})
+	db.Preload(1, "b", map[string]int64{"bal": 0})
+	if db.PendingItems() != 0 || db.Divergence("bal") != 0 {
+		t.Fatal("fresh DB shows pending updates")
+	}
+	h, _ := db.Submit(At(0).Add("a", "bal", 7).
+		Child(At(1).Add("b", "bal", 3)).Update())
+	h.Wait()
+	if got := db.PendingItems(); got != 2 {
+		t.Errorf("PendingItems = %d, want 2", got)
+	}
+	if got := db.Divergence("bal"); got != 10 {
+		t.Errorf("Divergence = %d, want 10", got)
+	}
+	db.Advance()
+	if got := db.PendingItems(); got != 0 {
+		t.Errorf("PendingItems after advance = %d, want 0", got)
+	}
+	if got := db.Divergence("bal"); got != 0 {
+		t.Errorf("Divergence after advance = %d, want 0", got)
+	}
+}
+
+func TestEveryNUpdatesTrigger(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"bal": 0})
+	trig := EveryNUpdates(3)
+	if trig(db) {
+		t.Fatal("trigger fired with no updates")
+	}
+	for i := 0; i < 3; i++ {
+		submitAndWait(t, db, "k")
+	}
+	if !trig(db) {
+		t.Fatal("trigger did not fire after 3 updates")
+	}
+	if trig(db) {
+		t.Fatal("trigger re-fired without new updates (state not advanced)")
+	}
+	for i := 0; i < 3; i++ {
+		submitAndWait(t, db, "k")
+	}
+	if !trig(db) {
+		t.Fatal("trigger did not fire after 3 more updates")
+	}
+}
+
+func TestDivergenceAndPendingTriggers(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"bal": 0})
+	dv := DivergenceAbove("bal", 2)
+	pi := PendingItemsAbove(0)
+	if dv(db) || pi(db) {
+		t.Fatal("triggers fired on a clean DB")
+	}
+	for i := 0; i < 3; i++ {
+		submitAndWait(t, db, "k")
+	}
+	if !dv(db) {
+		t.Error("divergence trigger did not fire at divergence 3 > 2")
+	}
+	if !pi(db) {
+		t.Error("pending trigger did not fire with 1 pending item")
+	}
+	db.Advance()
+	if dv(db) || pi(db) {
+		t.Error("triggers still firing after advancement")
+	}
+}
+
+func TestAnyOfEvaluatesAll(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"bal": 0})
+	aCalls, bCalls := 0, 0
+	a := func(*DB) bool { aCalls++; return false }
+	b := func(*DB) bool { bCalls++; return true }
+	combo := AnyOf(a, b)
+	if !combo(db) {
+		t.Fatal("AnyOf missed a firing constituent")
+	}
+	if aCalls != 1 || bCalls != 1 {
+		t.Errorf("constituents called %d/%d times, want 1/1", aCalls, bCalls)
+	}
+}
+
+func TestStartPolicyAdvancesOnTrigger(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"bal": 0})
+	db.StartPolicy(time.Millisecond, EveryNUpdates(2))
+	db.StartPolicy(time.Millisecond, EveryNUpdates(2)) // second start is a no-op
+	for i := 0; i < 4; i++ {
+		submitAndWait(t, db, "k")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(db.AdvanceHistory()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("policy never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	db.StopPolicy()
+	db.StopPolicy() // idempotent
+	// After the policy advanced, the updates are visible.
+	deadlineRead := time.Now().Add(5 * time.Second)
+	for {
+		q, _ := db.Submit(At(0).Read("k").Query())
+		q.Wait()
+		if q.Reads()[0].Record.Field("bal") == 4 {
+			break
+		}
+		if time.Now().After(deadlineRead) {
+			t.Fatalf("reads never caught up: bal=%d", q.Reads()[0].Record.Field("bal"))
+		}
+		db.Advance()
+	}
+}

@@ -1,0 +1,191 @@
+package threev
+
+import (
+	"testing"
+	"time"
+)
+
+func openTestDB(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "radiology-7", map[string]int64{"due": 0})
+	db.Preload(1, "patient-7", map[string]int64{"due": 0})
+
+	h, err := db.Submit(At(0).
+		Add("radiology-7", "due", 120).
+		Child(At(1).Add("patient-7", "due", 80)).
+		Update())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("update did not complete")
+	}
+	if h.Status() != StatusCommitted {
+		t.Fatalf("status = %v", h.Status())
+	}
+
+	db.Advance()
+
+	q, err := db.Submit(At(1).Read("patient-7").Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.WaitTimeout(5 * time.Second) {
+		t.Fatal("query did not complete")
+	}
+	reads := q.Reads()
+	if len(reads) != 1 || reads[0].Record.Field("due") != 80 {
+		t.Fatalf("reads = %v", reads)
+	}
+	if vr, vu := db.Versions(); vr != 1 || vu != 2 {
+		t.Errorf("versions = %d/%d, want 1/2", vr, vu)
+	}
+	if db.MaxLiveVersions() > 3 {
+		t.Errorf("MaxLiveVersions = %d", db.MaxLiveVersions())
+	}
+	if v := db.Violations(); v != nil {
+		t.Errorf("violations: %v", v)
+	}
+	if len(db.AdvanceHistory()) != 1 {
+		t.Error("advance history missing")
+	}
+	m := db.Metrics()
+	if m.Transport.Messages == 0 {
+		t.Error("no transport accounting")
+	}
+}
+
+func TestBuilderProducesValidSpecs(t *testing.T) {
+	spec := At(0).Read("a").Add("b", "f", 1).
+		Child(At(1).Insert("c", Tuple{Txn: 1, Part: 1, Total: 1, Attr: "x", Amount: 2})).
+		Update()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.ReadOnly() {
+		t.Error("update tree classified read-only")
+	}
+	q := At(2).Read("z").Query()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !q.ReadOnly() {
+		t.Error("query tree not read-only")
+	}
+	nc := At(0).Set("a", "f", 9).NonCommuting()
+	if err := nc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := At(0).Scale("a", "f", 11, 10).NonCommuting()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lbl := At(0).Add("a", "f", 1).Labeled("tag", false)
+	if lbl.Label != "tag" {
+		t.Error("label lost")
+	}
+	ab := At(0).Add("a", "f", 1).Abort().Update()
+	if !ab.Root.Abort {
+		t.Error("abort flag lost")
+	}
+	if s := At(0).Add("k", "f", 1).String(); s == "" {
+		t.Error("empty builder String")
+	}
+}
+
+func TestSetWithoutNCModeRejected(t *testing.T) {
+	db := openTestDB(t, Config{})
+	_, err := db.Submit(At(0).Set("a", "f", 1).NonCommuting())
+	if err == nil {
+		t.Fatal("non-commuting transaction accepted without Config.NonCommuting")
+	}
+}
+
+func TestNonCommutingEndToEnd(t *testing.T) {
+	db := openTestDB(t, Config{NonCommuting: true})
+	db.Preload(0, "price", map[string]int64{"cents": 1000})
+	h, err := db.Submit(At(0).Set("price", "cents", 1500).NonCommuting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(5 * time.Second) {
+		t.Fatal("NC txn did not complete")
+	}
+	if h.Status() != StatusCommitted {
+		t.Fatalf("status = %v", h.Status())
+	}
+	db.Advance()
+	q, _ := db.Submit(At(0).Read("price").Query())
+	q.Wait()
+	if got := q.Reads()[0].Record.Field("cents"); got != 1500 {
+		t.Errorf("price = %d, want 1500", got)
+	}
+}
+
+func TestAutoAdvance(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "k", map[string]int64{"v": 0})
+	db.StartAutoAdvance(10 * time.Millisecond)
+	db.StartAutoAdvance(10 * time.Millisecond) // idempotent
+	h, _ := db.Submit(At(0).Add("k", "v", 7).Update())
+	h.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q, _ := db.Submit(At(0).Read("k").Query())
+		q.Wait()
+		if q.Reads()[0].Record.Field("v") == 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-advance never published the update")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	db.StopAutoAdvance()
+	db.StopAutoAdvance() // idempotent
+	if len(db.AdvanceHistory()) == 0 {
+		t.Error("no advancement cycles recorded")
+	}
+}
+
+func TestCompensationThroughPublicAPI(t *testing.T) {
+	db := openTestDB(t, Config{})
+	db.Preload(0, "x", map[string]int64{"v": 0})
+	db.Preload(1, "y", map[string]int64{"v": 0})
+	h, err := db.Submit(At(0).Add("x", "v", 3).Abort().
+		Child(At(1).Add("y", "v", 4)).Update())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+	if h.Status() != StatusCompensated {
+		t.Fatalf("status = %v, want compensated", h.Status())
+	}
+	db.Advance()
+	q, _ := db.Submit(At(0).Read("x").Child(At(1).Read("y")).Query())
+	q.Wait()
+	for _, r := range q.Reads() {
+		if r.Record.Field("v") != 0 {
+			t.Errorf("%s = %d after compensation, want 0", r.Key, r.Record.Field("v"))
+		}
+	}
+}
+
+func TestOpenRejectsBadConfig(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open with zero nodes succeeded")
+	}
+}
