@@ -212,8 +212,19 @@ func BenchmarkMicro_Advancement(b *testing.B) {
 // BenchmarkMicro_ThroughputLoaded measures sustained mixed-workload
 // throughput with continuous advancement, reporting txn/s.
 func BenchmarkMicro_ThroughputLoaded(b *testing.B) {
+	benchThroughputLoaded(b, false)
+}
+
+// BenchmarkMicro_ThroughputLoadedNoObs is the same workload with the
+// observability layer disabled; the txn/s delta against
+// BenchmarkMicro_ThroughputLoaded is the instrumentation overhead.
+func BenchmarkMicro_ThroughputLoadedNoObs(b *testing.B) {
+	benchThroughputLoaded(b, true)
+}
+
+func benchThroughputLoaded(b *testing.B, disableObs bool) {
 	for i := 0; i < b.N; i++ {
-		c, err := core.NewCluster(core.Config{Nodes: 4,
+		c, err := core.NewCluster(core.Config{Nodes: 4, DisableObs: disableObs,
 			NetConfig: transport.Config{Jitter: 100 * time.Microsecond, Seed: 7}})
 		if err != nil {
 			b.Fatal(err)

@@ -4,26 +4,60 @@
 //
 // Usage:
 //
-//	threev-bench [-txns N] [-only E5,E9]
+//	threev-bench [-txns N] [-only E5,E9] [-json FILE]
 //
 // -txns scales every experiment's transaction count; -only restricts
-// the run to a comma-separated list of experiment ids.
+// the run to a comma-separated list of experiment ids. -json writes a
+// machine-readable report ("-" = stdout) with each experiment's
+// pass/fail plus a calibration run of a loaded 3V cluster capturing
+// throughput and the observability snapshot (latency quantiles,
+// advancement phase times).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/workload"
 )
+
+// report is the -json output shape.
+type report struct {
+	Txns        int             `json:"txns"`
+	Experiments []expResult     `json:"experiments"`
+	Failures    int             `json:"failures"`
+	ElapsedMS   int64           `json:"elapsed_ms"`
+	Calibration *calibrationRun `json:"calibration,omitempty"`
+}
+
+type expResult struct {
+	ID    string `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+type calibrationRun struct {
+	Txns          int          `json:"txns"`
+	Completed     int          `json:"completed"`
+	ThroughputTPS float64      `json:"throughput_tps"`
+	Obs           obs.Snapshot `json:"obs"`
+}
 
 func main() {
 	txns := flag.Int("txns", experiments.DefaultScale.Txns, "base transaction count per experiment run")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E9); empty = all")
+	jsonOut := flag.String("json", "", "write a JSON report to this file (\"-\" = stdout); adds a calibration run")
 	flag.Parse()
 
 	sc := experiments.Scale{Txns: *txns}
@@ -36,20 +70,25 @@ func main() {
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
 	failures := 0
+	var results []expResult
 	start := time.Now()
 
 	if want("E1") || want("E2") {
 		fmt.Println("== E1/E2: Table 1 + Figure 2 replay ==")
 		res, err := experiments.E1Table1()
+		r := expResult{ID: "E1", OK: true}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "E1 error:", err)
 			failures++
+			r.OK, r.Error = false, err.Error()
 		} else {
 			fmt.Print(res.String())
 			if !res.OK() {
 				failures++
+				r.OK, r.Error = false, "replay checks failed"
 			}
 		}
+		results = append(results, r)
 		fmt.Println()
 	}
 
@@ -77,14 +116,91 @@ func main() {
 		if tbl != nil {
 			fmt.Println(tbl.String())
 		}
+		r := expResult{ID: e.id, OK: true}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", e.id, err)
 			failures++
+			r.OK, r.Error = false, err.Error()
 		}
+		results = append(results, r)
 	}
 
 	fmt.Printf("suite completed in %v; %d failures\n", time.Since(start).Round(time.Millisecond), failures)
+
+	if *jsonOut != "" {
+		rep := report{
+			Txns:        *txns,
+			Experiments: results,
+			Failures:    failures,
+			ElapsedMS:   time.Since(start).Milliseconds(),
+		}
+		cal, err := calibrate(*txns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibration error:", err)
+			failures++
+		} else {
+			rep.Calibration = cal
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json encode:", err)
+			failures++
+		} else {
+			buf = append(buf, '\n')
+			if *jsonOut == "-" {
+				os.Stdout.Write(buf)
+			} else if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "json write:", err)
+				failures++
+			}
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// calibrate runs a loaded 4-node 3V cluster and returns its throughput
+// together with the observability snapshot — the reference numbers the
+// JSON report pairs with the experiment outcomes.
+func calibrate(txns int) (*calibrationRun, error) {
+	cluster, err := core.NewCluster(core.Config{
+		Nodes: 4,
+		NetConfig: transport.Config{
+			Jitter: 200 * time.Microsecond,
+			Seed:   1,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cluster.Start()
+	defer cluster.Close()
+
+	gen := workload.New(workload.Config{
+		Nodes:        4,
+		Groups:       256,
+		Span:         2,
+		ReadFraction: 0.2,
+		Seed:         1,
+	})
+	res := harness.Run(baseline.ThreeV{Cluster: cluster}, harness.RunConfig{
+		Txns:            txns,
+		Concurrency:     8,
+		AdvanceInterval: 5 * time.Millisecond,
+		FinalAdvance:    true,
+		Gen:             gen,
+		Preload: func(n model.NodeID, k string) {
+			rec := model.NewRecord()
+			rec.Fields["bal"] = 0
+			cluster.Preload(n, k, rec)
+		},
+	})
+	return &calibrationRun{
+		Txns:          txns,
+		Completed:     res.Completed,
+		ThroughputTPS: res.Throughput(),
+		Obs:           cluster.ObsSnapshot(),
+	}, nil
 }

@@ -8,7 +8,12 @@
 //	threev-sim [-system 3v|nocoord|2pc|manual|syncadv]
 //	           [-nodes 4] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
 //	           [-latency 0] [-jitter 500us] [-advance 5ms] [-conc 8]
-//	           [-seed 1]
+//	           [-seed 1] [-metrics :8080] [-hold 30s]
+//
+// With -metrics ADDR (3v only) the process serves the observability
+// snapshot over HTTP while the workload runs: Prometheus text at
+// /metrics, JSON at /metrics.json, the event log at /events.json.
+// After the run it keeps serving for -hold (0 = until interrupted).
 //
 // The exit status is nonzero if the run observed an atomic-visibility
 // anomaly (expected for -system nocoord, and for -system manual with a
@@ -18,7 +23,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/baseline"
@@ -29,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/verify"
 	"repro/internal/workload"
@@ -46,6 +55,8 @@ func main() {
 	advance := flag.Duration("advance", 5*time.Millisecond, "version advancement period (0 = manual only)")
 	conc := flag.Int("conc", 8, "in-flight transactions")
 	seed := flag.Int64("seed", 1, "workload seed")
+	metricsAddr := flag.String("metrics", "", "serve metrics over HTTP on this address, e.g. :8080 (3v only)")
+	hold := flag.Duration("hold", 0, "with -metrics: keep serving this long after the run (0 = until interrupted)")
 	flag.Parse()
 
 	netCfg := transport.Config{
@@ -113,6 +124,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	serving := false
+	if *metricsAddr != "" {
+		if cluster == nil {
+			fmt.Fprintln(os.Stderr, "-metrics requires -system 3v")
+			os.Exit(1)
+		}
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, lerr)
+			os.Exit(1)
+		}
+		go func() {
+			if serr := http.Serve(ln, obs.Handler(cluster)); serr != nil {
+				fmt.Fprintln(os.Stderr, serr)
+			}
+		}()
+		serving = true
+		fmt.Printf("metrics: http://%s/metrics (also /metrics.json, /events.json)\n", ln.Addr())
+	}
+
 	gen := workload.New(workload.Config{
 		Nodes:                *nodes,
 		Groups:               256,
@@ -167,9 +198,50 @@ func main() {
 		}
 		fmt.Printf("protocol events: dual-writes=%d compensations=%d implicit-advances=%d messages=%d\n",
 			dual, comp, impl, m.Transport.Messages)
+
+		if s := m.Obs; s.TxnRead.Count+s.TxnUpdate.Count > 0 {
+			ot := &harness.Table{Title: "observability", Header: []string{"metric", "p50 / p95 / p99 / max"}}
+			ot.Add("read txn latency", quantileRow(s.TxnRead))
+			ot.Add("update txn latency", quantileRow(s.TxnUpdate))
+			ot.Add("subtxn hop latency", quantileRow(s.SubtxnHop))
+			ot.Add("subtxn exec time", quantileRow(s.SubtxnExec))
+			for i, ph := range s.AdvPhases {
+				ot.Add(fmt.Sprintf("advance phase %d", i+1), quantileRow(ph))
+			}
+			ot.Add("advance total", quantileRow(s.AdvTotal))
+			fmt.Println(ot.String())
+			fmt.Printf("obs counters:")
+			for _, k := range []string{"txns_submitted", "txns_committed", "txns_compensated", "txns_aborted", "advancements", "dual_writes"} {
+				fmt.Printf(" %s=%d", k, s.Counters[k])
+			}
+			fmt.Printf(" events_recorded=%d\n", s.EventsRecorded)
+		}
+	}
+
+	if serving {
+		if *hold > 0 {
+			fmt.Printf("holding %v for scrapes...\n", *hold)
+			time.Sleep(*hold)
+		} else {
+			fmt.Println("serving metrics until interrupted (ctrl-c)...")
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
 	}
 
 	if res.Anomalies > 0 || !structuralOK {
 		os.Exit(1)
 	}
+}
+
+// quantileRow renders a histogram snapshot's headline quantiles in
+// milliseconds.
+func quantileRow(s obs.HistSnapshot) string {
+	if s.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%s / %s / %s / %s",
+		harness.Ms(time.Duration(s.P50())), harness.Ms(time.Duration(s.Quantile(0.95))),
+		harness.Ms(time.Duration(s.P99())), harness.Ms(time.Duration(s.Max)))
 }

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	threev-trace
+//	threev-trace [-q]
 //
-// Exit status is nonzero if any check fails.
+// -q suppresses the step-by-step listing and prints only the summary
+// line. Exit status is nonzero if any check fails, making the command
+// usable directly as a CI gate.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -17,12 +20,22 @@ import (
 )
 
 func main() {
+	quiet := flag.Bool("q", false, "print only the PASS/FAIL summary line")
+	flag.Parse()
+
 	res, err := trace.Replay()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "replay error:", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.String())
+	if !*quiet {
+		fmt.Print(res.String())
+	}
+	verdict := "PASS"
+	if !res.OK() {
+		verdict = "FAIL"
+	}
+	fmt.Printf("table-1 replay: %s (%d checks passed, %d failed)\n", verdict, res.Passed, res.Failed)
 	if !res.OK() {
 		os.Exit(1)
 	}

@@ -2,12 +2,15 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/counters"
 	"repro/internal/locks"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -44,6 +47,13 @@ type Config struct {
 	Transport transport.Network
 	// NetConfig configures the default live network.
 	NetConfig transport.Config
+	// DisableObs turns the observability layer off entirely (no
+	// registry is allocated; every instrumentation call is a no-op).
+	// Used to measure instrumentation overhead; leave false otherwise.
+	DisableObs bool
+	// Obs tunes the observability layer (event ring capacity and
+	// sampling); the zero value selects defaults.
+	Obs obs.Options
 }
 
 // Cluster is a running 3V system: Nodes database nodes, one
@@ -54,6 +64,7 @@ type Cluster struct {
 	net     transport.Network
 	ownsNet bool
 	nodes   []*Node
+	reg     *obs.Registry // nil when cfg.DisableObs
 
 	coordMu sync.RWMutex
 	coord   *Coordinator
@@ -75,6 +86,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: SyncExec cannot be combined with NCMode")
 	}
 	c := &Cluster{cfg: cfg}
+	if !cfg.DisableObs {
+		c.reg = obs.New(cfg.Obs)
+		c.reg.SetGauge(obs.GaugeVersionRead, 0)
+		c.reg.SetGauge(obs.GaugeVersionUpdate, 1)
+	}
 	if cfg.Transport != nil {
 		c.net = cfg.Transport
 	} else {
@@ -90,12 +106,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			lm = locks.New()
 			lm.WaitBound = cfg.LockWait
 		}
-		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm)
+		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
 		nd.syncExec = cfg.SyncExec
 		c.nodes = append(c.nodes, nd)
 		c.net.Register(nd.id, nd.handleMessage)
 	}
-	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval)
+	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, c.reg)
 	// The registered handler indirects through currentCoordinator so a
 	// crashed coordinator can be replaced (CrashCoordinator/Recover)
 	// without touching the transport.
@@ -170,6 +186,15 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 	h.needsUnlock = c.cfg.NCMode && h.isUpdate && !spec.NonCommuting
 	c.handles.Store(id, h)
 	h.addExpected(1)
+	c.reg.Inc(obs.CtrTxnsSubmitted, 1)
+	if c.reg.SampleTick() {
+		c.reg.RecordEvent(obs.Event{Kind: obs.EvTxnSpawn, Node: int(spec.Root.Node),
+			Txn: id.String(), Detail: spec.Label})
+	}
+	var sentAt time.Time
+	if c.reg != nil {
+		sentAt = time.Now()
+	}
 	c.net.Send(transport.Message{
 		From: spec.Root.Node,
 		To:   spec.Root.Node,
@@ -180,6 +205,7 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 			ReadOnly: spec.ReadOnly(),
 			NC:       spec.NonCommuting,
 			RootNode: spec.Root.Node,
+			SentAt:   sentAt,
 		},
 	})
 	return h, nil
@@ -221,7 +247,20 @@ func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadR
 	if h == nil {
 		return
 	}
-	h.reportDone(node, reads, aborted)
+	completed := h.reportDone(node, reads, aborted)
+	if completed && c.reg != nil {
+		status := h.Status()
+		c.reg.ObserveTxnLatency(!h.isUpdate, h.Latency())
+		kind, ctr := obs.EvTxnDone, ctrForStatus(status)
+		if status != StatusCommitted {
+			kind = obs.EvTxnAbort
+		}
+		c.reg.Inc(ctr, 1)
+		if c.reg.SampleTick() {
+			c.reg.RecordEvent(obs.Event{Kind: kind, Node: int(node), Txn: txn.String(),
+				Detail: status.String()})
+		}
+	}
 	if h.Status() == StatusCommitted && h.isUpdate && h.markCounted() {
 		c.updatesDone.Add(1)
 	}
@@ -248,21 +287,86 @@ func (c *Cluster) onNCAbort(txn model.TxnID) {
 	}
 }
 
-// ClusterMetrics aggregates per-node and transport accounting.
+// ctrForStatus maps a terminal handle status to its obs counter.
+func ctrForStatus(s Status) int {
+	switch s {
+	case StatusCompensated:
+		return obs.CtrTxnsCompensated
+	case StatusAborted:
+		return obs.CtrTxnsAborted
+	default:
+		return obs.CtrTxnsCommitted
+	}
+}
+
+// ClusterMetrics aggregates per-node, transport and observability
+// accounting.
 type ClusterMetrics struct {
 	PerNode   []NodeMetrics
 	Storage   []storage.Stats
 	Transport transport.Stats
+	// Obs is the observability snapshot (latency histograms, phase
+	// timers, counter-lag gauges); zero-valued when observability is
+	// disabled.
+	Obs obs.Snapshot
 }
 
 // Metrics returns a snapshot of all counters.
 func (c *Cluster) Metrics() ClusterMetrics {
-	m := ClusterMetrics{Transport: c.net.Stats()}
+	m := ClusterMetrics{Transport: c.net.Stats(), Obs: c.ObsSnapshot()}
 	for _, nd := range c.nodes {
 		m.PerNode = append(m.PerNode, nd.Metrics())
 		m.Storage = append(m.Storage, nd.store.Stats())
 	}
 	return m
+}
+
+// Obs exposes the cluster's observability registry (nil when disabled).
+func (c *Cluster) Obs() *obs.Registry { return c.reg }
+
+// ObsSnapshot refreshes the live counter-lag gauges from the nodes'
+// counter tables and returns the full observability snapshot. It is
+// safe to call concurrently with a running workload: it only reads
+// counter snapshots the protocol itself exchanges.
+func (c *Cluster) ObsSnapshot() obs.Snapshot {
+	if c.reg == nil {
+		return obs.Snapshot{}
+	}
+	for _, l := range c.CounterLagSamples() {
+		c.reg.SetCounterLag(l)
+	}
+	return c.reg.Snapshot()
+}
+
+// ObsEvents returns the retained structured-event-log entries
+// oldest-first (post-mortem dump).
+func (c *Cluster) ObsEvents() []obs.Event { return c.reg.Events() }
+
+// CounterLagSamples assembles, for every version that still has
+// counter rows anywhere, the cluster-wide R[v][p][q] − C[v][p][q] lag —
+// the exact quantity whose convergence to zero the advancement
+// coordinator polls for in Phases 2 and 4. Sampling is asynchronous
+// (the same sloppy-read regime the coordinator operates under), so a
+// transiently negative pair is clamped rather than reported.
+func (c *Cluster) CounterLagSamples() []obs.CounterLag {
+	versions := make(map[model.Version]bool)
+	for _, nd := range c.nodes {
+		for _, v := range nd.cnt.Versions() {
+			versions[v] = true
+		}
+	}
+	out := make([]obs.CounterLag, 0, len(versions))
+	for v := range versions {
+		snap := counters.NewSnapshot(len(c.nodes))
+		for _, nd := range c.nodes {
+			snap.SetFromNode(nd.id, nd.cnt.SnapshotR(v), nd.cnt.SnapshotC(v))
+		}
+		lag := lagOf(snap)
+		lag.Version = int64(v)
+		out = append(out, lag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
 }
 
 // Violations gathers every recorded invariant violation across nodes;

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/counters"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -24,7 +26,11 @@ type AdvanceReport struct {
 	// SweepsPhase2 and SweepsPhase4 count the asynchronous counter
 	// collections the termination detector needed.
 	SweepsPhase2, SweepsPhase4 int
-	Total                      time.Duration
+	// MaxCounterLag is the largest Σ(R−C) the quiescence polls of
+	// Phases 2 and 4 observed — how far behind completion the cluster
+	// was when advancement started draining it.
+	MaxCounterLag int64
+	Total         time.Duration
 }
 
 // Coordinator drives version advancement. It occupies its own endpoint
@@ -40,6 +46,7 @@ type Coordinator struct {
 	n            int
 	net          transport.Network
 	pollInterval time.Duration
+	reg          *obs.Registry // nil when observability is disabled
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -59,7 +66,7 @@ type Coordinator struct {
 }
 
 // newCoordinator wires a coordinator for n database nodes.
-func newCoordinator(n int, net transport.Network, pollInterval time.Duration) *Coordinator {
+func newCoordinator(n int, net transport.Network, pollInterval time.Duration, reg *obs.Registry) *Coordinator {
 	if pollInterval <= 0 {
 		pollInterval = 200 * time.Microsecond
 	}
@@ -68,6 +75,7 @@ func newCoordinator(n int, net transport.Network, pollInterval time.Duration) *C
 		n:            n,
 		net:          net,
 		pollInterval: pollInterval,
+		reg:          reg,
 		ackVU:        make(map[model.Version]map[model.NodeID]bool),
 		ackVR:        make(map[model.Version]map[model.NodeID]bool),
 		ackGC:        make(map[model.Version]map[model.NodeID]bool),
@@ -165,10 +173,12 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 2: updates phase-out — wait for inter-node consistency of
 	// vuold by asynchronous counter reads.
 	t2 := time.Now()
-	rep.SweepsPhase2 = c.pollQuiescence(vuold)
+	var lag2 int64
+	rep.SweepsPhase2, lag2 = c.pollQuiescence(vuold)
 	if rep.SweepsPhase2 < 0 {
 		return interrupted()
 	}
+	rep.MaxCounterLag = lag2
 	rep.Phase2 = time.Since(t2)
 
 	// Phase 3: switch to the new read version.
@@ -182,9 +192,13 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 4: wait for queries on vrold to terminate, then garbage
 	// collect.
 	t4 := time.Now()
-	rep.SweepsPhase4 = c.pollQuiescence(vrold)
+	var lag4 int64
+	rep.SweepsPhase4, lag4 = c.pollQuiescence(vrold)
 	if rep.SweepsPhase4 < 0 {
 		return interrupted()
+	}
+	if lag4 > rep.MaxCounterLag {
+		rep.MaxCounterLag = lag4
 	}
 	c.broadcast(GCMsg{Keep: vrnew})
 	if !c.waitAcks(c.ackGC, vrnew) {
@@ -194,6 +208,15 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 
 	c.vu, c.vr = vunew, vrnew
 	rep.Total = time.Since(start)
+
+	c.reg.ObserveAdvance(
+		[4]time.Duration{rep.Phase1, rep.Phase2, rep.Phase3, rep.Phase4},
+		rep.Total, rep.SweepsPhase2+rep.SweepsPhase4)
+	c.reg.SetGauge(obs.GaugeVersionRead, float64(vrnew))
+	c.reg.SetGauge(obs.GaugeVersionUpdate, float64(vunew))
+	c.reg.DropLagsBelow(int64(vrnew))
+	c.reg.RecordEvent(obs.Event{Kind: obs.EvVersionSwitch, Version: int64(vunew),
+		Detail: fmt.Sprintf("vr=%d vu=%d sweeps=%d/%d", vrnew, vunew, rep.SweepsPhase2, rep.SweepsPhase4)})
 
 	c.histMu.Lock()
 	c.history = append(c.history, rep)
@@ -226,10 +249,12 @@ func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v mo
 
 // pollQuiescence repeatedly sweeps the cluster's counters for version v
 // until the double-collect detector declares all version-v transactions
-// terminated. It returns the number of sweeps used.
-// pollQuiescence returns the sweep count, or -1 if the coordinator
-// crashed while polling.
-func (c *Coordinator) pollQuiescence(v model.Version) int {
+// terminated. It returns the number of sweeps used (or -1 if the
+// coordinator crashed while polling) and the largest Σ(R−C) lag any
+// sweep observed. Each sweep also publishes the version's live lag to
+// the observability registry, so quiescence convergence is visible on
+// the metrics endpoint while it happens.
+func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64) {
 	det := &counters.Detector{}
 	for {
 		c.mu.Lock()
@@ -243,7 +268,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) int {
 		for len(c.replies[round]) < c.n {
 			if c.dead {
 				c.mu.Unlock()
-				return -1
+				return -1, maxLag
 			}
 			c.cond.Wait()
 		}
@@ -254,9 +279,37 @@ func (c *Coordinator) pollQuiescence(v model.Version) int {
 		delete(c.replies, round)
 		c.mu.Unlock()
 
+		lag := lagOf(snap)
+		if lag.SumLag > maxLag {
+			maxLag = lag.SumLag
+		}
+		lag.Version = int64(v)
+		c.reg.SetCounterLag(lag)
+
 		if det.Offer(snap) {
-			return det.Sweeps()
+			return det.Sweeps(), maxLag
 		}
 		time.Sleep(c.pollInterval)
 	}
+}
+
+// lagOf reduces one counter sweep to its lag gauge: the summed and the
+// largest per-pair R−C difference. A sloppy (asynchronous) observation
+// can transiently read C ahead of R for a pair; those pairs clamp to 0
+// rather than letting phantom negatives cancel real lag.
+func lagOf(s *counters.Snapshot) obs.CounterLag {
+	var lag obs.CounterLag
+	for p := 0; p < s.N; p++ {
+		for q := 0; q < s.N; q++ {
+			d := s.R[p][q] - s.C[p][q]
+			if d < 0 {
+				continue
+			}
+			lag.SumLag += d
+			if d > lag.MaxPairLag {
+				lag.MaxPairLag = d
+			}
+		}
+	}
+	return lag
 }

@@ -114,8 +114,10 @@ func (h *Handle) addExpected(n int) {
 }
 
 // reportDone records the termination of one subtransaction at node,
-// along with its read results and whether it aborted.
-func (h *Handle) reportDone(node model.NodeID, reads []model.ReadResult, aborted bool) {
+// along with its read results and whether it aborted. It reports
+// whether this call completed the whole tree (true exactly once per
+// handle), which is the edge the cluster's instrumentation keys off.
+func (h *Handle) reportDone(node model.NodeID, reads []model.ReadResult, aborted bool) (completed bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.done++
@@ -124,7 +126,9 @@ func (h *Handle) reportDone(node model.NodeID, reads []model.ReadResult, aborted
 	if aborted {
 		h.aborts++
 	}
+	wasClosed := h.closed
 	h.maybeComplete()
+	return h.closed && !wasClosed
 }
 
 // reportVersion records the version the root assigned to the tree.

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/model"
 )
 
@@ -47,6 +49,11 @@ type SubtxnMsg struct {
 	// distinguish between compensating and ordinary subtransactions");
 	// the flag exists only for observability.
 	Compensating bool
+	// SentAt is the sender's wall clock at Send time, used by the
+	// observability layer to histogram per-hop RPC latency (queue +
+	// network + worker wait). Zero when the sender is not instrumented
+	// (scripted replays); the protocol never reads it.
+	SentAt time.Time
 }
 
 // StartAdvancementMsg is the Phase 1 notice: switch the update version

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/localcc"
 	"repro/internal/locks"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -149,6 +151,7 @@ type Node struct {
 	latches *localcc.Manager
 	lm      *locks.Manager // non-nil only in NC mode
 	obs     observer
+	reg     *obs.Registry // nil when observability is disabled
 	ncMode  bool
 
 	// verMu guards vu and vr. Critical sections are a handful of
@@ -184,7 +187,7 @@ type Node struct {
 
 // newNode wires a node; the caller registers node.handleMessage on the
 // network and calls start.
-func newNode(id model.NodeID, n int, coordID model.NodeID, net transport.Network, obs observer, ncMode bool, workers int, lm *locks.Manager) *Node {
+func newNode(id model.NodeID, n int, coordID model.NodeID, net transport.Network, observer observer, ncMode bool, workers int, lm *locks.Manager, reg *obs.Registry) *Node {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -197,7 +200,8 @@ func newNode(id model.NodeID, n int, coordID model.NodeID, net transport.Network
 		cnt:     counters.NewTable(id, n),
 		latches: localcc.New(),
 		lm:      lm,
-		obs:     obs,
+		obs:     observer,
+		reg:     reg,
 		ncMode:  ncMode,
 		vu:      1, // initial state: read version 0, update version 1
 		vr:      0,
@@ -366,7 +370,17 @@ func (nd *Node) handleReadVersion(p ReadVersionMsg) {
 func (nd *Node) handleGC(p GCMsg) {
 	nd.store.GC(p.Keep)
 	nd.cnt.DropBelow(p.Keep)
+	nd.reg.RecordEvent(obs.Event{Kind: obs.EvGC, Node: int(nd.id), Version: int64(p.Keep)})
 	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
+}
+
+// sendStamp returns the SentAt stamp for outgoing subtransactions: the
+// current time when instrumented, zero (no clock read) otherwise.
+func (nd *Node) sendStamp() time.Time {
+	if nd.reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 func (nd *Node) handleCounterReq(p CounterReqMsg) {
@@ -389,6 +403,13 @@ func (nd *Node) checkVersionInvariantLocked() {
 
 // executeSubtxn runs one subtransaction on a worker goroutine.
 func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
+	if nd.reg != nil {
+		start := time.Now()
+		if !msg.SentAt.IsZero() {
+			nd.reg.ObserveHop(start.Sub(msg.SentAt))
+		}
+		defer func() { nd.reg.ObserveExec(time.Since(start)) }()
+	}
 	if msg.NC {
 		nd.executeNC(from, msg)
 		return
@@ -457,6 +478,11 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 					nd.metMu.Lock()
 					nd.metrics.DualWrites += int64(n - 1)
 					nd.metMu.Unlock()
+					nd.reg.Inc(obs.CtrDualWrites, int64(n-1))
+					if nd.reg.SampleTick() {
+						nd.reg.RecordEvent(obs.Event{Kind: obs.EvDualWrite, Node: int(nd.id),
+							Txn: msg.Txn.String(), Version: int64(v), Detail: u.Key})
+					}
 				}
 			}
 		}
@@ -475,6 +501,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 				Spec:         child,
 				ReadOnly:     msg.ReadOnly,
 				Compensating: msg.Compensating,
+				SentAt:       nd.sendStamp(),
 			}})
 		}
 	}
@@ -534,6 +561,7 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 			Version:      v,
 			Spec:         comp,
 			Compensating: true,
+			SentAt:       nd.sendStamp(),
 		}})
 	}
 }

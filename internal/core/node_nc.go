@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/locks"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -110,6 +111,7 @@ func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
 				Spec:     child,
 				NC:       true,
 				RootNode: rootNode,
+				SentAt:   nd.sendStamp(),
 			}})
 			children++
 		}
@@ -177,6 +179,7 @@ func (nd *Node) handleNCVote(p NCVoteMsg) {
 	// Phase 2 of 2PC: decision to every participant node.
 	if !commit {
 		nd.obs.onNCAbort(p.Txn)
+		nd.reg.RecordEvent(obs.Event{Kind: obs.EvNCAbort, Node: int(nd.id), Txn: p.Txn.String()})
 	}
 	for _, n := range participants {
 		nd.net.Send(transport.Message{From: nd.id, To: n, Payload: NCDecisionMsg{Txn: p.Txn, Commit: commit}})

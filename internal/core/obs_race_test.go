@@ -1,0 +1,196 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// TestObsSnapshotConcurrentWithWorkload hammers the observability
+// readers — Metrics, ObsSnapshot, ObsEvents, the Prometheus writer —
+// while update/read transactions and version advancements run. Run
+// under -race this is the data-race gate for the whole obs layer.
+func TestObsSnapshotConcurrentWithWorkload(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes:     3,
+		NetConfig: transport.Config{Jitter: 50 * time.Microsecond, Seed: 3},
+		Obs:       obs.Options{EventCapacity: 256, EventSampleN: 2},
+	})
+
+	const txns = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer side: a stream of two-node updates and single reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < txns; i++ {
+			var spec *model.TxnSpec
+			if i%4 == 0 {
+				spec = &model.TxnSpec{Root: &model.SubtxnSpec{Node: 1, Reads: []string{"D"}}}
+			} else {
+				spec = &model.TxnSpec{Root: &model.SubtxnSpec{
+					Node:     0,
+					Updates:  []model.KeyOp{addOp("A", 1)},
+					Children: []*model.SubtxnSpec{{Node: 1, Updates: []model.KeyOp{addOp("D", 1)}}},
+				}}
+			}
+			h, err := c.Submit(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !h.WaitTimeout(10 * time.Second) {
+				t.Error("txn timed out")
+				return
+			}
+		}
+	}()
+
+	// Advancement side: continuous version advancement.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Advance()
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Reader side: three goroutines scraping each surface concurrently.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = c.Metrics()
+					s := c.ObsSnapshot()
+					var sb strings.Builder
+					obs.WritePrometheus(&sb, s)
+					_ = c.ObsEvents()
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	// Wait for the workload, then stop the scrapers and the advancer.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			goto finished
+		case <-time.After(10 * time.Millisecond):
+			if m := c.Metrics(); m.Obs.Counters["txns_submitted"] >= txns {
+				close(stop)
+				<-done
+				goto finished
+			}
+		}
+	}
+finished:
+
+	if vio := c.Violations(); vio != nil {
+		t.Fatalf("violations: %v", vio)
+	}
+	s := c.ObsSnapshot()
+	if s.Counters["txns_submitted"] != txns {
+		t.Fatalf("submitted = %d, want %d", s.Counters["txns_submitted"], txns)
+	}
+	if s.TxnRead.Count+s.TxnUpdate.Count != txns {
+		t.Fatalf("latency observations = %d, want %d", s.TxnRead.Count+s.TxnUpdate.Count, txns)
+	}
+	if s.Counters["advancements"] == 0 {
+		t.Fatal("no advancements recorded")
+	}
+	if s.EventsRecorded == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+// TestObsDisabled checks the DisableObs path yields zero-value
+// snapshots and nil event dumps while the protocol still works.
+func TestObsDisabled(t *testing.T) {
+	c := newTestCluster(t, Config{DisableObs: true})
+	h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Updates: []model.KeyOp{addOp("A", 5)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitHandle(t, h)
+	c.Advance()
+	s := c.ObsSnapshot()
+	if s.Counters != nil || s.TxnUpdate.Count != 0 || s.EventsRecorded != 0 {
+		t.Fatalf("disabled obs produced data: %+v", s)
+	}
+	if ev := c.ObsEvents(); ev != nil {
+		t.Fatalf("disabled obs produced events: %v", ev)
+	}
+	if bal, _ := readBal(t, c, 0, "A"); bal != 5 {
+		t.Fatalf("A = %d, want 5", bal)
+	}
+}
+
+// TestObsEndToEnd checks a plain run populates every obs surface the
+// exposition advertises: latency histograms, phase timers, counter
+// lag (observed live during the run), and the event log.
+func TestObsEndToEnd(t *testing.T) {
+	c := newTestCluster(t, Config{Obs: obs.Options{EventSampleN: 1}})
+	for i := 0; i < 10; i++ {
+		h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node:     0,
+			Updates:  []model.KeyOp{addOp("A", 1)},
+			Children: []*model.SubtxnSpec{{Node: 1, Updates: []model.KeyOp{addOp("D", 1)}}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitHandle(t, h)
+	}
+	rep := c.Advance()
+	if rep.Interrupted {
+		t.Fatal("advancement interrupted")
+	}
+
+	s := c.ObsSnapshot()
+	if s.TxnUpdate.Count != 10 {
+		t.Fatalf("update latency count = %d", s.TxnUpdate.Count)
+	}
+	if s.SubtxnHop.Count == 0 || s.SubtxnExec.Count == 0 {
+		t.Fatalf("hop=%d exec=%d, want both > 0", s.SubtxnHop.Count, s.SubtxnExec.Count)
+	}
+	for i, p := range s.AdvPhases {
+		if p.Count != 1 {
+			t.Fatalf("phase %d count = %d, want 1", i+1, p.Count)
+		}
+	}
+	if s.Gauges[obs.GaugeVersionRead] != 1 || s.Gauges[obs.GaugeVersionUpdate] != 2 {
+		t.Fatalf("version gauges: %v", s.Gauges)
+	}
+
+	events := c.ObsEvents()
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[obs.EvTxnSpawn] == 0 || kinds[obs.EvTxnDone] == 0 || kinds[obs.EvVersionSwitch] == 0 {
+		t.Fatalf("event kinds: %v", kinds)
+	}
+}

@@ -115,7 +115,8 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 		// Phases 1–3 finished but Phase 4 did not: drain the old read
 		// version's queries and garbage-collect.
 		rep := RecoveryReport{Resumed: true}
-		rep.Sweeps += c.pollQuiescence(maxVR - 1)
+		s, _ := c.pollQuiescence(maxVR - 1)
+		rep.Sweeps += s
 		c.broadcast(GCMsg{Keep: maxVR})
 		c.waitAcks(c.ackGC, maxVR)
 		c.vu, c.vr = maxVU, maxVR
@@ -136,7 +137,8 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 	c.waitAcks(c.ackVU, vuNew)
 
 	// Phase 2: quiesce the outgoing update version.
-	rep.Sweeps += c.pollQuiescence(vuNew - 1)
+	s2, _ := c.pollQuiescence(vuNew - 1)
+	rep.Sweeps += s2
 
 	// Phase 3 (idempotent).
 	c.broadcast(ReadVersionMsg{NewVR: vrNew})
@@ -145,7 +147,8 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 	// Phase 4: quiesce the outgoing read version's queries, then GC.
 	// vrNew is at least 1 here (the first possible interrupted cycle
 	// targets vu=2/vr=1), so vrNew-1 is well-defined.
-	rep.Sweeps += c.pollQuiescence(vrNew - 1)
+	s4, _ := c.pollQuiescence(vrNew - 1)
+	rep.Sweeps += s4
 	c.broadcast(GCMsg{Keep: vrNew})
 	c.waitAcks(c.ackGC, vrNew)
 
@@ -163,7 +166,7 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 func (c *Cluster) CrashCoordinator() *Coordinator {
 	old := c.currentCoordinator()
 	old.crash()
-	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval)
+	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.reg)
 	c.coordMu.Lock()
 	c.coord = fresh
 	c.coordMu.Unlock()

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event kinds recorded in the structured event log.
+const (
+	EvTxnSpawn      = "txn_spawn"      // a transaction was submitted
+	EvTxnDone       = "txn_done"       // a transaction tree fully terminated
+	EvTxnAbort      = "txn_abort"      // a tree terminated compensated/aborted
+	EvDualWrite     = "dual_write"     // an update hit more than one version
+	EvVersionSwitch = "version_switch" // vu or vr switched cluster-wide
+	EvAdvancePhase  = "advance_phase"  // one advancement phase completed
+	EvGC            = "gc"             // garbage collection ran at a node
+	EvNCAbort       = "nc_abort"       // 2PC decided abort for an NC txn
+)
+
+// Event is one entry of the structured event log.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Kind    string    `json:"kind"`
+	Node    int       `json:"node,omitempty"`
+	Txn     string    `json:"txn,omitempty"`
+	Version int64     `json:"version,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// EventLog is a bounded ring buffer of Events for post-mortems: the
+// newest Cap events are retained, older ones are overwritten. Writers
+// serialize on a mutex — protocol-level events are rare, and
+// transaction-level events are sampled (see Registry) before they reach
+// the log, so the lock is off the common path.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; next%len(buf) is the write slot
+
+	sampleN uint64
+	tick    atomic.Uint64
+}
+
+// NewEventLog returns a ring holding the last capacity events; sampled
+// recordings keep 1 in sampleN (sampleN ≤ 1 keeps all).
+func NewEventLog(capacity int, sampleN int) *EventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &EventLog{buf: make([]Event, capacity), sampleN: uint64(sampleN)}
+}
+
+// Record appends one event, overwriting the oldest if full. The event's
+// Seq and At are assigned here.
+func (l *EventLog) Record(e Event) {
+	if l == nil {
+		return
+	}
+	e.At = time.Now()
+	l.mu.Lock()
+	e.Seq = l.next
+	l.buf[l.next%uint64(len(l.buf))] = e
+	l.next++
+	l.mu.Unlock()
+}
+
+// SampleTick reports whether a sampled event should be recorded now
+// (1 in sampleN). Callers use it to skip building the Event at all on
+// suppressed ticks, keeping the hot path allocation-free.
+func (l *EventLog) SampleTick() bool {
+	if l == nil {
+		return false
+	}
+	return l.tick.Add(1)%l.sampleN == 0
+}
+
+// Recorded returns the total number of events ever recorded (including
+// ones the ring has since overwritten).
+func (l *EventLog) Recorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Dump returns the retained events oldest-first.
+func (l *EventLog) Dump() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	cap64 := uint64(len(l.buf))
+	start := uint64(0)
+	count := n
+	if n > cap64 {
+		start = n - cap64
+		count = cap64
+	}
+	out := make([]Event, 0, count)
+	for i := start; i < n; i++ {
+		out = append(out, l.buf[i%cap64])
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter indices for Registry.Inc / Snapshot.Counters.
+const (
+	CtrTxnsSubmitted = iota
+	CtrTxnsCommitted
+	CtrTxnsCompensated
+	CtrTxnsAborted
+	CtrAdvancements
+	CtrDualWrites
+	numCounters
+)
+
+// counterNames are the exposition names, index-aligned with the Ctr
+// constants.
+var counterNames = [numCounters]string{
+	"txns_submitted",
+	"txns_committed",
+	"txns_compensated",
+	"txns_aborted",
+	"advancements",
+	"dual_writes",
+}
+
+// Gauge names set by the protocol layers.
+const (
+	GaugeVersionRead   = "version_read"
+	GaugeVersionUpdate = "version_update"
+)
+
+// CounterLag is one sampled observation of the quiescence quantity for
+// a version v: how far the request counters R[v][p][q] run ahead of the
+// completion counters C[v][p][q]. Quiescence (advancement Phases 2/4)
+// is exactly SumLag == 0 twice in a row.
+type CounterLag struct {
+	Version int64 `json:"version"`
+	// SumLag is Σ_pq (R[v][p][q] − C[v][p][q]).
+	SumLag int64 `json:"sum_lag"`
+	// MaxPairLag is max_pq (R[v][p][q] − C[v][p][q]).
+	MaxPairLag int64 `json:"max_pair_lag"`
+}
+
+// Options configures a Registry.
+type Options struct {
+	// EventCapacity bounds the event ring; 0 means 4096.
+	EventCapacity int
+	// EventSampleN keeps 1 in N transaction-level events; 0 means 16.
+	// Protocol-level events (version switches, GC, advancement phases)
+	// are always recorded.
+	EventSampleN int
+}
+
+// Registry is the per-cluster observability hub. All methods are safe
+// for concurrent use and all are no-ops on a nil receiver.
+type Registry struct {
+	txnRead    Histogram // end-to-end read txn latency (ns)
+	txnUpdate  Histogram // end-to-end update txn latency (ns)
+	subtxnHop  Histogram // send → execution-start per-hop latency (ns)
+	subtxnExec Histogram // subtransaction service time (ns)
+
+	advPhase  [4]Histogram // advancement phase wall time (ns)
+	advTotal  Histogram    // full cycle wall time (ns)
+	advSweeps Histogram    // counter sweeps per cycle (count)
+
+	counters [numCounters]atomic.Int64
+
+	events *EventLog
+
+	mu     sync.Mutex
+	gauges map[string]float64
+	lags   map[int64]CounterLag
+}
+
+// New builds a Registry.
+func New(opts Options) *Registry {
+	cap := opts.EventCapacity
+	if cap <= 0 {
+		cap = 4096
+	}
+	sample := opts.EventSampleN
+	if sample <= 0 {
+		sample = 16
+	}
+	return &Registry{
+		events: NewEventLog(cap, sample),
+		gauges: make(map[string]float64),
+		lags:   make(map[int64]CounterLag),
+	}
+}
+
+// ObserveTxnLatency records one completed transaction's end-to-end
+// latency.
+func (r *Registry) ObserveTxnLatency(readOnly bool, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if readOnly {
+		r.txnRead.ObserveDuration(d)
+	} else {
+		r.txnUpdate.ObserveDuration(d)
+	}
+}
+
+// ObserveHop records the send→execution-start latency of one
+// subtransaction RPC.
+func (r *Registry) ObserveHop(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.subtxnHop.ObserveDuration(d)
+}
+
+// ObserveExec records one subtransaction's local service time.
+func (r *Registry) ObserveExec(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.subtxnExec.ObserveDuration(d)
+}
+
+// ObserveAdvance records one completed advancement cycle's per-phase
+// wall times and total sweep count, and bumps the advancement counter.
+func (r *Registry) ObserveAdvance(phases [4]time.Duration, total time.Duration, sweeps int) {
+	if r == nil {
+		return
+	}
+	for i, d := range phases {
+		r.advPhase[i].ObserveDuration(d)
+	}
+	r.advTotal.ObserveDuration(total)
+	r.advSweeps.Observe(int64(sweeps))
+	r.counters[CtrAdvancements].Add(1)
+}
+
+// Inc bumps one of the Ctr* counters by delta.
+func (r *Registry) Inc(counter int, delta int64) {
+	if r == nil || counter < 0 || counter >= numCounters {
+		return
+	}
+	r.counters[counter].Add(delta)
+}
+
+// SetGauge publishes a named gauge value.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// SetCounterLag publishes the latest lag observation for a version.
+func (r *Registry) SetCounterLag(l CounterLag) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.lags[l.Version] = l
+	r.mu.Unlock()
+}
+
+// DropLagsBelow forgets lag gauges for versions below v (mirroring the
+// protocol's counter garbage collection).
+func (r *Registry) DropLagsBelow(v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for ver := range r.lags {
+		if ver < v {
+			delete(r.lags, ver)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// SampleTick reports whether a sampled (transaction-level) event should
+// be recorded now. Returns false on a nil registry, so callers can skip
+// building the Event entirely.
+func (r *Registry) SampleTick() bool {
+	if r == nil {
+		return false
+	}
+	return r.events.SampleTick()
+}
+
+// RecordEvent appends an event to the ring (always; pair with
+// SampleTick for high-frequency kinds).
+func (r *Registry) RecordEvent(e Event) {
+	if r == nil {
+		return
+	}
+	r.events.Record(e)
+}
+
+// Events returns the retained event-log entries oldest-first.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events.Dump()
+}
+
+// Snapshot is a point-in-time, JSON-serializable view of the whole
+// registry — the value ClusterMetrics.Obs carries and the exposition
+// endpoint serves.
+type Snapshot struct {
+	TxnRead    HistSnapshot `json:"txn_read"`
+	TxnUpdate  HistSnapshot `json:"txn_update"`
+	SubtxnHop  HistSnapshot `json:"subtxn_hop"`
+	SubtxnExec HistSnapshot `json:"subtxn_exec"`
+
+	AdvPhases [4]HistSnapshot `json:"advance_phases"`
+	AdvTotal  HistSnapshot    `json:"advance_total"`
+	AdvSweeps HistSnapshot    `json:"advance_sweeps"`
+
+	Counters    map[string]int64   `json:"counters,omitempty"`
+	Gauges      map[string]float64 `json:"gauges,omitempty"`
+	CounterLags []CounterLag       `json:"counter_lags,omitempty"`
+
+	EventsRecorded uint64 `json:"events_recorded"`
+}
+
+// Snapshot captures the registry. A nil registry yields a zero value.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	s.TxnRead = r.txnRead.Snapshot()
+	s.TxnUpdate = r.txnUpdate.Snapshot()
+	s.SubtxnHop = r.subtxnHop.Snapshot()
+	s.SubtxnExec = r.subtxnExec.Snapshot()
+	for i := range r.advPhase {
+		s.AdvPhases[i] = r.advPhase[i].Snapshot()
+	}
+	s.AdvTotal = r.advTotal.Snapshot()
+	s.AdvSweeps = r.advSweeps.Snapshot()
+	s.Counters = make(map[string]int64, numCounters)
+	for i := 0; i < numCounters; i++ {
+		s.Counters[counterNames[i]] = r.counters[i].Load()
+	}
+	r.mu.Lock()
+	s.Gauges = make(map[string]float64, len(r.gauges))
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	s.CounterLags = make([]CounterLag, 0, len(r.lags))
+	for _, l := range r.lags {
+		s.CounterLags = append(s.CounterLags, l)
+	}
+	r.mu.Unlock()
+	sort.Slice(s.CounterLags, func(i, j int) bool { return s.CounterLags[i].Version < s.CounterLags[j].Version })
+	s.EventsRecorded = r.events.Recorded()
+	return s
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -57,6 +58,11 @@ type Store struct {
 	items map[string]*chain
 
 	stats Stats
+
+	// reads and applies are kept as atomics because they are bumped on
+	// paths that hold only the read lock.
+	reads   atomic.Int64
+	applies atomic.Int64
 }
 
 // Stats is the space/copy accounting of a store. Counters only grow.
@@ -78,6 +84,11 @@ type Stats struct {
 	GCRuns       int64
 	GCDropped    int64
 	GCRenumbered int64
+	// Reads counts ReadMax calls (versioned point reads); Applies
+	// counts operation applications across versions by ApplyFrom —
+	// the storage-level traffic gauges behind the obs snapshot.
+	Reads   int64
+	Applies int64
 }
 
 // New returns an empty store.
@@ -125,6 +136,7 @@ func (s *Store) ExistsAbove(key string, v model.Version) bool {
 // that does not exceed v, along with the version found. ok is false if
 // the item does not exist in any version ≤ v.
 func (s *Store) ReadMax(key string, v model.Version) (rec *model.Record, found model.Version, ok bool) {
+	s.reads.Add(1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ch := s.items[key]
@@ -205,6 +217,7 @@ func (s *Store) ApplyFrom(key string, v model.Version, op model.Op) int {
 			n++
 		}
 	}
+	s.applies.Add(int64(n))
 	return n
 }
 
@@ -333,6 +346,8 @@ func (s *Store) Import(items []ExportedItem) {
 	defer s.mu.Unlock()
 	s.items = make(map[string]*chain, len(items))
 	s.stats = Stats{}
+	s.reads.Store(0)
+	s.applies.Store(0)
 	for _, item := range items {
 		ch := &chain{versions: make([]versioned, 0, len(item.Versions))}
 		for _, v := range item.Versions {
@@ -453,7 +468,10 @@ func (s *Store) MaxLiveVersions() int {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.stats
+	out := s.stats
+	out.Reads = s.reads.Load()
+	out.Applies = s.applies.Load()
+	return out
 }
 
 // Dump renders the whole store for traces and debugging: every item

@@ -70,6 +70,12 @@ type Network interface {
 type Stats struct {
 	Messages int64
 	ByType   map[string]int64
+	// Delivered counts messages handed to receiver handlers (live Net
+	// only; always ≤ Messages while sends are in flight).
+	Delivered int64
+	// MaxQueueDepth is the largest backlog any single mailbox ever
+	// reached — the transport-level pressure gauge (live Net only).
+	MaxQueueDepth int64
 }
 
 // statsCollector accumulates message counts under a lock.
@@ -102,10 +108,12 @@ func (c *statsCollector) snapshot() Stats {
 // block (required by the protocol's no-waiting property); the consumer
 // drains at its own pace.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Message
+	closed    bool
+	delivered int64 // messages handed to the consumer
+	highWater int64 // largest queue length ever observed
 }
 
 func newMailbox() *mailbox {
@@ -121,6 +129,9 @@ func (mb *mailbox) put(m Message) {
 		return
 	}
 	mb.queue = append(mb.queue, m)
+	if n := int64(len(mb.queue)); n > mb.highWater {
+		mb.highWater = n
+	}
 	mb.cond.Signal()
 }
 
@@ -136,7 +147,16 @@ func (mb *mailbox) get() (Message, bool) {
 	}
 	m := mb.queue[0]
 	mb.queue = mb.queue[1:]
+	mb.delivered++
 	return m, true
+}
+
+// counts returns the mailbox's delivery count and backlog high-water
+// mark for Stats aggregation.
+func (mb *mailbox) counts() (delivered, highWater int64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.delivered, mb.highWater
 }
 
 func (mb *mailbox) close() {
@@ -288,7 +308,17 @@ func (n *Net) Close() {
 }
 
 // Stats implements Network.
-func (n *Net) Stats() Stats { return n.stats.snapshot() }
+func (n *Net) Stats() Stats {
+	s := n.stats.snapshot()
+	for _, mb := range n.boxes {
+		d, hw := mb.counts()
+		s.Delivered += d
+		if hw > s.MaxQueueDepth {
+			s.MaxQueueDepth = hw
+		}
+	}
+	return s
+}
 
 // Script is the deterministic network: Send parks every message in a
 // pending list; the driver delivers them one at a time with Deliver*,

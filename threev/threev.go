@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -71,6 +72,11 @@ type (
 	AdvanceReport = core.AdvanceReport
 	// Metrics aggregates cluster accounting.
 	Metrics = core.ClusterMetrics
+	// ObsSnapshot is a point-in-time view of the observability layer:
+	// latency histograms, phase timers, counters, gauges, counter lag.
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one structured protocol event from the event log.
+	ObsEvent = obs.Event
 )
 
 // Transaction outcomes (re-exported).
@@ -103,6 +109,9 @@ type Config struct {
 	// PollInterval spaces the advancement coordinator's counter sweeps;
 	// 0 means 200µs.
 	PollInterval time.Duration
+	// DisableObs turns the observability layer off entirely (no
+	// histograms, no event log); Obs/ObsEvents then return zero values.
+	DisableObs bool
 }
 
 // DB is a running 3V database.
@@ -123,6 +132,7 @@ func Open(cfg Config) (*DB, error) {
 		NCMode:       cfg.NonCommuting,
 		LockWait:     cfg.LockWait,
 		PollInterval: cfg.PollInterval,
+		DisableObs:   cfg.DisableObs,
 		NetConfig: transport.Config{
 			BaseLatency: cfg.NetworkLatency,
 			Jitter:      cfg.NetworkJitter,
@@ -220,6 +230,16 @@ func (db *DB) Versions() (vr, vu Version) {
 // Metrics returns a snapshot of protocol, storage and transport
 // accounting.
 func (db *DB) Metrics() Metrics { return db.cluster.Metrics() }
+
+// Obs returns a snapshot of the observability layer: transaction and
+// per-hop latency quantiles, advancement phase timings, protocol event
+// counters, version gauges and live counter-lag samples. Zero value if
+// the database was opened with DisableObs.
+func (db *DB) Obs() ObsSnapshot { return db.cluster.ObsSnapshot() }
+
+// ObsEvents returns the retained structured protocol events
+// (oldest first). Nil if the database was opened with DisableObs.
+func (db *DB) ObsEvents() []ObsEvent { return db.cluster.ObsEvents() }
 
 // AdvanceHistory returns reports of all completed advancement cycles.
 func (db *DB) AdvanceHistory() []AdvanceReport {
