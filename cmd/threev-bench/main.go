@@ -48,17 +48,28 @@ type expResult struct {
 }
 
 type calibrationRun struct {
-	Txns          int          `json:"txns"`
-	Completed     int          `json:"completed"`
-	ThroughputTPS float64      `json:"throughput_tps"`
-	Obs           obs.Snapshot `json:"obs"`
+	Txns          int             `json:"txns"`
+	Completed     int             `json:"completed"`
+	ThroughputTPS float64         `json:"throughput_tps"`
+	DropRate      float64         `json:"drop_rate,omitempty"`
+	DupRate       float64         `json:"dup_rate,omitempty"`
+	Reliable      bool            `json:"reliable,omitempty"`
+	Transport     transport.Stats `json:"transport"`
+	Obs           obs.Snapshot    `json:"obs"`
 }
 
 func main() {
 	txns := flag.Int("txns", experiments.DefaultScale.Txns, "base transaction count per experiment run")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E3,E9); empty = all")
 	jsonOut := flag.String("json", "", "write a JSON report to this file (\"-\" = stdout); adds a calibration run")
+	drop := flag.Float64("drop", 0, "calibration run: per-message drop probability (requires -reliable when > 0)")
+	dup := flag.Float64("dupmsg", 0, "calibration run: per-message duplication probability")
+	reliable := flag.Bool("reliable", false, "calibration run: interpose the reliable-delivery session layer")
 	flag.Parse()
+	if *drop > 0 && !*reliable {
+		fmt.Fprintln(os.Stderr, "-drop > 0 requires -reliable (a lost message would wedge the protocol)")
+		os.Exit(1)
+	}
 
 	sc := experiments.Scale{Txns: *txns}
 	selected := map[string]bool{}
@@ -134,7 +145,7 @@ func main() {
 			Failures:    failures,
 			ElapsedMS:   time.Since(start).Milliseconds(),
 		}
-		cal, err := calibrate(*txns)
+		cal, err := calibrate(*txns, *drop, *dup, *reliable)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", err)
 			failures++
@@ -163,15 +174,24 @@ func main() {
 
 // calibrate runs a loaded 4-node 3V cluster and returns its throughput
 // together with the observability snapshot — the reference numbers the
-// JSON report pairs with the experiment outcomes.
-func calibrate(txns int) (*calibrationRun, error) {
-	cluster, err := core.NewCluster(core.Config{
+// JSON report pairs with the experiment outcomes. With drop/dup rates
+// (and the reliable session layer) it doubles as the lossy-network
+// overhead measurement recorded in EXPERIMENTS.md.
+func calibrate(txns int, drop, dup float64, reliableNet bool) (*calibrationRun, error) {
+	ccfg := core.Config{
 		Nodes: 4,
 		NetConfig: transport.Config{
 			Jitter: 200 * time.Microsecond,
 			Seed:   1,
+			Faults: transport.Faults{Default: transport.LinkFaults{DropRate: drop, DupRate: dup}},
 		},
-	})
+		Reliable: reliableNet,
+	}
+	if reliableNet {
+		ccfg.ResendInterval = 5 * time.Millisecond
+		ccfg.AckTimeout = 30 * time.Second
+	}
+	cluster, err := core.NewCluster(ccfg)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +221,10 @@ func calibrate(txns int) (*calibrationRun, error) {
 		Txns:          txns,
 		Completed:     res.Completed,
 		ThroughputTPS: res.Throughput(),
+		DropRate:      drop,
+		DupRate:       dup,
+		Reliable:      reliableNet,
+		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
 	}, nil
 }

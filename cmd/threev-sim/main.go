@@ -57,6 +57,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	metricsAddr := flag.String("metrics", "", "serve metrics over HTTP on this address, e.g. :8080 (3v only)")
 	hold := flag.Duration("hold", 0, "with -metrics: keep serving this long after the run (0 = until interrupted)")
+	chaos := flag.Bool("chaos", false, "chaos mode (3v only): inject faults while the load runs, heal, then require full convergence")
+	drop := flag.Float64("drop", 0.01, "with -chaos: per-message drop probability")
+	dup := flag.Float64("dupmsg", 0.01, "with -chaos: per-message duplication probability")
+	partAt := flag.Duration("partition-at", 200*time.Millisecond, "with -chaos: inject a two-way partition this long into the run")
+	partFor := flag.Duration("partition-for", 300*time.Millisecond, "with -chaos: heal the partition after this long (0 = no partition)")
+	reliable := flag.Bool("reliable", true, "with -chaos: interpose the reliable-delivery session layer")
 	flag.Parse()
 
 	netCfg := transport.Config{
@@ -70,14 +76,24 @@ func main() {
 		preload func(model.NodeID, string, *model.Record)
 		err     error
 	)
+	if *chaos && *system != "3v" {
+		fmt.Fprintln(os.Stderr, "-chaos requires -system 3v")
+		os.Exit(1)
+	}
 	switch *system {
 	case "3v":
-		cluster, err = core.NewCluster(core.Config{
+		ccfg := core.Config{
 			Nodes:     *nodes,
 			NCMode:    *ncFrac > 0,
 			LockWait:  time.Second,
 			NetConfig: netCfg,
-		})
+		}
+		if *chaos {
+			ccfg.Reliable = *reliable
+			ccfg.ResendInterval = 5 * time.Millisecond
+			ccfg.AckTimeout = 30 * time.Second
+		}
+		cluster, err = core.NewCluster(ccfg)
 		if err == nil {
 			cluster.Start()
 			sys = baseline.ThreeV{Cluster: cluster}
@@ -157,11 +173,30 @@ func main() {
 	fmt.Printf("%s simulation: %d nodes, %d txns, read=%.0f%% nc=%.0f%% abort=%.0f%%, latency=%v jitter=%v, advance every %v\n",
 		sys.Name(), *nodes, *txns, *readFrac*100, *ncFrac*100, *abortFrac*100, *latency, *jitter, *advance)
 
+	var cc *harness.Chaos
+	if *chaos {
+		fi, ok := cluster.Network().(transport.FaultInjector)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "-chaos: network does not support fault injection")
+			os.Exit(1)
+		}
+		fmt.Printf("chaos: drop=%.1f%% dup=%.1f%% partition 0<->%d at %v for %v, reliable=%v\n",
+			*drop*100, *dup*100, *nodes-1, *partAt, *partFor, *reliable)
+		cc = harness.StartChaos(fi, harness.ChaosConfig{
+			DropRate:     *drop,
+			DupRate:      *dup,
+			PartitionAt:  *partAt,
+			PartitionFor: *partFor,
+			PartitionA:   0,
+			PartitionB:   model.NodeID(*nodes - 1),
+		})
+	}
+
 	res := harness.Run(sys, harness.RunConfig{
 		Txns:            *txns,
 		Concurrency:     *conc,
 		AdvanceInterval: *advance,
-		FinalAdvance:    true,
+		FinalAdvance:    !*chaos, // chaos: heal first, then advance below
 		Gen:             gen,
 		Preload: func(n model.NodeID, k string) {
 			rec := model.NewRecord()
@@ -170,6 +205,32 @@ func main() {
 			preload(n, k, rec)
 		},
 	})
+
+	var convErrs []string
+	chaosOK := true
+	if *chaos {
+		cc.Stop() // heal everything; retransmissions repair the backlog
+		sys.Advance()
+		sys.Advance()
+		convErrs = cluster.ConvergenceErrors()
+		ts := cluster.Metrics().Transport
+		fmt.Printf("chaos outcome: dropped=%d partition-dropped=%d duplicated=%d retransmits=%d dup-frames-discarded=%d partitions=%d\n",
+			ts.Dropped, ts.PartitionDrops, ts.Duplicated, ts.Retransmits, ts.DupDropped, cc.Partitions())
+		for _, e := range convErrs {
+			fmt.Printf("convergence FAILED: %s\n", e)
+		}
+		if res.TimedOut > 0 {
+			fmt.Printf("chaos FAILED: %d transaction(s) timed out\n", res.TimedOut)
+		}
+		faultsSeen := (*drop == 0 || ts.Dropped > 0) && (*dup == 0 || ts.Duplicated > 0)
+		if !faultsSeen {
+			fmt.Println("chaos FAILED: fault rates set but no faults observed — the run proved nothing")
+		}
+		chaosOK = len(convErrs) == 0 && res.TimedOut == 0 && faultsSeen
+		if chaosOK {
+			fmt.Println("chaos PASS: all transactions completed and the cluster converged after heal")
+		}
+	}
 
 	tbl := &harness.Table{Title: "results", Header: []string{"metric", "value"}}
 	tbl.Add("completed", fmt.Sprint(res.Completed))
@@ -230,7 +291,7 @@ func main() {
 		}
 	}
 
-	if res.Anomalies > 0 || !structuralOK {
+	if res.Anomalies > 0 || !structuralOK || !chaosOK {
 		os.Exit(1)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
+	"repro/internal/transport/reliable"
 )
 
 // Config parameterizes a Cluster.
@@ -47,6 +48,24 @@ type Config struct {
 	Transport transport.Network
 	// NetConfig configures the default live network.
 	NetConfig transport.Config
+	// Reliable wraps the network (owned or supplied) in the
+	// reliable-delivery session layer (transport/reliable): sequence
+	// numbers, dedup, cumulative acks and retransmission. Required for
+	// correct operation whenever NetConfig.Faults drops messages.
+	Reliable bool
+	// ReliableConfig tunes the session layer when Reliable is set; the
+	// zero value selects defaults.
+	ReliableConfig reliable.Config
+	// AckTimeout bounds every coordinator wait on node responses
+	// (advancement acks, counter replies, version probes). 0 preserves
+	// the paper's behaviour: wait forever on the assumed-reliable
+	// network. When it fires, Advance/Recover surface ErrTimeout
+	// instead of wedging.
+	AckTimeout time.Duration
+	// ResendInterval makes the coordinator re-broadcast unanswered
+	// notices/requests to the nodes still missing, every interval (all
+	// coordinator messages are idempotent). 0 means never re-send.
+	ResendInterval time.Duration
 	// DisableObs turns the observability layer off entirely (no
 	// registry is allocated; every instrumentation call is a no-op).
 	// Used to measure instrumentation overhead; leave false otherwise.
@@ -99,6 +118,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.net = transport.NewNet(nc)
 		c.ownsNet = true
 	}
+	if cfg.Reliable {
+		// The session layer owns whatever it wraps; closing it closes
+		// the inner network, so the cluster now owns the wrapper.
+		c.net = reliable.Wrap(c.net, cfg.Nodes+1, cfg.ReliableConfig)
+		c.ownsNet = true
+	}
 	coordID := model.NodeID(cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		var lm *locks.Manager
@@ -111,7 +136,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, nd)
 		c.net.Register(nd.id, nd.handleMessage)
 	}
-	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, c.reg)
+	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
 	// The registered handler indirects through currentCoordinator so a
 	// crashed coordinator can be replaced (CrashCoordinator/Recover)
 	// without touching the transport.
@@ -130,11 +155,14 @@ func (c *Cluster) Start() {
 }
 
 // Close shuts the cluster down. Callers should quiesce (wait for
-// outstanding handles) first; queued work is abandoned.
+// outstanding handles) first; queued work is abandoned. Any
+// coordinator blocked in Advance/Recover is woken and unwinds with
+// ErrClosed.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
+	c.currentCoordinator().shutdown()
 	if c.ownsNet {
 		c.net.Close()
 	}
@@ -335,6 +363,11 @@ func (c *Cluster) ObsSnapshot() obs.Snapshot {
 	for _, l := range c.CounterLagSamples() {
 		c.reg.SetCounterLag(l)
 	}
+	ts := c.net.Stats()
+	c.reg.SetGauge(obs.GaugeNetDropped, float64(ts.Dropped+ts.PartitionDrops))
+	c.reg.SetGauge(obs.GaugeNetDuplicated, float64(ts.Duplicated))
+	c.reg.SetGauge(obs.GaugeNetRetransmits, float64(ts.Retransmits))
+	c.reg.SetGauge(obs.GaugeNetDupDropped, float64(ts.DupDropped))
 	return c.reg.Snapshot()
 }
 
@@ -367,6 +400,44 @@ func (c *Cluster) CounterLagSamples() []obs.CounterLag {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
 	return out
+}
+
+// ConvergenceErrors checks that the cluster has settled into the
+// quiescent state the protocol promises once all activity stops: every
+// node and the coordinator agree on (vr, vu), and for every live
+// version the cluster-wide counter matrices balance (R[v] == C[v]^T) —
+// no subtransaction was ever lost or double-counted. Call after
+// workloads drain (and, under fault injection, after Heal plus a
+// settle delay); a healthy cluster returns nil.
+func (c *Cluster) ConvergenceErrors() []string {
+	var errs []string
+	cvr, cvu := c.currentCoordinator().Versions()
+	for _, nd := range c.nodes {
+		vr, vu := nd.Versions()
+		if vr != cvr || vu != cvu {
+			errs = append(errs, fmt.Sprintf(
+				"node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
+				nd.id, vr, vu, cvr, cvu))
+		}
+	}
+	versions := make(map[model.Version]bool)
+	for _, nd := range c.nodes {
+		for _, v := range nd.cnt.Versions() {
+			versions[v] = true
+		}
+	}
+	for v := range versions {
+		snap := counters.NewSnapshot(len(c.nodes))
+		for _, nd := range c.nodes {
+			snap.SetFromNode(nd.id, nd.cnt.SnapshotR(v), nd.cnt.SnapshotC(v))
+		}
+		if !snap.Balanced() {
+			errs = append(errs, fmt.Sprintf(
+				"version %d counters unbalanced: R != C (lost or duplicated subtransactions)", v))
+		}
+	}
+	sort.Strings(errs)
+	return errs
 }
 
 // Violations gathers every recorded invariant violation across nodes;

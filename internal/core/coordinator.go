@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,12 +12,33 @@ import (
 	"repro/internal/transport"
 )
 
+// Typed failures a coordinator wait can surface instead of blocking
+// forever. Test with errors.Is against AdvanceReport.Err or the error
+// returned by Recover.
+var (
+	// ErrTimeout: a node never acknowledged (or never answered a
+	// counter/version request) within Config.AckTimeout, re-broadcasts
+	// included. With a reliable transport this indicates a down node;
+	// without one, a lost message.
+	ErrTimeout = errors.New("core: timed out waiting for node acknowledgements")
+	// ErrClosed: Cluster.Close was called while the coordinator was
+	// waiting; the cycle is abandoned.
+	ErrClosed = errors.New("core: cluster closed while advancement was waiting")
+	// ErrCrashed: the coordinator was crashed mid-cycle (see
+	// Cluster.CrashCoordinator); a successor's Recover finishes the
+	// cycle.
+	ErrCrashed = errors.New("core: coordinator crashed")
+)
+
 // AdvanceReport describes one completed version-advancement cycle.
 type AdvanceReport struct {
-	// Interrupted is true when the coordinator crashed mid-cycle (see
-	// Cluster.CrashCoordinator); the cycle's effects, if any, are
-	// finished by the successor's Recover.
+	// Interrupted is true when the cycle did not complete: the
+	// coordinator crashed, timed out, or the cluster closed mid-cycle.
+	// Err carries the cause.
 	Interrupted bool
+	// Err is nil for a completed cycle; otherwise one of ErrCrashed,
+	// ErrTimeout or ErrClosed.
+	Err error
 	// NewVU and NewVR are the versions installed by this cycle.
 	NewVU, NewVR model.Version
 	// Phase1 .. Phase4 are wall-clock durations of the four phases of
@@ -46,7 +68,14 @@ type Coordinator struct {
 	n            int
 	net          transport.Network
 	pollInterval time.Duration
-	reg          *obs.Registry // nil when observability is disabled
+	// ackTimeout bounds every wait on node responses (0 = wait
+	// forever, the paper's reliable-network behaviour); resend is the
+	// interval at which unanswered notices are re-broadcast to the
+	// nodes still missing (0 = never — all notices are idempotent, so
+	// re-broadcast is always safe when enabled).
+	ackTimeout time.Duration
+	resend     time.Duration
+	reg        *obs.Registry // nil when observability is disabled
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -57,6 +86,7 @@ type Coordinator struct {
 	probes  map[int]map[model.NodeID]VersionReplyMsg
 	round   int
 	dead    bool // set by crash(); wakes and unwinds blocked waits
+	closed  bool // set by shutdown() (Cluster.Close); unwinds blocked waits
 
 	advMu  sync.Mutex // the "distributed mutex": one advancement at a time
 	vu, vr model.Version
@@ -66,7 +96,7 @@ type Coordinator struct {
 }
 
 // newCoordinator wires a coordinator for n database nodes.
-func newCoordinator(n int, net transport.Network, pollInterval time.Duration, reg *obs.Registry) *Coordinator {
+func newCoordinator(n int, net transport.Network, pollInterval, ackTimeout, resend time.Duration, reg *obs.Registry) *Coordinator {
 	if pollInterval <= 0 {
 		pollInterval = 200 * time.Microsecond
 	}
@@ -75,6 +105,8 @@ func newCoordinator(n int, net transport.Network, pollInterval time.Duration, re
 		n:            n,
 		net:          net,
 		pollInterval: pollInterval,
+		ackTimeout:   ackTimeout,
+		resend:       resend,
 		reg:          reg,
 		ackVU:        make(map[model.Version]map[model.NodeID]bool),
 		ackVR:        make(map[model.Version]map[model.NodeID]bool),
@@ -157,16 +189,17 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	rep := AdvanceReport{NewVU: vunew, NewVR: vrnew}
 	start := time.Now()
 
-	interrupted := func() AdvanceReport {
+	interrupted := func(err error) AdvanceReport {
 		rep.Interrupted = true
+		rep.Err = err
 		rep.Total = time.Since(start)
 		return rep
 	}
 
 	// Phase 1: switch to the new update version.
 	c.broadcast(StartAdvancementMsg{NewVU: vunew})
-	if !c.waitAcks(c.ackVU, vunew) {
-		return interrupted()
+	if err := c.waitAcks(c.ackVU, vunew, StartAdvancementMsg{NewVU: vunew}); err != nil {
+		return interrupted(err)
 	}
 	rep.Phase1 = time.Since(start)
 
@@ -174,9 +207,10 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// vuold by asynchronous counter reads.
 	t2 := time.Now()
 	var lag2 int64
-	rep.SweepsPhase2, lag2 = c.pollQuiescence(vuold)
-	if rep.SweepsPhase2 < 0 {
-		return interrupted()
+	var err error
+	rep.SweepsPhase2, lag2, err = c.pollQuiescence(vuold)
+	if err != nil {
+		return interrupted(err)
 	}
 	rep.MaxCounterLag = lag2
 	rep.Phase2 = time.Since(t2)
@@ -184,8 +218,8 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 3: switch to the new read version.
 	t3 := time.Now()
 	c.broadcast(ReadVersionMsg{NewVR: vrnew})
-	if !c.waitAcks(c.ackVR, vrnew) {
-		return interrupted()
+	if err := c.waitAcks(c.ackVR, vrnew, ReadVersionMsg{NewVR: vrnew}); err != nil {
+		return interrupted(err)
 	}
 	rep.Phase3 = time.Since(t3)
 
@@ -193,16 +227,16 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// collect.
 	t4 := time.Now()
 	var lag4 int64
-	rep.SweepsPhase4, lag4 = c.pollQuiescence(vrold)
-	if rep.SweepsPhase4 < 0 {
-		return interrupted()
+	rep.SweepsPhase4, lag4, err = c.pollQuiescence(vrold)
+	if err != nil {
+		return interrupted(err)
 	}
 	if lag4 > rep.MaxCounterLag {
 		rep.MaxCounterLag = lag4
 	}
 	c.broadcast(GCMsg{Keep: vrnew})
-	if !c.waitAcks(c.ackGC, vrnew) {
-		return interrupted()
+	if err := c.waitAcks(c.ackGC, vrnew, GCMsg{Keep: vrnew}); err != nil {
+		return interrupted(err)
 	}
 	rep.Phase4 = time.Since(t4)
 
@@ -231,30 +265,107 @@ func (c *Coordinator) broadcast(payload any) {
 	}
 }
 
+// shutdown (Cluster.Close) wakes every blocked wait so in-flight
+// RunAdvancement/Recover calls unwind with ErrClosed instead of
+// blocking a closing process forever.
+func (c *Coordinator) shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// abortErrLocked returns the error that should unwind a blocked wait,
+// or nil to keep waiting. Callers hold c.mu.
+func (c *Coordinator) abortErrLocked() error {
+	switch {
+	case c.dead:
+		return ErrCrashed
+	case c.closed:
+		return ErrClosed
+	}
+	return nil
+}
+
+// waitKick waits on the coordinator's cond, but wakes after at most d
+// even if no message arrives (d <= 0: wait indefinitely). Callers hold
+// c.mu.
+func (c *Coordinator) waitKick(d time.Duration) {
+	if d <= 0 {
+		c.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(d, c.cond.Broadcast)
+	c.cond.Wait()
+	t.Stop()
+}
+
+// kickInterval is the wake granularity for a bounded wait: the resend
+// interval when re-broadcast is enabled, else a fraction of the
+// timeout, else "block until signalled".
+func (c *Coordinator) kickInterval() time.Duration {
+	if c.resend > 0 {
+		return c.resend
+	}
+	if c.ackTimeout > 0 {
+		return c.ackTimeout / 4
+	}
+	return 0
+}
+
+// deadlineAfter returns the wait deadline implied by ackTimeout (zero
+// time = none).
+func (c *Coordinator) deadlineAfter(start time.Time) time.Time {
+	if c.ackTimeout <= 0 {
+		return time.Time{}
+	}
+	return start.Add(c.ackTimeout)
+}
+
 // waitAcks blocks until every node has acknowledged version v in the
-// given ack registry, then clears the entry. It returns false if the
-// coordinator crashed while waiting.
-func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v model.Version) bool {
+// given ack registry, then clears the entry. When resend is configured
+// the payload is periodically re-sent to the nodes still missing (all
+// advancement notices are idempotent, so duplicates are harmless);
+// when ackTimeout is configured the wait gives up with ErrTimeout
+// instead of wedging on a lost message or a dead node.
+func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v model.Version, payload any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
+	deadline := c.deadlineAfter(start)
+	nextResend := start.Add(c.resend)
 	for len(reg[v]) < c.n {
-		if c.dead {
-			return false
+		if err := c.abortErrLocked(); err != nil {
+			return err
 		}
-		c.cond.Wait()
+		now := time.Now()
+		if !deadline.IsZero() && now.After(deadline) {
+			return ErrTimeout
+		}
+		if c.resend > 0 && now.After(nextResend) {
+			for i := 0; i < c.n; i++ {
+				if !reg[v][model.NodeID(i)] {
+					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: payload})
+					c.reg.Inc(obs.CtrCoordResends, 1)
+				}
+			}
+			nextResend = now.Add(c.resend)
+		}
+		c.waitKick(c.kickInterval())
 	}
 	delete(reg, v)
-	return true
+	return nil
 }
 
 // pollQuiescence repeatedly sweeps the cluster's counters for version v
 // until the double-collect detector declares all version-v transactions
-// terminated. It returns the number of sweeps used (or -1 if the
-// coordinator crashed while polling) and the largest Σ(R−C) lag any
-// sweep observed. Each sweep also publishes the version's live lag to
-// the observability registry, so quiescence convergence is visible on
-// the metrics endpoint while it happens.
-func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64) {
+// terminated. It returns the number of sweeps used and the largest
+// Σ(R−C) lag any sweep observed; the error is non-nil if the
+// coordinator crashed, timed out or was closed while polling. Each
+// sweep also publishes the version's live lag to the observability
+// registry, so quiescence convergence is visible on the metrics
+// endpoint while it happens.
+func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64, err error) {
 	det := &counters.Detector{}
 	for {
 		c.mu.Lock()
@@ -265,12 +376,31 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64)
 		c.broadcast(CounterReqMsg{Version: v, Round: round})
 
 		c.mu.Lock()
+		start := time.Now()
+		deadline := c.deadlineAfter(start)
+		nextResend := start.Add(c.resend)
 		for len(c.replies[round]) < c.n {
-			if c.dead {
+			if werr := c.abortErrLocked(); werr != nil {
 				c.mu.Unlock()
-				return -1, maxLag
+				return det.Sweeps(), maxLag, werr
 			}
-			c.cond.Wait()
+			now := time.Now()
+			if !deadline.IsZero() && now.After(deadline) {
+				c.mu.Unlock()
+				return det.Sweeps(), maxLag, ErrTimeout
+			}
+			if c.resend > 0 && now.After(nextResend) {
+				// Re-ask the nodes that have not answered this round
+				// (the request or the reply was lost).
+				for i := 0; i < c.n; i++ {
+					if _, ok := c.replies[round][model.NodeID(i)]; !ok {
+						c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: CounterReqMsg{Version: v, Round: round}})
+						c.reg.Inc(obs.CtrCoordResends, 1)
+					}
+				}
+				nextResend = now.Add(c.resend)
+			}
+			c.waitKick(c.kickInterval())
 		}
 		snap := counters.NewSnapshot(c.n)
 		for node, rep := range c.replies[round] {
@@ -287,7 +417,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64)
 		c.reg.SetCounterLag(lag)
 
 		if det.Offer(snap) {
-			return det.Sweeps(), maxLag
+			return det.Sweeps(), maxLag, nil
 		}
 		time.Sleep(c.pollInterval)
 	}

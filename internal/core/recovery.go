@@ -51,7 +51,8 @@ func (c *Coordinator) crash() {
 	c.mu.Unlock()
 }
 
-// probeVersions collects every node's (vr, vu).
+// probeVersions collects every node's (vr, vu), re-probing silent
+// nodes and timing out per the coordinator's hardening configuration.
 func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) {
 	c.mu.Lock()
 	c.round++
@@ -62,11 +63,26 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := time.Now()
+	deadline := c.deadlineAfter(start)
+	nextResend := start.Add(c.resend)
 	for len(c.probes[round]) < c.n {
-		if c.dead {
-			return nil, fmt.Errorf("core: coordinator crashed during probe")
+		if err := c.abortErrLocked(); err != nil {
+			return nil, fmt.Errorf("probing node versions: %w", err)
 		}
-		c.cond.Wait()
+		now := time.Now()
+		if !deadline.IsZero() && now.After(deadline) {
+			return nil, fmt.Errorf("probing node versions: %w", ErrTimeout)
+		}
+		if c.resend > 0 && now.After(nextResend) {
+			for i := 0; i < c.n; i++ {
+				if _, ok := c.probes[round][model.NodeID(i)]; !ok {
+					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round}})
+				}
+			}
+			nextResend = now.Add(c.resend)
+		}
+		c.waitKick(c.kickInterval())
 	}
 	out := c.probes[round]
 	delete(c.probes, round)
@@ -115,10 +131,15 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 		// Phases 1–3 finished but Phase 4 did not: drain the old read
 		// version's queries and garbage-collect.
 		rep := RecoveryReport{Resumed: true}
-		s, _ := c.pollQuiescence(maxVR - 1)
+		s, _, err := c.pollQuiescence(maxVR - 1)
 		rep.Sweeps += s
+		if err != nil {
+			return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
+		}
 		c.broadcast(GCMsg{Keep: maxVR})
-		c.waitAcks(c.ackGC, maxVR)
+		if err := c.waitAcks(c.ackGC, maxVR, GCMsg{Keep: maxVR}); err != nil {
+			return rep, fmt.Errorf("resuming garbage collection: %w", err)
+		}
 		c.vu, c.vr = maxVU, maxVR
 		rep.VR, rep.VU = c.vr, c.vu
 		rep.Took = time.Since(start)
@@ -134,23 +155,35 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 
 	// Finish Phase 1 (idempotent: nodes take the max and always ack).
 	c.broadcast(StartAdvancementMsg{NewVU: vuNew})
-	c.waitAcks(c.ackVU, vuNew)
+	if err := c.waitAcks(c.ackVU, vuNew, StartAdvancementMsg{NewVU: vuNew}); err != nil {
+		return rep, fmt.Errorf("resuming phase 1: %w", err)
+	}
 
 	// Phase 2: quiesce the outgoing update version.
-	s2, _ := c.pollQuiescence(vuNew - 1)
+	s2, _, err := c.pollQuiescence(vuNew - 1)
 	rep.Sweeps += s2
+	if err != nil {
+		return rep, fmt.Errorf("resuming phase 2 quiescence: %w", err)
+	}
 
 	// Phase 3 (idempotent).
 	c.broadcast(ReadVersionMsg{NewVR: vrNew})
-	c.waitAcks(c.ackVR, vrNew)
+	if err := c.waitAcks(c.ackVR, vrNew, ReadVersionMsg{NewVR: vrNew}); err != nil {
+		return rep, fmt.Errorf("resuming phase 3: %w", err)
+	}
 
 	// Phase 4: quiesce the outgoing read version's queries, then GC.
 	// vrNew is at least 1 here (the first possible interrupted cycle
 	// targets vu=2/vr=1), so vrNew-1 is well-defined.
-	s4, _ := c.pollQuiescence(vrNew - 1)
+	s4, _, err := c.pollQuiescence(vrNew - 1)
 	rep.Sweeps += s4
+	if err != nil {
+		return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
+	}
 	c.broadcast(GCMsg{Keep: vrNew})
-	c.waitAcks(c.ackGC, vrNew)
+	if err := c.waitAcks(c.ackGC, vrNew, GCMsg{Keep: vrNew}); err != nil {
+		return rep, fmt.Errorf("resuming garbage collection: %w", err)
+	}
 
 	c.vu, c.vr = vuNew, vrNew
 	rep.VR, rep.VU = c.vr, c.vu
@@ -166,7 +199,7 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 func (c *Cluster) CrashCoordinator() *Coordinator {
 	old := c.currentCoordinator()
 	old.crash()
-	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.reg)
+	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.cfg.AckTimeout, c.cfg.ResendInterval, c.reg)
 	c.coordMu.Lock()
 	c.coord = fresh
 	c.coordMu.Unlock()

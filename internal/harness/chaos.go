@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// This file is the chaos side of the harness: it programs a fault
+// schedule against a transport.FaultInjector while the ordinary Run
+// loop drives a workload. The paper assumes a reliable network; a
+// chaos run demonstrates that the reliable session layer
+// (transport/reliable) discharges that assumption — every transaction
+// still completes, counters still balance, and advancement still
+// converges once the faults heal.
+
+// ChaosConfig is the fault schedule for one run.
+type ChaosConfig struct {
+	// DropRate and DupRate are applied to every directed link for the
+	// whole faulty window.
+	DropRate float64
+	DupRate  float64
+	// PartitionAt, when PartitionFor > 0, injects a full (two-way)
+	// partition between nodes PartitionA and PartitionB that long
+	// after StartChaos, healing it PartitionFor later. Healing removes
+	// every partition but leaves DropRate/DupRate in force until Stop.
+	PartitionAt  time.Duration
+	PartitionFor time.Duration
+	PartitionA   model.NodeID
+	PartitionB   model.NodeID
+}
+
+// Chaos is a running fault schedule. Stop heals everything.
+type Chaos struct {
+	fi  transport.FaultInjector
+	cfg ChaosConfig
+
+	mu          sync.Mutex
+	timers      []*time.Timer
+	partitions  int
+	partitioned bool
+	stopped     bool
+}
+
+// StartChaos applies cfg to fi: drop/duplication rates immediately,
+// the partition (if any) on its schedule. Call Stop when the workload
+// has drained to heal all faults before convergence checks.
+func StartChaos(fi transport.FaultInjector, cfg ChaosConfig) *Chaos {
+	c := &Chaos{fi: fi, cfg: cfg}
+	fi.SetDropRate(cfg.DropRate)
+	fi.SetDupRate(cfg.DupRate)
+	if cfg.PartitionFor > 0 {
+		c.timers = append(c.timers, time.AfterFunc(cfg.PartitionAt, c.cut))
+		c.timers = append(c.timers, time.AfterFunc(cfg.PartitionAt+cfg.PartitionFor, c.heal))
+	}
+	return c
+}
+
+func (c *Chaos) cut() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.fi.Partition(c.cfg.PartitionA, c.cfg.PartitionB)
+	c.fi.Partition(c.cfg.PartitionB, c.cfg.PartitionA)
+	c.partitions++
+	c.partitioned = true
+}
+
+func (c *Chaos) heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fi.Heal()
+	c.partitioned = false
+}
+
+// Partitions reports how many partitions the schedule injected so far.
+func (c *Chaos) Partitions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitions
+}
+
+// Stop cancels the schedule and heals every fault: partitions removed,
+// drop and duplication rates zeroed. The retransmission layer then
+// repairs any in-flight losses, after which the cluster must converge.
+func (c *Chaos) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	timers := c.timers
+	c.timers = nil
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fi.SetDropRate(0)
+	c.fi.SetDupRate(0)
+	c.fi.Heal()
+	c.partitioned = false
+}

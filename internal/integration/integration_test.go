@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/transport"
 	"repro/internal/verify"
@@ -25,7 +26,12 @@ import (
 // and checks the exact Theorem 4.1 visibility rule: a read of version v
 // observes ALL parts of every update with version ≤ v and NOTHING of
 // any update with version > v.
-func runTheorem41Audit(t *testing.T, cfg core.Config, wl workload.Config, txns int, advEvery time.Duration) {
+//
+// With a non-nil chaos schedule the run doubles as a survival proof:
+// faults are injected while the load runs, healed once it drains, and
+// the cluster must then converge (versions agreed, counters balanced)
+// with the full serializability audit still passing.
+func runTheorem41Audit(t *testing.T, cfg core.Config, wl workload.Config, txns int, advEvery time.Duration, chaos *harness.ChaosConfig) {
 	t.Helper()
 	c, err := core.NewCluster(cfg)
 	if err != nil {
@@ -41,6 +47,15 @@ func runTheorem41Audit(t *testing.T, cfg core.Config, wl workload.Config, txns i
 	c.Start()
 	defer c.Close()
 	sys := baseline.ThreeV{Cluster: c}
+
+	var cc *harness.Chaos
+	if chaos != nil {
+		fi, ok := c.Network().(transport.FaultInjector)
+		if !ok {
+			t.Fatal("chaos schedule requires a fault-injecting network")
+		}
+		cc = harness.StartChaos(fi, *chaos)
+	}
 
 	stop := make(chan struct{})
 	advDone := make(chan struct{})
@@ -113,6 +128,29 @@ func runTheorem41Audit(t *testing.T, cfg core.Config, wl workload.Config, txns i
 	close(stop)
 	<-advDone
 
+	if cc != nil {
+		cc.Stop() // heal everything before the convergence checks
+		if rep := sys.Cluster.Advance(); rep.Interrupted {
+			t.Fatalf("post-heal advancement failed: %v", rep.Err)
+		}
+		if rep := sys.Cluster.Advance(); rep.Interrupted {
+			t.Fatalf("second post-heal advancement failed: %v", rep.Err)
+		}
+		for _, e := range c.ConvergenceErrors() {
+			t.Errorf("convergence after heal: %s", e)
+		}
+		st := c.Metrics().Transport
+		if st.Dropped == 0 || st.Duplicated == 0 {
+			t.Fatalf("fault injection inactive (dropped=%d duplicated=%d); the chaos run proved nothing",
+				st.Dropped, st.Duplicated)
+		}
+		if chaos.PartitionFor > 0 && cc.Partitions() == 0 {
+			t.Fatal("the scheduled partition never fired")
+		}
+		t.Logf("chaos: dropped=%d partition-dropped=%d duplicated=%d retransmits=%d dup-discarded=%d",
+			st.Dropped, st.PartitionDrops, st.Duplicated, st.Retransmits, st.DupDropped)
+	}
+
 	// The full-strength audit: every read sees exactly the updates of
 	// its version prefix. One subtlety: the workload writes each group
 	// update to ALL items of one group, and each read covers all items
@@ -170,21 +208,21 @@ func TestTheorem41MixedLoad(t *testing.T) {
 	runTheorem41Audit(t,
 		core.Config{Nodes: 4, NetConfig: transport.Config{Jitter: 400 * time.Microsecond, Seed: 5}},
 		workload.Config{Nodes: 4, Groups: 24, Span: 2, ReadFraction: 0.35, Seed: 301},
-		300, time.Millisecond)
+		300, time.Millisecond, nil)
 }
 
 func TestTheorem41WithCompensation(t *testing.T) {
 	runTheorem41Audit(t,
 		core.Config{Nodes: 3, NetConfig: transport.Config{Jitter: 400 * time.Microsecond, Seed: 6}},
 		workload.Config{Nodes: 3, Groups: 16, Span: 2, ReadFraction: 0.3, AbortFraction: 0.15, Seed: 302},
-		250, time.Millisecond)
+		250, time.Millisecond, nil)
 }
 
 func TestTheorem41WideFanout(t *testing.T) {
 	runTheorem41Audit(t,
 		core.Config{Nodes: 6, NetConfig: transport.Config{Jitter: 600 * time.Microsecond, Seed: 7}},
 		workload.Config{Nodes: 6, Groups: 12, Span: 4, ReadFraction: 0.3, Seed: 303},
-		200, 2*time.Millisecond)
+		200, 2*time.Millisecond, nil)
 }
 
 // TestTheorem41RandomizedSeeds fuzzes the audit across seeds; each run
@@ -197,7 +235,7 @@ func TestTheorem41RandomizedSeeds(t *testing.T) {
 		runTheorem41Audit(t,
 			core.Config{Nodes: 3, NetConfig: transport.Config{Jitter: 300 * time.Microsecond, Seed: seed}},
 			workload.Config{Nodes: 3, Groups: 8, Span: 2, ReadFraction: 0.4, Seed: seed},
-			120, time.Millisecond)
+			120, time.Millisecond, nil)
 	}
 }
 

@@ -15,6 +15,7 @@ const (
 	CtrTxnsAborted
 	CtrAdvancements
 	CtrDualWrites
+	CtrCoordResends
 	numCounters
 )
 
@@ -27,12 +28,22 @@ var counterNames = [numCounters]string{
 	"txns_aborted",
 	"advancements",
 	"dual_writes",
+	"coord_resends",
 }
 
 // Gauge names set by the protocol layers.
 const (
 	GaugeVersionRead   = "version_read"
 	GaugeVersionUpdate = "version_update"
+	// Transport-level accounting, refreshed from transport.Stats at
+	// snapshot time: messages lost to fault injection (drops +
+	// partition blackholing), injected duplicates, and the reliable
+	// session layer's repair work (retransmissions sent, duplicate
+	// frames discarded at receivers).
+	GaugeNetDropped     = "transport_dropped"
+	GaugeNetDuplicated  = "transport_duplicated"
+	GaugeNetRetransmits = "transport_retransmits"
+	GaugeNetDupDropped  = "transport_dup_dropped"
 )
 
 // CounterLag is one sampled observation of the quiescence quantity for

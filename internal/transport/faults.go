@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// This file is the fault layer of the live network. The paper assumes a
+// reliable network — every subtransaction, advancement notice and
+// counter snapshot arrives exactly once — and the counter-based
+// quiescence condition R[v][p][q] == C[v][p][q] is unsound without that
+// assumption: a single lost SubtxnMsg leaves R permanently ahead of C
+// and wedges advancement forever. To exercise (and discharge, via the
+// reliable session layer in transport/reliable) that assumption, Net
+// can drop, duplicate, delay and partition messages per directed link,
+// deterministically under a seed.
+//
+// Loopback sends (From == To) are never faulted: they model a node
+// talking to itself and do not traverse the network.
+
+// Link is one directed sender→receiver pair.
+type Link struct {
+	From, To model.NodeID
+}
+
+// LinkFaults are the fault rates applied to one directed link.
+type LinkFaults struct {
+	// DropRate is the probability in [0,1] that a message is silently
+	// discarded.
+	DropRate float64
+	// DupRate is the probability in [0,1] that a message is delivered
+	// twice (each copy with an independently drawn delay).
+	DupRate float64
+	// ExtraDelay is added to the link's one-way latency on every
+	// message.
+	ExtraDelay time.Duration
+}
+
+// zero reports whether the link injects no faults at all.
+func (f LinkFaults) zero() bool {
+	return f.DropRate == 0 && f.DupRate == 0 && f.ExtraDelay == 0
+}
+
+// Faults configures fault injection for a live Net. The zero value
+// injects nothing.
+type Faults struct {
+	// Default applies to every directed link without an override.
+	Default LinkFaults
+	// Links overrides Default for specific directed links.
+	Links map[Link]LinkFaults
+}
+
+// forLink resolves the effective fault rates for one directed link.
+func (f Faults) forLink(l Link) LinkFaults {
+	if lf, ok := f.Links[l]; ok {
+		return lf
+	}
+	return f.Default
+}
+
+// FaultInjector is implemented by networks that support runtime fault
+// control — the live Net directly, and the reliable session layer by
+// delegation. The chaos harness programs against this interface.
+type FaultInjector interface {
+	// Partition blackholes the directed link from→to until Heal. Cut
+	// both directions for a full partition.
+	Partition(from, to model.NodeID)
+	// Heal removes every active partition.
+	Heal()
+	// SetDropRate replaces the default per-message drop probability.
+	SetDropRate(rate float64)
+	// SetDupRate replaces the default per-message duplication
+	// probability.
+	SetDupRate(rate float64)
+}
+
+// faultState is the mutable fault configuration of a Net, guarded by
+// its own mutex so fault decisions never contend with delivery.
+type faultState struct {
+	mu         sync.Mutex
+	faults     Faults
+	partitions map[Link]bool
+}
+
+// decide draws the fate of one message: whether it is dropped (by
+// partition or loss), duplicated, and how much extra delay it carries.
+// rnd supplies the randomness (called 0, 1 or 2 times); it is the
+// caller's seeded source so runs stay reproducible.
+func (fs *faultState) decide(l Link, rnd func() float64) (drop, partitioned, dup bool, extra time.Duration) {
+	if l.From == l.To {
+		return false, false, false, 0
+	}
+	fs.mu.Lock()
+	part := fs.partitions[l]
+	lf := fs.faults.forLink(l)
+	fs.mu.Unlock()
+	if part {
+		return true, true, false, 0
+	}
+	if lf.zero() {
+		return false, false, false, 0
+	}
+	if lf.DropRate > 0 && rnd() < lf.DropRate {
+		return true, false, false, 0
+	}
+	if lf.DupRate > 0 && rnd() < lf.DupRate {
+		dup = true
+	}
+	return false, false, dup, lf.ExtraDelay
+}
+
+// Partition implements FaultInjector: messages on the directed link
+// from→to are blackholed (counted in Stats.PartitionDrops) until Heal.
+func (n *Net) Partition(from, to model.NodeID) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	if n.fs.partitions == nil {
+		n.fs.partitions = make(map[Link]bool)
+	}
+	n.fs.partitions[Link{From: from, To: to}] = true
+}
+
+// Heal implements FaultInjector: every active partition is removed.
+// Drop/duplication rates are untouched.
+func (n *Net) Heal() {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	n.fs.partitions = nil
+}
+
+// SetDropRate implements FaultInjector, replacing the default link's
+// drop probability at runtime. Per-link overrides are untouched.
+func (n *Net) SetDropRate(rate float64) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	n.fs.faults.Default.DropRate = rate
+}
+
+// SetDupRate implements FaultInjector, replacing the default link's
+// duplication probability at runtime.
+func (n *Net) SetDupRate(rate float64) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	n.fs.faults.Default.DupRate = rate
+}
+
+// SetLinkFaults installs a per-link override at runtime.
+func (n *Net) SetLinkFaults(l Link, lf LinkFaults) {
+	n.fs.mu.Lock()
+	defer n.fs.mu.Unlock()
+	if n.fs.faults.Links == nil {
+		n.fs.faults.Links = make(map[Link]LinkFaults)
+	}
+	n.fs.faults.Links[l] = lf
+}
+
+var _ FaultInjector = (*Net)(nil)

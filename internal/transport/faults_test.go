@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// countingNet builds a started 2-node Net with the given faults; each
+// node's handler counts deliveries.
+func countingNet(t *testing.T, f Faults) (*Net, *[2]atomic.Int64) {
+	t.Helper()
+	n := NewNet(Config{Nodes: 2, Seed: 7, Faults: f})
+	var got [2]atomic.Int64
+	for i := 0; i < 2; i++ {
+		i := i
+		n.Register(model.NodeID(i), func(Message) { got[i].Add(1) })
+	}
+	n.Start()
+	t.Cleanup(n.Close)
+	return n, &got
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFaultsDropAll(t *testing.T) {
+	n, got := countingNet(t, Faults{Default: LinkFaults{DropRate: 1}})
+	for i := 0; i < 10; i++ {
+		n.Send(Message{From: 0, To: 1, Payload: "x"})
+	}
+	// Loopback is exempt from fault injection.
+	n.Send(Message{From: 1, To: 1, Payload: "self"})
+	waitFor(t, func() bool { return got[1].Load() == 1 }, "loopback delivery")
+	s := n.Stats()
+	if s.Dropped != 10 {
+		t.Fatalf("Dropped = %d, want 10", s.Dropped)
+	}
+	if got[1].Load() != 1 {
+		t.Fatalf("node 1 got %d messages, want only the loopback", got[1].Load())
+	}
+}
+
+func TestFaultsDuplicateAll(t *testing.T) {
+	n, got := countingNet(t, Faults{Default: LinkFaults{DupRate: 1}})
+	for i := 0; i < 5; i++ {
+		n.Send(Message{From: 0, To: 1, Payload: i})
+	}
+	waitFor(t, func() bool { return got[1].Load() == 10 }, "duplicated deliveries")
+	if s := n.Stats(); s.Duplicated != 5 {
+		t.Fatalf("Duplicated = %d, want 5", s.Duplicated)
+	}
+}
+
+func TestPartitionThenHeal(t *testing.T) {
+	n, got := countingNet(t, Faults{})
+	n.Partition(0, 1)
+	n.Send(Message{From: 0, To: 1, Payload: "lost"})
+	// The reverse direction is untouched (one-way partition).
+	n.Send(Message{From: 1, To: 0, Payload: "ok"})
+	waitFor(t, func() bool { return got[0].Load() == 1 }, "reverse-direction delivery")
+	if s := n.Stats(); s.PartitionDrops != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", s.PartitionDrops)
+	}
+	n.Heal()
+	n.Send(Message{From: 0, To: 1, Payload: "after-heal"})
+	waitFor(t, func() bool { return got[1].Load() == 1 }, "post-heal delivery")
+}
+
+func TestSetRatesAtRuntime(t *testing.T) {
+	n, got := countingNet(t, Faults{})
+	n.SetDropRate(1)
+	n.Send(Message{From: 0, To: 1, Payload: "x"})
+	n.SetDropRate(0)
+	n.Send(Message{From: 0, To: 1, Payload: "y"})
+	waitFor(t, func() bool { return got[1].Load() == 1 }, "post-reset delivery")
+	if s := n.Stats(); s.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestLinkFaultOverride(t *testing.T) {
+	f := Faults{
+		Default: LinkFaults{},
+		Links:   map[Link]LinkFaults{{From: 0, To: 1}: {DropRate: 1}},
+	}
+	n, got := countingNet(t, f)
+	n.Send(Message{From: 0, To: 1, Payload: "dropped"})
+	n.Send(Message{From: 1, To: 0, Payload: "fine"})
+	waitFor(t, func() bool { return got[0].Load() == 1 }, "unfaulted link delivery")
+	if got[1].Load() != 0 {
+		t.Fatalf("overridden link delivered %d messages, want 0", got[1].Load())
+	}
+}
+
+func TestSeededFaultsAreDeterministic(t *testing.T) {
+	run := func() (dropped int64) {
+		n := NewNet(Config{Nodes: 2, Seed: 99, Faults: Faults{Default: LinkFaults{DropRate: 0.5}}})
+		n.Register(0, func(Message) {})
+		n.Register(1, func(Message) {})
+		n.Start()
+		defer n.Close()
+		for i := 0; i < 200; i++ {
+			n.Send(Message{From: 0, To: 1, Payload: i})
+		}
+		return n.Stats().Dropped
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different drop counts: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("drop count %d not in the open interval (0, 200)", a)
+	}
+}
+
+func TestCloseDroppedCounted(t *testing.T) {
+	n := NewNet(Config{Nodes: 2, Seed: 1})
+	n.Register(0, func(Message) {})
+	n.Register(1, func(Message) {})
+	n.Start()
+	n.Close()
+	n.Send(Message{From: 0, To: 1, Payload: "late"})
+	if s := n.Stats(); s.CloseDropped != 1 {
+		t.Fatalf("CloseDropped = %d, want 1", s.CloseDropped)
+	}
+}
+
+func TestScriptDropAndDuplicate(t *testing.T) {
+	s := NewScript(2)
+	var got []any
+	s.Register(0, func(Message) {})
+	s.Register(1, func(m Message) { got = append(got, m.Payload) })
+	s.Start()
+	s.Send(Message{From: 0, To: 1, Payload: "a"})
+	s.Send(Message{From: 0, To: 1, Payload: "b"})
+
+	if !s.DropWhere(func(m Message) bool { return m.Payload == "a" }) {
+		t.Fatal("DropWhere found no match")
+	}
+	if !s.DuplicateWhere(func(m Message) bool { return m.Payload == "b" }) {
+		t.Fatal("DuplicateWhere found no match")
+	}
+	if !s.DuplicateIndex(0) {
+		t.Fatal("DuplicateIndex out of range")
+	}
+	s.DeliverAll()
+
+	// "a" dropped; "b" delivered three times (original + two clones).
+	if len(got) != 3 {
+		t.Fatalf("delivered %v, want three copies of b", got)
+	}
+	for _, p := range got {
+		if p != "b" {
+			t.Fatalf("delivered %v, want only b", got)
+		}
+	}
+	st := s.Stats()
+	if st.Dropped != 1 || st.Duplicated != 2 {
+		t.Fatalf("Stats dropped/duplicated = %d/%d, want 1/2", st.Dropped, st.Duplicated)
+	}
+}

@@ -1,0 +1,383 @@
+// Package reliable restores the exactly-once, per-link-FIFO delivery
+// contract the 3V protocol's counter scheme depends on, over a network
+// that drops, duplicates, reorders and partitions messages.
+//
+// The paper (Section 4) silently assumes a reliable network: a sender
+// increments R[v][p][q] strictly before a subtransaction leaves, and
+// the receiver increments C[v][p][q] at termination, so quiescence
+// (R == C everywhere) is reachable only if every message eventually
+// arrives exactly once. Session is the classic fix — a sequence-number
+// session layer (think TCP-lite) interposed as a Network decorator:
+//
+//   - every data message on a directed link (s → r) carries a sequence
+//     number drawn from the link's counter;
+//   - the receiver delivers strictly in sequence order, buffering
+//     out-of-order arrivals and discarding duplicates;
+//   - the receiver acknowledges cumulatively (highest in-order sequence
+//     delivered); acks ride the same lossy network and may themselves
+//     be lost;
+//   - the sender retransmits unacknowledged frames on a timer with
+//     capped exponential backoff, so a partition merely delays
+//     delivery until heal.
+//
+// The protocol layers above see exactly the Network interface they
+// always had — core is untouched except for construction-time wiring.
+package reliable
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// DataMsg is the session envelope for one application payload on a
+// directed link. Seq starts at 1 and increments per link.
+type DataMsg struct {
+	Seq     uint64
+	Payload any
+}
+
+// AckMsg is the receiver's cumulative acknowledgement for the reverse
+// link: every data frame with Seq ≤ CumAck has been delivered.
+type AckMsg struct {
+	CumAck uint64
+}
+
+// Config tunes the session layer. The zero value selects defaults
+// sized for the in-process simulation's microsecond-scale latencies.
+type Config struct {
+	// RetransmitInterval is the initial retransmission timeout for an
+	// unacknowledged frame; 0 means 2ms.
+	RetransmitInterval time.Duration
+	// MaxBackoff caps the per-frame exponential backoff; 0 means 50ms.
+	MaxBackoff time.Duration
+	// TickInterval spaces scans of the unacked frame lists; 0 means
+	// RetransmitInterval/2.
+	TickInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetransmitInterval <= 0 {
+		c.RetransmitInterval = 2 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 50 * time.Millisecond
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = c.RetransmitInterval / 2
+	}
+	return c
+}
+
+// pendingFrame is one sent-but-unacknowledged data frame.
+type pendingFrame struct {
+	msg        transport.Message // the enveloped message, ready to re-send
+	seq        uint64
+	backoff    time.Duration
+	nextResend time.Time
+}
+
+// sendLink is the sender-side state of one directed link.
+type sendLink struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	unacked []pendingFrame // ascending by seq
+}
+
+// recvLink is the receiver-side state of one directed link.
+type recvLink struct {
+	nextExpected uint64                 // next in-order seq to deliver
+	buffer       map[uint64]interface{} // out-of-order payloads by seq
+}
+
+// Session is the reliable-delivery decorator. It implements
+// transport.Network; wrap the faulty inner network with Wrap before
+// registering handlers.
+type Session struct {
+	inner transport.Network
+	cfg   Config
+	n     int
+
+	handlers []transport.Handler
+	send     [][]*sendLink // [from][to]
+	recvMu   []sync.Mutex  // per receiving node (delivery is serial per node already; the mutex guards cross-field invariants for Stats readers)
+	recv     [][]*recvLink // [to][from]
+
+	retransmits atomic.Int64
+	dupDropped  atomic.Int64
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Wrap decorates inner (serving node ids 0..nodes-1) with the session
+// layer. The Session owns inner: closing the Session closes it.
+func Wrap(inner transport.Network, nodes int, cfg Config) *Session {
+	if nodes <= 0 {
+		panic("reliable: nodes must be positive")
+	}
+	s := &Session{
+		inner:    inner,
+		cfg:      cfg.withDefaults(),
+		n:        nodes,
+		handlers: make([]transport.Handler, nodes),
+		send:     make([][]*sendLink, nodes),
+		recvMu:   make([]sync.Mutex, nodes),
+		recv:     make([][]*recvLink, nodes),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < nodes; i++ {
+		s.send[i] = make([]*sendLink, nodes)
+		s.recv[i] = make([]*recvLink, nodes)
+		for j := 0; j < nodes; j++ {
+			s.send[i][j] = &sendLink{}
+			s.recv[i][j] = &recvLink{nextExpected: 1, buffer: make(map[uint64]interface{})}
+		}
+	}
+	return s
+}
+
+// Register implements Network: the user handler is invoked with
+// unwrapped messages, exactly once each, in per-link send order.
+func (s *Session) Register(id model.NodeID, h transport.Handler) {
+	s.handlers[id] = h
+	s.inner.Register(id, func(m transport.Message) { s.dispatch(id, m) })
+}
+
+// Start implements Network: starts the inner network and the
+// retransmission scanner.
+func (s *Session) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.inner.Start()
+	s.wg.Add(1)
+	go s.retransmitLoop()
+}
+
+// Close implements Network: stops retransmission, then closes the
+// inner network.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	s.inner.Close()
+}
+
+// Send implements Network: the payload is enveloped with the link's
+// next sequence number and tracked until acknowledged. Loopback sends
+// bypass the session entirely (the fault layer never touches them).
+func (s *Session) Send(m transport.Message) {
+	if m.From == m.To {
+		s.inner.Send(m)
+		return
+	}
+	l := s.send[m.From][m.To]
+	l.mu.Lock()
+	l.nextSeq++
+	seq := l.nextSeq
+	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: seq, Payload: m.Payload}}
+	l.unacked = append(l.unacked, pendingFrame{
+		msg:        env,
+		seq:        seq,
+		backoff:    s.cfg.RetransmitInterval,
+		nextResend: time.Now().Add(s.cfg.RetransmitInterval),
+	})
+	l.mu.Unlock()
+	s.inner.Send(env)
+}
+
+// dispatch is the handler the Session registers with the inner
+// network for node id.
+func (s *Session) dispatch(id model.NodeID, m transport.Message) {
+	switch p := m.Payload.(type) {
+	case DataMsg:
+		s.onData(id, m.From, p)
+	case AckMsg:
+		s.onAck(m.To, m.From, p.CumAck)
+	default:
+		// Loopback (or pre-wrap) traffic: hand through untouched.
+		if h := s.handlers[id]; h != nil {
+			h(m)
+		}
+	}
+}
+
+// onData handles one data frame on the link from → id: dedup, buffer,
+// deliver in order, ack cumulatively.
+func (s *Session) onData(id, from model.NodeID, d DataMsg) {
+	rl := s.recv[id][from]
+	s.recvMu[id].Lock()
+	switch {
+	case d.Seq < rl.nextExpected:
+		// Already delivered: a duplicate (injected, or a retransmit
+		// racing the ack). Discard and re-ack so the sender stops.
+		s.dupDropped.Add(1)
+	default:
+		if _, held := rl.buffer[d.Seq]; held {
+			s.dupDropped.Add(1)
+			break
+		}
+		rl.buffer[d.Seq] = d.Payload
+	}
+	// Drain the in-order prefix.
+	var deliver []any
+	for {
+		p, ok := rl.buffer[rl.nextExpected]
+		if !ok {
+			break
+		}
+		delete(rl.buffer, rl.nextExpected)
+		rl.nextExpected++
+		deliver = append(deliver, p)
+	}
+	ack := rl.nextExpected - 1
+	s.recvMu[id].Unlock()
+
+	// Deliver outside the lock: handlers may Send. The inner network
+	// runs one delivery goroutine per node, so per-link order is
+	// preserved without further locking.
+	if h := s.handlers[id]; h != nil {
+		for _, p := range deliver {
+			h(transport.Message{From: from, To: id, Payload: p})
+		}
+	}
+	// Cumulative ack (even for duplicates — the original ack may have
+	// been lost). Acks are unsequenced; a lost ack is repaired by the
+	// sender's retransmit provoking another one.
+	s.inner.Send(transport.Message{From: id, To: from, Payload: AckMsg{CumAck: ack}})
+}
+
+// onAck handles a cumulative ack for the link id → from.
+func (s *Session) onAck(id, from model.NodeID, cum uint64) {
+	l := s.send[id][from]
+	l.mu.Lock()
+	i := 0
+	for i < len(l.unacked) && l.unacked[i].seq <= cum {
+		i++
+	}
+	if i > 0 {
+		l.unacked = append(l.unacked[:0], l.unacked[i:]...)
+	}
+	l.mu.Unlock()
+}
+
+// retransmitLoop periodically re-sends overdue unacknowledged frames
+// with capped exponential backoff.
+func (s *Session) retransmitLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.retransmitOverdue(time.Now())
+		}
+	}
+}
+
+// retransmitOverdue re-sends every frame whose resend deadline has
+// passed. Exposed to tests (deterministic retransmission without
+// waiting out the ticker).
+func (s *Session) retransmitOverdue(now time.Time) {
+	for from := 0; from < s.n; from++ {
+		for to := 0; to < s.n; to++ {
+			l := s.send[from][to]
+			l.mu.Lock()
+			var resend []transport.Message
+			for i := range l.unacked {
+				f := &l.unacked[i]
+				if now.Before(f.nextResend) {
+					continue
+				}
+				f.backoff *= 2
+				if f.backoff > s.cfg.MaxBackoff {
+					f.backoff = s.cfg.MaxBackoff
+				}
+				f.nextResend = now.Add(f.backoff)
+				resend = append(resend, f.msg)
+			}
+			l.mu.Unlock()
+			for _, m := range resend {
+				s.retransmits.Add(1)
+				s.inner.Send(m)
+			}
+		}
+	}
+}
+
+// Stats implements Network: the inner network's accounting plus the
+// session layer's retransmit/duplicate counters.
+func (s *Session) Stats() transport.Stats {
+	st := s.inner.Stats()
+	st.Retransmits += s.retransmits.Load()
+	st.DupDropped += s.dupDropped.Load()
+	return st
+}
+
+// InFlight returns the number of sent-but-unacknowledged frames across
+// all links (diagnostics; 0 once the network has settled).
+func (s *Session) InFlight() int {
+	n := 0
+	for from := 0; from < s.n; from++ {
+		for to := 0; to < s.n; to++ {
+			l := s.send[from][to]
+			l.mu.Lock()
+			n += len(l.unacked)
+			l.mu.Unlock()
+		}
+	}
+	return n
+}
+
+// Partition implements transport.FaultInjector by delegation; a no-op
+// if the inner network does not inject faults.
+func (s *Session) Partition(from, to model.NodeID) {
+	if fi, ok := s.inner.(transport.FaultInjector); ok {
+		fi.Partition(from, to)
+	}
+}
+
+// Heal implements transport.FaultInjector by delegation.
+func (s *Session) Heal() {
+	if fi, ok := s.inner.(transport.FaultInjector); ok {
+		fi.Heal()
+	}
+}
+
+// SetDropRate implements transport.FaultInjector by delegation.
+func (s *Session) SetDropRate(rate float64) {
+	if fi, ok := s.inner.(transport.FaultInjector); ok {
+		fi.SetDropRate(rate)
+	}
+}
+
+// SetDupRate implements transport.FaultInjector by delegation.
+func (s *Session) SetDupRate(rate float64) {
+	if fi, ok := s.inner.(transport.FaultInjector); ok {
+		fi.SetDupRate(rate)
+	}
+}
+
+var (
+	_ transport.Network       = (*Session)(nil)
+	_ transport.FaultInjector = (*Session)(nil)
+)

@@ -25,9 +25,11 @@ package transport
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -76,6 +78,30 @@ type Stats struct {
 	// MaxQueueDepth is the largest backlog any single mailbox ever
 	// reached — the transport-level pressure gauge (live Net only).
 	MaxQueueDepth int64
+
+	// Fault-layer accounting (see faults.go; Script counts its scripted
+	// DropWhere/DuplicateIndex interventions here too).
+	//
+	// Dropped counts messages discarded by injected loss.
+	Dropped int64
+	// Duplicated counts extra copies injected by duplication faults.
+	Duplicated int64
+	// PartitionDrops counts messages blackholed by an active partition.
+	PartitionDrops int64
+	// CloseDropped counts messages discarded because they were sent to
+	// an already-closed network — a nonzero value means the caller shut
+	// down before the protocol quiesced.
+	CloseDropped int64
+
+	// Session-layer accounting (reliable transport only; see
+	// transport/reliable).
+	//
+	// Retransmits counts data frames re-sent by the retransmission
+	// timer.
+	Retransmits int64
+	// DupDropped counts received frames the session layer discarded as
+	// duplicates (injected duplicates and spurious retransmits).
+	DupDropped int64
 }
 
 // statsCollector accumulates message counts under a lock.
@@ -122,17 +148,20 @@ func newMailbox() *mailbox {
 	return mb
 }
 
-func (mb *mailbox) put(m Message) {
+// put enqueues a message, reporting false if the mailbox has already
+// closed (the message is then lost; callers count it).
+func (mb *mailbox) put(m Message) bool {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	if mb.closed {
-		return
+		return false
 	}
 	mb.queue = append(mb.queue, m)
 	if n := int64(len(mb.queue)); n > mb.highWater {
 		mb.highWater = n
 	}
 	mb.cond.Signal()
+	return true
 }
 
 // get blocks until a message is available or the mailbox closes.
@@ -176,9 +205,14 @@ type Config struct {
 	// message; with Jitter > 0 messages between the same pair of nodes
 	// can be reordered.
 	Jitter time.Duration
-	// Seed seeds the jitter source; 0 means a fixed default (runs are
-	// reproducible unless the caller randomizes the seed).
+	// Seed seeds the jitter and fault source; 0 means a fixed default
+	// (runs are reproducible unless the caller randomizes the seed).
 	Seed int64
+	// Faults configures message loss, duplication, extra delay and the
+	// initial partition set (see faults.go). The zero value injects
+	// nothing; partitions and rates can also be changed at runtime via
+	// the FaultInjector methods.
+	Faults Faults
 }
 
 // Net is the live network. Each node has one mailbox and one delivery
@@ -189,6 +223,13 @@ type Net struct {
 	handlers []Handler
 	boxes    []*mailbox
 	stats    statsCollector
+	fs       faultState
+
+	// Fault and shutdown accounting.
+	dropped        atomic.Int64
+	duplicated     atomic.Int64
+	partitionDrops atomic.Int64
+	closeDropped   atomic.Int64
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -213,6 +254,7 @@ func NewNet(cfg Config) *Net {
 		boxes:    make([]*mailbox, cfg.Nodes),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+	n.fs.faults = cfg.Faults
 	for i := range n.boxes {
 		n.boxes[i] = newMailbox()
 	}
@@ -253,22 +295,53 @@ func (n *Net) deliverLoop(i int) {
 	}
 }
 
+// rnd draws one uniform float from the net's seeded source (shared
+// with jitter, so the whole run replays from one seed).
+func (n *Net) rnd() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
 // Send implements Network. The sender never blocks: zero-delay messages
 // go straight into the receiver's unbounded mailbox; delayed messages
-// are held by a timer goroutine first.
+// are held by a timer goroutine first. The fault layer sits here: a
+// message may be blackholed by a partition, dropped, duplicated or
+// extra-delayed before dispatch (never for loopback sends).
 func (n *Net) Send(m Message) {
 	if int(m.To) < 0 || int(m.To) >= len(n.boxes) {
 		panic(fmt.Sprintf("transport: send to unknown node %d", m.To))
 	}
 	n.stats.count(m)
-	d := n.cfg.BaseLatency
+	drop, partitioned, dup, extra := n.fs.decide(Link{From: m.From, To: m.To}, n.rnd)
+	if drop {
+		if partitioned {
+			n.partitionDrops.Add(1)
+		} else {
+			n.dropped.Add(1)
+		}
+		return
+	}
+	n.dispatch(m, extra)
+	if dup {
+		n.duplicated.Add(1)
+		n.dispatch(m, extra)
+	}
+}
+
+// dispatch imposes latency (base + jitter + fault extra) and enqueues
+// one copy of the message.
+func (n *Net) dispatch(m Message, extra time.Duration) {
+	d := n.cfg.BaseLatency + extra
 	if n.cfg.Jitter > 0 {
 		n.mu.Lock()
 		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
 		n.mu.Unlock()
 	}
 	if d <= 0 {
-		n.boxes[m.To].put(m)
+		if !n.boxes[m.To].put(m) {
+			n.closeDropped.Add(1)
+		}
 		return
 	}
 	// Register the delayed send under the lock so it cannot race
@@ -278,6 +351,7 @@ func (n *Net) Send(m Message) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		n.closeDropped.Add(1)
 		return
 	}
 	n.timers.Add(1)
@@ -285,13 +359,16 @@ func (n *Net) Send(m Message) {
 	go func() {
 		defer n.timers.Done()
 		time.Sleep(d)
-		n.boxes[m.To].put(m)
+		if !n.boxes[m.To].put(m) {
+			n.closeDropped.Add(1)
+		}
 	}()
 }
 
 // Close implements Network: waits for in-flight delayed sends, then
-// stops delivery goroutines. Messages still queued are dropped; callers
-// quiesce the protocol before closing.
+// stops delivery goroutines. Messages sent after this point are dropped
+// and counted in Stats.CloseDropped; callers quiesce the protocol
+// before closing, so a nonzero count is logged as a likely quiesce bug.
 func (n *Net) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -305,6 +382,9 @@ func (n *Net) Close() {
 		b.close()
 	}
 	n.wg.Wait()
+	if d := n.closeDropped.Load(); d > 0 {
+		log.Printf("transport: Close dropped %d undelivered message(s); the protocol was not quiesced before shutdown", d)
+	}
 }
 
 // Stats implements Network.
@@ -317,6 +397,10 @@ func (n *Net) Stats() Stats {
 			s.MaxQueueDepth = hw
 		}
 	}
+	s.Dropped = n.dropped.Load()
+	s.Duplicated = n.duplicated.Load()
+	s.PartitionDrops = n.partitionDrops.Load()
+	s.CloseDropped = n.closeDropped.Load()
 	return s
 }
 
@@ -332,6 +416,9 @@ type Script struct {
 	nextID   int
 	ids      []int // parallel to pending: stable ids for selection
 	stats    statsCollector
+
+	dropped    atomic.Int64 // messages discarded via DropWhere
+	duplicated atomic.Int64 // copies injected via DuplicateIndex/DuplicateWhere
 }
 
 // NewScript builds a scripted network for n nodes.
@@ -351,7 +438,12 @@ func (s *Script) Start() {}
 func (s *Script) Close() {}
 
 // Stats implements Network.
-func (s *Script) Stats() Stats { return s.stats.snapshot() }
+func (s *Script) Stats() Stats {
+	out := s.stats.snapshot()
+	out.Dropped = s.dropped.Load()
+	out.Duplicated = s.duplicated.Load()
+	return out
+}
 
 // Send implements Network: the message is parked until released.
 func (s *Script) Send(m Message) {
@@ -453,6 +545,56 @@ func (s *Script) DeliverIndex(i int) bool {
 	s.mu.Unlock()
 	h(m)
 	return true
+}
+
+// DropWhere removes the first parked message satisfying pred WITHOUT
+// delivering it — a scripted message loss. It returns false if no
+// parked message matches. The drop is counted in Stats.Dropped.
+func (s *Script) DropWhere(pred func(Message) bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, cand := range s.pending {
+		if pred(cand) {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			s.ids = append(s.ids[:i], s.ids[i+1:]...)
+			s.dropped.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// DuplicateIndex clones the i-th (0-based) parked message, parking the
+// copy at the tail with a fresh id — a scripted duplication. It returns
+// false if i is out of range. The copy is counted in Stats.Duplicated.
+func (s *Script) DuplicateIndex(i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.pending) {
+		return false
+	}
+	s.pending = append(s.pending, s.pending[i])
+	s.ids = append(s.ids, s.nextID)
+	s.nextID++
+	s.duplicated.Add(1)
+	return true
+}
+
+// DuplicateWhere clones the first parked message satisfying pred,
+// parking the copy at the tail. It returns false if none matches.
+func (s *Script) DuplicateWhere(pred func(Message) bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cand := range s.pending {
+		if pred(cand) {
+			s.pending = append(s.pending, cand)
+			s.ids = append(s.ids, s.nextID)
+			s.nextID++
+			s.duplicated.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // CountWhere returns how many parked messages satisfy pred.

@@ -45,6 +45,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/transport/reliable"
 )
 
 // Re-exported model types; see the package comment on layering.
@@ -104,8 +105,31 @@ type Config struct {
 	// jitter > 0 allows message reordering.
 	NetworkLatency time.Duration
 	NetworkJitter  time.Duration
-	// Seed makes jitter reproducible; 0 selects a fixed default.
+	// Seed makes jitter reproducible; 0 selects a fixed default. Fault
+	// injection draws from the same seeded source.
 	Seed int64
+	// Faults injects network faults (drops, duplicates, partitions,
+	// extra delay) per directed link; the zero value injects nothing.
+	// Any nonzero drop rate requires Reliable, or the protocol can
+	// wedge on a lost message.
+	Faults transport.Faults
+	// Reliable interposes the reliable-delivery session layer
+	// (sequence numbers, dedup, cumulative acks, retransmission)
+	// between the protocol and the network, restoring exactly-once
+	// FIFO delivery over a faulty network.
+	Reliable bool
+	// ReliableConfig tunes retransmission when Reliable is set; the
+	// zero value selects defaults.
+	ReliableConfig reliable.Config
+	// AckTimeout bounds every coordinator wait on node responses; when
+	// exceeded, Advance returns a report with Err set (core.ErrTimeout)
+	// instead of blocking forever. 0 means wait forever, the paper's
+	// reliable-network behaviour.
+	AckTimeout time.Duration
+	// ResendInterval makes the coordinator re-broadcast unanswered
+	// (idempotent) notices to silent nodes on this period; 0 means
+	// never.
+	ResendInterval time.Duration
 	// PollInterval spaces the advancement coordinator's counter sweeps;
 	// 0 means 200µs.
 	PollInterval time.Duration
@@ -127,16 +151,21 @@ type DB struct {
 // Open builds and starts a DB.
 func Open(cfg Config) (*DB, error) {
 	c, err := core.NewCluster(core.Config{
-		Nodes:        cfg.Nodes,
-		Workers:      cfg.Workers,
-		NCMode:       cfg.NonCommuting,
-		LockWait:     cfg.LockWait,
-		PollInterval: cfg.PollInterval,
-		DisableObs:   cfg.DisableObs,
+		Nodes:          cfg.Nodes,
+		Workers:        cfg.Workers,
+		NCMode:         cfg.NonCommuting,
+		LockWait:       cfg.LockWait,
+		PollInterval:   cfg.PollInterval,
+		Reliable:       cfg.Reliable,
+		ReliableConfig: cfg.ReliableConfig,
+		AckTimeout:     cfg.AckTimeout,
+		ResendInterval: cfg.ResendInterval,
+		DisableObs:     cfg.DisableObs,
 		NetConfig: transport.Config{
 			BaseLatency: cfg.NetworkLatency,
 			Jitter:      cfg.NetworkJitter,
 			Seed:        cfg.Seed,
+			Faults:      cfg.Faults,
 		},
 	})
 	if err != nil {
@@ -249,6 +278,22 @@ func (db *DB) AdvanceHistory() []AdvanceReport {
 // Violations returns any recorded protocol-invariant violations; a
 // correct run returns nil.
 func (db *DB) Violations() []string { return db.cluster.Violations() }
+
+// ConvergenceErrors checks, once activity has drained, that every node
+// agrees with the coordinator on (vr, vu) and that all live counter
+// matrices balance. Nil means the cluster converged — the property a
+// chaos run must restore after faults heal.
+func (db *DB) ConvergenceErrors() []string { return db.cluster.ConvergenceErrors() }
+
+// Faults returns the runtime fault controls of the underlying network
+// (nil if the transport does not inject faults — e.g. a custom
+// scripted transport).
+func (db *DB) Faults() transport.FaultInjector {
+	if fi, ok := db.cluster.Network().(transport.FaultInjector); ok {
+		return fi
+	}
+	return nil
+}
 
 // MaxLiveVersions returns the largest number of simultaneously live
 // versions any item ever had (the paper bounds it by three).
