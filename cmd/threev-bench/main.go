@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	threev-bench [-txns N] [-only E5,E9] [-json FILE]
+//	threev-bench [-txns N] [-only E5,E9] [-json FILE] [-out BENCH_0.json]
+//	             [-pprof :6060] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -txns scales every experiment's transaction count; -only restricts
 // the run to a comma-separated list of experiment ids. -json writes a
@@ -12,12 +13,22 @@
 // pass/fail plus a calibration run of a loaded 3V cluster capturing
 // throughput and the observability snapshot (latency quantiles,
 // advancement phase times).
+//
+// -out FILE writes a small benchmark snapshot (headline throughput and
+// latency quantiles of the calibration run) to FILE — the tracked
+// baseline format committed as BENCH_<n>.json at the repo root so perf
+// regressions show up in review. With -out and no -only, the
+// experiment suite is skipped and only the calibration run executes.
+//
+// -pprof/-cpuprofile/-memprofile enable the standard Go profilers
+// (package profiling) for hunting hot-path regressions.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +39,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -45,6 +57,21 @@ type expResult struct {
 	ID    string `json:"id"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+}
+
+// benchSnapshot is the -out format: the headline end-to-end numbers of
+// one calibration run, small and stable enough to commit as the
+// tracked BENCH_<n>.json baseline. Latencies are milliseconds.
+type benchSnapshot struct {
+	Txns          int     `json:"txns"`
+	Completed     int     `json:"completed"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	ReadP50Ms     float64 `json:"read_p50_ms"`
+	ReadP99Ms     float64 `json:"read_p99_ms"`
+	UpdateP50Ms   float64 `json:"update_p50_ms"`
+	UpdateP99Ms   float64 `json:"update_p99_ms"`
+	AdvanceP99Ms  float64 `json:"advance_p99_ms"`
+	Messages      int64   `json:"messages"`
 }
 
 type calibrationRun struct {
@@ -65,11 +92,20 @@ func main() {
 	drop := flag.Float64("drop", 0, "calibration run: per-message drop probability (requires -reliable when > 0)")
 	dup := flag.Float64("dupmsg", 0, "calibration run: per-message duplication probability")
 	reliable := flag.Bool("reliable", false, "calibration run: interpose the reliable-delivery session layer")
+	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	if *drop > 0 && !*reliable {
 		fmt.Fprintln(os.Stderr, "-drop > 0 requires -reliable (a lost message would wedge the protocol)")
 		os.Exit(1)
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	sc := experiments.Scale{Txns: *txns}
 	selected := map[string]bool{}
@@ -78,7 +114,10 @@ func main() {
 			selected[id] = true
 		}
 	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	// -out without -only means "just take the benchmark snapshot":
+	// the experiment suite is skipped and only calibration runs.
+	runSuite := *out == "" || len(selected) > 0
+	want := func(id string) bool { return runSuite && (len(selected) == 0 || selected[id]) }
 
 	failures := 0
 	var results []expResult
@@ -136,7 +175,19 @@ func main() {
 		results = append(results, r)
 	}
 
-	fmt.Printf("suite completed in %v; %d failures\n", time.Since(start).Round(time.Millisecond), failures)
+	if runSuite {
+		fmt.Printf("suite completed in %v; %d failures\n", time.Since(start).Round(time.Millisecond), failures)
+	}
+
+	var cal *calibrationRun
+	if *jsonOut != "" || *out != "" {
+		var calErr error
+		cal, calErr = calibrate(*txns, *drop, *dup, *reliable)
+		if calErr != nil {
+			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
+			failures++
+		}
+	}
 
 	if *jsonOut != "" {
 		rep := report{
@@ -144,13 +195,7 @@ func main() {
 			Experiments: results,
 			Failures:    failures,
 			ElapsedMS:   time.Since(start).Milliseconds(),
-		}
-		cal, err := calibrate(*txns, *drop, *dup, *reliable)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "calibration error:", err)
-			failures++
-		} else {
-			rep.Calibration = cal
+			Calibration: cal,
 		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -167,10 +212,39 @@ func main() {
 		}
 	}
 
+	if *out != "" && cal != nil {
+		snap := benchSnapshot{
+			Txns:          cal.Txns,
+			Completed:     cal.Completed,
+			ThroughputTPS: roundMs(cal.ThroughputTPS),
+			ReadP50Ms:     roundMs(float64(cal.Obs.TxnRead.P50()) / 1e6),
+			ReadP99Ms:     roundMs(float64(cal.Obs.TxnRead.P99()) / 1e6),
+			UpdateP50Ms:   roundMs(float64(cal.Obs.TxnUpdate.P50()) / 1e6),
+			UpdateP99Ms:   roundMs(float64(cal.Obs.TxnUpdate.P99()) / 1e6),
+			AdvanceP99Ms:  roundMs(float64(cal.Obs.AdvTotal.P99()) / 1e6),
+			Messages:      cal.Transport.Messages,
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot encode:", err)
+			failures++
+		} else if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot write:", err)
+			failures++
+		} else {
+			fmt.Printf("benchmark snapshot: %.1f txn/s over %d txns -> %s\n", snap.ThroughputTPS, snap.Txns, *out)
+		}
+	}
+
 	if failures > 0 {
+		stopProf()
 		os.Exit(1)
 	}
 }
+
+// roundMs keeps the snapshot diff-friendly: three decimals are plenty
+// for millisecond latencies and whole-txn/s throughputs.
+func roundMs(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 // calibrate runs a loaded 4-node 3V cluster and returns its throughput
 // together with the observability snapshot — the reference numbers the

@@ -9,6 +9,7 @@
 //	           [-nodes 4] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
 //	           [-latency 0] [-jitter 500us] [-advance 5ms] [-conc 8]
 //	           [-seed 1] [-metrics :8080] [-hold 30s]
+//	           [-pprof :6060] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -metrics ADDR (3v only) the process serves the observability
 // snapshot over HTTP while the workload runs: Prometheus text at
@@ -38,6 +39,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/transport"
 	"repro/internal/verify"
 	"repro/internal/workload"
@@ -63,7 +65,15 @@ func main() {
 	partAt := flag.Duration("partition-at", 200*time.Millisecond, "with -chaos: inject a two-way partition this long into the run")
 	partFor := flag.Duration("partition-for", 300*time.Millisecond, "with -chaos: heal the partition after this long (0 = no partition)")
 	reliable := flag.Bool("reliable", true, "with -chaos: interpose the reliable-delivery session layer")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, perr := prof.Start()
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	netCfg := transport.Config{
 		BaseLatency: *latency,
@@ -292,6 +302,7 @@ func main() {
 	}
 
 	if res.Anomalies > 0 || !structuralOK || !chaosOK {
+		stopProf() // os.Exit skips the deferred finalizer
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+// BenchmarkWorkQueue drives the node work queue through sustained
+// 256-deep bursts — the delivery-goroutine → worker-pool handoff
+// pattern under load. The pre-ring implementation (append +
+// q.items = q.items[1:]) reallocates and retains dead backing arrays as
+// the slice head advances; the ring reuses one power-of-two buffer.
+func BenchmarkWorkQueue(b *testing.B) {
+	q := newWorkQueue()
+	it := workItem{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; {
+		burst := 256
+		if burst > n {
+			burst = n
+		}
+		for i := 0; i < burst; i++ {
+			q.put(it)
+		}
+		for i := 0; i < burst; i++ {
+			if _, ok := q.get(); !ok {
+				b.Fatal("queue closed early")
+			}
+		}
+		n -= burst
+	}
+}
+
+// BenchmarkWorkQueuePingPong measures the single put/get round trip
+// (queue-depth-1 latency path).
+func BenchmarkWorkQueuePingPong(b *testing.B) {
+	q := newWorkQueue()
+	it := workItem{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.put(it)
+		if _, ok := q.get(); !ok {
+			b.Fatal("queue closed early")
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/ring"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -94,11 +95,15 @@ type parkedNC struct {
 // workQueue is an unbounded FIFO so that the node's delivery goroutine
 // never blocks handing work to (possibly busy) workers — control
 // messages must keep flowing even when every worker is waiting on an
-// NC lock.
+// NC lock. It is backed by a growable power-of-two ring (internal/ring)
+// rather than an append + items[1:] slice, so steady-state memory is
+// bounded by the backlog high-water mark instead of growing with
+// cumulative throughput, and bursts stop triggering per-lap
+// reallocations.
 type workQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []workItem
+	items  ring.Ring[workItem]
 	closed bool
 }
 
@@ -114,22 +119,17 @@ func (q *workQueue) put(it workItem) {
 	if q.closed {
 		return
 	}
-	q.items = append(q.items, it)
+	q.items.Push(it)
 	q.cond.Signal()
 }
 
 func (q *workQueue) get() (workItem, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.items.Len() == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
-		return workItem{}, false
-	}
-	it := q.items[0]
-	q.items = q.items[1:]
-	return it, true
+	return q.items.Pop()
 }
 
 func (q *workQueue) close() {

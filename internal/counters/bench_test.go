@@ -1,0 +1,68 @@
+package counters
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// BenchmarkCountersIncParallel hammers IncR+IncC from all procs — the
+// counter bumps every subtransaction performs (request before send,
+// completion at termination). Section 4 models these as individual
+// atomic writes; the acceptance gate for the atomic table is ≥2× over
+// the mutex implementation at GOMAXPROCS ≥ 4.
+func BenchmarkCountersIncParallel(b *testing.B) {
+	tb := NewTable(0, 4)
+	tb.EnsureVersion(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			to := model.NodeID(i & 3)
+			tb.IncR(1, to)
+			tb.IncC(1, to)
+			i++
+		}
+	})
+}
+
+// BenchmarkCountersIncNewVersion measures the uncommon slow path: the
+// first touch of a fresh version (row allocation / index publication).
+// DropBelow keeps at most three versions live, mirroring the protocol
+// (advancement Phase 4 discards rows as versions retire) — without it
+// the copy-on-write index would grow with b.N and the benchmark would
+// measure an index size the system never reaches.
+func BenchmarkCountersIncNewVersion(b *testing.B) {
+	tb := NewTable(0, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := model.Version(i)
+		tb.IncR(v, 1)
+		if v >= 3 {
+			tb.DropBelow(v - 2)
+		}
+	}
+}
+
+// BenchmarkCountersSnapshotParallel measures the coordinator's sweep
+// reads racing user-path increments.
+func BenchmarkCountersSnapshotParallel(b *testing.B) {
+	tb := NewTable(0, 4)
+	tb.EnsureVersion(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i&15 == 0 {
+				tb.SnapshotR(1)
+				tb.SnapshotC(1)
+			} else {
+				tb.IncR(1, model.NodeID(i&3))
+			}
+			i++
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestConcurrentIncExactTotals checks that the lock-free table loses no
+// increments: many goroutines hammer IncR/IncC on shared rows while
+// snapshot readers sweep concurrently; after everyone joins, the totals
+// must be exact.
+func TestConcurrentIncExactTotals(t *testing.T) {
+	const (
+		n          = 4
+		goroutines = 8
+		iters      = 5000
+	)
+	tb := NewTable(0, n)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				to := model.NodeID((g + i) % n)
+				tb.IncR(1, to)
+				tb.IncC(1, to)
+				if i%512 == 0 {
+					// Sloppy sweeps racing the increments must never
+					// observe a value above the true running total.
+					r := tb.SnapshotR(1)
+					for q, v := range r {
+						if v > int64(goroutines*iters) {
+							t.Errorf("SnapshotR[%d] = %d exceeds possible total", q, v)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sumR, sumC int64
+	for _, v := range tb.SnapshotR(1) {
+		sumR += v
+	}
+	for _, v := range tb.SnapshotC(1) {
+		sumC += v
+	}
+	want := int64(goroutines * iters)
+	if sumR != want || sumC != want {
+		t.Errorf("totals R=%d C=%d, want %d each (lost increments)", sumR, sumC, want)
+	}
+}
+
+// TestConcurrentVersionChurn races lazy version materialization (the
+// copy-on-write index publish) against increments and DropBelow, the
+// way advancement churns versions while subtransactions run. Increments
+// on surviving versions must all be preserved.
+func TestConcurrentVersionChurn(t *testing.T) {
+	const goroutines = 8
+	tb := NewTable(0, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v := model.Version(10 + i%5) // churning set of versions
+				tb.IncR(v, 0)
+				tb.EnsureVersion(v + 100) // pure index churn
+				if i%100 == 0 {
+					tb.Versions()
+					tb.SnapshotC(v)
+				}
+			}
+		}(g)
+	}
+	// A stable version no churn ever drops: its counts must be exact.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			tb.IncR(1, 1)
+			tb.IncC(1, 0)
+		}
+	}()
+	wg.Wait()
+	if got := tb.R(1, 1); got != 2000 {
+		t.Errorf("R(1,1) = %d, want 2000", got)
+	}
+	if got := tb.C(1, 0); got != 2000 {
+		t.Errorf("C(1,0) = %d, want 2000", got)
+	}
+	for _, v := range []model.Version{10, 11, 12, 13, 14} {
+		var sum int64
+		for _, x := range tb.SnapshotR(v) {
+			sum += x
+		}
+		if sum != int64(goroutines*400) { // each goroutine hits each of 5 versions 400×
+			t.Errorf("R total for v%d = %d, want %d", v, sum, goroutines*400)
+		}
+	}
+}
+
+// TestConcurrentDropBelow races DropBelow against increments on
+// versions at or above the drop point; those must never be lost (the
+// protocol only drops versions already proven quiescent, so increments
+// below the drop point are out of scope).
+func TestConcurrentDropBelow(t *testing.T) {
+	tb := NewTable(0, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tb.DropBelow(5) // 7 is always safe
+			}
+		}
+	}()
+	const iters = 20000
+	for i := 0; i < iters; i++ {
+		tb.IncR(7, 1)
+	}
+	close(stop)
+	wg.Wait()
+	if got := tb.R(7, 1); got != iters {
+		t.Errorf("R(7,1) = %d after DropBelow churn, want %d", got, iters)
+	}
+	vs := tb.Versions()
+	for _, v := range vs {
+		if v < 5 {
+			t.Errorf("version %d survived DropBelow(5): %v", v, vs)
+		}
+	}
+}

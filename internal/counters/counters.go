@@ -28,55 +28,123 @@ package counters
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
+
+// row holds the two flat counter rows of one version at one node. The
+// slices are allocated once, zeroed, and only ever mutated through
+// atomic adds, so a published *row is safe to share without locks.
+type row struct {
+	r []atomic.Int64 // r[q]: requests sent self -> q
+	c []atomic.Int64 // c[o]: completions at self of subtxns invoked from o
+}
+
+// verIndex is the immutable version → row index. A new version (rare:
+// once per advancement) or a DropBelow (once per GC) builds a fresh
+// index and publishes it wholesale via Table.idx; the hot paths only
+// ever load it. vers is ascending and tiny — at most three versions are
+// active under 3V, so lookup is a short linear scan.
+type verIndex struct {
+	vers []model.Version
+	rows []*row
+}
+
+// lookup returns version v's row, or nil.
+func (ix *verIndex) lookup(v model.Version) *row {
+	for i, ver := range ix.vers {
+		if ver == v {
+			return ix.rows[i]
+		}
+	}
+	return nil
+}
 
 // Table holds one node's counters for all active versions. A Table is
 // created with the cluster size and the owning node's id; the zero
 // value is not usable.
 //
-// All methods are safe for concurrent use. Per Section 4's only
-// concurrency assumption, individual reads and writes are atomic; no
-// larger atomicity is provided or needed.
+// All methods are safe for concurrent use, and the hot ones (IncR,
+// IncC) are lock-free: a single atomic add on a row reached through one
+// atomic pointer load. This implements Section 4's access model
+// *literally* — the paper's only concurrency assumption is that
+// individual counter reads and writes are atomic, with no larger
+// atomicity anywhere. The earlier implementation wrapped the whole
+// table in a mutex, which is stronger than the algorithm requires and
+// made every subtransaction on a node serialize on one lock.
+//
+// Correctness of the sloppy reads (see DESIGN.md §3 decision 2): the
+// coordinator decides quiescence of version v from SnapshotR/SnapshotC
+// observations that are NOT atomic with respect to concurrent
+// increments — exactly the situation of Chandy–Lamport-style stable
+// property detection. "All transactions of version v are complete"
+// (R[v][p][q] == C[v][p][q] for all pairs, with no new roots joining v)
+// is stable: once true it stays true, because a sender bumps R strictly
+// before the request leaves and the receiver bumps C only at
+// termination. A single sloppy sweep can therefore produce a false
+// *negative* (miss an R increment whose C it observed) but a balanced
+// pair of *consecutive identical* sweeps — the Detector's double
+// collect — proves genuine quiescence. Nothing about that argument
+// needs table-level locking, so the mutex bought nothing but
+// contention.
 type Table struct {
-	mu   sync.Mutex
 	self model.NodeID
 	n    int
-	r    map[model.Version][]int64 // r[v][q]: requests sent self -> q
-	c    map[model.Version][]int64 // c[v][o]: completions at self of subtxns invoked from o
+	idx  atomic.Pointer[verIndex]
+	mu   sync.Mutex // serializes index rebuilds only (never on hot paths)
 }
 
 // NewTable returns a counter table for a cluster of n nodes, owned by
 // node self. All counters start at zero for version 0 (and any version
 // is lazily materialized on first touch).
 func NewTable(self model.NodeID, n int) *Table {
-	return &Table{
-		self: self,
-		n:    n,
-		r:    make(map[model.Version][]int64),
-		c:    make(map[model.Version][]int64),
+	t := &Table{self: self, n: n}
+	t.idx.Store(&verIndex{})
+	return t
+}
+
+// row returns version v's counter row, materializing it (rare) if
+// absent. The fast path is one atomic load and a ≤3-entry scan.
+func (t *Table) row(v model.Version) *row {
+	if r := t.idx.Load().lookup(v); r != nil {
+		return r
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.idx.Load()
+	if r := cur.lookup(v); r != nil { // lost the race to another creator
+		return r
+	}
+	nr := &row{r: make([]atomic.Int64, t.n), c: make([]atomic.Int64, t.n)}
+	next := &verIndex{
+		vers: make([]model.Version, 0, len(cur.vers)+1),
+		rows: make([]*row, 0, len(cur.rows)+1),
+	}
+	inserted := false
+	for i, ver := range cur.vers {
+		if !inserted && v < ver {
+			next.vers = append(next.vers, v)
+			next.rows = append(next.rows, nr)
+			inserted = true
+		}
+		next.vers = append(next.vers, ver)
+		next.rows = append(next.rows, cur.rows[i])
+	}
+	if !inserted {
+		next.vers = append(next.vers, v)
+		next.rows = append(next.rows, nr)
+	}
+	t.idx.Store(next)
+	return nr
 }
 
 // EnsureVersion allocates zeroed counter rows for version v if absent —
 // the "allocate and initialize to zero all the request and completion
 // counters for the new version" step of Sections 4.1 and 4.3.
 func (t *Table) EnsureVersion(v model.Version) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
-}
-
-func (t *Table) ensureLocked(v model.Version) {
-	if _, ok := t.r[v]; !ok {
-		t.r[v] = make([]int64, t.n)
-	}
-	if _, ok := t.c[v]; !ok {
-		t.c[v] = make([]int64, t.n)
-	}
+	t.row(v)
 }
 
 // IncR increments R[v][self][to]: a subtransaction request against
@@ -84,87 +152,78 @@ func (t *Table) ensureLocked(v model.Version) {
 // invoke IncR strictly before handing the message to the transport —
 // the quiescence argument depends on it.
 func (t *Table) IncR(v model.Version, to model.NodeID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
-	t.r[v][to]++
+	t.row(v).r[to].Add(1)
 }
 
 // IncC increments C[v][from][self]: a subtransaction of version v
 // invoked from node from has terminated (committed or aborted) at this
 // node. Callers invoke IncC atomically with local termination.
 func (t *Table) IncC(v model.Version, from model.NodeID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
-	t.c[v][from]++
+	t.row(v).c[from].Add(1)
 }
 
 // SnapshotR returns a copy of this node's R row for version v
-// (requests sent to each destination).
+// (requests sent to each destination). Elements are read individually
+// atomically; the row as a whole is a sloppy observation, which is all
+// the double-collect detector needs (see the Table doc comment).
 func (t *Table) SnapshotR(v model.Version) []int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
+	r := t.row(v)
 	out := make([]int64, t.n)
-	copy(out, t.r[v])
+	for i := range out {
+		out[i] = r.r[i].Load()
+	}
 	return out
 }
 
 // SnapshotC returns a copy of this node's C row for version v
 // (completions here, indexed by invoking node).
 func (t *Table) SnapshotC(v model.Version) []int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
+	r := t.row(v)
 	out := make([]int64, t.n)
-	copy(out, t.c[v])
+	for i := range out {
+		out[i] = r.c[i].Load()
+	}
 	return out
 }
 
 // R returns the current value of R[v][self][to] (test/trace accessor).
 func (t *Table) R(v model.Version, to model.NodeID) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
-	return t.r[v][to]
+	return t.row(v).r[to].Load()
 }
 
 // C returns the current value of C[v][from][self] (test/trace accessor).
 func (t *Table) C(v model.Version, from model.NodeID) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.ensureLocked(v)
-	return t.c[v][from]
+	return t.row(v).c[from].Load()
 }
 
 // DropBelow discards counter rows for all versions strictly below v —
-// the counter garbage collection of advancement Phase 4.
+// the counter garbage collection of advancement Phase 4. It publishes a
+// filtered index; an increment racing the rebuild on a dropped
+// version's row can land on the orphaned row and vanish, which is
+// benign: GC runs only for versions whose quiescence was already
+// detected, so the protocol guarantees no such increment exists (and
+// the old mutex gave the same end state — the late increment would
+// recreate a row that nothing ever reads again).
 func (t *Table) DropBelow(v model.Version) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for ver := range t.r {
-		if ver < v {
-			delete(t.r, ver)
+	cur := t.idx.Load()
+	next := &verIndex{}
+	for i, ver := range cur.vers {
+		if ver >= v {
+			next.vers = append(next.vers, ver)
+			next.rows = append(next.rows, cur.rows[i])
 		}
 	}
-	for ver := range t.c {
-		if ver < v {
-			delete(t.c, ver)
-		}
-	}
+	t.idx.Store(next)
 }
 
 // Versions returns the versions that currently have counter rows,
 // ascending.
 func (t *Table) Versions() []model.Version {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]model.Version, 0, len(t.r))
-	for v := range t.r {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ix := t.idx.Load()
+	out := make([]model.Version, len(ix.vers))
+	copy(out, ix.vers)
 	return out
 }
 

@@ -12,6 +12,7 @@ package model
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 )
@@ -91,16 +92,19 @@ func NewRecord() *Record {
 }
 
 // Clone returns a deep copy of the record. Storage uses Clone for
-// copy-on-update when a new version of an item is materialized.
+// copy-on-update when a new version of an item is materialized and for
+// every ReadMax, so it sits on the protocol's read hot path:
+// maps.Clone hits the runtime's bulk map-copy (no per-key rehashing)
+// and an empty log clones to nil rather than allocating.
 func (r *Record) Clone() *Record {
-	c := &Record{
-		Fields: make(map[string]int64, len(r.Fields)),
-		Log:    make([]Tuple, len(r.Log)),
+	c := &Record{Fields: maps.Clone(r.Fields)}
+	if c.Fields == nil {
+		c.Fields = make(map[string]int64)
 	}
-	for k, v := range r.Fields {
-		c.Fields[k] = v
+	if len(r.Log) > 0 {
+		c.Log = make([]Tuple, len(r.Log))
+		copy(c.Log, r.Log)
 	}
-	copy(c.Log, r.Log)
 	return c
 }
 

@@ -1,0 +1,91 @@
+// Package profiling wires the standard Go profiling tools into the
+// reproduction's command-line binaries: a net/http/pprof endpoint for
+// live inspection of a running cluster, and file-based CPU/heap
+// profiles for offline analysis with `go tool pprof`. The commands
+// (threev-bench, threev-sim) register the shared flags and call Start
+// once flags are parsed; everything is inert unless a flag is set.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the values of the shared profiling command-line flags.
+type Flags struct {
+	PprofAddr  string
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared profiling flags on fs (use flag.CommandLine
+// for a command's top-level flag set).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof on this address, e.g. :6060")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start activates whatever the flags ask for and returns a stop
+// function that must run before the process exits (it finalizes the
+// CPU profile and writes the heap profile). The pprof HTTP server, if
+// any, keeps serving until the process dies; callers that want to
+// block for scrapes should do so themselves.
+func (f *Flags) Start() (stop func(), err error) {
+	stop = func() {}
+	if f.PprofAddr != "" {
+		ln, lerr := net.Listen("tcp", f.PprofAddr)
+		if lerr != nil {
+			return stop, fmt.Errorf("pprof listen: %w", lerr)
+		}
+		go func() {
+			// DefaultServeMux carries the /debug/pprof handlers via the
+			// blank import above.
+			if serr := http.Serve(ln, nil); serr != nil {
+				fmt.Fprintln(os.Stderr, "pprof serve:", serr)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", ln.Addr())
+	}
+
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+
+	memPath := f.MemProfile
+	stop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			cpuFile = nil
+		}
+		if memPath != "" {
+			out, werr := os.Create(memPath)
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", werr)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if werr := pprof.WriteHeapProfile(out); werr != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", werr)
+			}
+			memPath = ""
+		}
+	}
+	return stop, nil
+}

@@ -1,0 +1,144 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// benchKeys builds a store preloaded with nkeys items at version 0 and
+// a materialized version 1, so ReadMax and EnsureVersion both run their
+// steady-state paths (find an existing version) rather than mutating
+// chain shape per call.
+func benchKeys(nkeys int) (*Store, []string) {
+	s := New()
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item-%04d", i)
+		r := model.NewRecord()
+		r.Fields["bal"] = int64(i)
+		s.Preload(keys[i], r)
+		s.EnsureVersion(keys[i], 1)
+	}
+	return s, keys
+}
+
+// BenchmarkStoreReadMaxParallel hammers versioned point reads from all
+// procs at once — the query subtransaction hot path (Section 4.2). The
+// pre-shard implementation serializes every call on one store-global
+// RWMutex; the acceptance gate for the sharded engine is ≥2× at
+// GOMAXPROCS ≥ 4.
+func BenchmarkStoreReadMaxParallel(b *testing.B) {
+	s, keys := benchKeys(1024)
+	mask := len(keys) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, ok := s.ReadMax(keys[i&mask], 1); !ok {
+				b.Fatal("read missed")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreEnsureVersionParallel hammers the atomic
+// check-and-create of Section 4.1 step 4 in its common case (version
+// already exists), which takes the write lock in the pre-shard engine.
+func BenchmarkStoreEnsureVersionParallel(b *testing.B) {
+	s, keys := benchKeys(1024)
+	mask := len(keys) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if created := s.EnsureVersion(keys[i&mask], 1); created {
+				b.Fatal("version unexpectedly created")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreApplyFromParallel measures the update subtransaction's
+// write step on disjoint keys (one version live per key ≥ 1).
+func BenchmarkStoreApplyFromParallel(b *testing.B) {
+	s, keys := benchKeys(1024)
+	mask := len(keys) - 1
+	op := model.AddOp{Field: "bal", Delta: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if n := s.ApplyFrom(keys[i&mask], 1, op); n != 1 {
+				b.Fatalf("ApplyFrom touched %d versions", n)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreMixedParallel approximates the protocol mix: mostly
+// reads, some write-path traffic, and a periodic store-wide GC sweep —
+// the workload where one global lock hurts most.
+func BenchmarkStoreMixedParallel(b *testing.B) {
+	s, keys := benchKeys(1024)
+	mask := len(keys) - 1
+	op := model.AddOp{Field: "bal", Delta: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := keys[i&mask]
+			switch i & 7 {
+			case 0:
+				s.EnsureVersion(k, 1)
+				s.ApplyFrom(k, 1, op)
+			case 1:
+				s.Exists(k, 1)
+			default:
+				s.ReadMax(k, 1)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreStats measures the cross-shard aggregation cost of
+// Stats (called by the obs scrape path, never the txn hot path).
+func BenchmarkStoreStats(b *testing.B) {
+	s, _ := benchKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := s.Stats(); st.Copies == 0 && st.Creations == 0 {
+			b.Fatal("no accounting recorded")
+		}
+	}
+}
+
+// BenchmarkStoreExistsParallel is the allocation-free read path
+// (primitive 1 of the paper): no record clone, so ns/op isolates lock
+// acquisition + map lookup — the purest view of store lock contention,
+// uncontaminated by the GC cost of ReadMax's deep copy.
+func BenchmarkStoreExistsParallel(b *testing.B) {
+	s, keys := benchKeys(1024)
+	mask := len(keys) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if !s.Exists(keys[i&mask], 1) {
+				b.Fatal("miss")
+			}
+			i++
+		}
+	})
+}

@@ -23,10 +23,28 @@
 //
 // The engine also keeps the space accounting (copies made, bytes
 // copied, live-version high-water mark) used by experiments E4 and E8.
+//
+// # Sharding
+//
+// The store is hash-partitioned into a GOMAXPROCS-scaled power-of-two
+// number of shards, each with its own RWMutex, item map and accounting,
+// so concurrent subtransactions touching different items never contend
+// on a store-global lock — the paper's whole point is that nothing
+// node-global ever delays a user transaction, and a single storage
+// mutex was exactly such a delay. A key's shard is fixed (maphash of
+// the key), so the per-item atomicity the protocol needs from
+// EnsureVersion is provided by that one shard's lock. Whole-store
+// operations (GC, Export, Stats, ...) visit shards one at a time and
+// are not atomic across shards; every such caller either runs during
+// protocol phases that guarantee quiescence of the affected versions
+// (GC, Import) or is an explicitly best-effort observer (Stats,
+// PendingItems, Divergence — the advancement trigger gauges).
 package storage
 
 import (
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,21 +66,27 @@ type chain struct {
 	versions []versioned
 }
 
+// shard is one hash partition of the store: a private map, lock and
+// accounting. reads/applies stay atomics because they are bumped on
+// paths that hold only the shard read lock.
+type shard struct {
+	mu      sync.RWMutex
+	items   map[string]*chain
+	stats   Stats // guarded by mu; Reads/Applies/GCRuns unused here
+	reads   atomic.Int64
+	applies atomic.Int64
+}
+
 // Store is one node's versioned storage. All exported methods are safe
 // for concurrent use; the protocol layers per-item local concurrency
 // control on top (package localcc), so intra-item atomicity beyond the
 // single-call level is the caller's concern — except EnsureVersion,
-// whose check-and-create is atomic as the paper requires.
+// whose check-and-create is atomic as the paper requires (it holds the
+// item's shard lock for the whole check-and-create).
 type Store struct {
-	mu    sync.RWMutex
-	items map[string]*chain
-
-	stats Stats
-
-	// reads and applies are kept as atomics because they are bumped on
-	// paths that hold only the read lock.
-	reads   atomic.Int64
-	applies atomic.Int64
+	seed   maphash.Seed
+	shards []*shard
+	gcRuns atomic.Int64 // GC() sweeps are store-wide; counted once each
 }
 
 // Stats is the space/copy accounting of a store. Counters only grow.
@@ -91,9 +115,33 @@ type Stats struct {
 	Applies int64
 }
 
+// shardCount returns the number of shards for a new store: a power of
+// two scaled to 4× GOMAXPROCS (so collisions between concurrently
+// running workers are rare), clamped to [8, 256].
+func shardCount() int {
+	target := 4 * runtime.GOMAXPROCS(0)
+	n := 8
+	for n < target && n < 256 {
+		n <<= 1
+	}
+	return n
+}
+
 // New returns an empty store.
 func New() *Store {
-	return &Store{items: make(map[string]*chain)}
+	s := &Store{
+		seed:   maphash.MakeSeed(),
+		shards: make([]*shard, shardCount()),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{items: make(map[string]*chain)}
+	}
+	return s
+}
+
+// shardFor maps a key to its (fixed) shard.
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[maphash.String(s.seed, key)&uint64(len(s.shards)-1)]
 }
 
 // Preload installs an initial version-0 record for key, as in the
@@ -101,16 +149,18 @@ func New() *Store {
 // 0". It overwrites any existing chain for the key and performs no
 // accounting; use it only during cluster setup.
 func (s *Store) Preload(key string, rec *model.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items[key] = &chain{versions: []versioned{{ver: 0, rec: rec}}}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.items[key] = &chain{versions: []versioned{{ver: 0, rec: rec}}}
 }
 
 // Exists reports whether version v of item key exists (paper primitive 1).
 func (s *Store) Exists(key string, v model.Version) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return false
 	}
@@ -122,9 +172,10 @@ func (s *Store) Exists(key string, v model.Version) bool {
 // greater than v. The NC3V algorithm aborts a non-commuting transaction
 // that would update such an item (Section 5 step 4).
 func (s *Store) ExistsAbove(key string, v model.Version) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return false
 	}
@@ -136,10 +187,11 @@ func (s *Store) ExistsAbove(key string, v model.Version) bool {
 // that does not exceed v, along with the version found. ok is false if
 // the item does not exist in any version ≤ v.
 func (s *Store) ReadMax(key string, v model.Version) (rec *model.Record, found model.Version, ok bool) {
-	s.reads.Add(1)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.reads.Add(1)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return nil, 0, false
 	}
@@ -155,9 +207,10 @@ func (s *Store) ReadMax(key string, v model.Version) (rec *model.Record, found m
 // pointer past the latched section. ok is false if that exact version
 // does not exist.
 func (s *Store) Peek(key string, v model.Version) (rec *model.Record, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return nil, false
 	}
@@ -171,12 +224,13 @@ func (s *Store) Peek(key string, v model.Version) (rec *model.Record, ok bool) {
 // materialized. This is the atomic check-and-create of Section 4.1
 // step 4 (and Section 5 step 4 for NC3V).
 func (s *Store) EnsureVersion(key string, v model.Version) (created bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.items[key]
 	if ch == nil {
 		ch = &chain{}
-		s.items[key] = ch
+		sh.items[key] = ch
 	}
 	if _, ok := ch.find(v); ok {
 		return false
@@ -184,15 +238,15 @@ func (s *Store) EnsureVersion(key string, v model.Version) (created bool) {
 	var rec *model.Record
 	if i := ch.floorIndex(v); i >= 0 {
 		rec = ch.versions[i].rec.Clone()
-		s.stats.Copies++
-		s.stats.BytesCopied += rec.SizeBytes()
+		sh.stats.Copies++
+		sh.stats.BytesCopied += rec.SizeBytes()
 	} else {
 		rec = model.NewRecord()
-		s.stats.Creations++
+		sh.stats.Creations++
 	}
 	ch.insert(versioned{ver: v, rec: rec})
-	if n := len(ch.versions); n > s.stats.MaxLiveVersions {
-		s.stats.MaxLiveVersions = n
+	if n := len(ch.versions); n > sh.stats.MaxLiveVersions {
+		sh.stats.MaxLiveVersions = n
 	}
 	return true
 }
@@ -204,9 +258,10 @@ func (s *Store) EnsureVersion(key string, v model.Version) (created bool) {
 // protocol always does); ApplyFrom returns the number of versions the
 // op was applied to, which is 0 only on protocol misuse.
 func (s *Store) ApplyFrom(key string, v model.Version, op model.Op) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return 0
 	}
@@ -217,7 +272,7 @@ func (s *Store) ApplyFrom(key string, v model.Version, op model.Op) int {
 			n++
 		}
 	}
-	s.applies.Add(int64(n))
+	sh.applies.Add(int64(n))
 	return n
 }
 
@@ -225,9 +280,10 @@ func (s *Store) ApplyFrom(key string, v model.Version, op model.Op) int {
 // which never dual-writes: non-commuting transactions update only their
 // own version). It reports whether the version existed.
 func (s *Store) ApplyExact(key string, v model.Version, op model.Op) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return false
 	}
@@ -244,9 +300,10 @@ func (s *Store) ApplyExact(key string, v model.Version, op model.Op) bool {
 // version existed. If drop is true the version is instead removed
 // entirely (the aborting transaction had created it).
 func (s *Store) Restore(key string, v model.Version, rec *model.Record, drop bool) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return false
 	}
@@ -255,7 +312,7 @@ func (s *Store) Restore(key string, v model.Version, rec *model.Record, drop boo
 			if drop {
 				ch.versions = append(ch.versions[:i], ch.versions[i+1:]...)
 				if len(ch.versions) == 0 {
-					delete(s.items, key)
+					delete(sh.items, key)
 				}
 			} else {
 				ch.versions[i].rec = rec.Clone()
@@ -271,36 +328,44 @@ func (s *Store) Restore(key string, v model.Version, rec *model.Record, drop boo
 // all earlier versions are deleted; otherwise the latest earlier
 // version is renumbered to vrNew. Versions above vrNew (the current
 // update version's data) are untouched.
+//
+// The sweep locks one shard at a time. Cross-shard atomicity is not
+// needed: GC runs only after quiescence of every version below vrNew
+// has been detected (Phase 2), so no live subtransaction can observe a
+// version this sweep removes, and readers at vrNew or above see every
+// item unchanged from their perspective mid-sweep.
 func (s *Store) GC(vrNew model.Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.GCRuns++
-	for _, ch := range s.items {
-		if _, ok := ch.find(vrNew); ok {
-			kept := ch.versions[:0]
-			for _, v := range ch.versions {
-				if v.ver >= vrNew {
-					kept = append(kept, v)
-				} else {
-					s.stats.GCDropped++
+	s.gcRuns.Add(1)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, ch := range sh.items {
+			if _, ok := ch.find(vrNew); ok {
+				kept := ch.versions[:0]
+				for _, v := range ch.versions {
+					if v.ver >= vrNew {
+						kept = append(kept, v)
+					} else {
+						sh.stats.GCDropped++
+					}
 				}
+				ch.versions = kept
+				continue
 			}
-			ch.versions = kept
-			continue
+			// vrNew does not exist: renumber the latest earlier version to
+			// vrNew so future "max existing ≤ v" lookups stay correct, and
+			// drop anything older than it.
+			i := ch.floorIndex(vrNew)
+			if i < 0 {
+				continue // item only exists in versions above vrNew
+			}
+			ch.versions[i].ver = vrNew
+			sh.stats.GCRenumbered++
+			if i > 0 {
+				sh.stats.GCDropped += int64(i)
+				ch.versions = append(ch.versions[:0], ch.versions[i:]...)
+			}
 		}
-		// vrNew does not exist: renumber the latest earlier version to
-		// vrNew so future "max existing ≤ v" lookups stay correct, and
-		// drop anything older than it.
-		i := ch.floorIndex(vrNew)
-		if i < 0 {
-			continue // item only exists in versions above vrNew
-		}
-		ch.versions[i].ver = vrNew
-		s.stats.GCRenumbered++
-		if i > 0 {
-			s.stats.GCDropped += int64(i)
-			ch.versions = append(ch.versions[:0], ch.versions[i:]...)
-		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -318,23 +383,22 @@ type ExportedItem struct {
 
 // Export returns a deep copy of the whole store in serializable form
 // (items sorted by key, versions ascending) for snapshot persistence.
+// The copy is per-shard-consistent; callers quiesce the store for a
+// cross-item point-in-time snapshot (the snapshot layer does).
 func (s *Store) Export() []ExportedItem {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.items))
-	for k := range s.items {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]ExportedItem, 0, len(keys))
-	for _, k := range keys {
-		ch := s.items[k]
-		item := ExportedItem{Key: k, Versions: make([]ExportedVersion, 0, len(ch.versions))}
-		for _, v := range ch.versions {
-			item.Versions = append(item.Versions, ExportedVersion{Ver: v.ver, Rec: v.rec.Clone()})
+	var out []ExportedItem
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, ch := range sh.items {
+			item := ExportedItem{Key: k, Versions: make([]ExportedVersion, 0, len(ch.versions))}
+			for _, v := range ch.versions {
+				item.Versions = append(item.Versions, ExportedVersion{Ver: v.ver, Rec: v.rec.Clone()})
+			}
+			out = append(out, item)
 		}
-		out = append(out, item)
+		sh.mu.RUnlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -342,22 +406,28 @@ func (s *Store) Export() []ExportedItem {
 // copied). Accounting stats are reset; the live-version high-water mark
 // restarts from the imported chains.
 func (s *Store) Import(items []ExportedItem) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.items = make(map[string]*chain, len(items))
-	s.stats = Stats{}
-	s.reads.Store(0)
-	s.applies.Store(0)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.items = make(map[string]*chain)
+		sh.stats = Stats{}
+		sh.reads.Store(0)
+		sh.applies.Store(0)
+		sh.mu.Unlock()
+	}
+	s.gcRuns.Store(0)
 	for _, item := range items {
 		ch := &chain{versions: make([]versioned, 0, len(item.Versions))}
 		for _, v := range item.Versions {
 			ch.versions = append(ch.versions, versioned{ver: v.Ver, rec: v.Rec.Clone()})
 		}
 		sort.Slice(ch.versions, func(i, j int) bool { return ch.versions[i].ver < ch.versions[j].ver })
-		s.items[item.Key] = ch
-		if n := len(ch.versions); n > s.stats.MaxLiveVersions {
-			s.stats.MaxLiveVersions = n
+		sh := s.shardFor(item.Key)
+		sh.mu.Lock()
+		sh.items[item.Key] = ch
+		if n := len(ch.versions); n > sh.stats.MaxLiveVersions {
+			sh.stats.MaxLiveVersions = n
 		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -368,13 +438,15 @@ func (s *Store) Import(items []ExportedItem) {
 // when the difference in value of data items in different versions
 // exceeds some threshold") use it to decide when to advance.
 func (s *Store) PendingItems(vr model.Version) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, ch := range s.items {
-		if len(ch.versions) > 0 && ch.versions[len(ch.versions)-1].ver > vr {
-			n++
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ch := range sh.items {
+			if len(ch.versions) > 0 && ch.versions[len(ch.versions)-1].ver > vr {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -384,26 +456,28 @@ func (s *Store) PendingItems(vr model.Version) int {
 // a reader at vr would see — the paper's "difference in value of data
 // items in different versions" trigger quantity.
 func (s *Store) Divergence(vr model.Version, field string) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int64
-	for _, ch := range s.items {
-		if len(ch.versions) == 0 {
-			continue
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ch := range sh.items {
+			if len(ch.versions) == 0 {
+				continue
+			}
+			newest := ch.versions[len(ch.versions)-1]
+			if newest.ver <= vr {
+				continue
+			}
+			var readable int64
+			if i := ch.floorIndex(vr); i >= 0 {
+				readable = ch.versions[i].rec.Field(field)
+			}
+			d := newest.rec.Field(field) - readable
+			if d < 0 {
+				d = -d
+			}
+			total += d
 		}
-		newest := ch.versions[len(ch.versions)-1]
-		if newest.ver <= vr {
-			continue
-		}
-		var readable int64
-		if i := ch.floorIndex(vr); i >= 0 {
-			readable = ch.versions[i].rec.Field(field)
-		}
-		d := newest.rec.Field(field) - readable
-		if d < 0 {
-			d = -d
-		}
-		total += d
+		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -412,21 +486,25 @@ func (s *Store) Divergence(vr model.Version, field string) int64 {
 // strictly below v — i.e. garbage collection up to v has not run. A
 // recovering coordinator uses it to detect an interrupted Phase 4.
 func (s *Store) HasVersionsBelow(v model.Version) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, ch := range s.items {
-		if len(ch.versions) > 0 && ch.versions[0].ver < v {
-			return true
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ch := range sh.items {
+			if len(ch.versions) > 0 && ch.versions[0].ver < v {
+				sh.mu.RUnlock()
+				return true
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return false
 }
 
 // LiveVersions returns the versions currently live for key, ascending.
 func (s *Store) LiveVersions(key string) []model.Version {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ch := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ch := sh.items[key]
 	if ch == nil {
 		return nil
 	}
@@ -439,11 +517,13 @@ func (s *Store) LiveVersions(key string) []model.Version {
 
 // Keys returns all item keys in sorted order.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.items))
-	for k := range s.items {
-		out = append(out, k)
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.items {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -453,43 +533,68 @@ func (s *Store) Keys() []string {
 // versions any item currently has (not the historical high-water mark;
 // see Stats for that).
 func (s *Store) MaxLiveVersions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	max := 0
-	for _, ch := range s.items {
-		if n := len(ch.versions); n > max {
-			max = n
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, ch := range sh.items {
+			if n := len(ch.versions); n > max {
+				max = n
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return max
 }
 
-// Stats returns a copy of the accounting counters.
+// Stats returns a copy of the accounting counters, aggregated across
+// shards (sums; MaxLiveVersions is the max over shards). The aggregate
+// is best-effort under concurrent mutation, like any gauge read.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := s.stats
-	out.Reads = s.reads.Load()
-	out.Applies = s.applies.Load()
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st := sh.stats
+		sh.mu.RUnlock()
+		out.Copies += st.Copies
+		out.BytesCopied += st.BytesCopied
+		out.Creations += st.Creations
+		out.GCDropped += st.GCDropped
+		out.GCRenumbered += st.GCRenumbered
+		if st.MaxLiveVersions > out.MaxLiveVersions {
+			out.MaxLiveVersions = st.MaxLiveVersions
+		}
+		out.Reads += sh.reads.Load()
+		out.Applies += sh.applies.Load()
+	}
+	out.GCRuns = s.gcRuns.Load()
 	return out
 }
 
 // Dump renders the whole store for traces and debugging: every item
 // with its live versions.
 func (s *Store) Dump() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.items))
-	for k := range s.items {
-		keys = append(keys, k)
+	type kv struct {
+		key string
+		ch  *chain
 	}
-	sort.Strings(keys)
+	var all []kv
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, ch := range sh.items {
+			all = append(all, kv{k, ch})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
 	out := ""
-	for _, k := range keys {
-		out += k + ":"
-		for _, v := range s.items[k].versions {
+	for _, e := range all {
+		out += e.key + ":"
+		sh := s.shardFor(e.key)
+		sh.mu.RLock()
+		for _, v := range e.ch.versions {
 			out += fmt.Sprintf(" v%d=%v", v.ver, v.rec)
 		}
+		sh.mu.RUnlock()
 		out += "\n"
 	}
 	return out

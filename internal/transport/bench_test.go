@@ -1,0 +1,53 @@
+package transport
+
+import "testing"
+
+// BenchmarkMailbox drives one mailbox through sustained 256-deep
+// bursts — the Send → delivery-goroutine handoff under backlog. The
+// pre-ring implementation reallocates and retains dead Message backing
+// arrays as the queue head advances; the ring reuses one power-of-two
+// buffer and zeroes consumed slots.
+func BenchmarkMailbox(b *testing.B) {
+	mb := newMailbox()
+	m := Message{From: 0, To: 1, Payload: ping{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := b.N; n > 0; {
+		burst := 256
+		if burst > n {
+			burst = n
+		}
+		for i := 0; i < burst; i++ {
+			mb.put(m)
+		}
+		for i := 0; i < burst; i++ {
+			if _, ok := mb.get(); !ok {
+				b.Fatal("mailbox closed early")
+			}
+		}
+		n -= burst
+	}
+}
+
+// BenchmarkStatsCount hammers the per-message accounting taken on
+// every Net.Send from all procs — a node-global mutex in the pre-atomic
+// implementation.
+func BenchmarkStatsCount(b *testing.B) {
+	var c statsCollector
+	msgs := [2]Message{
+		{From: 0, To: 1, Payload: ping{}},
+		{From: 1, To: 0, Payload: pong{}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.count(msgs[i&1])
+			i++
+		}
+	})
+	if c.snapshot().Messages == 0 {
+		b.Fatal("no messages counted")
+	}
+}

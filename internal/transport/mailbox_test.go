@@ -1,0 +1,42 @@
+package transport
+
+import "testing"
+
+// TestMailboxSteadyStateCapacityBounded is the regression test for the
+// slice-shift retention bug (mb.queue = mb.queue[1:] kept the backing
+// array alive and growing under sustained load): after moving far more
+// messages through a mailbox than its backlog ever holds, the ring
+// capacity must be bounded by the backlog high-water mark, not by
+// cumulative throughput.
+func TestMailboxSteadyStateCapacityBounded(t *testing.T) {
+	mb := newMailbox()
+	const depth = 50
+	m := Message{From: 0, To: 1, Payload: ping{}}
+	for i := 0; i < 100000; i++ {
+		mb.put(m)
+		if i%2 == 0 || mbLen(mb) >= depth {
+			if _, ok := mb.get(); !ok {
+				t.Fatal("mailbox closed unexpectedly")
+			}
+		}
+	}
+	if c := mbCap(mb); c > 64 { // next power of two above depth
+		t.Errorf("steady-state capacity = %d after 100k messages at backlog ≤ %d, want ≤ 64", c, depth)
+	}
+	delivered, highWater := mb.counts()
+	if delivered == 0 || highWater == 0 || highWater > depth {
+		t.Errorf("counts = (%d, %d), want delivered > 0 and 0 < highWater ≤ %d", delivered, highWater, depth)
+	}
+}
+
+func mbLen(mb *mailbox) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.queue.Len()
+}
+
+func mbCap(mb *mailbox) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.queue.Cap()
+}

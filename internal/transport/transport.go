@@ -27,12 +27,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/ring"
 )
 
 // Message is one envelope on the wire. Payload is a protocol-defined
@@ -104,39 +106,47 @@ type Stats struct {
 	DupDropped int64
 }
 
-// statsCollector accumulates message counts under a lock.
+// statsCollector accumulates message counts. It sits on every Net.Send,
+// so it is all atomics: a total counter plus one atomic.Int64 per
+// payload type in a sync.Map keyed by reflect.Type (cheap comparable
+// key, no per-call formatting). The snapshot is best-effort — Messages
+// and the per-type counts are read without mutual atomicity, like any
+// gauge scrape.
 type statsCollector struct {
-	mu sync.Mutex
-	s  Stats
+	messages atomic.Int64
+	byType   sync.Map // reflect.Type -> *atomic.Int64
 }
 
 func (c *statsCollector) count(m Message) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.s.ByType == nil {
-		c.s.ByType = make(map[string]int64)
+	c.messages.Add(1)
+	t := reflect.TypeOf(m.Payload)
+	if v, ok := c.byType.Load(t); ok {
+		v.(*atomic.Int64).Add(1)
+		return
 	}
-	c.s.Messages++
-	c.s.ByType[fmt.Sprintf("%T", m.Payload)]++
+	v, _ := c.byType.LoadOrStore(t, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
 }
 
 func (c *statsCollector) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := Stats{Messages: c.s.Messages, ByType: make(map[string]int64, len(c.s.ByType))}
-	for k, v := range c.s.ByType {
-		out.ByType[k] = v
-	}
+	out := Stats{Messages: c.messages.Load(), ByType: make(map[string]int64)}
+	c.byType.Range(func(k, v any) bool {
+		out.ByType[k.(reflect.Type).String()] = v.(*atomic.Int64).Load()
+		return true
+	})
 	return out
 }
 
 // mailbox is an unbounded FIFO queue with blocking receive. Sends never
 // block (required by the protocol's no-waiting property); the consumer
-// drains at its own pace.
+// drains at its own pace. Like the node work queue, it is backed by a
+// growable power-of-two ring so a sustained message flow reuses one
+// buffer (bounded by the backlog high-water mark) instead of endlessly
+// reallocating and retaining dead Message backing arrays.
 type mailbox struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
-	queue     []Message
+	queue     ring.Ring[Message]
 	closed    bool
 	delivered int64 // messages handed to the consumer
 	highWater int64 // largest queue length ever observed
@@ -156,8 +166,8 @@ func (mb *mailbox) put(m Message) bool {
 	if mb.closed {
 		return false
 	}
-	mb.queue = append(mb.queue, m)
-	if n := int64(len(mb.queue)); n > mb.highWater {
+	mb.queue.Push(m)
+	if n := int64(mb.queue.Len()); n > mb.highWater {
 		mb.highWater = n
 	}
 	mb.cond.Signal()
@@ -168,16 +178,14 @@ func (mb *mailbox) put(m Message) bool {
 func (mb *mailbox) get() (Message, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for len(mb.queue) == 0 && !mb.closed {
+	for mb.queue.Len() == 0 && !mb.closed {
 		mb.cond.Wait()
 	}
-	if len(mb.queue) == 0 {
-		return Message{}, false
+	m, ok := mb.queue.Pop()
+	if ok {
+		mb.delivered++
 	}
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
-	mb.delivered++
-	return m, true
+	return m, ok
 }
 
 // counts returns the mailbox's delivery count and backlog high-water
