@@ -5,10 +5,18 @@
 // Usage:
 //
 //	threev-bench [-txns N] [-only E5,E9] [-json FILE] [-out BENCH_0.json]
+//	             [-transport mem|tcp]
 //	             [-pprof :6060] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -txns scales every experiment's transaction count; -only restricts
-// the run to a comma-separated list of experiment ids. -json writes a
+// the run to a comma-separated list of experiment ids.
+//
+// -transport selects the calibration run's network: "mem" (default)
+// is the in-memory transport; "tcp" routes every protocol message —
+// including self-sends — through the binary wire codec and a real
+// loopback TCP socket (tcpnet in ForceTCP mode), measuring the full
+// serialization + kernel networking overhead. The mem-vs-tcp delta is
+// the "Wire overhead" section of EXPERIMENTS.md. -json writes a
 // machine-readable report ("-" = stdout) with each experiment's
 // pass/fail plus a calibration run of a loaded 3V cluster capturing
 // throughput and the observability snapshot (latency quantiles,
@@ -29,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -41,6 +50,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
 	"repro/internal/workload"
 )
 
@@ -78,6 +88,7 @@ type calibrationRun struct {
 	Txns          int             `json:"txns"`
 	Completed     int             `json:"completed"`
 	ThroughputTPS float64         `json:"throughput_tps"`
+	TransportKind string          `json:"transport_kind,omitempty"`
 	DropRate      float64         `json:"drop_rate,omitempty"`
 	DupRate       float64         `json:"dup_rate,omitempty"`
 	Reliable      bool            `json:"reliable,omitempty"`
@@ -92,12 +103,21 @@ func main() {
 	drop := flag.Float64("drop", 0, "calibration run: per-message drop probability (requires -reliable when > 0)")
 	dup := flag.Float64("dupmsg", 0, "calibration run: per-message duplication probability")
 	reliable := flag.Bool("reliable", false, "calibration run: interpose the reliable-delivery session layer")
+	transportKind := flag.String("transport", "mem", "calibration run network: mem (in-memory) or tcp (wire codec + loopback sockets)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
 	if *drop > 0 && !*reliable {
 		fmt.Fprintln(os.Stderr, "-drop > 0 requires -reliable (a lost message would wedge the protocol)")
+		os.Exit(1)
+	}
+	if *transportKind != "mem" && *transportKind != "tcp" {
+		fmt.Fprintln(os.Stderr, "-transport must be mem or tcp")
+		os.Exit(1)
+	}
+	if *transportKind == "tcp" && (*drop > 0 || *dup > 0) {
+		fmt.Fprintln(os.Stderr, "-drop/-dupmsg are features of the in-memory fault injector; use -transport mem")
 		os.Exit(1)
 	}
 	stopProf, err := prof.Start()
@@ -182,7 +202,7 @@ func main() {
 	var cal *calibrationRun
 	if *jsonOut != "" || *out != "" {
 		var calErr error
-		cal, calErr = calibrate(*txns, *drop, *dup, *reliable)
+		cal, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
 			failures++
@@ -250,16 +270,37 @@ func roundMs(v float64) float64 { return math.Round(v*1000) / 1000 }
 // together with the observability snapshot — the reference numbers the
 // JSON report pairs with the experiment outcomes. With drop/dup rates
 // (and the reliable session layer) it doubles as the lossy-network
-// overhead measurement recorded in EXPERIMENTS.md.
-func calibrate(txns int, drop, dup float64, reliableNet bool) (*calibrationRun, error) {
+// overhead measurement recorded in EXPERIMENTS.md. transportKind "tcp"
+// swaps the in-memory network for tcpnet in ForceTCP mode: the cluster
+// stays in one process, but every message is binary-encoded and pushed
+// through a real loopback socket — the wire-overhead measurement.
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string) (*calibrationRun, error) {
+	const nodes = 4
 	ccfg := core.Config{
-		Nodes: 4,
+		Nodes: nodes,
 		NetConfig: transport.Config{
 			Jitter: 200 * time.Microsecond,
 			Seed:   1,
 			Faults: transport.Faults{Default: transport.LinkFaults{DropRate: drop, DupRate: dup}},
 		},
 		Reliable: reliableNet,
+	}
+	var tn *tcpnet.Net
+	if transportKind == "tcp" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		local := make([]model.NodeID, nodes+1) // nodes + coordinator
+		for i := range local {
+			local[i] = model.NodeID(i)
+		}
+		tn, err = tcpnet.New(tcpnet.Config{Local: local, Listener: ln, ForceTCP: true})
+		if err != nil {
+			return nil, err
+		}
+		defer tn.Close() // idempotent; also closed via the cluster when reliable wraps it
+		ccfg.Transport = tn
 	}
 	if reliableNet {
 		ccfg.ResendInterval = 5 * time.Millisecond
@@ -268,6 +309,9 @@ func calibrate(txns int, drop, dup float64, reliableNet bool) (*calibrationRun, 
 	cluster, err := core.NewCluster(ccfg)
 	if err != nil {
 		return nil, err
+	}
+	if tn != nil {
+		tn.SetObs(cluster.Obs())
 	}
 	cluster.Start()
 	defer cluster.Close()
@@ -295,6 +339,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool) (*calibrationRun, 
 		Txns:          txns,
 		Completed:     res.Completed,
 		ThroughputTPS: res.Throughput(),
+		TransportKind: transportKind,
 		DropRate:      drop,
 		DupRate:       dup,
 		Reliable:      reliableNet,

@@ -1,0 +1,367 @@
+// Command threev-node runs one process of a real 3V cluster: one
+// database node speaking the protocol over TCP (length-prefixed binary
+// frames, reliable-delivery session layer on top), plus — in the
+// process with id 0 — the version-advancement coordinator.
+//
+// Usage:
+//
+//	threev-node -id 0 -nodes 3 -listen 127.0.0.1:7100 \
+//	            -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 \
+//	            -metrics 127.0.0.1:8100
+//
+// Every process is given the same -peers map (its own entry is used by
+// the others; extra entries are rejected). The coordinator endpoint
+// (id = nodes) lives in process 0 and needs no entry of its own.
+//
+// -metrics serves the observability endpoints (/metrics Prometheus
+// text, /metrics.json, /events.json) plus a small control surface:
+//
+//	/state               JSON: versions, balances bookkeeping, transport stats
+//	/workload?txns=N     run N commuting update trees rooted here (+1 on
+//	                     every process's account, children fan out)
+//	/read                read this process's account at the read version
+//	/advance             run one advancement cycle (process 0 only)
+//	/killconns           sever every TCP connection (recovery testing)
+//	/quit                graceful shutdown
+//
+// The line "control: http://ADDR" on stdout announces the bound
+// metrics address (useful with -metrics 127.0.0.1:0).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/transport/reliable"
+	"repro/internal/transport/tcpnet"
+)
+
+// accountKey is the one preloaded item each process owns; the demo
+// workload updates every process's account in one transaction tree.
+func accountKey(id int) string { return fmt.Sprintf("acct%d", id) }
+
+// parsePeers parses "0=host:port,1=host:port,..." into an id->addr map.
+func parsePeers(s string, nodes int) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=host:port", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || n < 0 || n >= nodes {
+			return nil, fmt.Errorf("peer %q: id must be in [0,%d)", part, nodes)
+		}
+		if _, dup := out[n]; dup {
+			return nil, fmt.Errorf("peer id %d listed twice", n)
+		}
+		out[n] = strings.TrimSpace(addr)
+	}
+	return out, nil
+}
+
+type nodeServer struct {
+	id      int
+	nodes   int
+	cluster *core.Cluster
+	tnet    *tcpnet.Net
+	quit    chan struct{}
+}
+
+// stateReport is the /state response.
+type stateReport struct {
+	ID          int      `json:"id"`
+	Nodes       int      `json:"nodes"`
+	Coordinator bool     `json:"coordinator"`
+	VR          int64    `json:"vr"`
+	VU          int64    `json:"vu"`
+	Committed   int64    `json:"committed_updates"`
+	Violations  []string `json:"violations"`
+	Convergence []string `json:"convergence_errors"`
+	Messages    int64    `json:"messages"`
+	BytesSent   int64    `json:"bytes_sent"`
+	BytesRecv   int64    `json:"bytes_received"`
+	Reconnects  int64    `json:"reconnects"`
+}
+
+func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
+	vr, vu := s.cluster.Node(s.id).Versions()
+	ts := s.tnet.Stats()
+	writeJSON(w, stateReport{
+		ID:          s.id,
+		Nodes:       s.nodes,
+		Coordinator: s.cluster.Coordinator() != nil,
+		VR:          int64(vr),
+		VU:          int64(vu),
+		Committed:   s.cluster.CommittedUpdates(),
+		Violations:  s.cluster.Violations(),
+		Convergence: s.cluster.ConvergenceErrors(),
+		Messages:    ts.Messages,
+		BytesSent:   ts.BytesSent,
+		BytesRecv:   ts.BytesReceived,
+		Reconnects:  ts.Reconnects,
+	})
+}
+
+// handleWorkload submits N commuting update trees rooted at the local
+// node: +1 on the local account plus one child per remote process
+// adding +1 there. It waits for the root-only handles and reports.
+func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	txns := 100
+	if q := r.URL.Query().Get("txns"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			http.Error(w, "txns must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		txns = n
+	}
+	handles := make([]*core.Handle, 0, txns)
+	for i := 0; i < txns; i++ {
+		root := &model.SubtxnSpec{
+			Node:    model.NodeID(s.id),
+			Updates: []model.KeyOp{{Key: accountKey(s.id), Op: model.AddOp{Field: "bal", Delta: 1}}},
+		}
+		for j := 0; j < s.nodes; j++ {
+			if j != s.id {
+				root.Children = append(root.Children, &model.SubtxnSpec{
+					Node:    model.NodeID(j),
+					Updates: []model.KeyOp{{Key: accountKey(j), Op: model.AddOp{Field: "bal", Delta: 1}}},
+				})
+			}
+		}
+		h, err := s.cluster.Submit(&model.TxnSpec{Label: fmt.Sprintf("demo-%d", i), Root: root})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		if !h.WaitTimeout(time.Minute) {
+			http.Error(w, fmt.Sprintf("transaction %v did not complete", h.ID), http.StatusGatewayTimeout)
+			return
+		}
+	}
+	writeJSON(w, map[string]int{"submitted": txns})
+}
+
+func (s *nodeServer) handleRead(w http.ResponseWriter, _ *http.Request) {
+	h, err := s.cluster.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:  model.NodeID(s.id),
+		Reads: []string{accountKey(s.id)},
+	}})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !h.WaitTimeout(time.Minute) {
+		http.Error(w, "read did not complete", http.StatusGatewayTimeout)
+		return
+	}
+	reads := h.Reads()
+	if len(reads) != 1 {
+		http.Error(w, fmt.Sprintf("read returned %d results", len(reads)), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"key":     accountKey(s.id),
+		"bal":     reads[0].Record.Field("bal"),
+		"version": reads[0].VersionRead,
+	})
+}
+
+func (s *nodeServer) handleAdvance(w http.ResponseWriter, _ *http.Request) {
+	rep := s.cluster.Advance()
+	if rep.Err != nil {
+		http.Error(w, rep.Err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"new_vr":   rep.NewVR,
+		"new_vu":   rep.NewVU,
+		"total_ms": float64(rep.Total) / 1e6,
+		"sweeps":   rep.SweepsPhase2 + rep.SweepsPhase4,
+	})
+}
+
+func (s *nodeServer) handleKillConns(w http.ResponseWriter, _ *http.Request) {
+	s.tnet.KillConnections()
+	writeJSON(w, map[string]bool{"killed": true})
+}
+
+func (s *nodeServer) handleQuit(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]bool{"quitting": true})
+	close(s.quit)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func main() {
+	id := flag.Int("id", -1, "this process's node id (0..nodes-1); id 0 also hosts the coordinator")
+	nodes := flag.Int("nodes", 3, "total database nodes in the cluster")
+	listen := flag.String("listen", "", "protocol listen address, e.g. 127.0.0.1:7100")
+	peersFlag := flag.String("peers", "", "comma-separated id=host:port for every process (own entry allowed)")
+	metricsAddr := flag.String("metrics", "", "serve metrics + control endpoints on this address (e.g. 127.0.0.1:8100)")
+	autoAdvance := flag.Duration("auto-advance", 0, "run version advancement on this period (process 0 only; 0 = manual via /advance)")
+	ackTimeout := flag.Duration("ack-timeout", 30*time.Second, "coordinator wait bound on node acknowledgements")
+	flag.Parse()
+
+	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration) error {
+	if id < 0 || id >= nodes {
+		return fmt.Errorf("-id must be in [0,%d)", nodes)
+	}
+	if listen == "" {
+		return fmt.Errorf("-listen is required")
+	}
+	peers, err := parsePeers(peersFlag, nodes)
+	if err != nil {
+		return err
+	}
+	if len(peers) != nodes && len(peers) != nodes-1 {
+		return fmt.Errorf("-peers must name all %d processes (own entry optional), got %d", nodes, len(peers))
+	}
+	for j := 0; j < nodes; j++ {
+		if j != id {
+			if _, ok := peers[j]; !ok {
+				return fmt.Errorf("-peers is missing process %d", j)
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	local := []model.NodeID{model.NodeID(id)}
+	if id == 0 {
+		local = append(local, model.NodeID(nodes)) // coordinator endpoint
+	}
+	tpeers := make(map[model.NodeID]string)
+	for j, addr := range peers {
+		if j != id {
+			tpeers[model.NodeID(j)] = addr
+		}
+	}
+	if id != 0 {
+		coordHost, ok := peers[0]
+		if !ok {
+			return fmt.Errorf("-peers is missing process 0 (the coordinator host)")
+		}
+		tpeers[model.NodeID(nodes)] = coordHost
+	}
+	tnet, err := tcpnet.New(tcpnet.Config{Local: local, Peers: tpeers, Listener: ln})
+	if err != nil {
+		return err
+	}
+
+	cluster, err := core.NewCluster(core.Config{
+		Nodes:            nodes,
+		LocalNodes:       []int{id},
+		LocalCoordinator: id == 0,
+		Transport:        tnet,
+		Reliable:         true,
+		ReliableConfig: reliable.Config{
+			RetransmitInterval: 20 * time.Millisecond,
+			MaxBackoff:         time.Second,
+		},
+		AckTimeout:     ackTimeout,
+		ResendInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	// Route wire-codec latency histograms into the cluster's registry so
+	// /metrics exposes threev_wire_encode/decode_seconds.
+	tnet.SetObs(cluster.Obs())
+	rec := model.NewRecord()
+	rec.Fields["bal"] = 0
+	cluster.Preload(model.NodeID(id), accountKey(id), rec)
+	cluster.Start()
+	defer cluster.Close()
+
+	role := "node"
+	if id == 0 {
+		role = "node+coordinator"
+	}
+	fmt.Printf("threev-node %d/%d (%s) listening on %s\n", id, nodes, role, ln.Addr())
+	peerList := make([]string, 0, len(tpeers))
+	for j, addr := range tpeers {
+		peerList = append(peerList, fmt.Sprintf("%d=%s", j, addr))
+	}
+	sort.Strings(peerList)
+	fmt.Printf("peers: %s\n", strings.Join(peerList, " "))
+
+	srv := &nodeServer{id: id, nodes: nodes, cluster: cluster, tnet: tnet, quit: make(chan struct{})}
+	if metricsAddr != "" {
+		mln, lerr := net.Listen("tcp", metricsAddr)
+		if lerr != nil {
+			return lerr
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/state", srv.handleState)
+		mux.HandleFunc("/workload", srv.handleWorkload)
+		mux.HandleFunc("/read", srv.handleRead)
+		mux.HandleFunc("/advance", srv.handleAdvance)
+		mux.HandleFunc("/killconns", srv.handleKillConns)
+		mux.HandleFunc("/quit", srv.handleQuit)
+		mux.Handle("/", obs.Handler(cluster))
+		go func() {
+			if serr := http.Serve(mln, mux); serr != nil {
+				fmt.Fprintln(os.Stderr, serr)
+			}
+		}()
+		fmt.Printf("control: http://%s\n", mln.Addr())
+	}
+
+	if autoAdvance > 0 && id == 0 {
+		go func() {
+			t := time.NewTicker(autoAdvance)
+			defer t.Stop()
+			for {
+				select {
+				case <-srv.quit:
+					return
+				case <-t.C:
+					if rep := cluster.Advance(); rep.Err != nil {
+						fmt.Fprintf(os.Stderr, "advancement: %v\n", rep.Err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		fmt.Println("interrupted, shutting down")
+	case <-srv.quit:
+	}
+	return nil
+}

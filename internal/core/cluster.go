@@ -21,6 +21,21 @@ type Config struct {
 	// Nodes is the number of database nodes (ids 0..Nodes-1). The
 	// coordinator occupies endpoint id Nodes.
 	Nodes int
+	// LocalNodes, when non-nil, selects distributed mode: only the
+	// listed node ids are hosted by this process; the rest live in
+	// other processes reachable through Transport, which must then be
+	// supplied explicitly (e.g. a tcpnet.Net spanning the processes).
+	// Submit only accepts transactions whose root node is local, and
+	// the returned handle completes when the root subtransaction
+	// terminates — descendants running in other processes are not
+	// observable here (the protocol itself never waits on them either).
+	// NCMode is unsupported in distributed mode: NC3V's 2PC bookkeeping
+	// is cluster-local. nil (the default) hosts everything in-process.
+	LocalNodes []int
+	// LocalCoordinator hosts the advancement coordinator (endpoint id
+	// Nodes) in this process. Distributed mode only; ignored when
+	// LocalNodes is nil, where the coordinator is always local.
+	LocalCoordinator bool
 	// Workers is the per-node worker-pool width for subtransaction
 	// execution; 0 means 4.
 	Workers int
@@ -82,8 +97,11 @@ type Cluster struct {
 	cfg     Config
 	net     transport.Network
 	ownsNet bool
-	nodes   []*Node
-	reg     *obs.Registry // nil when cfg.DisableObs
+	// nodes has length cfg.Nodes; in distributed mode entries for
+	// remotely hosted nodes are nil.
+	nodes       []*Node
+	distributed bool
+	reg         *obs.Registry // nil when cfg.DisableObs
 
 	coordMu sync.RWMutex
 	coord   *Coordinator
@@ -104,7 +122,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.SyncExec && cfg.NCMode {
 		return nil, fmt.Errorf("core: SyncExec cannot be combined with NCMode")
 	}
-	c := &Cluster{cfg: cfg}
+	localSet := map[int]bool{}
+	if cfg.LocalNodes != nil {
+		if cfg.Transport == nil {
+			return nil, fmt.Errorf("core: distributed mode (LocalNodes) requires an explicit Transport")
+		}
+		if cfg.NCMode {
+			return nil, fmt.Errorf("core: NCMode is unsupported in distributed mode (NC3V 2PC state is cluster-local)")
+		}
+		for _, id := range cfg.LocalNodes {
+			if id < 0 || id >= cfg.Nodes {
+				return nil, fmt.Errorf("core: LocalNodes id %d out of range [0,%d)", id, cfg.Nodes)
+			}
+			if localSet[id] {
+				return nil, fmt.Errorf("core: LocalNodes id %d listed twice", id)
+			}
+			localSet[id] = true
+		}
+	}
+	c := &Cluster{cfg: cfg, distributed: cfg.LocalNodes != nil}
 	if !cfg.DisableObs {
 		c.reg = obs.New(cfg.Obs)
 		c.reg.SetGauge(obs.GaugeVersionRead, 0)
@@ -125,7 +161,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.ownsNet = true
 	}
 	coordID := model.NodeID(cfg.Nodes)
+	c.nodes = make([]*Node, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
+		if c.distributed && !localSet[i] {
+			continue
+		}
 		var lm *locks.Manager
 		if cfg.NCMode {
 			lm = locks.New()
@@ -133,23 +173,27 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
 		nd.syncExec = cfg.SyncExec
-		c.nodes = append(c.nodes, nd)
+		c.nodes[i] = nd
 		c.net.Register(nd.id, nd.handleMessage)
 	}
-	c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
-	// The registered handler indirects through currentCoordinator so a
-	// crashed coordinator can be replaced (CrashCoordinator/Recover)
-	// without touching the transport.
-	c.net.Register(coordID, func(m transport.Message) {
-		c.currentCoordinator().handleMessage(m)
-	})
+	if !c.distributed || cfg.LocalCoordinator {
+		c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
+		// The registered handler indirects through currentCoordinator so a
+		// crashed coordinator can be replaced (CrashCoordinator/Recover)
+		// without touching the transport.
+		c.net.Register(coordID, func(m transport.Message) {
+			c.currentCoordinator().handleMessage(m)
+		})
+	}
 	return c, nil
 }
 
 // Start launches node worker pools and (if owned) the network.
 func (c *Cluster) Start() {
 	for _, nd := range c.nodes {
-		nd.start()
+		if nd != nil {
+			nd.start()
+		}
 	}
 	c.net.Start()
 }
@@ -162,22 +206,29 @@ func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	c.currentCoordinator().shutdown()
+	if coord := c.currentCoordinator(); coord != nil {
+		coord.shutdown()
+	}
 	if c.ownsNet {
 		c.net.Close()
 	}
 	for _, nd := range c.nodes {
-		nd.stop()
+		if nd != nil {
+			nd.stop()
+		}
 	}
 }
 
-// Node returns database node i (tests, trace, verifiers).
+// Node returns database node i (tests, trace, verifiers). In
+// distributed mode it is nil for nodes hosted by other processes.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 
-// NumNodes returns the number of database nodes.
+// NumNodes returns the number of database nodes cluster-wide
+// (including, in distributed mode, nodes hosted elsewhere).
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
-// Coordinator returns the current advancement coordinator.
+// Coordinator returns the current advancement coordinator, or nil in a
+// distributed-mode process that does not host it.
 func (c *Cluster) Coordinator() *Coordinator { return c.currentCoordinator() }
 
 func (c *Cluster) currentCoordinator() *Coordinator {
@@ -192,7 +243,11 @@ func (c *Cluster) Network() transport.Network { return c.net }
 // Preload installs an initial version-0 record at a node, as in the
 // paper's initial state. Call before Start.
 func (c *Cluster) Preload(node model.NodeID, key string, rec *model.Record) {
-	c.nodes[node].store.Preload(key, rec)
+	nd := c.nodes[node]
+	if nd == nil {
+		panic(fmt.Sprintf("core: Preload of node %d, which is not hosted by this process", node))
+	}
+	nd.store.Preload(key, rec)
 }
 
 // Submit validates and launches a transaction; the returned handle
@@ -208,8 +263,14 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 	if int(spec.Root.Node) >= len(c.nodes) {
 		return nil, fmt.Errorf("core: root node %d out of range", spec.Root.Node)
 	}
+	if c.nodes[spec.Root.Node] == nil {
+		return nil, fmt.Errorf("core: root node %d is not hosted by this process (submit at its host)", spec.Root.Node)
+	}
+	// TxnIDs embed the root node id, and each node is hosted by exactly
+	// one process, so the per-process sequence stays globally unique.
 	id := model.MakeTxnID(spec.Root.Node, c.seq.Add(1))
 	h := newHandle(id)
+	h.rootOnly = c.distributed
 	h.isUpdate = !spec.ReadOnly()
 	h.needsUnlock = c.cfg.NCMode && h.isUpdate && !spec.NonCommuting
 	c.handles.Store(id, h)
@@ -240,15 +301,21 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 }
 
 // Advance runs one full version-advancement cycle and blocks until it
-// completes (user transactions are unaffected throughout).
+// completes (user transactions are unaffected throughout). In a
+// distributed-mode process without the coordinator it fails with
+// ErrNoCoordinator.
 func (c *Cluster) Advance() AdvanceReport {
-	return c.currentCoordinator().RunAdvancement()
+	coord := c.currentCoordinator()
+	if coord == nil {
+		return AdvanceReport{Interrupted: true, Err: ErrNoCoordinator}
+	}
+	return coord.RunAdvancement()
 }
 
 // AdvanceAsync launches an advancement cycle in the background.
 func (c *Cluster) AdvanceAsync() <-chan AdvanceReport {
 	ch := make(chan AdvanceReport, 1)
-	go func() { ch <- c.currentCoordinator().RunAdvancement() }()
+	go func() { ch <- c.Advance() }()
 	return ch
 }
 
@@ -265,14 +332,19 @@ func (c *Cluster) handleFor(txn model.TxnID) *Handle {
 }
 
 func (c *Cluster) onSpawn(txn model.TxnID, n int) {
-	if h := c.handleFor(txn); h != nil {
+	if h := c.handleFor(txn); h != nil && !h.rootOnly {
 		h.addExpected(n)
 	}
 }
 
-func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted bool) {
+func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted, root bool) {
 	h := c.handleFor(txn)
 	if h == nil {
+		return
+	}
+	if h.rootOnly && !root {
+		// Distributed mode: descendants (local or remote) do not gate
+		// the handle; the root's termination is the completion edge.
 		return
 	}
 	completed := h.reportDone(node, reads, aborted)
@@ -343,6 +415,9 @@ type ClusterMetrics struct {
 func (c *Cluster) Metrics() ClusterMetrics {
 	m := ClusterMetrics{Transport: c.net.Stats(), Obs: c.ObsSnapshot()}
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		m.PerNode = append(m.PerNode, nd.Metrics())
 		m.Storage = append(m.Storage, nd.store.Stats())
 	}
@@ -368,6 +443,9 @@ func (c *Cluster) ObsSnapshot() obs.Snapshot {
 	c.reg.SetGauge(obs.GaugeNetDuplicated, float64(ts.Duplicated))
 	c.reg.SetGauge(obs.GaugeNetRetransmits, float64(ts.Retransmits))
 	c.reg.SetGauge(obs.GaugeNetDupDropped, float64(ts.DupDropped))
+	c.reg.SetGauge(obs.GaugeNetBytesSent, float64(ts.BytesSent))
+	c.reg.SetGauge(obs.GaugeNetBytesReceived, float64(ts.BytesReceived))
+	c.reg.SetGauge(obs.GaugeNetReconnects, float64(ts.Reconnects))
 	return c.reg.Snapshot()
 }
 
@@ -384,6 +462,9 @@ func (c *Cluster) ObsEvents() []obs.Event { return c.reg.Events() }
 func (c *Cluster) CounterLagSamples() []obs.CounterLag {
 	versions := make(map[model.Version]bool)
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		for _, v := range nd.cnt.Versions() {
 			versions[v] = true
 		}
@@ -392,6 +473,9 @@ func (c *Cluster) CounterLagSamples() []obs.CounterLag {
 	for v := range versions {
 		snap := counters.NewSnapshot(len(c.nodes))
 		for _, nd := range c.nodes {
+			if nd == nil {
+				continue
+			}
 			snap.SetFromNode(nd.id, nd.cnt.SnapshotR(v), nd.cnt.SnapshotC(v))
 		}
 		lag := lagOf(snap)
@@ -411,14 +495,28 @@ func (c *Cluster) CounterLagSamples() []obs.CounterLag {
 // settle delay); a healthy cluster returns nil.
 func (c *Cluster) ConvergenceErrors() []string {
 	var errs []string
-	cvr, cvu := c.currentCoordinator().Versions()
-	for _, nd := range c.nodes {
-		vr, vu := nd.Versions()
-		if vr != cvr || vu != cvu {
-			errs = append(errs, fmt.Sprintf(
-				"node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
-				nd.id, vr, vu, cvr, cvu))
+	if coord := c.currentCoordinator(); coord != nil {
+		cvr, cvu := coord.Versions()
+		for _, nd := range c.nodes {
+			if nd == nil {
+				continue
+			}
+			vr, vu := nd.Versions()
+			if vr != cvr || vu != cvu {
+				errs = append(errs, fmt.Sprintf(
+					"node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
+					nd.id, vr, vu, cvr, cvu))
+			}
 		}
+	}
+	if c.distributed {
+		// Counter matrices span processes and each process holds only its
+		// own nodes' rows, so the cluster-wide balance check is not
+		// computable here. Cross-process balance is what a completed
+		// advancement cycle certifies: its quiescence polls collect the
+		// full matrix over the network.
+		sort.Strings(errs)
+		return errs
 	}
 	versions := make(map[model.Version]bool)
 	for _, nd := range c.nodes {
@@ -445,6 +543,9 @@ func (c *Cluster) ConvergenceErrors() []string {
 func (c *Cluster) Violations() []string {
 	var out []string
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		out = append(out, nd.Metrics().Violations...)
 	}
 	return out
@@ -460,6 +561,9 @@ func (c *Cluster) CommittedUpdates() int64 { return c.updatesDone.Load() }
 func (c *Cluster) PendingItems() int {
 	n := 0
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		vr, _ := nd.Versions()
 		n += nd.store.PendingItems(vr)
 	}
@@ -472,6 +576,9 @@ func (c *Cluster) PendingItems() int {
 func (c *Cluster) Divergence(field string) int64 {
 	var total int64
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		vr, _ := nd.Versions()
 		total += nd.store.Divergence(vr, field)
 	}
@@ -484,6 +591,9 @@ func (c *Cluster) Divergence(field string) int64 {
 func (c *Cluster) MaxLiveVersionsEver() int {
 	max := 0
 	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
 		if n := nd.store.Stats().MaxLiveVersions; n > max {
 			max = n
 		}

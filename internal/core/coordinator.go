@@ -28,6 +28,11 @@ var (
 	// Cluster.CrashCoordinator); a successor's Recover finishes the
 	// cycle.
 	ErrCrashed = errors.New("core: coordinator crashed")
+	// ErrNoCoordinator: Advance was called in a distributed-mode
+	// process that does not host the coordinator endpoint (see
+	// Config.LocalCoordinator); drive advancement from the process
+	// that does.
+	ErrNoCoordinator = errors.New("core: this process does not host the advancement coordinator")
 )
 
 // AdvanceReport describes one completed version-advancement cycle.

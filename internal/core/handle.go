@@ -70,6 +70,13 @@ type Handle struct {
 	// that the cluster already tallied this handle's commit.
 	isUpdate bool
 	counted  bool
+	// rootOnly (distributed mode) completes the handle when the root
+	// subtransaction terminates: descendants may execute in other
+	// processes, whose terminations this process never observes. Spawn
+	// notifications are ignored and expected stays at 1, mirroring the
+	// paper's guarantee that no user transaction waits on remote
+	// activity.
+	rootOnly bool
 }
 
 // markCounted flags the handle as tallied; it returns true at most once.

@@ -20,7 +20,10 @@ import (
 // waits on an observer.
 type observer interface {
 	onSpawn(txn model.TxnID, n int)
-	onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted bool)
+	// onDone reports one terminated subtransaction; root marks the
+	// tree's root, which is the completion edge for handles in
+	// distributed mode (descendants may terminate in other processes).
+	onDone(txn model.TxnID, node model.NodeID, reads []model.ReadResult, aborted, root bool)
 	onVersion(txn model.TxnID, v model.Version)
 	onNCAbort(txn model.TxnID)
 }
@@ -28,10 +31,10 @@ type observer interface {
 // nopObserver is used when no cluster-level observation is wanted.
 type nopObserver struct{}
 
-func (nopObserver) onSpawn(model.TxnID, int)                                   {}
-func (nopObserver) onDone(model.TxnID, model.NodeID, []model.ReadResult, bool) {}
-func (nopObserver) onVersion(model.TxnID, model.Version)                       {}
-func (nopObserver) onNCAbort(model.TxnID)                                      {}
+func (nopObserver) onSpawn(model.TxnID, int)                                         {}
+func (nopObserver) onDone(model.TxnID, model.NodeID, []model.ReadResult, bool, bool) {}
+func (nopObserver) onVersion(model.TxnID, model.Version)                             {}
+func (nopObserver) onNCAbort(model.TxnID)                                            {}
 
 // NodeMetrics counts protocol events at one node. All fields are
 // cumulative.
@@ -520,7 +523,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 		nd.metrics.SubtxnsExecuted++
 	}
 	nd.metMu.Unlock()
-	nd.obs.onDone(msg.Txn, nd.id, reads, aborting)
+	nd.obs.onDone(msg.Txn, nd.id, reads, aborting, msg.Root)
 	nd.cnt.IncC(v, from)
 }
 

@@ -217,7 +217,9 @@ func (nd *Node) handleNCDecision(p NCDecisionMsg) {
 		}
 	}
 	for _, ex := range st.execs {
-		nd.obs.onDone(p.Txn, nd.id, ex.reads, !p.Commit)
+		// root=false: NC3V is cluster-local (rejected in distributed
+		// mode), so handles here are never root-only.
+		nd.obs.onDone(p.Txn, nd.id, ex.reads, !p.Commit, false)
 		nd.cnt.IncC(ex.ver, ex.source)
 	}
 	nd.lm.ReleaseAll(p.Txn)

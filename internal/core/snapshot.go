@@ -41,6 +41,9 @@ func (c *Cluster) ExportSnapshot() (*ClusterSnapshot, error) {
 	if pending > 0 {
 		return nil, fmt.Errorf("core: snapshot refused: %d transactions still in flight", pending)
 	}
+	if c.distributed {
+		return nil, fmt.Errorf("core: snapshots require a single-process cluster")
+	}
 	snap := &ClusterSnapshot{Nodes: len(c.nodes), Seq: c.seq.Load()}
 	vrRef, vuRef := c.nodes[0].Versions()
 	for i, nd := range c.nodes {
@@ -81,6 +84,9 @@ func (c *Cluster) ExportSnapshot() (*ClusterSnapshot, error) {
 // used) cluster of the same size. Call before submitting transactions;
 // typically immediately after NewCluster and before/after Start.
 func (c *Cluster) RestoreSnapshot(s *ClusterSnapshot) error {
+	if c.distributed {
+		return fmt.Errorf("core: snapshots require a single-process cluster")
+	}
 	if s.Nodes != len(c.nodes) {
 		return fmt.Errorf("core: snapshot is for %d nodes, cluster has %d", s.Nodes, len(c.nodes))
 	}

@@ -44,6 +44,11 @@ const (
 	GaugeNetDuplicated  = "transport_duplicated"
 	GaugeNetRetransmits = "transport_retransmits"
 	GaugeNetDupDropped  = "transport_dup_dropped"
+	// Real-network accounting (tcpnet transport only): frame bytes on
+	// the wire and outbound connections re-dialed after a failure.
+	GaugeNetBytesSent     = "net_bytes_sent"
+	GaugeNetBytesReceived = "net_bytes_received"
+	GaugeNetReconnects    = "net_reconnects"
 )
 
 // CounterLag is one sampled observation of the quiescence quantity for
@@ -79,6 +84,9 @@ type Registry struct {
 	advPhase  [4]Histogram // advancement phase wall time (ns)
 	advTotal  Histogram    // full cycle wall time (ns)
 	advSweeps Histogram    // counter sweeps per cycle (count)
+
+	wireEncode Histogram // frame encode time (ns; tcpnet only)
+	wireDecode Histogram // frame decode time (ns; tcpnet only)
 
 	counters [numCounters]atomic.Int64
 
@@ -148,6 +156,24 @@ func (r *Registry) ObserveAdvance(phases [4]time.Duration, total time.Duration, 
 	r.advTotal.ObserveDuration(total)
 	r.advSweeps.Observe(int64(sweeps))
 	r.counters[CtrAdvancements].Add(1)
+}
+
+// ObserveWireEncode records one frame's binary-encode latency (tcpnet
+// sender path).
+func (r *Registry) ObserveWireEncode(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.wireEncode.ObserveDuration(d)
+}
+
+// ObserveWireDecode records one frame's binary-decode latency (tcpnet
+// receiver path).
+func (r *Registry) ObserveWireDecode(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.wireDecode.ObserveDuration(d)
 }
 
 // Inc bumps one of the Ctr* counters by delta.
@@ -233,6 +259,9 @@ type Snapshot struct {
 	AdvTotal  HistSnapshot    `json:"advance_total"`
 	AdvSweeps HistSnapshot    `json:"advance_sweeps"`
 
+	WireEncode HistSnapshot `json:"wire_encode"`
+	WireDecode HistSnapshot `json:"wire_decode"`
+
 	Counters    map[string]int64   `json:"counters,omitempty"`
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
 	CounterLags []CounterLag       `json:"counter_lags,omitempty"`
@@ -255,6 +284,8 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	s.AdvTotal = r.advTotal.Snapshot()
 	s.AdvSweeps = r.advSweeps.Snapshot()
+	s.WireEncode = r.wireEncode.Snapshot()
+	s.WireDecode = r.wireDecode.Snapshot()
 	s.Counters = make(map[string]int64, numCounters)
 	for i := 0; i < numCounters; i++ {
 		s.Counters[counterNames[i]] = r.counters[i].Load()

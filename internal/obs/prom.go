@@ -68,6 +68,14 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	fmt.Fprintf(w, "threev_advance_sweeps_sum %d\n", s.AdvSweeps.Sum)
 	fmt.Fprintf(w, "threev_advance_sweeps_count %d\n", s.AdvSweeps.Count)
 
+	fmt.Fprintln(w, "# HELP threev_wire_encode_seconds Binary frame encode latency (tcpnet sender path).")
+	fmt.Fprintln(w, "# TYPE threev_wire_encode_seconds summary")
+	writeSummary(w, "threev_wire_encode_seconds", "", s.WireEncode)
+
+	fmt.Fprintln(w, "# HELP threev_wire_decode_seconds Binary frame decode latency (tcpnet receiver path).")
+	fmt.Fprintln(w, "# TYPE threev_wire_decode_seconds summary")
+	writeSummary(w, "threev_wire_decode_seconds", "", s.WireDecode)
+
 	fmt.Fprintln(w, "# HELP threev_events_total Protocol events by kind.")
 	fmt.Fprintln(w, "# TYPE threev_events_total counter")
 	names := make([]string, 0, len(s.Counters))

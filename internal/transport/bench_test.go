@@ -33,7 +33,7 @@ func BenchmarkMailbox(b *testing.B) {
 // every Net.Send from all procs — a node-global mutex in the pre-atomic
 // implementation.
 func BenchmarkStatsCount(b *testing.B) {
-	var c statsCollector
+	var c StatsCollector
 	msgs := [2]Message{
 		{From: 0, To: 1, Payload: ping{}},
 		{From: 1, To: 0, Payload: pong{}},
@@ -43,11 +43,11 @@ func BenchmarkStatsCount(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			c.count(msgs[i&1])
+			c.Count(msgs[i&1])
 			i++
 		}
 	})
-	if c.snapshot().Messages == 0 {
+	if c.Snapshot().Messages == 0 {
 		b.Fatal("no messages counted")
 	}
 }

@@ -46,6 +46,13 @@ type AckMsg struct {
 	CumAck uint64
 }
 
+// Stable accounting names shared with internal/wire's codec registry so
+// metrics labels agree across processes.
+func init() {
+	transport.RegisterPayloadName(DataMsg{}, "reliable_data")
+	transport.RegisterPayloadName(AckMsg{}, "reliable_ack")
+}
+
 // Config tunes the session layer. The zero value selects defaults
 // sized for the in-process simulation's microsecond-scale latencies.
 type Config struct {

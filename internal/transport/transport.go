@@ -45,6 +45,38 @@ type Message struct {
 	Payload  any
 }
 
+// payloadNames maps payload types to stable accounting names. The
+// protocol packages register their message types here (core and
+// transport/reliable do so in init), and internal/wire's codec registry
+// uses the same names, so metrics labels are identical across processes
+// and across transports instead of leaking Go type strings.
+var payloadNames sync.Map // reflect.Type -> string
+
+// RegisterPayloadName assigns the stable accounting name for the
+// payload type of prototype. Registering the same type twice with a
+// different name panics (the name is a cross-process wire contract).
+func RegisterPayloadName(prototype any, name string) {
+	if name == "" {
+		panic("transport: RegisterPayloadName with empty name")
+	}
+	t := reflect.TypeOf(prototype)
+	if prev, loaded := payloadNames.LoadOrStore(t, name); loaded && prev.(string) != name {
+		panic(fmt.Sprintf("transport: payload type %v registered as both %q and %q", t, prev, name))
+	}
+}
+
+// PayloadName returns the stable registered name for a payload, falling
+// back to the Go type string for unregistered types (tests, ad-hoc
+// payloads).
+func PayloadName(p any) string { return typeName(reflect.TypeOf(p)) }
+
+func typeName(t reflect.Type) string {
+	if v, ok := payloadNames.Load(t); ok {
+		return v.(string)
+	}
+	return t.String()
+}
+
 // Handler consumes messages delivered to one node. A node's handler is
 // invoked by a single delivery goroutine at a time (per node), so the
 // handler itself serializes that node's message processing — matching
@@ -104,20 +136,37 @@ type Stats struct {
 	// DupDropped counts received frames the session layer discarded as
 	// duplicates (injected duplicates and spurious retransmits).
 	DupDropped int64
+
+	// Real-network accounting (transport/tcpnet only; zero for the
+	// in-process transports).
+	//
+	// BytesSent/BytesReceived count frame bytes on the wire, length
+	// prefixes included.
+	BytesSent     int64
+	BytesReceived int64
+	// FramesSent/FramesReceived count encoded frames crossing sockets
+	// (loopback-bypass deliveries are not frames).
+	FramesSent     int64
+	FramesReceived int64
+	// Reconnects counts outbound connections re-dialed after a write
+	// failure or a forced kill.
+	Reconnects int64
 }
 
-// statsCollector accumulates message counts. It sits on every Net.Send,
-// so it is all atomics: a total counter plus one atomic.Int64 per
-// payload type in a sync.Map keyed by reflect.Type (cheap comparable
-// key, no per-call formatting). The snapshot is best-effort — Messages
-// and the per-type counts are read without mutual atomicity, like any
-// gauge scrape.
-type statsCollector struct {
+// StatsCollector accumulates message counts. It sits on every Send, so
+// it is all atomics: a total counter plus one atomic.Int64 per payload
+// type in a sync.Map keyed by reflect.Type (cheap comparable key, no
+// per-call formatting). The snapshot is best-effort — Messages and the
+// per-type counts are read without mutual atomicity, like any gauge
+// scrape. The zero value is ready to use; tcpnet shares it with the
+// in-process transports.
+type StatsCollector struct {
 	messages atomic.Int64
 	byType   sync.Map // reflect.Type -> *atomic.Int64
 }
 
-func (c *statsCollector) count(m Message) {
+// Count accounts one sent message.
+func (c *StatsCollector) Count(m Message) {
 	c.messages.Add(1)
 	t := reflect.TypeOf(m.Payload)
 	if v, ok := c.byType.Load(t); ok {
@@ -128,10 +177,13 @@ func (c *statsCollector) count(m Message) {
 	v.(*atomic.Int64).Add(1)
 }
 
-func (c *statsCollector) snapshot() Stats {
+// Snapshot renders the counts, keying ByType by the stable registered
+// payload names (see RegisterPayloadName) so labels agree across
+// processes.
+func (c *StatsCollector) Snapshot() Stats {
 	out := Stats{Messages: c.messages.Load(), ByType: make(map[string]int64)}
 	c.byType.Range(func(k, v any) bool {
-		out.ByType[k.(reflect.Type).String()] = v.(*atomic.Int64).Load()
+		out.ByType[typeName(k.(reflect.Type))] += v.(*atomic.Int64).Load()
 		return true
 	})
 	return out
@@ -230,7 +282,7 @@ type Net struct {
 	cfg      Config
 	handlers []Handler
 	boxes    []*mailbox
-	stats    statsCollector
+	stats    StatsCollector
 	fs       faultState
 
 	// Fault and shutdown accounting.
@@ -320,7 +372,7 @@ func (n *Net) Send(m Message) {
 	if int(m.To) < 0 || int(m.To) >= len(n.boxes) {
 		panic(fmt.Sprintf("transport: send to unknown node %d", m.To))
 	}
-	n.stats.count(m)
+	n.stats.Count(m)
 	drop, partitioned, dup, extra := n.fs.decide(Link{From: m.From, To: m.To}, n.rnd)
 	if drop {
 		if partitioned {
@@ -397,7 +449,7 @@ func (n *Net) Close() {
 
 // Stats implements Network.
 func (n *Net) Stats() Stats {
-	s := n.stats.snapshot()
+	s := n.stats.Snapshot()
 	for _, mb := range n.boxes {
 		d, hw := mb.counts()
 		s.Delivered += d
@@ -423,7 +475,7 @@ type Script struct {
 	pending  []Message
 	nextID   int
 	ids      []int // parallel to pending: stable ids for selection
-	stats    statsCollector
+	stats    StatsCollector
 
 	dropped    atomic.Int64 // messages discarded via DropWhere
 	duplicated atomic.Int64 // copies injected via DuplicateIndex/DuplicateWhere
@@ -447,7 +499,7 @@ func (s *Script) Close() {}
 
 // Stats implements Network.
 func (s *Script) Stats() Stats {
-	out := s.stats.snapshot()
+	out := s.stats.Snapshot()
 	out.Dropped = s.dropped.Load()
 	out.Duplicated = s.duplicated.Load()
 	return out
@@ -457,7 +509,7 @@ func (s *Script) Stats() Stats {
 func (s *Script) Send(m Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.stats.count(m)
+	s.stats.Count(m)
 	s.pending = append(s.pending, m)
 	s.ids = append(s.ids, s.nextID)
 	s.nextID++

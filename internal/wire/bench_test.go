@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// benchMessages picks the two hot-path shapes: a subtransaction with a
+// realistic tree (the per-transaction cost) and a counter reply (the
+// per-advancement-sweep cost).
+func benchMessages(b *testing.B) (subtxn, counters transport.Message) {
+	b.Helper()
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if transport.PayloadName(m.Payload) == "subtxn" {
+			subtxn = m
+			break
+		}
+	}
+	for _, m := range msgs {
+		if transport.PayloadName(m.Payload) == "counter_reply" {
+			counters = m
+			break
+		}
+	}
+	return subtxn, counters
+}
+
+// BenchmarkEncodeSubtxn measures steady-state encode with a reused
+// buffer: 0 allocs/op is the contract (EXPERIMENTS.md "Wire overhead").
+func BenchmarkEncodeSubtxn(b *testing.B) {
+	m, _ := benchMessages(b)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkEncodeCounterReply(b *testing.B) {
+	_, m := benchMessages(b)
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendFrame(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkDecodeSubtxn measures decode cost. Decode inherently
+// allocates the payload structs it returns (interface boxing plus the
+// spec tree); the number to watch is allocs/op staying flat as the
+// message is re-decoded, i.e. no hidden quadratic work.
+func BenchmarkDecodeSubtxn(b *testing.B) {
+	m, _ := benchMessages(b)
+	frame, err := AppendFrame(nil, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := frame[4:]
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCounterReply(b *testing.B) {
+	_, m := benchMessages(b)
+	frame, err := AppendFrame(nil, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := frame[4:]
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

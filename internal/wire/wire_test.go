@@ -1,0 +1,195 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/transport"
+	"repro/internal/transport/reliable"
+)
+
+// sampleMessages returns one representative message per registered
+// payload type, exercising every field including nested subtransaction
+// trees, every op kind, tombstone tuples, and the reliable envelopes.
+// The fuzz corpus seeds from the same set.
+func sampleMessages() []transport.Message {
+	deepSpec := &model.SubtxnSpec{
+		Node:  1,
+		Reads: []string{"acct:1", "acct:2"},
+		Updates: []model.KeyOp{
+			{Key: "acct:1", Op: model.AddOp{Field: "bal", Delta: -50}},
+			{Key: "acct:1", Op: model.AppendOp{T: model.Tuple{Txn: model.MakeTxnID(1, 7), Part: 1, Total: 2, Attr: "bal", Amount: -50, TxnVersion: 3}}},
+			{Key: "acct:2", Op: model.RemoveOp{T: model.Tuple{Txn: model.MakeTxnID(2, 9), Part: 2, Total: -2, Attr: "sold", Amount: 5, TxnVersion: 1}}},
+		},
+		Children: []*model.SubtxnSpec{
+			{
+				Node:    2,
+				Updates: []model.KeyOp{{Key: "acct:3", Op: model.AddOp{Field: "bal", Delta: 50}}},
+				Children: []*model.SubtxnSpec{
+					{Node: 0, Reads: []string{"acct:4"}, Abort: true},
+				},
+			},
+			{Node: 0, Updates: []model.KeyOp{{Key: "acct:5", Op: model.SetOp{Field: "bal", Value: 100}}}},
+		},
+	}
+	ncSpec := &model.SubtxnSpec{
+		Node: 0,
+		Updates: []model.KeyOp{
+			{Key: "acct:1", Op: model.SetOp{Field: "bal", Value: 10}},
+			{Key: "acct:1", Op: model.ScaleOp{Field: "bal", Num: 11, Den: 10}},
+		},
+	}
+	return []transport.Message{
+		{From: 0, To: 1, Payload: core.SubtxnMsg{
+			Txn: model.MakeTxnID(0, 42), Version: 3, Root: true, Assigned: true,
+			Spec: deepSpec, RootNode: 0, SentAt: time.Unix(0, 1700000000123456789),
+		}},
+		{From: 1, To: 2, Payload: core.SubtxnMsg{
+			Txn: model.MakeTxnID(1, 1), Version: 2, Spec: ncSpec,
+			NC: true, RootNode: 1, Compensating: true,
+		}},
+		{From: 2, To: 0, Payload: core.SubtxnMsg{
+			Txn: model.MakeTxnID(2, 3), Root: true, ReadOnly: true,
+			Spec: &model.SubtxnSpec{Node: 0, Reads: []string{"acct:9"}},
+		}},
+		{From: 0, To: 1, Payload: core.SubtxnMsg{Txn: 1}}, // nil spec, zero SentAt
+		{From: 3, To: 0, Payload: core.StartAdvancementMsg{NewVU: 4}},
+		{From: 0, To: 3, Payload: core.AckAdvancementMsg{NewVU: 4, Node: 0}},
+		{From: 3, To: 1, Payload: core.ReadVersionMsg{NewVR: 3}},
+		{From: 1, To: 3, Payload: core.AckReadVersionMsg{NewVR: 3, Node: 1}},
+		{From: 3, To: 2, Payload: core.GCMsg{Keep: 3}},
+		{From: 2, To: 3, Payload: core.AckGCMsg{Keep: 3, Node: 2}},
+		{From: 3, To: 0, Payload: core.CounterReqMsg{Version: 2, Round: 17}},
+		{From: 0, To: 3, Payload: core.CounterReplyMsg{
+			Version: 2, Round: 17, Node: 0,
+			R: []int64{5, 0, 12, 3}, C: []int64{4, 1, 0, -2},
+		}},
+		{From: 1, To: 0, Payload: core.NCVoteMsg{Txn: model.MakeTxnID(0, 5), Node: 1, OK: true, Children: 2, Root: false}},
+		{From: 0, To: 1, Payload: core.NCDecisionMsg{Txn: model.MakeTxnID(0, 5), Commit: true}},
+		{From: 3, To: 2, Payload: core.VersionProbeMsg{Round: 2}},
+		{From: 2, To: 3, Payload: core.VersionReplyMsg{Round: 2, Node: 2, VR: 1, VU: 2, BelowVR: true}},
+		{From: 3, To: 1, Payload: core.UnlockMsg{Txn: model.MakeTxnID(1, 8)}},
+		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 99, Payload: core.GCMsg{Keep: 5}}},
+		{From: 2, To: 0, Payload: reliable.AckMsg{CumAck: 98}},
+	}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m.Payload, err)
+		}
+		if len(frame) < 5 {
+			t.Fatalf("encode %T: frame too short (%d bytes)", m.Payload, len(frame))
+		}
+		got, err := DecodeFrame(frame[4:])
+		if err != nil {
+			t.Fatalf("decode %T: %v", m.Payload, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("round trip %T:\n sent %+v\n got  %+v", m.Payload, m, got)
+		}
+	}
+}
+
+// TestRoundTripCoversRegistry fails if a payload type is registered but
+// absent from the sample set — new message types must extend the
+// round-trip coverage (and thereby the fuzz corpus).
+func TestRoundTripCoversRegistry(t *testing.T) {
+	covered := make(map[reflect.Type]bool)
+	for _, m := range sampleMessages() {
+		covered[reflect.TypeOf(m.Payload)] = true
+	}
+	for id, proto := range Prototypes() {
+		if !covered[reflect.TypeOf(proto)] {
+			t.Errorf("registered type %T (id %d) has no round-trip sample", proto, id)
+		}
+	}
+}
+
+// TestNamesMatchTransportRegistry pins the wire registry names to the
+// transport payload-name registry (satellite: stable metric labels
+// across processes). The two are registered in different packages;
+// this is the contract check.
+func TestNamesMatchTransportRegistry(t *testing.T) {
+	for id, proto := range Prototypes() {
+		wireName := TypeName(id)
+		if wireName == "" {
+			t.Errorf("type id %d has no wire name", id)
+			continue
+		}
+		if tn := transport.PayloadName(proto); tn != wireName {
+			t.Errorf("type %T: wire name %q but transport name %q", proto, wireName, tn)
+		}
+	}
+	if TypeName(0) != "" || TypeName(9999) != "" {
+		t.Error("TypeName must return \"\" for unknown ids")
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	good, err := AppendFrame(nil, sampleMessages()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := good[4:]
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad version":     append([]byte{FormatVersion + 1}, body[1:]...),
+		"truncated":       body[:len(body)/2],
+		"trailing":        append(append([]byte{}, body...), 0),
+		"unknown type id": {FormatVersion, 0, 2, 0xFF, 0x7F},
+	}
+	for name, data := range cases {
+		if _, err := DecodeFrame(data); err == nil {
+			t.Errorf("%s: decode accepted a corrupt frame", name)
+		}
+	}
+}
+
+func TestDecodeBoundsCollectionLengths(t *testing.T) {
+	// A counter reply claiming 2^40 R entries in a 16-byte body must be
+	// rejected before allocation, not after.
+	body := []byte{FormatVersion, 0, 6, idCounterReply, 2, 34, 0}
+	body = append(body, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^56
+	if _, err := DecodeFrame(body); err == nil {
+		t.Fatal("decode accepted an oversized collection length")
+	}
+}
+
+func TestEncodeRejectsUnregisteredPayload(t *testing.T) {
+	type mystery struct{}
+	if _, err := AppendFrame(nil, transport.Message{Payload: mystery{}}); err == nil {
+		t.Fatal("encode accepted an unregistered payload type")
+	}
+	if _, err := AppendFrame(nil, transport.Message{Payload: reliable.DataMsg{Seq: 1, Payload: reliable.DataMsg{Seq: 2, Payload: core.GCMsg{}}}}); err == nil {
+		t.Fatal("encode accepted a nested session envelope")
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	msgs := sampleMessages()
+	buf := make([]byte, 0, 4096)
+	first, err := AppendFrame(buf, msgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &buf[:1][0] {
+		t.Fatal("AppendFrame reallocated despite sufficient capacity")
+	}
+	// A failed encode must roll the buffer back to its input length so
+	// the caller's framing stays consistent.
+	type mystery struct{}
+	out, err := AppendFrame(first, transport.Message{Payload: mystery{}})
+	if err == nil {
+		t.Fatal("expected encode error")
+	}
+	if len(out) != len(first) {
+		t.Fatalf("failed encode left %d bytes, want %d", len(out), len(first))
+	}
+}
