@@ -28,6 +28,15 @@
 // regressions show up in review. With -out and no -only, the
 // experiment suite is skipped and only the calibration run executes.
 //
+// -wal MODE replaces the calibration run with the durability topology:
+// three single-node clusters in one process connected over loopback
+// TCP (the cmd/threev-node wiring), each journaling to a write-ahead
+// log in a temporary directory. MODE is the fsync policy — always,
+// interval, or never — or "none" for the identical topology without a
+// WAL, the baseline the other modes are compared against. The
+// none/never/interval/always sweep is the "WAL overhead" section of
+// EXPERIMENTS.md.
+//
 // -pprof/-cpuprofile/-memprofile enable the standard Go profilers
 // (package profiling) for hunting hot-path regressions.
 package main
@@ -40,17 +49,21 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/transport"
+	"repro/internal/transport/reliable"
 	"repro/internal/transport/tcpnet"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -92,6 +105,9 @@ type calibrationRun struct {
 	DropRate      float64         `json:"drop_rate,omitempty"`
 	DupRate       float64         `json:"dup_rate,omitempty"`
 	Reliable      bool            `json:"reliable,omitempty"`
+	WALMode       string          `json:"wal_mode,omitempty"`
+	WALRecords    uint64          `json:"wal_records,omitempty"`
+	WALFsyncs     int64           `json:"wal_fsyncs,omitempty"`
 	Transport     transport.Stats `json:"transport"`
 	Obs           obs.Snapshot    `json:"obs"`
 }
@@ -104,6 +120,7 @@ func main() {
 	dup := flag.Float64("dupmsg", 0, "calibration run: per-message duplication probability")
 	reliable := flag.Bool("reliable", false, "calibration run: interpose the reliable-delivery session layer")
 	transportKind := flag.String("transport", "mem", "calibration run network: mem (in-memory) or tcp (wire codec + loopback sockets)")
+	walMode := flag.String("wal", "", "durability calibration: none | never | interval | always (three durable single-node clusters over loopback TCP)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
@@ -120,6 +137,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-drop/-dupmsg are features of the in-memory fault injector; use -transport mem")
 		os.Exit(1)
 	}
+	if *walMode != "" && (*drop > 0 || *dup > 0 || *reliable || *transportKind != "mem") {
+		fmt.Fprintln(os.Stderr, "-wal fixes its own topology (loopback TCP + reliable sessions); drop -drop/-dupmsg/-reliable/-transport")
+		os.Exit(1)
+	}
 	stopProf, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,9 +155,9 @@ func main() {
 			selected[id] = true
 		}
 	}
-	// -out without -only means "just take the benchmark snapshot":
+	// -out or -wal without -only means "just take the measurement":
 	// the experiment suite is skipped and only calibration runs.
-	runSuite := *out == "" || len(selected) > 0
+	runSuite := (*out == "" && *walMode == "") || len(selected) > 0
 	want := func(id string) bool { return runSuite && (len(selected) == 0 || selected[id]) }
 
 	failures := 0
@@ -200,7 +221,17 @@ func main() {
 	}
 
 	var cal *calibrationRun
-	if *jsonOut != "" || *out != "" {
+	if *walMode != "" {
+		var calErr error
+		cal, calErr = calibrateWAL(*txns, *walMode)
+		if calErr != nil {
+			fmt.Fprintln(os.Stderr, "wal calibration error:", calErr)
+			failures++
+		} else {
+			fmt.Printf("wal calibration (%s): %.1f txn/s over %d txns, %d wal records, %d fsyncs\n",
+				cal.WALMode, cal.ThroughputTPS, cal.Txns, cal.WALRecords, cal.WALFsyncs)
+		}
+	} else if *jsonOut != "" || *out != "" {
 		var calErr error
 		cal, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind)
 		if calErr != nil {
@@ -346,4 +377,211 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
 	}, nil
+}
+
+// calibrateWAL measures the durability tax end-to-end: three
+// single-node clusters in one OS process, wired exactly like three
+// cmd/threev-node processes (loopback TCP, reliable sessions), each
+// journaling to its own WAL under the given fsync policy. mode "none"
+// runs the identical topology without a WAL — the baseline the
+// never/interval/always sweep in EXPERIMENTS.md is measured against.
+// The workload is the commuting all-node tree of the node binary's
+// /workload endpoint, rooted round-robin across the three clusters.
+func calibrateWAL(txns int, mode string) (*calibrationRun, error) {
+	const nodes = 3
+	var policy wal.Policy
+	if mode != "none" {
+		p, err := wal.ParsePolicy(mode)
+		if err != nil {
+			return nil, fmt.Errorf("-wal: %w", err)
+		}
+		policy = p
+	}
+	tmp, err := os.MkdirTemp("", "threev-wal-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	listeners := make([]net.Listener, nodes)
+	for i := range listeners {
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return nil, lerr
+		}
+		listeners[i] = ln
+	}
+	type proc struct {
+		db      *durable.DB
+		cluster *core.Cluster
+	}
+	procs := make([]*proc, nodes)
+	defer func() {
+		for _, p := range procs {
+			if p == nil {
+				continue
+			}
+			if p.cluster != nil {
+				p.cluster.Close()
+			}
+			if p.db != nil {
+				p.db.Close()
+			}
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		local := []model.NodeID{model.NodeID(i)}
+		if i == 0 {
+			local = append(local, model.NodeID(nodes)) // coordinator endpoint
+		}
+		tpeers := make(map[model.NodeID]string)
+		for j, ln := range listeners {
+			if j != i {
+				tpeers[model.NodeID(j)] = ln.Addr().String()
+			}
+		}
+		if i != 0 {
+			tpeers[model.NodeID(nodes)] = listeners[0].Addr().String()
+		}
+		tn, terr := tcpnet.New(tcpnet.Config{Local: local, Peers: tpeers, Listener: listeners[i]})
+		if terr != nil {
+			return nil, terr
+		}
+		p := &proc{}
+		var restore *core.NodeRestore
+		var sess *reliable.SessionState
+		if mode != "none" {
+			p.db, restore, sess, err = durable.Open(durable.Options{
+				Dir:   fmt.Sprintf("%s/node%d", tmp, i),
+				Self:  model.NodeID(i),
+				Nodes: nodes,
+				Fsync: policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cfg := core.Config{
+			Nodes:            nodes,
+			LocalNodes:       []int{i},
+			LocalCoordinator: i == 0,
+			Transport:        tn,
+			Reliable:         true,
+			ReliableConfig: reliable.Config{
+				RetransmitInterval: 5 * time.Millisecond,
+				MaxBackoff:         100 * time.Millisecond,
+			},
+			AckTimeout:     30 * time.Second,
+			ResendInterval: 20 * time.Millisecond,
+		}
+		if p.db != nil {
+			cfg.Journal = p.db
+			cfg.Restore = restore
+			cfg.ReliableConfig.Journal = p.db
+			cfg.ReliableConfig.Gate = p.db.Gate()
+			cfg.ReliableConfig.Restore = sess
+		}
+		p.cluster, err = core.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tn.SetObs(p.cluster.Obs())
+		if p.db != nil {
+			p.db.Bind(p.cluster.Node(i), p.cluster.Session())
+			p.db.SetObs(p.cluster.Obs())
+		}
+		rec := model.NewRecord()
+		rec.Fields["bal"] = 0
+		p.cluster.Preload(model.NodeID(i), fmt.Sprintf("acct-%d", i), rec)
+		if p.db != nil {
+			if cerr := p.db.Checkpoint(); cerr != nil {
+				return nil, cerr
+			}
+		}
+		p.cluster.Start()
+		if p.db != nil {
+			p.db.StartCheckpoints()
+		}
+		procs[i] = p
+	}
+
+	// Round-robin the commuting all-node tree across the clusters with
+	// bounded in-flight per submitter, then wait for every root.
+	start := time.Now()
+	var wg sync.WaitGroup
+	completed := make([]int, nodes)
+	errs := make([]error, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		share := txns / nodes
+		if i < txns%nodes {
+			share++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			const window = 16
+			handles := make([]*core.Handle, 0, share)
+			for k := 0; k < share; k++ {
+				root := &model.SubtxnSpec{
+					Node:    model.NodeID(i),
+					Updates: []model.KeyOp{{Key: fmt.Sprintf("acct-%d", i), Op: model.AddOp{Field: "bal", Delta: 1}}},
+				}
+				for j := 0; j < nodes; j++ {
+					if j != i {
+						root.Children = append(root.Children, &model.SubtxnSpec{
+							Node:    model.NodeID(j),
+							Updates: []model.KeyOp{{Key: fmt.Sprintf("acct-%d", j), Op: model.AddOp{Field: "bal", Delta: 1}}},
+						})
+					}
+				}
+				h, serr := procs[i].cluster.Submit(&model.TxnSpec{Label: fmt.Sprintf("wal-%d-%d", i, k), Root: root})
+				if serr != nil {
+					errs[i] = serr
+					return
+				}
+				handles = append(handles, h)
+				if over := len(handles) - window; over >= 0 && !handles[over].WaitTimeout(time.Minute) {
+					errs[i] = fmt.Errorf("cluster %d: txn %d did not complete", i, over)
+					return
+				}
+			}
+			for _, h := range handles {
+				if !h.WaitTimeout(time.Minute) {
+					errs[i] = fmt.Errorf("cluster %d: a txn did not complete", i)
+					return
+				}
+			}
+			completed[i] = len(handles)
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	if rep := procs[0].cluster.Advance(); rep.Err != nil {
+		return nil, fmt.Errorf("final advancement: %w", rep.Err)
+	}
+	elapsed := time.Since(start)
+
+	cal := &calibrationRun{
+		Txns:          txns,
+		Completed:     completed[0] + completed[1] + completed[2],
+		ThroughputTPS: float64(txns) / elapsed.Seconds(),
+		TransportKind: "tcp",
+		Reliable:      true,
+		WALMode:       mode,
+		Transport:     procs[0].cluster.Metrics().Transport,
+		Obs:           procs[0].cluster.ObsSnapshot(),
+	}
+	for _, p := range procs {
+		if p.db != nil {
+			st := p.db.Stats()
+			cal.WALRecords += st.Records
+			cal.WALFsyncs += st.Fsyncs
+		}
+	}
+	return cal, nil
 }

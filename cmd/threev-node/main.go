@@ -7,7 +7,14 @@
 //
 //	threev-node -id 0 -nodes 3 -listen 127.0.0.1:7100 \
 //	            -peers 0=127.0.0.1:7100,1=127.0.0.1:7101,2=127.0.0.1:7102 \
-//	            -metrics 127.0.0.1:8100
+//	            -metrics 127.0.0.1:8100 \
+//	            -data-dir /var/lib/threev/node0 -fsync always
+//
+// -data-dir enables crash durability: a write-ahead log plus periodic
+// checkpoints in that directory (internal/durable). A process restarted
+// with the same directory replays its way back to exactly the state its
+// peers hold it accountable for and rejoins the cluster. -fsync picks
+// the durability/latency trade-off (always | interval | never).
 //
 // Every process is given the same -peers map (its own entry is used by
 // the others; extra entries are rejected). The coordinator endpoint
@@ -42,10 +49,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/transport/reliable"
 	"repro/internal/transport/tcpnet"
+	"repro/internal/wal"
 )
 
 // accountKey is the one preloaded item each process owns; the demo
@@ -81,6 +91,7 @@ type nodeServer struct {
 	nodes   int
 	cluster *core.Cluster
 	tnet    *tcpnet.Net
+	db      *durable.DB // nil without -data-dir
 	quit    chan struct{}
 }
 
@@ -98,12 +109,15 @@ type stateReport struct {
 	BytesSent   int64    `json:"bytes_sent"`
 	BytesRecv   int64    `json:"bytes_received"`
 	Reconnects  int64    `json:"reconnects"`
+	Durable     bool     `json:"durable"`
+	WALRecords  uint64   `json:"wal_records,omitempty"`
+	WALFsyncs   int64    `json:"wal_fsyncs,omitempty"`
 }
 
 func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 	vr, vu := s.cluster.Node(s.id).Versions()
 	ts := s.tnet.Stats()
-	writeJSON(w, stateReport{
+	rep := stateReport{
 		ID:          s.id,
 		Nodes:       s.nodes,
 		Coordinator: s.cluster.Coordinator() != nil,
@@ -116,7 +130,14 @@ func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 		BytesSent:   ts.BytesSent,
 		BytesRecv:   ts.BytesReceived,
 		Reconnects:  ts.Reconnects,
-	})
+	}
+	if s.db != nil {
+		ws := s.db.Stats()
+		rep.Durable = true
+		rep.WALRecords = ws.Records
+		rep.WALFsyncs = ws.Fsyncs
+	}
+	writeJSON(w, rep)
 }
 
 // handleWorkload submits N commuting update trees rooted at the local
@@ -152,6 +173,9 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		handles = append(handles, h)
+		// Crash-harness hook: THREEV_CRASHPOINT=workload-submit:N kills
+		// this process (exit 137) right after the Nth submission.
+		harness.MaybeCrash("workload-submit")
 	}
 	for _, h := range handles {
 		if !h.WaitTimeout(time.Minute) {
@@ -224,15 +248,18 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve metrics + control endpoints on this address (e.g. 127.0.0.1:8100)")
 	autoAdvance := flag.Duration("auto-advance", 0, "run version advancement on this period (process 0 only; 0 = manual via /advance)")
 	ackTimeout := flag.Duration("ack-timeout", 30*time.Second, "coordinator wait bound on node acknowledgements")
+	dataDir := flag.String("data-dir", "", "enable crash durability: write-ahead log + checkpoints in this directory")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
+	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Second, "background checkpoint period with -data-dir")
 	flag.Parse()
 
-	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout); err != nil {
+	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration) error {
+func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
 	}
@@ -280,7 +307,32 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		return err
 	}
 
-	cluster, err := core.NewCluster(core.Config{
+	// Crash durability: open the data directory before the cluster so a
+	// recovered store/counters/session state can be restored into it.
+	var db *durable.DB
+	var restore *core.NodeRestore
+	var sessState *reliable.SessionState
+	if dataDir != "" {
+		policy, perr := wal.ParsePolicy(fsyncFlag)
+		if perr != nil {
+			return perr
+		}
+		db, restore, sessState, err = durable.Open(durable.Options{
+			Dir:                dataDir,
+			Self:               model.NodeID(id),
+			Nodes:              nodes,
+			Fsync:              policy,
+			CheckpointInterval: ckptInterval,
+		})
+		if err != nil {
+			return err
+		}
+		// Registered before cluster.Close's defer so the log outlives
+		// the workers that journal to it.
+		defer db.Close()
+	}
+
+	cfg := core.Config{
 		Nodes:            nodes,
 		LocalNodes:       []int{id},
 		LocalCoordinator: id == 0,
@@ -292,24 +344,55 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		},
 		AckTimeout:     ackTimeout,
 		ResendInterval: 50 * time.Millisecond,
-	})
+	}
+	if db != nil {
+		cfg.Journal = db
+		cfg.Restore = restore
+		cfg.ReliableConfig.Journal = db
+		cfg.ReliableConfig.Gate = db.Gate()
+		cfg.ReliableConfig.Restore = sessState
+	}
+	cluster, err := core.NewCluster(cfg)
 	if err != nil {
 		return err
 	}
 	// Route wire-codec latency histograms into the cluster's registry so
 	// /metrics exposes threev_wire_encode/decode_seconds.
 	tnet.SetObs(cluster.Obs())
-	rec := model.NewRecord()
-	rec.Fields["bal"] = 0
-	cluster.Preload(model.NodeID(id), accountKey(id), rec)
+	if db != nil {
+		db.Bind(cluster.Node(id), cluster.Session())
+		db.SetObs(cluster.Obs())
+	}
+	if restore == nil {
+		rec := model.NewRecord()
+		rec.Fields["bal"] = 0
+		cluster.Preload(model.NodeID(id), accountKey(id), rec)
+		if db != nil {
+			// Anchor the log before any traffic so every later record
+			// replays on top of a checkpoint that includes the preload.
+			if cerr := db.Checkpoint(); cerr != nil {
+				return cerr
+			}
+		}
+	}
 	cluster.Start()
 	defer cluster.Close()
+	if db != nil {
+		db.StartCheckpoints()
+	}
 
 	role := "node"
 	if id == 0 {
 		role = "node+coordinator"
 	}
 	fmt.Printf("threev-node %d/%d (%s) listening on %s\n", id, nodes, role, ln.Addr())
+	if db != nil {
+		mode := "fresh"
+		if restore != nil {
+			mode = "recovered"
+		}
+		fmt.Printf("durability: dir=%s fsync=%s state=%s\n", dataDir, fsyncFlag, mode)
+	}
 	peerList := make([]string, 0, len(tpeers))
 	for j, addr := range tpeers {
 		peerList = append(peerList, fmt.Sprintf("%d=%s", j, addr))
@@ -317,7 +400,7 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	sort.Strings(peerList)
 	fmt.Printf("peers: %s\n", strings.Join(peerList, " "))
 
-	srv := &nodeServer{id: id, nodes: nodes, cluster: cluster, tnet: tnet, quit: make(chan struct{})}
+	srv := &nodeServer{id: id, nodes: nodes, cluster: cluster, tnet: tnet, db: db, quit: make(chan struct{})}
 	if metricsAddr != "" {
 		mln, lerr := net.Listen("tcp", metricsAddr)
 		if lerr != nil {

@@ -71,6 +71,19 @@ type Config struct {
 	// ReliableConfig tunes the session layer when Reliable is set; the
 	// zero value selects defaults.
 	ReliableConfig reliable.Config
+	// Journal, when non-nil, receives the local node's durability
+	// callbacks (command arrival, execution effects, version switches,
+	// GC). Distributed mode with exactly one local node only; requires
+	// Reliable and is incompatible with SyncExec (execution must run on
+	// the worker pool so checkpoint freezes have a lock boundary) and
+	// NCMode. The session layer's own hooks are wired separately through
+	// ReliableConfig.Journal/Restore/Gate.
+	Journal Journal
+	// Restore, when non-nil, rebuilds the local node from recovered
+	// state before Start: store, counters, (vr, vu) and the commands
+	// that were journaled but never durably executed (re-enqueued to the
+	// worker pool on Start). Same restrictions as Journal.
+	Restore *NodeRestore
 	// AckTimeout bounds every coordinator wait on node responses
 	// (advancement acks, counter replies, version probes). 0 preserves
 	// the paper's behaviour: wait forever on the assumed-reliable
@@ -121,6 +134,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.SyncExec && cfg.NCMode {
 		return nil, fmt.Errorf("core: SyncExec cannot be combined with NCMode")
+	}
+	if cfg.Journal != nil || cfg.Restore != nil {
+		if cfg.LocalNodes == nil || len(cfg.LocalNodes) != 1 {
+			return nil, fmt.Errorf("core: Journal/Restore require distributed mode with exactly one local node")
+		}
+		if !cfg.Reliable {
+			return nil, fmt.Errorf("core: Journal/Restore require the reliable session layer")
+		}
+		if cfg.SyncExec {
+			return nil, fmt.Errorf("core: Journal cannot be combined with SyncExec")
+		}
 	}
 	localSet := map[int]bool{}
 	if cfg.LocalNodes != nil {
@@ -173,6 +197,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
 		nd.syncExec = cfg.SyncExec
+		nd.journal = cfg.Journal
+		if r := cfg.Restore; r != nil {
+			if r.Store != nil {
+				nd.store = r.Store
+			}
+			if r.Counters != nil {
+				nd.cnt = r.Counters
+			}
+			if r.VU != 0 {
+				nd.vr, nd.vu = r.VR, r.VU
+			}
+		}
 		c.nodes[i] = nd
 		c.net.Register(nd.id, nd.handleMessage)
 	}
@@ -193,6 +229,16 @@ func (c *Cluster) Start() {
 	for _, nd := range c.nodes {
 		if nd != nil {
 			nd.start()
+		}
+	}
+	if r := c.cfg.Restore; r != nil {
+		// Re-enqueue the commands recovery found journaled but not
+		// durably executed, under their original ids so re-execution
+		// journals against the same command. Peers treat the resulting
+		// child frames as retransmissions (same sequence numbers).
+		nd := c.nodes[c.cfg.LocalNodes[0]]
+		for _, p := range r.Pending {
+			nd.work.put(workItem{from: p.From, sub: p.Msg, enqID: p.EnqID})
 		}
 	}
 	c.net.Start()
@@ -239,6 +285,14 @@ func (c *Cluster) currentCoordinator() *Coordinator {
 
 // Network returns the underlying transport (stats, scripted delivery).
 func (c *Cluster) Network() transport.Network { return c.net }
+
+// Session returns the reliable-delivery session layer, or nil when the
+// cluster was built without Reliable. The durability layer binds to it
+// for the two-phase (Prepare/CommitPrepared) child sends.
+func (c *Cluster) Session() *reliable.Session {
+	s, _ := c.net.(*reliable.Session)
+	return s
+}
 
 // Preload installs an initial version-0 record at a node, as in the
 // paper's initial state. Call before Start.

@@ -189,6 +189,13 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	c.advMu.Lock()
 	defer c.advMu.Unlock()
 
+	// Bring any restarted-from-checkpoint node back to the installed
+	// versions before opening a new cycle (no-op unless hardening is on
+	// and a node actually lags).
+	if err := c.resyncLagging(); err != nil {
+		return AdvanceReport{NewVU: c.vu + 1, NewVR: c.vr + 1, Interrupted: true, Err: err}
+	}
+
 	vuold, vunew := c.vu, c.vu+1
 	vrold, vrnew := c.vr, c.vr+1
 	rep := AdvanceReport{NewVU: vunew, NewVR: vrnew}

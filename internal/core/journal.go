@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/counters"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// This file defines the node's durability seam. core stays free of any
+// disk or codec dependency: it describes each command and each executed
+// subtransaction's effects to a Journal (implemented by
+// internal/durable over internal/wal + internal/wire), and accepts
+// recovered state back through NodeRestore. With a nil Journal every
+// hook compiles away to the pre-durability behaviour.
+//
+// The invariant the hooks thread through the execution path is
+// "nothing acknowledged is ever lost":
+//
+//   - a subtransaction command is journaled on arrival (Enq), before
+//     the reliable session acknowledges the frame that carried it, so a
+//     crashed node still knows every command its peers consider
+//     delivered;
+//   - a subtransaction's effects — store ops, counter increments, and
+//     the exact child frames it spawns — are journaled atomically
+//     (Exec) and made durable before any child frame reaches the wire,
+//     so recovery can re-send the same frames with the same sequence
+//     numbers and peers dedup them;
+//   - version switches and GC are journaled (VersionUpdate/VersionRead/
+//     GC) before the node acknowledges them to the coordinator.
+//
+// Replaying effects in WAL order is correct even though it can differ
+// from the original latch order: concurrent subtransactions only ever
+// race commuting ops (AddOp and friends; NC mode is forbidden with a
+// journal), and the generalized dual write applies each op to every
+// version ≥ v, so both interleavings produce identical version chains.
+
+// AppliedOp is one durable store mutation of an executed
+// subtransaction: EnsureVersion(Key, rec.Version) followed by
+// ApplyFrom(Key, rec.Version, Op). Abort inverses appear as ordinary
+// AppliedOps after the ops they undo.
+type AppliedOp struct {
+	Key string
+	Op  model.Op
+}
+
+// ExecRecord is the complete effect set of one executed
+// subtransaction — everything recovery must re-apply if the node dies
+// after this record is durable.
+type ExecRecord struct {
+	// EnqID identifies the command (from Journal.Enq) this execution
+	// consumed; recovery drops it from the pending set.
+	EnqID    uint64
+	Txn      model.TxnID
+	From     model.NodeID
+	Version  model.Version
+	Root     bool
+	ReadOnly bool
+	// Ops are the store mutations in application order.
+	Ops []AppliedOp
+	// IncR lists the destinations whose request counter R[Version][self][to]
+	// this execution bumped, in order: the root's self-increment first
+	// (roots only), then one entry per spawned child and compensator.
+	// The completion increment C[Version][From][self] is implied.
+	IncR []model.NodeID
+	// Local holds child/compensator commands addressed to this node
+	// itself, in spawn order. They never touch the network: Exec assigns
+	// each a pending enq id (returned in order) and the node loops them
+	// straight back to its worker pool, so a crash after Exec re-enqueues
+	// them from the pending set instead of losing them.
+	Local []SubtxnMsg
+}
+
+// Journal receives the node's durability callbacks. Implementations
+// must make Exec, VersionUpdate, VersionRead and GC durable before
+// returning; Enq may be lazy (the reliable session's NoteRecv barrier
+// covers it before the frame is acknowledged).
+type Journal interface {
+	// Enq records an arrived subtransaction command and returns its
+	// journal-assigned id.
+	Enq(from model.NodeID, msg SubtxnMsg) uint64
+	// Exec records an execution's effects and transmits its outbox
+	// (child and compensator SubtxnMsgs, in spawn order) — durable
+	// strictly before the first frame leaves. The returned slice has one
+	// journal-assigned enq id per rec.Local entry, in order; the caller
+	// re-enqueues those commands locally.
+	Exec(rec ExecRecord, outbox []transport.Message) []uint64
+	// VersionUpdate records vu = max(vu, v) (advancement Phase 1).
+	VersionUpdate(v model.Version)
+	// VersionRead records vr = max(vr, v) (advancement Phase 3).
+	VersionRead(v model.Version)
+	// GC records the truncation of versions below v (Phase 4).
+	GC(v model.Version)
+}
+
+// PendingSubtxn is a command that was journaled (Enq) but whose
+// execution record never became durable: recovery re-enqueues it.
+type PendingSubtxn struct {
+	EnqID uint64
+	From  model.NodeID
+	Msg   SubtxnMsg
+}
+
+// NodeRestore carries a crashed node's recovered state into NewCluster
+// (distributed mode, single local node). Store and Counters are adopted
+// as-is; Pending is re-enqueued to the worker pool on Start, preserving
+// original enq ids so re-execution journals against the same command.
+type NodeRestore struct {
+	Store    *storage.Store
+	Counters *counters.Table
+	VR, VU   model.Version
+	Pending  []PendingSubtxn
+	// NextEnq seeds the journal's enq-id sequence past every recovered
+	// id (informational here; the journal implementation owns it).
+	NextEnq uint64
+}

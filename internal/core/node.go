@@ -87,6 +87,9 @@ type ncPartState struct {
 type workItem struct {
 	from model.NodeID
 	sub  SubtxnMsg
+	// enqID is the journal's id for this command (0 when not journaled);
+	// the execution record cites it so recovery can retire the command.
+	enqID uint64
 }
 
 // parkedNC is an NC3V root waiting out a version advancement.
@@ -156,6 +159,14 @@ type Node struct {
 	obs     observer
 	reg     *obs.Registry // nil when observability is disabled
 	ncMode  bool
+	journal Journal // nil without durability
+
+	// chk excludes subtransaction execution during checkpoint freezes:
+	// workers hold it shared around executeSubtxn so the journaled effect
+	// record and the in-memory mutations it describes always land on the
+	// same side of a checkpoint anchor. Frozen takes it exclusively.
+	// Unused (never locked) when journal is nil.
+	chk sync.RWMutex
 
 	// verMu guards vu and vr. Critical sections are a handful of
 	// machine instructions; per Section 4's model, accesses to version
@@ -231,7 +242,13 @@ func (nd *Node) start() {
 				if !ok {
 					return
 				}
-				nd.executeSubtxn(it.from, it.sub)
+				if nd.journal != nil {
+					nd.chk.RLock()
+					nd.executeSubtxn(it.from, it.sub, it.enqID)
+					nd.chk.RUnlock()
+				} else {
+					nd.executeSubtxn(it.from, it.sub, it.enqID)
+				}
 			}
 		}()
 	}
@@ -248,6 +265,17 @@ func (nd *Node) stop() {
 	nd.vrCond.Broadcast()
 	nd.verMu.Unlock()
 	nd.wg.Wait()
+}
+
+// Frozen runs fn with subtransaction execution paused: every worker is
+// between subtransactions and stays parked until fn returns. The
+// durability layer composes this with the session's delivery gate to
+// take checkpoints that are consistent across the store, the counter
+// table, the pending-command set and the session link state.
+func (nd *Node) Frozen(fn func()) {
+	nd.chk.Lock()
+	defer nd.chk.Unlock()
+	fn()
 }
 
 // Store exposes the node's storage engine (tests, trace, verifiers).
@@ -285,10 +313,18 @@ func (nd *Node) violate(format string, args ...any) {
 func (nd *Node) handleMessage(m transport.Message) {
 	switch p := m.Payload.(type) {
 	case SubtxnMsg:
+		var enqID uint64
+		if nd.journal != nil {
+			// Journal the command before the session layer acknowledges
+			// the frame that carried it (the NoteRecv barrier after this
+			// handler returns covers the append): a restarted node must
+			// know every command its peers consider delivered.
+			enqID = nd.journal.Enq(m.From, p)
+		}
 		if nd.syncExec {
-			nd.executeSubtxn(m.From, p)
+			nd.executeSubtxn(m.From, p, enqID)
 		} else {
-			nd.work.put(workItem{from: m.From, sub: p})
+			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID})
 		}
 	case StartAdvancementMsg:
 		nd.handleStartAdvancement(p)
@@ -342,6 +378,11 @@ func (nd *Node) handleStartAdvancement(p StartAdvancementMsg) {
 		nd.checkVersionInvariantLocked()
 	}
 	nd.verMu.Unlock()
+	if nd.journal != nil {
+		// Durable before the ack: the coordinator will never repeat a
+		// notice every node acknowledged.
+		nd.journal.VersionUpdate(p.NewVU)
+	}
 	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id}})
 }
 
@@ -367,6 +408,9 @@ func (nd *Node) handleReadVersion(p ReadVersionMsg) {
 	for _, it := range release {
 		nd.work.put(workItem{from: it.from, sub: it.msg})
 	}
+	if nd.journal != nil {
+		nd.journal.VersionRead(p.NewVR)
+	}
 	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id}})
 }
 
@@ -374,6 +418,9 @@ func (nd *Node) handleGC(p GCMsg) {
 	nd.store.GC(p.Keep)
 	nd.cnt.DropBelow(p.Keep)
 	nd.reg.RecordEvent(obs.Event{Kind: obs.EvGC, Node: int(nd.id), Version: int64(p.Keep)})
+	if nd.journal != nil {
+		nd.journal.GC(p.Keep)
+	}
 	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
 }
 
@@ -404,8 +451,9 @@ func (nd *Node) checkVersionInvariantLocked() {
 	}
 }
 
-// executeSubtxn runs one subtransaction on a worker goroutine.
-func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
+// executeSubtxn runs one subtransaction on a worker goroutine. enqID is
+// the journal's id for the command (0 when not journaled).
+func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64) {
 	if nd.reg != nil {
 		start := time.Now()
 		if !msg.SentAt.IsZero() {
@@ -416,6 +464,31 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 	if msg.NC {
 		nd.executeNC(from, msg)
 		return
+	}
+	// When journaled, the effect record is accumulated alongside the
+	// in-memory mutations and every outgoing frame is held back in the
+	// outbox: journal.Exec makes record and frames durable together,
+	// then transmits. Without a journal, send transmits immediately and
+	// the path is exactly the pre-durability one.
+	var rec *ExecRecord
+	var outbox []transport.Message
+	if nd.journal != nil {
+		rec = &ExecRecord{EnqID: enqID, Txn: msg.Txn, From: from, Root: msg.Root, ReadOnly: msg.ReadOnly}
+	}
+	send := func(m transport.Message) {
+		if rec != nil {
+			// Self-targeted children skip the network entirely: Exec
+			// assigns them pending enq ids and they re-enter the worker
+			// pool below, so a crash after the barrier re-enqueues rather
+			// than loses them (and a retransmit can never double-run them).
+			if m.To == nd.id {
+				rec.Local = append(rec.Local, m.Payload.(SubtxnMsg))
+			} else {
+				outbox = append(outbox, m)
+			}
+			return
+		}
+		nd.net.Send(m)
 	}
 	v := msg.Version
 	if msg.Root {
@@ -430,6 +503,9 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 		}
 		nd.cnt.IncR(v, nd.id)
 		nd.verMu.Unlock()
+		if rec != nil {
+			rec.IncR = append(rec.IncR, nd.id)
+		}
 		nd.metMu.Lock()
 		nd.metrics.RootsAssigned++
 		nd.metMu.Unlock()
@@ -437,6 +513,9 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 	} else if !msg.ReadOnly {
 		// Step 2: implicit advancement notification.
 		nd.maybeAdvanceVU(v)
+	}
+	if rec != nil {
+		rec.Version = v
 	}
 
 	spec := msg.Spec
@@ -477,6 +556,9 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 		if !msg.ReadOnly {
 			for _, u := range spec.Updates {
 				nd.store.EnsureVersion(u.Key, v)
+				if rec != nil {
+					rec.Ops = append(rec.Ops, AppliedOp{Key: u.Key, Op: u.Op})
+				}
 				if n := nd.store.ApplyFrom(u.Key, v, u.Op); n > 1 {
 					nd.metMu.Lock()
 					nd.metrics.DualWrites += int64(n - 1)
@@ -497,8 +579,11 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 	if lockOK {
 		for _, child := range spec.Children {
 			nd.cnt.IncR(v, child.Node)
+			if rec != nil {
+				rec.IncR = append(rec.IncR, child.Node)
+			}
 			nd.obs.onSpawn(msg.Txn, 1)
-			nd.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
+			send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
 				Txn:          msg.Txn,
 				Version:      v,
 				Spec:         child,
@@ -510,7 +595,18 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 	}
 
 	if aborting {
-		nd.abortSubtree(msg.Txn, v, spec, lockOK)
+		nd.abortSubtree(msg.Txn, v, spec, lockOK, rec, send)
+	}
+
+	if rec != nil {
+		// Durability barrier: the effect record and its child frames hit
+		// the log before the first child reaches the wire, before the
+		// client observes completion, and before the completion counter
+		// tells the quiescence detector this subtransaction terminated.
+		ids := nd.journal.Exec(*rec, outbox)
+		for i, m := range rec.Local {
+			nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i]})
+		}
 	}
 
 	// Step 6: report, then increment the completion counter and
@@ -535,7 +631,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg) {
 // false the local updates were never performed (lock timeout) and only
 // the children need compensating — but in that case no children were
 // sent either, so there is nothing to do beyond bookkeeping.
-func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool) {
+func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message)) {
 	if !applied {
 		return
 	}
@@ -548,6 +644,9 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 		for _, u := range spec.Updates {
 			if inv := u.Op.Inverse(); inv != nil {
 				nd.store.ApplyFrom(u.Key, v, inv)
+				if rec != nil {
+					rec.Ops = append(rec.Ops, AppliedOp{Key: u.Key, Op: inv})
+				}
 			}
 		}
 		release()
@@ -555,11 +654,14 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 	for _, child := range spec.Children {
 		comp := child.Compensator()
 		nd.cnt.IncR(v, comp.Node)
+		if rec != nil {
+			rec.IncR = append(rec.IncR, comp.Node)
+		}
 		nd.obs.onSpawn(txn, 1)
 		nd.metMu.Lock()
 		nd.metrics.Compensations++
 		nd.metMu.Unlock()
-		nd.net.Send(transport.Message{From: nd.id, To: comp.Node, Payload: SubtxnMsg{
+		send(transport.Message{From: nd.id, To: comp.Node, Payload: SubtxnMsg{
 			Txn:          txn,
 			Version:      v,
 			Spec:         comp,

@@ -89,6 +89,54 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 	return out, nil
 }
 
+// resyncLagging probes every node's (vr, vu) and re-issues the
+// idempotent advancement notices to any node behind the coordinator's
+// installed versions — the signature of a node restarted from a
+// checkpoint older than the last completed cycle. Without this, such a
+// node would sit one version back until the next cycle's Phase 1
+// reached it, serving stale reads and holding un-collected garbage.
+// Runs only when re-broadcast hardening is on (resend > 0) and at
+// least one cycle has completed (at vu = 1 nothing can lag): the
+// deterministic trace configurations never restart nodes and must not
+// see extra probe traffic, and scripted tests stage the first cycle's
+// messages exactly. Callers hold advMu.
+func (c *Coordinator) resyncLagging() error {
+	if c.resend <= 0 || c.vu <= 1 {
+		return nil
+	}
+	views, err := c.probeVersions()
+	if err != nil {
+		return err
+	}
+	var lagVU, lagVR bool
+	for _, v := range views {
+		if v.VU < c.vu {
+			lagVU = true
+		}
+		if v.VR < c.vr {
+			lagVR = true
+		}
+	}
+	if lagVU {
+		c.broadcast(StartAdvancementMsg{NewVU: c.vu})
+		if err := c.waitAcks(c.ackVU, c.vu, StartAdvancementMsg{NewVU: c.vu}); err != nil {
+			return fmt.Errorf("resyncing update version: %w", err)
+		}
+	}
+	if lagVR {
+		c.broadcast(ReadVersionMsg{NewVR: c.vr})
+		if err := c.waitAcks(c.ackVR, c.vr, ReadVersionMsg{NewVR: c.vr}); err != nil {
+			return fmt.Errorf("resyncing read version: %w", err)
+		}
+		// The rejoiner may still hold versions the cluster collected.
+		c.broadcast(GCMsg{Keep: c.vr})
+		if err := c.waitAcks(c.ackGC, c.vr, GCMsg{Keep: c.vr}); err != nil {
+			return fmt.Errorf("resyncing garbage collection: %w", err)
+		}
+	}
+	return nil
+}
+
 // Recover reconstructs the cluster's advancement state and finishes any
 // interrupted cycle. It must be called on a fresh coordinator (after
 // Cluster.CrashCoordinator) before any new RunAdvancement.

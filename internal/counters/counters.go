@@ -196,6 +196,23 @@ func (t *Table) C(v model.Version, from model.NodeID) int64 {
 	return t.row(v).c[from].Load()
 }
 
+// RestoreRow installs version v's rows from a durable snapshot —
+// crash-recovery only, before the node serves traffic. Values are
+// written with atomic stores so a Table being restored is still safe to
+// read, but restore is not meant to race live increments: recovery
+// rebuilds the table before the transport delivers anything.
+func (t *Table) RestoreRow(v model.Version, rRow, cRow []int64) {
+	row := t.row(v)
+	for i := 0; i < t.n; i++ {
+		if i < len(rRow) {
+			row.r[i].Store(rRow[i])
+		}
+		if i < len(cRow) {
+			row.c[i].Store(cRow[i])
+		}
+	}
+}
+
 // DropBelow discards counter rows for all versions strictly below v —
 // the counter garbage collection of advancement Phase 4. It publishes a
 // filtered index; an increment racing the rebuild on a dropped

@@ -1,0 +1,158 @@
+package counters
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// dump collects every version's R and C rows — the exact material a
+// checkpoint persists.
+func dump(tb *Table) (vers []model.Version, rs, cs [][]int64) {
+	vers = tb.Versions()
+	for _, v := range vers {
+		rs = append(rs, tb.SnapshotR(v))
+		cs = append(cs, tb.SnapshotC(v))
+	}
+	return
+}
+
+// restore rebuilds a fresh table from a dump, the way crash recovery
+// does.
+func restore(self model.NodeID, n int, vers []model.Version, rs, cs [][]int64) *Table {
+	tb := NewTable(self, n)
+	for i, v := range vers {
+		tb.RestoreRow(v, rs[i], cs[i])
+	}
+	return tb
+}
+
+// requireIdentical asserts two tables agree on every version's every
+// counter cell — the bit-equivalence a restarted node needs for
+// Theorem 4.1's quiescence detection to stay sound.
+func requireIdentical(t *testing.T, live, restored *Table) {
+	t.Helper()
+	lv, rv := live.Versions(), restored.Versions()
+	if len(lv) != len(rv) {
+		t.Fatalf("version sets differ: live %v, restored %v", lv, rv)
+	}
+	for i := range lv {
+		if lv[i] != rv[i] {
+			t.Fatalf("version sets differ: live %v, restored %v", lv, rv)
+		}
+	}
+	for _, v := range lv {
+		lr, rr := live.SnapshotR(v), restored.SnapshotR(v)
+		lc, rc := live.SnapshotC(v), restored.SnapshotC(v)
+		for q := range lr {
+			if lr[q] != rr[q] {
+				t.Fatalf("R[%d][self][%d]: live %d, restored %d", v, q, lr[q], rr[q])
+			}
+			if lc[q] != rc[q] {
+				t.Fatalf("C[%d][%d][self]: live %d, restored %d", v, q, lc[q], rc[q])
+			}
+		}
+	}
+}
+
+// TestRestoreRowEquivalence drives a concurrent increment workload on a
+// live table (under -race this also exercises RestoreRow's atomic
+// stores against snapshot loads), quiesces, snapshots, restores into a
+// fresh table, and requires bit-identical counters — then replays an
+// identical post-restore workload on both tables and requires they
+// still agree, so a restored table is indistinguishable going forward.
+func TestRestoreRowEquivalence(t *testing.T) {
+	const (
+		n          = 4
+		goroutines = 8
+		iters      = 4000
+	)
+	live := NewTable(1, n)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := model.Version(1 + (g+i)%3) // three live versions, as under 3V
+				to := model.NodeID((g * 7) % n)
+				live.IncR(v, to)
+				if i%3 == 0 {
+					live.IncC(v, model.NodeID(i%n))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	vers, rs, cs := dump(live)
+	restored := restore(1, n, vers, rs, cs)
+	requireIdentical(t, live, restored)
+
+	// The restored table must behave identically under further load.
+	apply := func(tb *Table) {
+		for i := 0; i < 1000; i++ {
+			tb.IncR(3, model.NodeID(i%n))
+			tb.IncC(2, model.NodeID((i+1)%n))
+		}
+		tb.DropBelow(2)
+	}
+	apply(live)
+	apply(restored)
+	requireIdentical(t, live, restored)
+}
+
+// TestRestoreRowSnapshotConsistency restores from a snapshot taken
+// *while* increments are still in flight. The restored table cannot
+// equal the still-moving live table, but it must exactly equal the
+// observation itself: restore must neither lose nor invent counts.
+func TestRestoreRowSnapshotConsistency(t *testing.T) {
+	const n = 3
+	live := NewTable(0, n)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				live.IncR(1, model.NodeID(i%n))
+				live.IncC(1, model.NodeID(i%n))
+			}
+		}
+	}()
+
+	for round := 0; round < 50; round++ {
+		r := live.SnapshotR(1)
+		c := live.SnapshotC(1)
+		restored := NewTable(0, n)
+		restored.RestoreRow(1, r, c)
+		gotR, gotC := restored.SnapshotR(1), restored.SnapshotC(1)
+		for q := 0; q < n; q++ {
+			if gotR[q] != r[q] || gotC[q] != c[q] {
+				t.Fatalf("round %d: restored (%v,%v) != observed (%v,%v)", round, gotR, gotC, r, c)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRestoreRowShortRows tolerates rows from a smaller cluster (or a
+// truncated checkpoint field): missing tail cells stay zero.
+func TestRestoreRowShortRows(t *testing.T) {
+	tb := NewTable(0, 4)
+	tb.RestoreRow(2, []int64{5, 6}, []int64{7})
+	wantR := []int64{5, 6, 0, 0}
+	wantC := []int64{7, 0, 0, 0}
+	gotR, gotC := tb.SnapshotR(2), tb.SnapshotC(2)
+	for i := 0; i < 4; i++ {
+		if gotR[i] != wantR[i] || gotC[i] != wantC[i] {
+			t.Fatalf("short restore: R=%v C=%v, want R=%v C=%v", gotR, gotC, wantR, wantC)
+		}
+	}
+}

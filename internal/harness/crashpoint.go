@@ -1,0 +1,55 @@
+package harness
+
+// Crashpoints let an external driver kill a process at a named point
+// in its execution, deterministically — the in-process half of the
+// kill -9 crash harness. The multiproc integration tests set
+// THREEV_CRASHPOINT on a child node and drive a workload; the child
+// dies exactly where the test wants it to, instead of wherever an
+// asynchronous SIGKILL happens to land.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CrashEnv is the environment variable naming the armed crashpoint:
+// "name" fires on the first hit, "name:N" on the Nth (1-based).
+const CrashEnv = "THREEV_CRASHPOINT"
+
+// CrashExitCode mimics a SIGKILL death (128+9) so drivers cannot
+// mistake a crashpoint for a graceful exit.
+const CrashExitCode = 137
+
+var crashHits sync.Map // name -> *atomic.Int64
+
+// MaybeCrash terminates the process with CrashExitCode if the
+// crashpoint named by CrashEnv matches name and this is its designated
+// hit. A no-op (one Getenv) when the variable is unset, so calls can
+// stay in production paths.
+func MaybeCrash(name string) {
+	spec := os.Getenv(CrashEnv)
+	if spec == "" {
+		return
+	}
+	armed, countStr, _ := strings.Cut(spec, ":")
+	if armed != name {
+		return
+	}
+	want := int64(1)
+	if countStr != "" {
+		v, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || v <= 0 {
+			return
+		}
+		want = v
+	}
+	c, _ := crashHits.LoadOrStore(name, new(atomic.Int64))
+	if c.(*atomic.Int64).Add(1) == want {
+		fmt.Fprintf(os.Stderr, "crashpoint %q hit %d: dying\n", name, want)
+		os.Exit(CrashExitCode)
+	}
+}

@@ -16,6 +16,7 @@ const (
 	CtrAdvancements
 	CtrDualWrites
 	CtrCoordResends
+	CtrCheckpoints
 	numCounters
 )
 
@@ -29,6 +30,7 @@ var counterNames = [numCounters]string{
 	"advancements",
 	"dual_writes",
 	"coord_resends",
+	"checkpoints",
 }
 
 // Gauge names set by the protocol layers.
@@ -49,6 +51,10 @@ const (
 	GaugeNetBytesSent     = "net_bytes_sent"
 	GaugeNetBytesReceived = "net_bytes_received"
 	GaugeNetReconnects    = "net_reconnects"
+	// Durability accounting (wal package): the active segment index and
+	// the total bytes appended to the log since open.
+	GaugeWALSegment = "wal_segment"
+	GaugeWALBytes   = "wal_bytes_appended"
 )
 
 // CounterLag is one sampled observation of the quiescence quantity for
@@ -87,6 +93,9 @@ type Registry struct {
 
 	wireEncode Histogram // frame encode time (ns; tcpnet only)
 	wireDecode Histogram // frame decode time (ns; tcpnet only)
+
+	walAppend Histogram // WAL record append time (ns; durable nodes only)
+	walFsync  Histogram // WAL fsync/group-commit time (ns; durable nodes only)
 
 	counters [numCounters]atomic.Int64
 
@@ -176,6 +185,24 @@ func (r *Registry) ObserveWireDecode(d time.Duration) {
 	r.wireDecode.ObserveDuration(d)
 }
 
+// ObserveWALAppend records one WAL record's append (frame + buffered
+// write) latency.
+func (r *Registry) ObserveWALAppend(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.walAppend.ObserveDuration(d)
+}
+
+// ObserveWALFsync records one fsync (group-commit flush) latency on the
+// WAL's active segment.
+func (r *Registry) ObserveWALFsync(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.walFsync.ObserveDuration(d)
+}
+
 // Inc bumps one of the Ctr* counters by delta.
 func (r *Registry) Inc(counter int, delta int64) {
 	if r == nil || counter < 0 || counter >= numCounters {
@@ -262,6 +289,9 @@ type Snapshot struct {
 	WireEncode HistSnapshot `json:"wire_encode"`
 	WireDecode HistSnapshot `json:"wire_decode"`
 
+	WALAppend HistSnapshot `json:"wal_append"`
+	WALFsync  HistSnapshot `json:"wal_fsync"`
+
 	Counters    map[string]int64   `json:"counters,omitempty"`
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
 	CounterLags []CounterLag       `json:"counter_lags,omitempty"`
@@ -286,6 +316,8 @@ func (r *Registry) Snapshot() Snapshot {
 	s.AdvSweeps = r.advSweeps.Snapshot()
 	s.WireEncode = r.wireEncode.Snapshot()
 	s.WireDecode = r.wireDecode.Snapshot()
+	s.WALAppend = r.walAppend.Snapshot()
+	s.WALFsync = r.walFsync.Snapshot()
 	s.Counters = make(map[string]int64, numCounters)
 	for i := 0; i < numCounters; i++ {
 		s.Counters[counterNames[i]] = r.counters[i].Load()

@@ -76,6 +76,14 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	fmt.Fprintln(w, "# TYPE threev_wire_decode_seconds summary")
 	writeSummary(w, "threev_wire_decode_seconds", "", s.WireDecode)
 
+	fmt.Fprintln(w, "# HELP threev_wal_append_seconds WAL record append latency (frame + buffered write).")
+	fmt.Fprintln(w, "# TYPE threev_wal_append_seconds summary")
+	writeSummary(w, "threev_wal_append_seconds", "", s.WALAppend)
+
+	fmt.Fprintln(w, "# HELP threev_wal_fsync_seconds WAL fsync (group-commit flush) latency.")
+	fmt.Fprintln(w, "# TYPE threev_wal_fsync_seconds summary")
+	writeSummary(w, "threev_wal_fsync_seconds", "", s.WALFsync)
+
 	fmt.Fprintln(w, "# HELP threev_events_total Protocol events by kind.")
 	fmt.Fprintln(w, "# TYPE threev_events_total counter")
 	names := make([]string, 0, len(s.Counters))

@@ -402,6 +402,31 @@ func (s *Store) Export() []ExportedItem {
 	return out
 }
 
+// ShardCount returns the number of shards, the index domain of
+// ExportShard.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ExportShard deep-copies one shard's items (sorted by key, versions
+// ascending). The checkpoint writer streams shard-by-shard so a large
+// store never needs one monolithic copy in memory; concatenating every
+// shard's export is equivalent to Export up to item order, and Import
+// accepts it unchanged.
+func (s *Store) ExportShard(i int) []ExportedItem {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	out := make([]ExportedItem, 0, len(sh.items))
+	for k, ch := range sh.items {
+		item := ExportedItem{Key: k, Versions: make([]ExportedVersion, 0, len(ch.versions))}
+		for _, v := range ch.versions {
+			item.Versions = append(item.Versions, ExportedVersion{Ver: v.ver, Rec: v.rec.Clone()})
+		}
+		out = append(out, item)
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Import replaces the store's contents with the exported items (deep
 // copied). Accounting stats are reset; the live-version high-water mark
 // restarts from the imported chains.

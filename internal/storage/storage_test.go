@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -504,6 +505,54 @@ func TestExportImportRoundTrip(t *testing.T) {
 	dst.Import(nil)
 	if len(dst.Keys()) != 0 {
 		t.Errorf("Import(nil) left keys: %v", dst.Keys())
+	}
+}
+
+// TestExportShardEquivalence checks that concatenating every shard's
+// export equals the monolithic Export (up to the global key sort) and
+// feeds Import identically — the property the streaming checkpoint
+// writer relies on.
+func TestExportShardEquivalence(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		s.Preload(k, rec(map[string]int64{"bal": int64(i)}))
+		if i%3 == 0 {
+			s.EnsureVersion(k, 1)
+			s.ApplyFrom(k, 1, model.AddOp{Field: "bal", Delta: 7})
+		}
+	}
+	var concat []ExportedItem
+	for i := 0; i < s.ShardCount(); i++ {
+		concat = append(concat, s.ExportShard(i)...)
+	}
+	sort.Slice(concat, func(i, j int) bool { return concat[i].Key < concat[j].Key })
+	whole := s.Export()
+	if len(concat) != len(whole) {
+		t.Fatalf("per-shard export has %d items, Export has %d", len(concat), len(whole))
+	}
+	for i := range whole {
+		if concat[i].Key != whole[i].Key || len(concat[i].Versions) != len(whole[i].Versions) {
+			t.Fatalf("item %d differs: %+v vs %+v", i, concat[i], whole[i])
+		}
+		for j := range whole[i].Versions {
+			if concat[i].Versions[j].Ver != whole[i].Versions[j].Ver ||
+				!concat[i].Versions[j].Rec.Equal(whole[i].Versions[j].Rec) {
+				t.Fatalf("item %s v#%d differs", whole[i].Key, j)
+			}
+		}
+	}
+
+	dst := New()
+	dst.Import(concat)
+	for _, key := range s.Keys() {
+		for _, v := range s.LiveVersions(key) {
+			want, _ := s.Peek(key, v)
+			got, ok := dst.Peek(key, v)
+			if !ok || !got.Equal(want) {
+				t.Fatalf("%s@v%d differs after per-shard import", key, v)
+			}
+		}
 	}
 }
 

@@ -46,11 +46,64 @@ type AckMsg struct {
 	CumAck uint64
 }
 
+// NoopMsg is a hole-filling payload synthesized by crash recovery: a
+// sequence number allocated with Prepare whose frame never became
+// durable (the crash hit between Prepare and the execution record's
+// barrier) would otherwise leave a permanent gap that wedges the
+// receiver's in-order delivery. A noop frame consumes the sequence
+// number at the receiver without ever reaching the application handler.
+type NoopMsg struct{}
+
 // Stable accounting names shared with internal/wire's codec registry so
 // metrics labels agree across processes.
 func init() {
 	transport.RegisterPayloadName(DataMsg{}, "reliable_data")
 	transport.RegisterPayloadName(AckMsg{}, "reliable_ack")
+	transport.RegisterPayloadName(NoopMsg{}, "reliable_noop")
+}
+
+// Journal is the session layer's durability hook (implemented by
+// internal/durable). A crash must never reuse a sequence number or
+// re-deliver an acknowledged frame, so:
+//
+//   - NoteSend sees the enveloped frame strictly before it is handed to
+//     the inner network and must not return until it is durable — the
+//     sequence number is burned the moment this returns;
+//   - NoteRecv sees a link's advanced in-order watermark strictly before
+//     the cumulative ack leaves and must not return until it is durable
+//     (together with whatever the delivery handler itself journaled);
+//   - NoteAck is lazy bookkeeping with no durability barrier: frames
+//     ≤ cum on the link are no longer needed for recovery.
+type Journal interface {
+	NoteSend(m transport.Message)
+	NoteRecv(to, from model.NodeID, nextExpected uint64)
+	NoteAck(from, to model.NodeID, cum uint64)
+}
+
+// LinkSendState is one directed link's sender-side durable state.
+type LinkSendState struct {
+	From, To model.NodeID
+	NextSeq  uint64
+	// Unacked holds the enveloped DataMsg frames still awaiting a
+	// cumulative ack, ascending by sequence number. On restore they are
+	// queued for immediate retransmission; receivers dedup by seq.
+	Unacked []transport.Message
+}
+
+// LinkRecvState is one directed link's receiver-side durable state: the
+// next in-order sequence number to deliver. Out-of-order buffered frames
+// are deliberately not part of the state — they are still unacked at the
+// sender and will be retransmitted.
+type LinkRecvState struct {
+	To, From     model.NodeID
+	NextExpected uint64
+}
+
+// SessionState is a session's durable state, produced by ExportState
+// under a checkpoint freeze and reinstalled via Config.Restore.
+type SessionState struct {
+	Send []LinkSendState
+	Recv []LinkRecvState
 }
 
 // Config tunes the session layer. The zero value selects defaults
@@ -64,6 +117,22 @@ type Config struct {
 	// TickInterval spaces scans of the unacked frame lists; 0 means
 	// RetransmitInterval/2.
 	TickInterval time.Duration
+	// Journal, when non-nil, receives the durability callbacks above.
+	Journal Journal
+	// Gate, when non-nil, brackets every inbound dispatch — watermark
+	// advance, handler invocation, the NoteRecv barrier and the outgoing
+	// ack run under one read-lock acquisition. The durability layer
+	// installs its checkpoint freeze lock here so a checkpoint can never
+	// capture a link watermark whose delivered frames have not yet
+	// journaled their effects (which would make the sender's retransmit
+	// a duplicate the restarted receiver silently drops).
+	Gate interface {
+		RLock()
+		RUnlock()
+	}
+	// Restore, when non-nil, reinstalls a crashed session's link state
+	// before any traffic flows.
+	Restore *SessionState
 }
 
 func (c Config) withDefaults() Config {
@@ -147,7 +216,61 @@ func Wrap(inner transport.Network, nodes int, cfg Config) *Session {
 			s.recv[i][j] = &recvLink{nextExpected: 1, buffer: make(map[uint64]interface{})}
 		}
 	}
+	if st := s.cfg.Restore; st != nil {
+		for _, ls := range st.Send {
+			l := s.send[ls.From][ls.To]
+			l.nextSeq = ls.NextSeq
+			for _, m := range ls.Unacked {
+				d, ok := m.Payload.(DataMsg)
+				if !ok {
+					continue
+				}
+				l.unacked = append(l.unacked, pendingFrame{
+					msg:     m,
+					seq:     d.Seq,
+					backoff: s.cfg.RetransmitInterval,
+					// Zero nextResend: overdue immediately, so the first
+					// retransmit sweep re-offers every restored frame and
+					// the peers' dedup absorbs what they already saw.
+				})
+			}
+		}
+		for _, lr := range st.Recv {
+			s.recv[lr.To][lr.From].nextExpected = lr.NextExpected
+		}
+	}
 	return s
+}
+
+// ExportState captures every link's durable state. Callers must quiesce
+// the session first (the checkpoint freeze does): a send racing the
+// export could otherwise straddle the snapshot.
+func (s *Session) ExportState() *SessionState {
+	st := &SessionState{}
+	for from := 0; from < s.n; from++ {
+		for to := 0; to < s.n; to++ {
+			l := s.send[from][to]
+			l.mu.Lock()
+			if l.nextSeq > 0 || len(l.unacked) > 0 {
+				ls := LinkSendState{From: model.NodeID(from), To: model.NodeID(to), NextSeq: l.nextSeq}
+				for _, f := range l.unacked {
+					ls.Unacked = append(ls.Unacked, f.msg)
+				}
+				st.Send = append(st.Send, ls)
+			}
+			l.mu.Unlock()
+		}
+	}
+	for to := 0; to < s.n; to++ {
+		s.recvMu[to].Lock()
+		for from := 0; from < s.n; from++ {
+			if rl := s.recv[to][from]; rl.nextExpected > 1 {
+				st.Recv = append(st.Recv, LinkRecvState{To: model.NodeID(to), From: model.NodeID(from), NextExpected: rl.nextExpected})
+			}
+		}
+		s.recvMu[to].Unlock()
+	}
+	return st
 }
 
 // Register implements Network: the user handler is invoked with
@@ -207,12 +330,77 @@ func (s *Session) Send(m transport.Message) {
 		nextResend: time.Now().Add(s.cfg.RetransmitInterval),
 	})
 	l.mu.Unlock()
+	if s.cfg.Journal != nil {
+		// Durable before first transmission: a crash after the frame is
+		// on the wire must find it in the log, or recovery would reuse
+		// the sequence number for a different payload.
+		s.cfg.Journal.NoteSend(env)
+	}
 	s.inner.Send(env)
+}
+
+// PreparedSend is a sequence-numbered frame that has not yet been
+// transmitted or tracked — the two-phase send used by the execution
+// path: core allocates children's frames with Prepare, journals them
+// atomically inside the execution record, then releases them with
+// CommitPrepared. A crash between the two phases re-creates the frames
+// from the log; peers dedup by sequence number either way.
+type PreparedSend struct {
+	// Msg is the enveloped frame (DataMsg payload), ready to encode
+	// into the journal or hand to CommitPrepared.
+	Msg      transport.Message
+	loopback bool
+}
+
+// Prepare allocates the link's next sequence number for m without
+// sending or tracking it. Loopback messages pass through unsequenced.
+func (s *Session) Prepare(m transport.Message) PreparedSend {
+	if m.From == m.To {
+		return PreparedSend{Msg: m, loopback: true}
+	}
+	l := s.send[m.From][m.To]
+	l.mu.Lock()
+	l.nextSeq++
+	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: l.nextSeq, Payload: m.Payload}}
+	l.mu.Unlock()
+	return PreparedSend{Msg: env}
+}
+
+// CommitPrepared tracks and transmits previously Prepared frames, in
+// order. The caller has already journaled them (or does not journal).
+func (s *Session) CommitPrepared(frames []PreparedSend) {
+	now := time.Now()
+	for _, p := range frames {
+		if p.loopback {
+			s.inner.Send(p.Msg)
+			continue
+		}
+		d := p.Msg.Payload.(DataMsg)
+		l := s.send[p.Msg.From][p.Msg.To]
+		l.mu.Lock()
+		l.unacked = append(l.unacked, pendingFrame{
+			msg:        p.Msg,
+			seq:        d.Seq,
+			backoff:    s.cfg.RetransmitInterval,
+			nextResend: now.Add(s.cfg.RetransmitInterval),
+		})
+		// Keep the list ascending: a concurrent Send on the same link
+		// may have appended a later sequence number first.
+		for i := len(l.unacked) - 1; i > 0 && l.unacked[i].seq < l.unacked[i-1].seq; i-- {
+			l.unacked[i], l.unacked[i-1] = l.unacked[i-1], l.unacked[i]
+		}
+		l.mu.Unlock()
+		s.inner.Send(p.Msg)
+	}
 }
 
 // dispatch is the handler the Session registers with the inner
 // network for node id.
 func (s *Session) dispatch(id model.NodeID, m transport.Message) {
+	if g := s.cfg.Gate; g != nil {
+		g.RLock()
+		defer g.RUnlock()
+	}
 	switch p := m.Payload.(type) {
 	case DataMsg:
 		s.onData(id, m.From, p)
@@ -262,12 +450,22 @@ func (s *Session) onData(id, from model.NodeID, d DataMsg) {
 	// preserved without further locking.
 	if h := s.handlers[id]; h != nil {
 		for _, p := range deliver {
+			if _, hole := p.(NoopMsg); hole {
+				continue // recovery hole-filler: consume the seq, deliver nothing
+			}
 			h(transport.Message{From: from, To: id, Payload: p})
 		}
 	}
 	// Cumulative ack (even for duplicates — the original ack may have
 	// been lost). Acks are unsequenced; a lost ack is repaired by the
 	// sender's retransmit provoking another one.
+	if s.cfg.Journal != nil && len(deliver) > 0 {
+		// The watermark (and whatever the handlers above journaled for
+		// the delivered frames) must be durable before the ack releases
+		// the sender's retransmissions — an acked frame will never be
+		// offered again, so it must never be forgotten.
+		s.cfg.Journal.NoteRecv(id, from, ack+1)
+	}
 	s.inner.Send(transport.Message{From: id, To: from, Payload: AckMsg{CumAck: ack}})
 }
 
@@ -283,6 +481,9 @@ func (s *Session) onAck(id, from model.NodeID, cum uint64) {
 		l.unacked = append(l.unacked[:0], l.unacked[i:]...)
 	}
 	l.mu.Unlock()
+	if s.cfg.Journal != nil && i > 0 {
+		s.cfg.Journal.NoteAck(id, from, cum)
+	}
 }
 
 // retransmitLoop periodically re-sends overdue unacknowledged frames

@@ -65,6 +65,12 @@ type Config struct {
 	// between failed dial attempts; 0 means 20ms / 2s.
 	ReconnectMin time.Duration
 	ReconnectMax time.Duration
+	// WriteTimeout bounds one batched write; 0 means 10s. Without it a
+	// half-open connection (remote host gone without a RST) blocks the
+	// writer forever once the kernel send buffer fills, wedging the
+	// link past any redial path. A timeout is treated as a write
+	// failure: drop the conn, redial, re-send the batch.
+	WriteTimeout time.Duration
 	// ForceTCP disables the loopback bypass: sends to local endpoints
 	// are dialed back to this process's own listener, exercising the
 	// full encode/socket/decode path (benchmark mode).
@@ -80,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReconnectMax <= 0 {
 		c.ReconnectMax = 2 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -158,10 +167,11 @@ type peerLink struct {
 	queue  ring.Ring[transport.Message]
 	conn   net.Conn // current outbound conn, nil while down; guarded by mu for KillConnections
 	closed bool
+	down   chan struct{} // closed by close(); interrupts the dial backoff sleep
 }
 
 func newPeerLink(addr string) *peerLink {
-	l := &peerLink{addr: addr}
+	l := &peerLink{addr: addr, down: make(chan struct{})}
 	l.cond = sync.NewCond(&l.mu)
 	return l
 }
@@ -215,10 +225,15 @@ func (l *peerLink) kill() {
 
 func (l *peerLink) close() {
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
 	l.closed = true
 	c := l.conn
 	l.conn = nil
 	l.cond.Broadcast()
+	close(l.down)
 	l.mu.Unlock()
 	if c != nil {
 		c.Close()
@@ -428,6 +443,7 @@ func (n *Net) writeLoop(link *peerLink) {
 					return
 				}
 			}
+			conn.SetWriteDeadline(time.Now().Add(n.cfg.WriteTimeout))
 			if _, err := conn.Write(buf); err == nil {
 				n.bytesSent.Add(int64(len(buf)))
 				break
@@ -445,7 +461,10 @@ func (n *Net) writeLoop(link *peerLink) {
 
 // dial establishes the link's outbound connection, backing off
 // exponentially (capped) between failures. Returns nil once the link
-// is closed.
+// is closed. The backoff sleep is interruptible by link.close() so a
+// Net shutdown never stalls behind a down peer, and a remote that
+// restarts on the same address is picked up on the next (bounded)
+// retry rather than wedging the writer.
 func (n *Net) dial(link *peerLink, backoff *time.Duration, dialed *bool) net.Conn {
 	for {
 		link.mu.Lock()
@@ -454,20 +473,27 @@ func (n *Net) dial(link *peerLink, backoff *time.Duration, dialed *bool) net.Con
 		if closed {
 			return nil
 		}
-		if *dialed {
-			n.reconnects.Add(1)
-		}
 		c, err := net.DialTimeout("tcp", link.addr, n.cfg.DialTimeout)
 		if err == nil {
 			if tc, ok := c.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
+			}
+			if *dialed {
+				// Count one reconnect per successful re-dial, not per
+				// attempt: a peer that is down for a while is one
+				// reconnect event, however many retries it took.
+				n.reconnects.Add(1)
 			}
 			*dialed = true
 			*backoff = n.cfg.ReconnectMin
 			link.setConn(c)
 			return c
 		}
-		time.Sleep(*backoff)
+		select {
+		case <-link.down:
+			return nil
+		case <-time.After(*backoff):
+		}
 		*backoff *= 2
 		if *backoff > n.cfg.ReconnectMax {
 			*backoff = n.cfg.ReconnectMax

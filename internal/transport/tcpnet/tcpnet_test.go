@@ -213,6 +213,118 @@ func TestReliableHealsKilledConnections(t *testing.T) {
 	waitFor(t, "session to settle", func() bool { return sessions[0].InFlight() == 0 })
 }
 
+// TestPeerRestartRedial is the crash-restart regression at transport
+// scale: when the remote process dies and a new one comes back on the
+// SAME address, the reconnecting link must redial it and delivery must
+// resume. It also pins the reconnect-counting semantics: one successful
+// re-dial is one reconnect event, no matter how many backoff attempts
+// the downtime cost.
+func TestPeerRestartRedial(t *testing.T) {
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lb.Addr().String()
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newB := func(l net.Listener) (*Net, *atomic.Int64) {
+		nb, err := New(Config{
+			Local:        []model.NodeID{1},
+			Peers:        map[model.NodeID]string{0: la.Addr().String()},
+			Listener:     l,
+			ReconnectMin: 2 * time.Millisecond,
+			ReconnectMax: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got atomic.Int64
+		nb.Register(1, func(m transport.Message) { got.Add(1) })
+		nb.Start()
+		return nb, &got
+	}
+	na, err := New(Config{
+		Local:        []model.NodeID{0},
+		Peers:        map[model.NodeID]string{1: addrB},
+		Listener:     la,
+		ReconnectMin: 2 * time.Millisecond,
+		ReconnectMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na.Register(0, func(transport.Message) {})
+	na.Start()
+	defer na.Close()
+
+	b1, got1 := newB(lb)
+	na.Send(transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: 1}})
+	waitFor(t, "delivery to first incarnation", func() bool { return got1.Load() == 1 })
+
+	// Kill the remote process. Sends during the outage push the link
+	// through the write-failure -> dial-backoff path.
+	b1.Close()
+	na.Send(transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: 2}})
+	time.Sleep(10 * time.Millisecond)
+
+	// Restart on the same address.
+	lb2, err := net.Listen("tcp", addrB)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addrB, err)
+	}
+	b2, got2 := newB(lb2)
+	defer b2.Close()
+
+	// Raw tcpnet may lose frames written into the dying socket; keep
+	// sending until the new incarnation hears us (the reliable layer's
+	// job in production).
+	waitFor(t, "delivery to restarted incarnation", func() bool {
+		na.Send(transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: 3}})
+		return got2.Load() > 0
+	})
+	if r := na.Stats().Reconnects; r != 1 {
+		t.Errorf("reconnects = %d, want exactly 1 (one successful re-dial, not one per attempt)", r)
+	}
+}
+
+// TestCloseInterruptsDialBackoff: a Net shutting down while a writer is
+// mid-backoff against a dead peer must not stall for the backoff
+// duration — link.close() interrupts the sleep.
+func TestCloseInterruptsDialBackoff(t *testing.T) {
+	// Reserve an address nobody listens on.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := New(Config{
+		Local:        []model.NodeID{0},
+		Peers:        map[model.NodeID]string{1: deadAddr},
+		Listener:     la,
+		ReconnectMin: 2 * time.Second,
+		ReconnectMax: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	na.Register(0, func(transport.Message) {})
+	na.Start()
+	na.Send(transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: 1}})
+	time.Sleep(50 * time.Millisecond) // let the writer fail its dial and enter the 2s backoff
+	start := time.Now()
+	na.Close()
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Errorf("Close stalled %v behind dial backoff; want prompt return", d)
+	}
+}
+
 // TestScrapeUnderLoad hammers Stats() and the obs snapshot while
 // senders and KillConnections run concurrently — the -race exercise
 // for the accounting paths.

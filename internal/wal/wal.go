@@ -1,0 +1,644 @@
+// Package wal is the per-node write-ahead log underpinning crash
+// durability: an append-only, CRC-framed, fsync-batched record log with
+// segment rotation, plus atomically installed checkpoint blobs that
+// bound replay work and let old segments be truncated.
+//
+// The log stores opaque records — the semantic record set (applied
+// subtransactions, counter increments, version switches, session
+// watermarks) is defined one layer up in internal/durable, keeping this
+// package free of protocol imports and reusable by tests and fuzzing.
+//
+// # Framing and torn-write tolerance
+//
+// Each record is framed as
+//
+//	uint32 BE  body length
+//	uint32 BE  CRC-32C (Castagnoli) of the body
+//	...        body
+//
+// A crash can tear the tail of the current segment: a partial length
+// prefix, a partial body, or garbage from a reused block. Replay
+// therefore treats the first framing violation — short header, short
+// body, CRC mismatch, or an implausible length — as the durable end of
+// the log: everything before it is applied, everything at and after it
+// is ignored. Replay never panics on corrupt input and never hands a
+// record to the caller whose checksum does not match.
+//
+// # Segments
+//
+// Records append to numbered segment files (wal-00000042.log). A
+// segment rotates once it exceeds Options.SegmentBytes, and Open always
+// starts a fresh segment after the highest existing one rather than
+// appending to a possibly-torn tail. Checkpoints record the first
+// segment that must be replayed; older segments are deleted by
+// TruncateBefore.
+//
+// # Fsync policies
+//
+// FsyncAlways gives group commit: Barrier blocks until every record
+// appended before the call is fdatasync'd, and concurrent barriers
+// coalesce into one fsync. FsyncInterval flushes on a timer (bounded
+// loss window, documented in README "Durability"); FsyncNever leaves
+// flushing to the OS. Barrier is a no-op under the latter two.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Policy selects when appended records are forced to stable storage.
+type Policy int
+
+const (
+	// FsyncAlways makes Barrier block until the log is durable up to
+	// the caller's last append (group-committed across callers).
+	FsyncAlways Policy = iota
+	// FsyncInterval flushes on a background timer; Barrier is a no-op
+	// and a crash can lose up to one interval of acknowledged records.
+	FsyncInterval
+	// FsyncNever performs no explicit flushing at all.
+	FsyncNever
+)
+
+// ParsePolicy maps the -fsync flag spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "always":
+		return FsyncAlways, nil
+	case "interval", "batch":
+		return FsyncInterval, nil
+	case "never", "off", "none":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Options parameterizes a Log.
+type Options struct {
+	// Dir is the log directory; created if absent.
+	Dir string
+	// Fsync selects the durability policy (default FsyncAlways).
+	Fsync Policy
+	// FsyncInterval spaces timer flushes under FsyncInterval; 0 means
+	// 5ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active segment past this size; 0 means
+	// 8 MiB.
+	SegmentBytes int64
+	// Obs, when non-nil, receives append/fsync latency observations and
+	// segment gauges.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 5 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// MaxRecord bounds a single record body; a corrupt length prefix past
+// this is treated as the end of the log rather than an allocation.
+const MaxRecord = 32 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports an operation on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Log is the append side of the write-ahead log. All methods are safe
+// for concurrent use.
+type Log struct {
+	opts Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File
+	seg       uint64 // current segment number
+	segBytes  int64
+	appended  uint64 // records appended (monotonic)
+	durable   uint64 // records known durable
+	syncReq   bool   // flusher wake-up flag
+	closed    bool
+	err       error // sticky I/O error; the log refuses further appends
+	bytesTot  int64
+	fsyncs    int64
+	wg        sync.WaitGroup
+	stopTimer chan struct{}
+}
+
+// Stats is a point-in-time accounting snapshot.
+type Stats struct {
+	Segments      int
+	SegmentBytes  int64 // bytes in the active segment
+	TotalAppended int64 // bytes appended since Open
+	Records       uint64
+	Fsyncs        int64
+}
+
+// Open creates (or reuses) the log directory and starts a fresh
+// segment strictly after the highest existing one — recovery replays
+// old segments read-only; the appender never touches them again.
+func Open(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := ListSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1] + 1
+	}
+	l := &Log{opts: opts, seg: next - 1, stopTimer: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.openSegmentLocked(next); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.flusher()
+	if opts.Fsync == FsyncInterval {
+		l.wg.Add(1)
+		go l.intervalFlusher()
+	}
+	return l, nil
+}
+
+func segName(seg uint64) string { return fmt.Sprintf("wal-%08d.log", seg) }
+
+// ListSegments returns the segment numbers present in dir, ascending.
+func ListSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range ents {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.log", &n); err == nil && e.Name() == segName(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// openSegmentLocked syncs and closes the current segment (if any) and
+// opens segment number seg. Callers hold mu (or own the log solely).
+func (l *Log) openSegmentLocked(seg uint64) error {
+	if l.f != nil {
+		start := time.Now()
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return err
+		}
+		l.opts.Obs.ObserveWALFsync(time.Since(start))
+		l.fsyncs++
+		l.durable = l.appended
+		l.cond.Broadcast()
+		l.f.Close()
+	}
+	f, err := os.OpenFile(filepath.Join(l.opts.Dir, segName(seg)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		l.err = err
+		return err
+	}
+	l.f = f
+	l.seg = seg
+	l.segBytes = 0
+	l.publishGauges()
+	return nil
+}
+
+func (l *Log) publishGauges() {
+	if l.opts.Obs == nil {
+		return
+	}
+	l.opts.Obs.SetGauge(obs.GaugeWALSegment, float64(l.seg))
+	l.opts.Obs.SetGauge(obs.GaugeWALBytes, float64(l.bytesTot))
+}
+
+// Append frames and writes one record, rotating the segment if needed,
+// and returns the record's LSN (1-based append index). The write lands
+// in the OS page cache; durability is Barrier's job.
+func (l *Log) Append(body []byte) (uint64, error) {
+	start := time.Now()
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.segBytes >= l.opts.SegmentBytes {
+		if err := l.openSegmentLocked(l.seg + 1); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.err = err
+		return 0, err
+	}
+	if _, err := l.f.Write(body); err != nil {
+		l.err = err
+		return 0, err
+	}
+	n := int64(len(body) + 8)
+	l.segBytes += n
+	l.bytesTot += n
+	l.appended++
+	l.publishGauges()
+	l.opts.Obs.ObserveWALAppend(time.Since(start))
+	return l.appended, nil
+}
+
+// Barrier blocks until every record appended before the call is
+// durable (FsyncAlways), or returns immediately under the relaxed
+// policies. Concurrent barriers share one fsync.
+func (l *Log) Barrier() error {
+	if l.opts.Fsync != FsyncAlways {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target := l.appended
+	for l.durable < target && l.err == nil && !l.closed {
+		l.syncReq = true
+		l.cond.Broadcast() // wake the flusher
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed && l.durable < target {
+		return ErrClosed
+	}
+	return nil
+}
+
+// flusher is the group-commit goroutine: whenever barriers are waiting
+// it performs one fsync covering every record appended so far.
+func (l *Log) flusher() {
+	defer l.wg.Done()
+	l.mu.Lock()
+	for {
+		for !l.syncReq && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		l.syncReq = false
+		target := l.appended
+		f := l.f
+		l.mu.Unlock()
+
+		start := time.Now()
+		err := f.Sync()
+		d := time.Since(start)
+
+		l.mu.Lock()
+		l.opts.Obs.ObserveWALFsync(d)
+		l.fsyncs++
+		if err != nil && l.err == nil {
+			l.err = err
+		}
+		if err == nil && target > l.durable && f == l.f {
+			l.durable = target
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// intervalFlusher drives the FsyncInterval policy.
+func (l *Log) intervalFlusher() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopTimer:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			dirty := l.durable < l.appended && l.err == nil && !l.closed
+			f := l.f
+			target := l.appended
+			l.mu.Unlock()
+			if !dirty {
+				continue
+			}
+			start := time.Now()
+			err := f.Sync()
+			l.mu.Lock()
+			l.opts.Obs.ObserveWALFsync(time.Since(start))
+			l.fsyncs++
+			if err != nil && l.err == nil {
+				l.err = err
+			}
+			if err == nil && target > l.durable && f == l.f {
+				l.durable = target
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Rotate forces a segment boundary and returns the new (empty) active
+// segment's number — the checkpoint anchor: a checkpoint taken
+// immediately after Rotate covers every record in segments before it,
+// so replay starts at the returned segment.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if err := l.openSegmentLocked(l.seg + 1); err != nil {
+		return 0, err
+	}
+	return l.seg, nil
+}
+
+// TruncateBefore deletes segments numbered strictly below seg —
+// checkpoint garbage collection. Deletion failures are ignored (a
+// leftover segment below the checkpoint anchor is never replayed).
+func (l *Log) TruncateBefore(seg uint64) {
+	segs, err := ListSegments(l.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, n := range segs {
+		if n < seg {
+			os.Remove(filepath.Join(l.opts.Dir, segName(n)))
+		}
+	}
+}
+
+// Seg returns the active segment number.
+func (l *Log) Seg() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// SetObs late-binds the observability registry — for callers whose
+// registry only exists after the log is opened (the node binary opens
+// the log before building the cluster that owns the registry). Call
+// before checkpoints start; append/fsync observation is synchronized.
+func (l *Log) SetObs(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.opts.Obs = r
+}
+
+// Stats returns accounting for gauges and tests.
+func (l *Log) Stats() Stats {
+	segs, _ := ListSegments(l.opts.Dir)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:      len(segs),
+		SegmentBytes:  l.segBytes,
+		TotalAppended: l.bytesTot,
+		Records:       l.appended,
+		Fsyncs:        l.fsyncs,
+	}
+}
+
+// Close syncs and closes the active segment. Further appends fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	f := l.f
+	err := l.err
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	close(l.stopTimer)
+	l.wg.Wait()
+	if f != nil {
+		if serr := f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+		f.Close()
+	}
+	return err
+}
+
+// Replay iterates every record in segments numbered >= fromSeg in
+// order, invoking fn on each CRC-verified body. The first framing
+// violation anywhere — torn tail, bad CRC, implausible length, or a
+// missing segment in the sequence — ends the replay: records past the
+// damage are never delivered, because their predecessors may be lost.
+// fn errors abort the replay and are returned verbatim.
+func Replay(dir string, fromSeg uint64, fn func(body []byte) error) error {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return err
+	}
+	expect := fromSeg
+	for _, seg := range segs {
+		if seg < fromSeg {
+			continue
+		}
+		if fromSeg == 0 && expect == 0 {
+			expect = seg // no checkpoint anchor: start at the first segment present
+		}
+		if seg != expect {
+			return nil // gap in the sequence: stop at the last contiguous segment
+		}
+		expect++
+		ok, err := replaySegment(filepath.Join(dir, segName(seg)), fn)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil // torn or corrupt record: durable end of log
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment. Returns ok=false on the first
+// framing violation (replay must stop), or an fn error verbatim.
+func replaySegment(path string, fn func(body []byte) error) (ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, nil // unreadable segment: treat as end of log
+	}
+	defer f.Close()
+	var hdr [8]byte
+	var body []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			// io.EOF: clean end. ErrUnexpectedEOF: torn header. Either
+			// way this segment has no further valid records; a clean EOF
+			// lets the next segment continue, a torn one must stop.
+			return err == io.EOF, nil
+		}
+		size := binary.BigEndian.Uint32(hdr[0:4])
+		want := binary.BigEndian.Uint32(hdr[4:8])
+		if size > MaxRecord {
+			return false, nil
+		}
+		if cap(body) < int(size) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(f, body); err != nil {
+			return false, nil // torn body
+		}
+		if crc32.Checksum(body, castagnoli) != want {
+			return false, nil // bit rot or torn write across the CRC
+		}
+		if err := fn(body); err != nil {
+			return false, err
+		}
+	}
+}
+
+// --- Checkpoints ---
+
+// checkpoint file layout: uint32 BE CRC-32C of the rest, uint64 BE
+// anchor segment, then the opaque snapshot blob.
+func ckptName(seg uint64) string { return fmt.Sprintf("checkpoint-%08d.ckpt", seg) }
+
+// SaveCheckpoint atomically installs a checkpoint blob anchored at
+// segment seg (replay resumes at seg): write to a temp file, fsync,
+// rename into place, fsync the directory, then delete older
+// checkpoints and truncate segments below the anchor.
+func (l *Log) SaveCheckpoint(seg uint64, blob []byte) error {
+	dir := l.opts.Dir
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[4:12], seg)
+	crc := crc32.Update(crc32.Checksum(hdr[4:12], castagnoli), castagnoli, blob)
+	binary.BigEndian.PutUint32(hdr[0:4], crc)
+
+	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, ckptName(seg))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	syncDir(dir)
+	// Older checkpoints and out-replayed segments are now garbage.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "checkpoint-%d.ckpt", &n); err == nil && e.Name() == ckptName(n) && n < seg {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	l.TruncateBefore(seg)
+	l.opts.Obs.Inc(obs.CtrCheckpoints, 1)
+	return nil
+}
+
+// LoadCheckpoint returns the newest checkpoint whose CRC verifies,
+// falling back to older ones if the newest is damaged. found is false
+// when no usable checkpoint exists (replay then starts at the first
+// segment with empty state).
+func LoadCheckpoint(dir string) (seg uint64, blob []byte, found bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil, false, nil
+		}
+		return 0, nil, false, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "checkpoint-%d.ckpt", &n); err == nil && e.Name() == ckptName(n) {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] > segs[j] }) // newest first
+	for _, n := range segs {
+		data, rerr := os.ReadFile(filepath.Join(dir, ckptName(n)))
+		if rerr != nil || len(data) < 12 {
+			continue
+		}
+		want := binary.BigEndian.Uint32(data[0:4])
+		if crc32.Checksum(data[4:], castagnoli) != want {
+			continue // damaged: try an older checkpoint
+		}
+		anchor := binary.BigEndian.Uint64(data[4:12])
+		if anchor != n {
+			continue
+		}
+		return anchor, data[12:], true, nil
+	}
+	return 0, nil, false, nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,471 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, mut func(*Options)) *Log {
+	t.Helper()
+	opts := Options{Dir: dir, Fsync: FsyncNever}
+	if mut != nil {
+		mut(&opts)
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendAll(t *testing.T, l *Log, bodies [][]byte) {
+	t.Helper()
+	for _, b := range bodies {
+		if _, err := l.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string, fromSeg uint64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := Replay(dir, fromSeg, func(body []byte) error {
+		out = append(out, append([]byte(nil), body...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantBodies(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	bodies := [][]byte{[]byte("one"), {}, []byte("three"), bytes.Repeat([]byte{0xAB}, 4096)}
+	appendAll(t, l, bodies)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantBodies(t, replayAll(t, dir, 0), bodies)
+}
+
+func TestReplaySpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation on nearly every append.
+	l := openTest(t, dir, func(o *Options) { o.SegmentBytes = 32 })
+	var bodies [][]byte
+	for i := 0; i < 50; i++ {
+		bodies = append(bodies, []byte(fmt.Sprintf("record-%03d", i)))
+	}
+	appendAll(t, l, bodies)
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantBodies(t, replayAll(t, dir, 0), bodies)
+}
+
+func TestOpenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	appendAll(t, l, [][]byte{[]byte("first-life")})
+	seg1 := l.Seg()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTest(t, dir, nil)
+	if l2.Seg() <= seg1 {
+		t.Fatalf("reopen stayed on segment %d (was %d); must start a fresh one", l2.Seg(), seg1)
+	}
+	appendAll(t, l2, [][]byte{[]byte("second-life")})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantBodies(t, replayAll(t, dir, 0), [][]byte{[]byte("first-life"), []byte("second-life")})
+}
+
+func TestBarrierGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) { o.Fsync = FsyncAlways })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", i, j))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Fsyncs == 0 {
+		t.Fatal("FsyncAlways barriers performed zero fsyncs")
+	}
+	if st.Fsyncs >= int64(st.Records) {
+		t.Logf("no group-commit coalescing observed (%d fsyncs for %d records) — legal but unexpected", st.Fsyncs, st.Records)
+	}
+	if got := len(replayAll(t, dir, 0)); got != int(st.Records) {
+		t.Fatalf("replayed %d of %d records", got, st.Records)
+	}
+}
+
+func TestIntervalPolicyFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) {
+		o.Fsync = FsyncInterval
+		o.FsyncInterval = time.Millisecond
+	})
+	appendAll(t, l, [][]byte{[]byte("timed")})
+	if err := l.Barrier(); err != nil { // no-op under FsyncInterval
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l := openTest(t, t.TempDir(), nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+		err  bool
+	}{
+		{"", FsyncAlways, false},
+		{"always", FsyncAlways, false},
+		{"ALWAYS", FsyncAlways, false},
+		{"interval", FsyncInterval, false},
+		{"batch", FsyncInterval, false},
+		{"never", FsyncNever, false},
+		{"off", FsyncNever, false},
+		{"none", FsyncNever, false},
+		{"bogus", 0, true},
+	} {
+		got, err := ParsePolicy(tc.in)
+		if tc.err != (err != nil) || (!tc.err && got != tc.want) {
+			t.Errorf("ParsePolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+}
+
+// --- Corruption table tests: recovery stops at the last valid record,
+// never panics, never delivers a record whose checksum fails. ---
+
+// writeSegments lays down bodies into a single segment and returns its
+// path plus the framed bytes, for surgical corruption.
+func writeSegments(t *testing.T, dir string, bodies [][]byte) string {
+	t.Helper()
+	l := openTest(t, dir, nil)
+	appendAll(t, l, bodies)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want exactly one segment, got %v (%v)", segs, err)
+	}
+	return filepath.Join(dir, segName(segs[0]))
+}
+
+func frameLen(body []byte) int { return 8 + len(body) }
+
+func TestReplayCorruption(t *testing.T) {
+	bodies := [][]byte{[]byte("alpha"), []byte("bravo-longer"), []byte("charlie")}
+	off01 := frameLen(bodies[0])         // start of record 1
+	off12 := off01 + frameLen(bodies[1]) // start of record 2
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, data []byte) []byte
+		want    int // records surviving replay
+	}{
+		{"truncated tail mid-body", func(t *testing.T, d []byte) []byte {
+			return d[:len(d)-3]
+		}, 2},
+		{"truncated tail mid-header", func(t *testing.T, d []byte) []byte {
+			return d[:off12+4]
+		}, 2},
+		{"torn record: header only", func(t *testing.T, d []byte) []byte {
+			return d[:off12+8]
+		}, 2},
+		{"bad CRC in last record", func(t *testing.T, d []byte) []byte {
+			d[len(d)-1] ^= 0xFF
+			return d
+		}, 2},
+		{"mid-segment corruption halts before later valid records", func(t *testing.T, d []byte) []byte {
+			d[off01+8] ^= 0xFF // flip first body byte of record 1
+			return d
+		}, 1},
+		{"implausible length prefix", func(t *testing.T, d []byte) []byte {
+			binary.BigEndian.PutUint32(d[off12:off12+4], MaxRecord+1)
+			return d
+		}, 2},
+		{"length prefix larger than file", func(t *testing.T, d []byte) []byte {
+			binary.BigEndian.PutUint32(d[off12:off12+4], 1<<20)
+			return d
+		}, 2},
+		{"empty segment", func(t *testing.T, d []byte) []byte {
+			return nil
+		}, 0},
+		{"pure garbage", func(t *testing.T, d []byte) []byte {
+			g := bytes.Repeat([]byte{0xDE, 0xAD}, 64)
+			return g
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := writeSegments(t, dir, bodies)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(t, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got := replayAll(t, dir, 0)
+			wantBodies(t, got, bodies[:tc.want])
+		})
+	}
+}
+
+func TestReplayStopsAtSegmentGap(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) { o.SegmentBytes = 1 }) // rotate every append
+	bodies := [][]byte{[]byte("s1"), []byte("s2"), []byte("s3")}
+	appendAll(t, l, bodies)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want >=3 segments, got %v", segs)
+	}
+	// Delete the middle segment: replay must stop at the gap rather
+	// than skip over missing history.
+	if err := os.Remove(filepath.Join(dir, segName(segs[1]))); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, dir, segs[0])
+	wantBodies(t, got, bodies[:1])
+}
+
+func TestReplayFromSegSkipsOlder(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) { o.SegmentBytes = 1 })
+	appendAll(t, l, [][]byte{[]byte("old"), []byte("new")})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := ListSegments(dir)
+	got := replayAll(t, dir, segs[len(segs)-1])
+	wantBodies(t, got, [][]byte{[]byte("new")})
+	got = replayAll(t, dir, segs[0])
+	wantBodies(t, got, [][]byte{[]byte("old"), []byte("new")})
+}
+
+// --- Checkpoints ---
+
+func TestCheckpointRoundTripAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, func(o *Options) { o.SegmentBytes = 1 })
+	appendAll(t, l, [][]byte{[]byte("pre-1"), []byte("pre-2")})
+	anchor, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("snapshot-state")
+	if err := l.SaveCheckpoint(anchor, blob); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, [][]byte{[]byte("post-1")})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg, got, found, err := LoadCheckpoint(dir)
+	if err != nil || !found {
+		t.Fatalf("LoadCheckpoint: found=%v err=%v", found, err)
+	}
+	if seg != anchor || !bytes.Equal(got, blob) {
+		t.Fatalf("checkpoint (%d, %q), want (%d, %q)", seg, got, anchor, blob)
+	}
+	// Segments below the anchor were truncated…
+	segs, _ := ListSegments(dir)
+	for _, s := range segs {
+		if s < anchor {
+			t.Fatalf("segment %d survived truncation below anchor %d", s, anchor)
+		}
+	}
+	// …and replay-from-anchor yields exactly the post-checkpoint records.
+	wantBodies(t, replayAll(t, dir, seg), [][]byte{[]byte("post-1")})
+}
+
+func TestLoadCheckpointFallsBackPastCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, nil)
+	a1, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveCheckpoint(a1, []byte("older-good")); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveCheckpoint(a2, []byte("newer-soon-bad")); err != nil {
+		t.Fatal(err)
+	}
+	// SaveCheckpoint(a2) deleted the older file; recreate it as
+	// SaveCheckpoint would have written it, then damage the newest.
+	if err := l.SaveCheckpoint(a1, []byte("older-good")); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, ckptName(a2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg, blob, found, err := LoadCheckpoint(dir)
+	if err != nil || !found {
+		t.Fatalf("found=%v err=%v", found, err)
+	}
+	if seg != a1 || string(blob) != "older-good" {
+		t.Fatalf("fell back to (%d, %q), want (%d, %q)", seg, blob, a1, "older-good")
+	}
+	l.Close()
+}
+
+func TestLoadCheckpointMissing(t *testing.T) {
+	_, _, found, err := LoadCheckpoint(t.TempDir())
+	if err != nil || found {
+		t.Fatalf("empty dir: found=%v err=%v", found, err)
+	}
+	_, _, found, err = LoadCheckpoint(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || found {
+		t.Fatalf("missing dir: found=%v err=%v", found, err)
+	}
+}
+
+// FuzzWALReplay builds a log from three fuzzer-chosen record bodies,
+// then applies a fuzzer-chosen truncation and byte flip to the segment
+// file. Replay must never panic, must deliver only CRC-clean records,
+// and must deliver a strict prefix of what was written.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte("alpha"), []byte(""), []byte("gamma-longer"), uint16(0), byte(0))
+	f.Add([]byte("a"), []byte("bb"), []byte("ccc"), uint16(5), byte(0xFF))
+	f.Add(bytes.Repeat([]byte{0x00}, 100), []byte("x"), []byte("y"), uint16(40), byte(1))
+	f.Fuzz(func(t *testing.T, b1, b2, b3 []byte, cut uint16, flip byte) {
+		dir := t.TempDir()
+		bodies := [][]byte{b1, b2, b3}
+		l, err := Open(Options{Dir: dir, Fsync: FsyncNever})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range bodies {
+			if _, err := l.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := ListSegments(dir)
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("segments: %v (%v)", segs, err)
+		}
+		path := filepath.Join(dir, segName(segs[0]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(cut) < len(data) {
+			data = data[:cut]
+		}
+		if len(data) > 0 && flip != 0 {
+			data[int(cut)%len(data)] ^= flip
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var got [][]byte
+		if err := Replay(dir, 0, func(body []byte) error {
+			got = append(got, append([]byte(nil), body...))
+			return nil
+		}); err != nil {
+			t.Fatalf("replay returned error on corrupt input: %v", err)
+		}
+		if len(got) > len(bodies) {
+			t.Fatalf("replay invented records: got %d, wrote %d", len(got), len(bodies))
+		}
+		for i, b := range got {
+			if !bytes.Equal(b, bodies[i]) {
+				// A flipped bit can only produce a mismatching record if
+				// the CRC collides — with CRC-32C over our framing that
+				// means the flip hit after the prefix we replayed, so any
+				// delivered record must match what was written.
+				t.Fatalf("record %d = %q, want %q", i, b, bodies[i])
+			}
+		}
+	})
+}
+
+// Guard: the castagnoli table in this package must actually be
+// Castagnoli — replay correctness depends on matching Append's polynomial.
+func TestChecksumPolynomial(t *testing.T) {
+	if crc32.Checksum([]byte("123456789"), castagnoli) != 0xE3069283 {
+		t.Fatal("castagnoli table does not implement CRC-32C")
+	}
+}

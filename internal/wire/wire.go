@@ -32,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +73,7 @@ const (
 	idUnlock           = 14
 	idReliableData     = 15
 	idReliableAck      = 16
+	idReliableNoop     = 17
 )
 
 // Op kind bytes inside SubtxnSpec updates.
@@ -136,6 +138,8 @@ func TypeName(id uint64) string {
 		return "reliable_data"
 	case idReliableAck:
 		return "reliable_ack"
+	case idReliableNoop:
+		return "reliable_noop"
 	}
 	return ""
 }
@@ -161,6 +165,7 @@ func Prototypes() map[uint64]any {
 		idUnlock:           core.UnlockMsg{},
 		idReliableData:     reliable.DataMsg{},
 		idReliableAck:      reliable.AckMsg{},
+		idReliableNoop:     reliable.NoopMsg{},
 	}
 }
 
@@ -290,6 +295,8 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 	case reliable.AckMsg:
 		buf = binary.AppendUvarint(buf, idReliableAck)
 		return binary.AppendUvarint(buf, p.CumAck), nil
+	case reliable.NoopMsg:
+		return binary.AppendUvarint(buf, idReliableNoop), nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -580,6 +587,8 @@ func (d *decoder) payload(depth int) any {
 		return reliable.DataMsg{Seq: seq, Payload: inner}
 	case idReliableAck:
 		return reliable.AckMsg{CumAck: d.uvarint()}
+	case idReliableNoop:
+		return reliable.NoopMsg{}
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
 	return nil
@@ -649,4 +658,63 @@ func (d *decoder) tuple() model.Tuple {
 		Amount:     d.varint(),
 		TxnVersion: model.Version(d.uvarint()),
 	}
+}
+
+// The helpers below expose pieces of the frame codec to the durability
+// layer (internal/durable), whose log records and checkpoint blobs
+// reuse the wire encodings for ops, records and whole messages rather
+// than invent parallel ones.
+
+// AppendOp appends the wire encoding of one store op — the same
+// encoding SubtxnSpec updates use inside frames.
+func AppendOp(buf []byte, op model.Op) ([]byte, error) { return appendOp(buf, op) }
+
+// DecodeOp decodes one op from the front of b, returning the op and
+// the number of bytes consumed.
+func DecodeOp(b []byte) (model.Op, int, error) {
+	d := &decoder{b: b}
+	op := d.op()
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return op, d.off, nil
+}
+
+// AppendRecord appends the encoding of one versioned record: summary
+// fields (sorted by name, so encoding is deterministic) then the tuple
+// log in order.
+func AppendRecord(buf []byte, r *model.Record) []byte {
+	names := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.AppendVarint(buf, r.Fields[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Log)))
+	for _, t := range r.Log {
+		buf = appendTuple(buf, t)
+	}
+	return buf
+}
+
+// DecodeRecord decodes one record from the front of b, returning the
+// record and the number of bytes consumed.
+func DecodeRecord(b []byte) (*model.Record, int, error) {
+	d := &decoder{b: b}
+	rec := model.NewRecord()
+	for i, n := 0, d.count(); i < n; i++ {
+		k := d.string()
+		rec.Fields[k] = d.varint()
+	}
+	for i, n := 0, d.count(); i < n; i++ {
+		rec.Log = append(rec.Log, d.tuple())
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	return rec, d.off, nil
 }

@@ -74,6 +74,8 @@ func sampleMessages() []transport.Message {
 		{From: 3, To: 1, Payload: core.UnlockMsg{Txn: model.MakeTxnID(1, 8)}},
 		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 99, Payload: core.GCMsg{Keep: 5}}},
 		{From: 2, To: 0, Payload: reliable.AckMsg{CumAck: 98}},
+		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 100, Payload: reliable.NoopMsg{}}},
+		{From: 0, To: 2, Payload: reliable.NoopMsg{}},
 	}
 }
 
