@@ -84,7 +84,8 @@ type expResult struct {
 
 // benchSnapshot is the -out format: the headline end-to-end numbers of
 // one calibration run, small and stable enough to commit as the
-// tracked BENCH_<n>.json baseline. Latencies are milliseconds.
+// tracked BENCH_<n>.json baseline. Latencies are milliseconds. The
+// stage fields appear only when the run traced (-trace-sample > 0).
 type benchSnapshot struct {
 	Txns          int     `json:"txns"`
 	Completed     int     `json:"completed"`
@@ -95,6 +96,10 @@ type benchSnapshot struct {
 	UpdateP99Ms   float64 `json:"update_p99_ms"`
 	AdvanceP99Ms  float64 `json:"advance_p99_ms"`
 	Messages      int64   `json:"messages"`
+	// Per-stage latency attribution of sampled root transactions
+	// (wire + queue + service + ack partitions the end-to-end time).
+	StageP50Ms map[string]float64 `json:"stage_p50_ms,omitempty"`
+	StageP99Ms map[string]float64 `json:"stage_p99_ms,omitempty"`
 }
 
 type calibrationRun struct {
@@ -122,6 +127,9 @@ func main() {
 	transportKind := flag.String("transport", "mem", "calibration run network: mem (in-memory) or tcp (wire codec + loopback sockets)")
 	walMode := flag.String("wal", "", "durability calibration: none | never | interval | always (three durable single-node clusters over loopback TCP)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
+	traceSample := flag.Int("trace-sample", 0, "calibration run: head-sample 1 in N transactions for causal tracing (prints the stage-attribution table; 0 = off)")
+	traceOut := flag.String("trace-out", "", "with -trace-sample: dump the calibration run's assembled traces as JSON to this file")
+	stageCheck := flag.Bool("stage-check", false, "with -trace-sample: fail unless the stage means sum to within 5%% of the end-to-end mean")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -139,6 +147,14 @@ func main() {
 	}
 	if *walMode != "" && (*drop > 0 || *dup > 0 || *reliable || *transportKind != "mem") {
 		fmt.Fprintln(os.Stderr, "-wal fixes its own topology (loopback TCP + reliable sessions); drop -drop/-dupmsg/-reliable/-transport")
+		os.Exit(1)
+	}
+	if (*traceOut != "" || *stageCheck) && *traceSample <= 0 {
+		fmt.Fprintln(os.Stderr, "-trace-out/-stage-check require -trace-sample > 0")
+		os.Exit(1)
+	}
+	if *traceSample > 0 && *walMode != "" {
+		fmt.Fprintln(os.Stderr, "-trace-sample applies to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
 	}
 	stopProf, err := prof.Start()
@@ -221,6 +237,7 @@ func main() {
 	}
 
 	var cal *calibrationRun
+	var traces []obs.Trace
 	if *walMode != "" {
 		var calErr error
 		cal, calErr = calibrateWAL(*txns, *walMode)
@@ -231,12 +248,37 @@ func main() {
 			fmt.Printf("wal calibration (%s): %.1f txn/s over %d txns, %d wal records, %d fsyncs\n",
 				cal.WALMode, cal.ThroughputTPS, cal.Txns, cal.WALRecords, cal.WALFsyncs)
 		}
-	} else if *jsonOut != "" || *out != "" {
+	} else if *jsonOut != "" || *out != "" || *traceSample > 0 {
 		var calErr error
-		cal, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind)
+		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
 			failures++
+		}
+	}
+
+	if cal != nil && *traceSample > 0 {
+		printStageTable(cal.Obs)
+		if *stageCheck && !stageSumsCheckOut(cal.Obs) {
+			failures++
+		}
+		if *traceOut != "" {
+			buf, terr := json.MarshalIndent(traces, "", "  ")
+			if terr != nil {
+				fmt.Fprintln(os.Stderr, "trace encode:", terr)
+				failures++
+			} else if terr := os.WriteFile(*traceOut, append(buf, '\n'), 0o644); terr != nil {
+				fmt.Fprintln(os.Stderr, "trace write:", terr)
+				failures++
+			} else {
+				complete := 0
+				for _, tr := range traces {
+					if tr.Complete {
+						complete++
+					}
+				}
+				fmt.Printf("traces: %d (%d complete) -> %s\n", len(traces), complete, *traceOut)
+			}
 		}
 	}
 
@@ -275,6 +317,16 @@ func main() {
 			AdvanceP99Ms:  roundMs(float64(cal.Obs.AdvTotal.P99()) / 1e6),
 			Messages:      cal.Transport.Messages,
 		}
+		if *traceSample > 0 {
+			snap.StageP50Ms = make(map[string]float64)
+			snap.StageP99Ms = make(map[string]float64)
+			for i, name := range obs.StageNames {
+				if s := cal.Obs.Stages[i]; s.Count > 0 {
+					snap.StageP50Ms[name] = roundMs(float64(s.P50()) / 1e6)
+					snap.StageP99Ms[name] = roundMs(float64(s.P99()) / 1e6)
+				}
+			}
+		}
 		buf, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "snapshot encode:", err)
@@ -297,6 +349,74 @@ func main() {
 // for millisecond latencies and whole-txn/s throughputs.
 func roundMs(v float64) float64 { return math.Round(v*1000) / 1000 }
 
+// printStageTable renders the per-stage latency attribution of the
+// sampled root transactions: where an end-to-end millisecond actually
+// goes. wire + queue + service + ack partition the total exactly per
+// transaction; fsync is a sub-interval of service and session of wire,
+// so those two are shown but excluded from the sum row.
+func printStageTable(s obs.Snapshot) {
+	total := s.Stages[obs.StageTotal]
+	if total.Count == 0 {
+		fmt.Println("stage attribution: no sampled transactions (raise -trace-sample coverage)")
+		return
+	}
+	tbl := &harness.Table{Title: "stage attribution (sampled txns)", Header: []string{"stage", "mean (ms)", "p50 (ms)", "p99 (ms)", "share"}}
+	meanOf := func(h obs.HistSnapshot) float64 {
+		if h.Count == 0 {
+			return 0
+		}
+		return float64(h.Sum) / float64(h.Count) / 1e6
+	}
+	totalMean := meanOf(total)
+	var sumMean float64
+	for _, i := range []int{obs.StageWire, obs.StageQueue, obs.StageService, obs.StageAck} {
+		h := s.Stages[i]
+		m := meanOf(h)
+		sumMean += m
+		tbl.Add(obs.StageNames[i], harness.F2(m), harness.Ms(time.Duration(h.P50())), harness.Ms(time.Duration(h.P99())),
+			fmt.Sprintf("%4.1f%%", 100*m/math.Max(totalMean, 1e-9)))
+	}
+	tbl.Add("= total (e2e)", harness.F2(totalMean), harness.Ms(time.Duration(total.P50())), harness.Ms(time.Duration(total.P99())), "100%")
+	for _, i := range []int{obs.StageFsync, obs.StageSession} {
+		h := s.Stages[i]
+		tbl.Add("  ("+obs.StageNames[i]+")", harness.F2(meanOf(h)), harness.Ms(time.Duration(h.P50())), harness.Ms(time.Duration(h.P99())), "sub")
+	}
+	fmt.Println(tbl.String())
+	fmt.Printf("stage sum check: wire+queue+service+ack mean %.3f ms vs e2e mean %.3f ms (%.2f%% apart)\n",
+		sumMean, totalMean, 100*math.Abs(sumMean-totalMean)/math.Max(totalMean, 1e-9))
+}
+
+// stageSumsCheckOut is the -stage-check gate: the four partition stages
+// are measured per-transaction and telescoped, so their means must sum
+// to the end-to-end mean up to clamping slack (negative residuals clamp
+// to zero). 5% is comfortably above observed slack and far below any
+// real attribution bug.
+func stageSumsCheckOut(s obs.Snapshot) bool {
+	total := s.Stages[obs.StageTotal]
+	if total.Count == 0 {
+		fmt.Fprintln(os.Stderr, "stage-check FAILED: no sampled transactions recorded")
+		return false
+	}
+	var sum float64
+	for _, i := range []int{obs.StageWire, obs.StageQueue, obs.StageService, obs.StageAck} {
+		h := s.Stages[i]
+		if h.Count != total.Count {
+			fmt.Fprintf(os.Stderr, "stage-check FAILED: stage %q has %d samples, total has %d\n",
+				obs.StageNames[i], h.Count, total.Count)
+			return false
+		}
+		sum += float64(h.Sum)
+	}
+	tm := float64(total.Sum)
+	if diff := math.Abs(sum - tm); diff > 0.05*tm {
+		fmt.Fprintf(os.Stderr, "stage-check FAILED: stage sum %.0f ns vs e2e %.0f ns (%.1f%% apart, epsilon 5%%)\n",
+			sum, tm, 100*diff/tm)
+		return false
+	}
+	fmt.Println("stage-check OK: stage sums match end-to-end latency within 5%")
+	return true
+}
+
 // calibrate runs a loaded 4-node 3V cluster and returns its throughput
 // together with the observability snapshot — the reference numbers the
 // JSON report pairs with the experiment outcomes. With drop/dup rates
@@ -305,7 +425,7 @@ func roundMs(v float64) float64 { return math.Round(v*1000) / 1000 }
 // swaps the in-memory network for tcpnet in ForceTCP mode: the cluster
 // stays in one process, but every message is binary-encoded and pushed
 // through a real loopback socket — the wire-overhead measurement.
-func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string) (*calibrationRun, error) {
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int) (*calibrationRun, []obs.Trace, error) {
 	const nodes = 4
 	ccfg := core.Config{
 		Nodes: nodes,
@@ -315,12 +435,13 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 			Faults: transport.Faults{Default: transport.LinkFaults{DropRate: drop, DupRate: dup}},
 		},
 		Reliable: reliableNet,
+		Obs:      obs.Options{TraceSampleN: traceSample},
 	}
 	var tn *tcpnet.Net
 	if transportKind == "tcp" {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		local := make([]model.NodeID, nodes+1) // nodes + coordinator
 		for i := range local {
@@ -328,7 +449,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		}
 		tn, err = tcpnet.New(tcpnet.Config{Local: local, Listener: ln, ForceTCP: true})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer tn.Close() // idempotent; also closed via the cluster when reliable wraps it
 		ccfg.Transport = tn
@@ -339,7 +460,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 	}
 	cluster, err := core.NewCluster(ccfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if tn != nil {
 		tn.SetObs(cluster.Obs())
@@ -366,7 +487,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 			cluster.Preload(n, k, rec)
 		},
 	})
-	return &calibrationRun{
+	cal := &calibrationRun{
 		Txns:          txns,
 		Completed:     res.Completed,
 		ThroughputTPS: res.Throughput(),
@@ -376,7 +497,8 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		Reliable:      reliableNet,
 		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
-	}, nil
+	}
+	return cal, cluster.ObsTraces(), nil
 }
 
 // calibrateWAL measures the durability tax end-to-end: three

@@ -20,8 +20,16 @@
 // the others; extra entries are rejected). The coordinator endpoint
 // (id = nodes) lives in process 0 and needs no entry of its own.
 //
+// -trace-sample enables causal tracing: 1 in N transactions carries a
+// trace context across the wire and assembles a full span tree (submit →
+// per-subtransaction hops → fsync → completion) on its root process,
+// served at /traces.json (?slow=DUR filters). -trace-slow additionally
+// logs one structured record per slow transaction with its stage
+// breakdown. -log-level/-log-format select slog verbosity and encoding.
+//
 // -metrics serves the observability endpoints (/metrics Prometheus
-// text, /metrics.json, /events.json) plus a small control surface:
+// text, /metrics.json, /events.json, /traces.json) plus a small control
+// surface:
 //
 //	/state               JSON: versions, balances bookkeeping, transport stats
 //	/workload?txns=N     run N commuting update trees rooted here (+1 on
@@ -39,6 +47,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -251,15 +260,58 @@ func main() {
 	dataDir := flag.String("data-dir", "", "enable crash durability: write-ahead log + checkpoints in this directory")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Second, "background checkpoint period with -data-dir")
+	traceSample := flag.Int("trace-sample", 64, "head-sample 1 in N transactions for causal tracing (1 = every txn, 0 = tracing off)")
+	traceSlow := flag.Duration("trace-slow", 0, "also trace and log any transaction slower than this, sampled or not (0 = off)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+	logFormat := flag.String("log-format", "text", "log encoding: text | json")
 	flag.Parse()
 
-	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval); err != nil {
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *traceSample, *traceSlow, logger); err != nil {
+		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration) error {
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Logs go to stderr; stdout keeps the documented machine-readable
+// announcement lines ("control: http://ADDR").
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+}
+
+// slowTxnAttrs renders a completed slow transaction's root span as slog
+// attributes: trace id, total, and the per-stage breakdown when the
+// transaction was head-sampled (stage data exists only then).
+func slowTxnAttrs(sp obs.Span) []any {
+	attrs := []any{
+		slog.String("trace", fmt.Sprintf("%016x", sp.TraceID)),
+		slog.Duration("total", time.Duration(sp.Dur)),
+		slog.String("txn", sp.Attr),
+	}
+	for _, st := range sp.Stages {
+		attrs = append(attrs, slog.Duration(st.Name, time.Duration(st.Dur)))
+	}
+	return attrs
+}
+
+func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
 	}
@@ -344,6 +396,10 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		},
 		AckTimeout:     ackTimeout,
 		ResendInterval: 50 * time.Millisecond,
+		Obs: obs.Options{
+			TraceSampleN: traceSample,
+			TraceSlow:    traceSlow,
+		},
 	}
 	if db != nil {
 		cfg.Journal = db
@@ -359,6 +415,11 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	// Route wire-codec latency histograms into the cluster's registry so
 	// /metrics exposes threev_wire_encode/decode_seconds.
 	tnet.SetObs(cluster.Obs())
+	// One structured record per slow transaction: trace id plus the
+	// stage breakdown (wire/queue/service/ack/fsync) when sampled.
+	cluster.Obs().SetSlowTraceHook(func(sp obs.Span) {
+		logger.Warn("slow transaction", slowTxnAttrs(sp)...)
+	})
 	if db != nil {
 		db.Bind(cluster.Node(id), cluster.Session())
 		db.SetObs(cluster.Obs())
@@ -385,20 +446,21 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	if id == 0 {
 		role = "node+coordinator"
 	}
-	fmt.Printf("threev-node %d/%d (%s) listening on %s\n", id, nodes, role, ln.Addr())
+	logger.Info("listening", "id", id, "nodes", nodes, "role", role, "addr", ln.Addr().String(),
+		"trace_sample", traceSample)
 	if db != nil {
 		mode := "fresh"
 		if restore != nil {
 			mode = "recovered"
 		}
-		fmt.Printf("durability: dir=%s fsync=%s state=%s\n", dataDir, fsyncFlag, mode)
+		logger.Info("durability", "dir", dataDir, "fsync", fsyncFlag, "state", mode)
 	}
 	peerList := make([]string, 0, len(tpeers))
 	for j, addr := range tpeers {
 		peerList = append(peerList, fmt.Sprintf("%d=%s", j, addr))
 	}
 	sort.Strings(peerList)
-	fmt.Printf("peers: %s\n", strings.Join(peerList, " "))
+	logger.Info("peers", "map", strings.Join(peerList, " "))
 
 	srv := &nodeServer{id: id, nodes: nodes, cluster: cluster, tnet: tnet, db: db, quit: make(chan struct{})}
 	if metricsAddr != "" {
@@ -416,9 +478,11 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		mux.Handle("/", obs.Handler(cluster))
 		go func() {
 			if serr := http.Serve(mln, mux); serr != nil {
-				fmt.Fprintln(os.Stderr, serr)
+				logger.Error("control server", "err", serr)
 			}
 		}()
+		// Documented machine-readable announcement; scripts scrape it, so
+		// it stays on stdout in this exact shape regardless of log format.
 		fmt.Printf("control: http://%s\n", mln.Addr())
 	}
 
@@ -432,7 +496,7 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 					return
 				case <-t.C:
 					if rep := cluster.Advance(); rep.Err != nil {
-						fmt.Fprintf(os.Stderr, "advancement: %v\n", rep.Err)
+						logger.Error("advancement", "err", rep.Err)
 					}
 				}
 			}
@@ -443,7 +507,7 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	signal.Notify(sig, os.Interrupt)
 	select {
 	case <-sig:
-		fmt.Println("interrupted, shutting down")
+		logger.Info("interrupted, shutting down")
 	case <-srv.quit:
 	}
 	return nil

@@ -13,7 +13,8 @@
 //
 // With -metrics ADDR (3v only) the process serves the observability
 // snapshot over HTTP while the workload runs: Prometheus text at
-// /metrics, JSON at /metrics.json, the event log at /events.json.
+// /metrics, JSON at /metrics.json, the event log at /events.json, and —
+// with -trace-sample N — assembled causal traces at /traces.json.
 // After the run it keeps serving for -hold (0 = until interrupted).
 //
 // The exit status is nonzero if the run observed an atomic-visibility
@@ -65,6 +66,7 @@ func main() {
 	partAt := flag.Duration("partition-at", 200*time.Millisecond, "with -chaos: inject a two-way partition this long into the run")
 	partFor := flag.Duration("partition-for", 300*time.Millisecond, "with -chaos: heal the partition after this long (0 = no partition)")
 	reliable := flag.Bool("reliable", true, "with -chaos: interpose the reliable-delivery session layer")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N transactions for causal tracing, served at /traces.json (3v only; 0 = off)")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -97,6 +99,7 @@ func main() {
 			NCMode:    *ncFrac > 0,
 			LockWait:  time.Second,
 			NetConfig: netCfg,
+			Obs:       obs.Options{TraceSampleN: *traceSample},
 		}
 		if *chaos {
 			ccfg.Reliable = *reliable
@@ -167,7 +170,7 @@ func main() {
 			}
 		}()
 		serving = true
-		fmt.Printf("metrics: http://%s/metrics (also /metrics.json, /events.json)\n", ln.Addr())
+		fmt.Printf("metrics: http://%s/metrics (also /metrics.json, /events.json, /traces.json)\n", ln.Addr())
 	}
 
 	gen := workload.New(workload.Config{
@@ -286,6 +289,23 @@ func main() {
 				fmt.Printf(" %s=%d", k, s.Counters[k])
 			}
 			fmt.Printf(" events_recorded=%d\n", s.EventsRecorded)
+		}
+
+		if *traceSample > 0 {
+			trs := cluster.ObsTraces()
+			complete := 0
+			for _, tr := range trs {
+				if tr.Complete {
+					complete++
+				}
+			}
+			fmt.Printf("traces: %d in ring, %d complete (newest %d spans)\n",
+				len(trs), complete, func() int {
+					if len(trs) > 0 {
+						return trs[0].Spans
+					}
+					return 0
+				}())
 		}
 	}
 

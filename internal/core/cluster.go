@@ -181,7 +181,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Reliable {
 		// The session layer owns whatever it wraps; closing it closes
 		// the inner network, so the cluster now owns the wrapper.
-		c.net = reliable.Wrap(c.net, cfg.Nodes+1, cfg.ReliableConfig)
+		rc := cfg.ReliableConfig
+		rc.Obs = c.reg
+		c.net = reliable.Wrap(c.net, cfg.Nodes+1, rc)
 		c.ownsNet = true
 	}
 	coordID := model.NodeID(cfg.Nodes)
@@ -334,13 +336,21 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 		c.reg.RecordEvent(obs.Event{Kind: obs.EvTxnSpawn, Node: int(spec.Root.Node),
 			Txn: id.String(), Detail: spec.Label})
 	}
+	// Head sampling: 1 in TraceSampleN submissions carries a trace
+	// context (trace id = transaction id, root span id = trace id by
+	// convention). SentAt aligns with the handle's submit stamp so the
+	// stage partition telescopes to the handle's measured latency.
+	if c.reg.TraceSampleTick() && !spec.NonCommuting {
+		h.tc = obs.TraceContext{TraceID: uint64(id), SpanID: uint64(id)}
+	}
 	var sentAt time.Time
 	if c.reg != nil {
-		sentAt = time.Now()
+		sentAt = h.submitted
 	}
 	c.net.Send(transport.Message{
 		From: spec.Root.Node,
 		To:   spec.Root.Node,
+		TC:   h.tc,
 		Payload: SubtxnMsg{
 			Txn:      id,
 			Root:     true,
@@ -404,7 +414,8 @@ func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadR
 	completed := h.reportDone(node, reads, aborted)
 	if completed && c.reg != nil {
 		status := h.Status()
-		c.reg.ObserveTxnLatency(!h.isUpdate, h.Latency())
+		total := h.Latency()
+		c.reg.ObserveTxnLatency(!h.isUpdate, total)
 		kind, ctr := obs.EvTxnDone, ctrForStatus(status)
 		if status != StatusCommitted {
 			kind = obs.EvTxnAbort
@@ -414,6 +425,12 @@ func (c *Cluster) onDone(txn model.TxnID, node model.NodeID, reads []model.ReadR
 			c.reg.RecordEvent(obs.Event{Kind: kind, Node: int(node), Txn: txn.String(),
 				Detail: status.String()})
 		}
+		// Completion edge of the trace: record the root span (merging the
+		// stage breakdown the root's executing node parked) and feed the
+		// stage histograms; slow unsampled transactions get a post-hoc
+		// root-only span.
+		c.reg.TraceTxnDone(uint64(txn), int(node), h.tc.Sampled(), h.submitted, total,
+			txn.String()+" "+status.String())
 	}
 	if h.Status() == StatusCommitted && h.isUpdate && h.markCounted() {
 		c.updatesDone.Add(1)
@@ -506,6 +523,11 @@ func (c *Cluster) ObsSnapshot() obs.Snapshot {
 // ObsEvents returns the retained structured-event-log entries
 // oldest-first (post-mortem dump).
 func (c *Cluster) ObsEvents() []obs.Event { return c.reg.Events() }
+
+// ObsTraces assembles the sampled-transaction and sweep traces recorded
+// on this process, newest-root-first. Empty unless tracing was enabled
+// via obs.Options.TraceSampleN.
+func (c *Cluster) ObsTraces() []obs.Trace { return c.reg.Traces() }
 
 // CounterLagSamples assembles, for every version that still has
 // counter rows anywhere, the cluster-wide R[v][p][q] − C[v][p][q] lag —

@@ -263,11 +263,50 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	c.reg.DropLagsBelow(int64(vrnew))
 	c.reg.RecordEvent(obs.Event{Kind: obs.EvVersionSwitch, Version: int64(vunew),
 		Detail: fmt.Sprintf("vr=%d vu=%d sweeps=%d/%d", vrnew, vunew, rep.SweepsPhase2, rep.SweepsPhase4)})
+	c.traceSweep(rep, start, t2, t3, t4)
 
 	c.histMu.Lock()
 	c.history = append(c.history, rep)
 	c.histMu.Unlock()
 	return rep
+}
+
+// traceSweep records a trace of one completed advancement cycle: a root
+// "advance" span plus one child per phase of Section 4.3. Sweeps are rare
+// (one per advancement, not per transaction), so every completed cycle is
+// traced whenever tracing is enabled — no head sampling. Sweep trace ids
+// set bit 63, disjoint from both transaction trace ids (bits 62 and 63
+// clear) and minted subtransaction span ids (bit 62), so the three id
+// spaces can share one ring without collision.
+func (c *Coordinator) traceSweep(rep AdvanceReport, start, t2, t3, t4 time.Time) {
+	if !c.reg.TraceEnabled() {
+		return
+	}
+	traceID := c.reg.NextSpanID(c.n) | 1<<63
+	end := start.Add(rep.Total)
+	c.reg.RecordSpan(obs.Span{
+		TraceID: traceID, SpanID: traceID, Name: "advance", Node: c.n,
+		Start: start.UnixNano(), Dur: int64(rep.Total),
+		Attr: fmt.Sprintf("vr=%d vu=%d sweeps=%d/%d maxlag=%d",
+			rep.NewVR, rep.NewVU, rep.SweepsPhase2, rep.SweepsPhase4, rep.MaxCounterLag),
+	})
+	phases := []struct {
+		name  string
+		start time.Time
+		dur   time.Duration
+		attr  string
+	}{
+		{"phase1_switch_vu", start, rep.Phase1, fmt.Sprintf("vu=%d", rep.NewVU)},
+		{"phase2_quiesce_updates", t2, rep.Phase2, fmt.Sprintf("sweeps=%d", rep.SweepsPhase2)},
+		{"phase3_switch_vr", t3, rep.Phase3, fmt.Sprintf("vr=%d", rep.NewVR)},
+		{"phase4_quiesce_queries_gc", t4, end.Sub(t4), fmt.Sprintf("sweeps=%d keep=%d", rep.SweepsPhase4, rep.NewVR)},
+	}
+	for _, p := range phases {
+		c.reg.RecordSpan(obs.Span{
+			TraceID: traceID, SpanID: c.reg.NextSpanID(c.n), ParentID: traceID,
+			Name: p.name, Node: c.n, Start: p.start.UnixNano(), Dur: int64(p.dur), Attr: p.attr,
+		})
+	}
 }
 
 // broadcast sends the payload to every database node.

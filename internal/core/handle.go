@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Status is the outcome of a transaction as observed by its handle.
@@ -77,6 +78,10 @@ type Handle struct {
 	// paper's guarantee that no user transaction waits on remote
 	// activity.
 	rootOnly bool
+	// tc is the trace context minted at submission when this transaction
+	// was head-sampled; the zero value means untraced. Immutable after
+	// Submit publishes the handle.
+	tc obs.TraceContext
 }
 
 // markCounted flags the handle as tallied; it returns true at most once.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // SubtxnMsg ships one subtransaction to the node that must execute it
@@ -166,4 +167,13 @@ type VersionReplyMsg struct {
 // to well-behaved transactions").
 type UnlockMsg struct {
 	Txn model.TxnID
+}
+
+// SpanReportMsg ships completed trace spans from an executing node home
+// to the transaction's root node, where the full causal tree assembles
+// (internal/obs.AssembleTraces). It is observability-only traffic: sent
+// solely for head-sampled transactions, never read by the protocol, and
+// absent entirely when tracing is disabled.
+type SpanReportMsg struct {
+	Spans []obs.Span
 }

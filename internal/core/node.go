@@ -90,6 +90,11 @@ type workItem struct {
 	// enqID is the journal's id for this command (0 when not journaled);
 	// the execution record cites it so recovery can retire the command.
 	enqID uint64
+	// tc is the trace context the command's envelope carried; recvAt is
+	// its delivery time (stamped only for sampled commands, so queue
+	// wait can be attributed without clock reads on the untraced path).
+	tc     obs.TraceContext
+	recvAt time.Time
 }
 
 // parkedNC is an NC3V root waiting out a version advancement.
@@ -244,10 +249,10 @@ func (nd *Node) start() {
 				}
 				if nd.journal != nil {
 					nd.chk.RLock()
-					nd.executeSubtxn(it.from, it.sub, it.enqID)
+					nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt)
 					nd.chk.RUnlock()
 				} else {
-					nd.executeSubtxn(it.from, it.sub, it.enqID)
+					nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt)
 				}
 			}
 		}()
@@ -321,10 +326,14 @@ func (nd *Node) handleMessage(m transport.Message) {
 			// know every command its peers consider delivered.
 			enqID = nd.journal.Enq(m.From, p)
 		}
+		var recvAt time.Time
+		if m.TC.Sampled() && nd.reg.TraceEnabled() {
+			recvAt = time.Now()
+		}
 		if nd.syncExec {
-			nd.executeSubtxn(m.From, p, enqID)
+			nd.executeSubtxn(m.From, p, enqID, m.TC, recvAt)
 		} else {
-			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID})
+			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID, tc: m.TC, recvAt: recvAt})
 		}
 	case StartAdvancementMsg:
 		nd.handleStartAdvancement(p)
@@ -347,6 +356,12 @@ func (nd *Node) handleMessage(m transport.Message) {
 	case UnlockMsg:
 		if nd.lm != nil {
 			nd.lm.ReleaseAll(p.Txn)
+		}
+	case SpanReportMsg:
+		// Spans shipped home by executing nodes: record them into this
+		// (the root) node's ring for assembly.
+		for _, s := range p.Spans {
+			nd.reg.RecordSpan(s)
 		}
 	default:
 		nd.violate("node %v: unknown payload %T", nd.id, m.Payload)
@@ -452,14 +467,39 @@ func (nd *Node) checkVersionInvariantLocked() {
 }
 
 // executeSubtxn runs one subtransaction on a worker goroutine. enqID is
-// the journal's id for the command (0 when not journaled).
-func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64) {
+// the journal's id for the command (0 when not journaled); tc and
+// recvAt are the envelope's trace context and delivery time (zero when
+// the command is unsampled or tracing is off).
+func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc obs.TraceContext, recvAt time.Time) {
+	var start time.Time
 	if nd.reg != nil {
-		start := time.Now()
+		start = time.Now()
 		if !msg.SentAt.IsZero() {
 			nd.reg.ObserveHop(start.Sub(msg.SentAt))
 		}
 		defer func() { nd.reg.ObserveExec(time.Since(start)) }()
+	}
+	// Trace bookkeeping for sampled commands: mint this execution's span
+	// id (children cite it as their parent) and split the pre-execution
+	// delay into wire transit and worker-queue wait. NC subtransactions
+	// are not traced (their 2PC detour is outside the stage model).
+	traced := tc.Sampled() && nd.reg.TraceEnabled() && !msg.NC
+	var spanID uint64
+	var childTC obs.TraceContext
+	var wireD, queueD time.Duration
+	if traced {
+		spanID = nd.reg.NextSpanID(int(nd.id))
+		childTC = obs.TraceContext{TraceID: tc.TraceID, SpanID: spanID}
+		if !recvAt.IsZero() {
+			if !msg.SentAt.IsZero() {
+				if wireD = recvAt.Sub(msg.SentAt); wireD < 0 {
+					wireD = 0
+				}
+			}
+			if queueD = start.Sub(recvAt); queueD < 0 {
+				queueD = 0
+			}
+		}
 	}
 	if msg.NC {
 		nd.executeNC(from, msg)
@@ -583,11 +623,12 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64) {
 				rec.IncR = append(rec.IncR, child.Node)
 			}
 			nd.obs.onSpawn(msg.Txn, 1)
-			send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
+			send(transport.Message{From: nd.id, To: child.Node, TC: childTC, Payload: SubtxnMsg{
 				Txn:          msg.Txn,
 				Version:      v,
 				Spec:         child,
 				ReadOnly:     msg.ReadOnly,
+				RootNode:     msg.RootNode,
 				Compensating: msg.Compensating,
 				SentAt:       nd.sendStamp(),
 			}})
@@ -595,17 +636,71 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64) {
 	}
 
 	if aborting {
-		nd.abortSubtree(msg.Txn, v, spec, lockOK, rec, send)
+		nd.abortSubtree(msg.Txn, v, spec, lockOK, rec, send, childTC, msg.RootNode)
 	}
 
+	var fsyncD time.Duration
 	if rec != nil {
 		// Durability barrier: the effect record and its child frames hit
 		// the log before the first child reaches the wire, before the
 		// client observes completion, and before the completion counter
 		// tells the quiescence detector this subtransaction terminated.
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		ids := nd.journal.Exec(*rec, outbox)
+		var localAt time.Time
+		if traced {
+			fsyncD = time.Since(t0)
+			localAt = time.Now()
+		}
 		for i, m := range rec.Local {
-			nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i]})
+			nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i], tc: childTC, recvAt: localAt})
+		}
+	}
+
+	if traced {
+		// Park the root's stage breakdown for the completion edge, then
+		// record this execution's span — locally when this node is the
+		// trace's root, else shipped home in a SpanReportMsg. Both happen
+		// strictly before onDone so the completion path always finds the
+		// breakdown parked.
+		execEnd := time.Now()
+		serviceD := execEnd.Sub(start)
+		if msg.Root {
+			nd.reg.TraceRootExec(tc.TraceID, int(nd.id), wireD, queueD, serviceD, fsyncD, execEnd)
+		}
+		name := "subtxn"
+		if msg.ReadOnly {
+			name = "query"
+		}
+		if msg.Compensating {
+			name = "compensate"
+		}
+		attr := msg.Txn.String()
+		if aborting {
+			attr += " aborted"
+		}
+		sp := obs.Span{
+			TraceID:  tc.TraceID,
+			SpanID:   spanID,
+			ParentID: tc.SpanID,
+			Name:     name,
+			Node:     int(nd.id),
+			Start:    start.UnixNano(),
+			Dur:      int64(serviceD),
+			Attr:     attr,
+			Stages: []obs.SpanStage{
+				{Name: obs.StageNames[obs.StageWire], Dur: int64(wireD)},
+				{Name: obs.StageNames[obs.StageQueue], Dur: int64(queueD)},
+				{Name: obs.StageNames[obs.StageFsync], Dur: int64(fsyncD)},
+			},
+		}
+		if nd.id == msg.RootNode {
+			nd.reg.RecordSpan(sp)
+		} else {
+			nd.net.Send(transport.Message{From: nd.id, To: msg.RootNode, Payload: SpanReportMsg{Spans: []obs.Span{sp}}})
 		}
 	}
 
@@ -631,7 +726,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64) {
 // false the local updates were never performed (lock timeout) and only
 // the children need compensating — but in that case no children were
 // sent either, so there is nothing to do beyond bookkeeping.
-func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message)) {
+func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message), childTC obs.TraceContext, rootNode model.NodeID) {
 	if !applied {
 		return
 	}
@@ -661,10 +756,11 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 		nd.metMu.Lock()
 		nd.metrics.Compensations++
 		nd.metMu.Unlock()
-		send(transport.Message{From: nd.id, To: comp.Node, Payload: SubtxnMsg{
+		send(transport.Message{From: nd.id, To: comp.Node, TC: childTC, Payload: SubtxnMsg{
 			Txn:          txn,
 			Version:      v,
 			Spec:         comp,
+			RootNode:     rootNode,
 			Compensating: true,
 			SentAt:       nd.sendStamp(),
 		}})

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// waitForTrace polls the cluster's assembled traces until pred accepts
+// one (span reports from executing nodes travel asynchronously, so a
+// trace may finish assembling shortly after the handle completes).
+func waitForTrace(t *testing.T, c *Cluster, pred func(obs.Trace) bool) obs.Trace {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, tr := range c.ObsTraces() {
+			if pred(tr) {
+				return tr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never assembled; have %+v", c.ObsTraces())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// collectSpans flattens an assembled trace tree.
+func collectSpans(n *obs.TraceSpan, out *[]*obs.TraceSpan) {
+	if n == nil {
+		return
+	}
+	*out = append(*out, n)
+	for _, ch := range n.Children {
+		collectSpans(ch, out)
+	}
+}
+
+// TestEndToEndTraceAssembly runs a three-node update whose subtree
+// spans all three nodes with tracing at sample-everything, and asserts
+// the sampled transaction assembles into one complete causal tree: a
+// root "txn" span carrying the stage partition, the root
+// subtransaction's execution span beneath it, and one child span per
+// remote subtransaction (shipped home via SpanReportMsg).
+func TestEndToEndTraceAssembly(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Nodes:     3,
+		NetConfig: transport.Config{Jitter: 20 * time.Microsecond, Seed: 7},
+		Obs:       obs.Options{TraceSampleN: 1},
+	})
+
+	h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:    0,
+		Updates: []model.KeyOp{addOp("A", 1)},
+		Children: []*model.SubtxnSpec{
+			{Node: 1, Updates: []model.KeyOp{addOp("D", 1)}},
+			{Node: 2, Updates: []model.KeyOp{addOp("F", 1)}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.WaitTimeout(10 * time.Second) {
+		t.Fatal("txn timed out")
+	}
+
+	tr := waitForTrace(t, c, func(tr obs.Trace) bool {
+		return tr.TraceID == uint64(h.ID) && tr.Complete && tr.Spans >= 4
+	})
+
+	if tr.Root.Name != "txn" {
+		t.Fatalf("root span name = %q, want txn", tr.Root.Name)
+	}
+	if tr.Root.SpanID != tr.TraceID {
+		t.Fatalf("root span id %#x != trace id %#x", tr.Root.SpanID, tr.TraceID)
+	}
+	if !strings.Contains(tr.Root.Attr, "committed") {
+		t.Fatalf("root attr %q missing status", tr.Root.Attr)
+	}
+
+	// Stage partition on the root: wire+queue+service+ack telescopes to
+	// the end-to-end duration exactly; fsync is a sub-interval.
+	var sum, fsync int64
+	seen := map[string]bool{}
+	for _, st := range tr.Root.Stages {
+		seen[st.Name] = true
+		switch st.Name {
+		case "fsync":
+			fsync = st.Dur
+		case "wire", "queue", "service", "ack":
+			sum += st.Dur
+		}
+	}
+	for _, want := range []string{"wire", "queue", "service", "ack", "fsync"} {
+		if !seen[want] {
+			t.Errorf("root span missing stage %q (have %v)", want, tr.Root.Stages)
+		}
+	}
+	if sum != tr.Root.Dur {
+		t.Errorf("stage sum %d != root dur %d", sum, tr.Root.Dur)
+	}
+	if fsync < 0 || fsync > tr.Root.Dur {
+		t.Errorf("fsync %d outside [0, %d]", fsync, tr.Root.Dur)
+	}
+
+	// Tree shape: every executing node contributed a span, and the two
+	// remote children hang off the root subtransaction's execution span.
+	var all []*obs.TraceSpan
+	collectSpans(tr.Root, &all)
+	nodes := map[int]int{}
+	execSpans := 0
+	for _, sp := range all {
+		if sp.Name == "subtxn" {
+			nodes[sp.Node]++
+			execSpans++
+		}
+	}
+	if execSpans != 3 {
+		t.Fatalf("want 3 subtxn execution spans, got %d (%+v)", execSpans, all)
+	}
+	for n := 0; n < 3; n++ {
+		if nodes[n] != 1 {
+			t.Errorf("node %d contributed %d subtxn spans, want 1", n, nodes[n])
+		}
+	}
+	if tr.Orphans != 0 {
+		t.Errorf("trace has %d orphan spans", tr.Orphans)
+	}
+
+	// Sampled root transactions feed the per-stage histograms.
+	snap := c.ObsSnapshot()
+	for _, i := range []int{obs.StageWire, obs.StageQueue, obs.StageService, obs.StageAck, obs.StageTotal} {
+		if snap.Stages[i].Count == 0 {
+			t.Errorf("stage histogram %q empty", obs.StageNames[i])
+		}
+	}
+}
+
+// TestSweepTraceAssembly asserts a completed advancement cycle records
+// an "advance" root span with the four phase children of Section 4.3.
+func TestSweepTraceAssembly(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 3, Obs: obs.Options{TraceSampleN: 1}})
+
+	h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node: 0, Updates: []model.KeyOp{addOp("A", 1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+	if rep := c.Advance(); rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+
+	tr := waitForTrace(t, c, func(tr obs.Trace) bool {
+		return tr.Complete && tr.Root != nil && tr.Root.Name == "advance"
+	})
+	if tr.TraceID&(1<<63) == 0 {
+		t.Errorf("sweep trace id %#x should set bit 63", tr.TraceID)
+	}
+	if len(tr.Root.Children) != 4 {
+		t.Fatalf("advance span has %d phase children, want 4", len(tr.Root.Children))
+	}
+	wantPhases := []string{"phase1_switch_vu", "phase2_quiesce_updates", "phase3_switch_vr", "phase4_quiesce_queries_gc"}
+	for i, ch := range tr.Root.Children {
+		if ch.Name != wantPhases[i] {
+			t.Errorf("phase child %d = %q, want %q", i, ch.Name, wantPhases[i])
+		}
+	}
+}
+
+// TestTracingDisabledRecordsNothing pins the off-by-default discipline:
+// with TraceSampleN zero no spans are recorded and no stage histograms
+// fill, whatever the workload does.
+func TestTracingDisabledRecordsNothing(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2})
+	h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+		Node:     0,
+		Updates:  []model.KeyOp{addOp("A", 1)},
+		Children: []*model.SubtxnSpec{{Node: 1, Updates: []model.KeyOp{addOp("D", 1)}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Wait()
+	c.Advance()
+	if got := c.ObsTraces(); len(got) != 0 {
+		t.Fatalf("tracing disabled but %d traces recorded", len(got))
+	}
+	if snap := c.ObsSnapshot(); snap.SpansRecorded != 0 {
+		t.Fatalf("tracing disabled but %d spans recorded", snap.SpansRecorded)
+	}
+}

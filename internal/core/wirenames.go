@@ -21,4 +21,5 @@ func init() {
 	transport.RegisterPayloadName(VersionProbeMsg{}, "version_probe")
 	transport.RegisterPayloadName(VersionReplyMsg{}, "version_reply")
 	transport.RegisterPayloadName(UnlockMsg{}, "unlock")
+	transport.RegisterPayloadName(SpanReportMsg{}, "span_report")
 }

@@ -49,6 +49,8 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 			"-listen", protoAddrs[i],
 			"-peers", peers,
 			"-metrics", ctrlAddrs[i],
+			"-trace-sample", "1",
+			"-log-format", "json",
 		)
 		cmd.Stdout = &logs[i]
 		cmd.Stderr = &logs[i]
@@ -179,6 +181,62 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 	}
 	if reconnects == 0 {
 		t.Error("no reconnects recorded despite killing every connection")
+	}
+
+	// Causal tracing across processes: every transaction was sampled
+	// (-trace-sample 1), so each process must hold assembled traces for
+	// the trees it rooted — and because every tree touches all three
+	// processes, a complete trace has spans contributed by remote nodes
+	// (shipped home as span reports over the same TCP links). Remote
+	// reports race the handle's completion, so poll briefly.
+	type traceJSON struct {
+		TraceID  uint64 `json:"trace_id"`
+		Complete bool   `json:"complete"`
+		Spans    int    `json:"spans"`
+		Orphans  int    `json:"orphans"`
+		Root     *struct {
+			Name   string `json:"name"`
+			Stages []struct {
+				Name  string `json:"name"`
+				DurNS int64  `json:"dur_ns"`
+			} `json:"stages"`
+		} `json:"root"`
+	}
+	for i := 0; i < nodes; i++ {
+		var full traceJSON
+		waitUntil(t, fmt.Sprintf("process %d cross-process trace", i), func() bool {
+			var traces []traceJSON
+			if err := get(i, "/traces.json", &traces); err != nil {
+				return false
+			}
+			// The demo tree spans all three processes: root "txn" span,
+			// the root subtransaction's execution span, and one span per
+			// remote child = 4 spans, none orphaned. (Skip coordinator
+			// "advance" sweep traces — process 0 records those too.)
+			for _, tr := range traces {
+				if tr.Complete && tr.Orphans == 0 && tr.Spans >= 4 &&
+					tr.Root != nil && tr.Root.Name == "txn" {
+					full = tr
+					return true
+				}
+			}
+			return false
+		})
+		if full.Root == nil || full.Root.Name != "txn" {
+			t.Fatalf("process %d: trace %+v has no txn root", i, full)
+		}
+		// The root span carries the stage partition; the four partition
+		// stages must telescope to a positive total.
+		var sum int64
+		for _, st := range full.Root.Stages {
+			switch st.Name {
+			case "wire", "queue", "service", "ack":
+				sum += st.DurNS
+			}
+		}
+		if sum <= 0 {
+			t.Errorf("process %d: trace %016x stage partition sums to %d", i, full.TraceID, sum)
+		}
 	}
 
 	// Graceful shutdown: /quit, then wait for clean exits.

@@ -15,12 +15,15 @@ import (
 	"time"
 )
 
-// Histogram buckets are log-spaced with subBuckets buckets per octave
-// (power of two), giving ≤ 25% relative error on reported quantiles.
-// Values are int64 — nanoseconds for latencies, plain counts for e.g.
+// Histogram buckets are log-spaced with subBuckets linear buckets per
+// octave (power of two), giving ≤ 6.25% relative bucket width; with the
+// within-bucket interpolation in Quantile, nearby distinct latencies
+// report distinct quantiles instead of collapsing to shared bucket
+// edges (the BENCH_1 "every p50 is exactly 2.621 ms" artifact). Values
+// are int64 — nanoseconds for latencies, plain counts for e.g.
 // quiescence sweeps.
 const (
-	subBuckets = 4
+	subBuckets = 8
 	numBuckets = 64 * subBuckets
 )
 
@@ -32,11 +35,11 @@ func bucketIndex(v int64) int {
 		return 0
 	}
 	o := bits.Len64(uint64(v)) - 1 // floor(log2 v) ≥ 1
-	if o < 2 {
+	if o < 3 {
 		return o * subBuckets // octave too narrow to subdivide
 	}
 	low := int64(1) << o
-	sub := int((v - low) >> (o - 2)) // 0..3
+	sub := int((v - low) >> (o - 3)) // 0..7
 	return o*subBuckets + sub
 }
 
@@ -45,10 +48,20 @@ func bucketUpper(i int) int64 {
 	o := i / subBuckets
 	sub := i % subBuckets
 	low := int64(1) << o
-	if o < 2 {
+	if o < 3 {
 		return int64(1)<<(o+1) - 1
 	}
-	return low + int64(sub+1)*(low>>2) - 1
+	return low + int64(sub+1)*(low>>3) - 1
+}
+
+// bucketLowerOf returns the smallest value that maps to the bucket
+// whose upper edge is upper (the interpolation base in Quantile).
+func bucketLowerOf(upper int64) int64 {
+	i := bucketIndex(upper)
+	if i == 0 {
+		return 0
+	}
+	return bucketUpper(i-1) + 1
 }
 
 // Histogram is a fixed-bucket, log-spaced histogram whose Observe path
@@ -118,9 +131,12 @@ type HistSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
-// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
-// upper edge of the bucket holding the rank-⌈q·count⌉ sample, clamped
-// to the true observed maximum. Zero if empty.
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1): the rank-⌈q·count⌉
+// sample's bucket is located and the value is linearly interpolated
+// across the bucket by the rank's position within it, then clamped to
+// the true observed maximum. Interpolation keeps distinct nearby
+// distributions from reporting the identical bucket edge. Zero if
+// empty.
 func (s HistSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
@@ -142,10 +158,15 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	for _, b := range s.Buckets {
 		cum += b.Count
 		if cum >= rank {
-			if b.Upper > s.Max {
+			low := bucketLowerOf(b.Upper)
+			// Position of the rank within this bucket, at the midpoint
+			// of its 1/Count-wide slot: pos ∈ (0, 1).
+			pos := (float64(rank-(cum-b.Count)) - 0.5) / float64(b.Count)
+			v := low + int64(float64(b.Upper-low)*pos+0.5)
+			if v > s.Max {
 				return s.Max
 			}
-			return b.Upper
+			return v
 		}
 	}
 	return s.Max

@@ -77,6 +77,19 @@ type Options struct {
 	// Protocol-level events (version switches, GC, advancement phases)
 	// are always recorded.
 	EventSampleN int
+	// TraceSampleN enables distributed tracing (span recording, stage
+	// attribution, /traces.json) and head-samples 1 in N submitted
+	// transactions (1 = every transaction). 0 — the default — disables
+	// tracing entirely: no span ring is allocated, no trace context is
+	// stamped on messages, and frames stay in the version-1 format.
+	TraceSampleN int
+	// TraceSlow, when positive, post-hoc records a root-only span for
+	// every transaction (sampled or not) whose end-to-end latency
+	// reaches it, and fires the slow-trace hook. Tracing must be
+	// enabled (TraceSampleN > 0).
+	TraceSlow time.Duration
+	// TraceCapacity bounds the span ring; 0 means 4096 spans.
+	TraceCapacity int
 }
 
 // Registry is the per-cluster observability hub. All methods are safe
@@ -100,6 +113,7 @@ type Registry struct {
 	counters [numCounters]atomic.Int64
 
 	events *EventLog
+	trace  *tracer // nil when tracing is disabled (TraceSampleN == 0)
 
 	mu     sync.Mutex
 	gauges map[string]float64
@@ -116,11 +130,23 @@ func New(opts Options) *Registry {
 	if sample <= 0 {
 		sample = 16
 	}
-	return &Registry{
+	r := &Registry{
 		events: NewEventLog(cap, sample),
 		gauges: make(map[string]float64),
 		lags:   make(map[int64]CounterLag),
 	}
+	if opts.TraceSampleN > 0 {
+		spanCap := opts.TraceCapacity
+		if spanCap <= 0 {
+			spanCap = 4096
+		}
+		r.trace = &tracer{
+			sampleN: int64(opts.TraceSampleN),
+			slow:    opts.TraceSlow,
+			ring:    NewSpanRing(spanCap),
+		}
+	}
+	return r
 }
 
 // ObserveTxnLatency records one completed transaction's end-to-end
@@ -292,11 +318,18 @@ type Snapshot struct {
 	WALAppend HistSnapshot `json:"wal_append"`
 	WALFsync  HistSnapshot `json:"wal_fsync"`
 
+	// Stages are the per-stage latency-attribution histograms for
+	// head-sampled root transactions, index-aligned with the Stage
+	// constants (wire, queue, service, ack, total, fsync, session).
+	// All zero-valued when tracing is disabled.
+	Stages [NumStages]HistSnapshot `json:"stages"`
+
 	Counters    map[string]int64   `json:"counters,omitempty"`
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
 	CounterLags []CounterLag       `json:"counter_lags,omitempty"`
 
 	EventsRecorded uint64 `json:"events_recorded"`
+	SpansRecorded  uint64 `json:"spans_recorded"`
 }
 
 // Snapshot captures the registry. A nil registry yields a zero value.
@@ -318,6 +351,12 @@ func (r *Registry) Snapshot() Snapshot {
 	s.WireDecode = r.wireDecode.Snapshot()
 	s.WALAppend = r.walAppend.Snapshot()
 	s.WALFsync = r.walFsync.Snapshot()
+	if r.trace != nil {
+		for i := range r.trace.stages {
+			s.Stages[i] = r.trace.stages[i].Snapshot()
+		}
+		s.SpansRecorded = r.trace.ring.Recorded()
+	}
 	s.Counters = make(map[string]int64, numCounters)
 	for i := 0; i < numCounters; i++ {
 		s.Counters[counterNames[i]] = r.counters[i].Load()

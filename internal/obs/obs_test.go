@@ -24,12 +24,12 @@ func TestBucketMath(t *testing.T) {
 		}
 	}
 	// Upper edges strictly increase over the buckets bucketIndex can
-	// actually produce (octaves 0 and 1 use only their first slot), and
+	// actually produce (octaves 0-2 use only their first slot), and
 	// each edge maps back to its own bucket (stay below octave 62 to
 	// avoid int64 overflow).
 	prevUp := bucketUpper(0)
 	for i := 1; i < 62*subBuckets; i++ {
-		if i/subBuckets < 2 && i%subBuckets != 0 {
+		if i/subBuckets < 3 && i%subBuckets != 0 {
 			continue // unreachable slot of an unsubdivided octave
 		}
 		up := bucketUpper(i)
@@ -57,9 +57,10 @@ func TestHistogramQuantiles(t *testing.T) {
 	if s.Sum != 1000*1001/2 {
 		t.Fatalf("sum=%d", s.Sum)
 	}
-	// Rank 500 lands in bucket [448,511] → upper edge 511.
-	if got := s.Quantile(0.5); got != 511 {
-		t.Fatalf("P50 = %d, want 511", got)
+	// Rank 500 lands in bucket [480,511]; within-bucket interpolation
+	// recovers the exact value on a uniform distribution.
+	if got := s.Quantile(0.5); got != 500 {
+		t.Fatalf("P50 = %d, want 500", got)
 	}
 	// The top quantile is clamped to the true observed max.
 	if got := s.Quantile(1); got != 1000 {
@@ -71,6 +72,37 @@ func TestHistogramQuantiles(t *testing.T) {
 	// A quantile never exceeds the max even mid-bucket.
 	if got := s.P99(); got > 1000 {
 		t.Fatalf("P99 = %d exceeds max", got)
+	}
+}
+
+// TestHistogramDistinctNearbyP50s is the regression test for the
+// BENCH_1 artifact where read and update p50 both reported exactly
+// 2.621 ms (= 2^21 ns × 1.25): with coarse power-of-two buckets and
+// edge-valued quantiles, any latency in [2^21, 2.5·2^21) collapsed to
+// the same number. Sub-bucketed octaves plus interpolation must keep
+// nearby distinct latency populations apart.
+func TestHistogramDistinctNearbyP50s(t *testing.T) {
+	mk := func(center int64) HistSnapshot {
+		var h Histogram
+		// A tight population around the center: the old layout put the
+		// whole spread of both populations into one bucket.
+		for i := int64(-50); i <= 50; i++ {
+			h.Observe(center + i*1000) // ±50µs around center
+		}
+		return h.Snapshot()
+	}
+	a := mk(2_400_000) // 2.4 ms — same old octave [2^21, 2^22)
+	b := mk(2_550_000) // 2.55 ms
+	pa, pb := a.P50(), b.P50()
+	if pa == pb {
+		t.Fatalf("nearby latency populations collapsed to the same p50 %d", pa)
+	}
+	// And each p50 lands near its own center, not a bucket edge.
+	if diff := pa - 2_400_000; diff < -160_000 || diff > 160_000 {
+		t.Fatalf("p50(2.4ms population) = %d, too far from center", pa)
+	}
+	if diff := pb - 2_550_000; diff < -160_000 || diff > 160_000 {
+		t.Fatalf("p50(2.55ms population) = %d, too far from center", pb)
 	}
 }
 
@@ -245,6 +277,9 @@ func TestWritePrometheus(t *testing.T) {
 		`threev_counter_lag{version="2",stat="sum"} 5`,
 		`threev_counter_lag{version="2",stat="max_pair"} 1`,
 		"threev_eventlog_recorded_total 0",
+		`threev_txn_stage_seconds{stage="wire",quantile="0.5"}`,
+		`threev_txn_stage_seconds_count{stage="fsync"} 0`,
+		"threev_trace_spans_recorded_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("exposition missing %q in:\n%s", want, out)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"time"
 )
 
 // secs converts a nanosecond value to seconds for exposition.
@@ -115,6 +116,16 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 	fmt.Fprintln(w, "# HELP threev_eventlog_recorded_total Events recorded into the ring buffer.")
 	fmt.Fprintln(w, "# TYPE threev_eventlog_recorded_total counter")
 	fmt.Fprintf(w, "threev_eventlog_recorded_total %d\n", s.EventsRecorded)
+
+	fmt.Fprintln(w, "# HELP threev_txn_stage_seconds Per-stage latency attribution for head-sampled root transactions (wire+queue+service+ack = total; fsync ⊂ service, session ⊂ wire).")
+	fmt.Fprintln(w, "# TYPE threev_txn_stage_seconds summary")
+	for i, name := range StageNames {
+		writeSummary(w, "threev_txn_stage_seconds", fmt.Sprintf("stage=%q", name), s.Stages[i])
+	}
+
+	fmt.Fprintln(w, "# HELP threev_trace_spans_recorded_total Trace spans recorded into the span ring.")
+	fmt.Fprintln(w, "# TYPE threev_trace_spans_recorded_total counter")
+	fmt.Fprintf(w, "threev_trace_spans_recorded_total %d\n", s.SpansRecorded)
 }
 
 // Source supplies the exposition endpoint with live data.
@@ -123,11 +134,20 @@ type Source interface {
 	ObsEvents() []Event
 }
 
+// TraceSource is optionally implemented by a Source that can assemble
+// traces; when it is, Handler also serves /traces.json.
+type TraceSource interface {
+	ObsTraces() []Trace
+}
+
 // Handler serves the observability endpoints from src:
 //
 //	/metrics       Prometheus text format
 //	/metrics.json  the Snapshot as JSON
 //	/events.json   the event-log dump as JSON
+//	/traces.json   assembled trace trees (when src implements
+//	               TraceSource); ?slow=<dur> keeps only traces at least
+//	               that long, e.g. /traces.json?slow=5ms
 func Handler(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -142,5 +162,26 @@ func Handler(src Source) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(src.ObsEvents())
 	})
+	if ts, ok := src.(TraceSource); ok {
+		mux.HandleFunc("/traces.json", func(w http.ResponseWriter, r *http.Request) {
+			traces := ts.ObsTraces()
+			if arg := r.URL.Query().Get("slow"); arg != "" {
+				min, err := time.ParseDuration(arg)
+				if err != nil {
+					http.Error(w, "bad slow duration: "+err.Error(), http.StatusBadRequest)
+					return
+				}
+				kept := traces[:0]
+				for _, t := range traces {
+					if t.DurNS >= int64(min) {
+						kept = append(kept, t)
+					}
+				}
+				traces = kept
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(traces)
+		})
+	}
 	return mux
 }

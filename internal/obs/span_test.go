@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanRingWraparound: the ring keeps the newest spans, oldest
+// first, and counts everything ever recorded.
+func TestSpanRingWraparound(t *testing.T) {
+	r := NewSpanRing(64)
+	for i := 0; i < 100; i++ {
+		r.Record(Span{TraceID: 1, SpanID: uint64(i + 1)})
+	}
+	if got := r.Recorded(); got != 100 {
+		t.Fatalf("Recorded = %d, want 100", got)
+	}
+	out := r.Dump()
+	if len(out) != 64 {
+		t.Fatalf("Dump returned %d spans, want 64", len(out))
+	}
+	for i, s := range out {
+		if want := uint64(100 - 64 + i + 1); s.SpanID != want {
+			t.Fatalf("span %d: id=%d, want %d", i, s.SpanID, want)
+		}
+	}
+	var nilRing *SpanRing
+	nilRing.Record(Span{})
+	if nilRing.Recorded() != 0 || nilRing.Dump() != nil {
+		t.Fatal("nil ring not inert")
+	}
+}
+
+// TestSpanRingConcurrent is the -race soak: many writers record while a
+// reader repeatedly assembles traces from the ring. The assertion is
+// simply that nothing races or tears (Dump never returns a half-written
+// span, enforced by the race detector plus the pointer-publish scheme).
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Record(Span{TraceID: uint64(w + 1), SpanID: uint64(i + 1), Name: "subtxn", Node: w})
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, s := range r.Dump() {
+			if s.TraceID == 0 || s.SpanID == 0 {
+				t.Errorf("torn span: %+v", s)
+			}
+		}
+		AssembleTraces(r.Dump())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestAssembleTraces: parent links form trees, missing parents are
+// counted as orphans, and completeness is root-and-no-orphans.
+func TestAssembleTraces(t *testing.T) {
+	spans := []Span{
+		{TraceID: 7, SpanID: 7, Name: "txn", Start: 100, Dur: 50},         // root
+		{TraceID: 7, SpanID: 20, ParentID: 7, Name: "subtxn", Start: 110}, // child
+		{TraceID: 7, SpanID: 21, ParentID: 20, Name: "subtxn", Start: 120},
+		{TraceID: 7, SpanID: 22, ParentID: 7, Name: "subtxn", Start: 105},
+		{TraceID: 9, SpanID: 30, ParentID: 99, Name: "subtxn", Start: 300}, // orphan, no root
+	}
+	traces := AssembleTraces(spans)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// Newest-root-first: trace 9 has no root (start 0) so trace 7 leads.
+	tr := traces[0]
+	if tr.TraceID != 7 || !tr.Complete || tr.Orphans != 0 || tr.Spans != 4 {
+		t.Fatalf("trace 7: %+v", tr)
+	}
+	if tr.Root == nil || tr.Root.SpanID != 7 || tr.DurNS != 50 {
+		t.Fatalf("trace 7 root: %+v", tr.Root)
+	}
+	if len(tr.Root.Children) != 2 || tr.Root.Children[0].SpanID != 22 || tr.Root.Children[1].SpanID != 20 {
+		t.Fatalf("children not sorted by start: %+v", tr.Root.Children)
+	}
+	if len(tr.Root.Children[1].Children) != 1 || tr.Root.Children[1].Children[0].SpanID != 21 {
+		t.Fatalf("grandchild missing: %+v", tr.Root.Children[1])
+	}
+	or := traces[1]
+	if or.TraceID != 9 || or.Complete || or.Orphans != 1 || or.Root != nil {
+		t.Fatalf("orphan trace: %+v", or)
+	}
+}
+
+// TestTracerSamplingAndIDs: 1-in-N head sampling, span-id namespacing,
+// and the disabled registry answering inert defaults.
+func TestTracerSamplingAndIDs(t *testing.T) {
+	r := New(Options{TraceSampleN: 4})
+	fired := 0
+	for i := 1; i <= 40; i++ {
+		if r.TraceSampleTick() {
+			fired++
+			if i%4 != 1 {
+				t.Fatalf("sampled on tick %d", i)
+			}
+		}
+	}
+	if fired != 10 {
+		t.Fatalf("sampled %d of 40, want 10", fired)
+	}
+	id1, id2 := r.NextSpanID(2), r.NextSpanID(2)
+	if id1 == id2 {
+		t.Fatal("span ids not unique")
+	}
+	if id1&(1<<62) == 0 || id1>>48&0x3fff != 3 {
+		t.Fatalf("span id %x missing bit-62 namespace or node tag", id1)
+	}
+
+	// Disabled (and nil) registries are inert.
+	for _, off := range []*Registry{New(Options{}), nil} {
+		if off.TraceEnabled() || off.TraceSampleTick() || off.NextSpanID(0) != 0 {
+			t.Fatal("tracing not inert when disabled")
+		}
+		off.RecordSpan(Span{TraceID: 1})
+		off.ObserveStage(StageWire, time.Second)
+		off.TraceRootExec(1, 0, 0, 0, 0, 0, time.Time{})
+		off.SetSlowTraceHook(func(Span) {})
+		if off.TraceTxnDone(1, 0, true, time.Now(), time.Second, "") {
+			t.Fatal("disabled tracer reported slow")
+		}
+		if off.Traces() != nil || off.SpansRecorded() != 0 {
+			t.Fatal("disabled tracer retained spans")
+		}
+	}
+}
+
+// TestTraceTxnDoneStages: a sampled completion merges the parked root
+// execution into the root span, the stage partition telescopes to the
+// total, and the slow hook fires only past the threshold.
+func TestTraceTxnDoneStages(t *testing.T) {
+	r := New(Options{TraceSampleN: 1, TraceSlow: 10 * time.Millisecond})
+	var hooked []Span
+	r.SetSlowTraceHook(func(s Span) { hooked = append(hooked, s) })
+
+	sub := time.Now()
+	r.TraceRootExec(42, 1, 2*time.Millisecond, time.Millisecond, 3*time.Millisecond, 500*time.Microsecond, sub.Add(6*time.Millisecond))
+	if slow := r.TraceTxnDone(42, 1, true, sub, 8*time.Millisecond, "t0.42 committed"); slow {
+		t.Fatal("8ms reported slow with a 10ms threshold")
+	}
+	traces := r.Traces()
+	if len(traces) != 1 || !traces[0].Complete {
+		t.Fatalf("traces: %+v", traces)
+	}
+	root := traces[0].Root
+	if root.Name != "txn" || root.Node != 1 || root.Dur != int64(8*time.Millisecond) {
+		t.Fatalf("root: %+v", root)
+	}
+	want := map[string]int64{
+		"wire": int64(2 * time.Millisecond), "queue": int64(time.Millisecond),
+		"service": int64(3 * time.Millisecond), "ack": int64(2 * time.Millisecond),
+		"fsync": int64(500 * time.Microsecond),
+	}
+	var sum int64
+	for _, st := range root.Stages {
+		if want[st.Name] != st.Dur {
+			t.Fatalf("stage %s = %d, want %d", st.Name, st.Dur, want[st.Name])
+		}
+		if st.Name != "fsync" { // fsync is inside service, not in the partition
+			sum += st.Dur
+		}
+	}
+	if sum != root.Dur {
+		t.Fatalf("stage partition sums to %d, want %d", sum, root.Dur)
+	}
+	s := r.Snapshot()
+	if s.Stages[StageTotal].Count != 1 || s.Stages[StageWire].Count != 1 {
+		t.Fatalf("stage histograms not fed: %+v", s.Stages)
+	}
+	if s.SpansRecorded != 1 {
+		t.Fatalf("spans recorded = %d", s.SpansRecorded)
+	}
+	if len(hooked) != 0 {
+		t.Fatal("slow hook fired under threshold")
+	}
+
+	// A slow, head-unsampled transaction still produces a root-only span
+	// and fires the hook.
+	if slow := r.TraceTxnDone(43, 2, false, sub, 20*time.Millisecond, "t0.43 committed"); !slow {
+		t.Fatal("20ms not reported slow")
+	}
+	if len(hooked) != 1 || hooked[0].TraceID != 43 || hooked[0].Attr != "t0.43 committed slow" {
+		t.Fatalf("slow hook: %+v", hooked)
+	}
+	if got := r.SpansRecorded(); got != 2 {
+		t.Fatalf("spans recorded = %d, want 2", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -133,6 +134,11 @@ type Config struct {
 	// Restore, when non-nil, reinstalls a crashed session's link state
 	// before any traffic flows.
 	Restore *SessionState
+	// Obs, when non-nil and tracing-enabled, receives the session-hold
+	// stage for sampled frames: how long a frame waited in the reorder
+	// buffer between arrival and in-order delivery. Unsampled traffic
+	// never touches it.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -163,10 +169,19 @@ type sendLink struct {
 	unacked []pendingFrame // ascending by seq
 }
 
+// bufEntry is one received-but-undelivered frame: its payload, the
+// trace context that rode its envelope, and (sampled frames only) its
+// arrival time, so delivery can attribute the reorder hold.
+type bufEntry struct {
+	payload any
+	tc      obs.TraceContext
+	at      time.Time
+}
+
 // recvLink is the receiver-side state of one directed link.
 type recvLink struct {
-	nextExpected uint64                 // next in-order seq to deliver
-	buffer       map[uint64]interface{} // out-of-order payloads by seq
+	nextExpected uint64              // next in-order seq to deliver
+	buffer       map[uint64]bufEntry // out-of-order frames by seq
 }
 
 // Session is the reliable-delivery decorator. It implements
@@ -213,7 +228,7 @@ func Wrap(inner transport.Network, nodes int, cfg Config) *Session {
 		s.recv[i] = make([]*recvLink, nodes)
 		for j := 0; j < nodes; j++ {
 			s.send[i][j] = &sendLink{}
-			s.recv[i][j] = &recvLink{nextExpected: 1, buffer: make(map[uint64]interface{})}
+			s.recv[i][j] = &recvLink{nextExpected: 1, buffer: make(map[uint64]bufEntry)}
 		}
 	}
 	if st := s.cfg.Restore; st != nil {
@@ -322,7 +337,7 @@ func (s *Session) Send(m transport.Message) {
 	l.mu.Lock()
 	l.nextSeq++
 	seq := l.nextSeq
-	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: seq, Payload: m.Payload}}
+	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: seq, Payload: m.Payload}, TC: m.TC}
 	l.unacked = append(l.unacked, pendingFrame{
 		msg:        env,
 		seq:        seq,
@@ -361,7 +376,7 @@ func (s *Session) Prepare(m transport.Message) PreparedSend {
 	l := s.send[m.From][m.To]
 	l.mu.Lock()
 	l.nextSeq++
-	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: l.nextSeq, Payload: m.Payload}}
+	env := transport.Message{From: m.From, To: m.To, Payload: DataMsg{Seq: l.nextSeq, Payload: m.Payload}, TC: m.TC}
 	l.mu.Unlock()
 	return PreparedSend{Msg: env}
 }
@@ -403,7 +418,7 @@ func (s *Session) dispatch(id model.NodeID, m transport.Message) {
 	}
 	switch p := m.Payload.(type) {
 	case DataMsg:
-		s.onData(id, m.From, p)
+		s.onData(id, m.From, p, m.TC)
 	case AckMsg:
 		s.onAck(m.To, m.From, p.CumAck)
 	default:
@@ -416,7 +431,7 @@ func (s *Session) dispatch(id model.NodeID, m transport.Message) {
 
 // onData handles one data frame on the link from → id: dedup, buffer,
 // deliver in order, ack cumulatively.
-func (s *Session) onData(id, from model.NodeID, d DataMsg) {
+func (s *Session) onData(id, from model.NodeID, d DataMsg, tc obs.TraceContext) {
 	rl := s.recv[id][from]
 	s.recvMu[id].Lock()
 	switch {
@@ -429,18 +444,24 @@ func (s *Session) onData(id, from model.NodeID, d DataMsg) {
 			s.dupDropped.Add(1)
 			break
 		}
-		rl.buffer[d.Seq] = d.Payload
+		e := bufEntry{payload: d.Payload, tc: tc}
+		if tc.Sampled() && s.cfg.Obs.TraceEnabled() {
+			// Arrival stamp for sampled frames only, so the untraced hot
+			// path never reads the clock here.
+			e.at = time.Now()
+		}
+		rl.buffer[d.Seq] = e
 	}
 	// Drain the in-order prefix.
-	var deliver []any
+	var deliver []bufEntry
 	for {
-		p, ok := rl.buffer[rl.nextExpected]
+		e, ok := rl.buffer[rl.nextExpected]
 		if !ok {
 			break
 		}
 		delete(rl.buffer, rl.nextExpected)
 		rl.nextExpected++
-		deliver = append(deliver, p)
+		deliver = append(deliver, e)
 	}
 	ack := rl.nextExpected - 1
 	s.recvMu[id].Unlock()
@@ -449,11 +470,16 @@ func (s *Session) onData(id, from model.NodeID, d DataMsg) {
 	// runs one delivery goroutine per node, so per-link order is
 	// preserved without further locking.
 	if h := s.handlers[id]; h != nil {
-		for _, p := range deliver {
-			if _, hole := p.(NoopMsg); hole {
+		for _, e := range deliver {
+			if _, hole := e.payload.(NoopMsg); hole {
 				continue // recovery hole-filler: consume the seq, deliver nothing
 			}
-			h(transport.Message{From: from, To: id, Payload: p})
+			if !e.at.IsZero() {
+				// How long the frame sat in the reorder buffer (≈0 for
+				// in-order arrivals, the hold time for gap-filled ones).
+				s.cfg.Obs.ObserveStage(obs.StageSession, time.Since(e.at))
+			}
+			h(transport.Message{From: from, To: id, Payload: e.payload, TC: e.tc})
 		}
 	}
 	// Cumulative ack (even for duplicates — the original ack may have

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/ring"
 )
 
@@ -43,6 +44,11 @@ import (
 type Message struct {
 	From, To model.NodeID
 	Payload  any
+	// TC is the distributed-tracing context riding this envelope; the
+	// transport never inspects it (the zero value means "not sampled").
+	// In-process transports carry it with the struct; tcpnet encodes it
+	// in the frame header (see internal/wire).
+	TC obs.TraceContext
 }
 
 // payloadNames maps payload types to stable accounting names. The

@@ -7,11 +7,19 @@
 // Frame layout (length prefix first, then the frame body):
 //
 //	uint32 BE  body length (version byte through end of payload)
-//	byte       format version (currently 1)
+//	byte       format version (1, or 2 when a trace context is present)
+//	byte       flags (version 2 only; bit 0 = trace context follows,
+//	           other bits must be zero)
+//	uvarint    trace id   (version 2 with flag bit 0 only)
+//	uvarint    parent span id (version 2 with flag bit 0 only)
 //	varint     From node id
 //	varint     To node id
 //	uvarint    payload type id (see the registry below)
 //	...        payload body, type-specific
+//
+// An untraced message encodes as a version-1 frame, byte-identical to
+// the pre-tracing format, so peers without sampling enabled exchange
+// exactly the old wire bytes and old captures still decode.
 //
 // Integers use the varint encodings from encoding/binary: unsigned
 // quantities (versions, txn ids, sequence numbers, counts) are
@@ -37,14 +45,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/reliable"
 )
 
-// FormatVersion is the frame format generation. A frame with a
-// different version byte is rejected (ErrVersion) — peers must run the
-// same format.
-const FormatVersion = 1
+// FormatVersion is the base frame format generation; FormatVersionTC
+// is the extension that prefixes the header with a flags byte and an
+// optional trace context. Readers accept both; writers emit the base
+// version whenever the message carries no trace context, so tracing
+// costs zero wire bytes when disabled. Any other version byte is
+// rejected (ErrVersion) — peers must run the same format.
+const (
+	FormatVersion   = 1
+	FormatVersionTC = 2
+)
+
+// Header flag bits (FormatVersionTC frames only).
+const flagTraceContext = 1 << 0
 
 // MaxFrame bounds the body length a reader will accept: 16 MiB is far
 // above any real protocol message (counter replies grow linearly with
@@ -74,6 +92,7 @@ const (
 	idReliableData     = 15
 	idReliableAck      = 16
 	idReliableNoop     = 17
+	idSpanReport       = 18
 )
 
 // Op kind bytes inside SubtxnSpec updates.
@@ -140,6 +159,8 @@ func TypeName(id uint64) string {
 		return "reliable_ack"
 	case idReliableNoop:
 		return "reliable_noop"
+	case idSpanReport:
+		return "span_report"
 	}
 	return ""
 }
@@ -166,6 +187,7 @@ func Prototypes() map[uint64]any {
 		idReliableData:     reliable.DataMsg{},
 		idReliableAck:      reliable.AckMsg{},
 		idReliableNoop:     reliable.NoopMsg{},
+		idSpanReport:       core.SpanReportMsg{},
 	}
 }
 
@@ -176,7 +198,13 @@ func Prototypes() map[uint64]any {
 func AppendFrame(buf []byte, m transport.Message) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length backfilled below
-	buf = append(buf, FormatVersion)
+	if m.TC.Sampled() {
+		buf = append(buf, FormatVersionTC, flagTraceContext)
+		buf = binary.AppendUvarint(buf, m.TC.TraceID)
+		buf = binary.AppendUvarint(buf, m.TC.SpanID)
+	} else {
+		buf = append(buf, FormatVersion)
+	}
 	buf = binary.AppendVarint(buf, int64(m.From))
 	buf = binary.AppendVarint(buf, int64(m.To))
 	buf, err := appendPayload(buf, m.Payload, 0)
@@ -297,6 +325,25 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		return binary.AppendUvarint(buf, p.CumAck), nil
 	case reliable.NoopMsg:
 		return binary.AppendUvarint(buf, idReliableNoop), nil
+	case core.SpanReportMsg:
+		buf = binary.AppendUvarint(buf, idSpanReport)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Spans)))
+		for _, s := range p.Spans {
+			buf = binary.AppendUvarint(buf, s.TraceID)
+			buf = binary.AppendUvarint(buf, s.SpanID)
+			buf = binary.AppendUvarint(buf, s.ParentID)
+			buf = appendString(buf, s.Name)
+			buf = binary.AppendVarint(buf, int64(s.Node))
+			buf = binary.AppendVarint(buf, s.Start)
+			buf = binary.AppendVarint(buf, s.Dur)
+			buf = appendString(buf, s.Attr)
+			buf = binary.AppendUvarint(buf, uint64(len(s.Stages)))
+			for _, st := range s.Stages {
+				buf = appendString(buf, st.Name)
+				buf = binary.AppendVarint(buf, st.Dur)
+			}
+		}
+		return buf, nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -385,7 +432,19 @@ func appendTuple(buf []byte, t model.Tuple) []byte {
 // well-formed message or rejected.
 func DecodeFrame(body []byte) (transport.Message, error) {
 	d := &decoder{b: body}
-	if v := d.byte(); v != FormatVersion {
+	var tc obs.TraceContext
+	switch v := d.byte(); v {
+	case FormatVersion:
+	case FormatVersionTC:
+		flags := d.byte()
+		if d.err == nil && flags&^flagTraceContext != 0 {
+			return transport.Message{}, fmt.Errorf("%w: unknown header flags %#x", ErrVersion, flags)
+		}
+		if flags&flagTraceContext != 0 {
+			tc.TraceID = d.uvarint()
+			tc.SpanID = d.uvarint()
+		}
+	default:
 		if d.err != nil {
 			return transport.Message{}, d.err
 		}
@@ -400,7 +459,7 @@ func DecodeFrame(body []byte) (transport.Message, error) {
 	if d.off != len(d.b) {
 		return transport.Message{}, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(d.b)-d.off)
 	}
-	return transport.Message{From: model.NodeID(from), To: model.NodeID(to), Payload: payload}, nil
+	return transport.Message{From: model.NodeID(from), To: model.NodeID(to), Payload: payload, TC: tc}, nil
 }
 
 // decoder is a cursor over one frame body. The first error sticks; all
@@ -589,6 +648,30 @@ func (d *decoder) payload(depth int) any {
 		return reliable.AckMsg{CumAck: d.uvarint()}
 	case idReliableNoop:
 		return reliable.NoopMsg{}
+	case idSpanReport:
+		m := core.SpanReportMsg{}
+		if n := d.count(); n > 0 {
+			m.Spans = make([]obs.Span, n)
+			for i := range m.Spans {
+				s := &m.Spans[i]
+				s.TraceID = d.uvarint()
+				s.SpanID = d.uvarint()
+				s.ParentID = d.uvarint()
+				s.Name = d.string()
+				s.Node = int(d.varint())
+				s.Start = d.varint()
+				s.Dur = d.varint()
+				s.Attr = d.string()
+				if k := d.count(); k > 0 {
+					s.Stages = make([]obs.SpanStage, k)
+					for j := range s.Stages {
+						s.Stages[j].Name = d.string()
+						s.Stages[j].Dur = d.varint()
+					}
+				}
+			}
+		}
+		return m
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
 	return nil

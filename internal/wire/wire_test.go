@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/transport/reliable"
 )
@@ -76,6 +77,21 @@ func sampleMessages() []transport.Message {
 		{From: 2, To: 0, Payload: reliable.AckMsg{CumAck: 98}},
 		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 100, Payload: reliable.NoopMsg{}}},
 		{From: 0, To: 2, Payload: reliable.NoopMsg{}},
+		// Traced frames: the version-2 header carries the trace context.
+		{From: 1, To: 2, TC: obs.TraceContext{TraceID: uint64(model.MakeTxnID(1, 12)), SpanID: 1<<62 | 2<<48 | 7}, Payload: core.SubtxnMsg{
+			Txn: model.MakeTxnID(1, 12), Version: 2, Spec: ncSpec, RootNode: 1,
+		}},
+		{From: 0, To: 2, TC: obs.TraceContext{TraceID: 42, SpanID: 42}, Payload: reliable.DataMsg{Seq: 101, Payload: core.UnlockMsg{Txn: 42}}},
+		{From: 2, To: 1, Payload: core.SpanReportMsg{Spans: []obs.Span{
+			{
+				TraceID: uint64(model.MakeTxnID(1, 12)), SpanID: 1<<62 | 3<<48 | 9, ParentID: 1<<62 | 2<<48 | 7,
+				Name: "subtxn", Node: 2, Start: 1700000000123456789, Dur: 250_000,
+				Attr:   "t1.12",
+				Stages: []obs.SpanStage{{Name: "wire", Dur: 90_000}, {Name: "fsync", Dur: 60_000}},
+			},
+			{TraceID: 7, SpanID: 7, Name: "txn", Node: 0, Start: 5, Dur: 10},
+		}}},
+		{From: 2, To: 1, Payload: core.SpanReportMsg{}}, // empty report
 	}
 }
 
@@ -142,15 +158,60 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 
 	cases := map[string][]byte{
 		"empty":           {},
-		"bad version":     append([]byte{FormatVersion + 1}, body[1:]...),
+		"bad version":     append([]byte{FormatVersionTC + 1}, body[1:]...),
 		"truncated":       body[:len(body)/2],
 		"trailing":        append(append([]byte{}, body...), 0),
 		"unknown type id": {FormatVersion, 0, 2, 0xFF, 0x7F},
+		// A v2 frame advertising a flag bit we don't know must be
+		// rejected, not half-parsed.
+		"unknown v2 flag": {FormatVersionTC, 0x02, 0, 2, idReliableNoop},
+		"v2 truncated tc": {FormatVersionTC, 0x01, 0x80},
 	}
 	for name, data := range cases {
 		if _, err := DecodeFrame(data); err == nil {
 			t.Errorf("%s: decode accepted a corrupt frame", name)
 		}
+	}
+}
+
+// TestHeaderVersionGating pins the compatibility contract: an untraced
+// message emits a version-1 frame byte-identical to the pre-tracing
+// format, and only a sampled trace context switches the header to
+// version 2.
+func TestHeaderVersionGating(t *testing.T) {
+	plain := transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: 3}}
+	frame, err := AppendFrame(nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[4] != FormatVersion {
+		t.Fatalf("untraced frame has version %d, want %d", frame[4], FormatVersion)
+	}
+
+	traced := plain
+	traced.TC = obs.TraceContext{TraceID: 9, SpanID: 9}
+	tframe, err := AppendFrame(nil, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tframe[4] != FormatVersionTC {
+		t.Fatalf("traced frame has version %d, want %d", tframe[4], FormatVersionTC)
+	}
+	got, err := DecodeFrame(tframe[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TC != traced.TC {
+		t.Fatalf("trace context lost: %+v", got.TC)
+	}
+	// The version-1 body must itself still decode (old peers' frames),
+	// with a zero trace context.
+	old, err := DecodeFrame(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.TC.Sampled() {
+		t.Fatalf("v1 frame decoded with trace context %+v", old.TC)
 	}
 }
 
