@@ -37,6 +37,14 @@
 // none/never/interval/always sweep is the "WAL overhead" section of
 // EXPERIMENTS.md.
 //
+// -failover enables coordinator failover on the calibration run: every
+// node hosts a standby FailoverManager, the active coordinator
+// heartbeats its term and versions each lease interval, and every
+// protocol message carries a fencing term. No takeover happens — the
+// coordinator stays healthy — so the measurement is the pure cost of
+// the failover machinery on the hot path. The on/off delta is the
+// "Failover cost" section of EXPERIMENTS.md (BENCH_3.json).
+//
 // -pprof/-cpuprofile/-memprofile enable the standard Go profilers
 // (package profiling) for hunting hot-path regressions.
 package main
@@ -89,6 +97,7 @@ type expResult struct {
 type benchSnapshot struct {
 	Txns          int     `json:"txns"`
 	Completed     int     `json:"completed"`
+	Failover      bool    `json:"failover,omitempty"`
 	ThroughputTPS float64 `json:"throughput_tps"`
 	ReadP50Ms     float64 `json:"read_p50_ms"`
 	ReadP99Ms     float64 `json:"read_p99_ms"`
@@ -110,6 +119,7 @@ type calibrationRun struct {
 	DropRate      float64         `json:"drop_rate,omitempty"`
 	DupRate       float64         `json:"dup_rate,omitempty"`
 	Reliable      bool            `json:"reliable,omitempty"`
+	Failover      bool            `json:"failover,omitempty"`
 	WALMode       string          `json:"wal_mode,omitempty"`
 	WALRecords    uint64          `json:"wal_records,omitempty"`
 	WALFsyncs     int64           `json:"wal_fsyncs,omitempty"`
@@ -125,6 +135,7 @@ func main() {
 	dup := flag.Float64("dupmsg", 0, "calibration run: per-message duplication probability")
 	reliable := flag.Bool("reliable", false, "calibration run: interpose the reliable-delivery session layer")
 	transportKind := flag.String("transport", "mem", "calibration run network: mem (in-memory) or tcp (wire codec + loopback sockets)")
+	failover := flag.Bool("failover", false, "calibration run: enable coordinator failover (per-node standbys, lease heartbeats, term fencing) to measure its steady-state overhead")
 	walMode := flag.String("wal", "", "durability calibration: none | never | interval | always (three durable single-node clusters over loopback TCP)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
 	traceSample := flag.Int("trace-sample", 0, "calibration run: head-sample 1 in N transactions for causal tracing (prints the stage-attribution table; 0 = off)")
@@ -147,6 +158,10 @@ func main() {
 	}
 	if *walMode != "" && (*drop > 0 || *dup > 0 || *reliable || *transportKind != "mem") {
 		fmt.Fprintln(os.Stderr, "-wal fixes its own topology (loopback TCP + reliable sessions); drop -drop/-dupmsg/-reliable/-transport")
+		os.Exit(1)
+	}
+	if *failover && *walMode != "" {
+		fmt.Fprintln(os.Stderr, "-failover applies to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
 	}
 	if (*traceOut != "" || *stageCheck) && *traceSample <= 0 {
@@ -250,7 +265,7 @@ func main() {
 		}
 	} else if *jsonOut != "" || *out != "" || *traceSample > 0 {
 		var calErr error
-		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample)
+		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
 			failures++
@@ -309,6 +324,7 @@ func main() {
 		snap := benchSnapshot{
 			Txns:          cal.Txns,
 			Completed:     cal.Completed,
+			Failover:      cal.Failover,
 			ThroughputTPS: roundMs(cal.ThroughputTPS),
 			ReadP50Ms:     roundMs(float64(cal.Obs.TxnRead.P50()) / 1e6),
 			ReadP99Ms:     roundMs(float64(cal.Obs.TxnRead.P99()) / 1e6),
@@ -425,7 +441,11 @@ func stageSumsCheckOut(s obs.Snapshot) bool {
 // swaps the in-memory network for tcpnet in ForceTCP mode: the cluster
 // stays in one process, but every message is binary-encoded and pushed
 // through a real loopback socket — the wire-overhead measurement.
-func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int) (*calibrationRun, []obs.Trace, error) {
+// failoverOn runs the identical load with Config.Failover: per-node
+// standby managers, lease heartbeats, and term fencing on every
+// message, with the coordinator kept healthy — the failover-cost
+// measurement.
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool) (*calibrationRun, []obs.Trace, error) {
 	const nodes = 4
 	ccfg := core.Config{
 		Nodes: nodes,
@@ -435,6 +455,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 			Faults: transport.Faults{Default: transport.LinkFaults{DropRate: drop, DupRate: dup}},
 		},
 		Reliable: reliableNet,
+		Failover: failoverOn,
 		Obs:      obs.Options{TraceSampleN: traceSample},
 	}
 	var tn *tcpnet.Net
@@ -443,7 +464,14 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		if err != nil {
 			return nil, nil, err
 		}
-		local := make([]model.NodeID, nodes+1) // nodes + coordinator
+		// Endpoint space: with failover every node also hosts a
+		// coordinator endpoint (ids Nodes..2*Nodes-1); without, only the
+		// single coordinator endpoint id Nodes exists.
+		span := nodes + 1
+		if failoverOn {
+			span = 2 * nodes
+		}
+		local := make([]model.NodeID, span)
 		for i := range local {
 			local[i] = model.NodeID(i)
 		}
@@ -495,6 +523,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		DropRate:      drop,
 		DupRate:       dup,
 		Reliable:      reliableNet,
+		Failover:      failoverOn,
 		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
 	}

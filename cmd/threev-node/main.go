@@ -1,7 +1,12 @@
 // Command threev-node runs one process of a real 3V cluster: one
 // database node speaking the protocol over TCP (length-prefixed binary
-// frames, reliable-delivery session layer on top), plus — in the
-// process with id 0 — the version-advancement coordinator.
+// frames, reliable-delivery session layer on top), plus a coordinator
+// slot. Exactly one process starts with the active coordinator role
+// (-coordinator active, or id 0 under the default -coordinator auto);
+// every other process runs a standby that watches the active
+// coordinator's heartbeat lease and takes over — under a higher fencing
+// term — if it goes silent. -lease-interval / -lease-timeout tune the
+// failure detector.
 //
 // Usage:
 //
@@ -17,8 +22,9 @@
 // the durability/latency trade-off (always | interval | never).
 //
 // Every process is given the same -peers map (its own entry is used by
-// the others; extra entries are rejected). The coordinator endpoint
-// (id = nodes) lives in process 0 and needs no entry of its own.
+// the others; extra entries are rejected). Each process additionally
+// hosts its own coordinator endpoint (id = nodes + id) at the same
+// address as its node, so the map needs no extra entries.
 //
 // -trace-sample enables causal tracing: 1 in N transactions carries a
 // trace context across the wire and assembles a full span tree (submit →
@@ -31,11 +37,11 @@
 // text, /metrics.json, /events.json, /traces.json) plus a small control
 // surface:
 //
-//	/state               JSON: versions, balances bookkeeping, transport stats
+//	/state               JSON: versions, coordinator role + term, transport stats
 //	/workload?txns=N     run N commuting update trees rooted here (+1 on
 //	                     every process's account, children fan out)
 //	/read                read this process's account at the read version
-//	/advance             run one advancement cycle (process 0 only)
+//	/advance             run one advancement cycle (active coordinator only)
 //	/killconns           sever every TCP connection (recovery testing)
 //	/quit                graceful shutdown
 //
@@ -109,6 +115,8 @@ type stateReport struct {
 	ID          int      `json:"id"`
 	Nodes       int      `json:"nodes"`
 	Coordinator bool     `json:"coordinator"`
+	Role        string   `json:"role"`
+	Term        uint64   `json:"term"`
 	VR          int64    `json:"vr"`
 	VU          int64    `json:"vu"`
 	Committed   int64    `json:"committed_updates"`
@@ -126,10 +134,17 @@ type stateReport struct {
 func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 	vr, vu := s.cluster.Node(s.id).Versions()
 	ts := s.tnet.Stats()
+	active, term := s.cluster.CoordinatorStatus()
+	role := "standby"
+	if active {
+		role = "active"
+	}
 	rep := stateReport{
 		ID:          s.id,
 		Nodes:       s.nodes,
-		Coordinator: s.cluster.Coordinator() != nil,
+		Coordinator: active,
+		Role:        role,
+		Term:        term,
 		VR:          int64(vr),
 		VU:          int64(vu),
 		Committed:   s.cluster.CommittedUpdates(),
@@ -250,12 +265,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func main() {
-	id := flag.Int("id", -1, "this process's node id (0..nodes-1); id 0 also hosts the coordinator")
+	id := flag.Int("id", -1, "this process's node id (0..nodes-1)")
 	nodes := flag.Int("nodes", 3, "total database nodes in the cluster")
+	coordRole := flag.String("coordinator", "auto", "starting coordinator role: auto (active iff id 0) | active | standby")
+	leaseInterval := flag.Duration("lease-interval", 50*time.Millisecond, "active coordinator's heartbeat period")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "standby takeover threshold on heartbeat silence (0 = 4x lease-interval)")
 	listen := flag.String("listen", "", "protocol listen address, e.g. 127.0.0.1:7100")
 	peersFlag := flag.String("peers", "", "comma-separated id=host:port for every process (own entry allowed)")
 	metricsAddr := flag.String("metrics", "", "serve metrics + control endpoints on this address (e.g. 127.0.0.1:8100)")
-	autoAdvance := flag.Duration("auto-advance", 0, "run version advancement on this period (process 0 only; 0 = manual via /advance)")
+	autoAdvance := flag.Duration("auto-advance", 0, "run version advancement on this period (active coordinator only; 0 = manual via /advance)")
 	ackTimeout := flag.Duration("ack-timeout", 30*time.Second, "coordinator wait bound on node acknowledgements")
 	dataDir := flag.String("data-dir", "", "enable crash durability: write-ahead log + checkpoints in this directory")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
@@ -271,7 +289,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := run(*id, *nodes, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *traceSample, *traceSlow, logger); err != nil {
+	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *traceSample, *traceSlow, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -311,9 +329,20 @@ func slowTxnAttrs(sp obs.Span) []any {
 	return attrs
 }
 
-func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
+func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
+	}
+	var startActive bool
+	switch coordRole {
+	case "auto":
+		startActive = id == 0
+	case "active":
+		startActive = true
+	case "standby":
+		startActive = false
+	default:
+		return fmt.Errorf("-coordinator %q: want auto, active, or standby", coordRole)
 	}
 	if listen == "" {
 		return fmt.Errorf("-listen is required")
@@ -337,22 +366,16 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	if err != nil {
 		return err
 	}
-	local := []model.NodeID{model.NodeID(id)}
-	if id == 0 {
-		local = append(local, model.NodeID(nodes)) // coordinator endpoint
-	}
+	// Each process hosts its node endpoint and its coordinator endpoint
+	// (nodes + id): node 0's coordinator endpoint is the legacy id
+	// `nodes`, the rest are the standbys' takeover endpoints.
+	local := []model.NodeID{model.NodeID(id), model.NodeID(nodes + id)}
 	tpeers := make(map[model.NodeID]string)
 	for j, addr := range peers {
 		if j != id {
 			tpeers[model.NodeID(j)] = addr
+			tpeers[model.NodeID(nodes+j)] = addr
 		}
-	}
-	if id != 0 {
-		coordHost, ok := peers[0]
-		if !ok {
-			return fmt.Errorf("-peers is missing process 0 (the coordinator host)")
-		}
-		tpeers[model.NodeID(nodes)] = coordHost
 	}
 	tnet, err := tcpnet.New(tcpnet.Config{Local: local, Peers: tpeers, Listener: ln})
 	if err != nil {
@@ -387,9 +410,21 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	cfg := core.Config{
 		Nodes:            nodes,
 		LocalNodes:       []int{id},
-		LocalCoordinator: id == 0,
-		Transport:        tnet,
-		Reliable:         true,
+		LocalCoordinator: startActive,
+		Failover:         true,
+		FailoverConfig: core.FailoverConfig{
+			LeaseInterval: leaseInterval,
+			LeaseTimeout:  leaseTimeout,
+			OnRoleChange: func(active bool, term uint64) {
+				if active {
+					logger.Warn("coordinator takeover", "id", id, "term", term)
+				} else {
+					logger.Warn("coordinator demoted", "id", id, "term", term)
+				}
+			},
+		},
+		Transport: tnet,
+		Reliable:  true,
 		ReliableConfig: reliable.Config{
 			RetransmitInterval: 20 * time.Millisecond,
 			MaxBackoff:         time.Second,
@@ -412,6 +447,13 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 	if err != nil {
 		return err
 	}
+	// Crash-harness hook: THREEV_CRASHPOINT=advance-phaseN:K kills this
+	// process (exit 137) the Kth time a sweep it drives completes
+	// advancement phase N — the failover CI gate's seam for killing the
+	// active coordinator at every protocol point.
+	cluster.SetPhaseHook(func(phase int) {
+		harness.MaybeCrash(fmt.Sprintf("advance-phase%d", phase))
+	})
 	// Route wire-codec latency histograms into the cluster's registry so
 	// /metrics exposes threev_wire_encode/decode_seconds.
 	tnet.SetObs(cluster.Obs())
@@ -442,11 +484,11 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		db.StartCheckpoints()
 	}
 
-	role := "node"
-	if id == 0 {
-		role = "node+coordinator"
+	role := "standby"
+	if startActive {
+		role = "active"
 	}
-	logger.Info("listening", "id", id, "nodes", nodes, "role", role, "addr", ln.Addr().String(),
+	logger.Info("listening", "id", id, "nodes", nodes, "coordinator", role, "addr", ln.Addr().String(),
 		"trace_sample", traceSample)
 	if db != nil {
 		mode := "fresh"
@@ -486,7 +528,7 @@ func run(id, nodes int, listen, peersFlag, metricsAddr string, autoAdvance, ackT
 		fmt.Printf("control: http://%s\n", mln.Addr())
 	}
 
-	if autoAdvance > 0 && id == 0 {
+	if autoAdvance > 0 && startActive {
 		go func() {
 			t := time.NewTicker(autoAdvance)
 			defer t.Stop()

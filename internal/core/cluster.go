@@ -84,6 +84,19 @@ type Config struct {
 	// that were journaled but never durably executed (re-enqueued to the
 	// worker pool on Start). Same restrictions as Journal.
 	Restore *NodeRestore
+	// Failover removes the coordinator single point of failure: every
+	// locally hosted node runs a FailoverManager owning coordinator
+	// endpoint Nodes+id, the active one heartbeats a lease, and a
+	// standby takes over under a higher fencing term when the lease
+	// lapses (see failover.go). The network must then route endpoints
+	// 0..2*Nodes-1 (owned networks are sized automatically; an explicit
+	// Transport must span them). In-process clusters start with node
+	// 0's manager active; distributed processes start active only with
+	// LocalCoordinator set.
+	Failover bool
+	// FailoverConfig tunes the lease when Failover is set; the zero
+	// value selects defaults.
+	FailoverConfig FailoverConfig
 	// AckTimeout bounds every coordinator wait on node responses
 	// (advancement acks, counter replies, version probes). 0 preserves
 	// the paper's behaviour: wait forever on the assumed-reliable
@@ -118,6 +131,13 @@ type Cluster struct {
 
 	coordMu sync.RWMutex
 	coord   *Coordinator
+
+	// fo is non-nil when Config.Failover is set; it replaces the single
+	// pinned coordinator above with per-node managers.
+	fo *failoverSet
+
+	hookMu    sync.Mutex
+	phaseHook func(int)
 
 	seq     atomic.Uint64
 	handles sync.Map // model.TxnID -> *Handle
@@ -170,11 +190,19 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.reg.SetGauge(obs.GaugeVersionRead, 0)
 		c.reg.SetGauge(obs.GaugeVersionUpdate, 1)
 	}
+	// Endpoint space: nodes 0..Nodes-1 plus coordinator endpoints. A
+	// pinned coordinator occupies the single endpoint Nodes; with
+	// failover every node id gets a potential coordinator endpoint at
+	// Nodes+id (node 0's doubles as the legacy id Nodes).
+	endpoints := cfg.Nodes + 1
+	if cfg.Failover {
+		endpoints = 2 * cfg.Nodes
+	}
 	if cfg.Transport != nil {
 		c.net = cfg.Transport
 	} else {
 		nc := cfg.NetConfig
-		nc.Nodes = cfg.Nodes + 1 // +1 for the coordinator endpoint
+		nc.Nodes = endpoints
 		c.net = transport.NewNet(nc)
 		c.ownsNet = true
 	}
@@ -183,7 +211,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		// the inner network, so the cluster now owns the wrapper.
 		rc := cfg.ReliableConfig
 		rc.Obs = c.reg
-		c.net = reliable.Wrap(c.net, cfg.Nodes+1, rc)
+		c.net = reliable.Wrap(c.net, endpoints, rc)
 		c.ownsNet = true
 	}
 	coordID := model.NodeID(cfg.Nodes)
@@ -210,11 +238,28 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if r.VU != 0 {
 				nd.vr, nd.vu = r.VR, r.VU
 			}
+			nd.coordTerm.Store(r.CoordTerm)
 		}
 		c.nodes[i] = nd
 		c.net.Register(nd.id, nd.handleMessage)
 	}
-	if !c.distributed || cfg.LocalCoordinator {
+	if cfg.Failover {
+		fc := cfg.FailoverConfig.withDefaults()
+		c.fo = &failoverSet{}
+		for i := 0; i < cfg.Nodes; i++ {
+			nd := c.nodes[i]
+			if nd == nil {
+				continue
+			}
+			m := newFailoverManager(c, nd, fc)
+			nd.onCoordState = m.noteBeat
+			c.net.Register(m.ep, m.handleEndpoint)
+			c.fo.managers = append(c.fo.managers, m)
+			if (!c.distributed && i == 0) || (c.distributed && cfg.LocalCoordinator) {
+				m.promoteInitial()
+			}
+		}
+	} else if !c.distributed || cfg.LocalCoordinator {
 		c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
 		// The registered handler indirects through currentCoordinator so a
 		// crashed coordinator can be replaced (CrashCoordinator/Recover)
@@ -244,6 +289,11 @@ func (c *Cluster) Start() {
 		}
 	}
 	c.net.Start()
+	if c.fo != nil {
+		for _, m := range c.fo.managers {
+			m.start()
+		}
+	}
 }
 
 // Close shuts the cluster down. Callers should quiesce (wait for
@@ -254,7 +304,14 @@ func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	if coord := c.currentCoordinator(); coord != nil {
+	if c.fo != nil {
+		// Stop every manager first: this unwinds any in-flight takeover
+		// (its Recover returns ErrClosed) and blocks until its goroutines
+		// exit, so Close can never race an election into a half-run sweep.
+		for _, m := range c.fo.managers {
+			m.stop()
+		}
+	} else if coord := c.currentCoordinator(); coord != nil {
 		coord.shutdown()
 	}
 	if c.ownsNet {
@@ -280,9 +337,116 @@ func (c *Cluster) NumNodes() int { return len(c.nodes) }
 func (c *Cluster) Coordinator() *Coordinator { return c.currentCoordinator() }
 
 func (c *Cluster) currentCoordinator() *Coordinator {
+	if c.fo != nil {
+		if m := c.activeManager(); m != nil {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return m.coord
+		}
+		return nil
+	}
 	c.coordMu.RLock()
 	defer c.coordMu.RUnlock()
 	return c.coord
+}
+
+// activeManager returns the local failover manager currently holding
+// the coordinator role, or nil (failover disabled, or this process is
+// all standbys). Two local managers can transiently both be active —
+// near-simultaneous takeovers before the lower term's coordinator is
+// fenced and demoted — so the highest term wins routing.
+func (c *Cluster) activeManager() *FailoverManager {
+	if c.fo == nil {
+		return nil
+	}
+	var best *FailoverManager
+	var bestTerm uint64
+	for _, m := range c.fo.managers {
+		if active, term := m.snapshot(); active && (best == nil || term > bestTerm) {
+			best, bestTerm = m, term
+		}
+	}
+	return best
+}
+
+// FailoverManagers returns the local managers (tests, chaos harness);
+// nil unless Config.Failover.
+func (c *Cluster) FailoverManagers() []*FailoverManager {
+	if c.fo == nil {
+		return nil
+	}
+	return c.fo.managers
+}
+
+// CoordinatorStatus reports whether this process currently hosts the
+// active advancement coordinator and the highest fencing term observed
+// here (0 in non-failover clusters, where terms are not in play).
+func (c *Cluster) CoordinatorStatus() (active bool, term uint64) {
+	if c.fo == nil {
+		return c.currentCoordinator() != nil, 0
+	}
+	for _, m := range c.fo.managers {
+		a, t := m.snapshot()
+		if a {
+			active = true
+		}
+		if t > term {
+			term = t
+		}
+	}
+	for _, nd := range c.nodes {
+		if nd == nil {
+			continue
+		}
+		if t := nd.coordTerm.Load(); t > term {
+			term = t
+		}
+	}
+	return active, term
+}
+
+// SetPhaseHook arms a callback fired after each completed phase (1–4)
+// of every advancement sweep driven from this process — the seam the
+// chaos harness uses to kill the coordinator at a deterministic
+// protocol point. Pass nil to disarm. The hook runs on the sweep's
+// goroutine, outside coordinator locks.
+func (c *Cluster) SetPhaseHook(h func(phase int)) {
+	c.hookMu.Lock()
+	c.phaseHook = h
+	c.hookMu.Unlock()
+	if c.fo != nil {
+		for _, m := range c.fo.managers {
+			m.mu.Lock()
+			co := m.coord
+			m.mu.Unlock()
+			if co != nil {
+				co.setPhaseHook(h)
+			}
+		}
+		return
+	}
+	if co := c.currentCoordinator(); co != nil {
+		co.setPhaseHook(h)
+	}
+}
+
+func (c *Cluster) getPhaseHook() func(int) {
+	c.hookMu.Lock()
+	defer c.hookMu.Unlock()
+	return c.phaseHook
+}
+
+// KillActiveCoordinator chaos-crashes whichever local manager is
+// currently active (failover mode only): its in-flight sweep unwinds
+// with ErrCrashed and the manager leaves the election permanently, so
+// a standby must take over via lease expiry. Returns the killed term
+// and true, or 0 and false when no local manager was active.
+func (c *Cluster) KillActiveCoordinator() (uint64, bool) {
+	m := c.activeManager()
+	if m == nil {
+		return 0, false
+	}
+	return m.kill()
 }
 
 // Network returns the underlying transport (stats, scripted delivery).

@@ -33,6 +33,11 @@ var (
 	// Config.LocalCoordinator); drive advancement from the process
 	// that does.
 	ErrNoCoordinator = errors.New("core: this process does not host the advancement coordinator")
+	// ErrStaleTerm: a node reported a fencing term higher than this
+	// coordinator's — a successor has taken over, so this coordinator
+	// is deposed and its in-flight cycle abandoned (the successor
+	// re-drives it; every phase is idempotent).
+	ErrStaleTerm = errors.New("core: coordinator deposed by a higher term")
 )
 
 // AdvanceReport describes one completed version-advancement cycle.
@@ -81,6 +86,12 @@ type Coordinator struct {
 	ackTimeout time.Duration
 	resend     time.Duration
 	reg        *obs.Registry // nil when observability is disabled
+	// term is this coordinator's fencing term, stamped on every phase
+	// message it sends. 0 = unfenced (single-coordinator deployments);
+	// failover-managed coordinators get a positive term before their
+	// endpoint handler is registered, and the field is immutable after
+	// that. See FailoverManager.
+	term uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -92,8 +103,21 @@ type Coordinator struct {
 	round   int
 	dead    bool // set by crash(); wakes and unwinds blocked waits
 	closed  bool // set by shutdown() (Cluster.Close); unwinds blocked waits
+	deposed bool // a node reported a higher term; unwinds waits with ErrStaleTerm
+	// phaseHook, when set, is invoked at the end of each completed
+	// phase of RunAdvancement with the phase number (1–4). It exists
+	// for chaos injection (kill the coordinator mid-sweep at a
+	// deterministic protocol point) and runs without c.mu held.
+	phaseHook func(phase int)
+	// phase is the advancement phase currently executing (0 = idle,
+	// 1–4 mid-sweep), published in failover heartbeats.
+	phase int
 
-	advMu  sync.Mutex // the "distributed mutex": one advancement at a time
+	advMu sync.Mutex // the "distributed mutex": one advancement at a time
+	// vu/vr are written only under advMu (one sweep at a time) and
+	// additionally under c.mu, so Versions() can observe them without
+	// blocking on a sweep in flight (status surfaces poll it while a
+	// failover recovery waits on unreachable nodes).
 	vu, vr model.Version
 
 	histMu  sync.Mutex
@@ -150,6 +174,13 @@ func (c *Coordinator) handleMessage(m transport.Message) {
 			c.probes[p.Round] = pm
 		}
 		pm[p.Node] = p
+	case StaleTermMsg:
+		// A node has seen a higher term than ours: a successor is
+		// active. Depose this coordinator so any blocked wait unwinds
+		// with ErrStaleTerm rather than re-driving a fenced-off sweep.
+		if p.Term > c.term {
+			c.deposed = true
+		}
 	default:
 		return // stray message; ignore
 	}
@@ -165,11 +196,20 @@ func ackInto(m map[model.Version]map[model.NodeID]bool, v model.Version, node mo
 	set[node] = true
 }
 
-// Versions returns the coordinator's view of (vr, vu).
+// Versions returns the coordinator's view of (vr, vu). It never blocks
+// on an advancement in flight.
 func (c *Coordinator) Versions() (vr, vu model.Version) {
-	c.advMu.Lock()
-	defer c.advMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.vr, c.vu
+}
+
+// setVersions installs a new version pair. Callers hold advMu; c.mu is
+// taken so concurrent Versions() readers see a consistent pair.
+func (c *Coordinator) setVersions(vu, vr model.Version) {
+	c.mu.Lock()
+	c.vu, c.vr = vu, vr
+	c.mu.Unlock()
 }
 
 // History returns reports of completed advancement cycles.
@@ -202,6 +242,7 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	start := time.Now()
 
 	interrupted := func(err error) AdvanceReport {
+		c.enterPhase(0)
 		rep.Interrupted = true
 		rep.Err = err
 		rep.Total = time.Since(start)
@@ -209,8 +250,12 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	}
 
 	// Phase 1: switch to the new update version.
-	c.broadcast(StartAdvancementMsg{NewVU: vunew})
-	if err := c.waitAcks(c.ackVU, vunew, StartAdvancementMsg{NewVU: vunew}); err != nil {
+	c.enterPhase(1)
+	c.broadcast(StartAdvancementMsg{NewVU: vunew, Term: c.term})
+	if err := c.waitAcks(c.ackVU, vunew, StartAdvancementMsg{NewVU: vunew, Term: c.term}); err != nil {
+		return interrupted(err)
+	}
+	if err := c.phaseDone(1); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase1 = time.Since(start)
@@ -218,10 +263,14 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 2: updates phase-out — wait for inter-node consistency of
 	// vuold by asynchronous counter reads.
 	t2 := time.Now()
+	c.enterPhase(2)
 	var lag2 int64
 	var err error
 	rep.SweepsPhase2, lag2, err = c.pollQuiescence(vuold)
 	if err != nil {
+		return interrupted(err)
+	}
+	if err := c.phaseDone(2); err != nil {
 		return interrupted(err)
 	}
 	rep.MaxCounterLag = lag2
@@ -229,8 +278,12 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 
 	// Phase 3: switch to the new read version.
 	t3 := time.Now()
-	c.broadcast(ReadVersionMsg{NewVR: vrnew})
-	if err := c.waitAcks(c.ackVR, vrnew, ReadVersionMsg{NewVR: vrnew}); err != nil {
+	c.enterPhase(3)
+	c.broadcast(ReadVersionMsg{NewVR: vrnew, Term: c.term})
+	if err := c.waitAcks(c.ackVR, vrnew, ReadVersionMsg{NewVR: vrnew, Term: c.term}); err != nil {
+		return interrupted(err)
+	}
+	if err := c.phaseDone(3); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase3 = time.Since(t3)
@@ -238,21 +291,26 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 4: wait for queries on vrold to terminate, then garbage
 	// collect.
 	t4 := time.Now()
+	c.enterPhase(4)
 	var lag4 int64
 	rep.SweepsPhase4, lag4, err = c.pollQuiescence(vrold)
 	if err != nil {
 		return interrupted(err)
 	}
+	if err := c.phaseDone(4); err != nil {
+		return interrupted(err)
+	}
 	if lag4 > rep.MaxCounterLag {
 		rep.MaxCounterLag = lag4
 	}
-	c.broadcast(GCMsg{Keep: vrnew})
-	if err := c.waitAcks(c.ackGC, vrnew, GCMsg{Keep: vrnew}); err != nil {
+	c.broadcast(GCMsg{Keep: vrnew, Term: c.term})
+	if err := c.waitAcks(c.ackGC, vrnew, GCMsg{Keep: vrnew, Term: c.term}); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase4 = time.Since(t4)
 
-	c.vu, c.vr = vunew, vrnew
+	c.setVersions(vunew, vrnew)
+	c.enterPhase(0)
 	rep.Total = time.Since(start)
 
 	c.reg.ObserveAdvance(
@@ -332,10 +390,73 @@ func (c *Coordinator) abortErrLocked() error {
 	switch {
 	case c.dead:
 		return ErrCrashed
+	case c.deposed:
+		return ErrStaleTerm
 	case c.closed:
 		return ErrClosed
 	}
 	return nil
+}
+
+// abortErr is abortErrLocked without the lock held.
+func (c *Coordinator) abortErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abortErrLocked()
+}
+
+// isDeposed reports whether a higher-term successor fenced this
+// coordinator off.
+func (c *Coordinator) isDeposed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deposed
+}
+
+// depose marks the coordinator fenced off by a higher term and wakes
+// every blocked wait so it unwinds with ErrStaleTerm.
+func (c *Coordinator) depose() {
+	c.mu.Lock()
+	c.deposed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// setPhaseHook installs (or clears) the per-phase chaos hook.
+func (c *Coordinator) setPhaseHook(h func(int)) {
+	c.mu.Lock()
+	c.phaseHook = h
+	c.mu.Unlock()
+}
+
+// enterPhase records the advancement phase now executing (0 = idle),
+// for failover heartbeats and chaos attribution.
+func (c *Coordinator) enterPhase(p int) {
+	c.mu.Lock()
+	c.phase = p
+	c.mu.Unlock()
+}
+
+// phaseDone fires the chaos hook for a just-completed phase and returns
+// any abort condition that arose — possibly from inside the hook (e.g.
+// a mid-sweep coordinator kill) — so RunAdvancement stops before
+// issuing the next phase's messages instead of leaking them from a
+// dead coordinator.
+func (c *Coordinator) phaseDone(p int) error {
+	c.mu.Lock()
+	h := c.phaseHook
+	c.mu.Unlock()
+	if h != nil {
+		h(p)
+	}
+	return c.abortErr()
+}
+
+// currentPhase returns the advancement phase in flight (0 = idle).
+func (c *Coordinator) currentPhase() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phase
 }
 
 // waitKick waits on the coordinator's cond, but wakes after at most d
@@ -424,7 +545,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 		round := c.round
 		c.mu.Unlock()
 
-		c.broadcast(CounterReqMsg{Version: v, Round: round})
+		c.broadcast(CounterReqMsg{Version: v, Round: round, Term: c.term})
 
 		c.mu.Lock()
 		start := time.Now()
@@ -445,7 +566,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 				// (the request or the reply was lost).
 				for i := 0; i < c.n; i++ {
 					if _, ok := c.replies[round][model.NodeID(i)]; !ok {
-						c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: CounterReqMsg{Version: v, Round: round}})
+						c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: CounterReqMsg{Version: v, Round: round, Term: c.term}})
 						c.reg.Inc(obs.CtrCoordResends, 1)
 					}
 				}

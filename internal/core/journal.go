@@ -93,6 +93,17 @@ type Journal interface {
 	GC(v model.Version)
 }
 
+// TermJournal is an optional Journal extension: implementations that
+// support coordinator failover record the node's highest observed
+// fencing term durably (max-merge on replay), so a restarted node
+// cannot acknowledge a coordinator the cluster fenced off before the
+// crash. Checked by type assertion; a Journal without it simply keeps
+// terms in memory only.
+type TermJournal interface {
+	// CoordTerm records term = max(term, t), durable before return.
+	CoordTerm(t uint64)
+}
+
 // PendingSubtxn is a command that was journaled (Enq) but whose
 // execution record never became durable: recovery re-enqueues it.
 type PendingSubtxn struct {
@@ -113,4 +124,7 @@ type NodeRestore struct {
 	// NextEnq seeds the journal's enq-id sequence past every recovered
 	// id (informational here; the journal implementation owns it).
 	NextEnq uint64
+	// CoordTerm is the highest coordinator fencing term the node had
+	// durably observed before the crash (0 when failover never ran).
+	CoordTerm uint64
 }

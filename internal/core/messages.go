@@ -58,9 +58,12 @@ type SubtxnMsg struct {
 }
 
 // StartAdvancementMsg is the Phase 1 notice: switch the update version
-// to NewVU, allocating fresh counters (Section 4.3).
+// to NewVU, allocating fresh counters (Section 4.3). Term is the
+// sending coordinator's fencing term (see CoordStateMsg); 0 means
+// unfenced (single-coordinator deployments, scripted replays).
 type StartAdvancementMsg struct {
 	NewVU model.Version
+	Term  uint64
 }
 
 // AckAdvancementMsg acknowledges StartAdvancementMsg.
@@ -70,9 +73,10 @@ type AckAdvancementMsg struct {
 }
 
 // ReadVersionMsg is the Phase 3 notice: queries arriving from now on
-// use NewVR.
+// use NewVR. Term fences stale coordinators (0 = unfenced).
 type ReadVersionMsg struct {
 	NewVR model.Version
+	Term  uint64
 }
 
 // AckReadVersionMsg acknowledges ReadVersionMsg.
@@ -82,9 +86,11 @@ type AckReadVersionMsg struct {
 }
 
 // GCMsg is the Phase 4 notice: garbage-collect all data and counter
-// versions below Keep (the new read version).
+// versions below Keep (the new read version). Term fences stale
+// coordinators (0 = unfenced).
 type GCMsg struct {
 	Keep model.Version
+	Term uint64
 }
 
 // AckGCMsg acknowledges GCMsg.
@@ -96,10 +102,11 @@ type AckGCMsg struct {
 // CounterReqMsg asks a node for its counter rows for one version; the
 // coordinator sends these during Phases 2 and 4. Round tags the sweep
 // so late replies from a previous sweep are not mixed into the current
-// snapshot.
+// snapshot. Term fences stale coordinators (0 = unfenced).
 type CounterReqMsg struct {
 	Version model.Version
 	Round   int
+	Term    uint64
 }
 
 // CounterReplyMsg carries one node's R row (requests sent, indexed by
@@ -144,9 +151,11 @@ type NCDecisionMsg struct {
 
 // VersionProbeMsg asks a node for its current (vr, vu) pair. A
 // recovering coordinator (see Coordinator.Recover) uses probes to
-// reconstruct where a crashed predecessor left off.
+// reconstruct where a crashed predecessor left off. Term fences stale
+// coordinators (0 = unfenced).
 type VersionProbeMsg struct {
 	Round int
+	Term  uint64
 }
 
 // VersionReplyMsg answers a VersionProbeMsg. BelowVR reports whether
@@ -167,6 +176,30 @@ type VersionReplyMsg struct {
 // to well-behaved transactions").
 type UnlockMsg struct {
 	Txn model.TxnID
+}
+
+// CoordStateMsg is the active coordinator's lease heartbeat and state
+// mirror, broadcast to every node each FailoverConfig.LeaseInterval.
+// Term is the sender's fencing term; Coord its endpoint id; VR/VU the
+// versions it has installed; Phase the advancement phase in flight
+// (0 = idle, 1–4 mid-sweep). Nodes relay it to their co-located
+// FailoverManager: a fresh heartbeat renews the lease, a missing one
+// eventually triggers a standby takeover, and the mirrored state lets
+// the successor's journal carry the predecessor's term forward.
+type CoordStateMsg struct {
+	Term  uint64
+	Coord model.NodeID
+	VR    model.Version
+	VU    model.Version
+	Phase int
+}
+
+// StaleTermMsg tells a coordinator it has been fenced off: the sending
+// node has observed Term (higher than the recipient's), so the
+// recipient must stop driving sweeps (see ErrStaleTerm).
+type StaleTermMsg struct {
+	Term uint64
+	Node model.NodeID
 }
 
 // SpanReportMsg ships completed trace spans from an executing node home

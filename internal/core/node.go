@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/counters"
@@ -165,6 +166,18 @@ type Node struct {
 	reg     *obs.Registry // nil when observability is disabled
 	ncMode  bool
 	journal Journal // nil without durability
+
+	// coordTerm is the highest coordinator fencing term this node has
+	// observed (0 until a fenced coordinator speaks). Phase messages
+	// carrying a positive term below it are rejected — the fencing rule
+	// that keeps a deposed coordinator's stragglers from interleaving
+	// with a successor's sweep.
+	coordTerm atomic.Uint64
+	// onCoordState, when set (failover mode), receives every accepted
+	// coordinator heartbeat so the co-located FailoverManager can renew
+	// its lease view. Set before the node's handler is registered;
+	// immutable afterwards.
+	onCoordState func(CoordStateMsg)
 
 	// chk excludes subtransaction execution during checkpoint freezes:
 	// workers hold it shared around executeSubtxn so the journaled effect
@@ -336,19 +349,51 @@ func (nd *Node) handleMessage(m transport.Message) {
 			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID, tc: m.TC, recvAt: recvAt})
 		}
 	case StartAdvancementMsg:
-		nd.handleStartAdvancement(p)
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		nd.handleStartAdvancement(m.From, p)
 	case ReadVersionMsg:
-		nd.handleReadVersion(p)
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		nd.handleReadVersion(m.From, p)
 	case GCMsg:
-		nd.handleGC(p)
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		nd.handleGC(m.From, p)
 	case CounterReqMsg:
-		nd.handleCounterReq(p)
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		nd.handleCounterReq(m.From, p)
 	case VersionProbeMsg:
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
 		vr, vu := nd.Versions()
-		nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: VersionReplyMsg{
+		nd.net.Send(transport.Message{From: nd.id, To: m.From, Payload: VersionReplyMsg{
 			Round: p.Round, Node: nd.id, VR: vr, VU: vu,
 			BelowVR: nd.store.HasVersionsBelow(vr),
 		}})
+	case CoordStateMsg:
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		if f := nd.onCoordState; f != nil {
+			f(p)
+		}
+	case StaleTermMsg:
+		// Addressed to coordinator endpoints; one reaching a node is
+		// stray cross-talk. Fold the term in and drop it.
+		nd.observeTerm(p.Term)
 	case NCVoteMsg:
 		nd.handleNCVote(p)
 	case NCDecisionMsg:
@@ -368,6 +413,45 @@ func (nd *Node) handleMessage(m transport.Message) {
 	}
 }
 
+// observeTerm folds a coordinator fencing term into the node's
+// high-water mark, returning false when t is stale — positive but
+// below a term this node has already seen — in which case the caller
+// must drop the message. Term 0 is the unfenced single-coordinator
+// mode and is always accepted. A raised term is journaled before the
+// node acts on any message carrying it, so a restarted node cannot be
+// tricked into acknowledging an already-fenced coordinator.
+func (nd *Node) observeTerm(t uint64) bool {
+	if t == 0 {
+		return true
+	}
+	for {
+		cur := nd.coordTerm.Load()
+		if t < cur {
+			return false
+		}
+		if t == cur {
+			return true
+		}
+		if nd.coordTerm.CompareAndSwap(cur, t) {
+			if j, ok := nd.journal.(TermJournal); ok {
+				j.CoordTerm(t)
+			}
+			nd.reg.SetGauge(obs.GaugeCoordTerm, float64(t))
+			return true
+		}
+	}
+}
+
+// rejectStale counts a fenced-off phase message and tells its sender
+// which term supersedes it, so a deposed coordinator stops re-driving
+// its sweep instead of timing out.
+func (nd *Node) rejectStale(from model.NodeID) {
+	nd.reg.Inc(obs.CtrStaleTermRejects, 1)
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: StaleTermMsg{
+		Term: nd.coordTerm.Load(), Node: nd.id,
+	}})
+}
+
 // maybeAdvanceVU performs the implicit advancement notification of
 // Section 2.2: an arriving subtransaction carrying a version greater
 // than the local update version is itself the notice that advancement
@@ -385,7 +469,7 @@ func (nd *Node) maybeAdvanceVU(v model.Version) {
 	}
 }
 
-func (nd *Node) handleStartAdvancement(p StartAdvancementMsg) {
+func (nd *Node) handleStartAdvancement(from model.NodeID, p StartAdvancementMsg) {
 	nd.verMu.Lock()
 	if p.NewVU > nd.vu {
 		nd.vu = p.NewVU
@@ -398,10 +482,10 @@ func (nd *Node) handleStartAdvancement(p StartAdvancementMsg) {
 		// notice every node acknowledged.
 		nd.journal.VersionUpdate(p.NewVU)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id}})
 }
 
-func (nd *Node) handleReadVersion(p ReadVersionMsg) {
+func (nd *Node) handleReadVersion(from model.NodeID, p ReadVersionMsg) {
 	var release []parkedNC
 	nd.verMu.Lock()
 	if p.NewVR > nd.vr {
@@ -426,17 +510,17 @@ func (nd *Node) handleReadVersion(p ReadVersionMsg) {
 	if nd.journal != nil {
 		nd.journal.VersionRead(p.NewVR)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id}})
 }
 
-func (nd *Node) handleGC(p GCMsg) {
+func (nd *Node) handleGC(from model.NodeID, p GCMsg) {
 	nd.store.GC(p.Keep)
 	nd.cnt.DropBelow(p.Keep)
 	nd.reg.RecordEvent(obs.Event{Kind: obs.EvGC, Node: int(nd.id), Version: int64(p.Keep)})
 	if nd.journal != nil {
 		nd.journal.GC(p.Keep)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
 }
 
 // sendStamp returns the SentAt stamp for outgoing subtransactions: the
@@ -448,8 +532,8 @@ func (nd *Node) sendStamp() time.Time {
 	return time.Now()
 }
 
-func (nd *Node) handleCounterReq(p CounterReqMsg) {
-	nd.net.Send(transport.Message{From: nd.id, To: nd.coordID, Payload: CounterReplyMsg{
+func (nd *Node) handleCounterReq(from model.NodeID, p CounterReqMsg) {
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: CounterReplyMsg{
 		Version: p.Version,
 		Round:   p.Round,
 		Node:    nd.id,

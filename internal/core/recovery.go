@@ -59,7 +59,7 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 	round := c.round
 	c.mu.Unlock()
 	for i := 0; i < c.n; i++ {
-		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round}})
+		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term}})
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -77,7 +77,7 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 		if c.resend > 0 && now.After(nextResend) {
 			for i := 0; i < c.n; i++ {
 				if _, ok := c.probes[round][model.NodeID(i)]; !ok {
-					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round}})
+					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term}})
 				}
 			}
 			nextResend = now.Add(c.resend)
@@ -118,19 +118,19 @@ func (c *Coordinator) resyncLagging() error {
 		}
 	}
 	if lagVU {
-		c.broadcast(StartAdvancementMsg{NewVU: c.vu})
-		if err := c.waitAcks(c.ackVU, c.vu, StartAdvancementMsg{NewVU: c.vu}); err != nil {
+		c.broadcast(StartAdvancementMsg{NewVU: c.vu, Term: c.term})
+		if err := c.waitAcks(c.ackVU, c.vu, StartAdvancementMsg{NewVU: c.vu, Term: c.term}); err != nil {
 			return fmt.Errorf("resyncing update version: %w", err)
 		}
 	}
 	if lagVR {
-		c.broadcast(ReadVersionMsg{NewVR: c.vr})
-		if err := c.waitAcks(c.ackVR, c.vr, ReadVersionMsg{NewVR: c.vr}); err != nil {
+		c.broadcast(ReadVersionMsg{NewVR: c.vr, Term: c.term})
+		if err := c.waitAcks(c.ackVR, c.vr, ReadVersionMsg{NewVR: c.vr, Term: c.term}); err != nil {
 			return fmt.Errorf("resyncing read version: %w", err)
 		}
 		// The rejoiner may still hold versions the cluster collected.
-		c.broadcast(GCMsg{Keep: c.vr})
-		if err := c.waitAcks(c.ackGC, c.vr, GCMsg{Keep: c.vr}); err != nil {
+		c.broadcast(GCMsg{Keep: c.vr, Term: c.term})
+		if err := c.waitAcks(c.ackGC, c.vr, GCMsg{Keep: c.vr, Term: c.term}); err != nil {
 			return fmt.Errorf("resyncing garbage collection: %w", err)
 		}
 	}
@@ -172,24 +172,26 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 		}
 	}
 	if clean && maxVU == maxVR+1 && !gcPending {
-		c.vu, c.vr = maxVU, maxVR
-		return RecoveryReport{Resumed: false, VR: c.vr, VU: c.vu, Took: time.Since(start)}, nil
+		c.setVersions(maxVU, maxVR)
+		return RecoveryReport{Resumed: false, VR: maxVR, VU: maxVU, Took: time.Since(start)}, nil
 	}
 	if clean && maxVU == maxVR+1 && gcPending {
 		// Phases 1–3 finished but Phase 4 did not: drain the old read
 		// version's queries and garbage-collect.
 		rep := RecoveryReport{Resumed: true}
+		c.enterPhase(4)
+		defer c.enterPhase(0)
 		s, _, err := c.pollQuiescence(maxVR - 1)
 		rep.Sweeps += s
 		if err != nil {
 			return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
 		}
-		c.broadcast(GCMsg{Keep: maxVR})
-		if err := c.waitAcks(c.ackGC, maxVR, GCMsg{Keep: maxVR}); err != nil {
+		c.broadcast(GCMsg{Keep: maxVR, Term: c.term})
+		if err := c.waitAcks(c.ackGC, maxVR, GCMsg{Keep: maxVR, Term: c.term}); err != nil {
 			return rep, fmt.Errorf("resuming garbage collection: %w", err)
 		}
-		c.vu, c.vr = maxVU, maxVR
-		rep.VR, rep.VU = c.vr, c.vu
+		c.setVersions(maxVU, maxVR)
+		rep.VR, rep.VU = maxVR, maxVU
 		rep.Took = time.Since(start)
 		return rep, nil
 	}
@@ -200,14 +202,17 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 	vuNew := maxVU
 	vrNew := vuNew - 1
 	rep := RecoveryReport{Resumed: true}
+	defer c.enterPhase(0)
 
 	// Finish Phase 1 (idempotent: nodes take the max and always ack).
-	c.broadcast(StartAdvancementMsg{NewVU: vuNew})
-	if err := c.waitAcks(c.ackVU, vuNew, StartAdvancementMsg{NewVU: vuNew}); err != nil {
+	c.enterPhase(1)
+	c.broadcast(StartAdvancementMsg{NewVU: vuNew, Term: c.term})
+	if err := c.waitAcks(c.ackVU, vuNew, StartAdvancementMsg{NewVU: vuNew, Term: c.term}); err != nil {
 		return rep, fmt.Errorf("resuming phase 1: %w", err)
 	}
 
 	// Phase 2: quiesce the outgoing update version.
+	c.enterPhase(2)
 	s2, _, err := c.pollQuiescence(vuNew - 1)
 	rep.Sweeps += s2
 	if err != nil {
@@ -215,26 +220,28 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 	}
 
 	// Phase 3 (idempotent).
-	c.broadcast(ReadVersionMsg{NewVR: vrNew})
-	if err := c.waitAcks(c.ackVR, vrNew, ReadVersionMsg{NewVR: vrNew}); err != nil {
+	c.enterPhase(3)
+	c.broadcast(ReadVersionMsg{NewVR: vrNew, Term: c.term})
+	if err := c.waitAcks(c.ackVR, vrNew, ReadVersionMsg{NewVR: vrNew, Term: c.term}); err != nil {
 		return rep, fmt.Errorf("resuming phase 3: %w", err)
 	}
 
 	// Phase 4: quiesce the outgoing read version's queries, then GC.
 	// vrNew is at least 1 here (the first possible interrupted cycle
 	// targets vu=2/vr=1), so vrNew-1 is well-defined.
+	c.enterPhase(4)
 	s4, _, err := c.pollQuiescence(vrNew - 1)
 	rep.Sweeps += s4
 	if err != nil {
 		return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
 	}
-	c.broadcast(GCMsg{Keep: vrNew})
-	if err := c.waitAcks(c.ackGC, vrNew, GCMsg{Keep: vrNew}); err != nil {
+	c.broadcast(GCMsg{Keep: vrNew, Term: c.term})
+	if err := c.waitAcks(c.ackGC, vrNew, GCMsg{Keep: vrNew, Term: c.term}); err != nil {
 		return rep, fmt.Errorf("resuming garbage collection: %w", err)
 	}
 
-	c.vu, c.vr = vuNew, vrNew
-	rep.VR, rep.VU = c.vr, c.vu
+	c.setVersions(vuNew, vrNew)
+	rep.VR, rep.VU = vrNew, vuNew
 	rep.Took = time.Since(start)
 	return rep, nil
 }
@@ -245,6 +252,9 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 // Call Recover on the returned coordinator to finish whatever the dead
 // one left behind.
 func (c *Cluster) CrashCoordinator() *Coordinator {
+	if c.fo != nil {
+		panic("core: CrashCoordinator is the pinned-coordinator crash hook; use KillActiveCoordinator with Config.Failover")
+	}
 	old := c.currentCoordinator()
 	old.crash()
 	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.cfg.AckTimeout, c.cfg.ResendInterval, c.reg)

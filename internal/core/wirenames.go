@@ -22,4 +22,6 @@ func init() {
 	transport.RegisterPayloadName(VersionReplyMsg{}, "version_reply")
 	transport.RegisterPayloadName(UnlockMsg{}, "unlock")
 	transport.RegisterPayloadName(SpanReportMsg{}, "span_report")
+	transport.RegisterPayloadName(CoordStateMsg{}, "coord_state")
+	transport.RegisterPayloadName(StaleTermMsg{}, "stale_term")
 }

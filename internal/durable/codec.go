@@ -24,10 +24,17 @@ const (
 	recSend = 6 // frame                                   — session frame sent
 	recRecv = 7 // to varint | from varint | next uvarint  — recv watermark
 	recAck  = 8 // from varint | to varint | cum uvarint   — peer cumulative ack
+
+	recCoordTerm = 9 // t uvarint — coordinator term = max(term, t)
 )
 
-// Checkpoint blob format version.
-const ckptVersion = 1
+// Checkpoint blob format version. Version 2 adds the coordinator term
+// after nextEnq; version-1 blobs (pre-failover) still decode, with
+// term 0.
+const (
+	ckptVersion   = 2
+	ckptVersionV1 = 1
+)
 
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))

@@ -117,12 +117,13 @@ type DB struct {
 
 	// mu guards everything below plus the pairing of WAL appends with
 	// mirror updates (see the package comment).
-	mu      sync.Mutex
-	pending map[uint64]pendingCmd
-	nextEnq uint64
-	send    map[link]*sendMirror
-	recv    map[link]uint64 // (to, from) -> nextExpected
-	buf     []byte          // scratch encode buffer
+	mu        sync.Mutex
+	pending   map[uint64]pendingCmd
+	nextEnq   uint64
+	coordTerm uint64 // highest coordinator term fenced (monotonic)
+	send      map[link]*sendMirror
+	recv      map[link]uint64 // (to, from) -> nextExpected
+	buf       []byte          // scratch encode buffer
 
 	node    *core.Node
 	session *reliable.Session
@@ -135,6 +136,7 @@ type DB struct {
 // The DB is both durability seams at once.
 var (
 	_ core.Journal     = (*DB)(nil)
+	_ core.TermJournal = (*DB)(nil)
 	_ reliable.Journal = (*DB)(nil)
 )
 
@@ -272,6 +274,25 @@ func (db *DB) VersionRead(v model.Version) { db.versionRec(recVR, v) }
 // GC journals the truncation of versions below v, durable before the
 // Phase 4 ack.
 func (db *DB) GC(v model.Version) { db.versionRec(recGC, v) }
+
+// CoordTerm journals the node's fenced coordinator term (the
+// core.TermJournal extension), durable before any reply under the new
+// term leaves: a restarted node must never accept a message from a
+// coordinator an earlier incarnation already fenced out.
+func (db *DB) CoordTerm(t uint64) {
+	db.mu.Lock()
+	if t <= db.coordTerm {
+		db.mu.Unlock()
+		return
+	}
+	db.coordTerm = t
+	db.buf = append(db.buf[:0], recCoordTerm)
+	db.buf = binary.AppendUvarint(db.buf, t)
+	_, err := db.log.Append(db.buf)
+	db.mu.Unlock()
+	db.must(err)
+	db.must(db.log.Barrier())
+}
 
 func (db *DB) versionRec(tag byte, v model.Version) {
 	db.mu.Lock()
@@ -428,6 +449,7 @@ func (db *DB) encodeCheckpointLocked() []byte {
 	buf = binary.AppendUvarint(buf, uint64(vr))
 	buf = binary.AppendUvarint(buf, uint64(vu))
 	buf = binary.AppendUvarint(buf, db.nextEnq)
+	buf = binary.AppendUvarint(buf, db.coordTerm)
 
 	// Store, streamed shard by shard (no monolithic copy).
 	st := db.node.Store()

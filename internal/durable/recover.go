@@ -65,13 +65,14 @@ func Open(opts Options) (*DB, *core.NodeRestore, *reliable.SessionState, error) 
 // replayState accumulates recovery: checkpoint state first, then WAL
 // records applied on top in log order.
 type replayState struct {
-	store   *storage.Store
-	cnt     *counters.Table
-	vr, vu  model.Version
-	nextEnq uint64
-	pending map[uint64]pendingCmd
-	send    map[link]*sendMirror
-	recv    map[link]uint64
+	store     *storage.Store
+	cnt       *counters.Table
+	vr, vu    model.Version
+	nextEnq   uint64
+	coordTerm uint64
+	pending   map[uint64]pendingCmd
+	send      map[link]*sendMirror
+	recv      map[link]uint64
 }
 
 func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.SessionState, error) {
@@ -121,15 +122,17 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 	// Adopt the rebuilt journal state as the live state.
 	db.pending = rs.pending
 	db.nextEnq = rs.nextEnq
+	db.coordTerm = rs.coordTerm
 	db.send = rs.send
 	db.recv = rs.recv
 
 	restore := &core.NodeRestore{
-		Store:    rs.store,
-		Counters: rs.cnt,
-		VR:       rs.vr,
-		VU:       rs.vu,
-		NextEnq:  rs.nextEnq,
+		Store:     rs.store,
+		Counters:  rs.cnt,
+		VR:        rs.vr,
+		VU:        rs.vu,
+		NextEnq:   rs.nextEnq,
+		CoordTerm: rs.coordTerm,
 	}
 	ids := make([]uint64, 0, len(rs.pending))
 	for id := range rs.pending {
@@ -167,8 +170,9 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 
 func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	c := &cur{b: blob}
-	if v := c.byte(); c.err == nil && v != ckptVersion {
-		return nil, fmt.Errorf("unsupported blob version %d", v)
+	ver := c.byte()
+	if c.err == nil && ver != ckptVersion && ver != ckptVersionV1 {
+		return nil, fmt.Errorf("unsupported blob version %d", ver)
 	}
 	self := model.NodeID(c.varint())
 	n := c.count()
@@ -186,6 +190,9 @@ func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	rs.vr = model.Version(c.uvarint())
 	rs.vu = model.Version(c.uvarint())
 	rs.nextEnq = c.uvarint()
+	if ver >= ckptVersion {
+		rs.coordTerm = c.uvarint()
+	}
 
 	var items []storage.ExportedItem
 	for s, nShards := 0, c.count(); s < nShards && c.err == nil; s++ {
@@ -366,6 +373,10 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 		if v := model.Version(c.uvarint()); c.err == nil {
 			rs.store.GC(v)
 			rs.cnt.DropBelow(v)
+		}
+	case recCoordTerm:
+		if t := c.uvarint(); c.err == nil && t > rs.coordTerm {
+			rs.coordTerm = t
 		}
 
 	case recSend:

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// This file is the failover side of the chaos harness: it kills the
+// active advancement coordinator at a chosen protocol phase and audits
+// that a standby finishes the interrupted sweep under a higher fencing
+// term. The gate's pass condition is the tentpole invariant — the
+// sweep completes, every node agrees on (vr, vu), convergence holds,
+// and nothing a client was acknowledged for is lost.
+
+// FailoverKill records one chaos kill of the active coordinator.
+type FailoverKill struct {
+	// Phase is the advancement phase (1–4) whose completion triggered
+	// the kill.
+	Phase int
+	// Term is the fencing term the killed coordinator held.
+	Term uint64
+}
+
+// ArmPhaseKill installs a phase hook on c that chaos-kills the active
+// coordinator the first time an advancement sweep completes the given
+// phase (1–4). The kill is delivered on the returned channel; the hook
+// disarms itself after firing, so later sweeps (the successor's
+// re-drive included) run unharmed. Requires Config.Failover.
+func ArmPhaseKill(c *core.Cluster, phase int) <-chan FailoverKill {
+	ch := make(chan FailoverKill, 1)
+	var once sync.Once
+	c.SetPhaseHook(func(p int) {
+		if p != phase {
+			return
+		}
+		once.Do(func() {
+			if term, ok := c.KillActiveCoordinator(); ok {
+				ch <- FailoverKill{Phase: p, Term: term}
+			}
+		})
+	})
+	return ch
+}
+
+// TakeoverReport is the audited outcome of one coordinator failover.
+type TakeoverReport struct {
+	// KilledTerm is the term the chaos kill removed; NewTerm the term
+	// the successor completed the sweep under (always strictly higher).
+	KilledTerm, NewTerm uint64
+	// VR and VU are the cluster-wide versions after the resumed sweep.
+	VR, VU model.Version
+	// Takeovers is the process-wide takeover count after the gate.
+	Takeovers int64
+	// Elapsed is how long detection + takeover + sweep completion took.
+	Elapsed time.Duration
+}
+
+// AwaitTakeover polls c until a standby holds the coordinator role
+// under a term above killedTerm and every locally hosted node reports
+// the fully advanced pair (wantVR, wantVR+1), then returns the audited
+// report. It fails if the deadline passes first.
+func AwaitTakeover(c *core.Cluster, killedTerm uint64, wantVR model.Version, timeout time.Duration) (TakeoverReport, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for {
+		active, term := c.CoordinatorStatus()
+		settled := active && term > killedTerm
+		var vr, vu model.Version
+		for i := 0; settled && i < c.NumNodes(); i++ {
+			nd := c.Node(i)
+			if nd == nil {
+				continue
+			}
+			vr, vu = nd.Versions()
+			if vr != wantVR || vu != wantVR+1 {
+				settled = false
+			}
+		}
+		if settled {
+			return TakeoverReport{
+				KilledTerm: killedTerm,
+				NewTerm:    term,
+				VR:         vr,
+				VU:         vu,
+				Takeovers:  c.ObsSnapshot().Counters["takeovers"],
+				Elapsed:    time.Since(start),
+			}, nil
+		}
+		if time.Now().After(deadline) {
+			return TakeoverReport{}, fmt.Errorf(
+				"harness: takeover incomplete after %v: active=%v term=%d (killed %d), want every node at (vr=%d, vu=%d)",
+				timeout, active, term, killedTerm, wantVR, wantVR+1)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// GateErrors runs the chaos gate's post-takeover checks: cluster-wide
+// convergence (counters balanced, versions agreed) and recorded
+// invariant violations. Convergence is polled until the deadline —
+// right after a takeover the successor may still be finishing the
+// resumed sweep, and near-simultaneous elections can leave a fenced
+// coordinator routed for a few ticks before it demotes. Violations are
+// never transient. Empty means the gate passed.
+func GateErrors(c *core.Cluster, settle time.Duration) []string {
+	deadline := time.Now().Add(settle)
+	var errs []string
+	for {
+		errs = c.ConvergenceErrors()
+		if len(errs) == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return append(errs, c.Violations()...)
+}

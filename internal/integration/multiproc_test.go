@@ -51,6 +51,9 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 			"-metrics", ctrlAddrs[i],
 			"-trace-sample", "1",
 			"-log-format", "json",
+			// Failover is not this test's subject: a huge lease keeps the
+			// killconns gap from electing a second coordinator.
+			"-lease-timeout", "5m",
 		)
 		cmd.Stdout = &logs[i]
 		cmd.Stderr = &logs[i]

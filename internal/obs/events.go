@@ -16,6 +16,7 @@ const (
 	EvAdvancePhase  = "advance_phase"  // one advancement phase completed
 	EvGC            = "gc"             // garbage collection ran at a node
 	EvNCAbort       = "nc_abort"       // 2PC decided abort for an NC txn
+	EvTakeover      = "takeover"       // a standby claimed the coordinator role
 )
 
 // Event is one entry of the structured event log.

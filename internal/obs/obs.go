@@ -17,6 +17,8 @@ const (
 	CtrDualWrites
 	CtrCoordResends
 	CtrCheckpoints
+	CtrTakeovers
+	CtrStaleTermRejects
 	numCounters
 )
 
@@ -31,6 +33,8 @@ var counterNames = [numCounters]string{
 	"dual_writes",
 	"coord_resends",
 	"checkpoints",
+	"takeovers",
+	"stale_term_rejects",
 }
 
 // Gauge names set by the protocol layers.
@@ -55,6 +59,12 @@ const (
 	// the total bytes appended to the log since open.
 	GaugeWALSegment = "wal_segment"
 	GaugeWALBytes   = "wal_bytes_appended"
+	// Failover accounting: the highest coordinator fencing term this
+	// process has observed (0 until a fenced coordinator speaks), and
+	// whether a locally hosted manager currently holds the active
+	// coordinator role (1) or all local managers are standbys (0).
+	GaugeCoordTerm   = "coord_term"
+	GaugeCoordActive = "coord_active"
 )
 
 // CounterLag is one sampled observation of the quiescence quantity for

@@ -93,6 +93,8 @@ const (
 	idReliableAck      = 16
 	idReliableNoop     = 17
 	idSpanReport       = 18
+	idCoordState       = 19
+	idStaleTerm        = 20
 )
 
 // Op kind bytes inside SubtxnSpec updates.
@@ -161,6 +163,10 @@ func TypeName(id uint64) string {
 		return "reliable_noop"
 	case idSpanReport:
 		return "span_report"
+	case idCoordState:
+		return "coord_state"
+	case idStaleTerm:
+		return "stale_term"
 	}
 	return ""
 }
@@ -188,6 +194,8 @@ func Prototypes() map[uint64]any {
 		idReliableAck:      reliable.AckMsg{},
 		idReliableNoop:     reliable.NoopMsg{},
 		idSpanReport:       core.SpanReportMsg{},
+		idCoordState:       core.CoordStateMsg{},
+		idStaleTerm:        core.StaleTermMsg{},
 	}
 }
 
@@ -252,21 +260,24 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		return buf, nil
 	case core.StartAdvancementMsg:
 		buf = binary.AppendUvarint(buf, idStartAdvancement)
-		return binary.AppendUvarint(buf, uint64(p.NewVU)), nil
+		buf = binary.AppendUvarint(buf, uint64(p.NewVU))
+		return binary.AppendUvarint(buf, p.Term), nil
 	case core.AckAdvancementMsg:
 		buf = binary.AppendUvarint(buf, idAckAdvancement)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVU))
 		return binary.AppendVarint(buf, int64(p.Node)), nil
 	case core.ReadVersionMsg:
 		buf = binary.AppendUvarint(buf, idReadVersion)
-		return binary.AppendUvarint(buf, uint64(p.NewVR)), nil
+		buf = binary.AppendUvarint(buf, uint64(p.NewVR))
+		return binary.AppendUvarint(buf, p.Term), nil
 	case core.AckReadVersionMsg:
 		buf = binary.AppendUvarint(buf, idAckReadVersion)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVR))
 		return binary.AppendVarint(buf, int64(p.Node)), nil
 	case core.GCMsg:
 		buf = binary.AppendUvarint(buf, idGC)
-		return binary.AppendUvarint(buf, uint64(p.Keep)), nil
+		buf = binary.AppendUvarint(buf, uint64(p.Keep))
+		return binary.AppendUvarint(buf, p.Term), nil
 	case core.AckGCMsg:
 		buf = binary.AppendUvarint(buf, idAckGC)
 		buf = binary.AppendUvarint(buf, uint64(p.Keep))
@@ -274,7 +285,8 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 	case core.CounterReqMsg:
 		buf = binary.AppendUvarint(buf, idCounterReq)
 		buf = binary.AppendUvarint(buf, uint64(p.Version))
-		return binary.AppendVarint(buf, int64(p.Round)), nil
+		buf = binary.AppendVarint(buf, int64(p.Round))
+		return binary.AppendUvarint(buf, p.Term), nil
 	case core.CounterReplyMsg:
 		buf = binary.AppendUvarint(buf, idCounterReply)
 		buf = binary.AppendUvarint(buf, uint64(p.Version))
@@ -302,7 +314,8 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		return appendBool(buf, p.Commit), nil
 	case core.VersionProbeMsg:
 		buf = binary.AppendUvarint(buf, idVersionProbe)
-		return binary.AppendVarint(buf, int64(p.Round)), nil
+		buf = binary.AppendVarint(buf, int64(p.Round))
+		return binary.AppendUvarint(buf, p.Term), nil
 	case core.VersionReplyMsg:
 		buf = binary.AppendUvarint(buf, idVersionReply)
 		buf = binary.AppendVarint(buf, int64(p.Round))
@@ -344,6 +357,17 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 			}
 		}
 		return buf, nil
+	case core.CoordStateMsg:
+		buf = binary.AppendUvarint(buf, idCoordState)
+		buf = binary.AppendUvarint(buf, p.Term)
+		buf = binary.AppendVarint(buf, int64(p.Coord))
+		buf = binary.AppendUvarint(buf, uint64(p.VR))
+		buf = binary.AppendUvarint(buf, uint64(p.VU))
+		return binary.AppendVarint(buf, int64(p.Phase)), nil
+	case core.StaleTermMsg:
+		buf = binary.AppendUvarint(buf, idStaleTerm)
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Node)), nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -582,19 +606,19 @@ func (d *decoder) payload(depth int) any {
 		}
 		return m
 	case idStartAdvancement:
-		return core.StartAdvancementMsg{NewVU: model.Version(d.uvarint())}
+		return core.StartAdvancementMsg{NewVU: model.Version(d.uvarint()), Term: d.uvarint()}
 	case idAckAdvancement:
 		return core.AckAdvancementMsg{NewVU: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
 	case idReadVersion:
-		return core.ReadVersionMsg{NewVR: model.Version(d.uvarint())}
+		return core.ReadVersionMsg{NewVR: model.Version(d.uvarint()), Term: d.uvarint()}
 	case idAckReadVersion:
 		return core.AckReadVersionMsg{NewVR: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
 	case idGC:
-		return core.GCMsg{Keep: model.Version(d.uvarint())}
+		return core.GCMsg{Keep: model.Version(d.uvarint()), Term: d.uvarint()}
 	case idAckGC:
 		return core.AckGCMsg{Keep: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
 	case idCounterReq:
-		return core.CounterReqMsg{Version: model.Version(d.uvarint()), Round: int(d.varint())}
+		return core.CounterReqMsg{Version: model.Version(d.uvarint()), Round: int(d.varint()), Term: d.uvarint()}
 	case idCounterReply:
 		m := core.CounterReplyMsg{
 			Version: model.Version(d.uvarint()),
@@ -625,7 +649,7 @@ func (d *decoder) payload(depth int) any {
 	case idNCDecision:
 		return core.NCDecisionMsg{Txn: model.TxnID(d.uvarint()), Commit: d.bool()}
 	case idVersionProbe:
-		return core.VersionProbeMsg{Round: int(d.varint())}
+		return core.VersionProbeMsg{Round: int(d.varint()), Term: d.uvarint()}
 	case idVersionReply:
 		return core.VersionReplyMsg{
 			Round:   int(d.varint()),
@@ -672,6 +696,16 @@ func (d *decoder) payload(depth int) any {
 			}
 		}
 		return m
+	case idCoordState:
+		return core.CoordStateMsg{
+			Term:  d.uvarint(),
+			Coord: model.NodeID(d.varint()),
+			VR:    model.Version(d.uvarint()),
+			VU:    model.Version(d.uvarint()),
+			Phase: int(d.varint()),
+		}
+	case idStaleTerm:
+		return core.StaleTermMsg{Term: d.uvarint(), Node: model.NodeID(d.varint())}
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
 	return nil

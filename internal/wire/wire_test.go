@@ -57,22 +57,25 @@ func sampleMessages() []transport.Message {
 			Spec: &model.SubtxnSpec{Node: 0, Reads: []string{"acct:9"}},
 		}},
 		{From: 0, To: 1, Payload: core.SubtxnMsg{Txn: 1}}, // nil spec, zero SentAt
-		{From: 3, To: 0, Payload: core.StartAdvancementMsg{NewVU: 4}},
+		{From: 3, To: 0, Payload: core.StartAdvancementMsg{NewVU: 4, Term: 7}},
+		{From: 3, To: 0, Payload: core.StartAdvancementMsg{NewVU: 4}}, // unfenced (term 0)
 		{From: 0, To: 3, Payload: core.AckAdvancementMsg{NewVU: 4, Node: 0}},
-		{From: 3, To: 1, Payload: core.ReadVersionMsg{NewVR: 3}},
+		{From: 3, To: 1, Payload: core.ReadVersionMsg{NewVR: 3, Term: 7}},
 		{From: 1, To: 3, Payload: core.AckReadVersionMsg{NewVR: 3, Node: 1}},
-		{From: 3, To: 2, Payload: core.GCMsg{Keep: 3}},
+		{From: 3, To: 2, Payload: core.GCMsg{Keep: 3, Term: 7}},
 		{From: 2, To: 3, Payload: core.AckGCMsg{Keep: 3, Node: 2}},
-		{From: 3, To: 0, Payload: core.CounterReqMsg{Version: 2, Round: 17}},
+		{From: 3, To: 0, Payload: core.CounterReqMsg{Version: 2, Round: 17, Term: 7}},
 		{From: 0, To: 3, Payload: core.CounterReplyMsg{
 			Version: 2, Round: 17, Node: 0,
 			R: []int64{5, 0, 12, 3}, C: []int64{4, 1, 0, -2},
 		}},
 		{From: 1, To: 0, Payload: core.NCVoteMsg{Txn: model.MakeTxnID(0, 5), Node: 1, OK: true, Children: 2, Root: false}},
 		{From: 0, To: 1, Payload: core.NCDecisionMsg{Txn: model.MakeTxnID(0, 5), Commit: true}},
-		{From: 3, To: 2, Payload: core.VersionProbeMsg{Round: 2}},
+		{From: 3, To: 2, Payload: core.VersionProbeMsg{Round: 2, Term: 7}},
 		{From: 2, To: 3, Payload: core.VersionReplyMsg{Round: 2, Node: 2, VR: 1, VU: 2, BelowVR: true}},
 		{From: 3, To: 1, Payload: core.UnlockMsg{Txn: model.MakeTxnID(1, 8)}},
+		{From: 4, To: 1, Payload: core.CoordStateMsg{Term: 9, Coord: 4, VR: 3, VU: 4, Phase: 2}},
+		{From: 1, To: 4, Payload: core.StaleTermMsg{Term: 10, Node: 1}},
 		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 99, Payload: core.GCMsg{Keep: 5}}},
 		{From: 2, To: 0, Payload: reliable.AckMsg{CumAck: 98}},
 		{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 100, Payload: reliable.NoopMsg{}}},
