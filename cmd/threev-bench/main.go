@@ -45,6 +45,27 @@
 // the failover machinery on the hot path. The on/off delta is the
 // "Failover cost" section of EXPERIMENTS.md (BENCH_3.json).
 //
+// -batch N turns on the batched hot path for the calibration run and
+// groups N client submissions per launch: the mem transport coalesces
+// each link's sends into one flush envelope (tcp mode writes batched
+// wire frames instead), node workers drain admission chunks under one
+// WAL barrier, the coordinator's quiescence sweeps use one batched
+// counter request/reply per node, and the harness submits N-txn groups
+// through Cluster.SubmitBatch. -per-batch-latency charges the mem
+// transport's simulated latency + jitter once per flushed envelope
+// instead of once per message — the jitter ablation of the
+// EXPERIMENTS.md batching section. -assert-batched fails the run
+// unless the observed mean batch size exceeds 1, proving the batched
+// path actually carried the load (the CI smoke uses it).
+//
+// -gogc N sets the garbage collector's target percentage for the
+// process (runtime/debug.SetGCPercent). On a single-core host the
+// default target of 100 triggers a concurrent mark for every doubling
+// of the live store, and at batched throughputs roughly half of every
+// run executes inside a mark phase — the dominant update-p99
+// contributor. Snapshots taken with -gogc record the value in the
+// JSON so baselines stay honest about their GC configuration.
+//
 // -pprof/-cpuprofile/-memprofile enable the standard Go profilers
 // (package profiling) for hunting hot-path regressions.
 package main
@@ -56,6 +77,7 @@ import (
 	"math"
 	"net"
 	"os"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -95,9 +117,19 @@ type expResult struct {
 // tracked BENCH_<n>.json baseline. Latencies are milliseconds. The
 // stage fields appear only when the run traced (-trace-sample > 0).
 type benchSnapshot struct {
-	Txns          int     `json:"txns"`
-	Completed     int     `json:"completed"`
-	Failover      bool    `json:"failover,omitempty"`
+	Txns      int  `json:"txns"`
+	Completed int  `json:"completed"`
+	Failover  bool `json:"failover,omitempty"`
+	// Batch is the group-submit size of a batched-mode run, and
+	// MeanBatchSize the observed mean messages per net flush envelope.
+	Batch         int     `json:"batch,omitempty"`
+	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
+	// GOGC records a non-default GC target percentage the run was taken
+	// with (the -gogc flag); absent means the runtime default. On a
+	// single-core host the default target keeps the batched hot path
+	// inside a concurrent mark phase for ~half of every run, which is
+	// the dominant p99 contributor (see EXPERIMENTS.md, Batching).
+	GOGC          int     `json:"gogc,omitempty"`
 	ThroughputTPS float64 `json:"throughput_tps"`
 	ReadP50Ms     float64 `json:"read_p50_ms"`
 	ReadP99Ms     float64 `json:"read_p99_ms"`
@@ -120,6 +152,7 @@ type calibrationRun struct {
 	DupRate       float64         `json:"dup_rate,omitempty"`
 	Reliable      bool            `json:"reliable,omitempty"`
 	Failover      bool            `json:"failover,omitempty"`
+	Batch         int             `json:"batch,omitempty"`
 	WALMode       string          `json:"wal_mode,omitempty"`
 	WALRecords    uint64          `json:"wal_records,omitempty"`
 	WALFsyncs     int64           `json:"wal_fsyncs,omitempty"`
@@ -138,6 +171,10 @@ func main() {
 	failover := flag.Bool("failover", false, "calibration run: enable coordinator failover (per-node standbys, lease heartbeats, term fencing) to measure its steady-state overhead")
 	walMode := flag.String("wal", "", "durability calibration: none | never | interval | always (three durable single-node clusters over loopback TCP)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
+	batch := flag.Int("batch", 0, "calibration run: enable the batched hot path and group N submissions per launch (0 = off)")
+	perBatchLatency := flag.Bool("per-batch-latency", false, "with -batch: charge the mem transport's simulated latency + jitter once per flush envelope instead of once per message (jitter ablation)")
+	assertBatched := flag.Bool("assert-batched", false, "with -batch: fail unless the run's observed mean net batch size exceeds 1")
+	gogc := flag.Int("gogc", 0, "set the GC target percentage (runtime/debug.SetGCPercent) for the whole process; 0 leaves the runtime default / GOGC env; recorded in -out snapshots")
 	traceSample := flag.Int("trace-sample", 0, "calibration run: head-sample 1 in N transactions for causal tracing (prints the stage-attribution table; 0 = off)")
 	traceOut := flag.String("trace-out", "", "with -trace-sample: dump the calibration run's assembled traces as JSON to this file")
 	stageCheck := flag.Bool("stage-check", false, "with -trace-sample: fail unless the stage means sum to within 5%% of the end-to-end mean")
@@ -164,6 +201,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-failover applies to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
 	}
+	if *batch > 0 && *walMode != "" {
+		fmt.Fprintln(os.Stderr, "-batch applies to the mem/tcp calibration run; drop -wal")
+		os.Exit(1)
+	}
+	if *perBatchLatency && (*batch <= 0 || *transportKind != "mem") {
+		fmt.Fprintln(os.Stderr, "-per-batch-latency is the in-memory jitter ablation; it requires -batch > 0 and -transport mem")
+		os.Exit(1)
+	}
+	if *assertBatched && *batch <= 0 {
+		fmt.Fprintln(os.Stderr, "-assert-batched requires -batch > 0")
+		os.Exit(1)
+	}
 	if (*traceOut != "" || *stageCheck) && *traceSample <= 0 {
 		fmt.Fprintln(os.Stderr, "-trace-out/-stage-check require -trace-sample > 0")
 		os.Exit(1)
@@ -171,6 +220,9 @@ func main() {
 	if *traceSample > 0 && *walMode != "" {
 		fmt.Fprintln(os.Stderr, "-trace-sample applies to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
+	}
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
 	}
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -265,9 +317,20 @@ func main() {
 		}
 	} else if *jsonOut != "" || *out != "" || *traceSample > 0 {
 		var calErr error
-		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover)
+		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover, *batch, *perBatchLatency)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
+			failures++
+		}
+	}
+
+	if cal != nil && *assertBatched {
+		mean := cal.Obs.Gauges[obs.GaugeNetBatchMeanSize]
+		if mean > 1 {
+			fmt.Printf("assert-batched OK: mean net batch size %.2f over %d flushes\n",
+				mean, int64(cal.Obs.Gauges[obs.GaugeNetFlushes]))
+		} else {
+			fmt.Fprintf(os.Stderr, "assert-batched FAILED: mean net batch size %.2f (want > 1) — the batched path did not carry the load\n", mean)
 			failures++
 		}
 	}
@@ -325,6 +388,9 @@ func main() {
 			Txns:          cal.Txns,
 			Completed:     cal.Completed,
 			Failover:      cal.Failover,
+			Batch:         cal.Batch,
+			MeanBatchSize: roundMs(cal.Obs.Gauges[obs.GaugeNetBatchMeanSize]),
+			GOGC:          *gogc,
 			ThroughputTPS: roundMs(cal.ThroughputTPS),
 			ReadP50Ms:     roundMs(float64(cal.Obs.TxnRead.P50()) / 1e6),
 			ReadP99Ms:     roundMs(float64(cal.Obs.TxnRead.P99()) / 1e6),
@@ -444,8 +510,13 @@ func stageSumsCheckOut(s obs.Snapshot) bool {
 // failoverOn runs the identical load with Config.Failover: per-node
 // standby managers, lease heartbeats, and term fencing on every
 // message, with the coordinator kept healthy — the failover-cost
-// measurement.
-func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool) (*calibrationRun, []obs.Trace, error) {
+// measurement. batch > 0 turns on the batched hot path (link
+// coalescing or batched wire frames, chunked admission, batched
+// counter sweeps) and submits batch-sized groups through
+// Cluster.SubmitBatch; perBatchLat additionally charges the mem
+// transport's simulated latency + jitter once per flush envelope —
+// the jitter ablation.
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool, batch int, perBatchLat bool) (*calibrationRun, []obs.Trace, error) {
 	const nodes = 4
 	ccfg := core.Config{
 		Nodes: nodes,
@@ -457,6 +528,16 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		Reliable: reliableNet,
 		Failover: failoverOn,
 		Obs:      obs.Options{TraceSampleN: traceSample},
+	}
+	if batch > 0 {
+		const window = 100 * time.Microsecond
+		ccfg.NetConfig.BatchWindow = window
+		ccfg.NetConfig.PerBatchLatency = perBatchLat
+		ccfg.ExecChunk = 64
+		ccfg.BatchedCounters = true
+		if reliableNet {
+			ccfg.ReliableConfig.FlushInterval = window
+		}
 	}
 	var tn *tcpnet.Net
 	if transportKind == "tcp" {
@@ -475,7 +556,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		for i := range local {
 			local[i] = model.NodeID(i)
 		}
-		tn, err = tcpnet.New(tcpnet.Config{Local: local, Listener: ln, ForceTCP: true})
+		tn, err = tcpnet.New(tcpnet.Config{Local: local, Listener: ln, ForceTCP: true, BatchFrames: batch > 0})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -506,6 +587,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 	res := harness.Run(baseline.ThreeV{Cluster: cluster}, harness.RunConfig{
 		Txns:            txns,
 		Concurrency:     8,
+		Batch:           batch,
 		AdvanceInterval: 5 * time.Millisecond,
 		FinalAdvance:    true,
 		Gen:             gen,
@@ -524,6 +606,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		DupRate:       dup,
 		Reliable:      reliableNet,
 		Failover:      failoverOn,
+		Batch:         batch,
 		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
 	}

@@ -26,6 +26,14 @@
 // hosts its own coordinator endpoint (id = nodes + id) at the same
 // address as its node, so the map needs no extra entries.
 //
+// -batch N turns on the batched hot path: the tcpnet writer coalesces
+// outbound frames into batched envelopes, the reliable session layer
+// piggybacks cumulative acks on them, node workers drain admission in
+// chunks under one WAL barrier, coordinator sweeps use batched counter
+// messages, and /workload submits its transactions in groups of N
+// through Cluster.SubmitBatch. /state reports the observed
+// mean_batch_size so a driver can assert coalescing actually happened.
+//
 // -trace-sample enables causal tracing: 1 in N transactions carries a
 // trace context across the wire and assembles a full span tree (submit →
 // per-subtransaction hops → fsync → completion) on its root process,
@@ -104,6 +112,7 @@ func parsePeers(s string, nodes int) (map[int]string, error) {
 type nodeServer struct {
 	id      int
 	nodes   int
+	batch   int // group size for /workload submissions (0/1 = one at a time)
 	cluster *core.Cluster
 	tnet    *tcpnet.Net
 	db      *durable.DB // nil without -data-dir
@@ -129,6 +138,10 @@ type stateReport struct {
 	Durable     bool     `json:"durable"`
 	WALRecords  uint64   `json:"wal_records,omitempty"`
 	WALFsyncs   int64    `json:"wal_fsyncs,omitempty"`
+	// MeanBatchSize is the observed mean messages per batched wire
+	// frame; present only when the batched hot path is on (-batch) and
+	// traffic has flowed.
+	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
 }
 
 func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
@@ -161,6 +174,9 @@ func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 		rep.WALRecords = ws.Records
 		rep.WALFsyncs = ws.Fsyncs
 	}
+	if s.batch > 0 {
+		rep.MeanBatchSize = s.cluster.Metrics().Obs.Gauges[obs.GaugeNetBatchMeanSize]
+	}
 	writeJSON(w, rep)
 }
 
@@ -177,8 +193,8 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		}
 		txns = n
 	}
-	handles := make([]*core.Handle, 0, txns)
-	for i := 0; i < txns; i++ {
+	specs := make([]*model.TxnSpec, txns)
+	for i := range specs {
 		root := &model.SubtxnSpec{
 			Node:    model.NodeID(s.id),
 			Updates: []model.KeyOp{{Key: accountKey(s.id), Op: model.AddOp{Field: "bal", Delta: 1}}},
@@ -191,14 +207,35 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 				})
 			}
 		}
-		h, err := s.cluster.Submit(&model.TxnSpec{Label: fmt.Sprintf("demo-%d", i), Root: root})
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+		specs[i] = &model.TxnSpec{Label: fmt.Sprintf("demo-%d", i), Root: root}
+	}
+	handles := make([]*core.Handle, 0, txns)
+	group := s.batch
+	if group < 1 {
+		group = 1
+	}
+	for i := 0; i < txns; i += group {
+		end := i + group
+		if end > txns {
+			end = txns
 		}
-		handles = append(handles, h)
+		if group > 1 {
+			hs, err := s.cluster.SubmitBatch(specs[i:end])
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			handles = append(handles, hs...)
+		} else {
+			h, err := s.cluster.Submit(specs[i])
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			handles = append(handles, h)
+		}
 		// Crash-harness hook: THREEV_CRASHPOINT=workload-submit:N kills
-		// this process (exit 137) right after the Nth submission.
+		// this process (exit 137) right after the Nth submission round.
 		harness.MaybeCrash("workload-submit")
 	}
 	for _, h := range handles {
@@ -278,6 +315,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "enable crash durability: write-ahead log + checkpoints in this directory")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Second, "background checkpoint period with -data-dir")
+	batch := flag.Int("batch", 0, "enable the batched hot path (batched wire frames, chunked admission, batched counter sweeps) and group /workload submissions N at a time (0 = off)")
 	traceSample := flag.Int("trace-sample", 64, "head-sample 1 in N transactions for causal tracing (1 = every txn, 0 = tracing off)")
 	traceSlow := flag.Duration("trace-slow", 0, "also trace and log any transaction slower than this, sampled or not (0 = off)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
@@ -289,7 +327,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *traceSample, *traceSlow, logger); err != nil {
+	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *batch, *traceSample, *traceSlow, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -329,7 +367,7 @@ func slowTxnAttrs(sp obs.Span) []any {
 	return attrs
 }
 
-func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
+func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, batch, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
 	}
@@ -377,7 +415,7 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 			tpeers[model.NodeID(nodes+j)] = addr
 		}
 	}
-	tnet, err := tcpnet.New(tcpnet.Config{Local: local, Peers: tpeers, Listener: ln})
+	tnet, err := tcpnet.New(tcpnet.Config{Local: local, Peers: tpeers, Listener: ln, BatchFrames: batch > 0})
 	if err != nil {
 		return err
 	}
@@ -435,6 +473,11 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 			TraceSampleN: traceSample,
 			TraceSlow:    traceSlow,
 		},
+	}
+	if batch > 0 {
+		cfg.ExecChunk = 64
+		cfg.BatchedCounters = true
+		cfg.ReliableConfig.FlushInterval = 100 * time.Microsecond
 	}
 	if db != nil {
 		cfg.Journal = db
@@ -504,7 +547,7 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 	sort.Strings(peerList)
 	logger.Info("peers", "map", strings.Join(peerList, " "))
 
-	srv := &nodeServer{id: id, nodes: nodes, cluster: cluster, tnet: tnet, db: db, quit: make(chan struct{})}
+	srv := &nodeServer{id: id, nodes: nodes, batch: batch, cluster: cluster, tnet: tnet, db: db, quit: make(chan struct{})}
 	if metricsAddr != "" {
 		mln, lerr := net.Listen("tcp", metricsAddr)
 		if lerr != nil {

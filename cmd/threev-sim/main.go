@@ -8,7 +8,7 @@
 //	threev-sim [-system 3v|nocoord|2pc|manual|syncadv]
 //	           [-nodes 4] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
 //	           [-latency 0] [-jitter 500us] [-advance 5ms] [-conc 8]
-//	           [-seed 1] [-metrics :8080] [-hold 30s]
+//	           [-seed 1] [-batch 8] [-metrics :8080] [-hold 30s]
 //	           [-pprof :6060] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -metrics ADDR (3v only) the process serves the observability
@@ -67,6 +67,7 @@ func main() {
 	partFor := flag.Duration("partition-for", 300*time.Millisecond, "with -chaos: heal the partition after this long (0 = no partition)")
 	reliable := flag.Bool("reliable", true, "with -chaos: interpose the reliable-delivery session layer")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N transactions for causal tracing, served at /traces.json (3v only; 0 = off)")
+	batch := flag.Int("batch", 0, "3v only: enable the batched hot path (link coalescing, chunked admission, batched counter sweeps) and group N submissions per launch (0 = off)")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -92,6 +93,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-chaos requires -system 3v")
 		os.Exit(1)
 	}
+	if *batch > 0 && *system != "3v" {
+		fmt.Fprintln(os.Stderr, "-batch requires -system 3v")
+		os.Exit(1)
+	}
+	if *batch > 0 && *ncFrac > 0 {
+		fmt.Fprintln(os.Stderr, "-batch cannot be combined with -nc (chunked admission bypasses the NC3V lock path)")
+		os.Exit(1)
+	}
 	switch *system {
 	case "3v":
 		ccfg := core.Config{
@@ -105,6 +114,15 @@ func main() {
 			ccfg.Reliable = *reliable
 			ccfg.ResendInterval = 5 * time.Millisecond
 			ccfg.AckTimeout = 30 * time.Second
+		}
+		if *batch > 0 {
+			const window = 50 * time.Microsecond
+			ccfg.NetConfig.BatchWindow = window
+			ccfg.ExecChunk = 64
+			ccfg.BatchedCounters = true
+			if ccfg.Reliable {
+				ccfg.ReliableConfig.FlushInterval = window
+			}
 		}
 		cluster, err = core.NewCluster(ccfg)
 		if err == nil {
@@ -208,6 +226,7 @@ func main() {
 	res := harness.Run(sys, harness.RunConfig{
 		Txns:            *txns,
 		Concurrency:     *conc,
+		Batch:           *batch,
 		AdvanceInterval: *advance,
 		FinalAdvance:    !*chaos, // chaos: heal first, then advance below
 		Gen:             gen,
@@ -253,6 +272,9 @@ func main() {
 	tbl.Add("latency p50/p99/max (ms)", fmt.Sprintf("%s / %s / %s",
 		harness.Ms(res.LatAll.Quantile(0.5)), harness.Ms(res.LatAll.Quantile(0.99)), harness.Ms(res.LatAll.Max())))
 	tbl.Add("advancements", fmt.Sprint(res.Advances))
+	if *batch > 0 && cluster != nil {
+		tbl.Add("mean net batch size", harness.F2(cluster.Metrics().Obs.Gauges[obs.GaugeNetBatchMeanSize]))
+	}
 	tbl.Add("read staleness mean/max (updates)", fmt.Sprintf("%s / %d", harness.F2(res.StalenessMean), res.StalenessMax))
 	tbl.Add("anomalies (atomic visibility)", fmt.Sprint(res.Anomalies))
 	fmt.Println(tbl.String())

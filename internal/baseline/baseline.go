@@ -44,6 +44,15 @@ type System interface {
 	Close()
 }
 
+// BatchSystem is an optional System extension: systems that can admit
+// a group of transactions in one batched submission. The harness uses
+// it for group submit; systems without it are driven one at a time.
+type BatchSystem interface {
+	// SubmitBatch launches every spec, returning one handle per spec,
+	// aligned. Either all specs are admitted or none (validation).
+	SubmitBatch(specs []*model.TxnSpec) ([]Handle, error)
+}
+
 // ThreeV adapts a core.Cluster to the System interface.
 type ThreeV struct {
 	Cluster *core.Cluster
@@ -57,6 +66,20 @@ func (t ThreeV) Submit(spec *model.TxnSpec) (Handle, error) {
 	return t.Cluster.Submit(spec)
 }
 
+// SubmitBatch implements BatchSystem: members bound for the same root
+// node travel in one batched loopback envelope.
+func (t ThreeV) SubmitBatch(specs []*model.TxnSpec) ([]Handle, error) {
+	hs, err := t.Cluster.SubmitBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Handle, len(hs))
+	for i, h := range hs {
+		out[i] = h
+	}
+	return out, nil
+}
+
 // Advance implements System.
 func (t ThreeV) Advance() { t.Cluster.Advance() }
 
@@ -64,4 +87,5 @@ func (t ThreeV) Advance() { t.Cluster.Advance() }
 func (t ThreeV) Close() { t.Cluster.Close() }
 
 var _ System = ThreeV{}
+var _ BatchSystem = ThreeV{}
 var _ Handle = (*core.Handle)(nil)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// TestChunkDrainEquivalence drives one identical pseudo-random stream
+// of commuting multi-node updates through two clusters — a reference
+// with the one-at-a-time worker path and a fully batched one (link
+// coalescing, ExecChunk admission, batched counter sweeps, group
+// submit) — and demands bit-identical read-visible state afterwards.
+// Commuting ops make the final state independent of execution
+// grouping, so any divergence is a batching bug: a chunk boundary
+// splitting a dual write, a counter increment folded twice, or a
+// subtransaction dropped between mailbox slices.
+func TestChunkDrainEquivalence(t *testing.T) {
+	const (
+		nodes = 3
+		txns  = 240
+		group = 8
+	)
+	keys := map[model.NodeID][]string{0: {"A", "B"}, 1: {"D", "E"}, 2: {"F"}}
+
+	// stream generates the same pseudo-random transactions for both
+	// clusters: every txn updates 1..3 distinct keys, each on its home
+	// node, with the first key's node hosting the root.
+	stream := func() []*model.TxnSpec {
+		rng := rand.New(rand.NewSource(42))
+		specs := make([]*model.TxnSpec, txns)
+		for i := range specs {
+			n := 1 + rng.Intn(3)
+			picked := map[string]bool{}
+			var root *model.SubtxnSpec
+			for len(picked) < n {
+				node := model.NodeID(rng.Intn(nodes))
+				key := keys[node][rng.Intn(len(keys[node]))]
+				if picked[key] {
+					continue
+				}
+				picked[key] = true
+				ko := []model.KeyOp{
+					{Key: key, Op: model.AddOp{Field: "bal", Delta: int64(rng.Intn(100) - 50)}},
+					{Key: key, Op: model.AppendOp{T: model.Tuple{
+						Txn: model.MakeTxnID(0, uint64(i)), Part: len(picked), Total: n, Attr: "bal",
+					}}},
+				}
+				if root == nil {
+					root = &model.SubtxnSpec{Node: node, Updates: ko}
+				} else {
+					root.Children = append(root.Children, &model.SubtxnSpec{Node: node, Updates: ko})
+				}
+			}
+			specs[i] = &model.TxnSpec{Label: fmt.Sprintf("equiv-%d", i), Root: root}
+		}
+		return specs
+	}
+
+	run := func(t *testing.T, cfg Config, batched bool) map[string]*model.Record {
+		c := newTestCluster(t, cfg)
+		specs := stream()
+		if batched {
+			for i := 0; i < len(specs); i += group {
+				end := i + group
+				if end > len(specs) {
+					end = len(specs)
+				}
+				hs, err := c.SubmitBatch(specs[i:end])
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, h := range hs {
+					waitHandle(t, h)
+				}
+			}
+		} else {
+			for _, spec := range specs {
+				h, err := c.Submit(spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitHandle(t, h)
+			}
+		}
+		// Two advances publish everything; reads then see the full load.
+		c.Advance()
+		c.Advance()
+		out := map[string]*model.Record{}
+		for node, ks := range keys {
+			for _, k := range ks {
+				h, err := c.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{Node: node, Reads: []string{k}}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitHandle(t, h)
+				out[k] = h.Reads()[0].Record
+			}
+		}
+		if vio := c.Violations(); vio != nil {
+			t.Fatalf("violations: %v", vio)
+		}
+		return out
+	}
+
+	ref := run(t, Config{Nodes: nodes}, false)
+	chunked := run(t, Config{
+		Nodes: nodes,
+		NetConfig: transport.Config{
+			BatchWindow: 50 * time.Microsecond,
+			Seed:        7,
+			Jitter:      20 * time.Microsecond,
+		},
+		ExecChunk:       64,
+		BatchedCounters: true,
+	}, true)
+
+	for k, want := range ref {
+		got := chunked[k]
+		if got == nil {
+			t.Fatalf("key %s: missing from batched run", k)
+		}
+		if !want.Equal(got) {
+			t.Errorf("key %s diverged:\n  reference %v\n  batched   %v", k, want, got)
+		}
+	}
+}

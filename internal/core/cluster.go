@@ -97,6 +97,20 @@ type Config struct {
 	// FailoverConfig tunes the lease when Failover is set; the zero
 	// value selects defaults.
 	FailoverConfig FailoverConfig
+	// ExecChunk batches the receive side of the hot path: each node
+	// worker wakeup drains up to ExecChunk queued subtransactions and
+	// executes them as one chunk — one checkpoint hold, and (with a
+	// chunk-capable journal) a single WAL barrier covering the whole
+	// chunk, with every member's acknowledgement edges deferred past it.
+	// <= 1 preserves one-at-a-time admission. Incompatible with NCMode
+	// (an NC subtransaction can block on locks mid-chunk, starving the
+	// chunk's tail); ignored under SyncExec.
+	ExecChunk int
+	// BatchedCounters switches the coordinator's quiescence sweeps to
+	// the batched counter protocol (CountersReqMsg out, one CountersMsg
+	// back per node per round) instead of per-version CounterReqMsg
+	// exchanges. Counter snapshots are still taken fresh every round.
+	BatchedCounters bool
 	// AckTimeout bounds every coordinator wait on node responses
 	// (advancement acks, counter replies, version probes). 0 preserves
 	// the paper's behaviour: wait forever on the assumed-reliable
@@ -155,6 +169,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.SyncExec && cfg.NCMode {
 		return nil, fmt.Errorf("core: SyncExec cannot be combined with NCMode")
 	}
+	if cfg.ExecChunk > 1 && cfg.NCMode {
+		return nil, fmt.Errorf("core: ExecChunk cannot be combined with NCMode")
+	}
 	if cfg.Journal != nil || cfg.Restore != nil {
 		if cfg.LocalNodes == nil || len(cfg.LocalNodes) != 1 {
 			return nil, fmt.Errorf("core: Journal/Restore require distributed mode with exactly one local node")
@@ -203,7 +220,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	} else {
 		nc := cfg.NetConfig
 		nc.Nodes = endpoints
-		c.net = transport.NewNet(nc)
+		mn := transport.NewNet(nc)
+		mn.SetObs(c.reg)
+		c.net = mn
 		c.ownsNet = true
 	}
 	if cfg.Reliable {
@@ -227,6 +246,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
 		nd.syncExec = cfg.SyncExec
+		nd.chunk = cfg.ExecChunk
 		nd.journal = cfg.Journal
 		if r := cfg.Restore; r != nil {
 			if r.Store != nil {
@@ -261,6 +281,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	} else if !c.distributed || cfg.LocalCoordinator {
 		c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
+		c.coord.batchedCounters = cfg.BatchedCounters
 		// The registered handler indirects through currentCoordinator so a
 		// crashed coordinator can be replaced (CrashCoordinator/Recover)
 		// without touching the transport.
@@ -474,18 +495,71 @@ func (c *Cluster) Preload(node model.NodeID, key string, rec *model.Record) {
 // observes its progress. The root subtransaction is sent to
 // spec.Root.Node and versioned there, per the tree model.
 func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
-	if err := spec.Validate(); err != nil {
+	if err := c.validateSpec(spec); err != nil {
 		return nil, err
 	}
+	h, m := c.launch(spec)
+	c.net.Send(m)
+	return h, nil
+}
+
+// SubmitBatch validates and launches a group of transactions as one
+// admission flush: all specs are validated before any is launched, and
+// the root subtransactions bound for the same node travel in a single
+// batched loopback envelope instead of one frame each. Returns one
+// handle per spec, aligned with specs. Semantically equivalent to
+// calling Submit in a loop — every member still runs as an independent
+// transaction — but the hot path pays one send (and downstream, one
+// admission wakeup) per destination instead of per transaction.
+func (c *Cluster) SubmitBatch(specs []*model.TxnSpec) ([]*Handle, error) {
+	for _, spec := range specs {
+		if err := c.validateSpec(spec); err != nil {
+			return nil, err
+		}
+	}
+	handles := make([]*Handle, len(specs))
+	byNode := make(map[model.NodeID][]transport.Message)
+	var order []model.NodeID
+	for i, spec := range specs {
+		h, m := c.launch(spec)
+		handles[i] = h
+		if _, ok := byNode[m.To]; !ok {
+			order = append(order, m.To)
+		}
+		byNode[m.To] = append(byNode[m.To], m)
+	}
+	for _, n := range order {
+		msgs := byNode[n]
+		if len(msgs) == 1 {
+			c.net.Send(msgs[0])
+			continue
+		}
+		c.net.Send(transport.Message{From: n, To: n, Payload: transport.BatchMsg{Msgs: msgs}})
+	}
+	return handles, nil
+}
+
+// validateSpec runs Submit's admission checks without side effects, so
+// SubmitBatch can reject a whole batch before launching any member.
+func (c *Cluster) validateSpec(spec *model.TxnSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	if spec.NonCommuting && !c.cfg.NCMode {
-		return nil, fmt.Errorf("core: non-commuting transaction %q requires NCMode", spec.Label)
+		return fmt.Errorf("core: non-commuting transaction %q requires NCMode", spec.Label)
 	}
 	if int(spec.Root.Node) >= len(c.nodes) {
-		return nil, fmt.Errorf("core: root node %d out of range", spec.Root.Node)
+		return fmt.Errorf("core: root node %d out of range", spec.Root.Node)
 	}
 	if c.nodes[spec.Root.Node] == nil {
-		return nil, fmt.Errorf("core: root node %d is not hosted by this process (submit at its host)", spec.Root.Node)
+		return fmt.Errorf("core: root node %d is not hosted by this process (submit at its host)", spec.Root.Node)
 	}
+	return nil
+}
+
+// launch creates the handle and root message for a validated spec. The
+// caller sends the returned message (directly, or inside a batch).
+func (c *Cluster) launch(spec *model.TxnSpec) (*Handle, transport.Message) {
 	// TxnIDs embed the root node id, and each node is hosted by exactly
 	// one process, so the per-process sequence stays globally unique.
 	id := model.MakeTxnID(spec.Root.Node, c.seq.Add(1))
@@ -511,7 +585,7 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 	if c.reg != nil {
 		sentAt = h.submitted
 	}
-	c.net.Send(transport.Message{
+	return h, transport.Message{
 		From: spec.Root.Node,
 		To:   spec.Root.Node,
 		TC:   h.tc,
@@ -524,8 +598,7 @@ func (c *Cluster) Submit(spec *model.TxnSpec) (*Handle, error) {
 			RootNode: spec.Root.Node,
 			SentAt:   sentAt,
 		},
-	})
-	return h, nil
+	}
 }
 
 // Advance runs one full version-advancement cycle and blocks until it

@@ -86,6 +86,11 @@ type Coordinator struct {
 	ackTimeout time.Duration
 	resend     time.Duration
 	reg        *obs.Registry // nil when observability is disabled
+	// batchedCounters switches the quiescence sweeps to the batched
+	// counter protocol: CountersReqMsg out, one CountersMsg per node
+	// back (folded into the same replies map, so snapshot building and
+	// the double-collect detector are unchanged). Set before Start.
+	batchedCounters bool
 	// term is this coordinator's fencing term, stamped on every phase
 	// message it sends. 0 = unfenced (single-coordinator deployments);
 	// failover-managed coordinators get a positive term before their
@@ -167,6 +172,18 @@ func (c *Coordinator) handleMessage(m transport.Message) {
 			c.replies[p.Round] = rm
 		}
 		rm[p.Node] = p
+	case CountersMsg:
+		// Batched reply: fold each entry into the per-round replies map
+		// the unbatched path fills, one CounterReplyMsg per version (a
+		// sweep round requests exactly one version, so this stores one).
+		rm := c.replies[p.Round]
+		if rm == nil {
+			rm = make(map[model.NodeID]CounterReplyMsg)
+			c.replies[p.Round] = rm
+		}
+		for _, e := range p.Entries {
+			rm[p.Node] = CounterReplyMsg{Version: e.Version, Round: p.Round, Node: p.Node, R: e.R, C: e.C}
+		}
 	case VersionReplyMsg:
 		pm := c.probes[p.Round]
 		if pm == nil {
@@ -545,7 +562,11 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 		round := c.round
 		c.mu.Unlock()
 
-		c.broadcast(CounterReqMsg{Version: v, Round: round, Term: c.term})
+		var req any = CounterReqMsg{Version: v, Round: round, Term: c.term}
+		if c.batchedCounters {
+			req = CountersReqMsg{Versions: []model.Version{v}, Round: round, Term: c.term}
+		}
+		c.broadcast(req)
 
 		c.mu.Lock()
 		start := time.Now()
@@ -566,7 +587,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 				// (the request or the reply was lost).
 				for i := 0; i < c.n; i++ {
 					if _, ok := c.replies[round][model.NodeID(i)]; !ok {
-						c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: CounterReqMsg{Version: v, Round: round, Term: c.term}})
+						c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: req})
 						c.reg.Inc(obs.CtrCoordResends, 1)
 					}
 				}

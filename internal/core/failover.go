@@ -231,6 +231,7 @@ func (m *FailoverManager) takeover() *Coordinator {
 	co := newCoordinator(cfg.Nodes, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
 	co.id = m.ep
 	co.term = term
+	co.batchedCounters = cfg.BatchedCounters
 	co.phaseHook = m.c.getPhaseHook()
 	m.term = term
 	m.coord = co
@@ -339,6 +340,7 @@ func (m *FailoverManager) promoteInitial() {
 	co := newCoordinator(cfg.Nodes, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
 	co.id = m.ep
 	co.term = term
+	co.batchedCounters = cfg.BatchedCounters
 	m.term = term
 	m.coord = co
 	m.active = true

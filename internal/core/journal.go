@@ -93,6 +93,24 @@ type Journal interface {
 	GC(v model.Version)
 }
 
+// ChunkJournal is an optional Journal extension: implementations that
+// can make a whole chunk of execution records durable under a single
+// barrier. ExecChunk is Exec over recs[i]/outboxes[i] pairs, except
+// that one durability barrier covers every record, and no outbox frame
+// of any member reaches the wire (and no member's returned ids are
+// acted on) before that shared barrier. The invariant "nothing
+// acknowledged is ever lost" is preserved because the node defers
+// every acknowledgement edge of every member — child transmission,
+// client completion, and the completion-counter increment — until
+// ExecChunk returns. Checked by type assertion; a Journal without it
+// simply pays one barrier per record.
+type ChunkJournal interface {
+	// ExecChunk journals recs[i] with child frames outboxes[i] for every
+	// i, makes them durable under one barrier, then transmits. Returns
+	// one id slice per record, aligned with recs (see Journal.Exec).
+	ExecChunk(recs []ExecRecord, outboxes [][]transport.Message) [][]uint64
+}
+
 // TermJournal is an optional Journal extension: implementations that
 // support coordinator failover record the node's highest observed
 // fencing term durably (max-merge on replay), so a restarted node

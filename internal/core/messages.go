@@ -120,6 +120,35 @@ type CounterReplyMsg struct {
 	C       []int64
 }
 
+// CountersReqMsg is the batched form of CounterReqMsg: one request
+// asking a node for its counter rows for every listed version, so a
+// quiescence sweep costs one request/reply pair per node however many
+// versions it is tracking. Round and Term work exactly as in
+// CounterReqMsg.
+type CountersReqMsg struct {
+	Versions []model.Version
+	Round    int
+	Term     uint64
+}
+
+// VersionCounters is one version's R/C rows inside a CountersMsg.
+type VersionCounters struct {
+	Version model.Version
+	R       []int64
+	C       []int64
+}
+
+// CountersMsg answers a CountersReqMsg: the node's counter rows for
+// every requested version, snapshotted together in one message. All
+// entries are fresh reads taken when the request was served — the
+// double-collect quiescence detector requires two consecutive fresh
+// snapshots, so entries are never cached across rounds.
+type CountersMsg struct {
+	Round   int
+	Node    model.NodeID
+	Entries []VersionCounters
+}
+
 // NCVoteMsg is the first phase of NC3V's two-phase commit: a node that
 // finished executing a subtransaction of non-commuting transaction Txn
 // reports to the transaction's coordinating node whether its local part

@@ -144,6 +144,27 @@ func (q *workQueue) get() (workItem, bool) {
 	return q.items.Pop()
 }
 
+// getChunk blocks for at least one item, then drains up to max items in
+// one critical section — the receive-side half of batching: a worker
+// wakes once per chunk instead of once per message. Appends into buf
+// (callers pass a reused buf[:0]) and returns false only when the queue
+// is closed and empty.
+func (q *workQueue) getChunk(buf []workItem, max int) ([]workItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	for len(buf) < max {
+		it, ok := q.items.Pop()
+		if !ok {
+			break
+		}
+		buf = append(buf, it)
+	}
+	return buf, len(buf) > 0
+}
+
 func (q *workQueue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -207,7 +228,12 @@ type Node struct {
 	work     *workQueue
 	workers  int
 	syncExec bool
-	wg       sync.WaitGroup
+	// chunk is the admission chunk size (Config.ExecChunk): each worker
+	// wakeup drains up to this many queued subtransactions and executes
+	// them under one checkpoint hold and (with a ChunkJournal) one
+	// durability barrier. <= 1 preserves one-at-a-time admission.
+	chunk int
+	wg    sync.WaitGroup
 
 	ncMu    sync.Mutex
 	ncCoord map[model.TxnID]*ncCoordState
@@ -251,21 +277,26 @@ func (nd *Node) start() {
 	if nd.syncExec {
 		return
 	}
+	max := nd.chunk
+	if max < 1 {
+		max = 1
+	}
 	for i := 0; i < nd.workers; i++ {
 		nd.wg.Add(1)
 		go func() {
 			defer nd.wg.Done()
+			buf := make([]workItem, 0, max)
 			for {
-				it, ok := nd.work.get()
+				items, ok := nd.work.getChunk(buf[:0], max)
 				if !ok {
 					return
 				}
 				if nd.journal != nil {
 					nd.chk.RLock()
-					nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt)
+					nd.executeChunk(items)
 					nd.chk.RUnlock()
 				} else {
-					nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt)
+					nd.executeChunk(items)
 				}
 			}
 		}()
@@ -344,7 +375,7 @@ func (nd *Node) handleMessage(m transport.Message) {
 			recvAt = time.Now()
 		}
 		if nd.syncExec {
-			nd.executeSubtxn(m.From, p, enqID, m.TC, recvAt)
+			nd.executeSubtxn(m.From, p, enqID, m.TC, recvAt, nil)
 		} else {
 			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID, tc: m.TC, recvAt: recvAt})
 		}
@@ -372,6 +403,12 @@ func (nd *Node) handleMessage(m transport.Message) {
 			return
 		}
 		nd.handleCounterReq(m.From, p)
+	case CountersReqMsg:
+		if !nd.observeTerm(p.Term) {
+			nd.rejectStale(m.From)
+			return
+		}
+		nd.handleCountersReq(m.From, p)
 	case VersionProbeMsg:
 		if !nd.observeTerm(p.Term) {
 			nd.rejectStale(m.From)
@@ -542,6 +579,23 @@ func (nd *Node) handleCounterReq(from model.NodeID, p CounterReqMsg) {
 	}})
 }
 
+// handleCountersReq answers a batched counter sweep: one reply frame
+// carrying a counter-matrix row pair per requested version. Snapshots
+// are taken fresh at reply time — never cached across rounds — because
+// the coordinator's double-collect detector compares consecutive
+// rounds and a stale snapshot could fake quiescence.
+func (nd *Node) handleCountersReq(from model.NodeID, p CountersReqMsg) {
+	entries := make([]VersionCounters, len(p.Versions))
+	for i, v := range p.Versions {
+		entries[i] = VersionCounters{Version: v, R: nd.cnt.SnapshotR(v), C: nd.cnt.SnapshotC(v)}
+	}
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: CountersMsg{
+		Round:   p.Round,
+		Node:    nd.id,
+		Entries: entries,
+	}})
+}
+
 // checkVersionInvariantLocked asserts Section 4.4 property 3:
 // vr < vu ≤ vr + 2. Called with verMu held.
 func (nd *Node) checkVersionInvariantLocked() {
@@ -550,11 +604,73 @@ func (nd *Node) checkVersionInvariantLocked() {
 	}
 }
 
+// execChunk accumulates the durability records and deferred tails of
+// one admission chunk. Each journaled execution contributes its record,
+// its outbox, and a tail closure; executeChunk then makes the whole
+// chunk durable under one barrier and only afterwards runs the tails —
+// the acknowledgement edges (child transmission is inside the journal
+// call; local re-enqueue, client completion and the completion-counter
+// increment are in the tail). Deferring IncC is always safe: the
+// quiescence detector only ever errs toward "not yet terminated".
+type execChunk struct {
+	recs     []ExecRecord
+	outboxes [][]transport.Message
+	tails    []func(ids []uint64, fsyncD time.Duration, localAt time.Time)
+	traced   bool
+}
+
+// executeChunk executes a drained chunk of work items. Without a
+// journal every item runs to completion inline (the chunk only
+// amortized the queue wakeup); with one, the journaled members share a
+// single durability barrier via ChunkJournal when available.
+func (nd *Node) executeChunk(items []workItem) {
+	if nd.journal == nil {
+		for _, it := range items {
+			nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt, nil)
+		}
+		return
+	}
+	ch := &execChunk{}
+	for _, it := range items {
+		nd.executeSubtxn(it.from, it.sub, it.enqID, it.tc, it.recvAt, ch)
+	}
+	if len(ch.recs) == 0 {
+		return
+	}
+	var t0 time.Time
+	if ch.traced {
+		t0 = time.Now()
+	}
+	var idss [][]uint64
+	if cj, ok := nd.journal.(ChunkJournal); ok && len(ch.recs) > 1 {
+		idss = cj.ExecChunk(ch.recs, ch.outboxes)
+	} else {
+		idss = make([][]uint64, len(ch.recs))
+		for i := range ch.recs {
+			idss[i] = nd.journal.Exec(ch.recs[i], ch.outboxes[i])
+		}
+	}
+	var fsyncD time.Duration
+	var localAt time.Time
+	if ch.traced {
+		// The shared barrier's full duration is charged to every traced
+		// member: that is the fsync latency each one actually waited.
+		fsyncD = time.Since(t0)
+		localAt = time.Now()
+	}
+	for i, tail := range ch.tails {
+		tail(idss[i], fsyncD, localAt)
+	}
+}
+
 // executeSubtxn runs one subtransaction on a worker goroutine. enqID is
 // the journal's id for the command (0 when not journaled); tc and
 // recvAt are the envelope's trace context and delivery time (zero when
-// the command is unsampled or tracing is off).
-func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc obs.TraceContext, recvAt time.Time) {
+// the command is unsampled or tracing is off). A non-nil batch defers
+// the journaled tail — durability barrier, local re-enqueue, span,
+// completion report and C-counter increment — to the caller's chunk
+// (see execChunk); everything the tail needs is captured in a closure.
+func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc obs.TraceContext, recvAt time.Time, batch *execChunk) {
 	var start time.Time
 	if nd.reg != nil {
 		start = time.Now()
@@ -723,7 +839,36 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 		nd.abortSubtree(msg.Txn, v, spec, lockOK, rec, send, childTC, msg.RootNode)
 	}
 
+	// finish is the termination tail: re-enqueue of journaled local
+	// children, trace recording, and the acknowledgement edges (client
+	// completion, C-counter increment). In chunk mode it is deferred
+	// until after the chunk's shared durability barrier.
+	finish := func(ids []uint64, fsyncD time.Duration, localAt time.Time) {
+		if rec != nil {
+			for i, m := range rec.Local {
+				nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i], tc: childTC, recvAt: localAt})
+			}
+		}
+		nd.finishSubtxn(from, msg, v, reads, aborting, traced, tc, spanID, start, wireD, queueD, fsyncD)
+	}
+
+	if batch != nil && rec != nil {
+		// Chunk mode: park the record, its outbox and the tail with the
+		// chunk. Nothing observable has happened yet — children are
+		// unsent, completion unreported, IncC pending — so the chunk's
+		// one barrier covers every acknowledgement edge of every member.
+		batch.recs = append(batch.recs, *rec)
+		batch.outboxes = append(batch.outboxes, outbox)
+		batch.tails = append(batch.tails, finish)
+		if traced {
+			batch.traced = true
+		}
+		return
+	}
+
 	var fsyncD time.Duration
+	var localAt time.Time
+	var ids []uint64
 	if rec != nil {
 		// Durability barrier: the effect record and its child frames hit
 		// the log before the first child reaches the wire, before the
@@ -733,17 +878,19 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 		if traced {
 			t0 = time.Now()
 		}
-		ids := nd.journal.Exec(*rec, outbox)
-		var localAt time.Time
+		ids = nd.journal.Exec(*rec, outbox)
 		if traced {
 			fsyncD = time.Since(t0)
 			localAt = time.Now()
 		}
-		for i, m := range rec.Local {
-			nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i], tc: childTC, recvAt: localAt})
-		}
 	}
+	finish(ids, fsyncD, localAt)
+}
 
+// finishSubtxn is Step 6 plus trace recording: runs strictly after the
+// subtransaction's effects are durable (when journaled). It reports
+// completion and only then increments the completion counter.
+func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, reads []model.ReadResult, aborting, traced bool, tc obs.TraceContext, spanID uint64, start time.Time, wireD, queueD, fsyncD time.Duration) {
 	if traced {
 		// Park the root's stage breakdown for the completion edge, then
 		// record this execution's span — locally when this node is the

@@ -258,6 +258,7 @@ func (c *Cluster) CrashCoordinator() *Coordinator {
 	old := c.currentCoordinator()
 	old.crash()
 	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.cfg.AckTimeout, c.cfg.ResendInterval, c.reg)
+	fresh.batchedCounters = c.cfg.BatchedCounters
 	c.coordMu.Lock()
 	c.coord = fresh
 	c.coordMu.Unlock()

@@ -16,6 +16,8 @@ func init() {
 	transport.RegisterPayloadName(AckGCMsg{}, "ack_gc")
 	transport.RegisterPayloadName(CounterReqMsg{}, "counter_req")
 	transport.RegisterPayloadName(CounterReplyMsg{}, "counter_reply")
+	transport.RegisterPayloadName(CountersReqMsg{}, "counters_req")
+	transport.RegisterPayloadName(CountersMsg{}, "counters")
 	transport.RegisterPayloadName(NCVoteMsg{}, "nc_vote")
 	transport.RegisterPayloadName(NCDecisionMsg{}, "nc_decision")
 	transport.RegisterPayloadName(VersionProbeMsg{}, "version_probe")

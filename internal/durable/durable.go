@@ -135,9 +135,10 @@ type DB struct {
 
 // The DB is both durability seams at once.
 var (
-	_ core.Journal     = (*DB)(nil)
-	_ core.TermJournal = (*DB)(nil)
-	_ reliable.Journal = (*DB)(nil)
+	_ core.Journal      = (*DB)(nil)
+	_ core.ChunkJournal = (*DB)(nil)
+	_ core.TermJournal  = (*DB)(nil)
+	_ reliable.Journal  = (*DB)(nil)
 )
 
 // must is the journal's error policy: a durability failure mid-flight
@@ -207,6 +208,49 @@ func (db *DB) Exec(rec core.ExecRecord, outbox []transport.Message) []uint64 {
 	}
 
 	db.mu.Lock()
+	ids := db.appendExecLocked(rec, prepared)
+	db.mu.Unlock()
+
+	// Durability barrier, then transmission: the record (and therefore
+	// every frame below) is stable before the first byte reaches a peer.
+	db.must(db.log.Barrier())
+	db.session.CommitPrepared(prepared)
+	return ids
+}
+
+// ExecChunk implements core.ChunkJournal: the whole chunk's records
+// and child frames become durable under one log barrier, then every
+// member's frames are released. Per-link frame order still follows
+// Prepare order, so receivers see the same sequences as N separate
+// Execs would have produced.
+func (db *DB) ExecChunk(recs []core.ExecRecord, outboxes [][]transport.Message) [][]uint64 {
+	prepared := make([][]reliable.PreparedSend, len(recs))
+	for i, outbox := range outboxes {
+		prepared[i] = make([]reliable.PreparedSend, len(outbox))
+		for j, m := range outbox {
+			prepared[i][j] = db.session.Prepare(m)
+		}
+	}
+
+	db.mu.Lock()
+	idss := make([][]uint64, len(recs))
+	for i := range recs {
+		idss[i] = db.appendExecLocked(recs[i], prepared[i])
+	}
+	db.mu.Unlock()
+
+	// One barrier covers the chunk; nothing was acknowledged (no child
+	// frame sent, no completion reported) before this point.
+	db.must(db.log.Barrier())
+	for _, p := range prepared {
+		db.session.CommitPrepared(p)
+	}
+	return idss
+}
+
+// appendExecLocked journals one execution record (no barrier) and
+// updates the pending set and send mirrors. Caller holds db.mu.
+func (db *DB) appendExecLocked(rec core.ExecRecord, prepared []reliable.PreparedSend) []uint64 {
 	ids := make([]uint64, len(rec.Local))
 	for i := range rec.Local {
 		ids[i] = db.nextEnq
@@ -255,12 +299,6 @@ func (db *DB) Exec(rec core.ExecRecord, outbox []transport.Message) []uint64 {
 	for i, p := range prepared {
 		db.mirrorAddLocked(p.Msg, frames[i])
 	}
-	db.mu.Unlock()
-
-	// Durability barrier, then transmission: the record (and therefore
-	// every frame below) is stable before the first byte reaches a peer.
-	db.must(db.log.Barrier())
-	db.session.CommitPrepared(prepared)
 	return ids
 }
 

@@ -20,6 +20,19 @@ import (
 // advancement, and assert the cluster converged — each account must
 // show every process's updates.
 func TestThreeProcessClusterOverTCP(t *testing.T) {
+	runThreeProcessCluster(t, 0)
+}
+
+// TestThreeProcessClusterOverTCPBatched runs the identical gate with
+// the batched hot path on (-batch 8): batched wire frames across real
+// TCP, chunked admission, batched counter sweeps, and group submit —
+// additionally asserting the processes actually coalesced frames
+// (observed mean batch size > 1 somewhere in the cluster).
+func TestThreeProcessClusterOverTCPBatched(t *testing.T) {
+	runThreeProcessCluster(t, 8)
+}
+
+func runThreeProcessCluster(t *testing.T, batch int) {
 	if testing.Short() {
 		t.Skip("multi-process test skipped in -short mode")
 	}
@@ -43,7 +56,7 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 	var logs [nodes]bytes.Buffer
 	procs := make([]*exec.Cmd, nodes)
 	for i := 0; i < nodes; i++ {
-		cmd := exec.Command(bin,
+		args := []string{
 			"-id", fmt.Sprint(i),
 			"-nodes", fmt.Sprint(nodes),
 			"-listen", protoAddrs[i],
@@ -54,7 +67,11 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 			// Failover is not this test's subject: a huge lease keeps the
 			// killconns gap from electing a second coordinator.
 			"-lease-timeout", "5m",
-		)
+		}
+		if batch > 0 {
+			args = append(args, "-batch", fmt.Sprint(batch))
+		}
+		cmd := exec.Command(bin, args...)
 		cmd.Stdout = &logs[i]
 		cmd.Stderr = &logs[i]
 		if err := cmd.Start(); err != nil {
@@ -147,6 +164,7 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 	// Every account absorbed +1 per transaction from each process.
 	const want = nodes * txns
 	reconnects := int64(0)
+	maxBatchSize := 0.0
 	for i := 0; i < nodes; i++ {
 		var rd struct {
 			Bal     int64 `json:"bal"`
@@ -162,14 +180,18 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 			t.Errorf("process %d: read version %d, want 1", i, rd.Version)
 		}
 		var st struct {
-			VR          int64    `json:"vr"`
-			VU          int64    `json:"vu"`
-			Violations  []string `json:"violations"`
-			Convergence []string `json:"convergence_errors"`
-			Reconnects  int64    `json:"reconnects"`
+			VR            int64    `json:"vr"`
+			VU            int64    `json:"vu"`
+			Violations    []string `json:"violations"`
+			Convergence   []string `json:"convergence_errors"`
+			Reconnects    int64    `json:"reconnects"`
+			MeanBatchSize float64  `json:"mean_batch_size"`
 		}
 		if err := get(i, "/state", &st); err != nil {
 			t.Fatal(err)
+		}
+		if st.MeanBatchSize > maxBatchSize {
+			maxBatchSize = st.MeanBatchSize
 		}
 		if st.VR != 1 || st.VU != 2 {
 			t.Errorf("process %d at vr=%d vu=%d, want 1/2", i, st.VR, st.VU)
@@ -184,6 +206,9 @@ func TestThreeProcessClusterOverTCP(t *testing.T) {
 	}
 	if reconnects == 0 {
 		t.Error("no reconnects recorded despite killing every connection")
+	}
+	if batch > 0 && maxBatchSize <= 1 {
+		t.Errorf("batched mode never coalesced: max observed mean batch size %.2f", maxBatchSize)
 	}
 
 	// Causal tracing across processes: every transaction was sampled

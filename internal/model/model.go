@@ -15,6 +15,7 @@ import (
 	"maps"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a database node (site) in the distributed system.
@@ -84,6 +85,13 @@ type Tuple struct {
 type Record struct {
 	Fields map[string]int64
 	Log    []Tuple
+
+	// aliased (accessed atomically) marks that Log's backing array may
+	// be shared with a ShareClone snapshot: any in-place mutation of
+	// existing log elements must call ownLog first. Plain appends are
+	// always safe — snapshots are cut to len == cap, so an append either
+	// reallocates or writes beyond every snapshot's view.
+	aliased int32
 }
 
 // NewRecord returns an empty record ready for use.
@@ -102,10 +110,48 @@ func (r *Record) Clone() *Record {
 		c.Fields = make(map[string]int64)
 	}
 	if len(r.Log) > 0 {
-		c.Log = make([]Tuple, len(r.Log))
+		// Leave append headroom: a materialized version's very next
+		// recorded tuple would otherwise reallocate (and re-copy) the
+		// whole log, which dominated allocation profiles under load.
+		c.Log = make([]Tuple, len(r.Log), len(r.Log)+len(r.Log)/4+4)
 		copy(c.Log, r.Log)
 	}
 	return c
+}
+
+// ShareClone returns a read snapshot that deep-copies the summary
+// fields but shares the tuple log's backing array with the source,
+// trimmed to len == cap. The sharing is safe against concurrent
+// appends to the source (they reallocate or land beyond the snapshot's
+// view) and against in-place log edits (RemoveOp copies first when the
+// record is marked aliased). Storage uses it for ReadMax, where a full
+// deep copy per point read dominated allocation profiles.
+func (r *Record) ShareClone() *Record {
+	c := &Record{Fields: maps.Clone(r.Fields)}
+	if c.Fields == nil {
+		c.Fields = make(map[string]int64)
+	}
+	if n := len(r.Log); n > 0 {
+		c.Log = r.Log[:n:n]
+		c.aliased = 1
+		// The source may be shared by concurrent readers under a read
+		// lock; the flag write must not race another ShareClone's.
+		atomic.StoreInt32(&r.aliased, 1)
+	}
+	return c
+}
+
+// ownLog makes the record the sole owner of its log's backing array.
+// Mutating ops that edit existing elements in place call it before
+// writing; callers hold whatever lock guards the record.
+func (r *Record) ownLog() {
+	if atomic.LoadInt32(&r.aliased) == 0 {
+		return
+	}
+	l := make([]Tuple, len(r.Log), len(r.Log)+4)
+	copy(l, r.Log)
+	r.Log = l
+	atomic.StoreInt32(&r.aliased, 0)
 }
 
 // SizeBytes approximates the in-memory footprint of the record; the

@@ -87,9 +87,12 @@ type RemoveOp struct {
 // Apply implements Op. Removal scans the log for an identical tuple; if
 // found it is deleted, otherwise a tombstone (the tuple with negated
 // Total) is appended, which a later identical AppendOp will annihilate.
+// Deletion shifts elements in place, so the record must own its log
+// first when a ShareClone snapshot aliases it (see Record.ownLog).
 func (o RemoveOp) Apply(r *Record) {
 	for i, t := range r.Log {
 		if t == o.T {
+			r.ownLog()
 			r.Log = append(r.Log[:i], r.Log[i+1:]...)
 			return
 		}
@@ -115,6 +118,20 @@ func (o RemoveOp) String() string {
 // we instead normalize at read time; NormalizeLog removes
 // tombstone/tuple pairs. Auditors call it before checking visibility.
 func NormalizeLog(log []Tuple) []Tuple {
+	// Fast path: tombstones only exist where compensation ran, which is
+	// rare; without any, the log is already normal and is returned
+	// as-is (callers treat the result as read-only), allocating nothing.
+	// The auditors call NormalizeLog per read, so this is hot.
+	clean := true
+	for _, t := range log {
+		if t.Total < 0 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return log
+	}
 	out := make([]Tuple, 0, len(log))
 	tombs := make(map[Tuple]int)
 	for _, t := range log {

@@ -65,6 +65,11 @@ const (
 	// coordinator role (1) or all local managers are standbys (0).
 	GaugeCoordTerm   = "coord_term"
 	GaugeCoordActive = "coord_active"
+	// Batching accounting: total link flushes and the mean number of
+	// messages coalesced per flush (1.0 means no coalescing happened).
+	// Derived from the batch-size histogram at snapshot time.
+	GaugeNetFlushes       = "net_flushes"
+	GaugeNetBatchMeanSize = "net_batch_mean_size"
 )
 
 // CounterLag is one sampled observation of the quiescence quantity for
@@ -116,6 +121,9 @@ type Registry struct {
 
 	wireEncode Histogram // frame encode time (ns; tcpnet only)
 	wireDecode Histogram // frame decode time (ns; tcpnet only)
+
+	batchSize  Histogram // messages coalesced per link flush (count)
+	batchLinks sync.Map  // link label ("from→to" / peer addr) -> *Histogram
 
 	walAppend Histogram // WAL record append time (ns; durable nodes only)
 	walFsync  Histogram // WAL fsync/group-commit time (ns; durable nodes only)
@@ -219,6 +227,24 @@ func (r *Registry) ObserveWireDecode(d time.Duration) {
 		return
 	}
 	r.wireDecode.ObserveDuration(d)
+}
+
+// ObserveBatchSize records one link flush of n coalesced messages.
+// link labels the directed link ("0→2" for in-process transports, the
+// peer address for tcpnet); every transport that batches feeds this,
+// so the snapshot proves — per link — that coalescing actually
+// happened (a mean of 1.0 means it did not).
+func (r *Registry) ObserveBatchSize(link string, n int) {
+	if r == nil {
+		return
+	}
+	r.batchSize.Observe(int64(n))
+	if h, ok := r.batchLinks.Load(link); ok {
+		h.(*Histogram).Observe(int64(n))
+		return
+	}
+	h, _ := r.batchLinks.LoadOrStore(link, &Histogram{})
+	h.(*Histogram).Observe(int64(n))
 }
 
 // ObserveWALAppend records one WAL record's append (frame + buffered
@@ -325,6 +351,12 @@ type Snapshot struct {
 	WireEncode HistSnapshot `json:"wire_encode"`
 	WireDecode HistSnapshot `json:"wire_decode"`
 
+	// BatchSize is the distribution of messages coalesced per link
+	// flush across every batching transport; BatchLinks breaks it down
+	// by directed link (empty when batching never ran).
+	BatchSize  HistSnapshot            `json:"batch_size"`
+	BatchLinks map[string]HistSnapshot `json:"batch_links,omitempty"`
+
 	WALAppend HistSnapshot `json:"wal_append"`
 	WALFsync  HistSnapshot `json:"wal_fsync"`
 
@@ -359,6 +391,14 @@ func (r *Registry) Snapshot() Snapshot {
 	s.AdvSweeps = r.advSweeps.Snapshot()
 	s.WireEncode = r.wireEncode.Snapshot()
 	s.WireDecode = r.wireDecode.Snapshot()
+	s.BatchSize = r.batchSize.Snapshot()
+	r.batchLinks.Range(func(k, v any) bool {
+		if s.BatchLinks == nil {
+			s.BatchLinks = make(map[string]HistSnapshot)
+		}
+		s.BatchLinks[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
 	s.WALAppend = r.walAppend.Snapshot()
 	s.WALFsync = r.walFsync.Snapshot()
 	if r.trace != nil {
@@ -381,6 +421,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.CounterLags = append(s.CounterLags, l)
 	}
 	r.mu.Unlock()
+	if s.BatchSize.Count > 0 {
+		// Derived gauges so exposition (and CI's batched smoke) can
+		// assert coalescing without digging into histogram buckets.
+		s.Gauges[GaugeNetFlushes] = float64(s.BatchSize.Count)
+		s.Gauges[GaugeNetBatchMeanSize] = s.BatchSize.Mean()
+	}
 	sort.Slice(s.CounterLags, func(i, j int) bool { return s.CounterLags[i].Version < s.CounterLags[j].Version })
 	s.EventsRecorded = r.events.Recorded()
 	return s

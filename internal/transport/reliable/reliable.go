@@ -118,6 +118,21 @@ type Config struct {
 	// TickInterval spaces scans of the unacked frame lists; 0 means
 	// RetransmitInterval/2.
 	TickInterval time.Duration
+	// FlushInterval, when positive, turns on frame batching: data frames
+	// stage on a per-link outbox and leave as one transport.BatchMsg
+	// envelope when the window expires (or the outbox hits MaxBatch), so
+	// the inner network moves a whole flush per send. 0 disables
+	// batching — every frame is transmitted individually, exactly the
+	// pre-batching behaviour.
+	FlushInterval time.Duration
+	// AckDelay, when batching is on, is how long a receiver may owe a
+	// cumulative ack before a standalone one is forced out; within the
+	// window an owed ack piggybacks on the next data flush in the reverse
+	// direction for free. It must stay well below RetransmitInterval or
+	// delayed acks provoke spurious retransmits. 0 means FlushInterval.
+	AckDelay time.Duration
+	// MaxBatch caps frames per flush envelope; 0 means 256.
+	MaxBatch int
 	// Journal, when non-nil, receives the durability callbacks above.
 	Journal Journal
 	// Gate, when non-nil, brackets every inbound dispatch — watermark
@@ -151,6 +166,12 @@ func (c Config) withDefaults() Config {
 	if c.TickInterval <= 0 {
 		c.TickInterval = c.RetransmitInterval / 2
 	}
+	if c.FlushInterval > 0 && c.AckDelay <= 0 {
+		c.AckDelay = c.FlushInterval
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
 	return c
 }
 
@@ -167,6 +188,10 @@ type sendLink struct {
 	mu      sync.Mutex
 	nextSeq uint64
 	unacked []pendingFrame // ascending by seq
+	// Batching state (FlushInterval > 0 only): frames staged for the
+	// next flush, in send order, and whether a window timer is armed.
+	outbox     []transport.Message
+	flushArmed bool
 }
 
 // bufEntry is one received-but-undelivered frame: its payload, the
@@ -182,6 +207,14 @@ type bufEntry struct {
 type recvLink struct {
 	nextExpected uint64              // next in-order seq to deliver
 	buffer       map[uint64]bufEntry // out-of-order frames by seq
+	// Delayed-ack state (FlushInterval > 0 only): whether a cumulative
+	// ack is owed to the sender and whether the AckDelay timer that
+	// bounds the debt is armed. The watermark itself (nextExpected) is
+	// always current — delaying the ack never delays delivery, and
+	// NoteRecv has already made the watermark durable, so a late ack is
+	// merely a late release of the sender's retransmit state.
+	ackOwed  bool
+	ackArmed bool
 }
 
 // Session is the reliable-delivery decorator. It implements
@@ -199,12 +232,23 @@ type Session struct {
 
 	retransmits atomic.Int64
 	dupDropped  atomic.Int64
+	// unackedTotal counts sent-but-unacknowledged frames across all
+	// links, maintained next to each link's list mutation. The
+	// retransmit scanner consults it first: when every frame is acked
+	// (the common idle state) the tick returns without touching any of
+	// the n² link locks.
+	unackedTotal atomic.Int64
+	// flushes counts link flush envelopes (batching only).
+	flushes atomic.Int64
+
+	batching bool // cfg.FlushInterval > 0
 
 	mu      sync.Mutex
 	started bool
 	closed  bool
 	stop    chan struct{}
 	wg      sync.WaitGroup
+	timers  sync.WaitGroup // in-flight flush/ack window timers
 }
 
 // Wrap decorates inner (serving node ids 0..nodes-1) with the session
@@ -216,6 +260,7 @@ func Wrap(inner transport.Network, nodes int, cfg Config) *Session {
 	s := &Session{
 		inner:    inner,
 		cfg:      cfg.withDefaults(),
+		batching: cfg.FlushInterval > 0,
 		n:        nodes,
 		handlers: make([]transport.Handler, nodes),
 		send:     make([][]*sendLink, nodes),
@@ -248,6 +293,7 @@ func Wrap(inner transport.Network, nodes int, cfg Config) *Session {
 					// retransmit sweep re-offers every restored frame and
 					// the peers' dedup absorbs what they already saw.
 				})
+				s.unackedTotal.Add(1)
 			}
 		}
 		for _, lr := range st.Recv {
@@ -310,8 +356,8 @@ func (s *Session) Start() {
 	go s.retransmitLoop()
 }
 
-// Close implements Network: stops retransmission, then closes the
-// inner network.
+// Close implements Network: stops retransmission, drains any staged
+// flushes and owed acks, then closes the inner network.
 func (s *Session) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -322,6 +368,23 @@ func (s *Session) Close() {
 	s.mu.Unlock()
 	close(s.stop)
 	s.wg.Wait()
+	if s.batching {
+		// Final sweep: emit every staged outbox (and piggybacked acks)
+		// before the inner network's gate drops, then wait out armed
+		// window timers — they re-run flushLink/flushAck, find nothing,
+		// and exit, so no timer can touch a closed inner network.
+		for from := 0; from < s.n; from++ {
+			for to := 0; to < s.n; to++ {
+				s.flushLink(model.NodeID(from), model.NodeID(to))
+			}
+		}
+		for id := 0; id < s.n; id++ {
+			for from := 0; from < s.n; from++ {
+				s.flushAck(model.NodeID(id), model.NodeID(from))
+			}
+		}
+		s.timers.Wait()
+	}
 	s.inner.Close()
 }
 
@@ -344,6 +407,7 @@ func (s *Session) Send(m transport.Message) {
 		backoff:    s.cfg.RetransmitInterval,
 		nextResend: time.Now().Add(s.cfg.RetransmitInterval),
 	})
+	s.unackedTotal.Add(1)
 	l.mu.Unlock()
 	if s.cfg.Journal != nil {
 		// Durable before first transmission: a crash after the frame is
@@ -351,7 +415,95 @@ func (s *Session) Send(m transport.Message) {
 		// the sequence number for a different payload.
 		s.cfg.Journal.NoteSend(env)
 	}
+	if s.batching {
+		s.stage(env)
+		return
+	}
 	s.inner.Send(env)
+}
+
+// stage parks an enveloped frame on its link's outbox; the first frame
+// arms the flush window, a full outbox flushes immediately. The frame
+// is already tracked in unacked (and journaled), so a crash or drop
+// between staging and flush is repaired by retransmission like any
+// other loss.
+func (s *Session) stage(env transport.Message) {
+	l := s.send[env.From][env.To]
+	l.mu.Lock()
+	l.outbox = append(l.outbox, env)
+	if len(l.outbox) >= s.cfg.MaxBatch {
+		msgs := l.outbox
+		l.outbox = nil
+		l.mu.Unlock()
+		s.emit(env.From, env.To, msgs)
+		return
+	}
+	if !l.flushArmed {
+		l.flushArmed = true
+		from, to := env.From, env.To
+		s.timers.Add(1)
+		time.AfterFunc(s.cfg.FlushInterval, func() {
+			defer s.timers.Done()
+			s.flushLink(from, to)
+		})
+	}
+	l.mu.Unlock()
+}
+
+// flushLink drains one link's outbox (window expiry, or the final
+// sweep in Close) and emits the flush.
+func (s *Session) flushLink(from, to model.NodeID) {
+	l := s.send[from][to]
+	l.mu.Lock()
+	msgs := l.outbox
+	l.outbox = nil
+	l.flushArmed = false
+	l.mu.Unlock()
+	s.emit(from, to, msgs)
+}
+
+// emit sends one flush on the link from → to: the staged frames plus,
+// piggybacked for free, any cumulative ack this node owes the peer for
+// the reverse direction. A single frame leaves unwrapped; two or more
+// leave as one BatchMsg envelope, which the inner network moves as a
+// unit (one syscall, one fault draw) and unpacks in order on delivery,
+// preserving per-link FIFO.
+func (s *Session) emit(from, to model.NodeID, msgs []transport.Message) {
+	rl := s.recv[from][to]
+	s.recvMu[from].Lock()
+	if rl.ackOwed {
+		rl.ackOwed = false
+		msgs = append(msgs, transport.Message{From: from, To: to, Payload: AckMsg{CumAck: rl.nextExpected - 1}})
+	}
+	s.recvMu[from].Unlock()
+	switch len(msgs) {
+	case 0:
+		return
+	case 1:
+		s.flushes.Add(1)
+		s.inner.Send(msgs[0])
+	default:
+		s.flushes.Add(1)
+		s.inner.Send(transport.Message{From: from, To: to, Payload: transport.BatchMsg{Msgs: msgs}})
+	}
+}
+
+// flushAck forces out a standalone cumulative ack when the AckDelay
+// window expires with the debt still unpaid (no reverse data flush
+// absorbed it) — the guarantee that delayed acks never starve a sender
+// into retransmitting.
+func (s *Session) flushAck(id, from model.NodeID) {
+	rl := s.recv[id][from]
+	s.recvMu[id].Lock()
+	rl.ackArmed = false
+	if !rl.ackOwed {
+		s.recvMu[id].Unlock()
+		return
+	}
+	rl.ackOwed = false
+	ack := rl.nextExpected - 1
+	s.recvMu[id].Unlock()
+	s.inner.Send(transport.Message{From: id, To: from, Payload: AckMsg{CumAck: ack}})
 }
 
 // PreparedSend is a sequence-numbered frame that has not yet been
@@ -404,7 +556,12 @@ func (s *Session) CommitPrepared(frames []PreparedSend) {
 		for i := len(l.unacked) - 1; i > 0 && l.unacked[i].seq < l.unacked[i-1].seq; i-- {
 			l.unacked[i], l.unacked[i-1] = l.unacked[i-1], l.unacked[i]
 		}
+		s.unackedTotal.Add(1)
 		l.mu.Unlock()
+		if s.batching {
+			s.stage(p.Msg)
+			continue
+		}
 		s.inner.Send(p.Msg)
 	}
 }
@@ -416,6 +573,20 @@ func (s *Session) dispatch(id model.NodeID, m transport.Message) {
 		g.RLock()
 		defer g.RUnlock()
 	}
+	if b, ok := m.Payload.(transport.BatchMsg); ok {
+		// Defensive unpacking for transports that deliver flush envelopes
+		// whole (the in-process Net and tcpnet both unpack before the
+		// handler, so this path is a safety net). Members process in
+		// order under the same gate acquisition.
+		for _, mm := range b.Msgs {
+			s.dispatchOne(id, mm)
+		}
+		return
+	}
+	s.dispatchOne(id, m)
+}
+
+func (s *Session) dispatchOne(id model.NodeID, m transport.Message) {
 	switch p := m.Payload.(type) {
 	case DataMsg:
 		s.onData(id, m.From, p, m.TC)
@@ -492,7 +663,27 @@ func (s *Session) onData(id, from model.NodeID, d DataMsg, tc obs.TraceContext) 
 		// offered again, so it must never be forgotten.
 		s.cfg.Journal.NoteRecv(id, from, ack+1)
 	}
-	s.inner.Send(transport.Message{From: id, To: from, Payload: AckMsg{CumAck: ack}})
+	if !s.batching {
+		s.inner.Send(transport.Message{From: id, To: from, Payload: AckMsg{CumAck: ack}})
+		return
+	}
+	// Delayed ack: record the debt and bound it with the AckDelay timer.
+	// The next data flush toward the sender pays it for free (see emit);
+	// otherwise the timer forces a standalone ack, so a sender is never
+	// starved into retransmitting by ack batching alone. Deferring is
+	// safe: NoteRecv above already made the watermark durable, and an
+	// unacked frame is merely re-offered, never lost.
+	s.recvMu[id].Lock()
+	rl.ackOwed = true
+	if !rl.ackArmed {
+		rl.ackArmed = true
+		s.timers.Add(1)
+		time.AfterFunc(s.cfg.AckDelay, func() {
+			defer s.timers.Done()
+			s.flushAck(id, from)
+		})
+	}
+	s.recvMu[id].Unlock()
 }
 
 // onAck handles a cumulative ack for the link id → from.
@@ -505,6 +696,7 @@ func (s *Session) onAck(id, from model.NodeID, cum uint64) {
 	}
 	if i > 0 {
 		l.unacked = append(l.unacked[:0], l.unacked[i:]...)
+		s.unackedTotal.Add(-int64(i))
 	}
 	l.mu.Unlock()
 	if s.cfg.Journal != nil && i > 0 {
@@ -530,8 +722,18 @@ func (s *Session) retransmitLoop() {
 
 // retransmitOverdue re-sends every frame whose resend deadline has
 // passed. Exposed to tests (deterministic retransmission without
-// waiting out the ticker).
+// waiting out the ticker). The idle guard makes the steady state —
+// every frame acked — free: one atomic load per tick instead of an n²
+// sweep over every link's mutex (see BenchmarkRetransmitScanIdle).
 func (s *Session) retransmitOverdue(now time.Time) {
+	if s.unackedTotal.Load() == 0 {
+		return
+	}
+	s.scanOverdue(now)
+}
+
+// scanOverdue is the full sweep behind retransmitOverdue's idle guard.
+func (s *Session) scanOverdue(now time.Time) {
 	for from := 0; from < s.n; from++ {
 		for to := 0; to < s.n; to++ {
 			l := s.send[from][to]
@@ -550,8 +752,18 @@ func (s *Session) retransmitOverdue(now time.Time) {
 				resend = append(resend, f.msg)
 			}
 			l.mu.Unlock()
+			if len(resend) == 0 {
+				continue
+			}
+			s.retransmits.Add(int64(len(resend)))
+			if s.batching && len(resend) > 1 {
+				// Re-batch the link's overdue frames into one envelope:
+				// frames that travelled together retransmit together, as
+				// one unit on the wire, still ascending by seq.
+				s.inner.Send(transport.Message{From: model.NodeID(from), To: model.NodeID(to), Payload: transport.BatchMsg{Msgs: resend}})
+				continue
+			}
 			for _, m := range resend {
-				s.retransmits.Add(1)
 				s.inner.Send(m)
 			}
 		}
@@ -564,6 +776,7 @@ func (s *Session) Stats() transport.Stats {
 	st := s.inner.Stats()
 	st.Retransmits += s.retransmits.Load()
 	st.DupDropped += s.dupDropped.Load()
+	st.Flushes += s.flushes.Load()
 	return st
 }
 

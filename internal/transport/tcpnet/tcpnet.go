@@ -75,6 +75,14 @@ type Config struct {
 	// are dialed back to this process's own listener, exercising the
 	// full encode/socket/decode path (benchmark mode).
 	ForceTCP bool
+	// BatchFrames encodes each writer pass's drained queue as a single
+	// version-3 batch frame instead of one frame per message: one length
+	// prefix, one header, one decode on the far side. Messages whose
+	// payload is already a transport.BatchMsg (an upper layer's flush
+	// envelope) pass through as their own frames — batches never nest.
+	// The receiver routes each member by its own To, so endpoints that
+	// share an address still demultiplex correctly.
+	BatchFrames bool
 }
 
 func (c Config) withDefaults() Config {
@@ -257,6 +265,7 @@ type Net struct {
 	framesRecv atomic.Int64
 	reconnects atomic.Int64
 	dropped    atomic.Int64 // undeliverable or lost on a dead link's final flush
+	flushes    atomic.Int64 // batch frames written (BatchFrames mode)
 	obs        atomic.Pointer[obs.Registry]
 
 	mu      sync.Mutex
@@ -366,7 +375,10 @@ func (n *Net) deliverLoop(id model.NodeID) {
 		if !ok {
 			return
 		}
-		h(m)
+		// Deliver unpacks any flush envelope that reached the inbox
+		// whole (the loopback-bypass path; socket batches are unpacked
+		// at routing time), so handlers never see a BatchMsg.
+		transport.Deliver(h, m)
 	}
 }
 
@@ -419,17 +431,12 @@ func (n *Net) writeLoop(link *peerLink) {
 		// and the frames survive a redial below.
 		buf = buf[:0]
 		reg := n.obs.Load()
-		for _, m := range batch {
-			start := time.Now()
-			out, err := wire.AppendFrame(buf, m)
-			if err != nil {
-				log.Printf("tcpnet: encode %T: %v; dropped", m.Payload, err)
-				n.dropped.Add(1)
-				continue
+		if n.cfg.BatchFrames {
+			buf = n.encodeBatched(buf, batch, reg, link.addr)
+		} else {
+			for _, m := range batch {
+				buf, _ = n.appendFrame(buf, m, reg)
 			}
-			buf = out
-			reg.ObserveWireEncode(time.Since(start))
-			n.framesSent.Add(1)
 		}
 		if len(buf) == 0 {
 			continue
@@ -457,6 +464,64 @@ func (n *Net) writeLoop(link *peerLink) {
 			conn = nil
 		}
 	}
+}
+
+// appendFrame encodes one frame onto buf, with wire-encode timing and
+// frame accounting. An encode failure drops the message (counted) and
+// leaves buf unchanged.
+func (n *Net) appendFrame(buf []byte, m transport.Message, reg *obs.Registry) ([]byte, bool) {
+	start := time.Now()
+	out, err := wire.AppendFrame(buf, m)
+	if err != nil {
+		log.Printf("tcpnet: encode %T: %v; dropped", m.Payload, err)
+		n.dropped.Add(1)
+		return buf, false
+	}
+	reg.ObserveWireEncode(time.Since(start))
+	n.framesSent.Add(1)
+	return out, true
+}
+
+// encodeBatched encodes one writer pass as batch frames: maximal runs
+// of ordinary messages become one version-3 envelope each, while
+// messages that already are flush envelopes (upper-layer BatchMsg)
+// pass through as their own frames, since batches must not nest. Every
+// frame written is one flush for the batch-size histogram.
+func (n *Net) encodeBatched(buf []byte, batch []transport.Message, reg *obs.Registry, addr string) []byte {
+	i := 0
+	for i < len(batch) {
+		if b, isBatch := batch[i].Payload.(transport.BatchMsg); isBatch {
+			if out, ok := n.appendFrame(buf, batch[i], reg); ok {
+				buf = out
+				n.flushes.Add(1)
+				reg.ObserveBatchSize(addr, len(b.Msgs))
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(batch) {
+			if _, isBatch := batch[j].Payload.(transport.BatchMsg); isBatch {
+				break
+			}
+			j++
+		}
+		run := batch[i:j]
+		m := run[0]
+		if len(run) > 1 {
+			m = transport.Message{From: run[0].From, To: run[0].To, Payload: transport.BatchMsg{Msgs: run}}
+		}
+		if out, ok := n.appendFrame(buf, m, reg); ok {
+			buf = out
+			n.flushes.Add(1)
+			reg.ObserveBatchSize(addr, len(run))
+		} else if len(run) > 1 {
+			// appendFrame counted one drop; the envelope lost a whole run.
+			n.dropped.Add(int64(len(run) - 1))
+		}
+		i = j
+	}
+	return buf
 }
 
 // dial establishes the link's outbound connection, backing off
@@ -559,15 +624,31 @@ func (n *Net) readLoop(c net.Conn) {
 		}
 		n.obs.Load().ObserveWireDecode(time.Since(start))
 		n.framesRecv.Add(1)
-		ib, ok := n.inboxes[m.To]
-		if !ok {
-			n.dropped.Add(1)
-			log.Printf("tcpnet: inbound frame for endpoint %d not hosted here; dropped", m.To)
+		if b, ok := m.Payload.(transport.BatchMsg); ok {
+			// A batch frame: route each member by its own To — members
+			// may target different endpoints hosted on this address.
+			// Per-member order is preserved (one inbox put at a time,
+			// in frame order), so per-link FIFO survives batching.
+			for _, mm := range b.Msgs {
+				n.routeInbound(mm)
+			}
 			continue
 		}
-		if !ib.put(m) {
-			n.dropped.Add(1)
-		}
+		n.routeInbound(m)
+	}
+}
+
+// routeInbound hands one decoded application message to its local
+// endpoint's inbox.
+func (n *Net) routeInbound(m transport.Message) {
+	ib, ok := n.inboxes[m.To]
+	if !ok {
+		n.dropped.Add(1)
+		log.Printf("tcpnet: inbound frame for endpoint %d not hosted here; dropped", m.To)
+		return
+	}
+	if !ib.put(m) {
+		n.dropped.Add(1)
 	}
 }
 
@@ -638,6 +719,7 @@ func (n *Net) Stats() transport.Stats {
 	s.FramesReceived = n.framesRecv.Load()
 	s.Reconnects = n.reconnects.Load()
 	s.Dropped = n.dropped.Load()
+	s.Flushes = n.flushes.Load()
 	return s
 }
 

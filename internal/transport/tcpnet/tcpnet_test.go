@@ -325,6 +325,93 @@ func TestCloseInterruptsDialBackoff(t *testing.T) {
 	}
 }
 
+// TestBatchFramesCoalesceAndRoute runs BatchFrames mode against a
+// process hosting two endpoints on one address: the writer must encode
+// runs of queued messages as single version-3 frames (fewer frames
+// than messages, batch-size histogram populated), and the reader must
+// route each member by its own To — in per-destination send order.
+func TestBatchFramesCoalesceAndRoute(t *testing.T) {
+	la, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := New(Config{
+		Local:       []model.NodeID{0},
+		Peers:       map[model.NodeID]string{1: lb.Addr().String(), 2: lb.Addr().String()},
+		Listener:    la,
+		BatchFrames: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := New(Config{
+		Local:       []model.NodeID{1, 2},
+		Peers:       map[model.NodeID]string{0: la.Addr().String()},
+		Listener:    lb,
+		BatchFrames: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(na.Close)
+	t.Cleanup(nb.Close)
+
+	reg := obs.New(obs.Options{})
+	na.SetObs(reg)
+	var mu sync.Mutex
+	got := map[model.NodeID][]model.Version{}
+	record := func(id model.NodeID) transport.Handler {
+		return func(m transport.Message) {
+			if _, isBatch := m.Payload.(transport.BatchMsg); isBatch {
+				t.Error("handler saw a BatchMsg envelope")
+				return
+			}
+			mu.Lock()
+			got[id] = append(got[id], m.Payload.(core.GCMsg).Keep)
+			mu.Unlock()
+		}
+	}
+	na.Register(0, func(transport.Message) {})
+	nb.Register(1, record(1))
+	nb.Register(2, record(2))
+	na.Start()
+	nb.Start()
+
+	const perDest = 1000
+	for v := 1; v <= perDest; v++ {
+		na.Send(transport.Message{From: 0, To: 1, Payload: core.GCMsg{Keep: model.Version(v)}})
+		na.Send(transport.Message{From: 0, To: 2, Payload: core.GCMsg{Keep: model.Version(v)}})
+	}
+	waitFor(t, "all batched deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got[1]) == perDest && len(got[2]) == perDest
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range []model.NodeID{1, 2} {
+		for i, v := range got[id] {
+			if v != model.Version(i+1) {
+				t.Fatalf("endpoint %d delivery %d = %d, want %d (order violated)", id, i, v, i+1)
+			}
+		}
+	}
+	st := na.Stats()
+	if st.FramesSent >= 2*perDest {
+		t.Errorf("FramesSent = %d for %d messages: nothing coalesced", st.FramesSent, 2*perDest)
+	}
+	if st.Flushes == 0 {
+		t.Error("BatchFrames mode recorded no flushes")
+	}
+	if bs := reg.Snapshot().BatchSize; bs.Count == 0 || bs.Mean() <= 1 {
+		t.Errorf("batch-size histogram count=%d mean=%.2f; want populated with mean > 1", bs.Count, bs.Mean())
+	}
+}
+
 // TestScrapeUnderLoad hammers Stats() and the obs snapshot while
 // senders and KillConnections run concurrently — the -race exercise
 // for the accounting paths.

@@ -24,6 +24,7 @@
 package transport
 
 import (
+	"container/heap"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,6 +50,40 @@ type Message struct {
 	// In-process transports carry it with the struct; tcpnet encodes it
 	// in the frame header (see internal/wire).
 	TC obs.TraceContext
+}
+
+// BatchMsg is the batched wire frame: one envelope carrying every
+// message a directed link coalesced during one flush window, so each
+// layer that moves it — the mem transport's dispatch, reliable's
+// flusher, tcpnet's writer — pays its per-envelope cost (timer tick,
+// fault draw, syscall) once per flush instead of once per message.
+//
+// Members keep their own From/To/TC: a tcpnet process hosting several
+// endpoints routes each member by its own To, and trace contexts ride
+// the member, not the envelope. Batches never nest (enforced by the
+// wire codec on both encode and decode), and application handlers never
+// see one: every delivery path unpacks the envelope and hands members
+// over one at a time, in order, so per-link FIFO is preserved — a batch
+// is just a run of consecutive messages that travel together.
+type BatchMsg struct {
+	Msgs []Message
+}
+
+func init() { RegisterPayloadName(BatchMsg{}, "batch") }
+
+// Deliver invokes h once per application message in m: BatchMsg
+// envelopes are unpacked in order, so handlers never see one. Every
+// transport's delivery loop funnels through this (tcpnet unpacks
+// earlier, at routing time, since members may target different local
+// endpoints).
+func Deliver(h Handler, m Message) {
+	if b, ok := m.Payload.(BatchMsg); ok {
+		for _, mm := range b.Msgs {
+			h(mm)
+		}
+		return
+	}
+	h(m)
 }
 
 // payloadNames maps payload types to stable accounting names. The
@@ -132,6 +167,12 @@ type Stats struct {
 	// an already-closed network — a nonzero value means the caller shut
 	// down before the protocol quiesced.
 	CloseDropped int64
+
+	// Flushes counts link flushes when batching is enabled (every
+	// envelope that left a link, single-message flushes included); 0
+	// when batching is off. Mean batch size is Messages-ish / Flushes;
+	// the per-link size distribution lives in the obs registry.
+	Flushes int64
 
 	// Session-layer accounting (reliable transport only; see
 	// transport/reliable).
@@ -279,6 +320,25 @@ type Config struct {
 	// nothing; partitions and rates can also be changed at runtime via
 	// the FaultInjector methods.
 	Faults Faults
+
+	// BatchWindow, when positive, coalesces each directed link's sends
+	// for up to this long and dispatches them as one BatchMsg envelope.
+	// The envelope is one unit to the fault layer — a drop loses the
+	// whole flush, a duplicate copies it — exactly like a batched frame
+	// on a real wire. 0 disables batching: every message dispatches
+	// individually, byte-for-byte the pre-batching behaviour.
+	BatchWindow time.Duration
+	// MaxBatch caps messages per flush (a full buffer flushes without
+	// waiting out the window); 0 means 256.
+	MaxBatch int
+	// PerBatchLatency charges BaseLatency + one jitter draw per flush
+	// envelope instead of per member. Without it a k-message batch is
+	// delayed by the max of k per-member draws — the batch arrives when
+	// its slowest member would have — so enabling batching alone never
+	// understates simulated latency; this flag is the explicit ablation
+	// that removes the simulator's per-message jitter from the measured
+	// path (see EXPERIMENTS.md "Batching").
+	PerBatchLatency bool
 }
 
 // Net is the live network. Each node has one mailbox and one delivery
@@ -291,6 +351,24 @@ type Net struct {
 	stats    StatsCollector
 	fs       faultState
 
+	// Link batching (nil slices when Config.BatchWindow == 0).
+	links      []*linkBuf // staging buffers, indexed from*Nodes+to
+	linkLabels []string   // "from→to" histogram labels, same index
+	maxBatch   int
+	flushes    atomic.Int64
+	reg        atomic.Pointer[obs.Registry]
+
+	// Central delay queue: all latency/jitter-delayed sends wait in one
+	// deadline-ordered heap serviced by a single goroutine, instead of a
+	// goroutine-per-message sleep (whose stack allocations dominated the
+	// profile and whose scheduling noise inflated tail latency on small
+	// machines at batched-mode message rates).
+	delayMu   sync.Mutex
+	delayed   delayHeap
+	delaySeq  uint64
+	delayWake chan struct{} // cap 1: "an earlier deadline may exist"
+	delayStop chan struct{}
+
 	// Fault and shutdown accounting.
 	dropped        atomic.Int64
 	duplicated     atomic.Int64
@@ -300,9 +378,23 @@ type Net struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
 	started bool
+	closing bool
 	closed  bool
 	wg      sync.WaitGroup // delivery goroutines
 	timers  sync.WaitGroup // in-flight delayed sends
+}
+
+// linkBuf stages one directed link's coalescing window: messages
+// accumulate under mu until the window timer (armed by the first
+// message) or a full buffer flushes them as one envelope. The timer is
+// allocated once per link and re-armed with Reset — at tens of
+// thousands of flushes per second a fresh AfterFunc per window is
+// measurable allocation churn on the hot path.
+type linkBuf struct {
+	mu    sync.Mutex
+	msgs  []Message
+	armed bool
+	timer *time.Timer
 }
 
 // NewNet builds a live network from cfg.
@@ -315,17 +407,38 @@ func NewNet(cfg Config) *Net {
 		seed = 42
 	}
 	n := &Net{
-		cfg:      cfg,
-		handlers: make([]Handler, cfg.Nodes),
-		boxes:    make([]*mailbox, cfg.Nodes),
-		rng:      rand.New(rand.NewSource(seed)),
+		cfg:       cfg,
+		handlers:  make([]Handler, cfg.Nodes),
+		boxes:     make([]*mailbox, cfg.Nodes),
+		rng:       rand.New(rand.NewSource(seed)),
+		delayWake: make(chan struct{}, 1),
+		delayStop: make(chan struct{}),
 	}
+	go n.delayLoop()
 	n.fs.faults = cfg.Faults
 	for i := range n.boxes {
 		n.boxes[i] = newMailbox()
 	}
+	if cfg.BatchWindow > 0 {
+		n.maxBatch = cfg.MaxBatch
+		if n.maxBatch <= 0 {
+			n.maxBatch = 256
+		}
+		n.links = make([]*linkBuf, cfg.Nodes*cfg.Nodes)
+		n.linkLabels = make([]string, cfg.Nodes*cfg.Nodes)
+		for from := 0; from < cfg.Nodes; from++ {
+			for to := 0; to < cfg.Nodes; to++ {
+				n.links[from*cfg.Nodes+to] = &linkBuf{}
+				n.linkLabels[from*cfg.Nodes+to] = fmt.Sprintf("%d→%d", from, to)
+			}
+		}
+	}
 	return n
 }
+
+// SetObs attaches an observability registry for the per-link
+// batch-size histograms. Safe to call at any time (including never).
+func (n *Net) SetObs(r *obs.Registry) { n.reg.Store(r) }
 
 // Register implements Network.
 func (n *Net) Register(id model.NodeID, h Handler) {
@@ -357,7 +470,7 @@ func (n *Net) deliverLoop(i int) {
 		if !ok {
 			return
 		}
-		h(m)
+		Deliver(h, m)
 	}
 }
 
@@ -379,6 +492,25 @@ func (n *Net) Send(m Message) {
 		panic(fmt.Sprintf("transport: send to unknown node %d", m.To))
 	}
 	n.stats.Count(m)
+	if b, ok := m.Payload.(BatchMsg); ok {
+		// A pre-built envelope from an upper layer (reliable's flusher,
+		// group submit). Never re-staged — batches must not nest — but
+		// observed, so the obs histograms see every flush on this net.
+		n.observeFlush(m.From, m.To, len(b.Msgs))
+		n.transmit(m)
+		return
+	}
+	if n.links != nil {
+		n.stage(m)
+		return
+	}
+	n.transmit(m)
+}
+
+// transmit runs one message (or envelope) through the fault layer and
+// dispatches surviving copies — the whole envelope is one unit to
+// faults, exactly like one frame on a real wire.
+func (n *Net) transmit(m Message) {
 	drop, partitioned, dup, extra := n.fs.decide(Link{From: m.From, To: m.To}, n.rnd)
 	if drop {
 		if partitioned {
@@ -395,14 +527,89 @@ func (n *Net) Send(m Message) {
 	}
 }
 
+// stage parks a message on its link's coalescing buffer; the first
+// message arms the window timer, a full buffer flushes immediately.
+func (n *Net) stage(m Message) {
+	lb := n.links[int(m.From)*n.cfg.Nodes+int(m.To)]
+	lb.mu.Lock()
+	lb.msgs = append(lb.msgs, m)
+	if len(lb.msgs) >= n.maxBatch {
+		msgs := lb.msgs
+		lb.msgs = nil
+		lb.mu.Unlock()
+		n.flush(m.From, m.To, msgs)
+		return
+	}
+	if !lb.armed {
+		lb.armed = true
+		if lb.timer == nil {
+			from, to := m.From, m.To
+			lb.timer = time.AfterFunc(n.cfg.BatchWindow, func() { n.flushLink(from, to) })
+		} else {
+			// Re-arming an expired AfterFunc timer is safe: at worst a
+			// stale callback drains the buffer early (a harmless short
+			// window) and the re-armed one finds it empty.
+			lb.timer.Reset(n.cfg.BatchWindow)
+		}
+	}
+	lb.mu.Unlock()
+}
+
+// flushLink drains one link's staging buffer (window expiry, or the
+// final sweep in Close).
+func (n *Net) flushLink(from, to model.NodeID) {
+	lb := n.links[int(from)*n.cfg.Nodes+int(to)]
+	lb.mu.Lock()
+	msgs := lb.msgs
+	lb.msgs = nil
+	lb.armed = false
+	lb.mu.Unlock()
+	if len(msgs) > 0 {
+		n.flush(from, to, msgs)
+	}
+}
+
+func (n *Net) flush(from, to model.NodeID, msgs []Message) {
+	n.observeFlush(from, to, len(msgs))
+	if len(msgs) == 1 {
+		n.transmit(msgs[0])
+		return
+	}
+	n.transmit(Message{From: from, To: to, Payload: BatchMsg{Msgs: msgs}})
+}
+
+func (n *Net) observeFlush(from, to model.NodeID, size int) {
+	n.flushes.Add(1)
+	if r := n.reg.Load(); r != nil {
+		label := fmt.Sprintf("%d→%d", from, to)
+		if n.linkLabels != nil && int(from) >= 0 && int(from) < n.cfg.Nodes && int(to) >= 0 && int(to) < n.cfg.Nodes {
+			label = n.linkLabels[int(from)*n.cfg.Nodes+int(to)]
+		}
+		r.ObserveBatchSize(label, size)
+	}
+}
+
 // dispatch imposes latency (base + jitter + fault extra) and enqueues
 // one copy of the message.
 func (n *Net) dispatch(m Message, extra time.Duration) {
 	d := n.cfg.BaseLatency + extra
 	if n.cfg.Jitter > 0 {
+		// A batch envelope is delayed by the max of its members' draws —
+		// it arrives when its slowest member would have — unless the
+		// PerBatchLatency ablation charges a single draw per flush.
+		draws := 1
+		if b, ok := m.Payload.(BatchMsg); ok && !n.cfg.PerBatchLatency {
+			draws = len(b.Msgs)
+		}
+		var jmax time.Duration
 		n.mu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+		for i := 0; i < draws; i++ {
+			if j := time.Duration(n.rng.Int63n(int64(n.cfg.Jitter))); j > jmax {
+				jmax = j
+			}
+		}
 		n.mu.Unlock()
+		d += jmax
 	}
 	if d <= 0 {
 		if !n.boxes[m.To].put(m) {
@@ -422,13 +629,81 @@ func (n *Net) dispatch(m Message, extra time.Duration) {
 	}
 	n.timers.Add(1)
 	n.mu.Unlock()
-	go func() {
-		defer n.timers.Done()
-		time.Sleep(d)
-		if !n.boxes[m.To].put(m) {
-			n.closeDropped.Add(1)
+	n.delayMu.Lock()
+	heap.Push(&n.delayed, delayedMsg{at: time.Now().Add(d), seq: n.delaySeq, m: m})
+	n.delaySeq++
+	n.delayMu.Unlock()
+	select {
+	case n.delayWake <- struct{}{}:
+	default:
+	}
+}
+
+// delayedMsg is one latency-delayed send parked in the central heap.
+// seq breaks deadline ties in push order so equal-delay messages on a
+// link keep their send order.
+type delayedMsg struct {
+	at  time.Time
+	seq uint64
+	m   Message
+}
+
+type delayHeap []delayedMsg
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(delayedMsg)) }
+func (h *delayHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// delayLoop services the delay heap: deliver everything due, sleep
+// until the earliest remaining deadline (or a wake for a new earlier
+// one). One goroutine replaces one per in-flight delayed message.
+func (n *Net) delayLoop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var wait time.Duration = -1
+		for {
+			n.delayMu.Lock()
+			if len(n.delayed) == 0 {
+				n.delayMu.Unlock()
+				break
+			}
+			if d := time.Until(n.delayed[0].at); d > 0 {
+				wait = d
+				n.delayMu.Unlock()
+				break
+			}
+			dm := heap.Pop(&n.delayed).(delayedMsg)
+			n.delayMu.Unlock()
+			if !n.boxes[dm.m.To].put(dm.m) {
+				n.closeDropped.Add(1)
+			}
+			n.timers.Done()
 		}
-	}()
+		if wait < 0 {
+			wait = time.Hour
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-n.delayWake:
+		case <-n.delayStop:
+			return
+		}
+	}
 }
 
 // Close implements Network: waits for in-flight delayed sends, then
@@ -437,13 +712,27 @@ func (n *Net) dispatch(m Message, extra time.Duration) {
 // before closing, so a nonzero count is logged as a likely quiesce bug.
 func (n *Net) Close() {
 	n.mu.Lock()
-	if n.closed {
+	if n.closing {
 		n.mu.Unlock()
 		return
 	}
+	n.closing = true
+	n.mu.Unlock()
+	// Final sweep of the coalescing buffers before the gate drops, so
+	// staged messages are delivered rather than close-dropped (their
+	// window timers may fire after the gate and find nothing to do).
+	if n.links != nil {
+		for from := 0; from < n.cfg.Nodes; from++ {
+			for to := 0; to < n.cfg.Nodes; to++ {
+				n.flushLink(model.NodeID(from), model.NodeID(to))
+			}
+		}
+	}
+	n.mu.Lock()
 	n.closed = true
 	n.mu.Unlock()
-	n.timers.Wait()
+	n.timers.Wait() // the delay loop drains every parked send first
+	close(n.delayStop)
 	for _, b := range n.boxes {
 		b.close()
 	}
@@ -467,6 +756,7 @@ func (n *Net) Stats() Stats {
 	s.Duplicated = n.duplicated.Load()
 	s.PartitionDrops = n.partitionDrops.Load()
 	s.CloseDropped = n.closeDropped.Load()
+	s.Flushes = n.flushes.Load()
 	return s
 }
 
@@ -562,7 +852,7 @@ func (s *Script) DeliverWhere(pred func(Message) bool) bool {
 	s.ids = append(s.ids[:found], s.ids[found+1:]...)
 	h := s.handlers[m.To]
 	s.mu.Unlock()
-	h(m)
+	Deliver(h, m)
 	return true
 }
 
@@ -609,7 +899,7 @@ func (s *Script) DeliverIndex(i int) bool {
 	s.ids = append(s.ids[:i], s.ids[i+1:]...)
 	h := s.handlers[m.To]
 	s.mu.Unlock()
-	h(m)
+	Deliver(h, m)
 	return true
 }
 

@@ -15,6 +15,7 @@ package verify
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/model"
 )
@@ -54,10 +55,30 @@ type UpdateMeta struct {
 }
 
 // partCount tallies how many distinct parts of one writer a read saw.
+// Parts 1..64 live in a bitmask (transactions rarely write more parts
+// than that); larger part numbers spill into a map. The audit runs per
+// read on the measurement path, so it avoids a map allocation per
+// writer in the common case.
 type partCount struct {
-	seen  map[int]bool
+	mask  uint64
+	spill map[int]bool
 	total int
 	ver   model.Version
+}
+
+func (pc *partCount) add(part int) {
+	if part >= 1 && part <= 64 {
+		pc.mask |= 1 << (part - 1)
+		return
+	}
+	if pc.spill == nil {
+		pc.spill = make(map[int]bool)
+	}
+	pc.spill[part] = true
+}
+
+func (pc *partCount) distinct() int {
+	return bits.OnesCount64(pc.mask) + len(pc.spill)
 }
 
 // collect gathers, per writer transaction, the parts visible across all
@@ -71,10 +92,10 @@ func collect(g GroupRead) map[model.TxnID]*partCount {
 		for _, t := range model.NormalizeLog(r.Record.Log) {
 			pc := byWriter[t.Txn]
 			if pc == nil {
-				pc = &partCount{seen: make(map[int]bool)}
+				pc = &partCount{}
 				byWriter[t.Txn] = pc
 			}
-			pc.seen[t.Part] = true
+			pc.add(t.Part)
 			if t.Total > pc.total {
 				pc.total = t.Total
 			}
@@ -94,12 +115,12 @@ func AuditAtomicVisibility(reads []GroupRead) []Anomaly {
 	var out []Anomaly
 	for _, g := range reads {
 		for writer, pc := range collect(g) {
-			if len(pc.seen) < pc.total {
+			if pc.distinct() < pc.total {
 				out = append(out, Anomaly{
 					Read:   g.Txn,
 					Writer: writer,
 					Kind:   "partial-visibility",
-					Detail: fmt.Sprintf("saw %d of %d parts", len(pc.seen), pc.total),
+					Detail: fmt.Sprintf("saw %d of %d parts", pc.distinct(), pc.total),
 				})
 			}
 		}
@@ -121,7 +142,7 @@ func AuditSerializability(reads []GroupRead, updates map[model.TxnID]UpdateMeta)
 			pc := seen[writer]
 			visible := 0
 			if pc != nil {
-				visible = len(pc.seen)
+				visible = pc.distinct()
 			}
 			switch {
 			case meta.Compensated:

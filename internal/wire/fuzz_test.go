@@ -11,9 +11,11 @@ import (
 // message (non-canonical varint spellings collapse to canonical on the
 // first re-encode, so decoded-vs-redecoded is the right comparison, not
 // input-vs-re-encoded bytes). The corpus is seeded with one frame per
-// registered payload type — including NC3V 2PC votes/decisions and the
-// coordinator-recovery probe/reply — so mutation starts from every
-// branch of the decoder.
+// registered payload type — including NC3V 2PC votes/decisions, the
+// coordinator-recovery probe/reply, and version-3 batch envelopes
+// (whose nesting the decoder must reject: a batch is only valid as a
+// whole frame, never as a member or nested payload) — so mutation
+// starts from every branch of the decoder.
 func FuzzWireRoundTrip(f *testing.F) {
 	for _, m := range sampleMessages() {
 		frame, err := AppendFrame(nil, m)

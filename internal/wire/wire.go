@@ -52,13 +52,18 @@ import (
 
 // FormatVersion is the base frame format generation; FormatVersionTC
 // is the extension that prefixes the header with a flags byte and an
-// optional trace context. Readers accept both; writers emit the base
-// version whenever the message carries no trace context, so tracing
-// costs zero wire bytes when disabled. Any other version byte is
-// rejected (ErrVersion) — peers must run the same format.
+// optional trace context; FormatVersionBatch marks a batched frame —
+// one envelope whose payload is a transport.BatchMsg carrying N member
+// messages, each with its own flags/trace-context/endpoint header.
+// Readers accept all three; writers emit the base version whenever the
+// message carries no trace context (so tracing costs zero wire bytes
+// when disabled) and the batch version exactly when the payload is a
+// BatchMsg. Any other version byte is rejected (ErrVersion) — peers
+// must run the same format.
 const (
-	FormatVersion   = 1
-	FormatVersionTC = 2
+	FormatVersion      = 1
+	FormatVersionTC    = 2
+	FormatVersionBatch = 3
 )
 
 // Header flag bits (FormatVersionTC frames only).
@@ -95,6 +100,9 @@ const (
 	idSpanReport       = 18
 	idCoordState       = 19
 	idStaleTerm        = 20
+	idBatch            = 21
+	idCounters         = 22
+	idCountersReq      = 23
 )
 
 // Op kind bytes inside SubtxnSpec updates.
@@ -167,6 +175,12 @@ func TypeName(id uint64) string {
 		return "coord_state"
 	case idStaleTerm:
 		return "stale_term"
+	case idBatch:
+		return "batch"
+	case idCounters:
+		return "counters"
+	case idCountersReq:
+		return "counters_req"
 	}
 	return ""
 }
@@ -196,6 +210,9 @@ func Prototypes() map[uint64]any {
 		idSpanReport:       core.SpanReportMsg{},
 		idCoordState:       core.CoordStateMsg{},
 		idStaleTerm:        core.StaleTermMsg{},
+		idBatch:            transport.BatchMsg{},
+		idCounters:         core.CountersMsg{},
+		idCountersReq:      core.CountersReqMsg{},
 	}
 }
 
@@ -204,6 +221,9 @@ func Prototypes() map[uint64]any {
 // on payload types outside the registry and on malformed payloads (nil
 // subtransaction specs, unknown op kinds).
 func AppendFrame(buf []byte, m transport.Message) ([]byte, error) {
+	if b, ok := m.Payload.(transport.BatchMsg); ok {
+		return appendBatchFrame(buf, m, b)
+	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length backfilled below
 	if m.TC.Sampled() {
@@ -218,6 +238,44 @@ func AppendFrame(buf []byte, m transport.Message) ([]byte, error) {
 	buf, err := appendPayload(buf, m.Payload, 0)
 	if err != nil {
 		return buf[:start], err
+	}
+	body := len(buf) - start - 4
+	if body > MaxFrame {
+		return buf[:start], fmt.Errorf("wire: frame body %d exceeds MaxFrame", body)
+	}
+	binary.BigEndian.PutUint32(buf[start:], uint32(body))
+	return buf, nil
+}
+
+// appendBatchFrame writes one FormatVersionBatch frame: the envelope's
+// endpoints, then the member count, then each member's own header
+// (flags byte, optional trace context, endpoints) and payload. The
+// envelope's trace context is not encoded — a batch is a transport
+// artifact, not a traced protocol event; members keep their own
+// contexts. Members must not themselves be BatchMsg (no nesting).
+func appendBatchFrame(buf []byte, m transport.Message, b transport.BatchMsg) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length backfilled below
+	buf = append(buf, FormatVersionBatch)
+	buf = binary.AppendVarint(buf, int64(m.From))
+	buf = binary.AppendVarint(buf, int64(m.To))
+	buf = binary.AppendUvarint(buf, idBatch)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Msgs)))
+	for _, mm := range b.Msgs {
+		if mm.TC.Sampled() {
+			buf = append(buf, flagTraceContext)
+			buf = binary.AppendUvarint(buf, mm.TC.TraceID)
+			buf = binary.AppendUvarint(buf, mm.TC.SpanID)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendVarint(buf, int64(mm.From))
+		buf = binary.AppendVarint(buf, int64(mm.To))
+		var err error
+		buf, err = appendPayload(buf, mm.Payload, 0)
+		if err != nil {
+			return buf[:start], err
+		}
 	}
 	body := len(buf) - start - 4
 	if body > MaxFrame {
@@ -368,6 +426,36 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		buf = binary.AppendUvarint(buf, idStaleTerm)
 		buf = binary.AppendUvarint(buf, p.Term)
 		return binary.AppendVarint(buf, int64(p.Node)), nil
+	case transport.BatchMsg:
+		// A BatchMsg is only valid as the whole frame (FormatVersionBatch,
+		// handled by AppendFrame); reaching this switch means it is nested
+		// inside another payload, which the format forbids.
+		return buf, fmt.Errorf("wire: nested BatchMsg")
+	case core.CountersReqMsg:
+		buf = binary.AppendUvarint(buf, idCountersReq)
+		buf = binary.AppendUvarint(buf, uint64(len(p.Versions)))
+		for _, v := range p.Versions {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+		buf = binary.AppendVarint(buf, int64(p.Round))
+		return binary.AppendUvarint(buf, p.Term), nil
+	case core.CountersMsg:
+		buf = binary.AppendUvarint(buf, idCounters)
+		buf = binary.AppendVarint(buf, int64(p.Round))
+		buf = binary.AppendVarint(buf, int64(p.Node))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Entries)))
+		for _, e := range p.Entries {
+			buf = binary.AppendUvarint(buf, uint64(e.Version))
+			buf = binary.AppendUvarint(buf, uint64(len(e.R)))
+			for _, v := range e.R {
+				buf = binary.AppendVarint(buf, v)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(e.C)))
+			for _, v := range e.C {
+				buf = binary.AppendVarint(buf, v)
+			}
+		}
+		return buf, nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -468,6 +556,8 @@ func DecodeFrame(body []byte) (transport.Message, error) {
 			tc.TraceID = d.uvarint()
 			tc.SpanID = d.uvarint()
 		}
+	case FormatVersionBatch:
+		return decodeBatchFrame(d)
 	default:
 		if d.err != nil {
 			return transport.Message{}, d.err
@@ -484,6 +574,47 @@ func DecodeFrame(body []byte) (transport.Message, error) {
 		return transport.Message{}, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(d.b)-d.off)
 	}
 	return transport.Message{From: model.NodeID(from), To: model.NodeID(to), Payload: payload, TC: tc}, nil
+}
+
+// decodeBatchFrame parses the remainder of a FormatVersionBatch body
+// (the version byte is already consumed): envelope endpoints, idBatch,
+// member count, then each member's flags/trace-context/endpoints/
+// payload. The envelope carries no trace context of its own.
+func decodeBatchFrame(d *decoder) (transport.Message, error) {
+	from := d.varint()
+	to := d.varint()
+	if id := d.uvarint(); d.err == nil && id != idBatch {
+		return transport.Message{}, fmt.Errorf("wire: batch frame with payload id %d", id)
+	}
+	n := d.count()
+	var msgs []transport.Message
+	if n > 0 {
+		msgs = make([]transport.Message, 0, n)
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		var mtc obs.TraceContext
+		flags := d.byte()
+		if d.err == nil && flags&^flagTraceContext != 0 {
+			return transport.Message{}, fmt.Errorf("%w: unknown member flags %#x", ErrVersion, flags)
+		}
+		if flags&flagTraceContext != 0 {
+			mtc.TraceID = d.uvarint()
+			mtc.SpanID = d.uvarint()
+		}
+		mfrom := d.varint()
+		mto := d.varint()
+		payload := d.payload(0)
+		msgs = append(msgs, transport.Message{
+			From: model.NodeID(mfrom), To: model.NodeID(mto), Payload: payload, TC: mtc,
+		})
+	}
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	if d.off != len(d.b) {
+		return transport.Message{}, fmt.Errorf("%w: %d byte(s)", ErrTrailing, len(d.b)-d.off)
+	}
+	return transport.Message{From: model.NodeID(from), To: model.NodeID(to), Payload: transport.BatchMsg{Msgs: msgs}}, nil
 }
 
 // decoder is a cursor over one frame body. The first error sticks; all
@@ -706,6 +837,48 @@ func (d *decoder) payload(depth int) any {
 		}
 	case idStaleTerm:
 		return core.StaleTermMsg{Term: d.uvarint(), Node: model.NodeID(d.varint())}
+	case idBatch:
+		// Batches are only valid as the top of a FormatVersionBatch frame
+		// (decoded by decodeBatchFrame); inside any payload position they
+		// would be nesting, which the format forbids.
+		d.fail(fmt.Errorf("wire: nested batch payload"))
+		return nil
+	case idCountersReq:
+		m := core.CountersReqMsg{}
+		if n := d.count(); n > 0 {
+			m.Versions = make([]model.Version, n)
+			for i := range m.Versions {
+				m.Versions[i] = model.Version(d.uvarint())
+			}
+		}
+		m.Round = int(d.varint())
+		m.Term = d.uvarint()
+		return m
+	case idCounters:
+		m := core.CountersMsg{
+			Round: int(d.varint()),
+			Node:  model.NodeID(d.varint()),
+		}
+		if n := d.count(); n > 0 {
+			m.Entries = make([]core.VersionCounters, n)
+			for i := range m.Entries {
+				e := &m.Entries[i]
+				e.Version = model.Version(d.uvarint())
+				if k := d.count(); k > 0 {
+					e.R = make([]int64, k)
+					for j := range e.R {
+						e.R[j] = d.varint()
+					}
+				}
+				if k := d.count(); k > 0 {
+					e.C = make([]int64, k)
+					for j := range e.C {
+						e.C[j] = d.varint()
+					}
+				}
+			}
+		}
+		return m
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
 	return nil

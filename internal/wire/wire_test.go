@@ -95,6 +95,24 @@ func sampleMessages() []transport.Message {
 			{TraceID: 7, SpanID: 7, Name: "txn", Node: 0, Start: 5, Dur: 10},
 		}}},
 		{From: 2, To: 1, Payload: core.SpanReportMsg{}}, // empty report
+		{From: 3, To: 0, Payload: core.CountersReqMsg{Versions: []model.Version{2, 3}, Round: 17, Term: 7}},
+		{From: 3, To: 0, Payload: core.CountersReqMsg{Round: 1}}, // no versions, unfenced
+		{From: 0, To: 3, Payload: core.CountersMsg{
+			Round: 17, Node: 0,
+			Entries: []core.VersionCounters{
+				{Version: 2, R: []int64{5, 0, 12, 3}, C: []int64{4, 1, 0, -2}},
+				{Version: 3},
+			},
+		}},
+		{From: 0, To: 3, Payload: core.CountersMsg{Round: 18, Node: 0}}, // no entries
+		// Batched frames: one version-3 envelope, members keep their own
+		// endpoints and trace contexts.
+		{From: 0, To: 2, Payload: transport.BatchMsg{Msgs: []transport.Message{
+			{From: 0, To: 2, Payload: reliable.DataMsg{Seq: 7, Payload: core.GCMsg{Keep: 5, Term: 7}}},
+			{From: 0, To: 2, TC: obs.TraceContext{TraceID: 42, SpanID: 43}, Payload: reliable.DataMsg{Seq: 8, Payload: core.UnlockMsg{Txn: 42}}},
+			{From: 2, To: 0, Payload: reliable.AckMsg{CumAck: 12}},
+		}}},
+		{From: 1, To: 0, Payload: transport.BatchMsg{}}, // empty batch
 	}
 }
 
@@ -161,7 +179,7 @@ func TestDecodeRejectsCorruptFrames(t *testing.T) {
 
 	cases := map[string][]byte{
 		"empty":           {},
-		"bad version":     append([]byte{FormatVersionTC + 1}, body[1:]...),
+		"bad version":     append([]byte{FormatVersionBatch + 1}, body[1:]...),
 		"truncated":       body[:len(body)/2],
 		"trailing":        append(append([]byte{}, body...), 0),
 		"unknown type id": {FormatVersion, 0, 2, 0xFF, 0x7F},
@@ -215,6 +233,71 @@ func TestHeaderVersionGating(t *testing.T) {
 	}
 	if old.TC.Sampled() {
 		t.Fatalf("v1 frame decoded with trace context %+v", old.TC)
+	}
+}
+
+// TestBatchFrameFormat pins the batch framing contract: a BatchMsg
+// payload always emits a version-3 frame, nesting is rejected in both
+// directions (a batch inside a batch on encode, a batch payload id
+// anywhere but the top of a v3 frame on decode), and members may be
+// session envelopes but the members' payloads may not be batches.
+func TestBatchFrameFormat(t *testing.T) {
+	batch := transport.Message{From: 0, To: 1, Payload: transport.BatchMsg{Msgs: []transport.Message{
+		{From: 0, To: 1, Payload: core.GCMsg{Keep: 2}},
+	}}}
+	frame, err := AppendFrame(nil, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[4] != FormatVersionBatch {
+		t.Fatalf("batch frame has version %d, want %d", frame[4], FormatVersionBatch)
+	}
+
+	// Nested batch on encode must be rejected.
+	nested := transport.Message{From: 0, To: 1, Payload: transport.BatchMsg{Msgs: []transport.Message{
+		{From: 0, To: 1, Payload: transport.BatchMsg{}},
+	}}}
+	if _, err := AppendFrame(nil, nested); err == nil {
+		t.Fatal("encode accepted a batch nested inside a batch")
+	}
+
+	// idBatch inside an ordinary (v1) frame must be rejected on decode.
+	v1batch := []byte{FormatVersion, 0, 2, idBatch, 0}
+	if _, err := DecodeFrame(v1batch); err == nil {
+		t.Fatal("decode accepted a batch payload inside a v1 frame")
+	}
+
+	// A v3 frame whose payload id is not idBatch must be rejected.
+	bad := append([]byte{}, frame[4:]...)
+	// [ver][From=0 varint][To=1 varint][id] — id is the 4th byte here.
+	bad[3] = idGC
+	if _, err := DecodeFrame(bad); err == nil {
+		t.Fatal("decode accepted a v3 frame without a batch payload")
+	}
+
+	// A member carrying an unknown flag bit must be rejected.
+	withFlag := append([]byte{}, frame[4:]...)
+	withFlag[5] = 0x02 // member flags byte (after ver, from, to, id, count)
+	if _, err := DecodeFrame(withFlag); err == nil {
+		t.Fatal("decode accepted a batch member with unknown flags")
+	}
+
+	// Members may target different endpoints than the envelope and keep
+	// their own trace contexts (tcpnet routes each member by its own To).
+	mixed := transport.Message{From: 0, To: 5, Payload: transport.BatchMsg{Msgs: []transport.Message{
+		{From: 0, To: 1, TC: obs.TraceContext{TraceID: 3, SpanID: 4}, Payload: core.UnlockMsg{Txn: 9}},
+		{From: 0, To: 2, Payload: core.GCMsg{Keep: 1}},
+	}}}
+	mf, err := AppendFrame(nil, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(mf[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mixed, got) {
+		t.Fatalf("mixed-endpoint batch round trip:\n sent %+v\n got  %+v", mixed, got)
 	}
 }
 

@@ -136,6 +136,27 @@ type Config struct {
 	// DisableObs turns the observability layer off entirely (no
 	// histograms, no event log); Obs/ObsEvents then return zero values.
 	DisableObs bool
+	// Batching turns on end-to-end hot-path batching: the network
+	// coalesces each link's frames into batched envelopes per flush
+	// window, the reliable session (when enabled) flushes data in
+	// batches with piggybacked, delayed acks, node workers admit work
+	// in chunks that share one WAL barrier, and the coordinator's
+	// quiescence sweeps use the batched counter protocol. Defaults:
+	// 50µs flush window, admission chunks of 64 (except under
+	// NonCommuting, where chunked admission is disabled).
+	Batching bool
+	// BatchWindow overrides the batching flush window (0 = the 50µs
+	// default). Only meaningful with Batching set.
+	BatchWindow time.Duration
+	// ExecChunk overrides the admission chunk size (0 = the default of
+	// 64). Only meaningful with Batching set.
+	ExecChunk int
+	// PerBatchLatency charges the simulated per-message network latency
+	// and jitter once per batched envelope instead of once per member —
+	// the model of a transport whose per-message cost is dominated by
+	// per-packet overhead. Used by the jitter-ablation benchmark; only
+	// meaningful with Batching set.
+	PerBatchLatency bool
 }
 
 // DB is a running 3V database.
@@ -150,23 +171,47 @@ type DB struct {
 
 // Open builds and starts a DB.
 func Open(cfg Config) (*DB, error) {
+	nc := transport.Config{
+		BaseLatency: cfg.NetworkLatency,
+		Jitter:      cfg.NetworkJitter,
+		Seed:        cfg.Seed,
+		Faults:      cfg.Faults,
+	}
+	rc := cfg.ReliableConfig
+	execChunk := 0
+	batchedCounters := false
+	if cfg.Batching {
+		window := cfg.BatchWindow
+		if window <= 0 {
+			window = 50 * time.Microsecond
+		}
+		nc.BatchWindow = window
+		nc.PerBatchLatency = cfg.PerBatchLatency
+		if cfg.Reliable && rc.FlushInterval <= 0 {
+			rc.FlushInterval = window
+		}
+		if !cfg.NonCommuting {
+			execChunk = cfg.ExecChunk
+			if execChunk <= 0 {
+				execChunk = 64
+			}
+		}
+		batchedCounters = true
+	}
 	c, err := core.NewCluster(core.Config{
-		Nodes:          cfg.Nodes,
-		Workers:        cfg.Workers,
-		NCMode:         cfg.NonCommuting,
-		LockWait:       cfg.LockWait,
-		PollInterval:   cfg.PollInterval,
-		Reliable:       cfg.Reliable,
-		ReliableConfig: cfg.ReliableConfig,
-		AckTimeout:     cfg.AckTimeout,
-		ResendInterval: cfg.ResendInterval,
-		DisableObs:     cfg.DisableObs,
-		NetConfig: transport.Config{
-			BaseLatency: cfg.NetworkLatency,
-			Jitter:      cfg.NetworkJitter,
-			Seed:        cfg.Seed,
-			Faults:      cfg.Faults,
-		},
+		Nodes:           cfg.Nodes,
+		Workers:         cfg.Workers,
+		NCMode:          cfg.NonCommuting,
+		LockWait:        cfg.LockWait,
+		PollInterval:    cfg.PollInterval,
+		Reliable:        cfg.Reliable,
+		ReliableConfig:  rc,
+		AckTimeout:      cfg.AckTimeout,
+		ResendInterval:  cfg.ResendInterval,
+		DisableObs:      cfg.DisableObs,
+		ExecChunk:       execChunk,
+		BatchedCounters: batchedCounters,
+		NetConfig:       nc,
 	})
 	if err != nil {
 		return nil, err
@@ -199,6 +244,16 @@ func (db *DB) Preload(node NodeID, key string, fields map[string]int64) {
 // builder (or an explicit TxnSpec via SubmitSpec).
 func (db *DB) Submit(spec *TxnSpec) (*Handle, error) {
 	return db.cluster.Submit(spec)
+}
+
+// SubmitBatch validates and launches a group of transactions in one
+// admission flush: all specs are validated before any is launched, and
+// roots bound for the same node travel in one batched envelope.
+// Semantically equivalent to a loop of Submit calls — each member is
+// still an independent transaction with its own handle — but the hot
+// path pays per-destination, not per-transaction, costs.
+func (db *DB) SubmitBatch(specs []*TxnSpec) ([]*Handle, error) {
+	return db.cluster.SubmitBatch(specs)
 }
 
 // Advance runs one version-advancement cycle: new updates start
