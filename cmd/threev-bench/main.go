@@ -58,6 +58,15 @@
 // unless the observed mean batch size exceeds 1, proving the batched
 // path actually carried the load (the CI smoke uses it).
 //
+// -partitions P runs the calibration with the keyspace split into P
+// independently-advancing partitions, and -skew S biases the workload's
+// group selection (P(g) ∝ (g+1)^-S) so a few partitions run hot. Every
+// per-partition sweep samples the advancement histogram, making the
+// advance quantiles per-partition sweep latencies; the run fails unless
+// the per-partition convergence/balance audit passes. The P=1-vs-P=4
+// delta under skew is the "Partitioned advancement" section of
+// EXPERIMENTS.md (BENCH_5.json).
+//
 // -gogc N sets the garbage collector's target percentage for the
 // process (runtime/debug.SetGCPercent). On a single-core host the
 // default target of 100 triggers a concurrent mark for every doubling
@@ -93,6 +102,7 @@ import (
 	"repro/internal/transport"
 	"repro/internal/transport/reliable"
 	"repro/internal/transport/tcpnet"
+	"repro/internal/verify"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -124,6 +134,12 @@ type benchSnapshot struct {
 	// MeanBatchSize the observed mean messages per net flush envelope.
 	Batch         int     `json:"batch,omitempty"`
 	MeanBatchSize float64 `json:"mean_batch_size,omitempty"`
+	// Partitions and Skew record a partitioned-calibration run: P
+	// independently-advancing partitions under a (g+1)^-skew key
+	// distribution. In such runs every per-partition sweep samples the
+	// advance histogram, so AdvanceP99Ms is per-partition sweep latency.
+	Partitions int     `json:"partitions,omitempty"`
+	Skew       float64 `json:"skew,omitempty"`
 	// GOGC records a non-default GC target percentage the run was taken
 	// with (the -gogc flag); absent means the runtime default. On a
 	// single-core host the default target keeps the batched hot path
@@ -153,6 +169,8 @@ type calibrationRun struct {
 	Reliable      bool            `json:"reliable,omitempty"`
 	Failover      bool            `json:"failover,omitempty"`
 	Batch         int             `json:"batch,omitempty"`
+	Partitions    int             `json:"partitions,omitempty"`
+	Skew          float64         `json:"skew,omitempty"`
 	WALMode       string          `json:"wal_mode,omitempty"`
 	WALRecords    uint64          `json:"wal_records,omitempty"`
 	WALFsyncs     int64           `json:"wal_fsyncs,omitempty"`
@@ -172,6 +190,8 @@ func main() {
 	walMode := flag.String("wal", "", "durability calibration: none | never | interval | always (three durable single-node clusters over loopback TCP)")
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
 	batch := flag.Int("batch", 0, "calibration run: enable the batched hot path and group N submissions per launch (0 = off)")
+	partitions := flag.Int("partitions", 1, "calibration run: split the keyspace into P independently-advancing partitions")
+	skew := flag.Float64("skew", 0, "calibration run: workload group-selection skew (P(g) ∝ (g+1)^-skew; 0 = uniform)")
 	perBatchLatency := flag.Bool("per-batch-latency", false, "with -batch: charge the mem transport's simulated latency + jitter once per flush envelope instead of once per message (jitter ablation)")
 	assertBatched := flag.Bool("assert-batched", false, "with -batch: fail unless the run's observed mean net batch size exceeds 1")
 	gogc := flag.Int("gogc", 0, "set the GC target percentage (runtime/debug.SetGCPercent) for the whole process; 0 leaves the runtime default / GOGC env; recorded in -out snapshots")
@@ -219,6 +239,10 @@ func main() {
 	}
 	if *traceSample > 0 && *walMode != "" {
 		fmt.Fprintln(os.Stderr, "-trace-sample applies to the mem/tcp calibration run; drop -wal")
+		os.Exit(1)
+	}
+	if (*partitions > 1 || *skew != 0) && *walMode != "" {
+		fmt.Fprintln(os.Stderr, "-partitions/-skew apply to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
 	}
 	if *gogc > 0 {
@@ -317,10 +341,17 @@ func main() {
 		}
 	} else if *jsonOut != "" || *out != "" || *traceSample > 0 {
 		var calErr error
-		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover, *batch, *perBatchLatency)
+		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover, *batch, *perBatchLatency, *partitions, *skew)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
 			failures++
+		}
+	}
+
+	if cal != nil && *walMode == "" {
+		if adv := cal.Obs.AdvTotal; adv.Count > 0 {
+			fmt.Printf("advancement sweeps: %d, latency p50/p99 %.3f/%.3f ms\n",
+				adv.Count, float64(adv.P50())/1e6, float64(adv.P99())/1e6)
 		}
 	}
 
@@ -390,6 +421,8 @@ func main() {
 			Failover:      cal.Failover,
 			Batch:         cal.Batch,
 			MeanBatchSize: roundMs(cal.Obs.Gauges[obs.GaugeNetBatchMeanSize]),
+			Partitions:    cal.Partitions,
+			Skew:          cal.Skew,
 			GOGC:          *gogc,
 			ThroughputTPS: roundMs(cal.ThroughputTPS),
 			ReadP50Ms:     roundMs(float64(cal.Obs.TxnRead.P50()) / 1e6),
@@ -515,11 +548,19 @@ func stageSumsCheckOut(s obs.Snapshot) bool {
 // counter sweeps) and submits batch-sized groups through
 // Cluster.SubmitBatch; perBatchLat additionally charges the mem
 // transport's simulated latency + jitter once per flush envelope —
-// the jitter ablation.
-func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool, batch int, perBatchLat bool) (*calibrationRun, []obs.Trace, error) {
+// the jitter ablation. partitions > 1 splits the keyspace into
+// independently-advancing partitions (every sweep samples AdvTotal per
+// partition, so the advance quantiles become per-partition sweep
+// latencies) and skew biases group selection toward hot keys — together
+// they are the "Partitioned advancement" measurement of EXPERIMENTS.md.
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool, batch int, perBatchLat bool, partitions int, skew float64) (*calibrationRun, []obs.Trace, error) {
 	const nodes = 4
+	if partitions <= 1 {
+		partitions = 0 // unpartitioned: keep the field out of snapshots
+	}
 	ccfg := core.Config{
-		Nodes: nodes,
+		Nodes:      nodes,
+		Partitions: partitions,
 		NetConfig: transport.Config{
 			Jitter: 200 * time.Microsecond,
 			Seed:   1,
@@ -582,6 +623,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		Groups:       256,
 		Span:         2,
 		ReadFraction: 0.2,
+		Skew:         skew,
 		Seed:         1,
 	})
 	res := harness.Run(baseline.ThreeV{Cluster: cluster}, harness.RunConfig{
@@ -597,6 +639,12 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 			cluster.Preload(n, k, rec)
 		},
 	})
+	if partitions > 1 {
+		if prep := verify.CheckPartitions(cluster); !prep.OK() {
+			return nil, nil, fmt.Errorf("per-partition audit failed: %v", prep.Violations)
+		}
+		fmt.Printf("partitioned calibration: %d partitions, per-partition audit OK\n", partitions)
+	}
 	cal := &calibrationRun{
 		Txns:          txns,
 		Completed:     res.Completed,
@@ -607,6 +655,8 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		Reliable:      reliableNet,
 		Failover:      failoverOn,
 		Batch:         batch,
+		Partitions:    partitions,
+		Skew:          skew,
 		Transport:     cluster.Metrics().Transport,
 		Obs:           cluster.ObsSnapshot(),
 	}

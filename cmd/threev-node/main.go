@@ -45,11 +45,17 @@
 // text, /metrics.json, /events.json, /traces.json) plus a small control
 // surface:
 //
-//	/state               JSON: versions, coordinator role + term, transport stats
+//	/state               JSON: versions (legacy vr/vu plus a per-partition
+//	                     array with version/term/lag and the placement map),
+//	                     coordinator role + term, transport stats
 //	/workload?txns=N     run N commuting update trees rooted here (+1 on
-//	                     every process's account, children fan out)
+//	                     every process's account, children fan out; with
+//	                     -partitions P > 1, one single-account update per
+//	                     txn routed to its partition's primary owner)
 //	/read                read this process's account at the read version
-//	/advance             run one advancement cycle (active coordinator only)
+//	                     (partitioned: the accounts this process owns)
+//	/advance[?part=N]    run one advancement cycle — all partitions, or
+//	                     just partition N (active coordinator only)
 //	/killconns           sever every TCP connection (recovery testing)
 //	/quit                graceful shutdown
 //
@@ -119,15 +125,32 @@ type nodeServer struct {
 	quit    chan struct{}
 }
 
-// stateReport is the /state response.
+// partitionState is one partition's entry in the /state response:
+// core.PartitionState (part, primary, vr, vu, max_lag) plus the highest
+// fencing term this process has observed for that partition.
+type partitionState struct {
+	core.PartitionState
+	Term uint64 `json:"term"`
+}
+
+// stateReport is the /state response. VR/VU are the legacy single-pair
+// fields: partition 0's pair, which with -partitions 1 (the default) is
+// the cluster's only version pair. Partitioned state lives in
+// Partitions, one entry per partition.
 type stateReport struct {
-	ID          int      `json:"id"`
-	Nodes       int      `json:"nodes"`
-	Coordinator bool     `json:"coordinator"`
-	Role        string   `json:"role"`
-	Term        uint64   `json:"term"`
-	VR          int64    `json:"vr"`
-	VU          int64    `json:"vu"`
+	ID          int    `json:"id"`
+	Nodes       int    `json:"nodes"`
+	Coordinator bool   `json:"coordinator"`
+	Role        string `json:"role"`
+	Term        uint64 `json:"term"`
+	VR          int64  `json:"vr"`
+	VU          int64  `json:"vu"`
+	// NumPartitions and the placement map: which node group owns each
+	// partition, and the map's version (bumped on future rebalances).
+	NumPartitions    int              `json:"num_partitions"`
+	PlacementVersion int              `json:"placement_version"`
+	Placement        [][]model.NodeID `json:"placement,omitempty"`
+	Partitions       []partitionState `json:"partitions,omitempty"`
 	Committed   int64    `json:"committed_updates"`
 	Violations  []string `json:"violations"`
 	Convergence []string `json:"convergence_errors"`
@@ -152,6 +175,14 @@ func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 	if active {
 		role = "active"
 	}
+	pm := s.cluster.PlacementMap()
+	parts := make([]partitionState, 0, s.cluster.Partitions())
+	for _, st := range s.cluster.PartitionStates() {
+		parts = append(parts, partitionState{
+			PartitionState: st,
+			Term:           s.cluster.Node(s.id).TermPart(st.Part),
+		})
+	}
 	rep := stateReport{
 		ID:          s.id,
 		Nodes:       s.nodes,
@@ -160,7 +191,13 @@ func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 		Term:        term,
 		VR:          int64(vr),
 		VU:          int64(vu),
-		Committed:   s.cluster.CommittedUpdates(),
+
+		NumPartitions:    s.cluster.Partitions(),
+		PlacementVersion: pm.Version,
+		Placement:        pm.Owners,
+		Partitions:       parts,
+
+		Committed: s.cluster.CommittedUpdates(),
 		Violations:  s.cluster.Violations(),
 		Convergence: s.cluster.ConvergenceErrors(),
 		Messages:    ts.Messages,
@@ -194,17 +231,39 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		txns = n
 	}
 	specs := make([]*model.TxnSpec, txns)
+	pm := s.cluster.PlacementMap()
 	for i := range specs {
-		root := &model.SubtxnSpec{
-			Node:    model.NodeID(s.id),
-			Updates: []model.KeyOp{{Key: accountKey(s.id), Op: model.AddOp{Field: "bal", Delta: 1}}},
-		}
-		for j := 0; j < s.nodes; j++ {
-			if j != s.id {
-				root.Children = append(root.Children, &model.SubtxnSpec{
-					Node:    model.NodeID(j),
-					Updates: []model.KeyOp{{Key: accountKey(j), Op: model.AddOp{Field: "bal", Delta: 1}}},
-				})
+		var root *model.SubtxnSpec
+		if s.cluster.Partitions() > 1 {
+			// Partitioned: transactions may not cross partitions, and the
+			// account keys hash to arbitrary ones — so each transaction
+			// updates one account, round-robin across processes, addressed
+			// to the primary owner of that key's partition (owner routing
+			// rather than a broadcast tree). Submit requires the root to
+			// be hosted locally, so when the owner is a remote node the
+			// update rides a single child subtxn under a keyless local
+			// root — one wire hop to the owner, nothing sent anywhere
+			// else.
+			key := accountKey(i % s.nodes)
+			op := model.KeyOp{Key: key, Op: model.AddOp{Field: "bal", Delta: 1}}
+			root = &model.SubtxnSpec{Node: model.NodeID(s.id)}
+			if owner := pm.Primary(pm.Of(key)); owner == model.NodeID(s.id) {
+				root.Updates = []model.KeyOp{op}
+			} else {
+				root.Children = []*model.SubtxnSpec{{Node: owner, Updates: []model.KeyOp{op}}}
+			}
+		} else {
+			root = &model.SubtxnSpec{
+				Node:    model.NodeID(s.id),
+				Updates: []model.KeyOp{{Key: accountKey(s.id), Op: model.AddOp{Field: "bal", Delta: 1}}},
+			}
+			for j := 0; j < s.nodes; j++ {
+				if j != s.id {
+					root.Children = append(root.Children, &model.SubtxnSpec{
+						Node:    model.NodeID(j),
+						Updates: []model.KeyOp{{Key: accountKey(j), Op: model.AddOp{Field: "bal", Delta: 1}}},
+					})
+				}
 			}
 		}
 		specs[i] = &model.TxnSpec{Label: fmt.Sprintf("demo-%d", i), Root: root}
@@ -248,37 +307,84 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *nodeServer) handleRead(w http.ResponseWriter, _ *http.Request) {
-	h, err := s.cluster.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
-		Node:  model.NodeID(s.id),
-		Reads: []string{accountKey(s.id)},
-	}})
+	// readLocal runs one locally-rooted read transaction for key and
+	// returns its balance and the version the read was served at.
+	readLocal := func(key string) (any, model.Version, error) {
+		h, err := s.cluster.Submit(&model.TxnSpec{Root: &model.SubtxnSpec{
+			Node:  model.NodeID(s.id),
+			Reads: []string{key},
+		}})
+		if err != nil {
+			return nil, 0, err
+		}
+		if !h.WaitTimeout(time.Minute) {
+			return nil, 0, fmt.Errorf("read of %q did not complete", key)
+		}
+		reads := h.Reads()
+		if len(reads) != 1 {
+			return nil, 0, fmt.Errorf("read of %q returned %d results", key, len(reads))
+		}
+		return reads[0].Record.Field("bal"), reads[0].VersionRead, nil
+	}
+	if s.cluster.Partitions() > 1 {
+		// Partitioned: the workload routes every update to the primary
+		// owner of its key's partition, so account records materialize
+		// only at their owners. Each process reports the accounts whose
+		// partition it is primary for; a process owning no partition
+		// returns an empty map. Reads stay one-key-per-transaction
+		// because two owned accounts may live in different partitions
+		// and transactions cannot cross them.
+		pm := s.cluster.PlacementMap()
+		owned := map[string]any{}
+		var ver model.Version
+		for j := 0; j < s.nodes; j++ {
+			key := accountKey(j)
+			if pm.Primary(pm.Of(key)) != model.NodeID(s.id) {
+				continue
+			}
+			bal, v, err := readLocal(key)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			owned[key] = bal
+			if v > ver {
+				ver = v
+			}
+		}
+		writeJSON(w, map[string]any{"owned": owned, "version": ver})
+		return
+	}
+	bal, ver, err := readLocal(accountKey(s.id))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if !h.WaitTimeout(time.Minute) {
-		http.Error(w, "read did not complete", http.StatusGatewayTimeout)
-		return
-	}
-	reads := h.Reads()
-	if len(reads) != 1 {
-		http.Error(w, fmt.Sprintf("read returned %d results", len(reads)), http.StatusInternalServerError)
-		return
-	}
 	writeJSON(w, map[string]any{
 		"key":     accountKey(s.id),
-		"bal":     reads[0].Record.Field("bal"),
-		"version": reads[0].VersionRead,
+		"bal":     bal,
+		"version": ver,
 	})
 }
 
-func (s *nodeServer) handleAdvance(w http.ResponseWriter, _ *http.Request) {
-	rep := s.cluster.Advance()
+func (s *nodeServer) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var rep core.AdvanceReport
+	if q := r.URL.Query().Get("part"); q != "" {
+		part, err := strconv.Atoi(q)
+		if err != nil || part < 0 || part >= s.cluster.Partitions() {
+			http.Error(w, fmt.Sprintf("part must be an integer in [0,%d)", s.cluster.Partitions()), http.StatusBadRequest)
+			return
+		}
+		rep = s.cluster.AdvancePartition(part)
+	} else {
+		rep = s.cluster.Advance()
+	}
 	if rep.Err != nil {
 		http.Error(w, rep.Err.Error(), http.StatusConflict)
 		return
 	}
 	writeJSON(w, map[string]any{
+		"part":     rep.Part,
 		"new_vr":   rep.NewVR,
 		"new_vu":   rep.NewVU,
 		"total_ms": float64(rep.Total) / 1e6,
@@ -316,6 +422,7 @@ func main() {
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Second, "background checkpoint period with -data-dir")
 	batch := flag.Int("batch", 0, "enable the batched hot path (batched wire frames, chunked admission, batched counter sweeps) and group /workload submissions N at a time (0 = off)")
+	partitions := flag.Int("partitions", 1, "split the keyspace into P partitions, each with its own independently-advancing version pair (same value on every process)")
 	traceSample := flag.Int("trace-sample", 64, "head-sample 1 in N transactions for causal tracing (1 = every txn, 0 = tracing off)")
 	traceSlow := flag.Duration("trace-slow", 0, "also trace and log any transaction slower than this, sampled or not (0 = off)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
@@ -327,7 +434,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *batch, *traceSample, *traceSlow, logger); err != nil {
+	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *batch, *partitions, *traceSample, *traceSlow, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -367,7 +474,7 @@ func slowTxnAttrs(sp obs.Span) []any {
 	return attrs
 }
 
-func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, batch, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
+func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, batch, partitions, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
 	}
@@ -434,6 +541,7 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 			Dir:                dataDir,
 			Self:               model.NodeID(id),
 			Nodes:              nodes,
+			Partitions:         partitions,
 			Fsync:              policy,
 			CheckpointInterval: ckptInterval,
 		})
@@ -447,6 +555,7 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 
 	cfg := core.Config{
 		Nodes:            nodes,
+		Partitions:       partitions,
 		LocalNodes:       []int{id},
 		LocalCoordinator: startActive,
 		Failover:         true,
@@ -493,9 +602,14 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 	// Crash-harness hook: THREEV_CRASHPOINT=advance-phaseN:K kills this
 	// process (exit 137) the Kth time a sweep it drives completes
 	// advancement phase N — the failover CI gate's seam for killing the
-	// active coordinator at every protocol point.
-	cluster.SetPhaseHook(func(phase int) {
+	// active coordinator at every protocol point. Partitioned clusters
+	// additionally expose advance-pP-phaseN so a kill can target one
+	// partition's sweep while the others keep advancing.
+	cluster.SetPartPhaseHook(func(part, phase int) {
 		harness.MaybeCrash(fmt.Sprintf("advance-phase%d", phase))
+		if partitions > 1 {
+			harness.MaybeCrash(fmt.Sprintf("advance-p%d-phase%d", part, phase))
+		}
 	})
 	// Route wire-codec latency histograms into the cluster's registry so
 	// /metrics exposes threev_wire_encode/decode_seconds.

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	threev-sim [-system 3v|nocoord|2pc|manual|syncadv]
-//	           [-nodes 4] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
+//	           [-nodes 4] [-partitions 1] [-txns 2000] [-read 0.2] [-nc 0] [-abort 0]
 //	           [-latency 0] [-jitter 500us] [-advance 5ms] [-conc 8]
 //	           [-seed 1] [-batch 8] [-metrics :8080] [-hold 30s]
 //	           [-pprof :6060] [-cpuprofile FILE] [-memprofile FILE]
@@ -68,6 +68,7 @@ func main() {
 	reliable := flag.Bool("reliable", true, "with -chaos: interpose the reliable-delivery session layer")
 	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N transactions for causal tracing, served at /traces.json (3v only; 0 = off)")
 	batch := flag.Int("batch", 0, "3v only: enable the batched hot path (link coalescing, chunked admission, batched counter sweeps) and group N submissions per launch (0 = off)")
+	partitions := flag.Int("partitions", 1, "3v only: split the keyspace into P partitions, each with its own independently-advancing version pair")
 	var prof profiling.Flags
 	prof.Register(flag.CommandLine)
 	flag.Parse()
@@ -101,14 +102,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-batch cannot be combined with -nc (chunked admission bypasses the NC3V lock path)")
 		os.Exit(1)
 	}
+	if *partitions > 1 && *system != "3v" {
+		fmt.Fprintln(os.Stderr, "-partitions requires -system 3v")
+		os.Exit(1)
+	}
+	if *partitions > 1 && *ncFrac > 0 {
+		fmt.Fprintln(os.Stderr, "-partitions cannot be combined with -nc (NC3V assumes a single global epoch)")
+		os.Exit(1)
+	}
 	switch *system {
 	case "3v":
 		ccfg := core.Config{
-			Nodes:     *nodes,
-			NCMode:    *ncFrac > 0,
-			LockWait:  time.Second,
-			NetConfig: netCfg,
-			Obs:       obs.Options{TraceSampleN: *traceSample},
+			Nodes:      *nodes,
+			NCMode:     *ncFrac > 0,
+			Partitions: *partitions,
+			LockWait:   time.Second,
+			NetConfig:  netCfg,
+			Obs:        obs.Options{TraceSampleN: *traceSample},
 		}
 		if *chaos {
 			ccfg.Reliable = *reliable
@@ -203,6 +213,9 @@ func main() {
 
 	fmt.Printf("%s simulation: %d nodes, %d txns, read=%.0f%% nc=%.0f%% abort=%.0f%%, latency=%v jitter=%v, advance every %v\n",
 		sys.Name(), *nodes, *txns, *readFrac*100, *ncFrac*100, *abortFrac*100, *latency, *jitter, *advance)
+	if *partitions > 1 {
+		fmt.Printf("partitioned: %d partitions, placement map v%d\n", *partitions, cluster.PlacementMap().Version)
+	}
 
 	var cc *harness.Chaos
 	if *chaos {
@@ -280,10 +293,22 @@ func main() {
 	fmt.Println(tbl.String())
 
 	structuralOK := true
+	partitionsOK := true
 	if cluster != nil {
 		rep := verify.CheckStructural(cluster)
 		fmt.Println(rep.String())
 		structuralOK = rep.OK()
+
+		if cluster.Partitions() > 1 {
+			pt := &harness.Table{Title: "partitions", Header: []string{"part", "primary", "vr", "vu", "max lag"}}
+			for _, st := range cluster.PartitionStates() {
+				pt.Add(fmt.Sprint(st.Part), fmt.Sprint(st.Primary), fmt.Sprint(st.VR), fmt.Sprint(st.VU), fmt.Sprint(st.MaxLag))
+			}
+			fmt.Println(pt.String())
+			prep := verify.CheckPartitions(cluster)
+			fmt.Println(prep.String())
+			partitionsOK = prep.OK()
+		}
 
 		m := cluster.Metrics()
 		var dual, comp, impl int64
@@ -343,7 +368,7 @@ func main() {
 		}
 	}
 
-	if res.Anomalies > 0 || !structuralOK || !chaosOK {
+	if res.Anomalies > 0 || !structuralOK || !chaosOK || !partitionsOK {
 		stopProf() // os.Exit skips the deferred finalizer
 		os.Exit(1)
 	}

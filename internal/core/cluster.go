@@ -11,6 +11,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/transport/reliable"
@@ -21,6 +22,15 @@ type Config struct {
 	// Nodes is the number of database nodes (ids 0..Nodes-1). The
 	// coordinator occupies endpoint id Nodes.
 	Nodes int
+	// Partitions splits the keyspace into P independently versioned
+	// partitions (see internal/partition): each runs its own R/C counter
+	// matrix, quiescence detection and epoch, so advancing one partition
+	// never waits on in-flight traffic in another. Every transaction must
+	// stay within one partition (its keys all hash to the same partition;
+	// keyless trees run in partition 0). 0 or 1 selects the unpartitioned
+	// behaviour. Incompatible with NCMode: NC3V's commute locks and
+	// read-version parking assume the single global epoch.
+	Partitions int
 	// LocalNodes, when non-nil, selects distributed mode: only the
 	// listed node ids are hosted by this process; the rest live in
 	// other processes reachable through Transport, which must then be
@@ -143,6 +153,11 @@ type Cluster struct {
 	distributed bool
 	reg         *obs.Registry // nil when cfg.DisableObs
 
+	// nparts is the partition count (>= 1); pmap routes keys to
+	// partitions and partitions to owner node groups.
+	nparts int
+	pmap   *partition.Map
+
 	coordMu sync.RWMutex
 	coord   *Coordinator
 
@@ -151,7 +166,7 @@ type Cluster struct {
 	fo *failoverSet
 
 	hookMu    sync.Mutex
-	phaseHook func(int)
+	phaseHook func(part, phase int)
 
 	seq     atomic.Uint64
 	handles sync.Map // model.TxnID -> *Handle
@@ -171,6 +186,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ExecChunk > 1 && cfg.NCMode {
 		return nil, fmt.Errorf("core: ExecChunk cannot be combined with NCMode")
+	}
+	if cfg.Partitions > 1 && cfg.NCMode {
+		return nil, fmt.Errorf("core: Partitions cannot be combined with NCMode (NC3V assumes a single global epoch)")
 	}
 	if cfg.Journal != nil || cfg.Restore != nil {
 		if cfg.LocalNodes == nil || len(cfg.LocalNodes) != 1 {
@@ -201,11 +219,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			localSet[id] = true
 		}
 	}
-	c := &Cluster{cfg: cfg, distributed: cfg.LocalNodes != nil}
+	nparts := cfg.Partitions
+	if nparts < 1 {
+		nparts = 1
+	}
+	c := &Cluster{cfg: cfg, distributed: cfg.LocalNodes != nil,
+		nparts: nparts, pmap: partition.NewMap(nparts, cfg.Nodes)}
 	if !cfg.DisableObs {
 		c.reg = obs.New(cfg.Obs)
 		c.reg.SetGauge(obs.GaugeVersionRead, 0)
 		c.reg.SetGauge(obs.GaugeVersionUpdate, 1)
+		if nparts > 1 {
+			for p := 0; p < nparts; p++ {
+				c.reg.SetGauge(obs.PartitionVersionGauge(p), 0)
+			}
+		}
 	}
 	// Endpoint space: nodes 0..Nodes-1 plus coordinator endpoints. A
 	// pinned coordinator occupies the single endpoint Nodes; with
@@ -244,7 +272,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			lm = locks.New()
 			lm.WaitBound = cfg.LockWait
 		}
-		nd := newNode(model.NodeID(i), cfg.Nodes, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
+		nd := newNode(model.NodeID(i), cfg.Nodes, c.pmap, coordID, c.net, c, cfg.NCMode, cfg.Workers, lm, c.reg)
 		nd.syncExec = cfg.SyncExec
 		nd.chunk = cfg.ExecChunk
 		nd.journal = cfg.Journal
@@ -252,13 +280,27 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			if r.Store != nil {
 				nd.store = r.Store
 			}
-			if r.Counters != nil {
-				nd.cnt = r.Counters
+			// Per-partition recovered state when present; the legacy
+			// single-partition fields describe partition 0 otherwise.
+			if r.PartCounters != nil {
+				for p, t := range r.PartCounters {
+					if p < nparts && t != nil {
+						nd.cnts[p] = t
+					}
+				}
+			} else if r.Counters != nil {
+				nd.cnts[0] = r.Counters
 			}
-			if r.VU != 0 {
-				nd.vr, nd.vu = r.VR, r.VU
+			if r.PartVU != nil {
+				for p, vu := range r.PartVU {
+					if p < nparts && vu != 0 {
+						nd.pv[p] = verPair{vu: vu, vr: r.PartVR[p]}
+					}
+				}
+			} else if r.VU != 0 {
+				nd.pv[0] = verPair{vu: r.VU, vr: r.VR}
 			}
-			nd.coordTerm.Store(r.CoordTerm)
+			nd.seedTerm(r.CoordTerm)
 		}
 		c.nodes[i] = nd
 		c.net.Register(nd.id, nd.handleMessage)
@@ -280,7 +322,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			}
 		}
 	} else if !c.distributed || cfg.LocalCoordinator {
-		c.coord = newCoordinator(cfg.Nodes, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
+		c.coord = newCoordinator(cfg.Nodes, c.nparts, c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, c.reg)
 		c.coord.batchedCounters = cfg.BatchedCounters
 		// The registered handler indirects through currentCoordinator so a
 		// crashed coordinator can be replaced (CrashCoordinator/Recover)
@@ -352,6 +394,72 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 // NumNodes returns the number of database nodes cluster-wide
 // (including, in distributed mode, nodes hosted elsewhere).
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Partitions returns the partition count (1 when unpartitioned).
+func (c *Cluster) Partitions() int { return c.nparts }
+
+// PlacementMap returns the cluster's partition placement map. The map
+// is immutable after construction; callers must not mutate it.
+func (c *Cluster) PlacementMap() *partition.Map { return c.pmap }
+
+// PartitionState is one partition's operator-visible status, as served
+// by threev-node's /state and checked by the verifiers.
+type PartitionState struct {
+	Part    int           `json:"part"`
+	Primary model.NodeID  `json:"primary"`
+	VR      model.Version `json:"vr"`
+	VU      model.Version `json:"vu"`
+	// MaxLag is the largest outstanding R−C counter-lag entry for the
+	// partition, or -1 in distributed-mode processes, where the
+	// cluster-wide matrix is not computable locally.
+	MaxLag int64 `json:"max_lag"`
+}
+
+// PartitionStates reports each partition's version pair (the
+// coordinator's view when hosted here, else the first local node's) and
+// its largest outstanding counter lag.
+func (c *Cluster) PartitionStates() []PartitionState {
+	coord := c.currentCoordinator()
+	var ref *Node
+	for _, nd := range c.nodes {
+		if nd != nil {
+			ref = nd
+			break
+		}
+	}
+	out := make([]PartitionState, c.nparts)
+	for p := 0; p < c.nparts; p++ {
+		st := PartitionState{Part: p, Primary: c.pmap.Primary(p)}
+		if coord != nil {
+			st.VR, st.VU = coord.VersionsPart(p)
+		} else if ref != nil {
+			st.VR, st.VU = ref.VersionsPart(p)
+		}
+		if c.distributed {
+			st.MaxLag = -1
+		}
+		out[p] = st
+	}
+	if !c.distributed {
+		for _, l := range c.CounterLagSamples() {
+			if l.Part >= 0 && l.Part < len(out) && l.MaxPairLag > out[l.Part].MaxLag {
+				out[l.Part].MaxLag = l.MaxPairLag
+			}
+		}
+	}
+	return out
+}
+
+// PartitionPairs returns each partition's (vr, vu) pair indexed by
+// partition id — the flat form verify.CheckPartitions consumes.
+func (c *Cluster) PartitionPairs() [][2]model.Version {
+	states := c.PartitionStates()
+	out := make([][2]model.Version, len(states))
+	for i, st := range states {
+		out[i] = [2]model.Version{st.VR, st.VU}
+	}
+	return out
+}
 
 // Coordinator returns the current advancement coordinator, or nil in a
 // distributed-mode process that does not host it.
@@ -430,8 +538,21 @@ func (c *Cluster) CoordinatorStatus() (active bool, term uint64) {
 // of every advancement sweep driven from this process — the seam the
 // chaos harness uses to kill the coordinator at a deterministic
 // protocol point. Pass nil to disarm. The hook runs on the sweep's
-// goroutine, outside coordinator locks.
+// goroutine, outside coordinator locks. Partition-aware callers should
+// use SetPartPhaseHook, which also reports which partition's sweep
+// completed the phase.
 func (c *Cluster) SetPhaseHook(h func(phase int)) {
+	if h == nil {
+		c.SetPartPhaseHook(nil)
+		return
+	}
+	c.SetPartPhaseHook(func(_, phase int) { h(phase) })
+}
+
+// SetPartPhaseHook arms the partition-aware variant of SetPhaseHook:
+// the callback receives (partition, phase) after each completed phase
+// of every sweep driven from this process. Pass nil to disarm.
+func (c *Cluster) SetPartPhaseHook(h func(part, phase int)) {
 	c.hookMu.Lock()
 	c.phaseHook = h
 	c.hookMu.Unlock()
@@ -451,7 +572,7 @@ func (c *Cluster) SetPhaseHook(h func(phase int)) {
 	}
 }
 
-func (c *Cluster) getPhaseHook() func(int) {
+func (c *Cluster) getPhaseHook() func(part, phase int) {
 	c.hookMu.Lock()
 	defer c.hookMu.Unlock()
 	return c.phaseHook
@@ -554,7 +675,62 @@ func (c *Cluster) validateSpec(spec *model.TxnSpec) error {
 	if c.nodes[spec.Root.Node] == nil {
 		return fmt.Errorf("core: root node %d is not hosted by this process (submit at its host)", spec.Root.Node)
 	}
+	if c.nparts > 1 {
+		part := -1
+		if err := checkSinglePartition(c.pmap, spec.Root, spec.Label, &part); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkSinglePartition enforces the partitioned admission rule: every
+// key a transaction tree touches must hash to one partition.
+// Cross-partition trees would increment counters in two independent
+// epochs and are out of scope until distributed NC3V (DESIGN.md §5a).
+func checkSinglePartition(pmap *partition.Map, s *model.SubtxnSpec, label string, part *int) error {
+	check := func(key string) error {
+		p := pmap.Of(key)
+		if *part == -1 {
+			*part = p
+			return nil
+		}
+		if *part != p {
+			return fmt.Errorf("core: transaction %q touches partitions %d and %d; cross-partition transactions are unsupported", label, *part, p)
+		}
+		return nil
+	}
+	for _, k := range s.Reads {
+		if err := check(k); err != nil {
+			return err
+		}
+	}
+	for _, op := range s.Updates {
+		if err := check(op.Key); err != nil {
+			return err
+		}
+	}
+	for _, ch := range s.Children {
+		if err := checkSinglePartition(pmap, ch, label, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specPartition returns the partition a validated spec is pinned to:
+// the partition of the first key the tree touches (keyless trees run in
+// partition 0). validateSpec has already checked the tree is
+// single-partition, so any key is representative.
+func (c *Cluster) specPartition(spec *model.TxnSpec) int {
+	if c.nparts <= 1 {
+		return 0
+	}
+	part := -1
+	if err := checkSinglePartition(c.pmap, spec.Root, spec.Label, &part); err != nil || part < 0 {
+		return 0
+	}
+	return part
 }
 
 // launch creates the handle and root message for a validated spec. The
@@ -597,6 +773,7 @@ func (c *Cluster) launch(spec *model.TxnSpec) (*Handle, transport.Message) {
 			NC:       spec.NonCommuting,
 			RootNode: spec.Root.Node,
 			SentAt:   sentAt,
+			Part:     c.specPartition(spec),
 		},
 	}
 }
@@ -611,6 +788,24 @@ func (c *Cluster) Advance() AdvanceReport {
 		return AdvanceReport{Interrupted: true, Err: ErrNoCoordinator}
 	}
 	return coord.RunAdvancement()
+}
+
+// AdvancePartition runs one advancement cycle for a single partition
+// and blocks until it completes. Sweeps for different partitions are
+// independent: each takes its own per-partition lock, exchanges
+// partition-tagged messages and polls a disjoint counter matrix, so an
+// advancement of partition a never waits on in-flight traffic in
+// partition b.
+func (c *Cluster) AdvancePartition(part int) AdvanceReport {
+	if part < 0 || part >= c.nparts {
+		return AdvanceReport{Part: part, Interrupted: true,
+			Err: fmt.Errorf("core: partition %d out of range [0,%d)", part, c.nparts)}
+	}
+	coord := c.currentCoordinator()
+	if coord == nil {
+		return AdvanceReport{Part: part, Interrupted: true, Err: ErrNoCoordinator}
+	}
+	return coord.RunAdvancementPart(part)
 }
 
 // AdvanceAsync launches an advancement cycle in the background.
@@ -773,29 +968,37 @@ func (c *Cluster) ObsTraces() []obs.Trace { return c.reg.Traces() }
 // (the same sloppy-read regime the coordinator operates under), so a
 // transiently negative pair is clamped rather than reported.
 func (c *Cluster) CounterLagSamples() []obs.CounterLag {
-	versions := make(map[model.Version]bool)
-	for _, nd := range c.nodes {
-		if nd == nil {
-			continue
-		}
-		for _, v := range nd.cnt.Versions() {
-			versions[v] = true
-		}
-	}
-	out := make([]obs.CounterLag, 0, len(versions))
-	for v := range versions {
-		snap := counters.NewSnapshot(len(c.nodes))
+	var out []obs.CounterLag
+	for part := 0; part < c.nparts; part++ {
+		versions := make(map[model.Version]bool)
 		for _, nd := range c.nodes {
 			if nd == nil {
 				continue
 			}
-			snap.SetFromNode(nd.id, nd.cnt.SnapshotR(v), nd.cnt.SnapshotC(v))
+			for _, v := range nd.cnts[part].Versions() {
+				versions[v] = true
+			}
 		}
-		lag := lagOf(snap)
-		lag.Version = int64(v)
-		out = append(out, lag)
+		for v := range versions {
+			snap := counters.NewSnapshot(len(c.nodes))
+			for _, nd := range c.nodes {
+				if nd == nil {
+					continue
+				}
+				snap.SetFromNode(nd.id, nd.cnts[part].SnapshotR(v), nd.cnts[part].SnapshotC(v))
+			}
+			lag := lagOf(snap)
+			lag.Version = int64(v)
+			lag.Part = part
+			out = append(out, lag)
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Part != out[j].Part {
+			return out[i].Part < out[j].Part
+		}
+		return out[i].Version < out[j].Version
+	})
 	return out
 }
 
@@ -809,16 +1012,24 @@ func (c *Cluster) CounterLagSamples() []obs.CounterLag {
 func (c *Cluster) ConvergenceErrors() []string {
 	var errs []string
 	if coord := c.currentCoordinator(); coord != nil {
-		cvr, cvu := coord.Versions()
-		for _, nd := range c.nodes {
-			if nd == nil {
-				continue
-			}
-			vr, vu := nd.Versions()
-			if vr != cvr || vu != cvu {
-				errs = append(errs, fmt.Sprintf(
-					"node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
-					nd.id, vr, vu, cvr, cvu))
+		for part := 0; part < c.nparts; part++ {
+			cvr, cvu := coord.VersionsPart(part)
+			for _, nd := range c.nodes {
+				if nd == nil {
+					continue
+				}
+				vr, vu := nd.VersionsPart(part)
+				if vr != cvr || vu != cvu {
+					if c.nparts > 1 {
+						errs = append(errs, fmt.Sprintf(
+							"partition %d: node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
+							part, nd.id, vr, vu, cvr, cvu))
+					} else {
+						errs = append(errs, fmt.Sprintf(
+							"node %d at (vr=%d, vu=%d), coordinator at (vr=%d, vu=%d)",
+							nd.id, vr, vu, cvr, cvu))
+					}
+				}
 			}
 		}
 	}
@@ -831,20 +1042,27 @@ func (c *Cluster) ConvergenceErrors() []string {
 		sort.Strings(errs)
 		return errs
 	}
-	versions := make(map[model.Version]bool)
-	for _, nd := range c.nodes {
-		for _, v := range nd.cnt.Versions() {
-			versions[v] = true
-		}
-	}
-	for v := range versions {
-		snap := counters.NewSnapshot(len(c.nodes))
+	for part := 0; part < c.nparts; part++ {
+		versions := make(map[model.Version]bool)
 		for _, nd := range c.nodes {
-			snap.SetFromNode(nd.id, nd.cnt.SnapshotR(v), nd.cnt.SnapshotC(v))
+			for _, v := range nd.cnts[part].Versions() {
+				versions[v] = true
+			}
 		}
-		if !snap.Balanced() {
-			errs = append(errs, fmt.Sprintf(
-				"version %d counters unbalanced: R != C (lost or duplicated subtransactions)", v))
+		for v := range versions {
+			snap := counters.NewSnapshot(len(c.nodes))
+			for _, nd := range c.nodes {
+				snap.SetFromNode(nd.id, nd.cnts[part].SnapshotR(v), nd.cnts[part].SnapshotC(v))
+			}
+			if !snap.Balanced() {
+				if c.nparts > 1 {
+					errs = append(errs, fmt.Sprintf(
+						"partition %d version %d counters unbalanced: R != C (lost or duplicated subtransactions)", part, v))
+				} else {
+					errs = append(errs, fmt.Sprintf(
+						"version %d counters unbalanced: R != C (lost or duplicated subtransactions)", v))
+				}
+			}
 		}
 	}
 	sort.Strings(errs)
@@ -877,8 +1095,7 @@ func (c *Cluster) PendingItems() int {
 		if nd == nil {
 			continue
 		}
-		vr, _ := nd.Versions()
-		n += nd.store.PendingItems(vr)
+		n += nd.store.PendingItems(nd.minVR())
 	}
 	return n
 }
@@ -892,8 +1109,7 @@ func (c *Cluster) Divergence(field string) int64 {
 		if nd == nil {
 			continue
 		}
-		vr, _ := nd.Versions()
-		total += nd.store.Divergence(vr, field)
+		total += nd.store.Divergence(nd.minVR(), field)
 	}
 	return total
 }

@@ -42,6 +42,10 @@ var (
 
 // AdvanceReport describes one completed version-advancement cycle.
 type AdvanceReport struct {
+	// Part is the keyspace partition the cycle advanced (always 0 in
+	// unpartitioned mode; aggregated reports from RunAdvancement over
+	// several partitions report 0).
+	Part int
 	// Interrupted is true when the cycle did not complete: the
 	// coordinator crashed, timed out, or the cluster closed mid-cycle.
 	// Err carries the cause.
@@ -100,9 +104,9 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	ackVU   map[model.Version]map[model.NodeID]bool
-	ackVR   map[model.Version]map[model.NodeID]bool
-	ackGC   map[model.Version]map[model.NodeID]bool
+	ackVU   map[ackKey]map[model.NodeID]bool
+	ackVR   map[ackKey]map[model.NodeID]bool
+	ackGC   map[ackKey]map[model.NodeID]bool
 	replies map[int]map[model.NodeID]CounterReplyMsg
 	probes  map[int]map[model.NodeID]VersionReplyMsg
 	round   int
@@ -110,45 +114,77 @@ type Coordinator struct {
 	closed  bool // set by shutdown() (Cluster.Close); unwinds blocked waits
 	deposed bool // a node reported a higher term; unwinds waits with ErrStaleTerm
 	// phaseHook, when set, is invoked at the end of each completed
-	// phase of RunAdvancement with the phase number (1–4). It exists
-	// for chaos injection (kill the coordinator mid-sweep at a
-	// deterministic protocol point) and runs without c.mu held.
-	phaseHook func(phase int)
-	// phase is the advancement phase currently executing (0 = idle,
-	// 1–4 mid-sweep), published in failover heartbeats.
-	phase int
+	// phase of RunAdvancement with the partition and phase number
+	// (1–4). It exists for chaos injection (kill the coordinator
+	// mid-sweep at a deterministic protocol point) and runs without
+	// c.mu held.
+	phaseHook func(part, phase int)
 
-	advMu sync.Mutex // the "distributed mutex": one advancement at a time
-	// vu/vr are written only under advMu (one sweep at a time) and
-	// additionally under c.mu, so Versions() can observe them without
-	// blocking on a sweep in flight (status surfaces poll it while a
-	// failover recovery waits on unreachable nodes).
-	vu, vr model.Version
+	// nparts is the number of keyspace partitions; parts holds one
+	// independent epoch per partition. Each partition has its own
+	// advancement mutex, so sweeps on different partitions proceed
+	// concurrently — partition A's quiescence never waits on partition
+	// B's in-flight traffic. The shared fields above (ack registries,
+	// reply maps, round counter) are keyed by partition or by globally
+	// unique round, so concurrent sweeps never cross-talk; c.mu is held
+	// only for map bookkeeping, never across a wait... the waits
+	// themselves release it via cond.
+	nparts int
+	parts  []*coordPart
 
 	histMu  sync.Mutex
 	history []AdvanceReport
 }
 
-// newCoordinator wires a coordinator for n database nodes.
-func newCoordinator(n int, net transport.Network, pollInterval, ackTimeout, resend time.Duration, reg *obs.Registry) *Coordinator {
+// ackKey scopes an acknowledgement registry entry to one partition's
+// version: two partitions acknowledging the same version number must
+// not satisfy each other's waits.
+type ackKey struct {
+	part int
+	v    model.Version
+}
+
+// coordPart is one partition's epoch state at the coordinator.
+type coordPart struct {
+	advMu sync.Mutex // the "distributed mutex": one advancement per partition at a time
+	// vu/vr are written only under advMu (one sweep per partition at a
+	// time) and additionally under c.mu, so Versions() can observe them
+	// without blocking on a sweep in flight (status surfaces poll it
+	// while a failover recovery waits on unreachable nodes).
+	vu, vr model.Version
+	// phase is the advancement phase currently executing on this
+	// partition (0 = idle, 1–4 mid-sweep), published in failover
+	// heartbeats. Guarded by c.mu.
+	phase int
+}
+
+// newCoordinator wires a coordinator for n database nodes and nparts
+// keyspace partitions (pass 1 for the unpartitioned protocol).
+func newCoordinator(n, nparts int, net transport.Network, pollInterval, ackTimeout, resend time.Duration, reg *obs.Registry) *Coordinator {
 	if pollInterval <= 0 {
 		pollInterval = 200 * time.Microsecond
+	}
+	if nparts < 1 {
+		nparts = 1
 	}
 	c := &Coordinator{
 		id:           model.NodeID(n),
 		n:            n,
+		nparts:       nparts,
 		net:          net,
 		pollInterval: pollInterval,
 		ackTimeout:   ackTimeout,
 		resend:       resend,
 		reg:          reg,
-		ackVU:        make(map[model.Version]map[model.NodeID]bool),
-		ackVR:        make(map[model.Version]map[model.NodeID]bool),
-		ackGC:        make(map[model.Version]map[model.NodeID]bool),
+		ackVU:        make(map[ackKey]map[model.NodeID]bool),
+		ackVR:        make(map[ackKey]map[model.NodeID]bool),
+		ackGC:        make(map[ackKey]map[model.NodeID]bool),
 		replies:      make(map[int]map[model.NodeID]CounterReplyMsg),
 		probes:       make(map[int]map[model.NodeID]VersionReplyMsg),
-		vu:           1,
-		vr:           0,
+		parts:        make([]*coordPart, nparts),
+	}
+	for i := range c.parts {
+		c.parts[i] = &coordPart{vu: 1, vr: 0}
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -160,11 +196,11 @@ func (c *Coordinator) handleMessage(m transport.Message) {
 	defer c.mu.Unlock()
 	switch p := m.Payload.(type) {
 	case AckAdvancementMsg:
-		ackInto(c.ackVU, p.NewVU, p.Node)
+		ackInto(c.ackVU, ackKey{p.Part, p.NewVU}, p.Node)
 	case AckReadVersionMsg:
-		ackInto(c.ackVR, p.NewVR, p.Node)
+		ackInto(c.ackVR, ackKey{p.Part, p.NewVR}, p.Node)
 	case AckGCMsg:
-		ackInto(c.ackGC, p.Keep, p.Node)
+		ackInto(c.ackGC, ackKey{p.Part, p.Keep}, p.Node)
 	case CounterReplyMsg:
 		rm := c.replies[p.Round]
 		if rm == nil {
@@ -204,28 +240,33 @@ func (c *Coordinator) handleMessage(m transport.Message) {
 	c.cond.Broadcast()
 }
 
-func ackInto(m map[model.Version]map[model.NodeID]bool, v model.Version, node model.NodeID) {
-	set := m[v]
+func ackInto(m map[ackKey]map[model.NodeID]bool, k ackKey, node model.NodeID) {
+	set := m[k]
 	if set == nil {
 		set = make(map[model.NodeID]bool)
-		m[v] = set
+		m[k] = set
 	}
 	set[node] = true
 }
 
 // Versions returns the coordinator's view of (vr, vu). It never blocks
-// on an advancement in flight.
-func (c *Coordinator) Versions() (vr, vu model.Version) {
+// on an advancement in flight. In partitioned mode this is partition
+// 0's pair; see VersionsPart.
+func (c *Coordinator) Versions() (vr, vu model.Version) { return c.VersionsPart(0) }
+
+// VersionsPart returns one partition's (vr, vu) pair.
+func (c *Coordinator) VersionsPart(part int) (vr, vu model.Version) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.vr, c.vu
+	return c.parts[part].vr, c.parts[part].vu
 }
 
-// setVersions installs a new version pair. Callers hold advMu; c.mu is
-// taken so concurrent Versions() readers see a consistent pair.
-func (c *Coordinator) setVersions(vu, vr model.Version) {
+// setVersions installs a new version pair for one partition. Callers
+// hold the partition's advMu; c.mu is taken so concurrent Versions()
+// readers see a consistent pair.
+func (c *Coordinator) setVersions(part int, vu, vr model.Version) {
 	c.mu.Lock()
-	c.vu, c.vr = vu, vr
+	c.parts[part].vu, c.parts[part].vr = vu, vr
 	c.mu.Unlock()
 }
 
@@ -239,27 +280,62 @@ func (c *Coordinator) History() []AdvanceReport {
 }
 
 // RunAdvancement executes one full four-phase advancement cycle
-// (Section 4.3) and blocks until garbage collection has been
-// acknowledged everywhere. User transactions are never blocked by it:
-// every interaction with nodes is an asynchronous message.
+// (Section 4.3) on every partition, in partition order, and blocks
+// until garbage collection has been acknowledged everywhere. With one
+// partition this is exactly the unpartitioned protocol. User
+// transactions are never blocked by it: every interaction with nodes
+// is an asynchronous message. The returned report carries partition
+// 0's installed versions, summed phase durations and sweep counts, and
+// the first error that interrupted a partition's cycle (remaining
+// partitions are skipped — a dead or deposed coordinator stays dead).
 func (c *Coordinator) RunAdvancement() AdvanceReport {
-	c.advMu.Lock()
-	defer c.advMu.Unlock()
+	agg := c.RunAdvancementPart(0)
+	for part := 1; part < c.nparts; part++ {
+		if agg.Interrupted {
+			break
+		}
+		rep := c.RunAdvancementPart(part)
+		agg.Phase1 += rep.Phase1
+		agg.Phase2 += rep.Phase2
+		agg.Phase3 += rep.Phase3
+		agg.Phase4 += rep.Phase4
+		agg.Total += rep.Total
+		agg.SweepsPhase2 += rep.SweepsPhase2
+		agg.SweepsPhase4 += rep.SweepsPhase4
+		if rep.MaxCounterLag > agg.MaxCounterLag {
+			agg.MaxCounterLag = rep.MaxCounterLag
+		}
+		agg.Interrupted = rep.Interrupted
+		if agg.Err == nil {
+			agg.Err = rep.Err
+		}
+	}
+	return agg
+}
+
+// RunAdvancementPart executes one four-phase advancement cycle on a
+// single partition. Sweeps on different partitions hold different
+// advancement mutexes and therefore run concurrently; each one drains
+// and garbage-collects only its own partition's versions and counters.
+func (c *Coordinator) RunAdvancementPart(part int) AdvanceReport {
+	cp := c.parts[part]
+	cp.advMu.Lock()
+	defer cp.advMu.Unlock()
 
 	// Bring any restarted-from-checkpoint node back to the installed
 	// versions before opening a new cycle (no-op unless hardening is on
 	// and a node actually lags).
-	if err := c.resyncLagging(); err != nil {
-		return AdvanceReport{NewVU: c.vu + 1, NewVR: c.vr + 1, Interrupted: true, Err: err}
+	if err := c.resyncLagging(part); err != nil {
+		return AdvanceReport{NewVU: cp.vu + 1, NewVR: cp.vr + 1, Interrupted: true, Err: err}
 	}
 
-	vuold, vunew := c.vu, c.vu+1
-	vrold, vrnew := c.vr, c.vr+1
-	rep := AdvanceReport{NewVU: vunew, NewVR: vrnew}
+	vuold, vunew := cp.vu, cp.vu+1
+	vrold, vrnew := cp.vr, cp.vr+1
+	rep := AdvanceReport{NewVU: vunew, NewVR: vrnew, Part: part}
 	start := time.Now()
 
 	interrupted := func(err error) AdvanceReport {
-		c.enterPhase(0)
+		c.enterPhase(part, 0)
 		rep.Interrupted = true
 		rep.Err = err
 		rep.Total = time.Since(start)
@@ -267,12 +343,12 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	}
 
 	// Phase 1: switch to the new update version.
-	c.enterPhase(1)
-	c.broadcast(StartAdvancementMsg{NewVU: vunew, Term: c.term})
-	if err := c.waitAcks(c.ackVU, vunew, StartAdvancementMsg{NewVU: vunew, Term: c.term}); err != nil {
+	c.enterPhase(part, 1)
+	c.broadcast(StartAdvancementMsg{NewVU: vunew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackVU, ackKey{part, vunew}, StartAdvancementMsg{NewVU: vunew, Term: c.term, Part: part}); err != nil {
 		return interrupted(err)
 	}
-	if err := c.phaseDone(1); err != nil {
+	if err := c.phaseDone(part, 1); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase1 = time.Since(start)
@@ -280,14 +356,14 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 2: updates phase-out — wait for inter-node consistency of
 	// vuold by asynchronous counter reads.
 	t2 := time.Now()
-	c.enterPhase(2)
+	c.enterPhase(part, 2)
 	var lag2 int64
 	var err error
-	rep.SweepsPhase2, lag2, err = c.pollQuiescence(vuold)
+	rep.SweepsPhase2, lag2, err = c.pollQuiescence(part, vuold)
 	if err != nil {
 		return interrupted(err)
 	}
-	if err := c.phaseDone(2); err != nil {
+	if err := c.phaseDone(part, 2); err != nil {
 		return interrupted(err)
 	}
 	rep.MaxCounterLag = lag2
@@ -295,12 +371,12 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 
 	// Phase 3: switch to the new read version.
 	t3 := time.Now()
-	c.enterPhase(3)
-	c.broadcast(ReadVersionMsg{NewVR: vrnew, Term: c.term})
-	if err := c.waitAcks(c.ackVR, vrnew, ReadVersionMsg{NewVR: vrnew, Term: c.term}); err != nil {
+	c.enterPhase(part, 3)
+	c.broadcast(ReadVersionMsg{NewVR: vrnew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackVR, ackKey{part, vrnew}, ReadVersionMsg{NewVR: vrnew, Term: c.term, Part: part}); err != nil {
 		return interrupted(err)
 	}
-	if err := c.phaseDone(3); err != nil {
+	if err := c.phaseDone(part, 3); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase3 = time.Since(t3)
@@ -308,36 +384,41 @@ func (c *Coordinator) RunAdvancement() AdvanceReport {
 	// Phase 4: wait for queries on vrold to terminate, then garbage
 	// collect.
 	t4 := time.Now()
-	c.enterPhase(4)
+	c.enterPhase(part, 4)
 	var lag4 int64
-	rep.SweepsPhase4, lag4, err = c.pollQuiescence(vrold)
+	rep.SweepsPhase4, lag4, err = c.pollQuiescence(part, vrold)
 	if err != nil {
 		return interrupted(err)
 	}
-	if err := c.phaseDone(4); err != nil {
+	if err := c.phaseDone(part, 4); err != nil {
 		return interrupted(err)
 	}
 	if lag4 > rep.MaxCounterLag {
 		rep.MaxCounterLag = lag4
 	}
-	c.broadcast(GCMsg{Keep: vrnew, Term: c.term})
-	if err := c.waitAcks(c.ackGC, vrnew, GCMsg{Keep: vrnew, Term: c.term}); err != nil {
+	c.broadcast(GCMsg{Keep: vrnew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackGC, ackKey{part, vrnew}, GCMsg{Keep: vrnew, Term: c.term, Part: part}); err != nil {
 		return interrupted(err)
 	}
 	rep.Phase4 = time.Since(t4)
 
-	c.setVersions(vunew, vrnew)
-	c.enterPhase(0)
+	c.setVersions(part, vunew, vrnew)
+	c.enterPhase(part, 0)
 	rep.Total = time.Since(start)
 
 	c.reg.ObserveAdvance(
 		[4]time.Duration{rep.Phase1, rep.Phase2, rep.Phase3, rep.Phase4},
 		rep.Total, rep.SweepsPhase2+rep.SweepsPhase4)
-	c.reg.SetGauge(obs.GaugeVersionRead, float64(vrnew))
-	c.reg.SetGauge(obs.GaugeVersionUpdate, float64(vunew))
-	c.reg.DropLagsBelow(int64(vrnew))
+	if part == 0 {
+		c.reg.SetGauge(obs.GaugeVersionRead, float64(vrnew))
+		c.reg.SetGauge(obs.GaugeVersionUpdate, float64(vunew))
+	}
+	if c.nparts > 1 {
+		c.reg.SetGauge(obs.PartitionVersionGauge(part), float64(vrnew))
+	}
+	c.reg.DropPartLagsBelow(part, int64(vrnew))
 	c.reg.RecordEvent(obs.Event{Kind: obs.EvVersionSwitch, Version: int64(vunew),
-		Detail: fmt.Sprintf("vr=%d vu=%d sweeps=%d/%d", vrnew, vunew, rep.SweepsPhase2, rep.SweepsPhase4)})
+		Detail: fmt.Sprintf("part=%d vr=%d vu=%d sweeps=%d/%d", part, vrnew, vunew, rep.SweepsPhase2, rep.SweepsPhase4)})
 	c.traceSweep(rep, start, t2, t3, t4)
 
 	c.histMu.Lock()
@@ -362,8 +443,8 @@ func (c *Coordinator) traceSweep(rep AdvanceReport, start, t2, t3, t4 time.Time)
 	c.reg.RecordSpan(obs.Span{
 		TraceID: traceID, SpanID: traceID, Name: "advance", Node: c.n,
 		Start: start.UnixNano(), Dur: int64(rep.Total),
-		Attr: fmt.Sprintf("vr=%d vu=%d sweeps=%d/%d maxlag=%d",
-			rep.NewVR, rep.NewVU, rep.SweepsPhase2, rep.SweepsPhase4, rep.MaxCounterLag),
+		Attr: fmt.Sprintf("part=%d vr=%d vu=%d sweeps=%d/%d maxlag=%d",
+			rep.Part, rep.NewVR, rep.NewVU, rep.SweepsPhase2, rep.SweepsPhase4, rep.MaxCounterLag),
 	})
 	phases := []struct {
 		name  string
@@ -440,17 +521,24 @@ func (c *Coordinator) depose() {
 }
 
 // setPhaseHook installs (or clears) the per-phase chaos hook.
-func (c *Coordinator) setPhaseHook(h func(int)) {
+func (c *Coordinator) setPhaseHook(h func(part, phase int)) {
 	c.mu.Lock()
 	c.phaseHook = h
 	c.mu.Unlock()
 }
 
-// enterPhase records the advancement phase now executing (0 = idle),
-// for failover heartbeats and chaos attribution.
-func (c *Coordinator) enterPhase(p int) {
+// getPhaseHook returns the installed chaos hook (takeover inheritance).
+func (c *Coordinator) getPhaseHook() func(part, phase int) {
 	c.mu.Lock()
-	c.phase = p
+	defer c.mu.Unlock()
+	return c.phaseHook
+}
+
+// enterPhase records the advancement phase now executing on one
+// partition (0 = idle), for failover heartbeats and chaos attribution.
+func (c *Coordinator) enterPhase(part, p int) {
+	c.mu.Lock()
+	c.parts[part].phase = p
 	c.mu.Unlock()
 }
 
@@ -459,21 +547,36 @@ func (c *Coordinator) enterPhase(p int) {
 // a mid-sweep coordinator kill) — so RunAdvancement stops before
 // issuing the next phase's messages instead of leaking them from a
 // dead coordinator.
-func (c *Coordinator) phaseDone(p int) error {
+func (c *Coordinator) phaseDone(part, p int) error {
 	c.mu.Lock()
 	h := c.phaseHook
 	c.mu.Unlock()
 	if h != nil {
-		h(p)
+		h(part, p)
 	}
 	return c.abortErr()
 }
 
 // currentPhase returns the advancement phase in flight (0 = idle).
+// With several partitions mid-sweep it reports the first non-idle one
+// (heartbeats carry a single phase for operator display only).
 func (c *Coordinator) currentPhase() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.phase
+	for _, cp := range c.parts {
+		if cp.phase != 0 {
+			return cp.phase
+		}
+	}
+	return 0
+}
+
+// currentPhasePart returns the advancement phase in flight on one
+// partition (0 = idle).
+func (c *Coordinator) currentPhasePart(part int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parts[part].phase
 }
 
 // waitKick waits on the coordinator's cond, but wakes after at most d
@@ -517,13 +620,13 @@ func (c *Coordinator) deadlineAfter(start time.Time) time.Time {
 // advancement notices are idempotent, so duplicates are harmless);
 // when ackTimeout is configured the wait gives up with ErrTimeout
 // instead of wedging on a lost message or a dead node.
-func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v model.Version, payload any) error {
+func (c *Coordinator) waitAcks(reg map[ackKey]map[model.NodeID]bool, k ackKey, payload any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	start := time.Now()
 	deadline := c.deadlineAfter(start)
 	nextResend := start.Add(c.resend)
-	for len(reg[v]) < c.n {
+	for len(reg[k]) < c.n {
 		if err := c.abortErrLocked(); err != nil {
 			return err
 		}
@@ -533,7 +636,7 @@ func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v mo
 		}
 		if c.resend > 0 && now.After(nextResend) {
 			for i := 0; i < c.n; i++ {
-				if !reg[v][model.NodeID(i)] {
+				if !reg[k][model.NodeID(i)] {
 					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: payload})
 					c.reg.Inc(obs.CtrCoordResends, 1)
 				}
@@ -542,7 +645,7 @@ func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v mo
 		}
 		c.waitKick(c.kickInterval())
 	}
-	delete(reg, v)
+	delete(reg, k)
 	return nil
 }
 
@@ -554,7 +657,7 @@ func (c *Coordinator) waitAcks(reg map[model.Version]map[model.NodeID]bool, v mo
 // sweep also publishes the version's live lag to the observability
 // registry, so quiescence convergence is visible on the metrics
 // endpoint while it happens.
-func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64, err error) {
+func (c *Coordinator) pollQuiescence(part int, v model.Version) (sweeps int, maxLag int64, err error) {
 	det := &counters.Detector{}
 	for {
 		c.mu.Lock()
@@ -562,9 +665,9 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 		round := c.round
 		c.mu.Unlock()
 
-		var req any = CounterReqMsg{Version: v, Round: round, Term: c.term}
+		var req any = CounterReqMsg{Version: v, Round: round, Term: c.term, Part: part}
 		if c.batchedCounters {
-			req = CountersReqMsg{Versions: []model.Version{v}, Round: round, Term: c.term}
+			req = CountersReqMsg{Versions: []model.Version{v}, Round: round, Term: c.term, Part: part}
 		}
 		c.broadcast(req)
 
@@ -607,6 +710,7 @@ func (c *Coordinator) pollQuiescence(v model.Version) (sweeps int, maxLag int64,
 			maxLag = lag.SumLag
 		}
 		lag.Version = int64(v)
+		lag.Part = part
 		c.reg.SetCounterLag(lag)
 
 		if det.Offer(snap) {

@@ -228,7 +228,7 @@ func (m *FailoverManager) takeover() *Coordinator {
 	}
 	term := nextTerm(maxSeen, m.node.id, m.c.cfg.Nodes)
 	cfg := &m.c.cfg
-	co := newCoordinator(cfg.Nodes, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
+	co := newCoordinator(cfg.Nodes, m.c.nparts, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
 	co.id = m.ep
 	co.term = term
 	co.batchedCounters = cfg.BatchedCounters
@@ -242,7 +242,7 @@ func (m *FailoverManager) takeover() *Coordinator {
 
 	// Durable before driving any phase: a post-crash restart of this
 	// process must not propose a term at or below this one.
-	m.node.observeTerm(term)
+	m.node.observeTermAll(term)
 	m.c.reg.SetGauge(obs.GaugeCoordActive, 1)
 	m.c.reg.Inc(obs.CtrTakeovers, 1)
 	m.c.reg.RecordEvent(obs.Event{Kind: obs.EvTakeover, Node: int(m.node.id),
@@ -337,7 +337,7 @@ func (m *FailoverManager) promoteInitial() {
 	maxSeen := m.node.coordTerm.Load()
 	term := nextTerm(maxSeen, m.node.id, m.c.cfg.Nodes)
 	cfg := &m.c.cfg
-	co := newCoordinator(cfg.Nodes, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
+	co := newCoordinator(cfg.Nodes, m.c.nparts, m.c.net, cfg.PollInterval, cfg.AckTimeout, cfg.ResendInterval, m.c.reg)
 	co.id = m.ep
 	co.term = term
 	co.batchedCounters = cfg.BatchedCounters
@@ -346,7 +346,7 @@ func (m *FailoverManager) promoteInitial() {
 	m.active = true
 	m.lastBeat = time.Now()
 	m.mu.Unlock()
-	m.node.observeTerm(term)
+	m.node.observeTermAll(term)
 	m.c.reg.SetGauge(obs.GaugeCoordActive, 1)
 }
 

@@ -52,13 +52,13 @@ func TestStaleTermCoordinatorIsFenced(t *testing.T) {
 	defer c.Close()
 
 	nd := c.Node(0)
-	if !nd.observeTerm(5) {
+	if !nd.observeTerm(0, 5) {
 		t.Fatal("first observation of term 5 rejected")
 	}
-	if nd.observeTerm(3) {
+	if nd.observeTerm(0, 3) {
 		t.Fatal("term 3 accepted after term 5 was fenced")
 	}
-	if !nd.observeTerm(0) || !nd.observeTerm(5) {
+	if !nd.observeTerm(0, 0) || !nd.observeTerm(0, 5) {
 		t.Fatal("term 0 (legacy) and the current term must stay accepted")
 	}
 

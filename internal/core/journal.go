@@ -56,6 +56,10 @@ type ExecRecord struct {
 	Version  model.Version
 	Root     bool
 	ReadOnly bool
+	// Part is the keyspace partition the subtransaction belongs to;
+	// recovery restores its counter increments into that partition's
+	// table. Always 0 in unpartitioned deployments.
+	Part int
 	// Ops are the store mutations in application order.
 	Ops []AppliedOp
 	// IncR lists the destinations whose request counter R[Version][self][to]
@@ -85,12 +89,15 @@ type Journal interface {
 	// journal-assigned enq id per rec.Local entry, in order; the caller
 	// re-enqueues those commands locally.
 	Exec(rec ExecRecord, outbox []transport.Message) []uint64
-	// VersionUpdate records vu = max(vu, v) (advancement Phase 1).
-	VersionUpdate(v model.Version)
-	// VersionRead records vr = max(vr, v) (advancement Phase 3).
-	VersionRead(v model.Version)
-	// GC records the truncation of versions below v (Phase 4).
-	GC(v model.Version)
+	// VersionUpdate records partition part's vu = max(vu, v)
+	// (advancement Phase 1).
+	VersionUpdate(part int, v model.Version)
+	// VersionRead records partition part's vr = max(vr, v)
+	// (advancement Phase 3).
+	VersionRead(part int, v model.Version)
+	// GC records the truncation of partition part's versions below v
+	// (Phase 4).
+	GC(part int, v model.Version)
 }
 
 // ChunkJournal is an optional Journal extension: implementations that
@@ -145,4 +152,11 @@ type NodeRestore struct {
 	// CoordTerm is the highest coordinator fencing term the node had
 	// durably observed before the crash (0 when failover never ran).
 	CoordTerm uint64
+	// PartVR/PartVU/PartCounters carry per-partition state when the
+	// deployment runs more than one keyspace partition; index =
+	// partition id, and all three must have length Partitions. When
+	// nil, the legacy VR/VU/Counters fields describe partition 0 (the
+	// only partition).
+	PartVR, PartVU []model.Version
+	PartCounters   []*counters.Table
 }

@@ -55,6 +55,13 @@ type SubtxnMsg struct {
 	// network + worker wait). Zero when the sender is not instrumented
 	// (scripted replays); the protocol never reads it.
 	SentAt time.Time
+	// Part is the keyspace partition the transaction belongs to
+	// (partition.Map.Of over the tree's keys, stamped on the root by
+	// Cluster.Submit and inherited by every descendant). All counter
+	// increments for the transaction land in partition Part's table, so
+	// quiescence detection for one partition never waits on another's
+	// traffic. Always 0 in single-partition deployments.
+	Part int
 }
 
 // StartAdvancementMsg is the Phase 1 notice: switch the update version
@@ -64,12 +71,15 @@ type SubtxnMsg struct {
 type StartAdvancementMsg struct {
 	NewVU model.Version
 	Term  uint64
+	// Part scopes the notice to one partition's epoch.
+	Part int
 }
 
 // AckAdvancementMsg acknowledges StartAdvancementMsg.
 type AckAdvancementMsg struct {
 	NewVU model.Version
 	Node  model.NodeID
+	Part  int
 }
 
 // ReadVersionMsg is the Phase 3 notice: queries arriving from now on
@@ -77,12 +87,14 @@ type AckAdvancementMsg struct {
 type ReadVersionMsg struct {
 	NewVR model.Version
 	Term  uint64
+	Part  int
 }
 
 // AckReadVersionMsg acknowledges ReadVersionMsg.
 type AckReadVersionMsg struct {
 	NewVR model.Version
 	Node  model.NodeID
+	Part  int
 }
 
 // GCMsg is the Phase 4 notice: garbage-collect all data and counter
@@ -91,12 +103,17 @@ type AckReadVersionMsg struct {
 type GCMsg struct {
 	Keep model.Version
 	Term uint64
+	// Part scopes collection: only keys owned by the partition are
+	// dropped, so one partition's Phase 4 cannot disturb versions still
+	// live in another partition's epoch.
+	Part int
 }
 
 // AckGCMsg acknowledges GCMsg.
 type AckGCMsg struct {
 	Keep model.Version
 	Node model.NodeID
+	Part int
 }
 
 // CounterReqMsg asks a node for its counter rows for one version; the
@@ -107,6 +124,7 @@ type CounterReqMsg struct {
 	Version model.Version
 	Round   int
 	Term    uint64
+	Part    int
 }
 
 // CounterReplyMsg carries one node's R row (requests sent, indexed by
@@ -118,6 +136,7 @@ type CounterReplyMsg struct {
 	Node    model.NodeID
 	R       []int64
 	C       []int64
+	Part    int
 }
 
 // CountersReqMsg is the batched form of CounterReqMsg: one request
@@ -129,6 +148,7 @@ type CountersReqMsg struct {
 	Versions []model.Version
 	Round    int
 	Term     uint64
+	Part     int
 }
 
 // VersionCounters is one version's R/C rows inside a CountersMsg.
@@ -147,6 +167,7 @@ type CountersMsg struct {
 	Round   int
 	Node    model.NodeID
 	Entries []VersionCounters
+	Part    int
 }
 
 // NCVoteMsg is the first phase of NC3V's two-phase commit: a node that
@@ -185,6 +206,7 @@ type NCDecisionMsg struct {
 type VersionProbeMsg struct {
 	Round int
 	Term  uint64
+	Part  int
 }
 
 // VersionReplyMsg answers a VersionProbeMsg. BelowVR reports whether
@@ -196,6 +218,7 @@ type VersionReplyMsg struct {
 	VR      model.Version
 	VU      model.Version
 	BelowVR bool
+	Part    int
 }
 
 // UnlockMsg is the asynchronous clean-up phase for well-behaved

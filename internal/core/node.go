@@ -11,6 +11,7 @@ import (
 	"repro/internal/locks"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/ring"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -172,15 +173,26 @@ func (q *workQueue) close() {
 	q.cond.Broadcast()
 }
 
+// verPair is one partition's version-number pair at a node.
+type verPair struct {
+	vu, vr model.Version
+}
+
 // Node is one database site running the 3V protocol. Create nodes via
 // Cluster; direct construction is for tests and the trace replay.
 type Node struct {
 	id      model.NodeID
 	n       int // number of database nodes in the cluster
+	nparts  int // number of keyspace partitions (>= 1)
+	pmap    *partition.Map
 	coordID model.NodeID
 	net     transport.Network
 	store   *storage.Store
-	cnt     *counters.Table
+	// cnts holds one independent R/C counter table per partition: a
+	// transaction's increments all land in its partition's table, so
+	// quiescence of one partition is decided without reading another's
+	// counters. cnts[0] is the whole table in unpartitioned mode.
+	cnts    []*counters.Table
 	latches *localcc.Manager
 	lm      *locks.Manager // non-nil only in NC mode
 	obs     observer
@@ -189,11 +201,18 @@ type Node struct {
 	journal Journal // nil without durability
 
 	// coordTerm is the highest coordinator fencing term this node has
-	// observed (0 until a fenced coordinator speaks). Phase messages
-	// carrying a positive term below it are rejected — the fencing rule
-	// that keeps a deposed coordinator's stragglers from interleaving
-	// with a successor's sweep.
+	// observed on any partition (0 until a fenced coordinator speaks).
+	// It feeds the journal and the obs gauge; the fencing decision
+	// itself is per partition (coordTerms below), so a successor
+	// re-driving partition A's sweep fences A immediately while a
+	// not-yet-recovered partition B still accepts its (idempotent)
+	// stragglers until the successor's first message touches B.
 	coordTerm atomic.Uint64
+	// coordTerms are the per-partition fencing registers: phase
+	// messages for partition i carrying a positive term below
+	// coordTerms[i] are rejected. Partition-less control traffic
+	// (heartbeats, stale-term notices) folds into every register.
+	coordTerms []atomic.Uint64
 	// onCoordState, when set (failover mode), receives every accepted
 	// coordinator heartbeat so the co-located FailoverManager can renew
 	// its lease view. Set before the node's handler is registered;
@@ -207,17 +226,21 @@ type Node struct {
 	// Unused (never locked) when journal is nil.
 	chk sync.RWMutex
 
-	// verMu guards vu and vr. Critical sections are a handful of
-	// machine instructions; per Section 4's model, accesses to version
-	// numbers and counters are atomic but sit outside local concurrency
-	// control, so they can never delay a subtransaction on another
-	// item's behalf. Root version assignment and its R-counter bump
-	// share one critical section with version advancement so that a
-	// root assigned version v is always visible in v's counters before
-	// the node acknowledges advancing past v.
+	// verMu guards pv (every partition's version pair). Critical
+	// sections are a handful of machine instructions; per Section 4's
+	// model, accesses to version numbers and counters are atomic but
+	// sit outside local concurrency control, so they can never delay a
+	// subtransaction on another item's behalf. Root version assignment
+	// and its R-counter bump share one critical section with version
+	// advancement so that a root assigned version v is always visible
+	// in v's counters before the node acknowledges advancing past v.
+	// One mutex across partitions is deliberate: the sections are so
+	// short that sharding it buys nothing, and a sweep never holds it
+	// while waiting — so partition A's advancement cannot block on
+	// partition B's traffic through this lock.
 	verMu  sync.Mutex
 	vrCond *sync.Cond
-	vu, vr model.Version
+	pv     []verPair
 	// ncParked holds NC3V roots that were assigned a version during an
 	// in-flight advancement (vu == vr+2) and must wait for the read
 	// version to catch up (Section 5 step 2). They are parked here
@@ -244,32 +267,65 @@ type Node struct {
 }
 
 // newNode wires a node; the caller registers node.handleMessage on the
-// network and calls start.
-func newNode(id model.NodeID, n int, coordID model.NodeID, net transport.Network, observer observer, ncMode bool, workers int, lm *locks.Manager, reg *obs.Registry) *Node {
+// network and calls start. pmap may be nil (single partition).
+func newNode(id model.NodeID, n int, pmap *partition.Map, coordID model.NodeID, net transport.Network, observer observer, ncMode bool, workers int, lm *locks.Manager, reg *obs.Registry) *Node {
 	if workers <= 0 {
 		workers = 4
 	}
+	nparts := 1
+	if pmap != nil && pmap.P > 1 {
+		nparts = pmap.P
+	}
 	nd := &Node{
-		id:      id,
-		n:       n,
-		coordID: coordID,
-		net:     net,
-		store:   storage.New(),
-		cnt:     counters.NewTable(id, n),
-		latches: localcc.New(),
-		lm:      lm,
-		obs:     observer,
-		reg:     reg,
-		ncMode:  ncMode,
-		vu:      1, // initial state: read version 0, update version 1
-		vr:      0,
-		work:    newWorkQueue(),
-		workers: workers,
-		ncCoord: make(map[model.TxnID]*ncCoordState),
-		ncPart:  make(map[model.TxnID]*ncPartState),
+		id:         id,
+		n:          n,
+		nparts:     nparts,
+		pmap:       pmap,
+		coordID:    coordID,
+		net:        net,
+		store:      storage.New(),
+		cnts:       make([]*counters.Table, nparts),
+		coordTerms: make([]atomic.Uint64, nparts),
+		latches:    localcc.New(),
+		lm:         lm,
+		obs:        observer,
+		reg:        reg,
+		ncMode:     ncMode,
+		pv:         make([]verPair, nparts),
+		work:       newWorkQueue(),
+		workers:    workers,
+		ncCoord:    make(map[model.TxnID]*ncCoordState),
+		ncPart:     make(map[model.TxnID]*ncPartState),
+	}
+	for i := range nd.pv {
+		// Initial state per partition: read version 0, update version 1.
+		nd.pv[i] = verPair{vu: 1, vr: 0}
+		nd.cnts[i] = counters.NewTable(id, n)
 	}
 	nd.vrCond = sync.NewCond(&nd.verMu)
 	return nd
+}
+
+// partOK validates a message's partition index; out-of-range indices
+// are protocol violations (a peer running a different placement map).
+func (nd *Node) partOK(part int) bool {
+	if part >= 0 && part < nd.nparts {
+		return true
+	}
+	nd.violate("node %v: partition %d out of range (P=%d)", nd.id, part, nd.nparts)
+	return false
+}
+
+// ctab returns the counter table for one partition.
+func (nd *Node) ctab(part int) *counters.Table { return nd.cnts[part] }
+
+// gcPred returns the key filter for one partition's garbage collection,
+// or nil in unpartitioned mode (collect everything).
+func (nd *Node) gcPred(part int) func(string) bool {
+	if nd.nparts <= 1 {
+		return nil
+	}
+	return func(key string) bool { return nd.pmap.Of(key) == part }
 }
 
 // start launches the worker pool (skipped in SyncExec mode).
@@ -331,13 +387,49 @@ func (nd *Node) Frozen(fn func()) {
 func (nd *Node) Store() *storage.Store { return nd.store }
 
 // Counters exposes the node's counter table (tests, trace, verifiers).
-func (nd *Node) Counters() *counters.Table { return nd.cnt }
+// In partitioned mode this is partition 0's table; see CountersPart.
+func (nd *Node) Counters() *counters.Table { return nd.cnts[0] }
 
-// Versions returns the node's current (vr, vu) pair.
-func (nd *Node) Versions() (vr, vu model.Version) {
+// CountersPart exposes one partition's counter table.
+func (nd *Node) CountersPart(part int) *counters.Table { return nd.cnts[part] }
+
+// Partitions returns the number of keyspace partitions at this node.
+func (nd *Node) Partitions() int { return nd.nparts }
+
+// Versions returns the node's current (vr, vu) pair. In partitioned
+// mode this is partition 0's pair; see VersionsPart.
+func (nd *Node) Versions() (vr, vu model.Version) { return nd.VersionsPart(0) }
+
+// VersionsPart returns one partition's current (vr, vu) pair.
+func (nd *Node) VersionsPart(part int) (vr, vu model.Version) {
 	nd.verMu.Lock()
 	defer nd.verMu.Unlock()
-	return nd.vr, nd.vu
+	return nd.pv[part].vr, nd.pv[part].vu
+}
+
+// minVR returns the smallest read version across partitions — the
+// conservative bound used for store-wide trigger quantities (pending
+// items, divergence), whose per-key partition is not tracked there.
+// TermPart returns the highest coordinator fencing term this node has
+// observed for one partition (the operator-surface companion of
+// VersionsPart; threev-node's /state reports it per partition).
+func (nd *Node) TermPart(part int) uint64 {
+	if part < 0 || part >= len(nd.coordTerms) {
+		return 0
+	}
+	return nd.coordTerms[part].Load()
+}
+
+func (nd *Node) minVR() model.Version {
+	nd.verMu.Lock()
+	defer nd.verMu.Unlock()
+	min := nd.pv[0].vr
+	for _, p := range nd.pv[1:] {
+		if p.vr < min {
+			min = p.vr
+		}
+	}
+	return min
 }
 
 // Metrics returns a copy of the node's counters.
@@ -380,48 +472,72 @@ func (nd *Node) handleMessage(m transport.Message) {
 			nd.work.put(workItem{from: m.From, sub: p, enqID: enqID, tc: m.TC, recvAt: recvAt})
 		}
 	case StartAdvancementMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
+			return
+		}
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
 			return
 		}
 		nd.handleStartAdvancement(m.From, p)
 	case ReadVersionMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
+			return
+		}
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
 			return
 		}
 		nd.handleReadVersion(m.From, p)
 	case GCMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
+			return
+		}
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
 			return
 		}
 		nd.handleGC(m.From, p)
 	case CounterReqMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
+			return
+		}
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
 			return
 		}
 		nd.handleCounterReq(m.From, p)
 	case CountersReqMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
+			return
+		}
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
 			return
 		}
 		nd.handleCountersReq(m.From, p)
 	case VersionProbeMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.partOK(p.Part) {
 			return
 		}
-		vr, vu := nd.Versions()
+		if !nd.observeTerm(p.Part, p.Term) {
+			nd.rejectStale(m.From, p.Part)
+			return
+		}
+		vr, vu := nd.VersionsPart(p.Part)
+		below := false
+		if pred := nd.gcPred(p.Part); pred != nil {
+			below = nd.store.HasVersionsBelowFunc(vr, pred)
+		} else {
+			below = nd.store.HasVersionsBelow(vr)
+		}
 		nd.net.Send(transport.Message{From: nd.id, To: m.From, Payload: VersionReplyMsg{
 			Round: p.Round, Node: nd.id, VR: vr, VU: vu,
-			BelowVR: nd.store.HasVersionsBelow(vr),
+			BelowVR: below, Part: p.Part,
 		}})
 	case CoordStateMsg:
-		if !nd.observeTerm(p.Term) {
-			nd.rejectStale(m.From)
+		if !nd.observeTermAll(p.Term) {
+			nd.rejectStale(m.From, 0)
 			return
 		}
 		if f := nd.onCoordState; f != nil {
@@ -430,7 +546,7 @@ func (nd *Node) handleMessage(m transport.Message) {
 	case StaleTermMsg:
 		// Addressed to coordinator endpoints; one reaching a node is
 		// stray cross-talk. Fold the term in and drop it.
-		nd.observeTerm(p.Term)
+		nd.observeTermAll(p.Term)
 	case NCVoteMsg:
 		nd.handleNCVote(p)
 	case NCDecisionMsg:
@@ -450,42 +566,83 @@ func (nd *Node) handleMessage(m transport.Message) {
 	}
 }
 
-// observeTerm folds a coordinator fencing term into the node's
-// high-water mark, returning false when t is stale — positive but
-// below a term this node has already seen — in which case the caller
-// must drop the message. Term 0 is the unfenced single-coordinator
-// mode and is always accepted. A raised term is journaled before the
-// node acts on any message carrying it, so a restarted node cannot be
-// tricked into acknowledging an already-fenced coordinator.
-func (nd *Node) observeTerm(t uint64) bool {
+// observeTerm folds a coordinator fencing term into one partition's
+// register, returning false when t is stale — positive but below a
+// term this partition has already seen — in which case the caller must
+// drop the message. Term 0 is the unfenced single-coordinator mode and
+// is always accepted. A term raising the cross-partition high-water
+// mark is journaled before the node acts on any message carrying it,
+// so a restarted node cannot be tricked into acknowledging an
+// already-fenced coordinator.
+func (nd *Node) observeTerm(part int, t uint64) bool {
 	if t == 0 {
 		return true
 	}
 	for {
-		cur := nd.coordTerm.Load()
+		cur := nd.coordTerms[part].Load()
 		if t < cur {
 			return false
 		}
 		if t == cur {
 			return true
 		}
+		if nd.coordTerms[part].CompareAndSwap(cur, t) {
+			nd.noteTermHigh(t)
+			return true
+		}
+	}
+}
+
+// observeTermAll folds a partition-less term (heartbeat, stale-term
+// notice) into every partition's register. It reports false when the
+// term is stale on every partition.
+func (nd *Node) observeTermAll(t uint64) bool {
+	if t == 0 {
+		return true
+	}
+	ok := false
+	for part := range nd.coordTerms {
+		if nd.observeTerm(part, t) {
+			ok = true
+		}
+	}
+	return ok
+}
+
+// noteTermHigh journals and gauges a term that raised any partition's
+// register, deduplicated through the cross-partition high-water mark.
+func (nd *Node) noteTermHigh(t uint64) {
+	for {
+		cur := nd.coordTerm.Load()
+		if t <= cur {
+			return
+		}
 		if nd.coordTerm.CompareAndSwap(cur, t) {
 			if j, ok := nd.journal.(TermJournal); ok {
 				j.CoordTerm(t)
 			}
 			nd.reg.SetGauge(obs.GaugeCoordTerm, float64(t))
-			return true
+			return
 		}
+	}
+}
+
+// seedTerm installs a restored fencing term on every partition
+// (restart adoption; the journal already holds it).
+func (nd *Node) seedTerm(t uint64) {
+	nd.coordTerm.Store(t)
+	for i := range nd.coordTerms {
+		nd.coordTerms[i].Store(t)
 	}
 }
 
 // rejectStale counts a fenced-off phase message and tells its sender
 // which term supersedes it, so a deposed coordinator stops re-driving
 // its sweep instead of timing out.
-func (nd *Node) rejectStale(from model.NodeID) {
+func (nd *Node) rejectStale(from model.NodeID, part int) {
 	nd.reg.Inc(obs.CtrStaleTermRejects, 1)
 	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: StaleTermMsg{
-		Term: nd.coordTerm.Load(), Node: nd.id,
+		Term: nd.coordTerms[part].Load(), Node: nd.id,
 	}})
 }
 
@@ -493,71 +650,78 @@ func (nd *Node) rejectStale(from model.NodeID) {
 // Section 2.2: an arriving subtransaction carrying a version greater
 // than the local update version is itself the notice that advancement
 // has begun.
-func (nd *Node) maybeAdvanceVU(v model.Version) {
+func (nd *Node) maybeAdvanceVU(part int, v model.Version) {
 	nd.verMu.Lock()
 	defer nd.verMu.Unlock()
-	if v > nd.vu {
-		nd.vu = v
-		nd.cnt.EnsureVersion(v)
+	if v > nd.pv[part].vu {
+		nd.pv[part].vu = v
+		nd.cnts[part].EnsureVersion(v)
 		nd.metMu.Lock()
 		nd.metrics.ImplicitAdvances++
 		nd.metMu.Unlock()
-		nd.checkVersionInvariantLocked()
+		nd.checkVersionInvariantLocked(part)
 	}
 }
 
 func (nd *Node) handleStartAdvancement(from model.NodeID, p StartAdvancementMsg) {
 	nd.verMu.Lock()
-	if p.NewVU > nd.vu {
-		nd.vu = p.NewVU
-		nd.cnt.EnsureVersion(p.NewVU)
-		nd.checkVersionInvariantLocked()
+	if p.NewVU > nd.pv[p.Part].vu {
+		nd.pv[p.Part].vu = p.NewVU
+		nd.cnts[p.Part].EnsureVersion(p.NewVU)
+		nd.checkVersionInvariantLocked(p.Part)
 	}
 	nd.verMu.Unlock()
 	if nd.journal != nil {
 		// Durable before the ack: the coordinator will never repeat a
 		// notice every node acknowledged.
-		nd.journal.VersionUpdate(p.NewVU)
+		nd.journal.VersionUpdate(p.Part, p.NewVU)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckAdvancementMsg{NewVU: p.NewVU, Node: nd.id, Part: p.Part}})
 }
 
 func (nd *Node) handleReadVersion(from model.NodeID, p ReadVersionMsg) {
 	var release []parkedNC
 	nd.verMu.Lock()
-	if p.NewVR > nd.vr {
-		nd.vr = p.NewVR
+	if p.NewVR > nd.pv[p.Part].vr {
+		nd.pv[p.Part].vr = p.NewVR
 		nd.vrCond.Broadcast()
-		nd.checkVersionInvariantLocked()
+		nd.checkVersionInvariantLocked(p.Part)
 	}
-	keep := nd.ncParked[:0]
-	for _, it := range nd.ncParked {
-		if it.msg.Version == nd.vr+1 {
-			release = append(release, it)
-		} else {
-			keep = append(keep, it)
+	if p.Part == 0 {
+		// NC3V roots only park in unpartitioned mode (partition 0).
+		keep := nd.ncParked[:0]
+		for _, it := range nd.ncParked {
+			if it.msg.Version == nd.pv[0].vr+1 {
+				release = append(release, it)
+			} else {
+				keep = append(keep, it)
+			}
 		}
+		nd.ncParked = keep
 	}
-	nd.ncParked = keep
 	nd.verMu.Unlock()
 	// Re-dispatch NC roots whose advancement window has closed.
 	for _, it := range release {
 		nd.work.put(workItem{from: it.from, sub: it.msg})
 	}
 	if nd.journal != nil {
-		nd.journal.VersionRead(p.NewVR)
+		nd.journal.VersionRead(p.Part, p.NewVR)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckReadVersionMsg{NewVR: p.NewVR, Node: nd.id, Part: p.Part}})
 }
 
 func (nd *Node) handleGC(from model.NodeID, p GCMsg) {
-	nd.store.GC(p.Keep)
-	nd.cnt.DropBelow(p.Keep)
+	if pred := nd.gcPred(p.Part); pred != nil {
+		nd.store.GCFunc(p.Keep, pred)
+	} else {
+		nd.store.GC(p.Keep)
+	}
+	nd.cnts[p.Part].DropBelow(p.Keep)
 	nd.reg.RecordEvent(obs.Event{Kind: obs.EvGC, Node: int(nd.id), Version: int64(p.Keep)})
 	if nd.journal != nil {
-		nd.journal.GC(p.Keep)
+		nd.journal.GC(p.Part, p.Keep)
 	}
-	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id}})
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: AckGCMsg{Keep: p.Keep, Node: nd.id, Part: p.Part}})
 }
 
 // sendStamp returns the SentAt stamp for outgoing subtransactions: the
@@ -570,12 +734,14 @@ func (nd *Node) sendStamp() time.Time {
 }
 
 func (nd *Node) handleCounterReq(from model.NodeID, p CounterReqMsg) {
+	cnt := nd.cnts[p.Part]
 	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: CounterReplyMsg{
 		Version: p.Version,
 		Round:   p.Round,
 		Node:    nd.id,
-		R:       nd.cnt.SnapshotR(p.Version),
-		C:       nd.cnt.SnapshotC(p.Version),
+		R:       cnt.SnapshotR(p.Version),
+		C:       cnt.SnapshotC(p.Version),
+		Part:    p.Part,
 	}})
 }
 
@@ -585,22 +751,25 @@ func (nd *Node) handleCounterReq(from model.NodeID, p CounterReqMsg) {
 // the coordinator's double-collect detector compares consecutive
 // rounds and a stale snapshot could fake quiescence.
 func (nd *Node) handleCountersReq(from model.NodeID, p CountersReqMsg) {
+	cnt := nd.cnts[p.Part]
 	entries := make([]VersionCounters, len(p.Versions))
 	for i, v := range p.Versions {
-		entries[i] = VersionCounters{Version: v, R: nd.cnt.SnapshotR(v), C: nd.cnt.SnapshotC(v)}
+		entries[i] = VersionCounters{Version: v, R: cnt.SnapshotR(v), C: cnt.SnapshotC(v)}
 	}
 	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: CountersMsg{
 		Round:   p.Round,
 		Node:    nd.id,
 		Entries: entries,
+		Part:    p.Part,
 	}})
 }
 
-// checkVersionInvariantLocked asserts Section 4.4 property 3:
-// vr < vu ≤ vr + 2. Called with verMu held.
-func (nd *Node) checkVersionInvariantLocked() {
-	if !(nd.vr < nd.vu && nd.vu <= nd.vr+2) {
-		nd.violate("node %v: version invariant broken: vr=%d vu=%d", nd.id, nd.vr, nd.vu)
+// checkVersionInvariantLocked asserts Section 4.4 property 3 for one
+// partition: vr < vu ≤ vr + 2. Called with verMu held.
+func (nd *Node) checkVersionInvariantLocked(part int) {
+	vr, vu := nd.pv[part].vr, nd.pv[part].vu
+	if !(vr < vu && vu <= vr+2) {
+		nd.violate("node %v: partition %d version invariant broken: vr=%d vu=%d", nd.id, part, vr, vu)
 	}
 }
 
@@ -710,10 +879,16 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 	// outbox: journal.Exec makes record and frames durable together,
 	// then transmits. Without a journal, send transmits immediately and
 	// the path is exactly the pre-durability one.
+	part := msg.Part
+	if part < 0 || part >= nd.nparts {
+		nd.violate("node %v: subtxn %v partition %d out of range (P=%d)", nd.id, msg.Txn, part, nd.nparts)
+		part = 0
+	}
+	cnt := nd.cnts[part]
 	var rec *ExecRecord
 	var outbox []transport.Message
 	if nd.journal != nil {
-		rec = &ExecRecord{EnqID: enqID, Txn: msg.Txn, From: from, Root: msg.Root, ReadOnly: msg.ReadOnly}
+		rec = &ExecRecord{EnqID: enqID, Txn: msg.Txn, From: from, Root: msg.Root, ReadOnly: msg.ReadOnly, Part: part}
 	}
 	send := func(m transport.Message) {
 		if rec != nil {
@@ -737,11 +912,11 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 		// respect to version advancement.
 		nd.verMu.Lock()
 		if msg.ReadOnly {
-			v = nd.vr
+			v = nd.pv[part].vr
 		} else {
-			v = nd.vu
+			v = nd.pv[part].vu
 		}
-		nd.cnt.IncR(v, nd.id)
+		cnt.IncR(v, nd.id)
 		nd.verMu.Unlock()
 		if rec != nil {
 			rec.IncR = append(rec.IncR, nd.id)
@@ -752,7 +927,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 		nd.obs.onVersion(msg.Txn, v)
 	} else if !msg.ReadOnly {
 		// Step 2: implicit advancement notification.
-		nd.maybeAdvanceVU(v)
+		nd.maybeAdvanceVU(part, v)
 	}
 	if rec != nil {
 		rec.Version = v
@@ -818,7 +993,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 	// each send.
 	if lockOK {
 		for _, child := range spec.Children {
-			nd.cnt.IncR(v, child.Node)
+			cnt.IncR(v, child.Node)
 			if rec != nil {
 				rec.IncR = append(rec.IncR, child.Node)
 			}
@@ -831,12 +1006,13 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 				RootNode:     msg.RootNode,
 				Compensating: msg.Compensating,
 				SentAt:       nd.sendStamp(),
+				Part:         part,
 			}})
 		}
 	}
 
 	if aborting {
-		nd.abortSubtree(msg.Txn, v, spec, lockOK, rec, send, childTC, msg.RootNode)
+		nd.abortSubtree(msg.Txn, v, part, spec, lockOK, rec, send, childTC, msg.RootNode)
 	}
 
 	// finish is the termination tail: re-enqueue of journaled local
@@ -849,7 +1025,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 				nd.work.put(workItem{from: nd.id, sub: m, enqID: ids[i], tc: childTC, recvAt: localAt})
 			}
 		}
-		nd.finishSubtxn(from, msg, v, reads, aborting, traced, tc, spanID, start, wireD, queueD, fsyncD)
+		nd.finishSubtxn(from, msg, v, part, reads, aborting, traced, tc, spanID, start, wireD, queueD, fsyncD)
 	}
 
 	if batch != nil && rec != nil {
@@ -890,7 +1066,7 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 // finishSubtxn is Step 6 plus trace recording: runs strictly after the
 // subtransaction's effects are durable (when journaled). It reports
 // completion and only then increments the completion counter.
-func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, reads []model.ReadResult, aborting, traced bool, tc obs.TraceContext, spanID uint64, start time.Time, wireD, queueD, fsyncD time.Duration) {
+func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, part int, reads []model.ReadResult, aborting, traced bool, tc obs.TraceContext, spanID uint64, start time.Time, wireD, queueD, fsyncD time.Duration) {
 	if traced {
 		// Park the root's stage breakdown for the completion edge, then
 		// record this execution's span — locally when this node is the
@@ -946,7 +1122,7 @@ func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, 
 	}
 	nd.metMu.Unlock()
 	nd.obs.onDone(msg.Txn, nd.id, reads, aborting, msg.Root)
-	nd.cnt.IncC(v, from)
+	nd.cnts[part].IncC(v, from)
 }
 
 // abortSubtree implements Section 3.2 for a subtransaction that aborts
@@ -957,7 +1133,7 @@ func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, 
 // false the local updates were never performed (lock timeout) and only
 // the children need compensating — but in that case no children were
 // sent either, so there is nothing to do beyond bookkeeping.
-func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message), childTC obs.TraceContext, rootNode model.NodeID) {
+func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, part int, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message), childTC obs.TraceContext, rootNode model.NodeID) {
 	if !applied {
 		return
 	}
@@ -979,7 +1155,7 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 	}
 	for _, child := range spec.Children {
 		comp := child.Compensator()
-		nd.cnt.IncR(v, comp.Node)
+		nd.cnts[part].IncR(v, comp.Node)
 		if rec != nil {
 			rec.IncR = append(rec.IncR, comp.Node)
 		}
@@ -994,6 +1170,7 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, spec *model.Subtx
 			RootNode:     rootNode,
 			Compensating: true,
 			SentAt:       nd.sendStamp(),
+			Part:         part,
 		}})
 	}
 }

@@ -18,9 +18,11 @@ func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
 		rootNode = nd.id
 		// Step 1: V(K) := vu, bumping the request counter in the same
 		// critical section as assignment (see executeSubtxn).
+		// NC3V is restricted to unpartitioned clusters, so all NC
+		// bookkeeping pins partition 0.
 		nd.verMu.Lock()
-		v = nd.vu
-		nd.cnt.IncR(v, nd.id)
+		v = nd.pv[0].vu
+		nd.cnts[0].IncR(v, nd.id)
 		// Step 2: the transaction may proceed only when V(K) = vr + 1,
 		// i.e. no version advancement is in flight — the one wait the
 		// NC3V protocol imposes, and it affects non-well-behaved
@@ -28,7 +30,7 @@ func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
 		// starving the very version-drain that lets vr catch up, so the
 		// root is parked off-thread and re-dispatched by the
 		// read-version switch (handleReadVersion).
-		if nd.vr < v-1 {
+		if nd.pv[0].vr < v-1 {
 			parked := msg
 			parked.Assigned = true
 			parked.Version = v
@@ -49,7 +51,7 @@ func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
 	} else if !msg.Root {
 		// Implicit advancement notification applies to NC
 		// subtransactions exactly as to well-behaved ones.
-		nd.maybeAdvanceVU(v)
+		nd.maybeAdvanceVU(0, v)
 	}
 
 	spec := msg.Spec
@@ -103,7 +105,7 @@ func (nd *Node) executeNC(from model.NodeID, msg SubtxnMsg) {
 	children := 0
 	if localOK {
 		for _, child := range spec.Children {
-			nd.cnt.IncR(v, child.Node)
+			nd.cnts[0].IncR(v, child.Node)
 			nd.obs.onSpawn(msg.Txn, 1)
 			nd.net.Send(transport.Message{From: nd.id, To: child.Node, Payload: SubtxnMsg{
 				Txn:      msg.Txn,
@@ -220,7 +222,7 @@ func (nd *Node) handleNCDecision(p NCDecisionMsg) {
 		// root=false: NC3V is cluster-local (rejected in distributed
 		// mode), so handles here are never root-only.
 		nd.obs.onDone(p.Txn, nd.id, ex.reads, !p.Commit, false)
-		nd.cnt.IncC(ex.ver, ex.source)
+		nd.cnts[0].IncC(ex.ver, ex.source)
 	}
 	nd.lm.ReleaseAll(p.Txn)
 }

@@ -51,15 +51,16 @@ func (c *Coordinator) crash() {
 	c.mu.Unlock()
 }
 
-// probeVersions collects every node's (vr, vu), re-probing silent
-// nodes and timing out per the coordinator's hardening configuration.
-func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) {
+// probeVersions collects every node's (vr, vu) for one partition,
+// re-probing silent nodes and timing out per the coordinator's
+// hardening configuration.
+func (c *Coordinator) probeVersions(part int) (map[model.NodeID]VersionReplyMsg, error) {
 	c.mu.Lock()
 	c.round++
 	round := c.round
 	c.mu.Unlock()
 	for i := 0; i < c.n; i++ {
-		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term}})
+		c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term, Part: part}})
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -77,7 +78,7 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 		if c.resend > 0 && now.After(nextResend) {
 			for i := 0; i < c.n; i++ {
 				if _, ok := c.probes[round][model.NodeID(i)]; !ok {
-					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term}})
+					c.net.Send(transport.Message{From: c.id, To: model.NodeID(i), Payload: VersionProbeMsg{Round: round, Term: c.term, Part: part}})
 				}
 			}
 			nextResend = now.Add(c.resend)
@@ -99,53 +100,77 @@ func (c *Coordinator) probeVersions() (map[model.NodeID]VersionReplyMsg, error) 
 // least one cycle has completed (at vu = 1 nothing can lag): the
 // deterministic trace configurations never restart nodes and must not
 // see extra probe traffic, and scripted tests stage the first cycle's
-// messages exactly. Callers hold advMu.
-func (c *Coordinator) resyncLagging() error {
-	if c.resend <= 0 || c.vu <= 1 {
+// messages exactly. Callers hold the partition's advMu.
+func (c *Coordinator) resyncLagging(part int) error {
+	cp := c.parts[part]
+	if c.resend <= 0 || cp.vu <= 1 {
 		return nil
 	}
-	views, err := c.probeVersions()
+	views, err := c.probeVersions(part)
 	if err != nil {
 		return err
 	}
 	var lagVU, lagVR bool
 	for _, v := range views {
-		if v.VU < c.vu {
+		if v.VU < cp.vu {
 			lagVU = true
 		}
-		if v.VR < c.vr {
+		if v.VR < cp.vr {
 			lagVR = true
 		}
 	}
 	if lagVU {
-		c.broadcast(StartAdvancementMsg{NewVU: c.vu, Term: c.term})
-		if err := c.waitAcks(c.ackVU, c.vu, StartAdvancementMsg{NewVU: c.vu, Term: c.term}); err != nil {
+		c.broadcast(StartAdvancementMsg{NewVU: cp.vu, Term: c.term, Part: part})
+		if err := c.waitAcks(c.ackVU, ackKey{part, cp.vu}, StartAdvancementMsg{NewVU: cp.vu, Term: c.term, Part: part}); err != nil {
 			return fmt.Errorf("resyncing update version: %w", err)
 		}
 	}
 	if lagVR {
-		c.broadcast(ReadVersionMsg{NewVR: c.vr, Term: c.term})
-		if err := c.waitAcks(c.ackVR, c.vr, ReadVersionMsg{NewVR: c.vr, Term: c.term}); err != nil {
+		c.broadcast(ReadVersionMsg{NewVR: cp.vr, Term: c.term, Part: part})
+		if err := c.waitAcks(c.ackVR, ackKey{part, cp.vr}, ReadVersionMsg{NewVR: cp.vr, Term: c.term, Part: part}); err != nil {
 			return fmt.Errorf("resyncing read version: %w", err)
 		}
 		// The rejoiner may still hold versions the cluster collected.
-		c.broadcast(GCMsg{Keep: c.vr, Term: c.term})
-		if err := c.waitAcks(c.ackGC, c.vr, GCMsg{Keep: c.vr, Term: c.term}); err != nil {
+		c.broadcast(GCMsg{Keep: cp.vr, Term: c.term, Part: part})
+		if err := c.waitAcks(c.ackGC, ackKey{part, cp.vr}, GCMsg{Keep: cp.vr, Term: c.term, Part: part}); err != nil {
 			return fmt.Errorf("resyncing garbage collection: %w", err)
 		}
 	}
 	return nil
 }
 
-// Recover reconstructs the cluster's advancement state and finishes any
-// interrupted cycle. It must be called on a fresh coordinator (after
-// Cluster.CrashCoordinator) before any new RunAdvancement.
+// Recover reconstructs the cluster's advancement state and finishes
+// any interrupted cycle, partition by partition. It must be called on
+// a fresh coordinator (after Cluster.CrashCoordinator or a failover
+// takeover) before any new RunAdvancement. The report carries
+// partition 0's versions, summed sweeps, and Resumed set if any
+// partition had an interrupted cycle to finish.
 func (c *Coordinator) Recover() (RecoveryReport, error) {
-	c.advMu.Lock()
-	defer c.advMu.Unlock()
+	agg, err := c.recoverPart(0)
+	if err != nil {
+		return agg, err
+	}
+	for part := 1; part < c.nparts; part++ {
+		rep, err := c.recoverPart(part)
+		agg.Sweeps += rep.Sweeps
+		agg.Took += rep.Took
+		agg.Resumed = agg.Resumed || rep.Resumed
+		if err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
+}
+
+// recoverPart reconstructs one partition's advancement state and
+// finishes its interrupted cycle, if any.
+func (c *Coordinator) recoverPart(part int) (RecoveryReport, error) {
+	cp := c.parts[part]
+	cp.advMu.Lock()
+	defer cp.advMu.Unlock()
 	start := time.Now()
 
-	views, err := c.probeVersions()
+	views, err := c.probeVersions(part)
 	if err != nil {
 		return RecoveryReport{}, err
 	}
@@ -172,25 +197,25 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 		}
 	}
 	if clean && maxVU == maxVR+1 && !gcPending {
-		c.setVersions(maxVU, maxVR)
+		c.setVersions(part, maxVU, maxVR)
 		return RecoveryReport{Resumed: false, VR: maxVR, VU: maxVU, Took: time.Since(start)}, nil
 	}
 	if clean && maxVU == maxVR+1 && gcPending {
 		// Phases 1–3 finished but Phase 4 did not: drain the old read
 		// version's queries and garbage-collect.
 		rep := RecoveryReport{Resumed: true}
-		c.enterPhase(4)
-		defer c.enterPhase(0)
-		s, _, err := c.pollQuiescence(maxVR - 1)
+		c.enterPhase(part, 4)
+		defer c.enterPhase(part, 0)
+		s, _, err := c.pollQuiescence(part, maxVR-1)
 		rep.Sweeps += s
 		if err != nil {
 			return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
 		}
-		c.broadcast(GCMsg{Keep: maxVR, Term: c.term})
-		if err := c.waitAcks(c.ackGC, maxVR, GCMsg{Keep: maxVR, Term: c.term}); err != nil {
+		c.broadcast(GCMsg{Keep: maxVR, Term: c.term, Part: part})
+		if err := c.waitAcks(c.ackGC, ackKey{part, maxVR}, GCMsg{Keep: maxVR, Term: c.term, Part: part}); err != nil {
 			return rep, fmt.Errorf("resuming garbage collection: %w", err)
 		}
-		c.setVersions(maxVU, maxVR)
+		c.setVersions(part, maxVU, maxVR)
 		rep.VR, rep.VU = maxVR, maxVU
 		rep.Took = time.Since(start)
 		return rep, nil
@@ -202,45 +227,45 @@ func (c *Coordinator) Recover() (RecoveryReport, error) {
 	vuNew := maxVU
 	vrNew := vuNew - 1
 	rep := RecoveryReport{Resumed: true}
-	defer c.enterPhase(0)
+	defer c.enterPhase(part, 0)
 
 	// Finish Phase 1 (idempotent: nodes take the max and always ack).
-	c.enterPhase(1)
-	c.broadcast(StartAdvancementMsg{NewVU: vuNew, Term: c.term})
-	if err := c.waitAcks(c.ackVU, vuNew, StartAdvancementMsg{NewVU: vuNew, Term: c.term}); err != nil {
+	c.enterPhase(part, 1)
+	c.broadcast(StartAdvancementMsg{NewVU: vuNew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackVU, ackKey{part, vuNew}, StartAdvancementMsg{NewVU: vuNew, Term: c.term, Part: part}); err != nil {
 		return rep, fmt.Errorf("resuming phase 1: %w", err)
 	}
 
 	// Phase 2: quiesce the outgoing update version.
-	c.enterPhase(2)
-	s2, _, err := c.pollQuiescence(vuNew - 1)
+	c.enterPhase(part, 2)
+	s2, _, err := c.pollQuiescence(part, vuNew-1)
 	rep.Sweeps += s2
 	if err != nil {
 		return rep, fmt.Errorf("resuming phase 2 quiescence: %w", err)
 	}
 
 	// Phase 3 (idempotent).
-	c.enterPhase(3)
-	c.broadcast(ReadVersionMsg{NewVR: vrNew, Term: c.term})
-	if err := c.waitAcks(c.ackVR, vrNew, ReadVersionMsg{NewVR: vrNew, Term: c.term}); err != nil {
+	c.enterPhase(part, 3)
+	c.broadcast(ReadVersionMsg{NewVR: vrNew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackVR, ackKey{part, vrNew}, ReadVersionMsg{NewVR: vrNew, Term: c.term, Part: part}); err != nil {
 		return rep, fmt.Errorf("resuming phase 3: %w", err)
 	}
 
 	// Phase 4: quiesce the outgoing read version's queries, then GC.
 	// vrNew is at least 1 here (the first possible interrupted cycle
 	// targets vu=2/vr=1), so vrNew-1 is well-defined.
-	c.enterPhase(4)
-	s4, _, err := c.pollQuiescence(vrNew - 1)
+	c.enterPhase(part, 4)
+	s4, _, err := c.pollQuiescence(part, vrNew-1)
 	rep.Sweeps += s4
 	if err != nil {
 		return rep, fmt.Errorf("resuming phase 4 quiescence: %w", err)
 	}
-	c.broadcast(GCMsg{Keep: vrNew, Term: c.term})
-	if err := c.waitAcks(c.ackGC, vrNew, GCMsg{Keep: vrNew, Term: c.term}); err != nil {
+	c.broadcast(GCMsg{Keep: vrNew, Term: c.term, Part: part})
+	if err := c.waitAcks(c.ackGC, ackKey{part, vrNew}, GCMsg{Keep: vrNew, Term: c.term, Part: part}); err != nil {
 		return rep, fmt.Errorf("resuming garbage collection: %w", err)
 	}
 
-	c.setVersions(vuNew, vrNew)
+	c.setVersions(part, vuNew, vrNew)
 	rep.VR, rep.VU = vrNew, vuNew
 	rep.Took = time.Since(start)
 	return rep, nil
@@ -257,7 +282,7 @@ func (c *Cluster) CrashCoordinator() *Coordinator {
 	}
 	old := c.currentCoordinator()
 	old.crash()
-	fresh := newCoordinator(c.cfg.Nodes, c.net, c.cfg.PollInterval, c.cfg.AckTimeout, c.cfg.ResendInterval, c.reg)
+	fresh := newCoordinator(c.cfg.Nodes, c.nparts, c.net, c.cfg.PollInterval, c.cfg.AckTimeout, c.cfg.ResendInterval, c.reg)
 	fresh.batchedCounters = c.cfg.BatchedCounters
 	c.coordMu.Lock()
 	c.coord = fresh

@@ -44,6 +44,9 @@ func (c *Cluster) ExportSnapshot() (*ClusterSnapshot, error) {
 	if c.distributed {
 		return nil, fmt.Errorf("core: snapshots require a single-process cluster")
 	}
+	if c.nparts > 1 {
+		return nil, fmt.Errorf("core: snapshots require an unpartitioned cluster (the format carries one version pair)")
+	}
 	snap := &ClusterSnapshot{Nodes: len(c.nodes), Seq: c.seq.Load()}
 	vrRef, vuRef := c.nodes[0].Versions()
 	for i, nd := range c.nodes {
@@ -87,6 +90,9 @@ func (c *Cluster) RestoreSnapshot(s *ClusterSnapshot) error {
 	if c.distributed {
 		return fmt.Errorf("core: snapshots require a single-process cluster")
 	}
+	if c.nparts > 1 {
+		return fmt.Errorf("core: snapshots require an unpartitioned cluster (the format carries one version pair)")
+	}
 	if s.Nodes != len(c.nodes) {
 		return fmt.Errorf("core: snapshot is for %d nodes, cluster has %d", s.Nodes, len(c.nodes))
 	}
@@ -96,15 +102,16 @@ func (c *Cluster) RestoreSnapshot(s *ClusterSnapshot) error {
 	for i, nd := range c.nodes {
 		nd.store.Import(s.Stores[i])
 		nd.verMu.Lock()
-		nd.vr, nd.vu = s.VR, s.VU
+		nd.pv[0] = verPair{vu: s.VU, vr: s.VR}
 		nd.verMu.Unlock()
-		nd.cnt.EnsureVersion(s.VR)
-		nd.cnt.EnsureVersion(s.VU)
+		nd.cnts[0].EnsureVersion(s.VR)
+		nd.cnts[0].EnsureVersion(s.VU)
 	}
 	coord := c.currentCoordinator()
-	coord.advMu.Lock()
-	coord.vr, coord.vu = s.VR, s.VU
-	coord.advMu.Unlock()
+	cp := coord.parts[0]
+	cp.advMu.Lock()
+	cp.vr, cp.vu = s.VR, s.VU
+	cp.advMu.Unlock()
 	c.seq.Store(s.Seq)
 	return nil
 }

@@ -18,9 +18,9 @@ import (
 const (
 	recEnq  = 1 // id uvarint | frame                      — command arrived
 	recExec = 2 // see appendExec                          — execution effects
-	recVU   = 3 // v uvarint                               — vu = max(vu, v)
-	recVR   = 4 // v uvarint                               — vr = max(vr, v)
-	recGC   = 5 // v uvarint                               — drop versions < v
+	recVU   = 3 // v uvarint [| part uvarint]              — vu[part] = max(vu, v)
+	recVR   = 4 // v uvarint [| part uvarint]              — vr[part] = max(vr, v)
+	recGC   = 5 // v uvarint [| part uvarint]              — drop part's versions < v
 	recSend = 6 // frame                                   — session frame sent
 	recRecv = 7 // to varint | from varint | next uvarint  — recv watermark
 	recAck  = 8 // from varint | to varint | cum uvarint   — peer cumulative ack
@@ -29,10 +29,15 @@ const (
 )
 
 // Checkpoint blob format version. Version 2 adds the coordinator term
-// after nextEnq; version-1 blobs (pre-failover) still decode, with
-// term 0.
+// after nextEnq; version 3 adds the partition count plus per-partition
+// version pairs and partition-tagged counter sections. Older blobs
+// still decode: their single version pair and counter section describe
+// partition 0 (the only partition a pre-partitioning node had). The
+// version-switch records likewise append the partition id only when it
+// is non-zero, so unpartitioned logs are byte-identical to version 2's.
 const (
-	ckptVersion   = 2
+	ckptVersion   = 3
+	ckptVersionV2 = 2
 	ckptVersionV1 = 1
 )
 

@@ -63,6 +63,10 @@ type Options struct {
 	// Self is the node id this journal serves; Nodes the cluster size.
 	Self  model.NodeID
 	Nodes int
+	// Partitions is the cluster's partition count (core.Config.Partitions);
+	// 0 or 1 means unpartitioned. Checkpoints carry one version pair and
+	// one counter section per partition, and recovery restores them all.
+	Partitions int
 	// Fsync, FsyncInterval and SegmentBytes pass through to wal.Options.
 	Fsync         wal.Policy
 	FsyncInterval time.Duration
@@ -77,6 +81,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.CheckpointInterval <= 0 {
 		o.CheckpointInterval = 2 * time.Second
+	}
+	if o.Partitions < 1 {
+		o.Partitions = 1
 	}
 	return o
 }
@@ -289,6 +296,11 @@ func (db *DB) appendExecLocked(rec core.ExecRecord, prepared []reliable.Prepared
 		db.must(err)
 		db.buf = append(db.buf, fb...)
 	}
+	if rec.Part != 0 {
+		// Trailing, omitted for partition 0: pre-partitioning records
+		// decode unchanged and unpartitioned logs stay byte-identical.
+		db.buf = binary.AppendUvarint(db.buf, uint64(rec.Part))
+	}
 	_, err := db.log.Append(db.buf)
 	db.must(err)
 
@@ -302,16 +314,17 @@ func (db *DB) appendExecLocked(rec core.ExecRecord, prepared []reliable.Prepared
 	return ids
 }
 
-// VersionUpdate journals vu = max(vu, v), durable before the node acks
-// advancement Phase 1.
-func (db *DB) VersionUpdate(v model.Version) { db.versionRec(recVU, v) }
+// VersionUpdate journals vu[part] = max(vu, v), durable before the node
+// acks advancement Phase 1.
+func (db *DB) VersionUpdate(part int, v model.Version) { db.versionRec(recVU, part, v) }
 
-// VersionRead journals vr = max(vr, v), durable before the Phase 3 ack.
-func (db *DB) VersionRead(v model.Version) { db.versionRec(recVR, v) }
+// VersionRead journals vr[part] = max(vr, v), durable before the
+// Phase 3 ack.
+func (db *DB) VersionRead(part int, v model.Version) { db.versionRec(recVR, part, v) }
 
-// GC journals the truncation of versions below v, durable before the
-// Phase 4 ack.
-func (db *DB) GC(v model.Version) { db.versionRec(recGC, v) }
+// GC journals the truncation of the partition's versions below v,
+// durable before the Phase 4 ack.
+func (db *DB) GC(part int, v model.Version) { db.versionRec(recGC, part, v) }
 
 // CoordTerm journals the node's fenced coordinator term (the
 // core.TermJournal extension), durable before any reply under the new
@@ -332,10 +345,15 @@ func (db *DB) CoordTerm(t uint64) {
 	db.must(db.log.Barrier())
 }
 
-func (db *DB) versionRec(tag byte, v model.Version) {
+func (db *DB) versionRec(tag byte, part int, v model.Version) {
 	db.mu.Lock()
 	db.buf = append(db.buf[:0], tag)
 	db.buf = binary.AppendUvarint(db.buf, uint64(v))
+	if part != 0 {
+		// Partition 0 (and every pre-partitioning record) omits the id,
+		// keeping unpartitioned logs byte-identical to the old format.
+		db.buf = binary.AppendUvarint(db.buf, uint64(part))
+	}
 	_, err := db.log.Append(db.buf)
 	db.mu.Unlock()
 	db.must(err)
@@ -488,6 +506,14 @@ func (db *DB) encodeCheckpointLocked() []byte {
 	buf = binary.AppendUvarint(buf, uint64(vu))
 	buf = binary.AppendUvarint(buf, db.nextEnq)
 	buf = binary.AppendUvarint(buf, db.coordTerm)
+	// Version 3: partition count plus every partition's version pair
+	// (partition 0's repeats the legacy pair above).
+	buf = binary.AppendUvarint(buf, uint64(db.opts.Partitions))
+	for p := 0; p < db.opts.Partitions; p++ {
+		pvr, pvu := db.node.VersionsPart(p)
+		buf = binary.AppendUvarint(buf, uint64(pvr))
+		buf = binary.AppendUvarint(buf, uint64(pvu))
+	}
 
 	// Store, streamed shard by shard (no monolithic copy).
 	st := db.node.Store()
@@ -505,17 +531,19 @@ func (db *DB) encodeCheckpointLocked() []byte {
 		}
 	}
 
-	// Counter rows, one per live version.
-	cnt := db.node.Counters()
-	vers := cnt.Versions()
-	buf = binary.AppendUvarint(buf, uint64(len(vers)))
-	for _, v := range vers {
-		buf = binary.AppendUvarint(buf, uint64(v))
-		for _, x := range cnt.SnapshotR(v) {
-			buf = binary.AppendVarint(buf, x)
-		}
-		for _, x := range cnt.SnapshotC(v) {
-			buf = binary.AppendVarint(buf, x)
+	// Counter rows, one section per partition, one row per live version.
+	for p := 0; p < db.opts.Partitions; p++ {
+		cnt := db.node.CountersPart(p)
+		vers := cnt.Versions()
+		buf = binary.AppendUvarint(buf, uint64(len(vers)))
+		for _, v := range vers {
+			buf = binary.AppendUvarint(buf, uint64(v))
+			for _, x := range cnt.SnapshotR(v) {
+				buf = binary.AppendVarint(buf, x)
+			}
+			for _, x := range cnt.SnapshotC(v) {
+				buf = binary.AppendVarint(buf, x)
+			}
 		}
 	}
 

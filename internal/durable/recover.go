@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/model"
+	"repro/internal/partition"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/transport/reliable"
@@ -63,16 +64,28 @@ func Open(opts Options) (*DB, *core.NodeRestore, *reliable.SessionState, error) 
 }
 
 // replayState accumulates recovery: checkpoint state first, then WAL
-// records applied on top in log order.
+// records applied on top in log order. Version pairs and counter
+// tables are per partition (index 0 is the only entry when the node is
+// unpartitioned).
 type replayState struct {
 	store     *storage.Store
-	cnt       *counters.Table
-	vr, vu    model.Version
+	cnts      []*counters.Table
+	vrs, vus  []model.Version
 	nextEnq   uint64
 	coordTerm uint64
 	pending   map[uint64]pendingCmd
 	send      map[link]*sendMirror
 	recv      map[link]uint64
+}
+
+// part clamps a decoded partition id into the replay arrays (a record
+// for a partition this process was not configured with lands in 0
+// rather than panicking; the cluster restore revalidates anyway).
+func (rs *replayState) part(p int) int {
+	if p < 0 || p >= len(rs.cnts) {
+		return 0
+	}
+	return p
 }
 
 func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.SessionState, error) {
@@ -128,11 +141,16 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 
 	restore := &core.NodeRestore{
 		Store:     rs.store,
-		Counters:  rs.cnt,
-		VR:        rs.vr,
-		VU:        rs.vu,
+		Counters:  rs.cnts[0],
+		VR:        rs.vrs[0],
+		VU:        rs.vus[0],
 		NextEnq:   rs.nextEnq,
 		CoordTerm: rs.coordTerm,
+	}
+	if len(rs.cnts) > 1 {
+		restore.PartCounters = rs.cnts
+		restore.PartVR = rs.vrs
+		restore.PartVU = rs.vus
 	}
 	ids := make([]uint64, 0, len(rs.pending))
 	for id := range rs.pending {
@@ -171,7 +189,7 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	c := &cur{b: blob}
 	ver := c.byte()
-	if c.err == nil && ver != ckptVersion && ver != ckptVersionV1 {
+	if c.err == nil && ver != ckptVersion && ver != ckptVersionV2 && ver != ckptVersionV1 {
 		return nil, fmt.Errorf("unsupported blob version %d", ver)
 	}
 	self := model.NodeID(c.varint())
@@ -182,16 +200,44 @@ func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	}
 	rs := &replayState{
 		store:   storage.New(),
-		cnt:     counters.NewTable(db.opts.Self, db.opts.Nodes),
 		pending: make(map[uint64]pendingCmd),
 		send:    make(map[link]*sendMirror),
 		recv:    make(map[link]uint64),
 	}
-	rs.vr = model.Version(c.uvarint())
-	rs.vu = model.Version(c.uvarint())
+	legacyVR := model.Version(c.uvarint())
+	legacyVU := model.Version(c.uvarint())
 	rs.nextEnq = c.uvarint()
-	if ver >= ckptVersion {
+	if ver >= ckptVersionV2 {
 		rs.coordTerm = c.uvarint()
+	}
+	// Version 3 carries the partition count and every partition's
+	// version pair; older blobs describe a single partition.
+	nparts := 1
+	if ver >= ckptVersion {
+		nparts = c.count()
+		if c.err == nil && nparts != db.opts.Partitions {
+			return nil, fmt.Errorf("checkpoint has %d partitions, this process is configured with %d",
+				nparts, db.opts.Partitions)
+		}
+	} else if db.opts.Partitions != 1 {
+		return nil, fmt.Errorf("checkpoint predates partitioning, this process is configured with %d partitions",
+			db.opts.Partitions)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	rs.cnts = make([]*counters.Table, nparts)
+	rs.vrs = make([]model.Version, nparts)
+	rs.vus = make([]model.Version, nparts)
+	for p := range rs.cnts {
+		rs.cnts[p] = counters.NewTable(db.opts.Self, db.opts.Nodes)
+	}
+	rs.vrs[0], rs.vus[0] = legacyVR, legacyVU
+	if ver >= ckptVersion {
+		for p := 0; p < nparts && c.err == nil; p++ {
+			rs.vrs[p] = model.Version(c.uvarint())
+			rs.vus[p] = model.Version(c.uvarint())
+		}
 	}
 
 	var items []storage.ExportedItem
@@ -209,17 +255,19 @@ func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 		rs.store.Import(items)
 	}
 
-	for i, nVers := 0, c.count(); i < nVers && c.err == nil; i++ {
-		ver := model.Version(c.uvarint())
-		rRow := make([]int64, db.opts.Nodes)
-		cRow := make([]int64, db.opts.Nodes)
-		for j := range rRow {
-			rRow[j] = c.varint()
+	for p := 0; p < nparts && c.err == nil; p++ {
+		for i, nVers := 0, c.count(); i < nVers && c.err == nil; i++ {
+			ver := model.Version(c.uvarint())
+			rRow := make([]int64, db.opts.Nodes)
+			cRow := make([]int64, db.opts.Nodes)
+			for j := range rRow {
+				rRow[j] = c.varint()
+			}
+			for j := range cRow {
+				cRow[j] = c.varint()
+			}
+			rs.cnts[p].RestoreRow(ver, rRow, cRow)
 		}
-		for j := range cRow {
-			cRow[j] = c.varint()
-		}
-		rs.cnt.RestoreRow(ver, rRow, cRow)
 	}
 
 	for i, nPend := 0, c.count(); i < nPend && c.err == nil; i++ {
@@ -330,6 +378,10 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 			}
 			locals = append(locals, localCmd{id: id, msg: sub})
 		}
+		part := 0
+		if c.err == nil && c.off < len(c.b) {
+			part = rs.part(int(c.uvarint()))
+		}
 		if c.err != nil {
 			return c.err
 		}
@@ -337,17 +389,17 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 		delete(rs.pending, enqID)
 		// A non-root update execution implies the Step 2 implicit
 		// advancement notification the node performed before executing.
-		if !root && !readOnly && ver > rs.vu {
-			rs.vu = ver
+		if !root && !readOnly && ver > rs.vus[part] {
+			rs.vus[part] = ver
 		}
 		for _, ap := range ops {
 			rs.store.EnsureVersion(ap.key, ver)
 			rs.store.ApplyFrom(ap.key, ver, ap.op)
 		}
 		for _, to := range incR {
-			rs.cnt.IncR(ver, to)
+			rs.cnts[part].IncR(ver, to)
 		}
-		rs.cnt.IncC(ver, from)
+		rs.cnts[part].IncC(ver, from)
 		for _, f := range out {
 			mirrorAdd(rs.send, f.m, f.raw)
 		}
@@ -359,20 +411,26 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 		}
 
 	case recVU:
-		if v := model.Version(c.uvarint()); c.err == nil {
-			if v > rs.vu {
-				rs.vu = v
+		v := model.Version(c.uvarint())
+		part := rs.optPart(c)
+		if c.err == nil {
+			if v > rs.vus[part] {
+				rs.vus[part] = v
 			}
-			rs.cnt.EnsureVersion(v)
+			rs.cnts[part].EnsureVersion(v)
 		}
 	case recVR:
-		if v := model.Version(c.uvarint()); c.err == nil && v > rs.vr {
-			rs.vr = v
+		v := model.Version(c.uvarint())
+		part := rs.optPart(c)
+		if c.err == nil && v > rs.vrs[part] {
+			rs.vrs[part] = v
 		}
 	case recGC:
-		if v := model.Version(c.uvarint()); c.err == nil {
-			rs.store.GC(v)
-			rs.cnt.DropBelow(v)
+		v := model.Version(c.uvarint())
+		part := rs.optPart(c)
+		if c.err == nil {
+			rs.store.GCFunc(v, db.gcPred(part))
+			rs.cnts[part].DropBelow(v)
 		}
 	case recCoordTerm:
 		if t := c.uvarint(); c.err == nil && t > rs.coordTerm {
@@ -413,6 +471,26 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 		return fmt.Errorf("unknown record tag %d", tag)
 	}
 	return c.err
+}
+
+// optPart reads a record's optional trailing partition id (absent on
+// partition-0 and pre-partitioning records).
+func (rs *replayState) optPart(c *cur) int {
+	if c.err != nil || c.off >= len(c.b) {
+		return 0
+	}
+	return rs.part(int(c.uvarint()))
+}
+
+// gcPred returns the key predicate scoping a GC replay to one
+// partition, rebuilt from the same deterministic placement the cluster
+// uses; nil (collect everything) when unpartitioned.
+func (db *DB) gcPred(part int) func(string) bool {
+	if db.opts.Partitions <= 1 {
+		return nil
+	}
+	pmap := partition.NewMap(db.opts.Partitions, db.opts.Nodes)
+	return func(key string) bool { return pmap.Of(key) == part }
 }
 
 // mirrorAdd is the replay-side twin of DB.mirrorAddLocked.

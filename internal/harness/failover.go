@@ -18,6 +18,9 @@ import (
 
 // FailoverKill records one chaos kill of the active coordinator.
 type FailoverKill struct {
+	// Part is the partition whose sweep triggered the kill (0 for an
+	// unpartitioned cluster or a part-blind ArmPhaseKill).
+	Part int
 	// Phase is the advancement phase (1–4) whose completion triggered
 	// the kill.
 	Phase int
@@ -40,6 +43,27 @@ func ArmPhaseKill(c *core.Cluster, phase int) <-chan FailoverKill {
 		once.Do(func() {
 			if term, ok := c.KillActiveCoordinator(); ok {
 				ch <- FailoverKill{Phase: p, Term: term}
+			}
+		})
+	})
+	return ch
+}
+
+// ArmPartPhaseKill is ArmPhaseKill for a partitioned cluster: the kill
+// fires the first time PARTITION part's sweep completes the given
+// phase, leaving every other partition's advancement as collateral-free
+// as the protocol promises (their sweeps run on independent per-
+// partition state and must keep completing under the successor).
+func ArmPartPhaseKill(c *core.Cluster, part, phase int) <-chan FailoverKill {
+	ch := make(chan FailoverKill, 1)
+	var once sync.Once
+	c.SetPartPhaseHook(func(p, ph int) {
+		if p != part || ph != phase {
+			return
+		}
+		once.Do(func() {
+			if term, ok := c.KillActiveCoordinator(); ok {
+				ch <- FailoverKill{Part: p, Phase: ph, Term: term}
 			}
 		})
 	})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -72,11 +73,22 @@ const (
 	GaugeNetBatchMeanSize = "net_batch_mean_size"
 )
 
+// PartitionVersionGauge names the per-partition read-version gauge
+// ("partition_version_p<part>", exposed as threev_partition_version_p<part>).
+// Partitioned clusters publish one per partition next to the legacy
+// global version_read/version_update pair, which track partition 0.
+func PartitionVersionGauge(part int) string {
+	return fmt.Sprintf("partition_version_p%d", part)
+}
+
 // CounterLag is one sampled observation of the quiescence quantity for
 // a version v: how far the request counters R[v][p][q] run ahead of the
 // completion counters C[v][p][q]. Quiescence (advancement Phases 2/4)
 // is exactly SumLag == 0 twice in a row.
 type CounterLag struct {
+	// Part is the partition whose counter matrix was sampled (always 0
+	// in unpartitioned clusters; each partition's matrix is independent).
+	Part    int   `json:"part,omitempty"`
 	Version int64 `json:"version"`
 	// SumLag is Σ_pq (R[v][p][q] − C[v][p][q]).
 	SumLag int64 `json:"sum_lag"`
@@ -135,7 +147,13 @@ type Registry struct {
 
 	mu     sync.Mutex
 	gauges map[string]float64
-	lags   map[int64]CounterLag
+	lags   map[lagKey]CounterLag
+}
+
+// lagKey identifies one lag gauge: a (partition, version) pair.
+type lagKey struct {
+	part    int
+	version int64
 }
 
 // New builds a Registry.
@@ -151,7 +169,7 @@ func New(opts Options) *Registry {
 	r := &Registry{
 		events: NewEventLog(cap, sample),
 		gauges: make(map[string]float64),
-		lags:   make(map[int64]CounterLag),
+		lags:   make(map[lagKey]CounterLag),
 	}
 	if opts.TraceSampleN > 0 {
 		spanCap := opts.TraceCapacity
@@ -283,26 +301,43 @@ func (r *Registry) SetGauge(name string, v float64) {
 	r.mu.Unlock()
 }
 
-// SetCounterLag publishes the latest lag observation for a version.
+// SetCounterLag publishes the latest lag observation for a
+// (partition, version) pair.
 func (r *Registry) SetCounterLag(l CounterLag) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.lags[l.Version] = l
+	r.lags[lagKey{l.Part, l.Version}] = l
 	r.mu.Unlock()
 }
 
-// DropLagsBelow forgets lag gauges for versions below v (mirroring the
-// protocol's counter garbage collection).
+// DropLagsBelow forgets lag gauges for versions below v in every
+// partition (mirroring the protocol's counter garbage collection).
 func (r *Registry) DropLagsBelow(v int64) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	for ver := range r.lags {
-		if ver < v {
-			delete(r.lags, ver)
+	for k := range r.lags {
+		if k.version < v {
+			delete(r.lags, k)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// DropPartLagsBelow forgets one partition's lag gauges for versions
+// below v; the partitioned coordinator calls it after each sweep so a
+// partition's GC never erases another partition's live gauges.
+func (r *Registry) DropPartLagsBelow(part int, v int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for k := range r.lags {
+		if k.part == part && k.version < v {
+			delete(r.lags, k)
 		}
 	}
 	r.mu.Unlock()
@@ -427,7 +462,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[GaugeNetFlushes] = float64(s.BatchSize.Count)
 		s.Gauges[GaugeNetBatchMeanSize] = s.BatchSize.Mean()
 	}
-	sort.Slice(s.CounterLags, func(i, j int) bool { return s.CounterLags[i].Version < s.CounterLags[j].Version })
+	sort.Slice(s.CounterLags, func(i, j int) bool {
+		if s.CounterLags[i].Part != s.CounterLags[j].Part {
+			return s.CounterLags[i].Part < s.CounterLags[j].Part
+		}
+		return s.CounterLags[i].Version < s.CounterLags[j].Version
+	})
 	s.EventsRecorded = r.events.Recorded()
 	return s
 }

@@ -260,6 +260,9 @@ func TestWritePrometheus(t *testing.T) {
 	r.SetGauge(GaugeVersionRead, 1)
 	r.SetGauge(GaugeVersionUpdate, 2)
 	r.SetCounterLag(CounterLag{Version: 2, SumLag: 5, MaxPairLag: 1})
+	r.SetCounterLag(CounterLag{Part: 1, Version: 2, SumLag: 7, MaxPairLag: 2})
+	r.SetGauge(PartitionVersionGauge(0), 3)
+	r.SetGauge(PartitionVersionGauge(1), 4)
 
 	var sb strings.Builder
 	WritePrometheus(&sb, r.Snapshot())
@@ -274,8 +277,11 @@ func TestWritePrometheus(t *testing.T) {
 		`threev_events_total{event="advancements"} 1`,
 		"threev_version_read 1\n",
 		"threev_version_update 2\n",
-		`threev_counter_lag{version="2",stat="sum"} 5`,
-		`threev_counter_lag{version="2",stat="max_pair"} 1`,
+		`threev_counter_lag{part="0",version="2",stat="sum"} 5`,
+		`threev_counter_lag{part="0",version="2",stat="max_pair"} 1`,
+		`threev_counter_lag{part="1",version="2",stat="sum"} 7`,
+		`threev_partition_version{part="0"} 3`,
+		`threev_partition_version{part="1"} 4`,
 		"threev_eventlog_recorded_total 0",
 		`threev_txn_stage_seconds{stage="wire",quantile="0.5"}`,
 		`threev_txn_stage_seconds_count{stage="fsync"} 0`,

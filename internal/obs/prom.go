@@ -101,16 +101,27 @@ func WritePrometheus(w io.Writer, s Snapshot) {
 		gnames = append(gnames, k)
 	}
 	sort.Strings(gnames)
+	wrotePartVer := false
 	for _, k := range gnames {
+		// Per-partition version gauges collapse into one labeled metric.
+		var part int
+		if n, err := fmt.Sscanf(k, "partition_version_p%d", &part); err == nil && n == 1 {
+			if !wrotePartVer {
+				fmt.Fprintln(w, "# TYPE threev_partition_version gauge")
+				wrotePartVer = true
+			}
+			fmt.Fprintf(w, "threev_partition_version{part=\"%d\"} %g\n", part, s.Gauges[k])
+			continue
+		}
 		fmt.Fprintf(w, "# TYPE threev_%s gauge\n", k)
 		fmt.Fprintf(w, "threev_%s %g\n", k, s.Gauges[k])
 	}
 
-	fmt.Fprintln(w, "# HELP threev_counter_lag Live R[v][p][q]-C[v][p][q] lag per version (0 = quiescent).")
+	fmt.Fprintln(w, "# HELP threev_counter_lag Live R[v][p][q]-C[v][p][q] lag per (partition, version) (0 = quiescent).")
 	fmt.Fprintln(w, "# TYPE threev_counter_lag gauge")
 	for _, l := range s.CounterLags {
-		fmt.Fprintf(w, "threev_counter_lag{version=\"%d\",stat=\"sum\"} %d\n", l.Version, l.SumLag)
-		fmt.Fprintf(w, "threev_counter_lag{version=\"%d\",stat=\"max_pair\"} %d\n", l.Version, l.MaxPairLag)
+		fmt.Fprintf(w, "threev_counter_lag{part=\"%d\",version=\"%d\",stat=\"sum\"} %d\n", l.Part, l.Version, l.SumLag)
+		fmt.Fprintf(w, "threev_counter_lag{part=\"%d\",version=\"%d\",stat=\"max_pair\"} %d\n", l.Part, l.Version, l.MaxPairLag)
 	}
 
 	fmt.Fprintln(w, "# HELP threev_eventlog_recorded_total Events recorded into the ring buffer.")

@@ -1,0 +1,114 @@
+// Package partition implements the keyspace placement layer: a
+// deterministic, versioned map from item keys to partitions and from
+// partitions to owner node groups.
+//
+// Each partition runs its own independent epoch (version pair, R/C
+// counter matrix, quiescence detection), so the map is the single
+// source of truth for which counters a transaction touches. The map is
+// pure data — hashing is seed-free (FNV-1a) so every process that
+// shares a map version routes identically without coordination.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Map is a versioned placement of P partitions onto a node group. The
+// Version field exists so a future rebalancer can install a successor
+// map and fence routing decisions made under the old one; today there
+// is a single generation (Version 1).
+type Map struct {
+	Version int              `json:"version"`
+	P       int              `json:"partitions"`
+	Owners  [][]model.NodeID `json:"owners"`
+}
+
+// NewMap builds the generation-1 placement of p partitions across
+// nodes 0..nodes-1. Owners[i] lists the owner group for partition i in
+// preference order: the primary is node i mod nodes, followed by the
+// remaining nodes in rotation. With p==1 every node owns the single
+// partition and the primary is node 0, which degenerates to the
+// unpartitioned behaviour.
+func NewMap(p, nodes int) *Map {
+	if p < 1 {
+		p = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	m := &Map{Version: 1, P: p, Owners: make([][]model.NodeID, p)}
+	for i := 0; i < p; i++ {
+		group := make([]model.NodeID, nodes)
+		for j := 0; j < nodes; j++ {
+			group[j] = model.NodeID((i + j) % nodes)
+		}
+		m.Owners[i] = group
+	}
+	return m
+}
+
+// fnv1a is the 64-bit FNV-1a hash. Inlined rather than using
+// hash/maphash so the mapping is stable across processes and restarts:
+// the three-process cluster must agree on key placement without
+// exchanging seeds.
+func fnv1a(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Of returns the partition that owns key. With P==1 this is always 0.
+func (m *Map) Of(key string) int {
+	if m == nil || m.P <= 1 {
+		return 0
+	}
+	return int(fnv1a(key) % uint64(m.P))
+}
+
+// Primary returns the preferred owner node for a partition.
+func (m *Map) Primary(part int) model.NodeID {
+	if m == nil || part < 0 || part >= len(m.Owners) || len(m.Owners[part]) == 0 {
+		return 0
+	}
+	return m.Owners[part][0]
+}
+
+// OwnerSet returns the owner group for a partition (primary first).
+// The returned slice is shared; callers must not mutate it.
+func (m *Map) OwnerSet(part int) []model.NodeID {
+	if m == nil || part < 0 || part >= len(m.Owners) {
+		return nil
+	}
+	return m.Owners[part]
+}
+
+// Validate checks structural sanity: every partition has at least one
+// owner and owner ids are within [0, nodes).
+func (m *Map) Validate(nodes int) error {
+	if m.P < 1 {
+		return fmt.Errorf("partition map: P=%d < 1", m.P)
+	}
+	if len(m.Owners) != m.P {
+		return fmt.Errorf("partition map: %d owner groups for P=%d", len(m.Owners), m.P)
+	}
+	for i, group := range m.Owners {
+		if len(group) == 0 {
+			return fmt.Errorf("partition map: partition %d has no owners", i)
+		}
+		for _, id := range group {
+			if int(id) < 0 || int(id) >= nodes {
+				return fmt.Errorf("partition map: partition %d owner %d out of range [0,%d)", i, id, nodes)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package partition
+
+import "testing"
+
+func TestOfDeterministicAndInRange(t *testing.T) {
+	m := NewMap(4, 3)
+	seen := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		key := keyf(i)
+		p := m.Of(key)
+		if p < 0 || p >= 4 {
+			t.Fatalf("Of(%q) = %d out of range", key, p)
+		}
+		if q := m.Of(key); q != p {
+			t.Fatalf("Of(%q) unstable: %d then %d", key, p, q)
+		}
+		seen[p]++
+	}
+	// FNV-1a over a few thousand keys should land in every partition.
+	for p := 0; p < 4; p++ {
+		if seen[p] == 0 {
+			t.Fatalf("partition %d received no keys: %v", p, seen)
+		}
+	}
+}
+
+func TestSinglePartitionDegenerates(t *testing.T) {
+	m := NewMap(1, 5)
+	for i := 0; i < 64; i++ {
+		if p := m.Of(keyf(i)); p != 0 {
+			t.Fatalf("P=1 Of = %d, want 0", p)
+		}
+	}
+	if m.Primary(0) != 0 {
+		t.Fatalf("P=1 primary = %d, want node 0", m.Primary(0))
+	}
+}
+
+func TestOwnersRotation(t *testing.T) {
+	m := NewMap(4, 3)
+	if err := m.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	wantPrimaries := []int{0, 1, 2, 0}
+	for p, want := range wantPrimaries {
+		if got := int(m.Primary(p)); got != want {
+			t.Fatalf("Primary(%d) = %d, want %d", p, got, want)
+		}
+		if len(m.OwnerSet(p)) != 3 {
+			t.Fatalf("OwnerSet(%d) has %d members, want 3", p, len(m.OwnerSet(p)))
+		}
+	}
+}
+
+func TestValidateRejectsBadMaps(t *testing.T) {
+	m := NewMap(2, 2)
+	m.Owners[1] = nil
+	if err := m.Validate(2); err == nil {
+		t.Fatal("expected error for empty owner group")
+	}
+	m = NewMap(2, 2)
+	m.Owners[0][0] = 9
+	if err := m.Validate(2); err == nil {
+		t.Fatal("expected error for out-of-range owner")
+	}
+}
+
+func keyf(i int) string {
+	const digits = "0123456789"
+	return "g" + string([]byte{digits[i/1000%10], digits[i/100%10], digits[i/10%10], digits[i%10]})
+}

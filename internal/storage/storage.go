@@ -340,11 +340,21 @@ func (s *Store) Restore(key string, v model.Version, rec *model.Record, drop boo
 // has been detected (Phase 2), so no live subtransaction can observe a
 // version this sweep removes, and readers at vrNew or above see every
 // item unchanged from their perspective mid-sweep.
-func (s *Store) GC(vrNew model.Version) {
+func (s *Store) GC(vrNew model.Version) { s.GCFunc(vrNew, nil) }
+
+// GCFunc is GC restricted to the keys pred accepts (nil accepts every
+// key). The partitioned cluster passes the owner-partition predicate so
+// a Phase 4 sweep for one partition never collects — or renumbers —
+// versions belonging to keys of another partition, whose own epoch may
+// still be behind.
+func (s *Store) GCFunc(vrNew model.Version, pred func(key string) bool) {
 	s.gcRuns.Add(1)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		for _, ch := range sh.items {
+		for key, ch := range sh.items {
+			if pred != nil && !pred(key) {
+				continue
+			}
 			if _, ok := ch.find(vrNew); ok {
 				kept := ch.versions[:0]
 				for _, v := range ch.versions {
@@ -517,9 +527,19 @@ func (s *Store) Divergence(vr model.Version, field string) int64 {
 // strictly below v — i.e. garbage collection up to v has not run. A
 // recovering coordinator uses it to detect an interrupted Phase 4.
 func (s *Store) HasVersionsBelow(v model.Version) bool {
+	return s.HasVersionsBelowFunc(v, nil)
+}
+
+// HasVersionsBelowFunc is HasVersionsBelow restricted to the keys pred
+// accepts (nil accepts every key); the partitioned recovery path scopes
+// the interrupted-GC probe to one partition's keys.
+func (s *Store) HasVersionsBelowFunc(v model.Version, pred func(key string) bool) bool {
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		for _, ch := range sh.items {
+		for key, ch := range sh.items {
+			if pred != nil && !pred(key) {
+				continue
+			}
 			if len(ch.versions) > 0 && ch.versions[0].ver < v {
 				sh.mu.RUnlock()
 				return true

@@ -217,3 +217,55 @@ func CheckStructural(c structuralSource) StructuralReport {
 		Violations:      c.Violations(),
 	}
 }
+
+// PartitionReport summarizes the per-partition invariant checks of a
+// partitioned run. Each partition runs its own independent epoch, so
+// the Section 4.4 window invariant vr < vu ≤ vr+2 must hold for every
+// partition separately, and the convergence audit (itself per-partition
+// when the cluster is partitioned) must be clean.
+type PartitionReport struct {
+	Partitions int
+	// Pairs holds each partition's (vr, vu), indexed by partition id.
+	Pairs      [][2]model.Version
+	Violations []string
+}
+
+// OK reports whether every per-partition invariant held.
+func (r PartitionReport) OK() bool { return len(r.Violations) == 0 }
+
+// String implements fmt.Stringer.
+func (r PartitionReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("partitions OK (%d partitions)", r.Partitions)
+	}
+	return fmt.Sprintf("partitions FAIL: %v", r.Violations)
+}
+
+// partitionSource is the slice of partitioned-cluster behaviour the
+// checker needs; core.Cluster satisfies it.
+type partitionSource interface {
+	Partitions() int
+	PartitionPairs() [][2]model.Version
+	ConvergenceErrors() []string
+}
+
+// CheckPartitions audits a partitioned cluster: the window invariant
+// per partition, one pair per configured partition, and the (already
+// partition-aware) balance/convergence audit. It also applies to P=1
+// clusters, where it degenerates to the global checks.
+func CheckPartitions(c partitionSource) PartitionReport {
+	r := PartitionReport{Partitions: c.Partitions(), Pairs: c.PartitionPairs()}
+	if len(r.Pairs) != r.Partitions {
+		r.Violations = append(r.Violations, fmt.Sprintf(
+			"cluster reports %d version pairs for %d partitions", len(r.Pairs), r.Partitions))
+	}
+	for p, pair := range r.Pairs {
+		vr, vu := pair[0], pair[1]
+		if !(vr < vu && vu <= vr+2) {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"partition %d: window invariant vr < vu ≤ vr+2 violated: vr=%d vu=%d", p, vr, vu))
+		}
+	}
+	r.Violations = append(r.Violations, c.ConvergenceErrors()...)
+	return r
+}

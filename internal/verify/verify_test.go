@@ -166,3 +166,51 @@ func TestStructuralReport(t *testing.T) {
 		t.Errorf("String = %q", bad2.String())
 	}
 }
+
+type fakePartitioned struct {
+	nparts int
+	pairs  [][2]model.Version
+	errs   []string
+}
+
+func (f fakePartitioned) Partitions() int                    { return f.nparts }
+func (f fakePartitioned) PartitionPairs() [][2]model.Version { return f.pairs }
+func (f fakePartitioned) ConvergenceErrors() []string        { return f.errs }
+
+func TestPartitionReport(t *testing.T) {
+	ok := CheckPartitions(fakePartitioned{
+		nparts: 2,
+		pairs:  [][2]model.Version{{3, 4}, {0, 1}},
+	})
+	if !ok.OK() {
+		t.Errorf("independent healthy partitions failed: %v", ok)
+	}
+	if !strings.Contains(ok.String(), "OK") {
+		t.Errorf("String = %q", ok.String())
+	}
+
+	window := CheckPartitions(fakePartitioned{
+		nparts: 2,
+		pairs:  [][2]model.Version{{3, 4}, {1, 4}},
+	})
+	if window.OK() || !strings.Contains(window.String(), "partition 1") {
+		t.Errorf("vr=1 vu=4 passed the window invariant: %v", window)
+	}
+
+	short := CheckPartitions(fakePartitioned{
+		nparts: 4,
+		pairs:  [][2]model.Version{{0, 1}},
+	})
+	if short.OK() {
+		t.Error("missing partition pairs passed")
+	}
+
+	conv := CheckPartitions(fakePartitioned{
+		nparts: 1,
+		pairs:  [][2]model.Version{{0, 1}},
+		errs:   []string{"partition 0: node 1 at vr=0, want 1"},
+	})
+	if conv.OK() {
+		t.Error("convergence errors passed")
+	}
+}

@@ -315,36 +315,44 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 			nanos = p.SentAt.UnixNano()
 		}
 		buf = binary.AppendVarint(buf, nanos)
+		buf = binary.AppendVarint(buf, int64(p.Part))
 		return buf, nil
 	case core.StartAdvancementMsg:
 		buf = binary.AppendUvarint(buf, idStartAdvancement)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVU))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.AckAdvancementMsg:
 		buf = binary.AppendUvarint(buf, idAckAdvancement)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVU))
-		return binary.AppendVarint(buf, int64(p.Node)), nil
+		buf = binary.AppendVarint(buf, int64(p.Node))
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.ReadVersionMsg:
 		buf = binary.AppendUvarint(buf, idReadVersion)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVR))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.AckReadVersionMsg:
 		buf = binary.AppendUvarint(buf, idAckReadVersion)
 		buf = binary.AppendUvarint(buf, uint64(p.NewVR))
-		return binary.AppendVarint(buf, int64(p.Node)), nil
+		buf = binary.AppendVarint(buf, int64(p.Node))
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.GCMsg:
 		buf = binary.AppendUvarint(buf, idGC)
 		buf = binary.AppendUvarint(buf, uint64(p.Keep))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.AckGCMsg:
 		buf = binary.AppendUvarint(buf, idAckGC)
 		buf = binary.AppendUvarint(buf, uint64(p.Keep))
-		return binary.AppendVarint(buf, int64(p.Node)), nil
+		buf = binary.AppendVarint(buf, int64(p.Node))
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.CounterReqMsg:
 		buf = binary.AppendUvarint(buf, idCounterReq)
 		buf = binary.AppendUvarint(buf, uint64(p.Version))
 		buf = binary.AppendVarint(buf, int64(p.Round))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.CounterReplyMsg:
 		buf = binary.AppendUvarint(buf, idCounterReply)
 		buf = binary.AppendUvarint(buf, uint64(p.Version))
@@ -358,6 +366,7 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		for _, v := range p.C {
 			buf = binary.AppendVarint(buf, v)
 		}
+		buf = binary.AppendVarint(buf, int64(p.Part))
 		return buf, nil
 	case core.NCVoteMsg:
 		buf = binary.AppendUvarint(buf, idNCVote)
@@ -373,14 +382,16 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 	case core.VersionProbeMsg:
 		buf = binary.AppendUvarint(buf, idVersionProbe)
 		buf = binary.AppendVarint(buf, int64(p.Round))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.VersionReplyMsg:
 		buf = binary.AppendUvarint(buf, idVersionReply)
 		buf = binary.AppendVarint(buf, int64(p.Round))
 		buf = binary.AppendVarint(buf, int64(p.Node))
 		buf = binary.AppendUvarint(buf, uint64(p.VR))
 		buf = binary.AppendUvarint(buf, uint64(p.VU))
-		return appendBool(buf, p.BelowVR), nil
+		buf = appendBool(buf, p.BelowVR)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.UnlockMsg:
 		buf = binary.AppendUvarint(buf, idUnlock)
 		return binary.AppendUvarint(buf, uint64(p.Txn)), nil
@@ -438,7 +449,8 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 			buf = binary.AppendUvarint(buf, uint64(v))
 		}
 		buf = binary.AppendVarint(buf, int64(p.Round))
-		return binary.AppendUvarint(buf, p.Term), nil
+		buf = binary.AppendUvarint(buf, p.Term)
+		return binary.AppendVarint(buf, int64(p.Part)), nil
 	case core.CountersMsg:
 		buf = binary.AppendUvarint(buf, idCounters)
 		buf = binary.AppendVarint(buf, int64(p.Round))
@@ -455,6 +467,7 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 				buf = binary.AppendVarint(buf, v)
 			}
 		}
+		buf = binary.AppendVarint(buf, int64(p.Part))
 		return buf, nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
@@ -735,21 +748,22 @@ func (d *decoder) payload(depth int) any {
 		if nanos := d.varint(); nanos != 0 {
 			m.SentAt = time.Unix(0, nanos)
 		}
+		m.Part = int(d.varint())
 		return m
 	case idStartAdvancement:
-		return core.StartAdvancementMsg{NewVU: model.Version(d.uvarint()), Term: d.uvarint()}
+		return core.StartAdvancementMsg{NewVU: model.Version(d.uvarint()), Term: d.uvarint(), Part: int(d.varint())}
 	case idAckAdvancement:
-		return core.AckAdvancementMsg{NewVU: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
+		return core.AckAdvancementMsg{NewVU: model.Version(d.uvarint()), Node: model.NodeID(d.varint()), Part: int(d.varint())}
 	case idReadVersion:
-		return core.ReadVersionMsg{NewVR: model.Version(d.uvarint()), Term: d.uvarint()}
+		return core.ReadVersionMsg{NewVR: model.Version(d.uvarint()), Term: d.uvarint(), Part: int(d.varint())}
 	case idAckReadVersion:
-		return core.AckReadVersionMsg{NewVR: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
+		return core.AckReadVersionMsg{NewVR: model.Version(d.uvarint()), Node: model.NodeID(d.varint()), Part: int(d.varint())}
 	case idGC:
-		return core.GCMsg{Keep: model.Version(d.uvarint()), Term: d.uvarint()}
+		return core.GCMsg{Keep: model.Version(d.uvarint()), Term: d.uvarint(), Part: int(d.varint())}
 	case idAckGC:
-		return core.AckGCMsg{Keep: model.Version(d.uvarint()), Node: model.NodeID(d.varint())}
+		return core.AckGCMsg{Keep: model.Version(d.uvarint()), Node: model.NodeID(d.varint()), Part: int(d.varint())}
 	case idCounterReq:
-		return core.CounterReqMsg{Version: model.Version(d.uvarint()), Round: int(d.varint()), Term: d.uvarint()}
+		return core.CounterReqMsg{Version: model.Version(d.uvarint()), Round: int(d.varint()), Term: d.uvarint(), Part: int(d.varint())}
 	case idCounterReply:
 		m := core.CounterReplyMsg{
 			Version: model.Version(d.uvarint()),
@@ -768,6 +782,7 @@ func (d *decoder) payload(depth int) any {
 				m.C[i] = d.varint()
 			}
 		}
+		m.Part = int(d.varint())
 		return m
 	case idNCVote:
 		return core.NCVoteMsg{
@@ -780,7 +795,7 @@ func (d *decoder) payload(depth int) any {
 	case idNCDecision:
 		return core.NCDecisionMsg{Txn: model.TxnID(d.uvarint()), Commit: d.bool()}
 	case idVersionProbe:
-		return core.VersionProbeMsg{Round: int(d.varint()), Term: d.uvarint()}
+		return core.VersionProbeMsg{Round: int(d.varint()), Term: d.uvarint(), Part: int(d.varint())}
 	case idVersionReply:
 		return core.VersionReplyMsg{
 			Round:   int(d.varint()),
@@ -788,6 +803,7 @@ func (d *decoder) payload(depth int) any {
 			VR:      model.Version(d.uvarint()),
 			VU:      model.Version(d.uvarint()),
 			BelowVR: d.bool(),
+			Part:    int(d.varint()),
 		}
 	case idUnlock:
 		return core.UnlockMsg{Txn: model.TxnID(d.uvarint())}
@@ -853,6 +869,7 @@ func (d *decoder) payload(depth int) any {
 		}
 		m.Round = int(d.varint())
 		m.Term = d.uvarint()
+		m.Part = int(d.varint())
 		return m
 	case idCounters:
 		m := core.CountersMsg{
@@ -878,6 +895,7 @@ func (d *decoder) payload(depth int) any {
 				}
 			}
 		}
+		m.Part = int(d.varint())
 		return m
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
