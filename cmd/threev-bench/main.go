@@ -67,6 +67,13 @@
 // delta under skew is the "Partitioned advancement" section of
 // EXPERIMENTS.md (BENCH_5.json).
 //
+// -replicate enables per-partition replica groups on the calibration
+// run: every partition primary streams its applied commuting updates
+// to the other owners over the reliable session layer (so -reliable is
+// required), and backups apply them idempotently. The replicated run
+// against its -reliable-only twin is the "Replication overhead"
+// ablation of EXPERIMENTS.md (BENCH_6.json).
+//
 // -gogc N sets the garbage collector's target percentage for the
 // process (runtime/debug.SetGCPercent). On a single-core host the
 // default target of 100 triggers a concurrent mark for every doubling
@@ -130,6 +137,11 @@ type benchSnapshot struct {
 	Txns      int  `json:"txns"`
 	Completed int  `json:"completed"`
 	Failover  bool `json:"failover,omitempty"`
+	// Reliable and Replicate record a replica-group run: the reliable
+	// session layer (which the replication stream rides) and the
+	// per-partition primary→backup streaming itself.
+	Reliable  bool `json:"reliable,omitempty"`
+	Replicate bool `json:"replicate,omitempty"`
 	// Batch is the group-submit size of a batched-mode run, and
 	// MeanBatchSize the observed mean messages per net flush envelope.
 	Batch         int     `json:"batch,omitempty"`
@@ -168,6 +180,7 @@ type calibrationRun struct {
 	DupRate       float64         `json:"dup_rate,omitempty"`
 	Reliable      bool            `json:"reliable,omitempty"`
 	Failover      bool            `json:"failover,omitempty"`
+	Replicate     bool            `json:"replicate,omitempty"`
 	Batch         int             `json:"batch,omitempty"`
 	Partitions    int             `json:"partitions,omitempty"`
 	Skew          float64         `json:"skew,omitempty"`
@@ -191,6 +204,7 @@ func main() {
 	out := flag.String("out", "", "write a benchmark snapshot (calibration headline numbers) to this file; skips the experiment suite unless -only is set")
 	batch := flag.Int("batch", 0, "calibration run: enable the batched hot path and group N submissions per launch (0 = off)")
 	partitions := flag.Int("partitions", 1, "calibration run: split the keyspace into P independently-advancing partitions")
+	replicateOn := flag.Bool("replicate", false, "calibration run: enable per-partition replica groups (requires -reliable; every primary streams applied updates to the other owners)")
 	skew := flag.Float64("skew", 0, "calibration run: workload group-selection skew (P(g) ∝ (g+1)^-skew; 0 = uniform)")
 	perBatchLatency := flag.Bool("per-batch-latency", false, "with -batch: charge the mem transport's simulated latency + jitter once per flush envelope instead of once per message (jitter ablation)")
 	assertBatched := flag.Bool("assert-batched", false, "with -batch: fail unless the run's observed mean net batch size exceeds 1")
@@ -243,6 +257,14 @@ func main() {
 	}
 	if (*partitions > 1 || *skew != 0) && *walMode != "" {
 		fmt.Fprintln(os.Stderr, "-partitions/-skew apply to the mem/tcp calibration run; drop -wal")
+		os.Exit(1)
+	}
+	if *replicateOn && !*reliable {
+		fmt.Fprintln(os.Stderr, "-replicate requires -reliable (the replication stream rides the session layer for dedup and FIFO)")
+		os.Exit(1)
+	}
+	if *replicateOn && *walMode != "" {
+		fmt.Fprintln(os.Stderr, "-replicate applies to the mem/tcp calibration run; drop -wal")
 		os.Exit(1)
 	}
 	if *gogc > 0 {
@@ -341,7 +363,7 @@ func main() {
 		}
 	} else if *jsonOut != "" || *out != "" || *traceSample > 0 {
 		var calErr error
-		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover, *batch, *perBatchLatency, *partitions, *skew)
+		cal, traces, calErr = calibrate(*txns, *drop, *dup, *reliable, *transportKind, *traceSample, *failover, *batch, *perBatchLatency, *partitions, *skew, *replicateOn)
 		if calErr != nil {
 			fmt.Fprintln(os.Stderr, "calibration error:", calErr)
 			failures++
@@ -419,6 +441,8 @@ func main() {
 			Txns:          cal.Txns,
 			Completed:     cal.Completed,
 			Failover:      cal.Failover,
+			Reliable:      cal.Reliable,
+			Replicate:     cal.Replicate,
 			Batch:         cal.Batch,
 			MeanBatchSize: roundMs(cal.Obs.Gauges[obs.GaugeNetBatchMeanSize]),
 			Partitions:    cal.Partitions,
@@ -553,7 +577,7 @@ func stageSumsCheckOut(s obs.Snapshot) bool {
 // partition, so the advance quantiles become per-partition sweep
 // latencies) and skew biases group selection toward hot keys — together
 // they are the "Partitioned advancement" measurement of EXPERIMENTS.md.
-func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool, batch int, perBatchLat bool, partitions int, skew float64) (*calibrationRun, []obs.Trace, error) {
+func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind string, traceSample int, failoverOn bool, batch int, perBatchLat bool, partitions int, skew float64, replicateOn bool) (*calibrationRun, []obs.Trace, error) {
 	const nodes = 4
 	if partitions <= 1 {
 		partitions = 0 // unpartitioned: keep the field out of snapshots
@@ -566,9 +590,10 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 			Seed:   1,
 			Faults: transport.Faults{Default: transport.LinkFaults{DropRate: drop, DupRate: dup}},
 		},
-		Reliable: reliableNet,
-		Failover: failoverOn,
-		Obs:      obs.Options{TraceSampleN: traceSample},
+		Reliable:  reliableNet,
+		Failover:  failoverOn,
+		Replicate: replicateOn,
+		Obs:       obs.Options{TraceSampleN: traceSample},
 	}
 	if batch > 0 {
 		const window = 100 * time.Microsecond
@@ -645,6 +670,11 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		}
 		fmt.Printf("partitioned calibration: %d partitions, per-partition audit OK\n", partitions)
 	}
+	if replicateOn {
+		s := cluster.ObsSnapshot()
+		fmt.Printf("replicated calibration: %d repl sends, %d repl applies, %d acks\n",
+			s.Counters["repl_sends"], s.Counters["repl_applies"], s.Counters["repl_acks"])
+	}
 	cal := &calibrationRun{
 		Txns:          txns,
 		Completed:     res.Completed,
@@ -654,6 +684,7 @@ func calibrate(txns int, drop, dup float64, reliableNet bool, transportKind stri
 		DupRate:       dup,
 		Reliable:      reliableNet,
 		Failover:      failoverOn,
+		Replicate:     replicateOn,
 		Batch:         batch,
 		Partitions:    partitions,
 		Skew:          skew,

@@ -34,6 +34,17 @@
 // through Cluster.SubmitBatch. /state reports the observed
 // mean_batch_size so a driver can assert coalescing actually happened.
 //
+// -replicate makes partition owner groups real: each partition's
+// primary streams every applied commuting update to the other owners
+// over the reliable session, backups apply idempotently (journaling
+// through -data-dir when set), and a per-partition replication lease
+// promotes the next live owner when the primary dies, so the partition
+// stays readable. -repl-lease-interval / -repl-lease-timeout tune the
+// replication lease independently of the coordinator's (the interval
+// defaults to -lease-interval).
+// /workload and /read route through the current (possibly promoted)
+// primary, and /health reports each partition's role and lag.
+//
 // -trace-sample enables causal tracing: 1 in N transactions carries a
 // trace context across the wire and assembles a full span tree (submit →
 // per-subtransaction hops → fsync → completion) on its root process,
@@ -48,6 +59,10 @@
 //	/state               JSON: versions (legacy vr/vu plus a per-partition
 //	                     array with version/term/lag and the placement map),
 //	                     coordinator role + term, transport stats
+//	/health              JSON: per-partition replica-group status (role,
+//	                     current primary + term, last-heartbeat age,
+//	                     replication frontiers and lag), WAL counters and
+//	                     session link frontiers
 //	/workload?txns=N     run N commuting update trees rooted here (+1 on
 //	                     every process's account, children fan out; with
 //	                     -partitions P > 1, one single-account update per
@@ -217,6 +232,61 @@ func (s *nodeServer) handleState(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, rep)
 }
 
+// healthLink is one directed session link's frontier in the /health
+// response (links not involving this process are omitted).
+type healthLink struct {
+	From         int    `json:"from"`
+	To           int    `json:"to"`
+	NextSeq      uint64 `json:"next_seq,omitempty"`
+	Unacked      int    `json:"unacked,omitempty"`
+	NextExpected uint64 `json:"next_expected,omitempty"`
+}
+
+// healthReport is the /health response: per-partition replica-group
+// status (role, lease age, replication frontiers and lag), WAL
+// counters, and session link frontiers — everything an operator or a
+// failover gate needs to decide whether this process is a healthy
+// primary, a caught-up backup, or neither.
+type healthReport struct {
+	ID         int                      `json:"id"`
+	Replicate  bool                     `json:"replicate"`
+	Partitions []core.ReplicaPartHealth `json:"partitions,omitempty"`
+	Durable    bool                     `json:"durable"`
+	WALRecords uint64                   `json:"wal_records,omitempty"`
+	WALFsyncs  int64                    `json:"wal_fsyncs,omitempty"`
+	Sessions   []healthLink             `json:"sessions,omitempty"`
+}
+
+func (s *nodeServer) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rep := healthReport{
+		ID:         s.id,
+		Replicate:  s.cluster.Replicating(),
+		Partitions: s.cluster.ReplicaHealth(),
+	}
+	if s.db != nil {
+		ws := s.db.Stats()
+		rep.Durable = true
+		rep.WALRecords = ws.Records
+		rep.WALFsyncs = ws.Fsyncs
+	}
+	if sess := s.cluster.Session(); sess != nil {
+		st := sess.ExportState()
+		for _, ls := range st.Send {
+			if int(ls.From) == s.id {
+				rep.Sessions = append(rep.Sessions, healthLink{
+					From: int(ls.From), To: int(ls.To), NextSeq: ls.NextSeq, Unacked: len(ls.Unacked)})
+			}
+		}
+		for _, lr := range st.Recv {
+			if int(lr.To) == s.id {
+				rep.Sessions = append(rep.Sessions, healthLink{
+					From: int(lr.From), To: int(lr.To), NextExpected: lr.NextExpected})
+			}
+		}
+	}
+	writeJSON(w, rep)
+}
+
 // handleWorkload submits N commuting update trees rooted at the local
 // node: +1 on the local account plus one child per remote process
 // adding +1 there. It waits for the root-only handles and reports.
@@ -247,7 +317,7 @@ func (s *nodeServer) handleWorkload(w http.ResponseWriter, r *http.Request) {
 			key := accountKey(i % s.nodes)
 			op := model.KeyOp{Key: key, Op: model.AddOp{Field: "bal", Delta: 1}}
 			root = &model.SubtxnSpec{Node: model.NodeID(s.id)}
-			if owner := pm.Primary(pm.Of(key)); owner == model.NodeID(s.id) {
+			if owner := s.cluster.CurrentPrimary(pm.Of(key)); owner == model.NodeID(s.id) {
 				root.Updates = []model.KeyOp{op}
 			} else {
 				root.Children = []*model.SubtxnSpec{{Node: owner, Updates: []model.KeyOp{op}}}
@@ -339,7 +409,7 @@ func (s *nodeServer) handleRead(w http.ResponseWriter, _ *http.Request) {
 		var ver model.Version
 		for j := 0; j < s.nodes; j++ {
 			key := accountKey(j)
-			if pm.Primary(pm.Of(key)) != model.NodeID(s.id) {
+			if s.cluster.CurrentPrimary(pm.Of(key)) != model.NodeID(s.id) {
 				continue
 			}
 			bal, v, err := readLocal(key)
@@ -423,6 +493,9 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 2*time.Second, "background checkpoint period with -data-dir")
 	batch := flag.Int("batch", 0, "enable the batched hot path (batched wire frames, chunked admission, batched counter sweeps) and group /workload submissions N at a time (0 = off)")
 	partitions := flag.Int("partitions", 1, "split the keyspace into P partitions, each with its own independently-advancing version pair (same value on every process)")
+	replicate := flag.Bool("replicate", false, "enable per-partition replica groups: the primary of each partition streams applied updates to the other owners, and a replication lease promotes the next owner if the primary dies")
+	replLeaseInterval := flag.Duration("repl-lease-interval", 0, "replication-lease heartbeat period with -replicate (0 = -lease-interval)")
+	replLeaseTimeout := flag.Duration("repl-lease-timeout", 0, "backup promotion threshold on replication-heartbeat silence with -replicate (0 = -repl-lease-interval x 4)")
 	traceSample := flag.Int("trace-sample", 64, "head-sample 1 in N transactions for causal tracing (1 = every txn, 0 = tracing off)")
 	traceSlow := flag.Duration("trace-slow", 0, "also trace and log any transaction slower than this, sampled or not (0 = off)")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
@@ -434,7 +507,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *batch, *partitions, *traceSample, *traceSlow, logger); err != nil {
+	if err := run(*id, *nodes, *coordRole, *leaseInterval, *leaseTimeout, *listen, *peersFlag, *metricsAddr, *autoAdvance, *ackTimeout, *dataDir, *fsyncFlag, *ckptInterval, *batch, *partitions, *replicate, *replLeaseInterval, *replLeaseTimeout, *traceSample, *traceSlow, logger); err != nil {
 		logger.Error("fatal", "err", err)
 		os.Exit(1)
 	}
@@ -474,7 +547,7 @@ func slowTxnAttrs(sp obs.Span) []any {
 	return attrs
 }
 
-func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, batch, partitions, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
+func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Duration, listen, peersFlag, metricsAddr string, autoAdvance, ackTimeout time.Duration, dataDir, fsyncFlag string, ckptInterval time.Duration, batch, partitions int, replicate bool, replLeaseInterval, replLeaseTimeout time.Duration, traceSample int, traceSlow time.Duration, logger *slog.Logger) error {
 	if id < 0 || id >= nodes {
 		return fmt.Errorf("-id must be in [0,%d)", nodes)
 	}
@@ -588,6 +661,23 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 		cfg.BatchedCounters = true
 		cfg.ReliableConfig.FlushInterval = 100 * time.Microsecond
 	}
+	if replicate {
+		if replLeaseInterval <= 0 {
+			replLeaseInterval = leaseInterval
+		}
+		cfg.Replicate = true
+		cfg.ReplicaConfig = core.ReplicaConfig{
+			LeaseInterval: replLeaseInterval,
+			LeaseTimeout:  replLeaseTimeout,
+			OnRoleChange: func(part int, primary model.NodeID, term uint64) {
+				if primary == model.NodeID(id) {
+					logger.Warn("replica takeover", "part", part, "id", id, "term", term)
+				} else {
+					logger.Warn("replica primary changed", "part", part, "primary", primary, "term", term)
+				}
+			},
+		}
+	}
 	if db != nil {
 		cfg.Journal = db
 		cfg.Restore = restore
@@ -611,6 +701,21 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 			harness.MaybeCrash(fmt.Sprintf("advance-p%d-phase%d", part, phase))
 		}
 	})
+	// Replication crash seams: THREEV_CRASHPOINT=repl-send:K kills the
+	// process after the Kth replication fan-out it emits as a primary,
+	// repl-apply:K after the Kth replicated effect set it applies as a
+	// backup — the replica CI gates' deterministic kill points.
+	if replicate {
+		cluster.SetReplHooks(
+			func(part int) {
+				harness.MaybeCrash("repl-send")
+				harness.MaybeCrash(fmt.Sprintf("repl-p%d-send", part))
+			},
+			func(part int) {
+				harness.MaybeCrash("repl-apply")
+				harness.MaybeCrash(fmt.Sprintf("repl-p%d-apply", part))
+			})
+	}
 	// Route wire-codec latency histograms into the cluster's registry so
 	// /metrics exposes threev_wire_encode/decode_seconds.
 	tnet.SetObs(cluster.Obs())
@@ -627,6 +732,26 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 		rec := model.NewRecord()
 		rec.Fields["bal"] = 0
 		cluster.Preload(model.NodeID(id), accountKey(id), rec)
+		if replicate {
+			// Replicated: every account key must exist at every owner of
+			// its partition, so a promoted backup serves version-0 reads
+			// even before the first replicated update materializes it.
+			pm := cluster.PlacementMap()
+			for j := 0; j < nodes; j++ {
+				key := accountKey(j)
+				if j == id {
+					continue
+				}
+				for _, o := range pm.OwnerSet(pm.Of(key)) {
+					if o == model.NodeID(id) {
+						r := model.NewRecord()
+						r.Fields["bal"] = 0
+						cluster.Preload(model.NodeID(id), key, r)
+						break
+					}
+				}
+			}
+		}
 		if db != nil {
 			// Anchor the log before any traffic so every later record
 			// replays on top of a checkpoint that includes the preload.
@@ -669,6 +794,7 @@ func run(id, nodes int, coordRole string, leaseInterval, leaseTimeout time.Durat
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/state", srv.handleState)
+		mux.HandleFunc("/health", srv.handleHealth)
 		mux.HandleFunc("/workload", srv.handleWorkload)
 		mux.HandleFunc("/read", srv.handleRead)
 		mux.HandleFunc("/advance", srv.handleAdvance)

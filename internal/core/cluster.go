@@ -107,6 +107,19 @@ type Config struct {
 	// FailoverConfig tunes the lease when Failover is set; the zero
 	// value selects defaults.
 	FailoverConfig FailoverConfig
+	// Replicate makes partition owner groups real (see replication.go):
+	// the primary of each partition streams every applied commuting
+	// effect set to the other owners in pmap.OwnerSet(part), backups
+	// apply idempotently (and journal, when a Journal is configured), and
+	// a per-partition replication lease promotes the next live owner when
+	// the primary dies, keeping the partition readable. Requires
+	// Reliable (replication frames ride the session layer's dedup and
+	// FIFO guarantees) and is meaningful only when owner groups have at
+	// least two members (Nodes >= 2).
+	Replicate bool
+	// ReplicaConfig tunes the replication lease when Replicate is set;
+	// the zero value selects defaults.
+	ReplicaConfig ReplicaConfig
 	// ExecChunk batches the receive side of the hot path: each node
 	// worker wakeup drains up to ExecChunk queued subtransactions and
 	// executes them as one chunk — one checkpoint hold, and (with a
@@ -165,6 +178,11 @@ type Cluster struct {
 	// pinned coordinator above with per-node managers.
 	fo *failoverSet
 
+	// repl holds one replicator per locally hosted node when
+	// Config.Replicate is set (aligned with nodes; nil entries for
+	// remote nodes).
+	repl []*replicator
+
 	hookMu    sync.Mutex
 	phaseHook func(part, phase int)
 
@@ -189,6 +207,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Partitions > 1 && cfg.NCMode {
 		return nil, fmt.Errorf("core: Partitions cannot be combined with NCMode (NC3V assumes a single global epoch)")
+	}
+	if cfg.Replicate && !cfg.Reliable {
+		return nil, fmt.Errorf("core: Replicate requires the reliable session layer (replication streams depend on its dedup and FIFO delivery)")
+	}
+	if cfg.Replicate && cfg.NCMode {
+		return nil, fmt.Errorf("core: Replicate cannot be combined with NCMode")
 	}
 	if cfg.Journal != nil || cfg.Restore != nil {
 		if cfg.LocalNodes == nil || len(cfg.LocalNodes) != 1 {
@@ -301,9 +325,24 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				nd.pv[0] = verPair{vu: r.VU, vr: r.VR}
 			}
 			nd.seedTerm(r.CoordTerm)
+			nd.seedRepl(r.ReplTerms, r.ReplSeqs, r.ReplApplied)
 		}
 		c.nodes[i] = nd
 		c.net.Register(nd.id, nd.handleMessage)
+	}
+	if cfg.Replicate {
+		rc := cfg.ReplicaConfig.withDefaults()
+		c.repl = make([]*replicator, cfg.Nodes)
+		for i, nd := range c.nodes {
+			if nd == nil {
+				continue
+			}
+			r := newReplicator(c, nd, rc)
+			nd.replicate = true
+			nd.onReplBeat = r.noteBeat
+			nd.onReplAck = r.noteAck
+			c.repl[i] = r
+		}
 	}
 	if cfg.Failover {
 		fc := cfg.FailoverConfig.withDefaults()
@@ -357,6 +396,11 @@ func (c *Cluster) Start() {
 			m.start()
 		}
 	}
+	for _, r := range c.repl {
+		if r != nil {
+			r.start()
+		}
+	}
 }
 
 // Close shuts the cluster down. Callers should quiesce (wait for
@@ -366,6 +410,11 @@ func (c *Cluster) Start() {
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
+	}
+	for _, r := range c.repl {
+		if r != nil {
+			r.stop()
+		}
 	}
 	if c.fo != nil {
 		// Stop every manager first: this unwinds any in-flight takeover
@@ -402,6 +451,55 @@ func (c *Cluster) Partitions() int { return c.nparts }
 // is immutable after construction; callers must not mutate it.
 func (c *Cluster) PlacementMap() *partition.Map { return c.pmap }
 
+// Replicating reports whether per-partition replica groups are active.
+func (c *Cluster) Replicating() bool { return c.repl != nil }
+
+// localReplicator returns the first locally hosted replicator, or nil.
+func (c *Cluster) localReplicator() *replicator {
+	for _, r := range c.repl {
+		if r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// CurrentPrimary returns this process's view of a partition's current
+// primary — the placement primary until a replication-lease takeover
+// promotes a backup, after which routing (reads, /state) follows the
+// promoted owner. Without Replicate it is always the placement primary.
+func (c *Cluster) CurrentPrimary(part int) model.NodeID {
+	if r := c.localReplicator(); r != nil {
+		p, _ := r.currentPrimary(part)
+		return p
+	}
+	return c.pmap.Primary(part)
+}
+
+// ReplicaHealth reports every partition's replica-group status as seen
+// by this process's first local node (role, lease age, stream and
+// applied frontiers) — the payload behind threev-node's /health. Nil
+// unless Config.Replicate.
+func (c *Cluster) ReplicaHealth() []ReplicaPartHealth {
+	if r := c.localReplicator(); r != nil {
+		return r.health()
+	}
+	return nil
+}
+
+// SetReplHooks arms callbacks fired after a replication frame is sent
+// (per destination fan-out completes) and after a backup applies one —
+// the seams the crash harness uses to kill processes at deterministic
+// replication points. Pass nil, nil to disarm. Affects all local nodes.
+func (c *Cluster) SetReplHooks(send, apply func(part int)) {
+	for _, nd := range c.nodes {
+		if nd != nil {
+			nd.replSendHook = send
+			nd.replApplyHook = apply
+		}
+	}
+}
+
 // PartitionState is one partition's operator-visible status, as served
 // by threev-node's /state and checked by the verifiers.
 type PartitionState struct {
@@ -429,7 +527,7 @@ func (c *Cluster) PartitionStates() []PartitionState {
 	}
 	out := make([]PartitionState, c.nparts)
 	for p := 0; p < c.nparts; p++ {
-		st := PartitionState{Part: p, Primary: c.pmap.Primary(p)}
+		st := PartitionState{Part: p, Primary: c.CurrentPrimary(p)}
 		if coord != nil {
 			st.VR, st.VU = coord.VersionsPart(p)
 		} else if ref != nil {

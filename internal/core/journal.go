@@ -129,6 +129,28 @@ type TermJournal interface {
 	CoordTerm(t uint64)
 }
 
+// ReplJournal is an optional Journal extension for per-partition
+// replica groups. Implementations journal three things: effect sets a
+// backup applied from its primary's replication stream (ReplApply —
+// lazy, covered by the reliable session's NoteRecv barrier exactly like
+// Enq), the node's replication lease term per partition (ReplTerm —
+// durable before return, max-merge on replay, so a restarted node never
+// acks a deposed primary's stream as current), and the primary's sent
+// replication sequence number per partition (ReplSend — lazy, covered
+// by the Exec barrier that follows it, so a recovered primary never
+// reuses a sequence number a backup already deduped against). Checked
+// by type assertion; a Journal without it replicates from memory only.
+type ReplJournal interface {
+	// ReplApply records that this node applied the effect set (part,
+	// from, seq) at version v with store mutations ops.
+	ReplApply(part int, from model.NodeID, seq uint64, v model.Version, ops []AppliedOp)
+	// ReplTerm records partition part's replication term = max(term, t),
+	// durable before return.
+	ReplTerm(part int, t uint64)
+	// ReplSend records partition part's highest sent replication seq.
+	ReplSend(part int, seq uint64)
+}
+
 // PendingSubtxn is a command that was journaled (Enq) but whose
 // execution record never became durable: recovery re-enqueues it.
 type PendingSubtxn struct {
@@ -159,4 +181,13 @@ type NodeRestore struct {
 	// only partition).
 	PartVR, PartVU []model.Version
 	PartCounters   []*counters.Table
+	// ReplTerms/ReplSeqs/ReplApplied carry the replica-group frontiers
+	// when replication ran before the crash: the highest replication
+	// lease term observed per partition, the highest replication seq
+	// this node sent per partition (as a primary), and the highest seq
+	// applied per partition per sending node (as a backup, the dedup
+	// frontier). Nil when replication never ran.
+	ReplTerms   []uint64
+	ReplSeqs    []uint64
+	ReplApplied [][]uint64
 }

@@ -219,6 +219,27 @@ type Node struct {
 	// immutable afterwards.
 	onCoordState func(CoordStateMsg)
 
+	// Replica-group state (Config.Replicate). replicate gates the
+	// emission path; replTerms are the per-partition replication lease
+	// registers (a separate term space from coordTerms — fencing a
+	// replication lease must never fence a valid coordinator); replSeqs
+	// are the per-partition sent-sequence counters this node uses as a
+	// primary; replApplied[part][node] is the applied frontier per
+	// sending node this node uses as a backup to dedup a replication
+	// stream across the session layer's crash window. onReplBeat and
+	// onReplAck relay accepted lease heartbeats and frontier acks to the
+	// co-located replicator; replSendHook/replApplyHook are the chaos
+	// harness's crashpoint seams. All are set before the node's handler
+	// is registered; immutable afterwards.
+	replicate     bool
+	replTerms     []atomic.Uint64
+	replSeqs      []atomic.Uint64
+	replApplied   [][]atomic.Uint64
+	onReplBeat    func(part int, from model.NodeID, term uint64)
+	onReplAck     func(part int, from model.NodeID, seq uint64)
+	replSendHook  func(part int)
+	replApplyHook func(part int)
+
 	// chk excludes subtransaction execution during checkpoint freezes:
 	// workers hold it shared around executeSubtxn so the journaled effect
 	// record and the in-memory mutations it describes always land on the
@@ -297,10 +318,14 @@ func newNode(id model.NodeID, n int, pmap *partition.Map, coordID model.NodeID, 
 		ncCoord:    make(map[model.TxnID]*ncCoordState),
 		ncPart:     make(map[model.TxnID]*ncPartState),
 	}
+	nd.replTerms = make([]atomic.Uint64, nparts)
+	nd.replSeqs = make([]atomic.Uint64, nparts)
+	nd.replApplied = make([][]atomic.Uint64, nparts)
 	for i := range nd.pv {
 		// Initial state per partition: read version 0, update version 1.
 		nd.pv[i] = verPair{vu: 1, vr: 0}
 		nd.cnts[i] = counters.NewTable(id, n)
+		nd.replApplied[i] = make([]atomic.Uint64, n)
 	}
 	nd.vrCond = sync.NewCond(&nd.verMu)
 	return nd
@@ -547,6 +572,10 @@ func (nd *Node) handleMessage(m transport.Message) {
 		// Addressed to coordinator endpoints; one reaching a node is
 		// stray cross-talk. Fold the term in and drop it.
 		nd.observeTermAll(p.Term)
+	case ReplicateMsg:
+		nd.handleReplicate(m.From, p)
+	case ReplicateAckMsg:
+		nd.handleReplicateAck(p)
 	case NCVoteMsg:
 		nd.handleNCVote(p)
 	case NCDecisionMsg:
@@ -633,6 +662,197 @@ func (nd *Node) seedTerm(t uint64) {
 	nd.coordTerm.Store(t)
 	for i := range nd.coordTerms {
 		nd.coordTerms[i].Store(t)
+	}
+}
+
+// observeReplTerm folds a replication lease term into one partition's
+// register, returning false when t is stale. Terms live in their own
+// register space: a partition's replication lease and its coordinator
+// fencing term advance independently, so minting a replica term never
+// fences off a valid coordinator. A term that raises the register is
+// journaled (ReplJournal) before the caller acts on the message that
+// carried it, so a restarted node cannot re-adopt a deposed primary.
+func (nd *Node) observeReplTerm(part int, t uint64) bool {
+	if t == 0 {
+		return true
+	}
+	for {
+		cur := nd.replTerms[part].Load()
+		if t < cur {
+			return false
+		}
+		if t == cur {
+			return true
+		}
+		if nd.replTerms[part].CompareAndSwap(cur, t) {
+			if j, ok := nd.journal.(ReplJournal); ok {
+				j.ReplTerm(part, t)
+			}
+			return true
+		}
+	}
+}
+
+// ReplTermPart returns the highest replication lease term this node has
+// observed for one partition (threev-node's /health reports it).
+func (nd *Node) ReplTermPart(part int) uint64 {
+	if part < 0 || part >= len(nd.replTerms) {
+		return 0
+	}
+	return nd.replTerms[part].Load()
+}
+
+// ReplSentSeq returns the highest replication sequence number this node
+// has stamped on its partition-part stream (as a primary).
+func (nd *Node) ReplSentSeq(part int) uint64 {
+	if part < 0 || part >= len(nd.replSeqs) {
+		return 0
+	}
+	return nd.replSeqs[part].Load()
+}
+
+// ReplAppliedSeq returns this node's applied replication frontier for
+// partition part's stream from one sending node (as a backup).
+func (nd *Node) ReplAppliedSeq(part int, from model.NodeID) uint64 {
+	if part < 0 || part >= len(nd.replApplied) || int(from) < 0 || int(from) >= nd.n {
+		return 0
+	}
+	return nd.replApplied[part][from].Load()
+}
+
+// seedRepl installs recovered replica-group frontiers (restart
+// adoption; the journal already holds them).
+func (nd *Node) seedRepl(terms, seqs []uint64, applied [][]uint64) {
+	for i := range nd.replTerms {
+		if i < len(terms) {
+			nd.replTerms[i].Store(terms[i])
+		}
+		if i < len(seqs) {
+			nd.replSeqs[i].Store(seqs[i])
+		}
+		if i < len(applied) {
+			for j := range nd.replApplied[i] {
+				if j < len(applied[i]) {
+					nd.replApplied[i][j].Store(applied[i][j])
+				}
+			}
+		}
+	}
+}
+
+// handleReplicate is the backup half of a replica group: apply one
+// effect set streamed by the partition's primary, idempotently, and
+// report the applied frontier back. The reliable session provides FIFO
+// and frame-level dedup; the per-(part, sender) applied frontier adds
+// the app-level guard for the crash window where a backup's WAL holds
+// an applied effect set but the session watermark was not yet durable —
+// on restart the frame is retransmitted and must be skipped, not
+// re-applied (AddOp twice is not idempotent).
+func (nd *Node) handleReplicate(from model.NodeID, p ReplicateMsg) {
+	if !nd.partOK(p.Part) {
+		return
+	}
+	if int(from) < 0 || int(from) >= nd.n {
+		nd.violate("node %v: replicate from non-node endpoint %v", nd.id, from)
+		return
+	}
+	// Lease bookkeeping: a current-or-higher term renews the sender's
+	// primaryship in the co-located replicator's view.
+	if nd.observeReplTerm(p.Part, p.Term) {
+		if f := nd.onReplBeat; f != nil {
+			f(p.Part, from, p.Term)
+		}
+	}
+	// Apply regardless of term: a deposed primary's in-flight ops are
+	// acknowledged updates, and commuting ops merge with the successor's
+	// stream in any order. Fencing arbitrates the lease, not the data.
+	applied := false
+	if len(p.Ops) > 0 {
+		fr := &nd.replApplied[p.Part][from]
+		if p.Seq > fr.Load() {
+			// Clamp the apply version up to the local read version: Phase 4
+			// may have collected versions below vr since the primary sent
+			// this, and ApplyFrom's dual write folds the op into every
+			// version >= the clamp, which is exactly where the update must
+			// survive.
+			nd.maybeAdvanceVU(p.Part, p.Version)
+			nd.verMu.Lock()
+			v := nd.pv[p.Part].vr
+			nd.verMu.Unlock()
+			if p.Version > v {
+				v = p.Version
+			}
+			keys := make([]string, 0, len(p.Ops))
+			for _, op := range p.Ops {
+				keys = append(keys, op.Key)
+			}
+			release := nd.latches.Acquire(keys)
+			for _, op := range p.Ops {
+				nd.store.EnsureVersion(op.Key, v)
+				nd.store.ApplyFrom(op.Key, v, op.Op)
+			}
+			release()
+			fr.Store(p.Seq)
+			if j, ok := nd.journal.(ReplJournal); ok {
+				// Lazy append: the session's NoteRecv barrier after this
+				// handler covers it before the frame is acknowledged.
+				j.ReplApply(p.Part, from, p.Seq, v, p.Ops)
+			}
+			nd.reg.Inc(obs.CtrReplApplies, 1)
+			applied = true
+		}
+	}
+	// Always ack with the local applied frontier — never the message's
+	// seq — so a heartbeat arriving ahead of unapplied data frames can
+	// not fake a caught-up backup in the primary's lag view.
+	nd.net.Send(transport.Message{From: nd.id, To: from, Payload: ReplicateAckMsg{
+		Part: p.Part, Seq: nd.replApplied[p.Part][from].Load(), Node: nd.id,
+	}})
+	if applied {
+		if h := nd.replApplyHook; h != nil {
+			h(p.Part)
+		}
+	}
+}
+
+// handleReplicateAck is the primary half's lag bookkeeping: fold a
+// backup's applied frontier into the replicator's acked view.
+func (nd *Node) handleReplicateAck(p ReplicateAckMsg) {
+	if !nd.partOK(p.Part) {
+		return
+	}
+	nd.reg.Inc(obs.CtrReplAcks, 1)
+	if f := nd.onReplAck; f != nil {
+		f(p.Part, p.Node, p.Seq)
+	}
+}
+
+// emitReplication streams one executed effect set to the partition's
+// other owners. Called by executeSubtxn after local application; frames
+// go through its send closure, so with a journal they ride the Exec
+// barrier's outbox (durable before the wire) exactly like child
+// subtransactions. The sent seq is journaled lazily before Exec's
+// barrier — a recovered primary must never reuse a sequence number a
+// backup may already have deduped against.
+func (nd *Node) emitReplication(part int, v model.Version, ops []AppliedOp, send func(transport.Message)) {
+	owners := nd.pmap.OwnerSet(part)
+	if len(owners) < 2 {
+		return
+	}
+	seq := nd.replSeqs[part].Add(1)
+	if j, ok := nd.journal.(ReplJournal); ok {
+		j.ReplSend(part, seq)
+	}
+	msg := ReplicateMsg{Part: part, Term: nd.replTerms[part].Load(), Seq: seq, Version: v, Ops: ops}
+	for _, owner := range owners {
+		if owner == nd.id {
+			continue
+		}
+		send(transport.Message{From: nd.id, To: owner, Payload: msg})
+		nd.reg.Inc(obs.CtrReplSends, 1)
+	}
+	if h := nd.replSendHook; h != nil {
+		h(part)
 	}
 }
 
@@ -935,6 +1155,10 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 
 	spec := msg.Spec
 	aborting := spec.Abort && !msg.ReadOnly
+	// replOps mirrors rec.Ops for the replication stream; kept separate
+	// because replication also runs without a journal (in-process
+	// clusters) where rec is nil.
+	var replOps []AppliedOp
 
 	// In NC mode, well-behaved update subtransactions take commute
 	// locks (two-phase, released by the asynchronous clean-up). Queries
@@ -974,6 +1198,9 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 				if rec != nil {
 					rec.Ops = append(rec.Ops, AppliedOp{Key: u.Key, Op: u.Op})
 				}
+				if nd.replicate {
+					replOps = append(replOps, AppliedOp{Key: u.Key, Op: u.Op})
+				}
 				if n := nd.store.ApplyFrom(u.Key, v, u.Op); n > 1 {
 					nd.metMu.Lock()
 					nd.metrics.DualWrites += int64(n - 1)
@@ -1012,7 +1239,15 @@ func (nd *Node) executeSubtxn(from model.NodeID, msg SubtxnMsg, enqID uint64, tc
 	}
 
 	if aborting {
-		nd.abortSubtree(msg.Txn, v, part, spec, lockOK, rec, send, childTC, msg.RootNode)
+		nd.abortSubtree(msg.Txn, v, part, spec, lockOK, rec, &replOps, send, childTC, msg.RootNode)
+	}
+
+	// Replica groups: stream the applied effect set (inverses included —
+	// an aborted subtree's net effect replicates as-is) to the other
+	// owners of this partition. Riding the send closure means the frames
+	// share the Exec barrier with the effect record when journaled.
+	if nd.replicate && len(replOps) > 0 {
+		nd.emitReplication(part, v, replOps, send)
 	}
 
 	// finish is the termination tail: re-enqueue of journaled local
@@ -1133,7 +1368,7 @@ func (nd *Node) finishSubtxn(from model.NodeID, msg SubtxnMsg, v model.Version, 
 // false the local updates were never performed (lock timeout) and only
 // the children need compensating — but in that case no children were
 // sent either, so there is nothing to do beyond bookkeeping.
-func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, part int, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, send func(transport.Message), childTC obs.TraceContext, rootNode model.NodeID) {
+func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, part int, spec *model.SubtxnSpec, applied bool, rec *ExecRecord, replOps *[]AppliedOp, send func(transport.Message), childTC obs.TraceContext, rootNode model.NodeID) {
 	if !applied {
 		return
 	}
@@ -1148,6 +1383,9 @@ func (nd *Node) abortSubtree(txn model.TxnID, v model.Version, part int, spec *m
 				nd.store.ApplyFrom(u.Key, v, inv)
 				if rec != nil {
 					rec.Ops = append(rec.Ops, AppliedOp{Key: u.Key, Op: inv})
+				}
+				if nd.replicate {
+					*replOps = append(*replOps, AppliedOp{Key: u.Key, Op: inv})
 				}
 			}
 		}

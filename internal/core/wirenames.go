@@ -26,4 +26,6 @@ func init() {
 	transport.RegisterPayloadName(SpanReportMsg{}, "span_report")
 	transport.RegisterPayloadName(CoordStateMsg{}, "coord_state")
 	transport.RegisterPayloadName(StaleTermMsg{}, "stale_term")
+	transport.RegisterPayloadName(ReplicateMsg{}, "replicate")
+	transport.RegisterPayloadName(ReplicateAckMsg{}, "replicate_ack")
 }

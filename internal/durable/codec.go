@@ -26,17 +26,27 @@ const (
 	recAck  = 8 // from varint | to varint | cum uvarint   — peer cumulative ack
 
 	recCoordTerm = 9 // t uvarint — coordinator term = max(term, t)
+
+	// Replica-group records (core.ReplJournal).
+	recRepl     = 10 // part uvarint | from varint | seq uvarint | v uvarint | nops uvarint | (key | op)* — backup applied a replicated effect set
+	recReplTerm = 11 // t uvarint [| part uvarint]   — replTerm[part] = max(term, t)
+	recReplSeq  = 12 // seq uvarint [| part uvarint] — replSeq[part] = max(seq, s)
 )
 
 // Checkpoint blob format version. Version 2 adds the coordinator term
 // after nextEnq; version 3 adds the partition count plus per-partition
-// version pairs and partition-tagged counter sections. Older blobs
-// still decode: their single version pair and counter section describe
-// partition 0 (the only partition a pre-partitioning node had). The
-// version-switch records likewise append the partition id only when it
-// is non-zero, so unpartitioned logs are byte-identical to version 2's.
+// version pairs and partition-tagged counter sections; version 4 adds
+// the replica-group frontiers (per-partition replication term, sent
+// sequence, and per-sender applied sequence). Older blobs still decode:
+// a pre-v3 blob's single version pair and counter section describe
+// partition 0 (the only partition a pre-partitioning node had), and a
+// v3 blob restores with zero replica frontiers (replication had never
+// run when it was taken). The version-switch records likewise append
+// the partition id only when it is non-zero, so unpartitioned logs are
+// byte-identical to version 2's.
 const (
-	ckptVersion   = 3
+	ckptVersion   = 4
+	ckptVersionV3 = 3
 	ckptVersionV2 = 2
 	ckptVersionV1 = 1
 )

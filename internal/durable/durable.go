@@ -132,6 +132,15 @@ type DB struct {
 	recv      map[link]uint64 // (to, from) -> nextExpected
 	buf       []byte          // scratch encode buffer
 
+	// Replica-group frontiers (core.ReplJournal), all monotonic:
+	// replTerms[p] is the partition's highest journaled replication
+	// lease term, replSeqs[p] the highest replication seq this node sent
+	// as a primary, replApplied[p][from] the highest seq applied from
+	// sender from's stream as a backup.
+	replTerms   []uint64
+	replSeqs    []uint64
+	replApplied [][]uint64
+
 	node    *core.Node
 	session *reliable.Session
 
@@ -145,6 +154,7 @@ var (
 	_ core.Journal      = (*DB)(nil)
 	_ core.ChunkJournal = (*DB)(nil)
 	_ core.TermJournal  = (*DB)(nil)
+	_ core.ReplJournal  = (*DB)(nil)
 	_ reliable.Journal  = (*DB)(nil)
 )
 
@@ -361,6 +371,79 @@ func (db *DB) versionRec(tag byte, part int, v model.Version) {
 }
 
 // ---------------------------------------------------------------------
+// core.ReplJournal
+// ---------------------------------------------------------------------
+
+// ReplApply journals a replicated effect set this node applied as a
+// backup. Lazy, like Enq: the frame arrived over the reliable session,
+// so NoteRecv's barrier makes the record durable before the session ack
+// (and the replication ack the handler sent) leaves the process.
+func (db *DB) ReplApply(part int, from model.NodeID, seq uint64, v model.Version, ops []core.AppliedOp) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.buf = append(db.buf[:0], recRepl)
+	db.buf = binary.AppendUvarint(db.buf, uint64(part))
+	db.buf = binary.AppendVarint(db.buf, int64(from))
+	db.buf = binary.AppendUvarint(db.buf, seq)
+	db.buf = binary.AppendUvarint(db.buf, uint64(v))
+	db.buf = binary.AppendUvarint(db.buf, uint64(len(ops)))
+	for _, ap := range ops {
+		db.buf = appendString(db.buf, ap.Key)
+		var err error
+		db.buf, err = wire.AppendOp(db.buf, ap.Op)
+		db.must(err)
+	}
+	_, err := db.log.Append(db.buf)
+	db.must(err)
+	if part >= 0 && part < len(db.replApplied) && int(from) >= 0 && int(from) < len(db.replApplied[part]) {
+		if seq > db.replApplied[part][from] {
+			db.replApplied[part][from] = seq
+		}
+	}
+}
+
+// ReplTerm journals the partition's replication lease term, durable
+// before return: a restarted node must never treat a stream from a
+// primary an earlier incarnation already saw deposed as current.
+func (db *DB) ReplTerm(part int, t uint64) {
+	db.mu.Lock()
+	if part < 0 || part >= len(db.replTerms) || t <= db.replTerms[part] {
+		db.mu.Unlock()
+		return
+	}
+	db.replTerms[part] = t
+	db.buf = append(db.buf[:0], recReplTerm)
+	db.buf = binary.AppendUvarint(db.buf, t)
+	if part != 0 {
+		db.buf = binary.AppendUvarint(db.buf, uint64(part))
+	}
+	_, err := db.log.Append(db.buf)
+	db.mu.Unlock()
+	db.must(err)
+	db.must(db.log.Barrier())
+}
+
+// ReplSend journals the partition's highest sent replication sequence
+// number. Lazy: the Exec barrier that releases the replication frames
+// to the wire follows immediately, so no backup can have deduped a seq
+// that is not durable here.
+func (db *DB) ReplSend(part int, seq uint64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if part < 0 || part >= len(db.replSeqs) || seq <= db.replSeqs[part] {
+		return
+	}
+	db.replSeqs[part] = seq
+	db.buf = append(db.buf[:0], recReplSeq)
+	db.buf = binary.AppendUvarint(db.buf, seq)
+	if part != 0 {
+		db.buf = binary.AppendUvarint(db.buf, uint64(part))
+	}
+	_, err := db.log.Append(db.buf)
+	db.must(err)
+}
+
+// ---------------------------------------------------------------------
 // reliable.Journal
 // ---------------------------------------------------------------------
 
@@ -513,6 +596,16 @@ func (db *DB) encodeCheckpointLocked() []byte {
 		pvr, pvu := db.node.VersionsPart(p)
 		buf = binary.AppendUvarint(buf, uint64(pvr))
 		buf = binary.AppendUvarint(buf, uint64(pvu))
+	}
+	// Version 4: replica-group frontiers — per partition the replication
+	// lease term, sent sequence, and per-sender applied sequence (all
+	// zero when replication never ran).
+	for p := 0; p < db.opts.Partitions; p++ {
+		buf = binary.AppendUvarint(buf, db.replTerms[p])
+		buf = binary.AppendUvarint(buf, db.replSeqs[p])
+		for q := 0; q < db.opts.Nodes; q++ {
+			buf = binary.AppendUvarint(buf, db.replApplied[p][q])
+		}
 	}
 
 	// Store, streamed shard by shard (no monolithic copy).

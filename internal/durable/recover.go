@@ -29,12 +29,18 @@ import (
 func Open(opts Options) (*DB, *core.NodeRestore, *reliable.SessionState, error) {
 	opts = opts.withDefaults()
 	db := &DB{
-		opts:    opts,
-		pending: make(map[uint64]pendingCmd),
-		nextEnq: 1,
-		send:    make(map[link]*sendMirror),
-		recv:    make(map[link]uint64),
-		stop:    make(chan struct{}),
+		opts:      opts,
+		pending:   make(map[uint64]pendingCmd),
+		nextEnq:   1,
+		send:      make(map[link]*sendMirror),
+		recv:      make(map[link]uint64),
+		stop:      make(chan struct{}),
+		replTerms: make([]uint64, opts.Partitions),
+		replSeqs:  make([]uint64, opts.Partitions),
+	}
+	db.replApplied = make([][]uint64, opts.Partitions)
+	for p := range db.replApplied {
+		db.replApplied[p] = make([]uint64, opts.Nodes)
 	}
 
 	seg, blob, found, err := wal.LoadCheckpoint(opts.Dir)
@@ -76,6 +82,11 @@ type replayState struct {
 	pending   map[uint64]pendingCmd
 	send      map[link]*sendMirror
 	recv      map[link]uint64
+
+	// Replica-group frontiers, per partition (see DB's fields).
+	replTerms   []uint64
+	replSeqs    []uint64
+	replApplied [][]uint64
 }
 
 // part clamps a decoded partition id into the replay arrays (a record
@@ -138,14 +149,20 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 	db.coordTerm = rs.coordTerm
 	db.send = rs.send
 	db.recv = rs.recv
+	db.replTerms = rs.replTerms
+	db.replSeqs = rs.replSeqs
+	db.replApplied = rs.replApplied
 
 	restore := &core.NodeRestore{
-		Store:     rs.store,
-		Counters:  rs.cnts[0],
-		VR:        rs.vrs[0],
-		VU:        rs.vus[0],
-		NextEnq:   rs.nextEnq,
-		CoordTerm: rs.coordTerm,
+		Store:       rs.store,
+		Counters:    rs.cnts[0],
+		VR:          rs.vrs[0],
+		VU:          rs.vus[0],
+		NextEnq:     rs.nextEnq,
+		CoordTerm:   rs.coordTerm,
+		ReplTerms:   rs.replTerms,
+		ReplSeqs:    rs.replSeqs,
+		ReplApplied: rs.replApplied,
 	}
 	if len(rs.cnts) > 1 {
 		restore.PartCounters = rs.cnts
@@ -189,7 +206,7 @@ func (db *DB) recover(anchor uint64, blob []byte) (*core.NodeRestore, *reliable.
 func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	c := &cur{b: blob}
 	ver := c.byte()
-	if c.err == nil && ver != ckptVersion && ver != ckptVersionV2 && ver != ckptVersionV1 {
+	if c.err == nil && ver != ckptVersion && ver != ckptVersionV3 && ver != ckptVersionV2 && ver != ckptVersionV1 {
 		return nil, fmt.Errorf("unsupported blob version %d", ver)
 	}
 	self := model.NodeID(c.varint())
@@ -213,7 +230,7 @@ func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 	// Version 3 carries the partition count and every partition's
 	// version pair; older blobs describe a single partition.
 	nparts := 1
-	if ver >= ckptVersion {
+	if ver >= ckptVersionV3 {
 		nparts = c.count()
 		if c.err == nil && nparts != db.opts.Partitions {
 			return nil, fmt.Errorf("checkpoint has %d partitions, this process is configured with %d",
@@ -233,10 +250,27 @@ func (db *DB) decodeCheckpoint(blob []byte) (*replayState, error) {
 		rs.cnts[p] = counters.NewTable(db.opts.Self, db.opts.Nodes)
 	}
 	rs.vrs[0], rs.vus[0] = legacyVR, legacyVU
-	if ver >= ckptVersion {
+	if ver >= ckptVersionV3 {
 		for p := 0; p < nparts && c.err == nil; p++ {
 			rs.vrs[p] = model.Version(c.uvarint())
 			rs.vus[p] = model.Version(c.uvarint())
+		}
+	}
+	// Version 4: replica-group frontiers (pre-v4 blobs restore zeros —
+	// replication had never run when they were taken).
+	rs.replTerms = make([]uint64, nparts)
+	rs.replSeqs = make([]uint64, nparts)
+	rs.replApplied = make([][]uint64, nparts)
+	for p := range rs.replApplied {
+		rs.replApplied[p] = make([]uint64, db.opts.Nodes)
+	}
+	if ver >= ckptVersion {
+		for p := 0; p < nparts && c.err == nil; p++ {
+			rs.replTerms[p] = c.uvarint()
+			rs.replSeqs[p] = c.uvarint()
+			for q := 0; q < db.opts.Nodes && c.err == nil; q++ {
+				rs.replApplied[p][q] = c.uvarint()
+			}
 		}
 	}
 
@@ -435,6 +469,47 @@ func (db *DB) apply(rs *replayState, body []byte) error {
 	case recCoordTerm:
 		if t := c.uvarint(); c.err == nil && t > rs.coordTerm {
 			rs.coordTerm = t
+		}
+
+	case recRepl:
+		part := rs.part(int(c.uvarint()))
+		from := int(c.varint())
+		seq := c.uvarint()
+		ver := model.Version(c.uvarint())
+		type appliedOp struct {
+			key string
+			op  model.Op
+		}
+		var ops []appliedOp
+		for i, n := 0, c.count(); i < n && c.err == nil; i++ {
+			ops = append(ops, appliedOp{key: c.str(), op: c.op()})
+		}
+		if c.err != nil {
+			return c.err
+		}
+		// A replicated apply implies the same implicit vu advancement a
+		// non-root update execution does (the primary executed at ver).
+		if ver > rs.vus[part] {
+			rs.vus[part] = ver
+		}
+		for _, ap := range ops {
+			rs.store.EnsureVersion(ap.key, ver)
+			rs.store.ApplyFrom(ap.key, ver, ap.op)
+		}
+		if from >= 0 && from < len(rs.replApplied[part]) && seq > rs.replApplied[part][from] {
+			rs.replApplied[part][from] = seq
+		}
+	case recReplTerm:
+		t := c.uvarint()
+		part := rs.optPart(c)
+		if c.err == nil && t > rs.replTerms[part] {
+			rs.replTerms[part] = t
+		}
+	case recReplSeq:
+		seq := c.uvarint()
+		part := rs.optPart(c)
+		if c.err == nil && seq > rs.replSeqs[part] {
+			rs.replSeqs[part] = seq
 		}
 
 	case recSend:

@@ -20,6 +20,10 @@ const (
 	CtrCheckpoints
 	CtrTakeovers
 	CtrStaleTermRejects
+	CtrReplSends
+	CtrReplApplies
+	CtrReplAcks
+	CtrPromotions
 	numCounters
 )
 
@@ -36,6 +40,10 @@ var counterNames = [numCounters]string{
 	"checkpoints",
 	"takeovers",
 	"stale_term_rejects",
+	"repl_sends",
+	"repl_applies",
+	"repl_acks",
+	"promotions",
 }
 
 // Gauge names set by the protocol layers.
@@ -79,6 +87,15 @@ const (
 // global version_read/version_update pair, which track partition 0.
 func PartitionVersionGauge(part int) string {
 	return fmt.Sprintf("partition_version_p%d", part)
+}
+
+// ReplicaLagGauge names the per-partition per-backup replication lag
+// gauge ("replica_lag_p<part>_n<node>", exposed as the labeled
+// threev_replica_lag{part,node} in Prometheus text). A partition's
+// primary publishes one per backup: its sent stream frontier minus the
+// backup's acked applied frontier.
+func ReplicaLagGauge(part, node int) string {
+	return fmt.Sprintf("replica_lag_p%d_n%d", part, node)
 }
 
 // CounterLag is one sampled observation of the quiescence quantity for

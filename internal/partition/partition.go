@@ -92,7 +92,9 @@ func (m *Map) OwnerSet(part int) []model.NodeID {
 }
 
 // Validate checks structural sanity: every partition has at least one
-// owner and owner ids are within [0, nodes).
+// owner, owner ids are within [0, nodes), and no owner group lists the
+// same node twice (a duplicate would make the replica set smaller than
+// it looks and double-deliver replication streams).
 func (m *Map) Validate(nodes int) error {
 	if m.P < 1 {
 		return fmt.Errorf("partition map: P=%d < 1", m.P)
@@ -104,10 +106,15 @@ func (m *Map) Validate(nodes int) error {
 		if len(group) == 0 {
 			return fmt.Errorf("partition map: partition %d has no owners", i)
 		}
+		seen := make(map[model.NodeID]bool, len(group))
 		for _, id := range group {
 			if int(id) < 0 || int(id) >= nodes {
 				return fmt.Errorf("partition map: partition %d owner %d out of range [0,%d)", i, id, nodes)
 			}
+			if seen[id] {
+				return fmt.Errorf("partition map: partition %d lists owner %d twice", i, id)
+			}
+			seen[id] = true
 		}
 	}
 	return nil

@@ -53,15 +53,32 @@ func TestOwnersRotation(t *testing.T) {
 }
 
 func TestValidateRejectsBadMaps(t *testing.T) {
-	m := NewMap(2, 2)
-	m.Owners[1] = nil
-	if err := m.Validate(2); err == nil {
-		t.Fatal("expected error for empty owner group")
+	cases := []struct {
+		name    string
+		mutate  func(m *Map)
+		wantErr bool
+	}{
+		{name: "valid rotation", mutate: func(m *Map) {}, wantErr: false},
+		{name: "zero partitions", mutate: func(m *Map) { m.P = 0 }, wantErr: true},
+		{name: "owner group count mismatch", mutate: func(m *Map) { m.Owners = m.Owners[:1] }, wantErr: true},
+		{name: "empty owner group", mutate: func(m *Map) { m.Owners[1] = nil }, wantErr: true},
+		{name: "out-of-range owner", mutate: func(m *Map) { m.Owners[0][0] = 9 }, wantErr: true},
+		{name: "negative owner", mutate: func(m *Map) { m.Owners[0][0] = -1 }, wantErr: true},
+		{name: "duplicate owner in group", mutate: func(m *Map) { m.Owners[0][1] = m.Owners[0][0] }, wantErr: true},
+		{name: "same owner across groups ok", mutate: func(m *Map) { m.Owners[1] = m.Owners[1][:1] }, wantErr: false},
 	}
-	m = NewMap(2, 2)
-	m.Owners[0][0] = 9
-	if err := m.Validate(2); err == nil {
-		t.Fatal("expected error for out-of-range owner")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMap(2, 2)
+			tc.mutate(m)
+			err := m.Validate(2)
+			if tc.wantErr && err == nil {
+				t.Fatal("expected validation error, got nil")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("unexpected validation error: %v", err)
+			}
+		})
 	}
 }
 

@@ -103,6 +103,8 @@ const (
 	idBatch            = 21
 	idCounters         = 22
 	idCountersReq      = 23
+	idReplicate        = 24
+	idReplicateAck     = 25
 )
 
 // Op kind bytes inside SubtxnSpec updates.
@@ -181,6 +183,10 @@ func TypeName(id uint64) string {
 		return "counters"
 	case idCountersReq:
 		return "counters_req"
+	case idReplicate:
+		return "replicate"
+	case idReplicateAck:
+		return "replicate_ack"
 	}
 	return ""
 }
@@ -213,6 +219,8 @@ func Prototypes() map[uint64]any {
 		idBatch:            transport.BatchMsg{},
 		idCounters:         core.CountersMsg{},
 		idCountersReq:      core.CountersReqMsg{},
+		idReplicate:        core.ReplicateMsg{},
+		idReplicateAck:     core.ReplicateAckMsg{},
 	}
 }
 
@@ -469,6 +477,27 @@ func appendPayload(buf []byte, payload any, depth int) ([]byte, error) {
 		}
 		buf = binary.AppendVarint(buf, int64(p.Part))
 		return buf, nil
+	case core.ReplicateMsg:
+		buf = binary.AppendUvarint(buf, idReplicate)
+		buf = binary.AppendVarint(buf, int64(p.Part))
+		buf = binary.AppendUvarint(buf, p.Term)
+		buf = binary.AppendUvarint(buf, p.Seq)
+		buf = binary.AppendUvarint(buf, uint64(p.Version))
+		buf = binary.AppendUvarint(buf, uint64(len(p.Ops)))
+		for _, op := range p.Ops {
+			buf = appendString(buf, op.Key)
+			var err error
+			buf, err = appendOp(buf, op.Op)
+			if err != nil {
+				return buf, err
+			}
+		}
+		return buf, nil
+	case core.ReplicateAckMsg:
+		buf = binary.AppendUvarint(buf, idReplicateAck)
+		buf = binary.AppendVarint(buf, int64(p.Part))
+		buf = binary.AppendUvarint(buf, p.Seq)
+		return binary.AppendVarint(buf, int64(p.Node)), nil
 	}
 	return buf, fmt.Errorf("%w: %T", ErrUnknownType, payload)
 }
@@ -897,6 +926,23 @@ func (d *decoder) payload(depth int) any {
 		}
 		m.Part = int(d.varint())
 		return m
+	case idReplicate:
+		m := core.ReplicateMsg{
+			Part:    int(d.varint()),
+			Term:    d.uvarint(),
+			Seq:     d.uvarint(),
+			Version: model.Version(d.uvarint()),
+		}
+		if n := d.count(); n > 0 {
+			m.Ops = make([]core.AppliedOp, n)
+			for i := range m.Ops {
+				m.Ops[i].Key = d.string()
+				m.Ops[i].Op = d.op()
+			}
+		}
+		return m
+	case idReplicateAck:
+		return core.ReplicateAckMsg{Part: int(d.varint()), Seq: d.uvarint(), Node: model.NodeID(d.varint())}
 	}
 	d.fail(fmt.Errorf("%w: id %d", ErrUnknownType, id))
 	return nil

@@ -105,6 +105,15 @@ func sampleMessages() []transport.Message {
 			},
 		}},
 		{From: 0, To: 3, Payload: core.CountersMsg{Round: 18, Node: 0}}, // no entries
+		{From: 0, To: 1, Payload: core.ReplicateMsg{
+			Part: 1, Term: 5, Seq: 42, Version: 3,
+			Ops: []core.AppliedOp{
+				{Key: "acct:1", Op: model.AddOp{Field: "bal", Delta: 7}},
+				{Key: "acct:2", Op: model.AppendOp{T: model.Tuple{Txn: model.MakeTxnID(0, 3), Part: 1, Total: 1, Attr: "bal", Amount: 7, TxnVersion: 3}}},
+			},
+		}},
+		{From: 0, To: 1, Payload: core.ReplicateMsg{Part: 0, Term: 2, Seq: 9}}, // empty ops = lease heartbeat
+		{From: 1, To: 0, Payload: core.ReplicateAckMsg{Part: 1, Seq: 42, Node: 1}},
 		// Batched frames: one version-3 envelope, members keep their own
 		// endpoints and trace contexts.
 		{From: 0, To: 2, Payload: transport.BatchMsg{Msgs: []transport.Message{
